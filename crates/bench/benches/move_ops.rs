@@ -1,0 +1,31 @@
+//! Criterion bench: the cost of simulating the §8.1.1 move operations —
+//! how fast this reproduction executes the Figure 10 unit of work. (The
+//! *virtual-time* results appear in `cargo run -p bench --bin experiments`;
+//! this measures the harness itself.)
+
+use bench::run_prads_move;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opennf_controller::MoveProps;
+
+fn bench_moves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prads_move_simulation");
+    g.sample_size(10);
+    for (label, props) in [
+        ("ng_pl", MoveProps::ng_pl()),
+        ("lf_pl", MoveProps::lf_pl()),
+        ("lf_pl_er", MoveProps::lf_pl_er()),
+        ("lfop_pl_er", MoveProps::lfop_pl_er()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("variant", label), &props, |b, p| {
+            b.iter(|| {
+                let o = run_prads_move(200, 2_500, *p, 1);
+                assert!(o.total_ms > 0.0);
+                o
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_moves);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench: real (wall-clock) southbound export/import throughput
+//! of each NF implementation — the Figure 12 operations as actually
+//! executed by this library, not the virtual-time model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opennf_nf::NetworkFunction;
+use opennf_nfs::ids::{Ids, IdsConfig};
+use opennf_nfs::{AssetMonitor, Nat};
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+
+fn loaded(which: &str, flows: u32) -> Box<dyn NetworkFunction> {
+    let mut nf: Box<dyn NetworkFunction> = match which {
+        "nat" => Box::new(Nat::new("200.0.0.1".parse().unwrap())),
+        "monitor" => Box::new(AssetMonitor::new()),
+        "ids" => Box::new(Ids::new(IdsConfig::default())),
+        _ => unreachable!(),
+    };
+    for i in 0..flows {
+        let key = FlowKey::tcp(
+            format!("10.0.{}.{}", i >> 8, (i & 0xFF).max(1)).parse().unwrap(),
+            2_000 + (i % 60_000) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        nf.process_packet(&Packet::builder(i as u64, key).flags(TcpFlags::SYN).build()).unwrap();
+    }
+    nf
+}
+
+fn bench_export_import(c: &mut Criterion) {
+    let mut g = c.benchmark_group("southbound");
+    g.sample_size(20);
+    for which in ["nat", "monitor", "ids"] {
+        let mut nf = loaded(which, 500);
+        g.bench_with_input(BenchmarkId::new("get_perflow_500", which), &(), |b, _| {
+            b.iter(|| {
+                let chunks = nf.get_perflow(&Filter::any());
+                assert_eq!(chunks.len(), 500);
+                chunks
+            })
+        });
+        let mut donor = loaded(which, 500);
+        let chunks = donor.get_perflow(&Filter::any());
+        g.bench_with_input(BenchmarkId::new("put_perflow_500", which), &(), |b, _| {
+            b.iter(|| {
+                let mut fresh = loaded(which, 0);
+                fresh.put_perflow(chunks.clone()).unwrap();
+                fresh
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_packet_processing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("process_packet");
+    for which in ["nat", "monitor", "ids"] {
+        let mut nf = loaded(which, 100);
+        let key = FlowKey::tcp(
+            "10.0.0.1".parse().unwrap(),
+            2_000,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let pkt = Packet::builder(1, key)
+            .flags(TcpFlags::ACK)
+            .payload(vec![0x5A; 200])
+            .build();
+        g.bench_with_input(BenchmarkId::new("data_packet", which), &(), |b, _| {
+            b.iter(|| nf.process_packet(&pkt).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_export_import, bench_packet_processing);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the from-scratch codecs — MD5 digest throughput (the
+//! IDS hot path) and LZ compression of serialized NF state (§8.3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use opennf_util::{compress, decompress, Md5};
+
+fn bench_md5(c: &mut Criterion) {
+    let data = vec![0xABu8; 64 * 1024];
+    let mut g = c.benchmark_group("md5");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("digest_64k", |b| b.iter(|| Md5::oneshot(&data)));
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    // JSON-shaped state, like serialized PRADS chunks.
+    let mut s = String::new();
+    for i in 0..500 {
+        s.push_str(&format!(
+            "{{\"key\":{{\"src_ip\":\"10.0.{}.{}\",\"dst_ip\":\"93.184.216.34\",\"proto\":6}},\
+             \"pkts\":{},\"bytes\":{},\"app\":\"http\"}}",
+            i / 250,
+            i % 250 + 1,
+            i * 3,
+            i * 911
+        ));
+    }
+    let data = s.into_bytes();
+    let compressed = compress(&data);
+    let mut g = c.benchmark_group("lz_state");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress", |b| b.iter(|| compress(&data)));
+    g.bench_function("decompress", |b| b.iter(|| decompress(&compressed).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_md5, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Regenerates the OpenNF evaluation (§8): every table and figure.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- fig10 fig11 table1 …
+//! cargo run --release -p bench --bin experiments -- --quick all
+//! ```
+//!
+//! `--quick` shrinks the sweeps (fewer runs, smaller grids) for smoke
+//! testing; the default parameters match the paper's.
+
+use bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted = if wanted.is_empty() || wanted.contains(&"all") {
+        vec![
+            "fig10", "fig11", "copyshare", "table1", "fig12", "nfperf", "table2", "fig13",
+            "compress", "priorplanes", "ablations",
+        ]
+    } else {
+        wanted
+    };
+
+    for exp in wanted {
+        match exp {
+            "fig10" => {
+                let runs = if quick { 2 } else { 5 };
+                fig10::run(500, 2_500, runs).print();
+            }
+            "fig11" => {
+                let (rates, flows): (Vec<u64>, Vec<u32>) = if quick {
+                    (vec![2_500, 10_000], vec![250, 500])
+                } else {
+                    (vec![1_000, 2_500, 5_000, 7_500, 10_000], vec![250, 500, 1_000])
+                };
+                fig11::run(&rates, &flows, 1).print();
+            }
+            "copyshare" => {
+                let max_inst = if quick { 3 } else { 6 };
+                copyshare::run(500, 2_500, max_inst).print();
+            }
+            "table1" => {
+                table1::run(!quick).print();
+            }
+            "fig12" => {
+                let flows: Vec<u32> =
+                    if quick { vec![250, 500] } else { vec![250, 500, 1_000] };
+                fig12::run(&flows).print();
+            }
+            "nfperf" => {
+                nfperf::run().print();
+            }
+            "table2" => {
+                table2::run().print();
+            }
+            "fig13" => {
+                let (conc, flows): (Vec<u32>, Vec<u32>) = if quick {
+                    (vec![1, 4, 8], vec![1_000])
+                } else {
+                    (vec![1, 2, 4, 8, 12, 16, 20], vec![1_000, 2_000, 3_000])
+                };
+                fig13::run(&conc, &flows).print();
+            }
+            "compress" => {
+                compress::run(500).print();
+            }
+            "priorplanes" => {
+                priorplanes::run().print();
+            }
+            "ablations" => {
+                let ks: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
+                ablations::run_submoves(&ks).print();
+                ablations::run_p2p().print();
+            }
+            other => eprintln!("unknown experiment '{other}' (see DESIGN.md for the index)"),
+        }
+    }
+}

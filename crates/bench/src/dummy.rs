@@ -1,0 +1,143 @@
+//! The §8.3 "dummy" NF: "replay traces of past state in response to
+//! getPerflow, simply consume state for putPerflow, and infinitely
+//! generate events … All state and messages are small (202 bytes and 128
+//! bytes, respectively), for consistency, and to maximize the processing
+//! demand at the controller" — the Figure 13 controller-scalability
+//! workload.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use opennf_nf::{Chunk, CostModel, LogRecord, NetworkFunction, NfFault, Scope, StateError};
+use opennf_packet::{Filter, FlowId, FlowKey, Packet, Proto};
+use opennf_sim::Dur;
+
+/// Serialized chunk payload size (paper: 202 bytes).
+pub const CHUNK_BYTES: usize = 202;
+
+/// A state-replaying NF with `flows` pre-baked per-flow states.
+pub struct DummyNf {
+    flows: BTreeSet<FlowId>,
+    payload: Vec<u8>,
+}
+
+impl DummyNf {
+    /// Creates a dummy holding state for `flows` distinct flows.
+    pub fn with_flows(flows: u32) -> Self {
+        let mut set = BTreeSet::new();
+        for i in 0..flows {
+            let key = FlowKey {
+                src_ip: Ipv4Addr::new(10, (i >> 14) as u8, (i >> 6) as u8, (i & 0x3F) as u8 + 1),
+                dst_ip: Ipv4Addr::new(1, 1, 1, 1),
+                src_port: 1_000 + (i % 60_000) as u16,
+                dst_port: 80,
+                proto: Proto::Tcp,
+            };
+            set.insert(key.conn_key().flow_id());
+        }
+        DummyNf { flows: set, payload: vec![0xD5; CHUNK_BYTES] }
+    }
+
+    /// Number of flows currently held.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+impl NetworkFunction for DummyNf {
+    fn nf_type(&self) -> &'static str {
+        "dummy"
+    }
+
+    fn process_packet(&mut self, _pkt: &Packet) -> Result<(), NfFault> {
+        Ok(())
+    }
+
+    fn drain_logs(&mut self) -> Vec<LogRecord> {
+        Vec::new()
+    }
+
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.flows.iter().filter(|id| filter.matches_flow_id(id)).copied().collect()
+    }
+
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.list_perflow(filter)
+            .into_iter()
+            .map(|id| Chunk {
+                flow_id: id,
+                scope: Scope::PerFlow,
+                kind: "dummy".into(),
+                data: self.payload.clone(),
+            })
+            .collect()
+    }
+
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            self.flows.insert(c.flow_id);
+        }
+        Ok(())
+    }
+
+    fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            self.flows.remove(id);
+        }
+    }
+
+    fn list_multiflow(&self, _f: &Filter) -> Vec<FlowId> {
+        Vec::new()
+    }
+
+    fn get_multiflow(&mut self, _f: &Filter) -> Vec<Chunk> {
+        Vec::new()
+    }
+
+    fn put_multiflow(&mut self, _c: Vec<Chunk>) -> Result<(), StateError> {
+        Ok(())
+    }
+
+    fn del_multiflow(&mut self, _ids: &[FlowId]) {}
+
+    fn get_allflows(&mut self) -> Vec<Chunk> {
+        Vec::new()
+    }
+
+    fn put_allflows(&mut self, _c: Vec<Chunk>) -> Result<(), StateError> {
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CostModel {
+        // Replay is nearly free at the NF: the controller is the bottleneck
+        // under study in Figure 13.
+        CostModel {
+            get_chunk_base: Dur::micros(5),
+            get_chunk_per_byte: Dur::nanos(5),
+            put_factor: 0.5,
+            process_packet: Dur::micros(1),
+            export_contention: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_replays_fixed_size_chunks() {
+        let mut d = DummyNf::with_flows(100);
+        assert_eq!(d.flow_count(), 100);
+        let chunks = d.get_perflow(&Filter::any());
+        assert_eq!(chunks.len(), 100);
+        assert!(chunks.iter().all(|c| c.len() == CHUNK_BYTES));
+        // get → del → put relocates.
+        let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+        d.del_perflow(&ids);
+        assert_eq!(d.flow_count(), 0);
+        let mut d2 = DummyNf::with_flows(0);
+        d2.put_perflow(chunks).unwrap();
+        assert_eq!(d2.flow_count(), 100);
+    }
+}

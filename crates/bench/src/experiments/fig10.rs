@@ -1,0 +1,156 @@
+//! Figure 10: "Efficiency of move with no guarantees (NG), loss-free
+//! (LF), and loss-free and order-preserving (LF+OP) with and without
+//! parallelizing (PL) and early-release (ER) optimizations; traffic rate
+//! is 2500 packets/sec; times are averaged over 5 runs."
+//!
+//! (a) total move time per variant; (b) average and maximum per-packet
+//! latency increase. Workload: 2 PRADS instances, 500 flows.
+
+use opennf_controller::MoveProps;
+use opennf_util::Summary;
+
+use crate::{ci_cell, header, run_prads_move};
+
+/// One variant's measurements across runs.
+#[derive(Debug, Clone)]
+pub struct VariantRow {
+    /// Display label matching the paper's legend.
+    pub label: &'static str,
+    /// Total move time per run, ms.
+    pub total_ms: Vec<f64>,
+    /// Average added latency per run, ms.
+    pub lat_avg_ms: Vec<f64>,
+    /// Max added latency per run, ms.
+    pub lat_max_ms: Vec<f64>,
+    /// Drops per run.
+    pub drops: Vec<f64>,
+    /// Buffered events per run.
+    pub events: Vec<f64>,
+    /// Out-of-order processed packets per run.
+    pub reordered: Vec<f64>,
+}
+
+/// Full figure result.
+pub struct Fig10 {
+    /// One row per variant.
+    pub rows: Vec<VariantRow>,
+    /// Flows moved.
+    pub flows: u32,
+    /// Packet rate.
+    pub pps: u64,
+}
+
+/// The variants of Figure 10, in presentation order, with the paper's
+/// reported total-time values (ms) for the 500-flow / 2500-pps point.
+pub const VARIANTS: &[(&str, f64)] = &[
+    ("NG", 193.0),
+    ("NG PL", 134.0),
+    ("LF PL", 218.0),
+    ("LF PL+ER", 218.0),
+    ("LF+OP PL+ER", 426.0),
+];
+
+fn props_of(label: &str) -> MoveProps {
+    match label {
+        "NG" => MoveProps::ng(),
+        "NG PL" => MoveProps::ng_pl(),
+        "LF PL" => MoveProps::lf_pl(),
+        "LF PL+ER" => MoveProps::lf_pl_er(),
+        "LF+OP PL+ER" => MoveProps::lfop_pl_er(),
+        other => panic!("unknown variant {other}"),
+    }
+}
+
+/// Runs the experiment: `runs` seeds per variant.
+pub fn run(flows: u32, pps: u64, runs: u64) -> Fig10 {
+    let rows = VARIANTS
+        .iter()
+        .map(|(label, _)| {
+            let mut row = VariantRow {
+                label,
+                total_ms: Vec::new(),
+                lat_avg_ms: Vec::new(),
+                lat_max_ms: Vec::new(),
+                drops: Vec::new(),
+                events: Vec::new(),
+                reordered: Vec::new(),
+            };
+            for seed in 1..=runs {
+                let o = run_prads_move(flows, pps, props_of(label), seed);
+                row.total_ms.push(o.total_ms);
+                row.lat_avg_ms.push(o.lat_avg_ms);
+                row.lat_max_ms.push(o.lat_max_ms);
+                row.drops.push(o.drops as f64);
+                row.events.push(o.events as f64);
+                row.reordered.push(o.reordered as f64);
+            }
+            row
+        })
+        .collect();
+    Fig10 { rows, flows, pps }
+}
+
+impl Fig10 {
+    /// Renders both panels.
+    pub fn print(&self) {
+        header(&format!(
+            "Figure 10 — move efficiency ({} flows, {} pps, {} runs; paper §8.1.1)",
+            self.flows,
+            self.pps,
+            self.rows[0].total_ms.len()
+        ));
+        println!(
+            "{:<14}{:>14}{:>10}  {:>12}{:>12}{:>8}{:>8}{:>10}",
+            "variant", "total ms", "paper", "lat avg ms", "lat max ms", "drops", "events", "reorder"
+        );
+        for (row, (_, paper)) in self.rows.iter().zip(VARIANTS) {
+            println!(
+                "{:<14}{:>14}{:>10.0}  {:>12.1}{:>12.1}{:>8.0}{:>8.0}{:>10.0}",
+                row.label,
+                ci_cell(&row.total_ms),
+                paper,
+                Summary::from_samples(row.lat_avg_ms.iter().copied()).mean(),
+                Summary::from_samples(row.lat_max_ms.iter().copied()).mean(),
+                Summary::from_samples(row.drops.iter().copied()).mean(),
+                Summary::from_samples(row.events.iter().copied()).mean(),
+                Summary::from_samples(row.reordered.iter().copied()).mean(),
+            );
+        }
+        println!(
+            "\nshape checks: NG PL < NG; LF adds events not drops; LF+OP slowest;\n\
+             ER cuts LF latency; only LF+OP ends with zero reordering."
+        );
+    }
+
+    /// Mean total time for a variant label.
+    pub fn mean_total(&self, label: &str) -> f64 {
+        let row = self.rows.iter().find(|r| r.label == label).expect("label");
+        Summary::from_samples(row.total_ms.iter().copied()).mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds_at_small_scale() {
+        let f = run(100, 2_500, 2);
+        // NG PL faster than NG.
+        assert!(f.mean_total("NG PL") < f.mean_total("NG"));
+        // LF costs more than NG PL; OP costs more than LF.
+        assert!(f.mean_total("LF PL") > f.mean_total("NG PL"));
+        assert!(f.mean_total("LF+OP PL+ER") > f.mean_total("LF PL+ER"));
+        // Drops only in NG variants.
+        let d = |l: &str| {
+            f.rows.iter().find(|r| r.label == l).unwrap().drops.iter().sum::<f64>()
+        };
+        assert!(d("NG") > 0.0 && d("NG PL") > 0.0);
+        assert_eq!(d("LF PL"), 0.0);
+        // Reordering eliminated only by OP.
+        let r = |l: &str| {
+            f.rows.iter().find(|r| r.label == l).unwrap().reordered.iter().sum::<f64>()
+        };
+        assert_eq!(r("LF+OP PL+ER"), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 11: "Impact of packet rate and number of per-flow states on
+//! parallelized move with and without a loss-free guarantee."
+//!
+//! (a) packets dropped during a parallelized no-guarantee move — grows
+//!     linearly with packet rate ("more packets will arrive in the time
+//!     window between the start of move and the routing update taking
+//!     effect");
+//! (b) total time for a parallelized loss-free move — grows with both
+//!     flow count and packet rate; at high rates the switch's packet-out
+//!     throughput becomes the bottleneck.
+
+use opennf_controller::MoveProps;
+
+use crate::{header, run_prads_move};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Packet rate (packets/sec).
+    pub pps: u64,
+    /// Flow count.
+    pub flows: u32,
+    /// Drops during NG PL move.
+    pub ng_drops: usize,
+    /// Total time of LF PL move, ms.
+    pub lf_total_ms: f64,
+    /// Average added latency during LF PL move, ms.
+    pub lf_lat_avg_ms: f64,
+}
+
+/// Full figure result.
+pub struct Fig11 {
+    /// All sweep points, rate-major.
+    pub points: Vec<Point>,
+    /// The rates swept.
+    pub rates: Vec<u64>,
+    /// The flow counts swept.
+    pub flow_counts: Vec<u32>,
+}
+
+/// Runs the sweep (paper: rates up to 10 k pps; flows ∈ {250, 500, 1000}).
+pub fn run(rates: &[u64], flow_counts: &[u32], seed: u64) -> Fig11 {
+    let mut points = Vec::new();
+    for &pps in rates {
+        for &flows in flow_counts {
+            let ng = run_prads_move(flows, pps, MoveProps::ng_pl(), seed);
+            let lf = run_prads_move(flows, pps, MoveProps::lf_pl(), seed);
+            points.push(Point {
+                pps,
+                flows,
+                ng_drops: ng.drops,
+                lf_total_ms: lf.total_ms,
+                lf_lat_avg_ms: lf.lat_avg_ms,
+            });
+        }
+    }
+    Fig11 { points, rates: rates.to_vec(), flow_counts: flow_counts.to_vec() }
+}
+
+impl Fig11 {
+    fn cell(&self, pps: u64, flows: u32) -> &Point {
+        self.points.iter().find(|p| p.pps == pps && p.flows == flows).expect("point")
+    }
+
+    /// Renders both panels as rate × flows tables.
+    pub fn print(&self) {
+        header("Figure 11(a) — packet drops during a parallelized NG move");
+        print!("{:>10}", "pps\\flows");
+        for f in &self.flow_counts {
+            print!("{f:>10}");
+        }
+        println!();
+        for &pps in &self.rates {
+            print!("{pps:>10}");
+            for &f in &self.flow_counts {
+                print!("{:>10}", self.cell(pps, f).ng_drops);
+            }
+            println!();
+        }
+        println!("paper: linear in rate; ≈225 drops at 2500 pps / 500 flows; ≈1400 at 10k/1000.");
+
+        header("Figure 11(b) — total time (ms) for a parallelized LF move");
+        print!("{:>10}", "pps\\flows");
+        for f in &self.flow_counts {
+            print!("{f:>10}");
+        }
+        println!();
+        for &pps in &self.rates {
+            print!("{pps:>10}");
+            for &f in &self.flow_counts {
+                print!("{:>10.0}", self.cell(pps, f).lf_total_ms);
+            }
+            println!();
+        }
+        println!(
+            "paper: grows with flows; 'increases more substantially at higher packet\n\
+             rates … limited by the packet-out rate our OpenFlow switch can sustain'.\n\
+             avg added latency at 10k pps / 500 flows: paper 465 ms, here {:.0} ms.",
+            self.cell(*self.rates.last().unwrap(), 500.min(*self.flow_counts.last().unwrap()))
+                .lf_lat_avg_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_grow_with_rate_and_time_with_flows() {
+        let f = run(&[1_000, 5_000], &[100, 300], 1);
+        assert!(
+            f.cell(5_000, 100).ng_drops > f.cell(1_000, 100).ng_drops,
+            "drops grow with rate"
+        );
+        assert!(
+            f.cell(1_000, 300).lf_total_ms > f.cell(1_000, 100).lf_total_ms,
+            "LF time grows with flows"
+        );
+        assert!(
+            f.cell(5_000, 300).lf_total_ms > f.cell(1_000, 300).lf_total_ms,
+            "LF time grows with rate (packet-out bottleneck)"
+        );
+    }
+}

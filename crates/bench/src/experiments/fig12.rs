@@ -1,0 +1,166 @@
+//! Figure 12: "Efficiency of state export and import" — time to complete
+//! `getPerflow` and `putPerflow` as a function of the number of flows, for
+//! iptables, PRADS, and Bro. "We observe a linear increase … The time
+//! required to (de)serialize each chunk of state … accounts for the
+//! majority of the execution time. Additionally, putPerflow completes at
+//! least 2x faster than getPerflow … the processing time is highest for
+//! Bro because of the size and complexity of the per-flow state."
+
+use opennf_controller::msg::{Msg, OpId, SbCall, SbReply};
+use opennf_controller::{NetConfig, NfNode};
+use opennf_nf::NetworkFunction;
+use opennf_nfs::ids::{Ids, IdsConfig};
+use opennf_nfs::{AssetMonitor, Nat};
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_sim::{Ctx, Dur, Engine, Node, NodeId};
+
+/// A timing stub that records when the bulk export/import finished.
+struct Stub {
+    /// ns at which the last reply arrived.
+    pub last_reply_ns: u64,
+    /// Chunks received (for forwarding into a put).
+    pub chunks: Vec<opennf_nf::Chunk>,
+}
+
+impl Node<Msg> for Stub {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: NodeId, msg: Msg) {
+        if let Msg::SbAck { reply, .. } = msg {
+            self.last_reply_ns = ctx.now().as_nanos();
+            if let SbReply::Chunks { chunks } = reply {
+                self.chunks = chunks;
+            }
+        }
+    }
+}
+
+/// Builds an NF of the given type pre-loaded with `flows` flows.
+fn loaded_nf(which: &str, flows: u32) -> Box<dyn NetworkFunction> {
+    let mut nf: Box<dyn NetworkFunction> = match which {
+        "iptables" => Box::new(Nat::new("200.0.0.1".parse().unwrap())),
+        "prads" => Box::new(AssetMonitor::new()),
+        "bro" => Box::new(Ids::new(IdsConfig::default())),
+        _ => panic!("unknown NF {which}"),
+    };
+    for i in 0..flows {
+        let key = FlowKey::tcp(
+            format!("10.{}.{}.{}", i >> 16, (i >> 8) & 0xFF, (i & 0xFF).max(1)).parse().unwrap(),
+            2_000 + (i % 60_000) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let syn = Packet::builder(i as u64 * 2 + 1, key).flags(TcpFlags::SYN).build();
+        nf.process_packet(&syn).unwrap();
+        // Give Bro some analyzer state so its chunks have realistic heft.
+        let payload = format!("GET /f{i} HTTP/1.1\r\nHost: x\r\nUser-Agent: UA\r\n\r\n");
+        let data = Packet::builder(i as u64 * 2 + 2, key)
+            .flags(TcpFlags::PSH.union(TcpFlags::ACK))
+            .payload(payload.into_bytes())
+            .build();
+        nf.process_packet(&data).unwrap();
+    }
+    let _ = nf.drain_logs();
+    nf
+}
+
+/// Measures `(get_ms, put_ms)` for one NF type at one flow count: virtual
+/// time for a bulk `getPerflow` at a loaded instance, then a bulk
+/// `putPerflow` of those chunks into a fresh instance.
+pub fn export_import_ms(which: &str, flows: u32) -> (f64, f64) {
+    // Zero network delays: isolate the NF-side (de)serialization cost the
+    // paper's Figure 12 measures.
+    let mut cfg = NetConfig::default();
+    cfg.ctrl_to_nf = Dur::ZERO;
+    let mut eng: Engine<Msg> = Engine::new(1);
+    let stub = eng.add_node(Box::new(Stub { last_reply_ns: 0, chunks: Vec::new() }));
+    let src = eng.add_node(Box::new(NfNode::new("src", loaded_nf(which, flows), cfg, stub)));
+    eng.inject(
+        src,
+        Dur::ZERO,
+        Msg::Sb {
+            op: OpId(1),
+            call: SbCall::GetPerflow { filter: Filter::any(), stream: false, late_lock: false },
+        },
+    );
+    eng.run_to_completion(10_000_000);
+    let (get_ns, chunks) = {
+        let s: &mut Stub = eng.node_mut(stub);
+        (s.last_reply_ns, std::mem::take(&mut s.chunks))
+    };
+    assert_eq!(chunks.len(), flows as usize, "{which}: export complete");
+
+    let mut eng2: Engine<Msg> = Engine::new(1);
+    let stub2 = eng2.add_node(Box::new(Stub { last_reply_ns: 0, chunks: Vec::new() }));
+    let dst = eng2.add_node(Box::new(NfNode::new("dst", loaded_nf(which, 0), cfg, stub2)));
+    eng2.inject(dst, Dur::ZERO, Msg::Sb { op: OpId(2), call: SbCall::PutPerflow { chunks } });
+    eng2.run_to_completion(10_000_000);
+    let put_ns = {
+        let s: &Stub = eng2.node(stub2);
+        s.last_reply_ns
+    };
+    (get_ns as f64 / 1e6, put_ns as f64 / 1e6)
+}
+
+/// Full figure result.
+pub struct Fig12 {
+    /// `(nf, flows, get_ms, put_ms)` rows.
+    pub rows: Vec<(&'static str, u32, f64, f64)>,
+    /// Flow counts swept.
+    pub flow_counts: Vec<u32>,
+}
+
+/// The NFs of Figure 12 in presentation order.
+pub const NFS: &[&str] = &["iptables", "prads", "bro"];
+
+/// Runs the sweep.
+pub fn run(flow_counts: &[u32]) -> Fig12 {
+    let mut rows = Vec::new();
+    for &which in NFS {
+        for &flows in flow_counts {
+            let (get_ms, put_ms) = export_import_ms(which, flows);
+            rows.push((which, flows, get_ms, put_ms));
+        }
+    }
+    Fig12 { rows, flow_counts: flow_counts.to_vec() }
+}
+
+impl Fig12 {
+    /// Renders both panels.
+    pub fn print(&self) {
+        crate::header("Figure 12 — getPerflow / putPerflow time (ms) per NF");
+        println!("{:<10}{:>8}{:>14}{:>14}{:>10}", "NF", "flows", "getPerflow", "putPerflow", "put/get");
+        for (nf, flows, get, put) in &self.rows {
+            println!("{:<10}{:>8}{:>14.0}{:>14.0}{:>10.2}", nf, flows, get, put, put / get);
+        }
+        println!(
+            "\npaper: linear in flows; iptables < PRADS < Bro (Bro ≈1000 ms at 1000\n\
+             flows); putPerflow ≥2× faster than getPerflow everywhere."
+        );
+    }
+
+    /// Lookup helper.
+    pub fn get_ms(&self, nf: &str, flows: u32) -> f64 {
+        self.rows.iter().find(|(n, f, _, _)| *n == nf && *f == flows).expect("row").2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_linearity() {
+        let f = run(&[100, 200]);
+        // iptables < prads < bro at equal flow counts.
+        assert!(f.get_ms("iptables", 200) < f.get_ms("prads", 200));
+        assert!(f.get_ms("prads", 200) < f.get_ms("bro", 200));
+        // Roughly linear: 200 flows ≈ 2 × 100 flows (±40%).
+        for nf in NFS {
+            let ratio = f.get_ms(nf, 200) / f.get_ms(nf, 100);
+            assert!((1.6..2.6).contains(&ratio), "{nf}: ratio {ratio}");
+        }
+        // put at least 1.8x faster than get.
+        for (nf, flows, get, put) in &f.rows {
+            assert!(put * 1.8 <= *get, "{nf}@{flows}: get {get} put {put}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per paper artifact. Every module exposes `run(…) -> Result`
+//! returning a struct with a `print()` that renders the paper-style rows,
+//! annotated with the paper's reported values for comparison.
+
+pub mod ablations;
+pub mod compress;
+pub mod copyshare;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod nfperf;
+pub mod priorplanes;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,193 @@
+//! §8.4, prior NF control planes, two experiments:
+//!
+//! **VM replication** — scale out a Bro-like IDS by cloning it wholesale;
+//! measure (a) the unneeded state in the clones (paper: snapshot deltas of
+//! 22 MB full vs. 19 MB HTTP-only vs. 4 MB other-only, against 8.1 MB
+//! actually needed by an OpenNF move) and (b) the incorrect conn.log
+//! entries when the cloned flows terminate abruptly (paper: 3173 and 716
+//! at the two instances).
+//!
+//! **Scaling without rebalancing** — only new flows go to the new
+//! instance; with the heavy-tailed duration distribution (~9 % of flows
+//! over 25 min) the old instance stays pinned for tens of minutes, versus
+//! an OpenNF move measured in hundreds of milliseconds.
+
+use opennf_baselines::{scale_in_wait_secs, vm_replicate};
+use opennf_nf::NetworkFunction;
+use opennf_nfs::ids::{Ids, IdsConfig};
+use opennf_packet::Filter;
+use opennf_trace::{heavy_tail_durations, univ_cloud, UnivCloudConfig};
+
+/// VM-replication measurements.
+#[derive(Debug, Clone)]
+pub struct VmReplResult {
+    /// Bytes in the full clone.
+    pub full_clone_bytes: usize,
+    /// Bytes an OpenNF move of just the HTTP flows would ship.
+    pub opennf_move_bytes: usize,
+    /// Incorrect conn.log entries at instance 1 (kept the HTTP clones).
+    pub incorrect_at_1: usize,
+    /// Incorrect conn.log entries at instance 2 (kept the other clones).
+    pub incorrect_at_2: usize,
+}
+
+/// No-rebalance measurements.
+#[derive(Debug, Clone)]
+pub struct NoRebalanceResult {
+    /// Seconds until the old instance could be scaled in.
+    pub wait_secs: f64,
+    /// Fraction of flows still pinned after 25 minutes.
+    pub pinned_at_25min: f64,
+    /// A loss-free OpenNF move time for comparison, ms.
+    pub opennf_move_ms: f64,
+}
+
+/// Full section result.
+pub struct PriorPlanes {
+    /// VM replication half.
+    pub vmrepl: VmReplResult,
+    /// No-rebalance half.
+    pub norebalance: NoRebalanceResult,
+}
+
+/// Runs the VM-replication experiment: build state at one IDS from a
+/// trace, clone it, reroute HTTP to the clone, and let the orphaned flows
+/// time out on both sides.
+pub fn run_vmrepl(flows: u32, seed: u64) -> VmReplResult {
+    let cfg = UnivCloudConfig {
+        flows,
+        pps: 2_500,
+        duration: opennf_sim::Dur::secs(2),
+        seed,
+        malware_fraction: 0.0,
+        outdated_ua_fraction: 0.0,
+        // Nearly half the traffic is non-HTTP (port 443): the "other"
+        // class that makes wholesale cloning carry unneeded state.
+        https_fraction: 0.45,
+        // Scanners give the IDS multi-flow counters, which a clone drags
+        // along wholesale and an OpenNF per-flow move does not.
+        scanners: 2,
+        scan_ports: 40,
+        ..UnivCloudConfig::default()
+    };
+    let trace = univ_cloud(&cfg);
+    let mut bro1 = Ids::new(IdsConfig::default());
+    // Process the first 60% of the trace, leaving many flows mid-stream.
+    let cut = trace.packets.len() * 6 / 10;
+    let mut last_ns = 0;
+    for (t, p) in &trace.packets[..cut] {
+        let mut p = p.clone();
+        p.ingress_ns = *t;
+        last_ns = *t;
+        bro1.process_packet(&p).unwrap();
+    }
+    let _ = bro1.drain_logs();
+
+    // Clone wholesale into Bro2 (VM replication).
+    let mut bro2 = Ids::new(IdsConfig::default());
+    let snap = vm_replicate(&mut bro1, &mut bro2);
+
+    // What OpenNF would actually have moved: per-flow state of the HTTP
+    // flows being rebalanced (here: all port-80 flows).
+    let opennf_bytes: usize = {
+        let f = Filter::any().proto(opennf_packet::Proto::Tcp).dst_port(80).bidi();
+        bro1.get_perflow(&f).iter().map(|c| c.len()).sum()
+    };
+
+    // After the split: HTTP flows continue at Bro2, others at Bro1. The
+    // *clones* of the other side's flows never see another packet and
+    // expire into bogus conn.log entries.
+    let expire_at = last_ns + opennf_sim::Dur::secs(120).as_nanos();
+    // Feed the rest of the trace split by port (HTTP → bro2, rest → bro1).
+    for (t, p) in &trace.packets[cut..] {
+        let mut p = p.clone();
+        p.ingress_ns = *t;
+        let is_http = p.key.dst_port == 80 || p.key.src_port == 80;
+        if is_http {
+            bro2.process_packet(&p).unwrap();
+        } else {
+            bro1.process_packet(&p).unwrap();
+        }
+    }
+    let _ = bro2.drain_logs();
+    bro1.expire_idle(expire_at);
+    bro2.expire_idle(expire_at);
+    let incorrect = |ids: &mut Ids| {
+        ids.drain_logs().iter().filter(|l| Ids::is_abnormal_entry(l)).count()
+    };
+    VmReplResult {
+        full_clone_bytes: snap.total_bytes(),
+        opennf_move_bytes: opennf_bytes,
+        incorrect_at_1: incorrect(&mut bro1),
+        incorrect_at_2: incorrect(&mut bro2),
+    }
+}
+
+/// Runs the no-rebalance comparison.
+pub fn run_norebalance(n_flows: usize, seed: u64) -> NoRebalanceResult {
+    let durations = heavy_tail_durations(n_flows, seed);
+    let starts = vec![0.0; n_flows];
+    let wait_secs = scale_in_wait_secs(&starts, &durations, 1.0);
+    let pinned = durations.iter().filter(|d| **d > 25.0 * 60.0).count() as f64 / n_flows as f64;
+    let mv = crate::run_prads_move(500, 2_500, opennf_controller::MoveProps::lf_pl(), seed);
+    NoRebalanceResult { wait_secs, pinned_at_25min: pinned, opennf_move_ms: mv.total_ms }
+}
+
+/// Runs both halves.
+pub fn run() -> PriorPlanes {
+    PriorPlanes { vmrepl: run_vmrepl(400, 3), norebalance: run_norebalance(10_000, 3) }
+}
+
+impl PriorPlanes {
+    /// Renders the section.
+    pub fn print(&self) {
+        crate::header("§8.4 — prior NF control planes");
+        let v = &self.vmrepl;
+        println!(
+            "VM replication:\n\
+             \x20 full clone              : {:.2} MB of state copied\n\
+             \x20 OpenNF move (HTTP only) : {:.2} MB actually needed\n\
+             \x20 incorrect conn.log      : {} at Bro1, {} at Bro2\n\
+             \x20 (paper: 22 MB snapshot delta vs 8.1 MB moved; 3173 / 716 bogus entries)",
+            v.full_clone_bytes as f64 / 1e6,
+            v.opennf_move_bytes as f64 / 1e6,
+            v.incorrect_at_1,
+            v.incorrect_at_2,
+        );
+        let n = &self.norebalance;
+        println!(
+            "\nscaling without rebalancing:\n\
+             \x20 old instance pinned for : {:.0} s ({:.0} min)\n\
+             \x20 flows >25 min           : {:.1}%\n\
+             \x20 OpenNF LF move instead  : {:.0} ms\n\
+             \x20 (paper: ≈9% of flows >25 min ⇒ >25 min before safe scale-in)",
+            n.wait_secs,
+            n.wait_secs / 60.0,
+            n.pinned_at_25min * 100.0,
+            n.opennf_move_ms,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmrepl_produces_bogus_entries_and_wasted_bytes() {
+        let v = run_vmrepl(80, 9);
+        assert!(v.full_clone_bytes > v.opennf_move_bytes, "clone carries unneeded state");
+        assert!(
+            v.incorrect_at_1 + v.incorrect_at_2 > 0,
+            "orphaned clones must produce incorrect conn.log entries"
+        );
+    }
+
+    #[test]
+    fn norebalance_waits_minutes_while_opennf_takes_ms() {
+        let n = run_norebalance(5_000, 1);
+        assert!(n.wait_secs > 25.0 * 60.0);
+        assert!(n.opennf_move_ms < 2_000.0);
+        assert!((0.04..0.15).contains(&n.pinned_at_25min));
+    }
+}

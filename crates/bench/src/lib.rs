@@ -1,0 +1,111 @@
+//! The experiment harness: regenerates every table and figure of the
+//! OpenNF evaluation (§8). Each experiment lives in [`experiments`] as a
+//! pure function returning a result struct with a `print()` that renders
+//! the same rows/series the paper reports; the `experiments` binary and
+//! the Criterion benches both call these functions.
+//!
+//! | id | paper artifact | module |
+//! |---|---|---|
+//! | fig10 | Figure 10(a)/(b): move efficiency with guarantees | [`experiments::fig10`] |
+//! | fig11 | Figure 11(a)/(b): drops & move time vs. packet rate | [`experiments::fig11`] |
+//! | copyshare | §8.1.1 text: copy & share costs | [`experiments::copyshare`] |
+//! | table1 | Table 1: Squid multi-flow handling | [`experiments::table1`] |
+//! | fig12 | Figure 12: export/import times per NF | [`experiments::fig12`] |
+//! | nfperf | §8.2.1 text: NF slowdown during export | [`experiments::nfperf`] |
+//! | table2 | Table 2: LOC added per NF | [`experiments::table2`] |
+//! | fig13 | Figure 13: controller scalability | [`experiments::fig13`] |
+//! | compress | §8.3 text: compressing state transfers | [`experiments::compress`] |
+//! | priorplanes | §8.4: VM replication & no-rebalance baselines | [`experiments::priorplanes`] |
+
+pub mod dummy;
+pub mod experiments;
+
+use opennf_controller::{Command, MoveProps, Scenario, ScenarioBuilder, ScopeSet};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::Filter;
+use opennf_sim::Dur;
+use opennf_trace::warmed_flows;
+
+/// Result of one instrumented PRADS move (the Figure 10/11 unit of work).
+#[derive(Debug, Clone)]
+pub struct MoveOutcome {
+    /// Total move time, ms.
+    pub total_ms: f64,
+    /// Packets lost (forwarded by the switch, never processed anywhere).
+    pub drops: usize,
+    /// Average added per-packet latency for affected packets, ms.
+    pub lat_avg_ms: f64,
+    /// Maximum added per-packet latency, ms.
+    pub lat_max_ms: f64,
+    /// Packets that took the controller detour or sat in a buffer.
+    pub affected: usize,
+    /// Events buffered at the controller.
+    pub events: usize,
+    /// Packets processed out of order within their own flow — what an
+    /// order-preserving move must drive to zero.
+    pub reordered: usize,
+    /// Whether the run was loss-free.
+    pub loss_free: bool,
+}
+
+/// Runs the §8.1.1 experiment: two PRADS monitors, `flows` flows at `pps`
+/// total, everything moved at t = 200 ms with `props`. Traffic continues
+/// well past the move.
+pub fn run_prads_move(flows: u32, pps: u64, props: MoveProps, seed: u64) -> MoveOutcome {
+    let trace_dur = Dur::millis(1_500);
+    let mut s: Scenario = ScenarioBuilder::new()
+        .seed(seed)
+        .nf("prads1", Box::new(AssetMonitor::new()))
+        .nf("prads2", Box::new(AssetMonitor::new()))
+        .host(warmed_flows(flows, pps, trace_dur, seed))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(200),
+        Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+    );
+    s.run_to_completion();
+    let report = s.controller().reports.first().expect("move completed").clone();
+    let (lat_avg_ms, lat_max_ms, affected) = s.added_latency();
+    let oracle = s.oracle().check();
+    MoveOutcome {
+        total_ms: report.duration_ms(),
+        drops: oracle.lost.len(),
+        lat_avg_ms,
+        lat_max_ms,
+        affected,
+        events: report.events_buffered,
+        reordered: oracle.reordered_per_flow.len(),
+        loss_free: oracle.is_loss_free(),
+    }
+}
+
+/// Formats a mean ± 95 % CI cell.
+pub fn ci_cell(vals: &[f64]) -> String {
+    let s = opennf_util::Summary::from_samples(vals.iter().copied());
+    format!("{:7.0} ±{:3.0}", s.mean(), s.ci95_half_width())
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prads_move_outcome_sane() {
+        let o = run_prads_move(50, 2_000, MoveProps::lf_pl(), 1);
+        assert!(o.total_ms > 0.0);
+        assert!(o.loss_free);
+        assert!(o.events > 0);
+        let ng = run_prads_move(50, 2_000, MoveProps::ng_pl(), 1);
+        assert!(ng.drops > 0);
+        assert!(!ng.loss_free);
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 9 — fast failure recovery.
+//!
+//! ```text
+//! initStandby (normInst, stbyInst)
+//!   notify ({nw_proto: TCP, tcp_flags: SYN}, normInst, true, updateStandby)
+//!   notify ({nw_proto: TCP, tcp_flags: RST}, normInst, true, updateStandby)
+//!   notify ({nw_src: 10.0.0.0/8, nw_proto: TCP, tp_dst: 80}, normInst, true, updateStandby)
+//! updateStandby (event)
+//!   copy (normInst, stbyInst, extractFlowId(event.pkt), PER)
+//! ```
+//!
+//! "The copy is made eventually consistent when these key packets are
+//! processed, rather than recopying state for every packet" — SYN,
+//! SYN+ACK, RST, and local HTTP requests are the packets whose state
+//! updates matter for scan detection and browser identification. On
+//! failure, the switch is re-pointed at the standby.
+
+use opennf_controller::controller::{Api, ControlApp};
+use opennf_controller::{Command, ScopeSet};
+use opennf_packet::{Filter, Ipv4Prefix, Packet, Proto, TcpFlags};
+use opennf_sim::{Dur, NodeId};
+
+/// The failure-recovery application.
+pub struct FailoverApp {
+    /// The instance being protected.
+    pub norm_inst: NodeId,
+    /// Its hot standby.
+    pub stby_inst: NodeId,
+    /// Local network prefix (for the HTTP-request filter and re-route).
+    pub local_prefix: Ipv4Prefix,
+    /// If set, the normal instance "fails" at this time and traffic is
+    /// re-routed to the standby.
+    pub fail_at: Option<Dur>,
+    armed_failure: bool,
+    /// Copies triggered so far (test observability).
+    pub updates: u32,
+    /// Whether failover has been executed.
+    pub failed_over: bool,
+}
+
+impl FailoverApp {
+    /// Creates the application.
+    pub fn new(
+        norm_inst: NodeId,
+        stby_inst: NodeId,
+        local_prefix: Ipv4Prefix,
+        fail_at: Option<Dur>,
+    ) -> Self {
+        FailoverApp {
+            norm_inst,
+            stby_inst,
+            local_prefix,
+            fail_at,
+            armed_failure: false,
+            updates: 0,
+            failed_over: false,
+        }
+    }
+}
+
+impl ControlApp for FailoverApp {
+    fn on_start(&mut self, api: &mut Api<'_>) {
+        // initStandby: subscribe to the key packets.
+        api.issue(Command::Notify {
+            inst: self.norm_inst,
+            filter: Filter::any().proto(Proto::Tcp).with_tcp_flags(TcpFlags::SYN),
+            enable: true,
+        });
+        api.issue(Command::Notify {
+            inst: self.norm_inst,
+            filter: Filter::any().proto(Proto::Tcp).with_tcp_flags(TcpFlags::RST),
+            enable: true,
+        });
+        api.issue(Command::Notify {
+            inst: self.norm_inst,
+            filter: Filter::from_src(self.local_prefix).proto(Proto::Tcp).dst_port(80),
+            enable: true,
+        });
+        if let Some(at) = self.fail_at {
+            api.set_tick(Some(at));
+            self.armed_failure = true;
+        }
+    }
+
+    fn on_notify(&mut self, api: &mut Api<'_>, inst: NodeId, pkt: &Packet) {
+        if inst != self.norm_inst || self.failed_over {
+            return;
+        }
+        // updateStandby: copy the per-flow state for this packet's flow.
+        self.updates += 1;
+        api.issue(Command::Copy {
+            src: self.norm_inst,
+            dst: self.stby_inst,
+            filter: Filter::from_flow_id(pkt.flow_id()),
+            scope: ScopeSet::per_flow(),
+        });
+    }
+
+    fn on_tick(&mut self, api: &mut Api<'_>) {
+        if self.armed_failure && !self.failed_over {
+            self.failed_over = true;
+            // The normal instance failed: steer everything to the standby.
+            api.issue(Command::Route {
+                filter: Filter::any(),
+                priority: 1000,
+                inst: self.stby_inst,
+            });
+            api.set_tick(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_controller::ScenarioBuilder;
+    use opennf_nfs::AssetMonitor;
+    use opennf_trace::steady_flows;
+
+    fn build(fail_at: Option<Dur>) -> opennf_controller::Scenario {
+        let app = FailoverApp::new(
+            NodeId(2),
+            NodeId(3),
+            "10.0.0.0/8".parse().unwrap(),
+            fail_at,
+        );
+        ScenarioBuilder::new()
+            .app(Box::new(app))
+            .nf("norm", Box::new(AssetMonitor::new()))
+            .nf("stby", Box::new(AssetMonitor::new()))
+            .host(steady_flows(30, 2_000, Dur::millis(800), 9))
+            .route(0, Filter::any(), 0)
+            .build()
+    }
+
+    #[test]
+    fn standby_tracks_flow_state() {
+        let mut s = build(None);
+        s.run_to_completion();
+        // Each flow's SYN triggered a per-flow copy.
+        let copies = s.controller().reports_of("copy").len();
+        assert!(copies >= 25, "SYN-triggered copies: {copies}");
+        let stby = s.nf(1).nf_as::<AssetMonitor>();
+        assert!(
+            stby.conn_count() >= 25,
+            "standby holds flow state: {}",
+            stby.conn_count()
+        );
+        // The standby processed no packets itself.
+        assert!(s.nf(1).processed_log().is_empty());
+    }
+
+    #[test]
+    fn failover_reroutes_and_standby_continues_with_state() {
+        let mut s = build(Some(Dur::millis(400)));
+        s.run_to_completion();
+        let stby = s.nf(1);
+        assert!(
+            !stby.processed_log().is_empty(),
+            "standby processes traffic after failover"
+        );
+        // Because the standby already had per-flow state, continuing flows
+        // did not register as brand new there: its conn count stays at the
+        // flow total, not double.
+        assert_eq!(stby.nf_as::<AssetMonitor>().conn_count(), 30);
+    }
+}

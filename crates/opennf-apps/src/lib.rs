@@ -1,0 +1,23 @@
+//! The control applications of §6, written against the northbound API
+//! exactly as the paper's Floodlight applications are:
+//!
+//! * [`loadbalance::LoadBalancerApp`] — Figure 8: high-performance network
+//!   monitoring. `movePrefix` copies scan-detection multi-flow state, does
+//!   a loss-free move of the prefix's per-flow state, and keeps multi-flow
+//!   state eventually consistent with periodic bidirectional copies.
+//! * [`failover::FailoverApp`] — Figure 9: fast failure recovery. A hot
+//!   standby is kept eventually consistent by `notify`-driven copies
+//!   triggered by TCP SYN/RST and HTTP-request packets; on failure, traffic
+//!   is re-routed to the standby.
+//! * [`offload::OffloadApp`] — selectively invoking advanced remote
+//!   processing: when a local IDS raises an outdated-browser alert, the
+//!   flow's per-flow state is loss-free-moved to a cloud instance that
+//!   additionally checks for malware.
+
+pub mod failover;
+pub mod loadbalance;
+pub mod offload;
+
+pub use failover::FailoverApp;
+pub use loadbalance::LoadBalancerApp;
+pub use offload::OffloadApp;

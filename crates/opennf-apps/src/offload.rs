@@ -1,0 +1,172 @@
+//! Selectively invoking advanced remote processing (§2.1, §6).
+//!
+//! "When a local IDS instance (locInst) raises an alert for a specific
+//! flow (flowid), the application calls
+//! move(locInst, cloudInst, flowid, perflow, lossfree) to transfer the
+//! flow's per-flow state and forward the flow's packets to the IDS
+//! instance running in the cloud. The move must be loss-free to ensure all
+//! data packets contained in the HTTP reply are received and included in
+//! the md5sum that is compared against a malware database."
+//!
+//! Multi-flow state (scan counters) is deliberately *not* moved: it is
+//! irrelevant to the cloud instance's malware check.
+
+use std::collections::HashSet;
+
+use opennf_controller::controller::{Api, ControlApp};
+use opennf_controller::{Command, MoveProps, ScopeSet};
+use opennf_nf::LogRecord;
+use opennf_packet::{ConnKey, Filter};
+use opennf_sim::NodeId;
+
+/// The remote-processing application.
+pub struct OffloadApp {
+    /// The local IDS.
+    pub local_inst: NodeId,
+    /// The cloud IDS (with the big signature corpus).
+    pub cloud_inst: NodeId,
+    /// Alert kind that triggers offload.
+    pub trigger_kind: String,
+    moved: HashSet<ConnKey>,
+    /// Offload moves issued (test observability).
+    pub offloads: u32,
+}
+
+impl OffloadApp {
+    /// Creates the application, triggering on outdated-browser alerts as
+    /// in the paper's Figure 7 deployment.
+    pub fn new(local_inst: NodeId, cloud_inst: NodeId) -> Self {
+        OffloadApp {
+            local_inst,
+            cloud_inst,
+            trigger_kind: "alert.outdated_browser".to_string(),
+            moved: HashSet::new(),
+            offloads: 0,
+        }
+    }
+}
+
+impl ControlApp for OffloadApp {
+    fn on_alert(&mut self, api: &mut Api<'_>, inst: NodeId, alert: &LogRecord) {
+        if inst != self.local_inst || alert.kind != self.trigger_kind {
+            return;
+        }
+        let Some(conn) = alert.conn else {
+            return;
+        };
+        if !self.moved.insert(conn) {
+            return; // already offloaded
+        }
+        self.offloads += 1;
+        api.issue(Command::Move {
+            src: self.local_inst,
+            dst: self.cloud_inst,
+            filter: Filter::from_flow_id(conn.flow_id()),
+            scope: ScopeSet::per_flow(),
+            props: MoveProps::lf_pl(), // loss-free, as the md5 demands
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_controller::ScenarioBuilder;
+    use opennf_nfs::ids::{Ids, IdsConfig};
+    use opennf_trace::http::{malware_body, malware_signatures, HttpFlowSpec};
+    use opennf_trace::merge_schedules;
+
+    /// One outdated-browser flow that also carries malware, plus benign
+    /// background flows.
+    fn workload() -> Vec<(u64, opennf_packet::Packet)> {
+        let mut parts = Vec::new();
+        // The interesting flow: outdated UA, malware body, slow-paced so
+        // the offload completes mid-flow.
+        parts.push(
+            HttpFlowSpec {
+                client: "10.0.0.5".parse().unwrap(),
+                client_port: 4000,
+                server: "93.184.216.34".parse().unwrap(),
+                server_port: 80,
+                url: "/payload".into(),
+                user_agent: "Mozilla/4.0 (compatible; MSIE 6.0)".into(),
+                body: malware_body(0, 2_048),
+                segment: 200,
+                start_ns: 1_000_000,
+                gap_ns: 20_000_000, // 20 ms between packets: plenty of time to move
+            }
+            .render(),
+        );
+        for i in 0..5u32 {
+            parts.push(
+                HttpFlowSpec {
+                    client: format!("10.0.0.{}", 10 + i).parse().unwrap(),
+                    client_port: 5000 + i as u16,
+                    server: "93.184.216.34".parse().unwrap(),
+                server_port: 80,
+                    url: format!("/benign{i}"),
+                    user_agent: "Firefox/115".into(),
+                    body: vec![0x11; 600],
+                    segment: 200,
+                    start_ns: 2_000_000 + i as u64 * 1_000_000,
+                    gap_ns: 5_000_000,
+                }
+                .render(),
+            );
+        }
+        merge_schedules(parts)
+    }
+
+    #[test]
+    fn alert_triggers_offload_and_cloud_detects_malware() {
+        // Local IDS: browser checks only (no signatures). Cloud IDS: full
+        // malware corpus — Figure 7's split.
+        let local = Ids::new(IdsConfig::default());
+        let cloud = Ids::with_signatures(malware_signatures(8, 2_048));
+        let app = OffloadApp::new(NodeId(2), NodeId(3));
+        let mut s = ScenarioBuilder::new()
+            .app(Box::new(app))
+            .nf("local", Box::new(local))
+            .nf("cloud", Box::new(cloud))
+            .host(workload())
+            .route(0, Filter::any(), 0)
+            .build();
+        s.run_to_completion();
+
+        // The outdated-browser alert fired locally…
+        assert_eq!(s.nf(0).logs_of("alert.outdated_browser").len(), 1);
+        // …the app moved the flow…
+        assert_eq!(s.controller().reports_of("move[LF").len(), 1);
+        // …and the cloud instance, which received the partially
+        // reassembled HTTP state, caught the malware.
+        assert_eq!(
+            s.nf(1).logs_of("alert.malware").len(),
+            1,
+            "cloud IDS must detect the payload after a loss-free mid-flow move"
+        );
+        // Benign flows stayed local.
+        let local_conns = s.nf(0).nf_as::<Ids>().conn_count()
+            + s.nf(0).logs_of("conn_log").len();
+        assert!(local_conns >= 5, "background flows processed locally");
+        // Loss-freedom held.
+        let oracle = s.oracle().check();
+        assert!(oracle.is_loss_free(), "{:?}", oracle.lost);
+    }
+
+    #[test]
+    fn without_offload_malware_is_missed() {
+        // Same workload, no app: the local IDS has no signatures, so the
+        // malware goes undetected anywhere.
+        let local = Ids::new(IdsConfig::default());
+        let cloud = Ids::with_signatures(malware_signatures(8, 2_048));
+        let mut s = ScenarioBuilder::new()
+            .nf("local", Box::new(local))
+            .nf("cloud", Box::new(cloud))
+            .host(workload())
+            .route(0, Filter::any(), 0)
+            .build();
+        s.run_to_completion();
+        assert_eq!(s.nf(0).logs_of("alert.malware").len(), 0);
+        assert_eq!(s.nf(1).logs_of("alert.malware").len(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! The prior control planes OpenNF is evaluated against (§2.2, §8.4).
+//!
+//! * [`splitmerge`] — a Split/Merge-style `migrate(f)`: traffic is halted
+//!   and buffered at the controller while state moves, packets in flight to
+//!   the source are dropped, and a race between the buffer flush and the
+//!   forwarding update reorders packets (Figure 5). The oracle shows it is
+//!   neither loss-free nor order-preserving.
+//! * [`vmrepl`] — VM replication: clone an instance's entire state. The
+//!   clone carries *unneeded state* whose flows terminate abruptly,
+//!   producing bogus `conn.log` entries (§8.4 quantifies this).
+//! * [`norebalance`] — scaling without rebalancing active flows: new flows
+//!   go to the new instance, old flows pin the old instance until they
+//!   die — tens of minutes under the paper's flow-duration tail.
+
+pub mod norebalance;
+pub mod splitmerge;
+pub mod vmrepl;
+
+pub use norebalance::scale_in_wait_secs;
+pub use splitmerge::SplitMergeController;
+pub use vmrepl::{vm_replicate, VmSnapshot};

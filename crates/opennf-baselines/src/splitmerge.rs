@@ -1,0 +1,285 @@
+//! A Split/Merge-style migration controller \[34\], as §5.1 describes it:
+//!
+//! 1. halt matching traffic: install a rule punting it to the controller,
+//!    which buffers the packet-ins;
+//! 2. drop packets that still arrive at the source instance (in-flight or
+//!    queued there) — this loses their updates;
+//! 3. move the state (bulk get → del → put);
+//! 4. flush the buffer toward the destination and *then* request the
+//!    forwarding update — the race of Figure 5: packets punted to the
+//!    controller after the flush but before the new rule applies reach
+//!    the destination after packets the switch already forwarded directly.
+
+use opennf_controller::msg::{Msg, OpId, SbCall, SbReply};
+use opennf_controller::NetConfig;
+use opennf_packet::{Filter, Packet};
+use opennf_sim::{Ctx, Dur, Node, NodeId};
+
+/// FlowMod tags.
+const FM_HALT: u32 = 1;
+const FM_ROUTE: u32 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Halting,
+    Moving,
+    Done,
+}
+
+/// A minimal controller implementing only `migrate(f)`.
+pub struct SplitMergeController {
+    sw: NodeId,
+    src: NodeId,
+    dst: NodeId,
+    filter: Filter,
+    /// When to start the migration.
+    start_at: Dur,
+    cfg: NetConfig,
+    phase: Phase,
+    buffer: Vec<Packet>,
+    flushed: bool,
+    pending_acks: usize,
+    /// Packets buffered at the controller during the halt.
+    pub buffered_count: usize,
+    /// Migration start/end (virtual ns).
+    pub started_ns: u64,
+    /// Completion time (virtual ns).
+    pub finished_ns: u64,
+}
+
+impl SplitMergeController {
+    /// Creates the controller; the migration fires at `start_at`.
+    pub fn new(
+        cfg: NetConfig,
+        sw: NodeId,
+        src: NodeId,
+        dst: NodeId,
+        filter: Filter,
+        start_at: Dur,
+    ) -> Self {
+        SplitMergeController {
+            sw,
+            src,
+            dst,
+            filter,
+            start_at,
+            cfg,
+            phase: Phase::Idle,
+            buffer: Vec::new(),
+            flushed: false,
+            pending_acks: 0,
+            buffered_count: 0,
+            started_ns: 0,
+            finished_ns: 0,
+        }
+    }
+
+    /// True when the migration finished.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    fn sb(&self, ctx: &mut Ctx<'_, Msg>, inst: NodeId, call: SbCall) {
+        ctx.send(inst, self.cfg.ctrl_to_nf, Msg::Sb { op: OpId(1), call });
+    }
+}
+
+impl Node<Msg> for SplitMergeController {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.send_self(self.start_at, Msg::Timer { op: OpId(1), tag: 0 });
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Timer { .. } if self.phase == Phase::Idle => {
+                self.phase = Phase::Halting;
+                self.started_ns = ctx.now().as_nanos();
+                // Drop anything that still reaches the source (Split/Merge
+                // "drops these packets when they are dequeued at srcInst").
+                self.sb(ctx, self.src, SbCall::AddDropFilter { filter: self.filter });
+                // Halt: punt matching traffic to the controller.
+                ctx.send(
+                    self.sw,
+                    self.cfg.sw_to_ctrl,
+                    Msg::FlowMod {
+                        op: OpId(1),
+                        tag: FM_HALT,
+                        priority: 100,
+                        filter: self.filter,
+                        to_nodes: vec![],
+                        to_controller: true,
+                    },
+                );
+            }
+            Msg::PacketIn(pkt) => {
+                if self.flushed {
+                    // The Figure 5 race: late punted packets chase the
+                    // directly-forwarded ones.
+                    ctx.send(self.sw, self.cfg.sw_to_ctrl, Msg::PacketOut { packet: pkt, to: self.dst });
+                } else {
+                    self.buffered_count += 1;
+                    self.buffer.push(pkt);
+                }
+            }
+            Msg::FlowModApplied { tag, .. } => match tag {
+                FM_HALT => {
+                    self.phase = Phase::Moving;
+                    self.sb(
+                        ctx,
+                        self.src,
+                        SbCall::GetPerflow { filter: self.filter, stream: false, late_lock: false },
+                    );
+                }
+                FM_ROUTE => {
+                    self.phase = Phase::Done;
+                    self.finished_ns = ctx.now().as_nanos();
+                }
+                _ => {}
+            },
+            Msg::SbAck { reply, .. } => match reply {
+                SbReply::Chunks { chunks } if self.phase == Phase::Moving => {
+                    let ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
+                    self.sb(ctx, self.src, SbCall::DelPerflow { flow_ids: ids });
+                    self.pending_acks += 1;
+                    if chunks.is_empty() {
+                        // Nothing to move; skip the put.
+                        return;
+                    }
+                    self.pending_acks += 1;
+                    self.sb(ctx, self.dst, SbCall::PutPerflow { chunks });
+                }
+                SbReply::Done if self.phase == Phase::Moving && self.pending_acks > 0 => {
+                    self.pending_acks -= 1;
+                    if self.pending_acks == 0 {
+                        // Flush the buffer, then request the route update —
+                        // without the two-phase scheme this is racy.
+                        for pkt in std::mem::take(&mut self.buffer) {
+                            ctx.send(
+                                self.sw,
+                                self.cfg.sw_to_ctrl,
+                                Msg::PacketOut { packet: pkt, to: self.dst },
+                            );
+                        }
+                        self.flushed = true;
+                        ctx.send(
+                            self.sw,
+                            self.cfg.sw_to_ctrl,
+                            Msg::FlowMod {
+                                op: OpId(1),
+                                tag: FM_ROUTE,
+                                priority: 101,
+                                filter: self.filter,
+                                to_nodes: vec![self.dst],
+                                to_controller: false,
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_controller::guarantees::Oracle;
+    use opennf_controller::{NfNode, SwitchNode};
+    use opennf_nfs::AssetMonitor;
+    use opennf_packet::{FlowKey, TcpFlags};
+    use opennf_sim::Engine;
+    use std::collections::BTreeMap;
+
+    /// Builds: host → sw → {m1, m2}, Split/Merge controller.
+    fn run(pps: u64, flows: u32) -> (Engine<Msg>, NodeId, NodeId, NodeId, NodeId) {
+        let cfg = NetConfig::default();
+        let mut eng: Engine<Msg> = Engine::new(5);
+        // Ids: 0 ctrl, 1 sw, 2 m1, 3 m2, 4 host.
+        let ctrl = NodeId(0);
+        let swid = NodeId(1);
+        let m1 = NodeId(2);
+        let m2 = NodeId(3);
+        let smc =
+            SplitMergeController::new(cfg, swid, m1, m2, Filter::any(), Dur::millis(100));
+        assert_eq!(eng.add_node(Box::new(smc)), ctrl);
+        let mut ports = BTreeMap::new();
+        ports.insert(1u16, m1);
+        ports.insert(2u16, m2);
+        let mut sw = SwitchNode::new(cfg, ctrl, ports);
+        sw.preinstall(0, Filter::any(), &[m1]);
+        assert_eq!(eng.add_node(Box::new(sw)), swid);
+        assert_eq!(
+            eng.add_node(Box::new(NfNode::new("m1", Box::new(AssetMonitor::new()), cfg, ctrl))),
+            m1
+        );
+        assert_eq!(
+            eng.add_node(Box::new(NfNode::new("m2", Box::new(AssetMonitor::new()), cfg, ctrl))),
+            m2
+        );
+        // Traffic: steady flows for 600 ms.
+        let mut sched = Vec::new();
+        let gap = 1_000_000_000 / pps;
+        let total = 600_000_000 / gap;
+        for i in 0..total {
+            let f = (i % flows as u64) as u32;
+            let key = FlowKey::tcp(
+                format!("10.0.0.{}", f % 250 + 1).parse().unwrap(),
+                3000 + f as u16,
+                "1.1.1.1".parse().unwrap(),
+                80,
+            );
+            let flags = if i < flows as u64 { TcpFlags::SYN } else { TcpFlags::ACK };
+            sched.push((i * gap, Packet::builder(0, key).flags(flags).build()));
+        }
+        for (i, (_, p)) in sched.iter_mut().enumerate() {
+            p.uid = i as u64 + 1;
+        }
+        let host = eng.add_node(Box::new(opennf_controller::HostNode::new(swid, cfg, sched)));
+        assert_eq!(host, NodeId(4));
+        eng.run_to_completion(10_000_000);
+        (eng, ctrl, swid, m1, m2)
+    }
+
+    #[test]
+    fn migrate_moves_state_but_violates_guarantees() {
+        let (eng, ctrl, swid, m1, m2) = run(2_500, 40);
+        let c: &SplitMergeController = eng.node(ctrl);
+        assert!(c.is_done());
+        assert!(c.buffered_count > 0, "halted traffic was buffered at the controller");
+
+        let n1: &NfNode = eng.node(m1);
+        let n2: &NfNode = eng.node(m2);
+        assert_eq!(n2.nf_as::<AssetMonitor>().conn_count(), 40, "state moved");
+        assert!(n1.harness().drop_count() > 0, "in-flight packets dropped at src");
+
+        // Oracle: loss from the dropped packets.
+        let sw: &SwitchNode = eng.node(swid);
+        let mut oracle = Oracle::new(&sw.forward_log);
+        oracle.add_instance(n1.records.iter().map(|r| (r.uid, r.done_ns)));
+        oracle.add_instance(n2.records.iter().map(|r| (r.uid, r.done_ns)));
+        let report = oracle.check();
+        assert!(!report.is_loss_free(), "Split/Merge migrate loses updates: {report:?}");
+    }
+
+    #[test]
+    fn migrate_reorders_at_high_rate() {
+        // Higher rate widens the Figure 5 race window.
+        let (eng, ctrl, swid, m1, m2) = run(10_000, 40);
+        let c: &SplitMergeController = eng.node(ctrl);
+        assert!(c.is_done());
+        let sw: &SwitchNode = eng.node(swid);
+        let n1: &NfNode = eng.node(m1);
+        let n2: &NfNode = eng.node(m2);
+        let mut oracle = Oracle::new(&sw.forward_log);
+        oracle.add_instance(n1.records.iter().map(|r| (r.uid, r.done_ns)));
+        oracle.add_instance(n2.records.iter().map(|r| (r.uid, r.done_ns)));
+        let report = oracle.check();
+        assert!(
+            !report.is_order_preserving() || !report.is_loss_free(),
+            "the flush/route race must violate a guarantee: {report:?}"
+        );
+    }
+}

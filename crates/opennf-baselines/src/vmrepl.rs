@@ -1,0 +1,115 @@
+//! VM replication \[18\] / process replication \[5\]: clone an NF instance in
+//! its entirety. "The additional, unneeded state included in a clone not
+//! only wastes memory, but more crucially can cause undesirable NF
+//! behavior: e.g., an IDS may generate false alerts" (§2.2). §8.4
+//! quantifies both: megabytes of unneeded snapshot delta, and thousands of
+//! incorrect conn.log entries when the cloned flows terminate abruptly.
+
+use opennf_nf::{Chunk, NetworkFunction};
+use opennf_packet::Filter;
+
+/// Outcome of a wholesale clone.
+#[derive(Debug, Clone)]
+pub struct VmSnapshot {
+    /// Bytes of per-flow state copied.
+    pub per_flow_bytes: usize,
+    /// Bytes of multi-flow state copied.
+    pub multi_flow_bytes: usize,
+    /// Bytes of all-flows state copied.
+    pub all_flows_bytes: usize,
+    /// Chunks copied in total.
+    pub chunks: usize,
+}
+
+impl VmSnapshot {
+    /// Total bytes in the snapshot.
+    pub fn total_bytes(&self) -> usize {
+        self.per_flow_bytes + self.multi_flow_bytes + self.all_flows_bytes
+    }
+}
+
+/// Clones **all** state from `src` into `dst` — the VM-replication
+/// baseline. Unlike an OpenNF `move`, nothing is filtered, nothing is
+/// deleted at the source, and both instances end up holding state for
+/// flows they will never see again.
+pub fn vm_replicate(src: &mut dyn NetworkFunction, dst: &mut dyn NetworkFunction) -> VmSnapshot {
+    let any = Filter::any();
+    let per = src.get_perflow(&any);
+    let multi = src.get_multiflow(&any);
+    let all = src.get_allflows();
+    let snap = VmSnapshot {
+        per_flow_bytes: per.iter().map(Chunk::len).sum(),
+        multi_flow_bytes: multi.iter().map(Chunk::len).sum(),
+        all_flows_bytes: all.iter().map(Chunk::len).sum(),
+        chunks: per.len() + multi.len() + all.len(),
+    };
+    dst.put_perflow(per).expect("clone per-flow");
+    dst.put_multiflow(multi).expect("clone multi-flow");
+    dst.put_allflows(all).expect("clone all-flows");
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_nfs::ids::{Ids, IdsConfig};
+    use opennf_nfs::AssetMonitor;
+    use opennf_packet::{FlowKey, Packet, TcpFlags};
+
+    fn pkt(uid: u64, sport: u16) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), sport, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .flags(if uid == 1 { TcpFlags::SYN } else { TcpFlags::ACK })
+        .ingress_ns(uid * 1000)
+        .build()
+    }
+
+    #[test]
+    fn clone_copies_everything() {
+        let mut src = AssetMonitor::new();
+        for i in 0..10 {
+            src.process_packet(&pkt(i + 1, 4000 + i as u16)).unwrap();
+        }
+        let mut dst = AssetMonitor::new();
+        let snap = vm_replicate(&mut src, &mut dst);
+        assert_eq!(dst.conn_count(), src.conn_count());
+        assert!(snap.per_flow_bytes > 0);
+        assert!(snap.total_bytes() >= snap.per_flow_bytes);
+        // Crucially the source still has everything (nothing was deleted).
+        assert_eq!(src.conn_count(), 10);
+    }
+
+    #[test]
+    fn cloned_idle_flows_produce_bogus_conn_log_entries() {
+        // Build HTTP-ish activity at the source.
+        let mut src = Ids::new(IdsConfig::default());
+        for i in 0..20u16 {
+            let k = FlowKey::tcp(
+                "10.0.0.5".parse().unwrap(),
+                4000 + i,
+                "1.2.3.4".parse().unwrap(),
+                80,
+            );
+            let p = Packet::builder(i as u64 + 1, k)
+                .flags(TcpFlags::ACK)
+                .payload(vec![0u8; 64])
+                .ingress_ns(1_000_000)
+                .build();
+            use opennf_nf::NetworkFunction as _;
+            src.process_packet(&p).unwrap();
+        }
+        let mut clone = Ids::new(IdsConfig::default());
+        vm_replicate(&mut src, &mut clone);
+        use opennf_nf::NetworkFunction as _;
+        assert_eq!(clone.conn_count(), 20, "unneeded state present in the clone");
+        // The cloned flows never receive another packet; they time out and
+        // log abnormal entries — the §8.4 "incorrect entries".
+        let expired = clone.expire_idle(10_000_000_000_000);
+        assert_eq!(expired, 20);
+        let logs = clone.drain_logs();
+        let incorrect = logs.iter().filter(|l| Ids::is_abnormal_entry(l)).count();
+        assert_eq!(incorrect, 20);
+    }
+}

@@ -1,0 +1,104 @@
+//! Every latency/cost constant of the testbed model, in one place.
+//!
+//! The paper's testbed is an OpenFlow-enabled HP ProCurve 6600 and four
+//! mid-range Xeon servers on 1 Gbps links (§8). The constants below are
+//! calibrated so the headline §8.1.1 numbers land near the paper's
+//! (NG move of 500 PRADS flows ≈ 190 ms; LF adds ≈ 60 %; packet-out
+//! throughput limits event replay at high packet rates) — see
+//! EXPERIMENTS.md for the calibration table. Experiments vary these knobs
+//! explicitly rather than relying on hidden defaults.
+
+use opennf_sim::Dur;
+
+/// Topology latencies and switch/controller costs.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Host → switch propagation + transmission.
+    pub host_to_sw: Dur,
+    /// Switch → NF instance (data path).
+    pub sw_to_nf: Dur,
+    /// Switch ↔ controller control channel (one way).
+    pub sw_to_ctrl: Dur,
+    /// Controller ↔ NF southbound channel (one way).
+    pub ctrl_to_nf: Dur,
+    /// Time for a flow-mod to take effect after the switch receives it
+    /// (hardware TCAM update; tens of ms on the ProCurve era switches).
+    pub flow_mod_delay: Dur,
+    /// Per-packet-out service time at the switch control plane — "the rate
+    /// at which the packets contained in these events can be forwarded to
+    /// PRADS2 becomes limited by the packet-out rate our OpenFlow switch
+    /// can sustain" (§8.1.1).
+    pub packet_out_service: Dur,
+    /// Controller per-message processing cost.
+    pub ctrl_per_msg: Dur,
+    /// Controller per-byte processing cost (socket reads dominate, §8.3).
+    pub ctrl_per_byte: Dur,
+    /// Wire bandwidth for bulk state transfer, bytes/sec.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Interval between counter polls during the order-preserving last-
+    /// packet confirmation (§5.1.2 footnote 9).
+    pub counter_poll: Dur,
+    /// Give-up deadline for the order-preserving wait for a first packet
+    /// from the switch: idle flows would otherwise stall the move forever.
+    pub op_first_packet_timeout: Dur,
+    /// Chunks larger than this bypass the controller CPU (their bytes
+    /// stream peer-to-peer; only a small envelope is handled) — the §5.1.3
+    /// footnote-10 optimization: "state chunks get transferred … via the
+    /// controller in our current system, they can also happen peer to
+    /// peer". Small control-plane chunks (PRADS/dummy, ~200 B) still pay
+    /// the full controller cost, preserving the §8.3/Figure 13 behaviour.
+    pub p2p_chunk_threshold: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            host_to_sw: Dur::micros(100),
+            sw_to_nf: Dur::micros(100),
+            sw_to_ctrl: Dur::micros(250),
+            ctrl_to_nf: Dur::micros(250),
+            flow_mod_delay: Dur::millis(40),
+            packet_out_service: Dur::micros(150),
+            ctrl_per_msg: Dur::micros(40),
+            ctrl_per_byte: Dur::nanos(350),
+            bandwidth_bytes_per_sec: 125_000_000, // 1 Gbps
+            counter_poll: Dur::millis(15),
+            op_first_packet_timeout: Dur::millis(500),
+            p2p_chunk_threshold: 4096,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Transmission delay for `bytes` on the control channel.
+    pub fn transfer_time(&self, bytes: usize) -> Dur {
+        Dur::nanos((bytes as u64).saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec)
+    }
+
+    /// Controller service time for a message of `bytes`.
+    pub fn ctrl_service(&self, bytes: usize) -> Dur {
+        self.ctrl_per_msg + Dur::nanos(self.ctrl_per_byte.as_nanos() * bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales() {
+        let c = NetConfig::default();
+        assert_eq!(c.transfer_time(125_000_000), Dur::secs(1));
+        assert_eq!(c.transfer_time(0), Dur::ZERO);
+        assert!(c.transfer_time(1000) < Dur::micros(10));
+    }
+
+    #[test]
+    fn ctrl_service_has_fixed_and_variable_parts() {
+        let c = NetConfig::default();
+        let small = c.ctrl_service(0);
+        let big = c.ctrl_service(100_000);
+        assert_eq!(small, c.ctrl_per_msg);
+        assert!(big > small + Dur::millis(30), "100 KB ≈ 35 ms at 350 ns/B");
+    }
+}

@@ -1,0 +1,486 @@
+//! The controller node: hosts the northbound operations, routes switch
+//! and NF messages to them, models the controller's serial CPU (the
+//! Figure 13 bottleneck), and hosts a control application.
+
+use std::collections::HashMap;
+
+use opennf_nf::{LogRecord, NfEvent};
+use opennf_packet::{Filter, Packet};
+use opennf_sim::{Ctx, Dur, Node, NodeId, Time};
+
+use crate::config::NetConfig;
+use crate::msg::{Command, Msg, OpId};
+use crate::ops::copy_op::CopyOp;
+use crate::ops::move_op::MoveOp;
+use crate::ops::report::OpReport;
+use crate::ops::share_op::ShareOp;
+use crate::ops::OpCtx;
+
+/// Op ids are allocated in a sparse namespace so ops can mint private
+/// correlation sub-ids (see `share_op`).
+const OP_STRIDE: u64 = 1 << 20;
+
+/// Timer tag for the application tick.
+const TAG_APP_TICK: u32 = 0xA11C;
+
+/// Timer tag for expiring a lingering (completed) move op.
+const TAG_MOVE_EXPIRE: u32 = 0xE0F;
+
+/// How long a completed move keeps forwarding late events (covers packets
+/// that were already in flight toward the source when the route changed,
+/// plus the deferred `disableEvents`).
+const MOVE_LINGER: Dur = Dur(600_000_000);
+
+/// What a hosted control application can do.
+pub struct Api<'a> {
+    now: Time,
+    cmds: &'a mut Vec<Command>,
+    tick: &'a mut Option<Dur>,
+}
+
+impl Api<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Issues a northbound command (processed after the callback returns).
+    pub fn issue(&mut self, cmd: Command) {
+        self.cmds.push(cmd);
+    }
+
+    /// Requests periodic `on_tick` callbacks (None disables).
+    pub fn set_tick(&mut self, period: Option<Dur>) {
+        *self.tick = period;
+    }
+}
+
+/// A control application hosted on the controller (§6). The interface is
+/// event-driven, like the paper's Floodlight module.
+pub trait ControlApp: 'static {
+    /// Called once at simulation start.
+    fn on_start(&mut self, _api: &mut Api<'_>) {}
+
+    /// Called on the period requested via [`Api::set_tick`].
+    fn on_tick(&mut self, _api: &mut Api<'_>) {}
+
+    /// An NF raised an alert (`alert.*` log record).
+    fn on_alert(&mut self, _api: &mut Api<'_>, _inst: NodeId, _alert: &LogRecord) {}
+
+    /// A `notify` subscription matched a packet event (§5.2.1 callback).
+    fn on_notify(&mut self, _api: &mut Api<'_>, _inst: NodeId, _pkt: &Packet) {}
+
+    /// A northbound operation completed.
+    fn on_op_complete(&mut self, _api: &mut Api<'_>, _report: &OpReport) {}
+}
+
+/// The do-nothing application.
+pub struct NoopApp;
+
+impl ControlApp for NoopApp {}
+
+/// The OpenNF controller.
+pub struct ControllerNode {
+    cfg: NetConfig,
+    sw: NodeId,
+    /// Serial-CPU occupancy: every handled message delays subsequent
+    /// reactions (this is what saturates in Figure 13).
+    busy: Time,
+    next_op: u64,
+    next_prio: u16,
+    moves: HashMap<u64, MoveOp>,
+    copies: HashMap<u64, CopyOp>,
+    shares: HashMap<u64, ShareOp>,
+    /// Completed operation reports, in completion order.
+    pub reports: Vec<OpReport>,
+    /// Shadow of intended routing: `(priority, filter, instance)`.
+    route_shadow: Vec<(u16, Filter, NodeId)>,
+    notify_subs: Vec<(NodeId, Filter)>,
+    app: Box<dyn ControlApp>,
+    tick: Option<Dur>,
+    pending_cmds: Vec<Command>,
+    /// Messages handled (scalability metric).
+    pub messages_handled: u64,
+    /// Bytes handled (scalability metric).
+    pub bytes_handled: u64,
+}
+
+impl ControllerNode {
+    /// Creates a controller attached to `sw`, hosting `app`.
+    pub fn new(cfg: NetConfig, sw: NodeId, app: Box<dyn ControlApp>) -> Self {
+        ControllerNode {
+            cfg,
+            sw,
+            busy: Time::ZERO,
+            next_op: 1,
+            next_prio: 10,
+            moves: HashMap::new(),
+            copies: HashMap::new(),
+            shares: HashMap::new(),
+            reports: Vec::new(),
+            route_shadow: Vec::new(),
+            notify_subs: Vec::new(),
+            app,
+            tick: None,
+            pending_cmds: Vec::new(),
+            messages_handled: 0,
+            bytes_handled: 0,
+        }
+    }
+
+    /// Seeds the routing shadow with a preinstalled route (used by the
+    /// scenario builder for rules installed before the run starts).
+    pub fn seed_route(&mut self, priority: u16, filter: Filter, inst: NodeId) {
+        self.route_shadow.push((priority, filter, inst));
+    }
+
+    /// Reports for completed ops of a given kind prefix.
+    pub fn reports_of(&self, prefix: &str) -> Vec<&OpReport> {
+        self.reports.iter().filter(|r| r.kind.starts_with(prefix)).collect()
+    }
+
+    /// The share op with the given base id, if running.
+    pub fn share(&self, op: OpId) -> Option<&ShareOp> {
+        self.shares.get(&(op.0 / OP_STRIDE))
+    }
+
+    /// All running shares.
+    pub fn shares(&self) -> impl Iterator<Item = &ShareOp> {
+        self.shares.values()
+    }
+
+    /// Number of in-flight operations.
+    pub fn inflight_ops(&self) -> usize {
+        self.moves.len() + self.copies.len() + self.shares.len()
+    }
+
+    fn alloc_op(&mut self) -> OpId {
+        let id = OpId(self.next_op * OP_STRIDE);
+        self.next_op += 1;
+        id
+    }
+
+    fn alloc_prio_pair(&mut self) -> (u16, u16) {
+        let p = self.next_prio;
+        self.next_prio = self.next_prio.saturating_add(2);
+        (p, p + 1)
+    }
+
+    fn base(op: OpId) -> u64 {
+        op.0 / OP_STRIDE
+    }
+
+    fn service_offset(&mut self, now: Time, bytes: usize) -> Dur {
+        let start = now.max(self.busy);
+        let svc = self.cfg.ctrl_service(bytes);
+        self.busy = start + svc;
+        self.messages_handled += 1;
+        self.bytes_handled += bytes as u64;
+        self.busy - now
+    }
+
+    fn finalize(&mut self, ctx: &mut Ctx<'_, Msg>, report: OpReport) {
+        let mut api = Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+        self.app.on_op_complete(&mut api, &report);
+        self.reports.push(report);
+        self.drain_cmds(ctx);
+    }
+
+    fn drain_cmds(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        while let Some(cmd) = self.pending_cmds.pop() {
+            // App-issued commands pay one controller service quantum each.
+            let off = self.service_offset(ctx.now(), 64);
+            self.handle_command(ctx, cmd, off);
+        }
+    }
+
+    fn handle_command(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: Command, off: Dur) {
+        match cmd {
+            Command::Move { src, dst, filter, scope, props } => {
+                let id = self.alloc_op();
+                let prio = self.alloc_prio_pair();
+                let mut op = MoveOp::new(id, src, dst, filter, scope, props, prio, ctx.now().as_nanos());
+                let done = {
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    op.start(&mut o)
+                };
+                // Moving traffic re-routes it: record intent in the shadow.
+                self.route_shadow.push((prio.1, filter, dst));
+                if done {
+                    let report = op.report.clone();
+                    self.finalize(ctx, report);
+                } else {
+                    self.moves.insert(Self::base(id), op);
+                }
+            }
+            Command::Copy { src, dst, filter, scope } => {
+                let id = self.alloc_op();
+                let mut op = CopyOp::new(id, src, dst, filter, scope, true, ctx.now().as_nanos());
+                let done = {
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    op.start(&mut o)
+                };
+                if done {
+                    let report = op.report.clone();
+                    self.finalize(ctx, report);
+                } else {
+                    self.copies.insert(Self::base(id), op);
+                }
+            }
+            Command::Share { insts, filter, scope, consistency } => {
+                let id = self.alloc_op();
+                let mut route: Vec<(u16, Filter, NodeId)> = self.route_shadow.clone();
+                route.sort_by(|a, b| b.0.cmp(&a.0));
+                let route = route.into_iter().map(|(_, f, n)| (f, n)).collect();
+                let mut op =
+                    ShareOp::new(id, insts, filter, scope, consistency, route, ctx.now().as_nanos());
+                {
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    op.start(&mut o);
+                }
+                self.shares.insert(Self::base(id), op);
+            }
+            Command::Notify { inst, filter, enable } => {
+                let id = self.alloc_op();
+                if enable {
+                    self.notify_subs.push((inst, filter));
+                    ctx.send(
+                        inst,
+                        off + self.cfg.ctrl_to_nf,
+                        Msg::Sb {
+                            op: id,
+                            call: crate::msg::SbCall::EnableEvents {
+                                filter,
+                                action: opennf_nf::EventAction::Process,
+                            },
+                        },
+                    );
+                } else {
+                    self.notify_subs.retain(|(i, f)| !(*i == inst && *f == filter));
+                    ctx.send(
+                        inst,
+                        off + self.cfg.ctrl_to_nf,
+                        Msg::Sb { op: id, call: crate::msg::SbCall::DisableEvents { filter } },
+                    );
+                }
+            }
+            Command::Route { filter, priority, inst } => {
+                self.route_shadow.push((priority, filter, inst));
+                ctx.send(
+                    self.sw,
+                    off + self.cfg.sw_to_ctrl,
+                    Msg::FlowMod {
+                        op: OpId(0),
+                        tag: 99,
+                        priority,
+                        filter,
+                        to_nodes: vec![inst],
+                        to_controller: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Dispatches to a move op. A completed move is reported once, then
+    /// lingers (to forward events from packets still in flight toward the
+    /// source — §5.1.1 "handled immediately in the same way") until an
+    /// expiry timer removes it.
+    fn with_move<F>(&mut self, ctx: &mut Ctx<'_, Msg>, base: u64, off: Dur, f: F)
+    where
+        F: FnOnce(&mut MoveOp, &mut OpCtx<'_, '_>) -> bool,
+    {
+        if let Some(mut op) = self.moves.remove(&base) {
+            let done = {
+                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                f(&mut op, &mut o)
+            };
+            let newly_done = done && !op.reported;
+            if newly_done {
+                op.reported = true;
+                let id = op.id;
+                let report = op.report.clone();
+                self.moves.insert(base, op);
+                ctx.send_self(MOVE_LINGER, Msg::Timer { op: id, tag: TAG_MOVE_EXPIRE });
+                self.finalize(ctx, report);
+            } else {
+                self.moves.insert(base, op);
+            }
+        }
+    }
+
+    fn with_copy<F>(&mut self, ctx: &mut Ctx<'_, Msg>, base: u64, off: Dur, f: F)
+    where
+        F: FnOnce(&mut CopyOp, &mut OpCtx<'_, '_>) -> bool,
+    {
+        if let Some(mut op) = self.copies.remove(&base) {
+            let done = {
+                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                f(&mut op, &mut o)
+            };
+            if done {
+                let report = op.report.clone();
+                self.finalize(ctx, report);
+            } else {
+                self.copies.insert(base, op);
+            }
+        }
+    }
+
+    fn route_event(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, ev: NfEvent, off: Dur) {
+        let pkt = match &ev {
+            NfEvent::Received(p) | NfEvent::Processed(p) => p.clone(),
+        };
+        // Moves first: an event from a move's src/dst whose filter matches.
+        let move_base = self
+            .moves
+            .iter()
+            .find(|(_, m)| {
+                (m.src() == from || m.dst() == from) && m.filter().matches_packet(&pkt)
+            })
+            .map(|(b, _)| *b);
+        if let Some(base) = move_base {
+            self.with_move(ctx, base, off, |m, o| m.on_event(o, from, &ev));
+            return;
+        }
+        // Then shares.
+        let share_base = self
+            .shares
+            .iter()
+            .find(|(_, s)| s.instances().contains(&from) && s.filter().matches_packet(&pkt))
+            .map(|(b, _)| *b);
+        if let Some(base) = share_base {
+            if let Some(mut op) = self.shares.remove(&base) {
+                {
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    op.on_event(&mut o, from, &ev);
+                }
+                self.shares.insert(base, op);
+            }
+            self.drain_cmds(ctx);
+            return;
+        }
+        // Then notify subscriptions.
+        if let NfEvent::Received(pkt) = &ev {
+            let matched = self
+                .notify_subs
+                .iter()
+                .any(|(i, f)| *i == from && f.matches_packet(pkt));
+            if matched {
+                let mut api =
+                    Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+                self.app.on_notify(&mut api, from, pkt);
+                self.drain_cmds(ctx);
+            }
+        }
+    }
+
+    fn route_packet_in(&mut self, ctx: &mut Ctx<'_, Msg>, pkt: Packet, off: Dur) {
+        let move_base = self
+            .moves
+            .iter()
+            .find(|(_, m)| m.filter().matches_packet(&pkt))
+            .map(|(b, _)| *b);
+        if let Some(base) = move_base {
+            self.with_move(ctx, base, off, |m, o| m.on_packet_in(o, &pkt));
+            return;
+        }
+        let share_base = self
+            .shares
+            .iter()
+            .find(|(_, s)| s.filter().matches_packet(&pkt))
+            .map(|(b, _)| *b);
+        if let Some(base) = share_base {
+            if let Some(mut op) = self.shares.remove(&base) {
+                {
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    op.on_packet_in(&mut o, &pkt);
+                }
+                self.shares.insert(base, op);
+            }
+        }
+    }
+}
+
+impl Node<Msg> for ControllerNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut api = Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+        self.app.on_start(&mut api);
+        if let Some(period) = self.tick {
+            ctx.send_self(period, Msg::Timer { op: OpId(0), tag: TAG_APP_TICK });
+        }
+        self.drain_cmds(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        // Footnote-10 peer-to-peer bulk transfer: chunks above the
+        // threshold don't flow through the controller CPU; it only handles
+        // a small envelope.
+        let wire = msg.wire_size();
+        let effective = match &msg {
+            Msg::SbAck { reply: crate::msg::SbReply::ChunkStream { chunk: Some(c), .. }, .. }
+                if c.len() > self.cfg.p2p_chunk_threshold =>
+            {
+                96
+            }
+            _ => wire,
+        };
+        let off = self.service_offset(ctx.now(), effective);
+        match msg {
+            Msg::Command(cmd) => {
+                self.handle_command(ctx, cmd, off);
+                self.drain_cmds(ctx);
+            }
+            Msg::SbAck { op, reply } => {
+                let base = Self::base(op);
+                if self.moves.contains_key(&base) {
+                    self.with_move(ctx, base, off, |m, o| m.on_sb_ack(o, reply));
+                } else if self.copies.contains_key(&base) {
+                    self.with_copy(ctx, base, off, |c, o| c.on_sb_ack(o, reply));
+                } else if let Some(mut sh) = self.shares.remove(&base) {
+                    {
+                        let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                        sh.on_sb_ack(&mut o, op, reply);
+                    }
+                    self.shares.insert(base, sh);
+                }
+            }
+            Msg::Event(ev) => self.route_event(ctx, from, ev, off),
+            Msg::PacketIn(pkt) => self.route_packet_in(ctx, pkt, off),
+            Msg::FlowModApplied { op, tag, rule } => {
+                let base = Self::base(op);
+                if self.moves.contains_key(&base) {
+                    self.with_move(ctx, base, off, |m, o| m.on_flow_mod_applied(o, tag, rule));
+                }
+                // Route-command and share flow-mods need no follow-up.
+            }
+            Msg::CounterReply { op, packets, .. } => {
+                let base = Self::base(op);
+                self.with_move(ctx, base, off, |m, o| m.on_counter_reply(o, packets));
+            }
+            Msg::Timer { op, tag } => {
+                if tag == TAG_APP_TICK {
+                    let mut api =
+                        Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+                    self.app.on_tick(&mut api);
+                    if let Some(period) = self.tick {
+                        ctx.send_self(period, Msg::Timer { op: OpId(0), tag: TAG_APP_TICK });
+                    }
+                    self.drain_cmds(ctx);
+                } else if tag == TAG_MOVE_EXPIRE {
+                    self.moves.remove(&Self::base(op));
+                } else {
+                    let base = Self::base(op);
+                    self.with_move(ctx, base, off, |m, o| m.on_timer(o, tag));
+                }
+            }
+            Msg::Alert { record } => {
+                let mut api =
+                    Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+                self.app.on_alert(&mut api, from, &record);
+                self.drain_cmds(ctx);
+            }
+            other => debug_assert!(false, "controller: unexpected message {other:?}"),
+        }
+    }
+}

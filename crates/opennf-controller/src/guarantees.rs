@@ -1,0 +1,274 @@
+//! Machine-checked guarantee oracles.
+//!
+//! §5.1 defines the two move guarantees:
+//!
+//! * **Loss-free** — "All state updates resulting from packet processing
+//!   should be reflected at the destination instance, and all packets the
+//!   switch receives should be processed."
+//! * **Order-preserving** — "All packets should be processed in the order
+//!   they were forwarded to the NF instances by the switch." The property
+//!   "applies within one direction of a flow …, across both directions of
+//!   a flow …, and, for moves including multi-flow state, across flows."
+//!
+//! The paper proves its protocols satisfy these in a tech report; this
+//! reproduction *checks them on every run*: the switch records the order
+//! in which it first forwarded each packet ([`crate::SwitchNode`]'s
+//! `forward_log`) and each NF instance records the order in which it
+//! processed packets; the oracle cross-checks. Two ordering scopes are
+//! reported:
+//!
+//! * **per-flow** (`reordered_per_flow`) — inversions between packets of
+//!   the *same connection*: what every order-preserving move must prevent;
+//! * **global** (`reordered_global`) — inversions across all packets: what
+//!   a move of multi-flow state (and the buffer-everything, non-ER
+//!   order-preserving move) additionally prevents. Early release trades
+//!   global ordering away by design, per-flow ordering never.
+
+use std::collections::{HashMap, HashSet};
+
+use opennf_packet::ConnKey;
+
+/// Outcome of checking one run.
+#[derive(Debug, Clone, Default)]
+pub struct GuaranteeReport {
+    /// Packets the switch forwarded that no instance ever processed.
+    pub lost: Vec<u64>,
+    /// Packets processed more than once (across all instances).
+    pub duplicated: Vec<u64>,
+    /// Packets processed after a later-forwarded packet of the *same
+    /// connection* had already been processed.
+    pub reordered_per_flow: Vec<u64>,
+    /// Packets processed after any later-forwarded packet had already
+    /// been processed.
+    pub reordered_global: Vec<u64>,
+    /// Total packets the switch forwarded.
+    pub forwarded: usize,
+    /// Total packets processed across instances.
+    pub processed: usize,
+}
+
+impl GuaranteeReport {
+    /// True iff no forwarded packet was lost or duplicated.
+    pub fn is_loss_free(&self) -> bool {
+        self.lost.is_empty() && self.duplicated.is_empty()
+    }
+
+    /// True iff processing order matched switch forwarding order within
+    /// every connection — the §5.1.2 guarantee for per-flow moves.
+    pub fn is_order_preserving(&self) -> bool {
+        self.reordered_per_flow.is_empty()
+    }
+
+    /// True iff processing order matched switch forwarding order across
+    /// *all* packets — the stronger property a non-early-release
+    /// order-preserving move (and a strict share) provides.
+    pub fn is_globally_order_preserving(&self) -> bool {
+        self.reordered_global.is_empty()
+    }
+}
+
+/// The oracle. Build one from the switch's forwarding log, then feed it
+/// each instance's processing sequence (with processing timestamps so the
+/// cross-instance order is well-defined).
+pub struct Oracle {
+    /// uid → (forwarding index, connection).
+    forward_index: HashMap<u64, (usize, ConnKey)>,
+    forwarded_in_order: Vec<u64>,
+    /// `(done_ns, seq, uid)` processing events across all instances.
+    processing: Vec<(u64, usize, u64)>,
+    seq: usize,
+}
+
+impl Oracle {
+    /// Creates an oracle from the switch forwarding log (`(uid, conn)` in
+    /// first-forwarding order; duplicates collapse to the first
+    /// occurrence).
+    pub fn new(forward_log: &[(u64, ConnKey)]) -> Self {
+        let mut forward_index = HashMap::new();
+        let mut forwarded_in_order = Vec::new();
+        for (uid, conn) in forward_log {
+            forward_index.entry(*uid).or_insert_with(|| {
+                forwarded_in_order.push(*uid);
+                (forwarded_in_order.len() - 1, *conn)
+            });
+        }
+        Oracle { forward_index, forwarded_in_order, processing: Vec::new(), seq: 0 }
+    }
+
+    /// Restricts the oracle to a subset of packets (e.g. only the flows a
+    /// move covered).
+    pub fn retain(&mut self, keep: impl Fn(u64) -> bool) {
+        self.forwarded_in_order.retain(|uid| keep(*uid));
+        let conns: HashMap<u64, ConnKey> =
+            self.forward_index.iter().map(|(u, (_, c))| (*u, *c)).collect();
+        self.forward_index = self
+            .forwarded_in_order
+            .iter()
+            .enumerate()
+            .map(|(i, uid)| (*uid, (i, conns[uid])))
+            .collect();
+        self.processing.retain(|(_, _, uid)| keep(*uid));
+    }
+
+    /// Adds one instance's processing records: `(uid, done_ns)` pairs in
+    /// that instance's processing order.
+    pub fn add_instance(&mut self, records: impl IntoIterator<Item = (u64, u64)>) {
+        for (uid, done_ns) in records {
+            self.processing.push((done_ns, self.seq, uid));
+            self.seq += 1;
+        }
+    }
+
+    /// Runs the checks.
+    pub fn check(&self) -> GuaranteeReport {
+        let mut report = GuaranteeReport {
+            forwarded: self.forwarded_in_order.len(),
+            ..GuaranteeReport::default()
+        };
+
+        // Sort processing events by completion time (ties by insertion —
+        // i.e. per-instance order).
+        let mut events = self.processing.clone();
+        events.sort();
+        report.processed = events.len();
+
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut max_global: Option<usize> = None;
+        let mut max_per_conn: HashMap<ConnKey, usize> = HashMap::new();
+        for (_, _, uid) in &events {
+            if !seen.insert(*uid) {
+                report.duplicated.push(*uid);
+                continue;
+            }
+            if let Some((idx, conn)) = self.forward_index.get(uid) {
+                if let Some(max) = max_global {
+                    if *idx < max {
+                        report.reordered_global.push(*uid);
+                    }
+                }
+                max_global = Some(max_global.unwrap_or(0).max(*idx));
+                let entry = max_per_conn.entry(*conn).or_insert(*idx);
+                if *idx < *entry {
+                    report.reordered_per_flow.push(*uid);
+                } else {
+                    *entry = *idx;
+                }
+            }
+            // Packets processed but never forwarded by the switch (e.g.
+            // injected directly) are ignored for ordering.
+        }
+        for uid in &self.forwarded_in_order {
+            if !seen.contains(uid) {
+                report.lost.push(*uid);
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+
+    fn conn(n: u16) -> ConnKey {
+        FlowKey::tcp("10.0.0.1".parse().unwrap(), 1000 + n, "1.1.1.1".parse().unwrap(), 80)
+            .conn_key()
+    }
+
+    fn log(entries: &[(u64, u16)]) -> Vec<(u64, ConnKey)> {
+        entries.iter().map(|(u, c)| (*u, conn(*c))).collect()
+    }
+
+    fn times(uids: &[u64], start: u64) -> Vec<(u64, u64)> {
+        uids.iter().enumerate().map(|(i, u)| (*u, start + i as u64)).collect()
+    }
+
+    #[test]
+    fn clean_run_passes_everything() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0), (3, 1), (4, 1)]));
+        o.add_instance(times(&[1, 2], 10));
+        o.add_instance(times(&[3, 4], 20));
+        let r = o.check();
+        assert!(r.is_loss_free(), "{r:?}");
+        assert!(r.is_order_preserving(), "{r:?}");
+        assert!(r.is_globally_order_preserving(), "{r:?}");
+        assert_eq!(r.forwarded, 4);
+        assert_eq!(r.processed, 4);
+    }
+
+    #[test]
+    fn detects_loss() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0), (3, 0)]));
+        o.add_instance(times(&[1, 3], 10));
+        let r = o.check();
+        assert!(!r.is_loss_free());
+        assert_eq!(r.lost, vec![2]);
+    }
+
+    #[test]
+    fn detects_duplication() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0)]));
+        o.add_instance(times(&[1, 2], 10));
+        o.add_instance(times(&[2], 30));
+        let r = o.check();
+        assert!(!r.is_loss_free());
+        assert_eq!(r.duplicated, vec![2]);
+    }
+
+    #[test]
+    fn same_flow_inversion_flags_both_scopes() {
+        // Flow 0's packets 1 and 3; packet 2 of flow 0 processed last.
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0), (3, 0)]));
+        o.add_instance(vec![(1, 10), (3, 20)]);
+        o.add_instance(vec![(2, 30)]);
+        let r = o.check();
+        assert!(r.is_loss_free());
+        assert!(!r.is_order_preserving());
+        assert!(!r.is_globally_order_preserving());
+        assert_eq!(r.reordered_per_flow, vec![2]);
+    }
+
+    #[test]
+    fn cross_flow_inversion_only_flags_global() {
+        // Packet 2 (flow 1) processed after packet 3 (flow 0): global
+        // inversion, but each flow's internal order is intact.
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 1), (3, 0)]));
+        o.add_instance(vec![(1, 10), (3, 20)]);
+        o.add_instance(vec![(2, 30)]);
+        let r = o.check();
+        assert!(r.is_order_preserving(), "{r:?}");
+        assert!(!r.is_globally_order_preserving());
+        assert_eq!(r.reordered_global, vec![2]);
+    }
+
+    #[test]
+    fn duplicate_forwarding_collapses_to_first() {
+        // Phase-1 rules forward to {src, ctrl}: same uid appears twice in
+        // the raw log but defines one position.
+        let mut o = Oracle::new(&log(&[(1, 0), (1, 0), (2, 0), (2, 0), (3, 0)]));
+        o.add_instance(times(&[1, 2, 3], 10));
+        let r = o.check();
+        assert!(r.is_loss_free());
+        assert_eq!(r.forwarded, 3);
+    }
+
+    #[test]
+    fn retain_limits_scope() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 1), (3, 0), (4, 1)]));
+        o.add_instance(times(&[1, 3], 10));
+        o.retain(|uid| uid % 2 == 1);
+        let r = o.check();
+        assert!(r.is_loss_free(), "evens are out of scope: {r:?}");
+        assert!(r.is_order_preserving());
+    }
+
+    #[test]
+    fn injected_unforwarded_packets_ignored_for_order() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0)]));
+        o.add_instance(vec![(99, 5), (1, 10), (2, 20)]);
+        let r = o.check();
+        assert!(r.is_order_preserving());
+        assert_eq!(r.processed, 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! The OpenNF controller: the paper's primary contribution (§3–§6).
+//!
+//! The controller "encapsulates the complexities of distributed state
+//! control and, when requested, guarantees loss-freedom,
+//! order-preservation, and consistency for state and state operations".
+//! This crate contains:
+//!
+//! * [`msg`] — the message vocabulary of the simulated deployment: data
+//!   packets, OpenFlow-ish control messages (flow-mod / packet-in /
+//!   packet-out / counter queries), the JSON-shaped southbound protocol,
+//!   NF events, and northbound commands;
+//! * [`config`] — every latency/cost constant of the testbed model in one
+//!   documented place;
+//! * [`nodes`] — simulation nodes: the SDN switch, NF instances, traffic
+//!   sources, and the controller itself;
+//! * [`ops`] — the northbound operations: `move` (no-guarantee, loss-free,
+//!   loss-free + order-preserving; with the parallelize and early-release
+//!   optimizations of §5.1.3), `copy`, and `share` (strong/strict);
+//! * [`guarantees`] — runtime *oracles* that check loss-freedom and
+//!   order-preservation from the recorded switch/NF logs, used throughout
+//!   the test suite (the paper proves these properties in its tech report;
+//!   here they are machine-checked per run);
+//! * [`scenario`] — a builder for the standard evaluation topology
+//!   (Figure 4: hosts → switch → {srcInst, dstInst}, controller attached).
+
+pub mod config;
+pub mod controller;
+pub mod guarantees;
+pub mod msg;
+pub mod nodes;
+pub mod ops;
+pub mod scenario;
+
+pub use config::NetConfig;
+pub use controller::{ControlApp, ControllerNode, NoopApp};
+pub use guarantees::{GuaranteeReport, Oracle};
+pub use msg::{Command, ConsistencyLevel, MoveProps, MoveVariant, Msg, OpId, ScopeSet};
+pub use nodes::host::HostNode;
+pub use nodes::nf_node::NfNode;
+pub use nodes::switch::SwitchNode;
+pub use ops::report::OpReport;
+pub use scenario::{Scenario, ScenarioBuilder};

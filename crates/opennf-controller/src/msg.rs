@@ -1,0 +1,446 @@
+//! The message vocabulary of the simulated deployment.
+//!
+//! One enum covers every edge of Figure 2: hosts → switch (packets),
+//! switch ↔ controller (OpenFlow-ish), controller ↔ NFs (the southbound
+//! API of §4, JSON on the wire in the paper), NFs → controller (events),
+//! and application → controller (northbound commands, §5).
+
+use opennf_net::RuleId;
+use opennf_nf::{Chunk, EventAction, NfEvent};
+use opennf_packet::{Filter, FlowId, Packet};
+use opennf_sim::NodeId;
+
+/// Correlates southbound calls, replies, and flow-mods with the northbound
+/// operation that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Which state classes an operation covers (§5.1 `scope`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScopeSet {
+    /// Include per-flow state.
+    pub per_flow: bool,
+    /// Include multi-flow state.
+    pub multi_flow: bool,
+    /// Include all-flows state.
+    pub all_flows: bool,
+}
+
+impl ScopeSet {
+    /// Per-flow only — the common `move` scope.
+    pub fn per_flow() -> Self {
+        ScopeSet { per_flow: true, ..Default::default() }
+    }
+
+    /// Multi-flow only — the common `copy` scope.
+    pub fn multi_flow() -> Self {
+        ScopeSet { multi_flow: true, ..Default::default() }
+    }
+
+    /// All three classes.
+    pub fn all() -> Self {
+        ScopeSet { per_flow: true, multi_flow: true, all_flows: true }
+    }
+}
+
+/// Which guarantees a `move` enforces (§5.1 `properties`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MoveVariant {
+    /// No guarantees: traffic arriving at the source during the move is
+    /// dropped (the Split/Merge behaviour §5.1 describes).
+    #[default]
+    NoGuarantee,
+    /// Loss-free (§5.1.1): events capture in-flight packets; nothing is
+    /// lost, ordering may still be violated.
+    LossFree,
+    /// Loss-free and order-preserving (§5.1.2): events + the two-phase
+    /// forwarding update, Figure 6.
+    LossFreeOrderPreserving,
+}
+
+/// Optimizations applied to a `move` (§5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MoveProps {
+    /// Guarantee level.
+    pub variant: MoveVariant,
+    /// Parallelize export/import: stream chunks one at a time and import
+    /// them as they arrive (PL).
+    pub parallel: bool,
+    /// Early release + late locking (ER): lock each flow only when its
+    /// chunk starts serializing, and release its buffered events as soon as
+    /// its chunk is imported.
+    pub early_release: bool,
+}
+
+impl MoveProps {
+    /// `NG` — no guarantees, sequential.
+    pub fn ng() -> Self {
+        Self::default()
+    }
+
+    /// `NG PL` — no guarantees, parallelized.
+    pub fn ng_pl() -> Self {
+        MoveProps { parallel: true, ..Self::default() }
+    }
+
+    /// `LF PL` — loss-free, parallelized.
+    pub fn lf_pl() -> Self {
+        MoveProps { variant: MoveVariant::LossFree, parallel: true, early_release: false }
+    }
+
+    /// `LF PL+ER` — loss-free, parallelized, early-release.
+    pub fn lf_pl_er() -> Self {
+        MoveProps { variant: MoveVariant::LossFree, parallel: true, early_release: true }
+    }
+
+    /// `LF+OP PL+ER` — loss-free and order-preserving, fully optimized.
+    pub fn lfop_pl_er() -> Self {
+        MoveProps {
+            variant: MoveVariant::LossFreeOrderPreserving,
+            parallel: true,
+            early_release: true,
+        }
+    }
+}
+
+/// Consistency level for `share` (§5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyLevel {
+    /// Updates applied everywhere in a per-instance-consistent global order.
+    Strong,
+    /// Updates applied everywhere in exactly the switch arrival order.
+    Strict,
+}
+
+/// Northbound commands (§5): what control applications invoke.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `move(srcInst, dstInst, filter, scope, properties)`.
+    Move {
+        /// Source instance.
+        src: NodeId,
+        /// Destination instance.
+        dst: NodeId,
+        /// Which flows.
+        filter: Filter,
+        /// Which state classes.
+        scope: ScopeSet,
+        /// Guarantees and optimizations.
+        props: MoveProps,
+    },
+    /// `copy(srcInst, dstInst, filter, scope)`.
+    Copy {
+        /// Source instance.
+        src: NodeId,
+        /// Destination instance.
+        dst: NodeId,
+        /// Which flows.
+        filter: Filter,
+        /// Which state classes.
+        scope: ScopeSet,
+    },
+    /// `share(list<inst>, filter, scope, consistency)`.
+    Share {
+        /// Instances sharing the state.
+        insts: Vec<NodeId>,
+        /// Which flows.
+        filter: Filter,
+        /// Which state classes.
+        scope: ScopeSet,
+        /// Strong or strict.
+        consistency: ConsistencyLevel,
+    },
+    /// `notify(filter, inst, enable, callback)` — §5.2.1. Events matching
+    /// the filter are delivered to the hosted control application.
+    Notify {
+        /// Instance to watch.
+        inst: NodeId,
+        /// Which packets.
+        filter: Filter,
+        /// Enable or disable.
+        enable: bool,
+    },
+    /// Install a plain forwarding rule (applications steering traffic).
+    Route {
+        /// Which flows.
+        filter: Filter,
+        /// Rule priority.
+        priority: u16,
+        /// Destination instance.
+        inst: NodeId,
+    },
+}
+
+/// Southbound calls (§4.2, §4.3). `op` correlates replies.
+#[derive(Debug, Clone)]
+pub enum SbCall {
+    /// Export per-flow state. `stream` = one reply per chunk (the PL
+    /// optimization); `late_lock` = enable a per-flow drop-event filter as
+    /// each flow's chunk begins serializing (the ER optimization).
+    GetPerflow {
+        /// State selector.
+        filter: Filter,
+        /// Stream chunk-by-chunk.
+        stream: bool,
+        /// Late-locking.
+        late_lock: bool,
+    },
+    /// Import per-flow chunks (bulk).
+    PutPerflow {
+        /// The chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// Import one streamed chunk (any scope; the NF dispatches on
+    /// `chunk.scope`).
+    PutChunk {
+        /// The chunk.
+        chunk: Chunk,
+    },
+    /// Delete per-flow state.
+    DelPerflow {
+        /// Which flows.
+        flow_ids: Vec<FlowId>,
+    },
+    /// Export multi-flow state.
+    GetMultiflow {
+        /// State selector.
+        filter: Filter,
+        /// Stream chunk-by-chunk.
+        stream: bool,
+    },
+    /// Import multi-flow chunks (bulk).
+    PutMultiflow {
+        /// The chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// Delete multi-flow state.
+    DelMultiflow {
+        /// Which flows.
+        flow_ids: Vec<FlowId>,
+    },
+    /// Export all-flows state.
+    GetAllflows,
+    /// Import all-flows chunks.
+    PutAllflows {
+        /// The chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// `enableEvents(filter, action)`.
+    EnableEvents {
+        /// Which packets.
+        filter: Filter,
+        /// Process / buffer / drop.
+        action: EventAction,
+    },
+    /// `disableEvents(filter)` — releases buffered packets.
+    DisableEvents {
+        /// Which filter to remove.
+        filter: Filter,
+    },
+    /// Install a silent drop filter (no events) — the Split/Merge-style
+    /// behaviour used by no-guarantee moves and baselines.
+    AddDropFilter {
+        /// Which packets to drop.
+        filter: Filter,
+    },
+    /// Remove a silent drop filter.
+    RemoveDropFilter {
+        /// Which filter to remove.
+        filter: Filter,
+    },
+}
+
+/// Southbound replies.
+#[derive(Debug, Clone)]
+pub enum SbReply {
+    /// Bulk chunk export result.
+    Chunks {
+        /// The exported chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// One streamed chunk; `last` marks the end of the export.
+    ChunkStream {
+        /// The chunk (None for an empty export's final marker).
+        chunk: Option<Chunk>,
+        /// No more chunks follow.
+        last: bool,
+    },
+    /// A `PutChunk` finished importing.
+    ChunkImported {
+        /// Flow the chunk pertained to.
+        flow_id: FlowId,
+    },
+    /// Generic completion acknowledgment.
+    Done,
+}
+
+/// Everything that can travel between nodes.
+#[derive(Debug)]
+pub enum Msg {
+    /// A data-plane packet.
+    Packet(Packet),
+    /// Switch → controller: a packet punted by a `Controller` action.
+    PacketIn(Packet),
+    /// Controller → switch: install a rule.
+    FlowMod {
+        /// Correlation.
+        op: OpId,
+        /// App-level tag to distinguish multiple mods in one op.
+        tag: u32,
+        /// Rule priority.
+        priority: u16,
+        /// Match.
+        filter: Filter,
+        /// Forward to these nodes…
+        to_nodes: Vec<NodeId>,
+        /// …and/or punt to the controller.
+        to_controller: bool,
+    },
+    /// Switch → controller: the flow-mod took effect.
+    FlowModApplied {
+        /// Correlation.
+        op: OpId,
+        /// The tag from the request.
+        tag: u32,
+        /// Installed rule id (counter queries use it).
+        rule: RuleId,
+    },
+    /// Controller → switch: emit `packet` toward `to`.
+    PacketOut {
+        /// The packet (with any marks already applied).
+        packet: Packet,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Controller → switch: read a rule's packet counter.
+    CounterQuery {
+        /// Correlation.
+        op: OpId,
+        /// Which rule.
+        rule: RuleId,
+    },
+    /// Switch → controller: counter value.
+    CounterReply {
+        /// Correlation.
+        op: OpId,
+        /// Which rule.
+        rule: RuleId,
+        /// Packets matched so far.
+        packets: u64,
+    },
+    /// Controller → NF: a southbound call.
+    Sb {
+        /// Correlation.
+        op: OpId,
+        /// The call.
+        call: SbCall,
+    },
+    /// NF → controller: a southbound reply.
+    SbAck {
+        /// Correlation.
+        op: OpId,
+        /// The reply.
+        reply: SbReply,
+    },
+    /// NF → controller: a raised event (§4.3).
+    Event(NfEvent),
+    /// NF → controller: an alert log record (control applications such as
+    /// the §6 remote-processing app react to NF output).
+    Alert {
+        /// The alert record.
+        record: opennf_nf::LogRecord,
+    },
+    /// Application/harness → controller: northbound command.
+    Command(Command),
+    /// Node-internal timer (never crosses nodes).
+    Timer {
+        /// Correlation.
+        op: OpId,
+        /// Which timer.
+        tag: u32,
+    },
+}
+
+impl Msg {
+    /// Approximate wire size in bytes, used for the controller's
+    /// byte-proportional processing cost (§8.3 found controller threads
+    /// "busy reading from sockets most of the time").
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Msg::Packet(p) | Msg::PacketIn(p) => p.wire_size as usize,
+            Msg::PacketOut { packet, .. } => packet.wire_size as usize + 32,
+            Msg::Sb { call, .. } => {
+                64 + match call {
+                    SbCall::PutPerflow { chunks }
+                    | SbCall::PutMultiflow { chunks }
+                    | SbCall::PutAllflows { chunks } => {
+                        chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
+                    }
+                    SbCall::PutChunk { chunk } => chunk.len() + 48,
+                    _ => 0,
+                }
+            }
+            Msg::SbAck { reply, .. } => {
+                64 + match reply {
+                    SbReply::Chunks { chunks } => {
+                        chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
+                    }
+                    SbReply::ChunkStream { chunk, .. } => {
+                        chunk.as_ref().map(|c| c.len() + 48).unwrap_or(0)
+                    }
+                    _ => 0,
+                }
+            }
+            Msg::Event(NfEvent::Received(p)) | Msg::Event(NfEvent::Processed(p)) => {
+                // Events carry a JSON-encoded copy of the packet (§7);
+                // base64 + field names roughly double the bytes.
+                96 + 2 * p.wire_size as usize
+            }
+            _ => 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_nf::Scope;
+    use opennf_packet::FlowKey;
+
+    #[test]
+    fn props_presets_match_paper_labels() {
+        assert_eq!(MoveProps::ng().variant, MoveVariant::NoGuarantee);
+        assert!(!MoveProps::ng().parallel);
+        assert!(MoveProps::ng_pl().parallel);
+        assert_eq!(MoveProps::lf_pl().variant, MoveVariant::LossFree);
+        assert!(MoveProps::lf_pl_er().early_release);
+        assert_eq!(
+            MoveProps::lfop_pl_er().variant,
+            MoveVariant::LossFreeOrderPreserving
+        );
+    }
+
+    #[test]
+    fn scope_presets() {
+        assert!(ScopeSet::per_flow().per_flow && !ScopeSet::per_flow().multi_flow);
+        assert!(ScopeSet::all().all_flows);
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let k = FlowKey::tcp("1.1.1.1".parse().unwrap(), 1, "2.2.2.2".parse().unwrap(), 2);
+        let small = Msg::Packet(Packet::builder(1, k).build());
+        let big = Msg::Packet(Packet::builder(2, k).payload(vec![0; 1000]).build());
+        assert!(big.wire_size() > small.wire_size());
+
+        let chunk = Chunk::encode(FlowId::default(), Scope::PerFlow, "x", &vec![0u8; 500]);
+        let sb = Msg::Sb { op: OpId(1), call: SbCall::PutChunk { chunk } };
+        assert!(sb.wire_size() > 500);
+    }
+}

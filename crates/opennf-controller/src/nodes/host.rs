@@ -1,0 +1,135 @@
+//! The traffic source: replays a timed packet schedule into the switch
+//! (the testbed's tcpreplay of captured traces, §8).
+
+use std::collections::VecDeque;
+
+use opennf_packet::Packet;
+use opennf_sim::{Ctx, Dur, Node, NodeId};
+
+use crate::config::NetConfig;
+use crate::msg::Msg;
+
+/// Replays `(time, packet)` pairs toward the switch. Packets are released
+/// one self-timer at a time so arbitrarily long traces don't preload the
+/// event queue.
+pub struct HostNode {
+    sw: NodeId,
+    cfg: NetConfig,
+    /// Remaining schedule, ascending by time (ns since sim start).
+    schedule: VecDeque<(u64, Packet)>,
+    /// Packets injected so far.
+    pub sent: u64,
+}
+
+impl HostNode {
+    /// Creates a host that will replay `schedule` (must be sorted by time).
+    pub fn new(sw: NodeId, cfg: NetConfig, schedule: Vec<(u64, Packet)>) -> Self {
+        debug_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0), "schedule must be sorted");
+        HostNode { sw, cfg, schedule: schedule.into(), sent: 0 }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Send everything due now; then arm a timer for the next instant.
+        while let Some((t, _)) = self.schedule.front() {
+            let due = *t;
+            if due > ctx.now().as_nanos() {
+                ctx.send_self(
+                    Dur::nanos(due - ctx.now().as_nanos()),
+                    Msg::Timer { op: crate::msg::OpId(0), tag: 0 },
+                );
+                return;
+            }
+            let (_, mut pkt) = self.schedule.pop_front().unwrap();
+            pkt.ingress_ns = ctx.now().as_nanos();
+            self.sent += 1;
+            ctx.send(self.sw, self.cfg.host_to_sw, Msg::Packet(pkt));
+        }
+    }
+}
+
+impl Node<Msg> for HostNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        debug_assert!(matches!(msg, Msg::Timer { .. }), "host only expects timers");
+        self.pump(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+    use opennf_sim::Engine;
+
+    struct Recorder {
+        got: Vec<(u64, u64)>,
+    }
+
+    impl Node<Msg> for Recorder {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: NodeId, msg: Msg) {
+            if let Msg::Packet(p) = msg {
+                self.got.push((ctx.now().as_nanos(), p.uid));
+            }
+        }
+    }
+
+    fn pkt(uid: u64) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), 1, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .build()
+    }
+
+    #[test]
+    fn replays_schedule_at_times() {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let rec = eng.add_node(Box::new(Recorder { got: Vec::new() }));
+        let schedule = vec![
+            (0, pkt(1)),
+            (1_000_000, pkt(2)),
+            (1_000_000, pkt(3)),
+            (5_000_000, pkt(4)),
+        ];
+        let host = HostNode::new(rec, NetConfig::default(), schedule);
+        let h = eng.add_node(Box::new(host));
+        eng.run_to_completion(100);
+        let r: &Recorder = eng.node(rec);
+        let latency = NetConfig::default().host_to_sw.as_nanos();
+        assert_eq!(
+            r.got,
+            vec![
+                (latency, 1),
+                (1_000_000 + latency, 2),
+                (1_000_000 + latency, 3),
+                (5_000_000 + latency, 4)
+            ]
+        );
+        let hn: &HostNode = eng.node(h);
+        assert_eq!(hn.sent, 4);
+    }
+
+    #[test]
+    fn ingress_timestamp_set_at_send() {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        struct Check {
+            ok: bool,
+        }
+        impl Node<Msg> for Check {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, msg: Msg) {
+                if let Msg::Packet(p) = msg {
+                    self.ok = p.ingress_ns == 2_000_000;
+                }
+            }
+        }
+        let rec = eng.add_node(Box::new(Check { ok: false }));
+        let host = HostNode::new(rec, NetConfig::default(), vec![(2_000_000, pkt(1))]);
+        eng.add_node(Box::new(host));
+        eng.run_to_completion(100);
+        let c: &Check = eng.node(rec);
+        assert!(c.ok);
+    }
+}

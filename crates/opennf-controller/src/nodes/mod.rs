@@ -1,0 +1,5 @@
+//! Simulation nodes: the SDN switch, NF instances, and traffic sources.
+
+pub mod host;
+pub mod nf_node;
+pub mod switch;

@@ -1,0 +1,668 @@
+//! The NF instance node: wraps an [`EventedNf`] with the virtual-time cost
+//! model — packet-processing occupancy, chunk-at-a-time export
+//! (serialization thread), import queue, and the per-flow locking that the
+//! late-locking optimization manipulates.
+
+use std::collections::{HashMap, VecDeque};
+
+use opennf_nf::{Chunk, CostModel, EventedNf, HandleOutcome, NetworkFunction, Scope};
+use opennf_packet::{Filter, FlowId, Packet};
+use opennf_sim::{Ctx, Dur, Node, NodeId, Time};
+
+use crate::config::NetConfig;
+use crate::msg::{Msg, OpId, SbCall, SbReply};
+
+/// Per-processed-packet record, the raw material for the latency metrics
+/// of Figures 10(b) and 11.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcRecord {
+    /// Packet uid.
+    pub uid: u64,
+    /// When the packet first entered the network (virtual ns).
+    pub ingress_ns: u64,
+    /// When processing completed at this instance (virtual ns).
+    pub done_ns: u64,
+    /// The packet took a detour through the controller (event replay or
+    /// share-injection) — these are the packets a move delays.
+    pub via_controller: bool,
+    /// The packet was held in this instance's event buffer and released at
+    /// `disableEvents` (order-preserving moves).
+    pub from_buffer: bool,
+}
+
+enum ExportScope {
+    Per,
+    Multi,
+}
+
+struct ExportTask {
+    scope: ExportScope,
+    filter: Filter,
+    pending: VecDeque<FlowId>,
+    exported: std::collections::HashSet<FlowId>,
+    relists: u32,
+    stream: bool,
+    late_lock: bool,
+    collected: Vec<Chunk>,
+    in_flight: Option<(FlowId, Vec<Chunk>)>,
+    in_flight_done: Time,
+}
+
+/// Cap on re-list rounds at export end — state created *during* an export
+/// is picked up (the NF "furnishes all state matching a filter", §3,
+/// including state allocated while it gathers), but a live workload must
+/// not keep an export open forever.
+const MAX_RELISTS: u32 = 16;
+
+const TAG_EXPORT_STEP: u32 = 1;
+
+/// An NF instance in the simulation.
+pub struct NfNode {
+    /// Display name (`"prads1"`, `"bro2"`, …).
+    pub name: &'static str,
+    harness: EventedNf,
+    cost: CostModel,
+    cfg: NetConfig,
+    ctrl: NodeId,
+    /// Packet-path occupancy.
+    proc_busy: Time,
+    /// Import-path occupancy.
+    import_busy: Time,
+    /// Uplink (NF → controller) occupancy: keeps southbound replies FIFO
+    /// and models transfer time of bulk state.
+    uplink_busy: Time,
+    exports: HashMap<OpId, ExportTask>,
+    /// Per-packet processing records.
+    pub records: Vec<ProcRecord>,
+    /// Sum of chunk bytes exported (reports).
+    pub bytes_exported: u64,
+    /// Sum of chunk bytes imported.
+    pub bytes_imported: u64,
+    /// Archive of every log record the NF emitted (drained continuously
+    /// so alerts can be forwarded; tests read this instead of the NF).
+    pub logs: Vec<opennf_nf::LogRecord>,
+}
+
+impl NfNode {
+    /// Wraps `nf` as a simulation node.
+    pub fn new(
+        name: &'static str,
+        nf: Box<dyn NetworkFunction>,
+        cfg: NetConfig,
+        ctrl: NodeId,
+    ) -> Self {
+        let cost = nf.cost_model();
+        NfNode {
+            name,
+            harness: EventedNf::new(nf),
+            cost,
+            cfg,
+            ctrl,
+            proc_busy: Time::ZERO,
+            import_busy: Time::ZERO,
+            uplink_busy: Time::ZERO,
+            exports: HashMap::new(),
+            records: Vec::new(),
+            bytes_exported: 0,
+            bytes_imported: 0,
+            logs: Vec::new(),
+        }
+    }
+
+    /// The wrapped harness (drop counts, processed logs).
+    pub fn harness(&self) -> &EventedNf {
+        &self.harness
+    }
+
+    /// Mutable harness access (tests and baselines).
+    pub fn harness_mut(&mut self) -> &mut EventedNf {
+        &mut self.harness
+    }
+
+    /// Downcasts the wrapped NF to a concrete type.
+    pub fn nf_as<T: 'static>(&self) -> &T {
+        let any: &dyn std::any::Any = self.harness.nf();
+        any.downcast_ref::<T>().expect("NF type mismatch")
+    }
+
+    /// Uids processed, in processing order (oracle input).
+    pub fn processed_log(&self) -> &[u64] {
+        self.harness.processed_log()
+    }
+
+    /// Whether an export is currently serializing (contention).
+    fn exporting(&self) -> bool {
+        !self.exports.is_empty()
+    }
+
+    fn schedule_processing(&mut self, ctx: &mut Ctx<'_, Msg>, pkt: &Packet, from_buffer: bool) {
+        let mut start = ctx.now().max(self.proc_busy);
+        // Per-connection lock: a packet whose own flow is mid-serialization
+        // waits for the chunk to finish (the mutex §7 adds to Bro).
+        for task in self.exports.values() {
+            if let Some((flow, _)) = &task.in_flight {
+                if *flow == pkt.flow_id() && task.in_flight_done > start {
+                    start = task.in_flight_done;
+                }
+            }
+        }
+        let done = start + self.cost.packet_cost(self.exporting());
+        self.proc_busy = done;
+        self.records.push(ProcRecord {
+            uid: pkt.uid,
+            ingress_ns: pkt.ingress_ns,
+            done_ns: done.as_nanos(),
+            via_controller: pkt.do_not_buffer || pkt.do_not_drop,
+            from_buffer,
+        });
+    }
+
+    /// Drains NF logs into the archive, forwarding alerts to the
+    /// controller for control applications (§6).
+    fn flush_logs(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let drained = self.harness.nf_mut().drain_logs();
+        for record in drained {
+            if record.kind.starts_with("alert.") {
+                ctx.send(self.ctrl, self.cfg.ctrl_to_nf, Msg::Alert { record: record.clone() });
+            }
+            self.logs.push(record);
+        }
+    }
+
+    /// Log records of a given kind (test/report helper).
+    pub fn logs_of(&self, kind: &str) -> Vec<&opennf_nf::LogRecord> {
+        self.logs.iter().filter(|l| l.kind == kind).collect()
+    }
+
+    /// Sends a message up to the controller over the (FIFO, finite-rate)
+    /// southbound channel. `bytes` occupies the uplink for its transfer
+    /// time, so a small message can never overtake a large one.
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, Msg>, bytes: usize, msg: Msg) {
+        let start = ctx.now().max(self.uplink_busy);
+        let done = start + self.cfg.transfer_time(bytes);
+        self.uplink_busy = done;
+        ctx.send(self.ctrl, (done - ctx.now()) + self.cfg.ctrl_to_nf, msg);
+    }
+
+    fn begin_export(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op: OpId,
+        scope: ExportScope,
+        filter: &Filter,
+        stream: bool,
+        late_lock: bool,
+    ) {
+        let pending: VecDeque<FlowId> = match scope {
+            ExportScope::Per => self.harness.nf().list_perflow(filter).into(),
+            ExportScope::Multi => self.harness.nf().list_multiflow(filter).into(),
+        };
+        let task = ExportTask {
+            scope,
+            filter: *filter,
+            pending,
+            exported: std::collections::HashSet::new(),
+            relists: 0,
+            stream,
+            late_lock,
+            collected: Vec::new(),
+            in_flight: None,
+            in_flight_done: Time::ZERO,
+        };
+        self.exports.insert(op, task);
+        // Kick the serialization loop.
+        ctx.send_self(Dur::ZERO, Msg::Timer { op, tag: TAG_EXPORT_STEP });
+    }
+
+    fn export_step(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId) {
+        // Phase 1: the chunk that was serializing finishes now.
+        let finished = {
+            let Some(task) = self.exports.get_mut(&op) else {
+                return;
+            };
+            task.in_flight.take().map(|(_flow, chunks)| (chunks, task.stream))
+        };
+        if let Some((chunks, stream)) = finished {
+            let bytes: usize = chunks.iter().map(Chunk::len).sum();
+            self.bytes_exported += bytes as u64;
+            if stream {
+                for chunk in chunks {
+                    let bytes = chunk.len();
+                    self.send_ctrl(
+                        ctx,
+                        bytes,
+                        Msg::SbAck {
+                            op,
+                            reply: SbReply::ChunkStream { chunk: Some(chunk), last: false },
+                        },
+                    );
+                }
+            } else {
+                self.exports.get_mut(&op).unwrap().collected.extend(chunks);
+            }
+        }
+        // Phase 2: start serializing the next flow, or finish the export.
+        // When the pending list drains, re-list once more: state created
+        // while the export ran still matches the filter and must ship.
+        let next = {
+            let Some(task) = self.exports.get_mut(&op) else {
+                return;
+            };
+            if task.pending.is_empty() && task.relists < MAX_RELISTS {
+                task.relists += 1;
+                let fresh: Vec<FlowId> = match task.scope {
+                    ExportScope::Per => self.harness.nf().list_perflow(&task.filter),
+                    ExportScope::Multi => self.harness.nf().list_multiflow(&task.filter),
+                };
+                let task = self.exports.get_mut(&op).unwrap();
+                for id in fresh {
+                    if !task.exported.contains(&id) {
+                        task.pending.push_back(id);
+                    }
+                }
+            }
+            let task = self.exports.get_mut(&op).unwrap();
+            task.pending.pop_front().map(|f| (f, task.late_lock, matches!(task.scope, ExportScope::Per)))
+        };
+        match next {
+            Some((flow_id, late_lock, scope_is_per)) => {
+                let flow_filter = Filter::from_flow_id(flow_id);
+                if late_lock && scope_is_per {
+                    // Late-locking (ER): lock this flow only now — further
+                    // packets of the flow raise drop-events.
+                    self.harness.enable_events(flow_filter, opennf_nf::EventAction::Drop);
+                }
+                // Capture the state at serialization start (updates to
+                // other flows continue meanwhile).
+                let chunks = if scope_is_per {
+                    self.harness.nf_mut().get_perflow(&flow_filter)
+                } else {
+                    self.harness.nf_mut().get_multiflow(&flow_filter)
+                };
+                let bytes: usize = chunks.iter().map(Chunk::len).sum();
+                let cost = self.cost.get_chunk(bytes.max(1));
+                let task = self.exports.get_mut(&op).unwrap();
+                task.exported.insert(flow_id);
+                task.in_flight = Some((flow_id, chunks));
+                task.in_flight_done = ctx.now() + cost;
+                ctx.send_self(cost, Msg::Timer { op, tag: TAG_EXPORT_STEP });
+            }
+            None => {
+                // Export complete.
+                let task = self.exports.remove(&op).unwrap();
+                if task.stream {
+                    // Explicit end-of-stream marker; data chunks always
+                    // carry `last: false` so an empty final flow cannot
+                    // leave the stream unterminated. Same FIFO uplink, so
+                    // it cannot overtake the data.
+                    self.send_ctrl(
+                        ctx,
+                        0,
+                        Msg::SbAck {
+                            op,
+                            reply: SbReply::ChunkStream { chunk: None, last: true },
+                        },
+                    );
+                } else {
+                    let chunks = task.collected;
+                    let bytes: usize = chunks.iter().map(Chunk::len).sum();
+                    self.send_ctrl(ctx, bytes, Msg::SbAck { op, reply: SbReply::Chunks { chunks } });
+                }
+            }
+        }
+    }
+
+    fn handle_sb(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId, call: SbCall) {
+        match call {
+            SbCall::GetPerflow { filter, stream, late_lock } => {
+                self.begin_export(ctx, op, ExportScope::Per, &filter, stream, late_lock);
+            }
+            SbCall::GetMultiflow { filter, stream } => {
+                self.begin_export(ctx, op, ExportScope::Multi, &filter, stream, false);
+            }
+            SbCall::GetAllflows => {
+                let chunks = self.harness.nf_mut().get_allflows();
+                let bytes: usize = chunks.iter().map(Chunk::len).sum();
+                self.bytes_exported += bytes as u64;
+                let cost = self.cost.get_chunk(bytes.max(1));
+                // Serialization cost occupies the uplink start.
+                self.uplink_busy = self.uplink_busy.max(ctx.now() + cost);
+                self.send_ctrl(ctx, bytes, Msg::SbAck { op, reply: SbReply::Chunks { chunks } });
+            }
+            SbCall::PutChunk { chunk } => {
+                let bytes = chunk.len();
+                self.bytes_imported += bytes as u64;
+                let flow_id = chunk.flow_id;
+                let start = ctx.now().max(self.import_busy);
+                let done = start + self.cost.put_chunk(bytes.max(1));
+                self.import_busy = done;
+                let res = match chunk.scope {
+                    Scope::PerFlow => self.harness.nf_mut().put_perflow(vec![chunk]),
+                    Scope::MultiFlow => self.harness.nf_mut().put_multiflow(vec![chunk]),
+                    Scope::AllFlows => self.harness.nf_mut().put_allflows(vec![chunk]),
+                };
+                debug_assert!(res.is_ok(), "put failed: {res:?}");
+                ctx.send(
+                    self.ctrl,
+                    (done - ctx.now()) + self.cfg.ctrl_to_nf,
+                    Msg::SbAck { op, reply: SbReply::ChunkImported { flow_id } },
+                );
+            }
+            SbCall::PutPerflow { chunks }
+            | SbCall::PutMultiflow { chunks }
+            | SbCall::PutAllflows { chunks } => {
+                let bytes: usize = chunks.iter().map(Chunk::len).sum();
+                self.bytes_imported += bytes as u64;
+                let mut cost = Dur::ZERO;
+                for c in &chunks {
+                    cost += self.cost.put_chunk(c.len().max(1));
+                }
+                let start = ctx.now().max(self.import_busy);
+                let done = start + cost;
+                self.import_busy = done;
+                // Dispatch by scope per chunk (bulk calls may mix).
+                let mut per = Vec::new();
+                let mut multi = Vec::new();
+                let mut all = Vec::new();
+                for c in chunks {
+                    match c.scope {
+                        Scope::PerFlow => per.push(c),
+                        Scope::MultiFlow => multi.push(c),
+                        Scope::AllFlows => all.push(c),
+                    }
+                }
+                if !per.is_empty() {
+                    self.harness.nf_mut().put_perflow(per).expect("put_perflow");
+                }
+                if !multi.is_empty() {
+                    self.harness.nf_mut().put_multiflow(multi).expect("put_multiflow");
+                }
+                if !all.is_empty() {
+                    self.harness.nf_mut().put_allflows(all).expect("put_allflows");
+                }
+                ctx.send(
+                    self.ctrl,
+                    (done - ctx.now()) + self.cfg.ctrl_to_nf,
+                    Msg::SbAck { op, reply: SbReply::Done },
+                );
+            }
+            SbCall::DelPerflow { flow_ids } => {
+                self.harness.nf_mut().del_perflow(&flow_ids);
+                let cost = Dur::micros(5) * flow_ids.len().max(1) as u64;
+                ctx.send(self.ctrl, cost + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+            SbCall::DelMultiflow { flow_ids } => {
+                self.harness.nf_mut().del_multiflow(&flow_ids);
+                let cost = Dur::micros(5) * flow_ids.len().max(1) as u64;
+                ctx.send(self.ctrl, cost + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+            SbCall::EnableEvents { filter, action } => {
+                self.harness.enable_events(filter, action);
+                ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+            SbCall::DisableEvents { filter } => {
+                let released = self.harness.disable_events_release(&filter);
+                for pkt in released {
+                    self.harness.process_released(&pkt);
+                    self.schedule_processing(ctx, &pkt, true);
+                }
+                ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+            SbCall::AddDropFilter { filter } => {
+                self.harness.add_drop_filter(filter);
+                ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+            SbCall::RemoveDropFilter { filter } => {
+                self.harness.remove_drop_filter(&filter);
+                ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
+        }
+    }
+}
+
+impl Node<Msg> for NfNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Packet(pkt) => {
+                let (outcome, events) = self.harness.handle_packet(&pkt);
+                for ev in events {
+                    ctx.send(self.ctrl, self.cfg.ctrl_to_nf, Msg::Event(ev));
+                }
+                match outcome {
+                    HandleOutcome::Processed => self.schedule_processing(ctx, &pkt, false),
+                    HandleOutcome::Buffered => ctx.counters().inc("nf.buffered"),
+                    HandleOutcome::Dropped | HandleOutcome::DroppedSilently => {
+                        ctx.counters().inc("nf.dropped")
+                    }
+                    HandleOutcome::Faulted => ctx.counters().inc("nf.faulted"),
+                }
+            }
+            Msg::Sb { op, call } => self.handle_sb(ctx, op, call),
+            Msg::Timer { op, tag } if tag == TAG_EXPORT_STEP => self.export_step(ctx, op),
+            other => debug_assert!(false, "nf {}: unexpected message {other:?}", self.name),
+        }
+        self.flush_logs(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_nfs::AssetMonitor;
+    use opennf_packet::{FlowKey, TcpFlags};
+    use opennf_sim::Engine;
+
+    /// Records controller-bound messages.
+    struct CtrlStub {
+        chunks: Vec<(bool, usize)>, // (last, size)
+        imported: u64,
+        events: u64,
+        done: u64,
+        bulk: Vec<usize>, // bulk reply chunk counts
+        last_ack_time: u64,
+    }
+
+    impl CtrlStub {
+        fn new() -> Self {
+            CtrlStub { chunks: Vec::new(), imported: 0, events: 0, done: 0, bulk: Vec::new(), last_ack_time: 0 }
+        }
+    }
+
+    impl Node<Msg> for CtrlStub {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: NodeId, msg: Msg) {
+            self.last_ack_time = ctx.now().as_nanos();
+            match msg {
+                Msg::SbAck { reply, .. } => match reply {
+                    SbReply::ChunkStream { chunk, last } => {
+                        self.chunks.push((last, chunk.map(|c| c.len()).unwrap_or(0)))
+                    }
+                    SbReply::ChunkImported { .. } => self.imported += 1,
+                    SbReply::Chunks { chunks } => self.bulk.push(chunks.len()),
+                    SbReply::Done => self.done += 1,
+                },
+                Msg::Event(_) => self.events += 1,
+                _ => {}
+            }
+        }
+    }
+
+    fn syn(uid: u64, sport: u16) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), sport, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .flags(TcpFlags::SYN)
+        .ingress_ns(0)
+        .build()
+    }
+
+    fn build() -> (Engine<Msg>, NodeId, NodeId) {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let ctrl = eng.add_node(Box::new(CtrlStub::new()));
+        let nf = NfNode::new("m1", Box::new(AssetMonitor::new()), NetConfig::default(), ctrl);
+        let nfid = eng.add_node(Box::new(nf));
+        (eng, nfid, ctrl)
+    }
+
+    #[test]
+    fn packets_build_state_and_records() {
+        let (mut eng, nf, _) = build();
+        for i in 0..5 {
+            eng.inject(nf, Dur::micros(i * 10), Msg::Packet(syn(i, 4000 + i as u16)));
+        }
+        eng.run_to_completion(1000);
+        let n: &NfNode = eng.node(nf);
+        assert_eq!(n.records.len(), 5);
+        assert_eq!(n.nf_as::<AssetMonitor>().conn_count(), 5);
+        // Packets 10us apart but processing takes 120us: queueing delays.
+        assert!(n.records[4].done_ns >= 5 * 120_000);
+    }
+
+    #[test]
+    fn streamed_export_delivers_chunks_with_last_marker() {
+        let (mut eng, nf, ctrl) = build();
+        for i in 0..3 {
+            eng.inject(nf, Dur::ZERO, Msg::Packet(syn(i, 4000 + i as u16)));
+        }
+        eng.run_until(opennf_sim::Time::ZERO + Dur::millis(1));
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb {
+                op: OpId(1),
+                call: SbCall::GetPerflow { filter: Filter::any(), stream: true, late_lock: false },
+            },
+        );
+        eng.run_to_completion(1000);
+        let c: &CtrlStub = eng.node(ctrl);
+        assert_eq!(c.chunks.len(), 4, "3 data chunks + end-of-stream marker");
+        assert_eq!(c.chunks.iter().filter(|(last, _)| *last).count(), 1);
+        assert_eq!(*c.chunks.last().unwrap(), (true, 0), "explicit end marker");
+        // ~200B chunks cost ≈178us each to serialize: total ≥ 500us.
+        assert!(c.last_ack_time > 500_000);
+    }
+
+    #[test]
+    fn bulk_export_returns_one_reply() {
+        let (mut eng, nf, ctrl) = build();
+        for i in 0..3 {
+            eng.inject(nf, Dur::ZERO, Msg::Packet(syn(i, 4000 + i as u16)));
+        }
+        eng.run_until(opennf_sim::Time::ZERO + Dur::millis(1));
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb {
+                op: OpId(1),
+                call: SbCall::GetPerflow { filter: Filter::any(), stream: false, late_lock: false },
+            },
+        );
+        eng.run_to_completion(1000);
+        let c: &CtrlStub = eng.node(ctrl);
+        assert_eq!(c.bulk, vec![3]);
+        assert!(c.chunks.is_empty());
+    }
+
+    #[test]
+    fn empty_streamed_export_closes_stream() {
+        let (mut eng, nf, ctrl) = build();
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb {
+                op: OpId(1),
+                call: SbCall::GetPerflow { filter: Filter::any(), stream: true, late_lock: false },
+            },
+        );
+        eng.run_to_completion(100);
+        let c: &CtrlStub = eng.node(ctrl);
+        assert_eq!(c.chunks, vec![(true, 0)]);
+    }
+
+    #[test]
+    fn late_lock_drops_and_events_only_after_flow_locked() {
+        let (mut eng, nf, ctrl) = build();
+        for i in 0..2 {
+            eng.inject(nf, Dur::ZERO, Msg::Packet(syn(i, 4000 + i as u16)));
+        }
+        eng.run_until(opennf_sim::Time::ZERO + Dur::millis(1));
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb {
+                op: OpId(1),
+                call: SbCall::GetPerflow { filter: Filter::any(), stream: true, late_lock: true },
+            },
+        );
+        // A packet for flow 4000 arriving immediately: flow 0's chunk is
+        // serializing (locked); packet raises a drop event.
+        eng.inject(nf, Dur::micros(10), Msg::Packet(syn(10, 4000)));
+        eng.run_to_completion(1000);
+        let c: &CtrlStub = eng.node(ctrl);
+        assert_eq!(c.events, 1, "locked flow raised an event");
+        let n: &NfNode = eng.node(nf);
+        assert_eq!(n.harness().drop_count(), 1);
+    }
+
+    #[test]
+    fn put_chunk_imports_and_acks() {
+        let (mut eng, nf, ctrl) = build();
+        // Produce a chunk from a sibling monitor.
+        let mut donor = AssetMonitor::new();
+        use opennf_nf::NetworkFunction as _;
+        donor.process_packet(&syn(1, 4000)).unwrap();
+        let chunks = donor.get_perflow(&Filter::any());
+        assert_eq!(chunks.len(), 1);
+        eng.inject(nf, Dur::ZERO, Msg::Sb { op: OpId(2), call: SbCall::PutChunk { chunk: chunks[0].clone() } });
+        eng.run_to_completion(100);
+        let c: &CtrlStub = eng.node(ctrl);
+        assert_eq!(c.imported, 1);
+        let n: &NfNode = eng.node(nf);
+        assert_eq!(n.nf_as::<AssetMonitor>().conn_count(), 1);
+        assert!(n.bytes_imported > 0);
+    }
+
+    #[test]
+    fn streamed_export_relists_flows_created_mid_export() {
+        // A flow that appears while the export is serializing must still
+        // ship (the NF "furnishes all state matching a filter", §3).
+        let (mut eng, nf, ctrl) = build();
+        for i in 0..3 {
+            eng.inject(nf, Dur::ZERO, Msg::Packet(syn(i, 4000 + i as u16)));
+        }
+        eng.run_until(opennf_sim::Time::ZERO + Dur::millis(1));
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb {
+                op: OpId(1),
+                call: SbCall::GetPerflow { filter: Filter::any(), stream: true, late_lock: false },
+            },
+        );
+        // New flow lands while chunk 1 of 3 is still serializing (~178 µs
+        // per chunk): it must be exported too.
+        eng.inject(nf, Dur::micros(250), Msg::Packet(syn(99, 4999)));
+        eng.run_to_completion(10_000);
+        let c: &CtrlStub = eng.node(ctrl);
+        let data_chunks = c.chunks.iter().filter(|(_, len)| *len > 0).count();
+        assert_eq!(data_chunks, 4, "relisting picked up the mid-export flow");
+    }
+
+    #[test]
+    fn disable_events_releases_buffered_in_order() {
+        let (mut eng, nf, _) = build();
+        let f = Filter::any();
+        eng.inject(
+            nf,
+            Dur::ZERO,
+            Msg::Sb { op: OpId(1), call: SbCall::EnableEvents { filter: f, action: opennf_nf::EventAction::Buffer } },
+        );
+        eng.inject(nf, Dur::micros(10), Msg::Packet(syn(1, 4000)));
+        eng.inject(nf, Dur::micros(20), Msg::Packet(syn(2, 4001)));
+        eng.inject(nf, Dur::millis(1), Msg::Sb { op: OpId(2), call: SbCall::DisableEvents { filter: f } });
+        eng.run_to_completion(1000);
+        let n: &NfNode = eng.node(nf);
+        assert_eq!(n.processed_log(), &[1, 2]);
+        assert!(n.records.iter().all(|r| r.from_buffer));
+    }
+}

@@ -1,0 +1,327 @@
+//! The SDN switch node: wraps the pure [`opennf_net::FlowTable`] with
+//! flow-mod latency, packet-out service, and the controller channel.
+
+use std::collections::BTreeMap;
+
+use opennf_net::{Action, FlowTable, PortRef, TraceRecorder};
+use opennf_sim::{Ctx, Node, NodeId, Time};
+
+use crate::config::NetConfig;
+use crate::msg::Msg;
+
+/// Marks a self-rescheduled FlowMod as "delay elapsed, install now".
+const PENDING_BIT: u32 = 0x8000_0000;
+
+/// One switch with a port per attached node.
+pub struct SwitchNode {
+    table: FlowTable,
+    /// port number → attached node.
+    ports: BTreeMap<u16, NodeId>,
+    /// attached node → port number (reverse map).
+    rports: BTreeMap<NodeId, u16>,
+    ctrl: NodeId,
+    cfg: NetConfig,
+    /// Packet-out control-plane queue occupancy.
+    pktout_busy_until: Time,
+    /// `(uid, conn)` of data packets in first-forwarding order — the
+    /// oracle's definition of "the order they were forwarded by the
+    /// switch".
+    pub forward_log: Vec<(u64, opennf_packet::ConnKey)>,
+    /// Packets that hit a Drop rule or missed the table.
+    pub dropped_at_switch: u64,
+    /// Total packet-outs serviced.
+    pub packet_outs: u64,
+    /// Optional packet-trace recorder (the smoltcp-style `--pcap` view of
+    /// everything the switch forwards). Disabled by default.
+    pub trace: TraceRecorder,
+}
+
+impl SwitchNode {
+    /// Creates a switch attached to `ctrl` with the given port map.
+    pub fn new(cfg: NetConfig, ctrl: NodeId, ports: BTreeMap<u16, NodeId>) -> Self {
+        let rports = ports.iter().map(|(p, n)| (*n, *p)).collect();
+        SwitchNode {
+            table: FlowTable::new(),
+            ports,
+            rports,
+            ctrl,
+            cfg,
+            pktout_busy_until: Time::ZERO,
+            forward_log: Vec::new(),
+            dropped_at_switch: 0,
+            packet_outs: 0,
+            trace: TraceRecorder::disabled(),
+        }
+    }
+
+    /// The flow table (inspection).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Installs a rule immediately (initial topology setup).
+    pub fn preinstall(&mut self, priority: u16, filter: opennf_packet::Filter, to: &[NodeId]) {
+        let action =
+            Action::Forward(to.iter().map(|n| PortRef::Port(self.rports[n])).collect());
+        self.table.install(priority, filter, action);
+    }
+
+    fn forward(&self, ctx: &mut Ctx<'_, Msg>, pkt: &opennf_packet::Packet, action: &Action) {
+        if let Action::Forward(ports) = action {
+            for p in ports {
+                match p {
+                    PortRef::Port(n) => {
+                        let node = self.ports[n];
+                        ctx.send(node, self.cfg.sw_to_nf, Msg::Packet(pkt.clone()));
+                    }
+                    PortRef::Controller => {
+                        ctx.send(self.ctrl, self.cfg.sw_to_ctrl, Msg::PacketIn(pkt.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Node<Msg> for SwitchNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Packet(pkt) => match self.table.apply(&pkt) {
+                Some((_rule, action)) => {
+                    if matches!(action, Action::Drop) {
+                        self.dropped_at_switch += 1;
+                        ctx.counters().inc("switch.dropped");
+                    } else {
+                        self.forward_log.push((pkt.uid, pkt.conn_key()));
+                        self.trace.record(ctx.now().as_nanos(), "sw.fwd", &pkt);
+                        self.forward(ctx, &pkt, &action);
+                    }
+                }
+                None => {
+                    self.dropped_at_switch += 1;
+                    ctx.counters().inc("switch.table_miss");
+                }
+            },
+            Msg::FlowMod { op, tag, priority, filter, to_nodes, to_controller } => {
+                if tag & PENDING_BIT == 0 {
+                    // First delivery: the rule takes effect only after the
+                    // TCAM update delay. Re-send to self with the pending
+                    // bit set; installation is atomic at effect time.
+                    ctx.send_self(
+                        self.cfg.flow_mod_delay,
+                        Msg::FlowMod {
+                            op,
+                            tag: tag | PENDING_BIT,
+                            priority,
+                            filter,
+                            to_nodes,
+                            to_controller,
+                        },
+                    );
+                } else {
+                    let tag = tag & !PENDING_BIT;
+                    let mut ports: Vec<PortRef> =
+                        to_nodes.iter().map(|n| PortRef::Port(self.rports[n])).collect();
+                    if to_controller {
+                        ports.push(PortRef::Controller);
+                    }
+                    let action = if ports.is_empty() { Action::Drop } else { Action::Forward(ports) };
+                    let rule = self.table.install(priority, filter, action);
+                    ctx.counters().inc("switch.flow_mods");
+                    ctx.send(self.ctrl, self.cfg.sw_to_ctrl, Msg::FlowModApplied { op, tag, rule });
+                }
+            }
+            Msg::PacketOut { packet, to } => {
+                // Packet-outs are serviced serially by the switch control
+                // plane — the §8.1.1 bottleneck at high packet rates.
+                self.packet_outs += 1;
+                self.trace.record(ctx.now().as_nanos(), "sw.pktout", &packet);
+                let start = self.pktout_busy_until.max(ctx.now());
+                let done = start + self.cfg.packet_out_service;
+                self.pktout_busy_until = done;
+                let delay = (done - ctx.now()) + self.cfg.sw_to_nf;
+                ctx.send(to, delay, Msg::Packet(packet));
+            }
+            Msg::CounterQuery { op, rule } => {
+                let packets = self.table.counters(rule).map(|(p, _)| p).unwrap_or(0);
+                ctx.send(self.ctrl, self.cfg.sw_to_ctrl, Msg::CounterReply { op, rule, packets });
+            }
+            other => debug_assert!(false, "switch: unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::OpId;
+    use opennf_packet::{Filter, FlowKey, Packet};
+    use opennf_sim::{Dur, Engine};
+
+    fn pkt(uid: u64) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), 1, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .build()
+    }
+
+    /// Sink node that records received packets with times.
+    pub struct Sink {
+        pub got: Vec<(u64, u64)>, // (time ns, uid)
+        pub acks: Vec<u32>,       // FlowModApplied tags
+    }
+
+    impl Sink {
+        fn new() -> Self {
+            Sink { got: Vec::new(), acks: Vec::new() }
+        }
+    }
+
+    impl Node<Msg> for Sink {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _f: NodeId, msg: Msg) {
+            match msg {
+                Msg::Packet(p) | Msg::PacketIn(p) => self.got.push((ctx.now().as_nanos(), p.uid)),
+                Msg::FlowModApplied { tag, .. } => self.acks.push(tag),
+                _ => {}
+            }
+        }
+    }
+
+    fn build() -> (Engine<Msg>, NodeId, NodeId, NodeId, NodeId) {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let sink1 = eng.add_node(Box::new(Sink::new()));
+        let sink2 = eng.add_node(Box::new(Sink::new()));
+        let ctrl = eng.add_node(Box::new(Sink::new())); // controller stand-in
+        let mut ports = BTreeMap::new();
+        ports.insert(1u16, sink1);
+        ports.insert(2u16, sink2);
+        let mut sw = SwitchNode::new(NetConfig::default(), ctrl, ports);
+        sw.preinstall(0, Filter::any(), &[sink1]);
+        let swid = eng.add_node(Box::new(sw));
+        (eng, swid, sink1, sink2, ctrl)
+    }
+
+    #[test]
+    fn forwards_by_table() {
+        let (mut eng, sw, sink1, _, _) = build();
+        eng.inject(sw, Dur::ZERO, Msg::Packet(pkt(1)));
+        eng.run_to_completion(100);
+        let s: &Sink = eng.node(sink1);
+        assert_eq!(s.got, vec![(Dur::micros(100).as_nanos(), 1)]);
+        let swn: &SwitchNode = eng.node(sw);
+        assert_eq!(swn.forward_log.len(), 1);
+        assert_eq!(swn.forward_log[0].0, 1);
+    }
+
+    #[test]
+    fn flow_mod_takes_effect_after_delay_and_acks() {
+        let (mut eng, sw, sink1, sink2, ctrl) = build();
+        eng.inject(
+            sw,
+            Dur::ZERO,
+            Msg::FlowMod {
+                op: OpId(1),
+                tag: 7,
+                priority: 10,
+                filter: Filter::any(),
+                to_nodes: vec![sink2],
+                to_controller: false,
+            },
+        );
+        eng.inject(sw, Dur::millis(1), Msg::Packet(pkt(1)));
+        eng.inject(sw, Dur::millis(60), Msg::Packet(pkt(2)));
+        eng.run_to_completion(100);
+        let s1: &Sink = eng.node(sink1);
+        let s2: &Sink = eng.node(sink2);
+        assert_eq!(s1.got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(s2.got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![2]);
+        let c: &Sink = eng.node(ctrl);
+        assert_eq!(c.acks, vec![7], "controller told the mod applied, original tag restored");
+    }
+
+    #[test]
+    fn two_phase_update_forwards_to_both_then_switches() {
+        let (mut eng, sw, sink1, sink2, ctrl) = build();
+        // Phase 1 at t=0 (applies after flow_mod_delay): {sink1, ctrl}.
+        eng.inject(
+            sw,
+            Dur::ZERO,
+            Msg::FlowMod {
+                op: OpId(1),
+                tag: 1,
+                priority: 5,
+                filter: Filter::any(),
+                to_nodes: vec![sink1],
+                to_controller: true,
+            },
+        );
+        // Phase 2 at t=60ms: sink2 at higher priority.
+        eng.inject(
+            sw,
+            Dur::millis(60),
+            Msg::FlowMod {
+                op: OpId(1),
+                tag: 2,
+                priority: 9,
+                filter: Filter::any(),
+                to_nodes: vec![sink2],
+                to_controller: false,
+            },
+        );
+        eng.inject(sw, Dur::millis(50), Msg::Packet(pkt(1))); // phase-1 window
+        eng.inject(sw, Dur::millis(120), Msg::Packet(pkt(2))); // after phase 2
+        eng.run_to_completion(100);
+        let s1: &Sink = eng.node(sink1);
+        let s2: &Sink = eng.node(sink2);
+        let c: &Sink = eng.node(ctrl);
+        assert_eq!(s1.got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(c.got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![1], "ctrl got the copy");
+        assert_eq!(s2.got.iter().map(|g| g.1).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn packet_out_rate_limited_and_ordered() {
+        let (mut eng, sw, _, sink2, _) = build();
+        for i in 0..10 {
+            eng.inject(sw, Dur::ZERO, Msg::PacketOut { packet: pkt(i), to: sink2 });
+        }
+        eng.run_to_completion(1000);
+        let s2: &Sink = eng.node(sink2);
+        assert_eq!(s2.got.len(), 10);
+        let last = s2.got.last().unwrap().0;
+        assert!(last >= Dur::micros(150 * 10).as_nanos(), "serial service: {last}");
+        let uids: Vec<u64> = s2.got.iter().map(|g| g.1).collect();
+        assert_eq!(uids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counter_query_replies() {
+        let (mut eng, sw, _, _, ctrl) = build();
+        eng.inject(sw, Dur::ZERO, Msg::Packet(pkt(1)));
+        eng.inject(sw, Dur::millis(1), Msg::Packet(pkt(2)));
+        eng.run_to_completion(100);
+        let rule = {
+            let swn: &SwitchNode = eng.node(sw);
+            swn.table().rules()[0].id
+        };
+        eng.inject(sw, Dur::ZERO, Msg::CounterQuery { op: OpId(9), rule });
+        eng.run_to_completion(100);
+        // The ctrl stand-in doesn't record CounterReply; check via table.
+        let swn: &SwitchNode = eng.node(sw);
+        assert_eq!(swn.table().counters(rule).unwrap().0, 2);
+        let _ = ctrl;
+    }
+
+    #[test]
+    fn unrouted_packet_counts_as_miss() {
+        let mut eng: Engine<Msg> = Engine::new(1);
+        let ctrl = eng.add_node(Box::new(Sink::new()));
+        let sw = SwitchNode::new(NetConfig::default(), ctrl, BTreeMap::new());
+        let swid = eng.add_node(Box::new(sw));
+        eng.inject(swid, Dur::ZERO, Msg::Packet(pkt(1)));
+        eng.run_to_completion(10);
+        let swn: &SwitchNode = eng.node(swid);
+        assert_eq!(swn.dropped_at_switch, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The `copy` operation (§5.2.1): clone state from one instance to
+//! another. No forwarding change, no deletion — the source keeps
+//! processing and updating its copy. Eventual consistency is the
+//! application's job (re-issue `copy`, typically from a `notify`
+//! callback or a timer), exactly as the paper prescribes.
+
+use std::collections::VecDeque;
+
+use opennf_sim::NodeId;
+
+use crate::msg::{OpId, SbCall, SbReply, ScopeSet};
+use crate::ops::report::OpReport;
+use crate::ops::OpCtx;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Per,
+    Multi,
+    All,
+}
+
+/// One in-flight `copy`.
+pub struct CopyOp {
+    /// Operation id.
+    pub id: OpId,
+    src: NodeId,
+    dst: NodeId,
+    filter: opennf_packet::Filter,
+    stages: VecDeque<Stage>,
+    cur: Option<Stage>,
+    parallel: bool,
+    export_done: bool,
+    pending_imports: usize,
+    pending_acks: usize,
+    /// The op's outcome report.
+    pub report: OpReport,
+}
+
+impl CopyOp {
+    /// Creates the op; call [`CopyOp::start`] next.
+    pub fn new(
+        id: OpId,
+        src: NodeId,
+        dst: NodeId,
+        filter: opennf_packet::Filter,
+        scope: ScopeSet,
+        parallel: bool,
+        now_ns: u64,
+    ) -> Self {
+        let mut stages = VecDeque::new();
+        if scope.multi_flow {
+            stages.push_back(Stage::Multi);
+        }
+        if scope.per_flow {
+            stages.push_back(Stage::Per);
+        }
+        if scope.all_flows {
+            stages.push_back(Stage::All);
+        }
+        CopyOp {
+            id,
+            src,
+            dst,
+            filter,
+            stages,
+            cur: None,
+            parallel,
+            export_done: false,
+            pending_imports: 0,
+            pending_acks: 0,
+            report: OpReport::new(id, "copy".into(), now_ns),
+        }
+    }
+
+    /// Source instance.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Kicks the operation off. Returns true if already complete (empty
+    /// scope).
+    pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.next_stage(o)
+    }
+
+    fn next_stage(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        match self.stages.pop_front() {
+            None => {
+                self.report.end_ns = o.now().as_nanos();
+                true
+            }
+            Some(stage) => {
+                self.cur = Some(stage);
+                self.export_done = false;
+                let call = match stage {
+                    Stage::Per => SbCall::GetPerflow {
+                        filter: self.filter,
+                        stream: self.parallel,
+                        late_lock: false,
+                    },
+                    Stage::Multi => {
+                        SbCall::GetMultiflow { filter: self.filter, stream: self.parallel }
+                    }
+                    Stage::All => SbCall::GetAllflows,
+                };
+                o.sb(self.src, self.id, call);
+                false
+            }
+        }
+    }
+
+    fn maybe_done(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        if self.export_done && self.pending_imports == 0 && self.pending_acks == 0 {
+            return self.next_stage(o);
+        }
+        false
+    }
+
+    /// Southbound ack dispatch. Returns true when the op is complete.
+    pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, reply: SbReply) -> bool {
+        match reply {
+            SbReply::ChunkStream { chunk, last } => {
+                if let Some(chunk) = chunk {
+                    self.report.chunks += 1;
+                    self.report.bytes += chunk.len() as u64;
+                    self.pending_imports += 1;
+                    o.sb(self.dst, self.id, SbCall::PutChunk { chunk });
+                }
+                if last {
+                    self.export_done = true;
+                }
+                self.maybe_done(o)
+            }
+            SbReply::Chunks { chunks } => {
+                self.export_done = true;
+                if chunks.is_empty() {
+                    return self.maybe_done(o);
+                }
+                for c in &chunks {
+                    self.report.chunks += 1;
+                    self.report.bytes += c.len() as u64;
+                }
+                self.pending_acks += 1;
+                let call = match self.cur {
+                    Some(Stage::Per) => SbCall::PutPerflow { chunks },
+                    Some(Stage::Multi) => SbCall::PutMultiflow { chunks },
+                    _ => SbCall::PutAllflows { chunks },
+                };
+                o.sb(self.dst, self.id, call);
+                false
+            }
+            SbReply::ChunkImported { .. } => {
+                self.pending_imports -= 1;
+                self.maybe_done(o)
+            }
+            SbReply::Done => {
+                self.pending_acks -= 1;
+                self.maybe_done(o)
+            }
+        }
+    }
+}

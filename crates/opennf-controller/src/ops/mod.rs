@@ -1,0 +1,56 @@
+//! Northbound operation state machines.
+//!
+//! Each operation (`move`, `copy`, `share`) is a state machine owned by
+//! the controller node and advanced by the messages it receives: southbound
+//! acks, NF events, packet-ins, flow-mod confirmations, counter replies,
+//! and timers. The machines never block; every wait in the paper's
+//! pseudo-code (Figure 6) is a state.
+
+pub mod copy_op;
+pub mod move_op;
+pub mod report;
+pub mod share_op;
+
+use opennf_sim::{Ctx, Dur, NodeId, Time};
+
+use crate::config::NetConfig;
+use crate::msg::{Msg, OpId, SbCall};
+
+/// What an op needs to act: the node context plus the controller's
+/// service-time offset (the controller is a serial CPU; every reaction to
+/// a message is delayed by the controller's busy time, which is how the
+/// Figure 13 scalability behaviour arises).
+pub struct OpCtx<'a, 'b> {
+    /// Raw simulation context.
+    pub ctx: &'a mut Ctx<'b, Msg>,
+    /// Cost/latency constants.
+    pub cfg: &'a NetConfig,
+    /// The switch.
+    pub sw: NodeId,
+    /// Controller service offset for this message.
+    pub off: Dur,
+}
+
+impl OpCtx<'_, '_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    /// Issues a southbound call.
+    pub fn sb(&mut self, inst: NodeId, op: OpId, call: SbCall) {
+        let d = self.off + self.cfg.ctrl_to_nf;
+        self.ctx.send(inst, d, Msg::Sb { op, call });
+    }
+
+    /// Sends a control message to the switch.
+    pub fn to_switch(&mut self, msg: Msg) {
+        let d = self.off + self.cfg.sw_to_ctrl;
+        self.ctx.send(self.sw, d, msg);
+    }
+
+    /// Arms a timer back to the controller.
+    pub fn timer(&mut self, op: OpId, tag: u32, delay: Dur) {
+        self.ctx.send_self(self.off + delay, Msg::Timer { op, tag });
+    }
+}

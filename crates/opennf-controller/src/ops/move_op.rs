@@ -1,0 +1,624 @@
+//! The `move` operation (§5.1): no-guarantee, loss-free, and loss-free +
+//! order-preserving variants, with the parallelize (PL) and early-release /
+//! late-locking (ER) optimizations of §5.1.3. The loss-free +
+//! order-preserving sequence follows Figure 6 line by line, including the
+//! two-phase forwarding update and the counter check of footnote 9.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use opennf_net::RuleId;
+use opennf_nf::{EventAction, NfEvent};
+use opennf_packet::{Filter, FlowId, Packet};
+use opennf_sim::NodeId;
+
+use crate::msg::{Msg, MoveProps, MoveVariant, OpId, SbCall, SbReply, ScopeSet};
+use crate::ops::report::OpReport;
+use crate::ops::OpCtx;
+
+/// Timer tags.
+const TAG_FIRST_PKT_TIMEOUT: u32 = 10;
+const TAG_COUNTER_POLL: u32 = 11;
+
+/// FlowMod tags.
+const FM_ROUTE: u32 = 1;
+const FM_OP_LOW: u32 = 2;
+const FM_OP_HIGH: u32 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Multi,
+    Per,
+    All,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the initial enableEvents / drop-filter ack.
+    Arming,
+    /// ER only: transfer drained; installing the *global* drop-event
+    /// filter at the source before a catch-up export round. Late-locking
+    /// only froze flows that existed when the export was listed; flows
+    /// created mid-move must be frozen and shipped too, or the source
+    /// would retain state and (for OP) the last-packet wait could hang on
+    /// events an unlocked flow never raises.
+    Sealing,
+    /// A stage's export/import is in flight.
+    Transferring,
+    /// NG/LF: route flow-mod sent, waiting for it to apply.
+    RouteUpdate,
+    /// OP: waiting for dst `enableEvents(filter, BUFFER)` ack (Fig. 6 l.22).
+    OpEnableDstBuffer,
+    /// OP: low-priority `{src, ctrl}` rule sent (l.23).
+    OpPhase1,
+    /// OP: waiting for ≥1 packet from the switch (l.24).
+    OpAwaitFirstPkt,
+    /// OP: high-priority `dst` rule sent (l.25).
+    OpPhase2,
+    /// OP: confirming via counters that the last packet reached us (fn. 9).
+    OpDrain,
+    /// OP: waiting for src's event for the last packet (l.26 first half).
+    OpAwaitSrcLast,
+    /// OP: waiting for dst's event for the last packet (l.26 second half).
+    OpAwaitDstLast,
+    /// OP: dst `disableEvents` sent (l.27).
+    OpDisablingDst,
+    /// Finished.
+    Done,
+}
+
+/// One in-flight `move`.
+pub struct MoveOp {
+    /// Operation id.
+    pub id: OpId,
+    src: NodeId,
+    dst: NodeId,
+    filter: Filter,
+    props: MoveProps,
+    /// Priorities allocated for this op's rules (low, high).
+    prio: (u16, u16),
+    phase: Phase,
+    stages: VecDeque<Stage>,
+    cur_stage: Option<Stage>,
+    export_done: bool,
+    pending_imports: usize,
+    pending_acks: usize,
+    exported_ids: Vec<FlowId>,
+    /// Event packets held while `shouldBufferEvents` (Fig. 6 l.2-3), in
+    /// arrival order.
+    buffered: Vec<Packet>,
+    /// ER: flows whose chunk has been imported; their events flow through.
+    released: HashSet<FlowId>,
+    /// ER: per-flow event buffers.
+    per_flow_buf: HashMap<FlowId, Vec<Packet>>,
+    flushed: bool,
+    /// ER: the global source lock has been installed (catch-up round ran).
+    sealed: bool,
+    /// ER: stage to repeat under the global lock.
+    seal_stage: Option<Stage>,
+    // Order-preserving bookkeeping.
+    low_rule: Option<RuleId>,
+    pkt_ins: u64,
+    last_pktin: Option<u64>,
+    forwarded_src_uids: HashSet<u64>,
+    dst_event_uids: HashSet<u64>,
+    /// The op's outcome report.
+    pub report: OpReport,
+    /// Set when the report has been collected; the op then lingers only to
+    /// forward late events until cleanup.
+    pub reported: bool,
+}
+
+impl MoveOp {
+    /// Creates the op; call [`MoveOp::start`] next.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: OpId,
+        src: NodeId,
+        dst: NodeId,
+        filter: Filter,
+        scope: ScopeSet,
+        props: MoveProps,
+        prio: (u16, u16),
+        now_ns: u64,
+    ) -> Self {
+        assert!(
+            !(props.early_release && scope.per_flow && scope.multi_flow),
+            "ER cannot be applied to a move involving both per-flow and multi-flow state (§5.1.3)"
+        );
+        let mut stages = VecDeque::new();
+        // Multi-flow state first (applications are told to provide
+        // multi-flow state before per-flow processing resumes, §5.2).
+        if scope.multi_flow {
+            stages.push_back(Stage::Multi);
+        }
+        if scope.per_flow {
+            stages.push_back(Stage::Per);
+        }
+        if scope.all_flows {
+            stages.push_back(Stage::All);
+        }
+        let kind = format!(
+            "move[{}{}{}]",
+            match props.variant {
+                MoveVariant::NoGuarantee => "NG",
+                MoveVariant::LossFree => "LF",
+                MoveVariant::LossFreeOrderPreserving => "LF+OP",
+            },
+            if props.parallel { " PL" } else { "" },
+            if props.early_release { "+ER" } else { "" },
+        );
+        MoveOp {
+            id,
+            src,
+            dst,
+            filter,
+            props,
+            prio,
+            phase: Phase::Arming,
+            stages,
+            cur_stage: None,
+            export_done: false,
+            pending_imports: 0,
+            pending_acks: 0,
+            exported_ids: Vec::new(),
+            buffered: Vec::new(),
+            released: HashSet::new(),
+            per_flow_buf: HashMap::new(),
+            flushed: false,
+            sealed: false,
+            seal_stage: None,
+            low_rule: None,
+            pkt_ins: 0,
+            last_pktin: None,
+            forwarded_src_uids: HashSet::new(),
+            dst_event_uids: HashSet::new(),
+            report: OpReport::new(id, kind, now_ns),
+            reported: false,
+        }
+    }
+
+    /// True once the move has finished (it may linger to forward late
+    /// events from packets that were in flight toward the source).
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Source instance.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination instance.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The flows being moved.
+    pub fn filter(&self) -> &Filter {
+        &self.filter
+    }
+
+    /// Kicks the operation off. Returns true if already complete.
+    pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        match self.props.variant {
+            MoveVariant::NoGuarantee => {
+                // Split/Merge behaviour: silently drop traffic at the
+                // source while state moves.
+                o.sb(self.src, self.id, SbCall::AddDropFilter { filter: self.filter });
+                self.phase = Phase::Arming;
+            }
+            MoveVariant::LossFree | MoveVariant::LossFreeOrderPreserving => {
+                if self.props.early_release {
+                    // Late-locking: flows lock one by one during export.
+                    return self.begin_stage(o);
+                }
+                o.sb(
+                    self.src,
+                    self.id,
+                    SbCall::EnableEvents { filter: self.filter, action: EventAction::Drop },
+                );
+                self.phase = Phase::Arming;
+            }
+        }
+        false
+    }
+
+    fn lossfree(&self) -> bool {
+        !matches!(self.props.variant, MoveVariant::NoGuarantee)
+    }
+
+    fn begin_stage(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        match self.stages.pop_front() {
+            None => {
+                if self.props.early_release && self.lossfree() && !self.sealed {
+                    // ER endgame: freeze everything at the source, then run
+                    // a catch-up export for state created mid-move.
+                    self.sealed = true;
+                    self.phase = Phase::Sealing;
+                    o.sb(
+                        self.src,
+                        self.id,
+                        SbCall::EnableEvents { filter: self.filter, action: EventAction::Drop },
+                    );
+                    return false;
+                }
+                self.after_transfer(o)
+            }
+            Some(stage) => {
+                self.cur_stage = Some(stage);
+                self.export_done = false;
+                self.phase = Phase::Transferring;
+                if self.seal_stage.is_none() {
+                    self.seal_stage = Some(stage);
+                }
+                let call = match stage {
+                    Stage::Per => SbCall::GetPerflow {
+                        filter: self.filter,
+                        stream: self.props.parallel,
+                        // No late-locking in the sealed catch-up round: the
+                        // global filter is already in place.
+                        late_lock: self.props.early_release && self.lossfree() && !self.sealed,
+                    },
+                    Stage::Multi => {
+                        SbCall::GetMultiflow { filter: self.filter, stream: self.props.parallel }
+                    }
+                    Stage::All => SbCall::GetAllflows,
+                };
+                o.sb(self.src, self.id, call);
+                false
+            }
+        }
+    }
+
+    fn stage_del_call(&self, stage: Stage) -> Option<SbCall> {
+        match stage {
+            Stage::Per => Some(SbCall::DelPerflow { flow_ids: self.exported_ids.clone() }),
+            Stage::Multi => Some(SbCall::DelMultiflow { flow_ids: self.exported_ids.clone() }),
+            // There is no delAllflows (§4.2).
+            Stage::All => None,
+        }
+    }
+
+    fn maybe_stage_done(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        if self.phase == Phase::Transferring
+            && self.export_done
+            && self.pending_imports == 0
+            && self.pending_acks == 0
+        {
+            self.cur_stage = None;
+            self.exported_ids.clear();
+            return self.begin_stage(o);
+        }
+        false
+    }
+
+    /// Flush controller-buffered events toward dst (Fig. 6 l.19-21) and
+    /// run the variant-specific endgame.
+    fn after_transfer(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        // Release everything still buffered, in arrival order.
+        let mut packets: Vec<Packet> = std::mem::take(&mut self.buffered);
+        // ER: any flows never released (e.g. flows that appeared after the
+        // export listing) flush now, in arrival order.
+        let mut rest: Vec<Packet> = std::mem::take(&mut self.per_flow_buf)
+            .into_values()
+            .flatten()
+            .collect();
+        rest.sort_by_key(|p| p.uid);
+        packets.extend(rest);
+        for mut pkt in packets {
+            pkt.do_not_buffer = true;
+            self.report.events_released += 1;
+            o.to_switch(Msg::PacketOut { packet: pkt, to: self.dst });
+        }
+        self.flushed = true;
+
+        match self.props.variant {
+            MoveVariant::NoGuarantee | MoveVariant::LossFree => {
+                o.to_switch(Msg::FlowMod {
+                    op: self.id,
+                    tag: FM_ROUTE,
+                    priority: self.prio.1,
+                    filter: self.filter,
+                    to_nodes: vec![self.dst],
+                    to_controller: false,
+                });
+                self.phase = Phase::RouteUpdate;
+            }
+            MoveVariant::LossFreeOrderPreserving => {
+                o.sb(
+                    self.dst,
+                    self.id,
+                    SbCall::EnableEvents { filter: self.filter, action: EventAction::Buffer },
+                );
+                self.phase = Phase::OpEnableDstBuffer;
+            }
+        }
+        false
+    }
+
+    fn complete(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.phase = Phase::Done;
+        self.report.end_ns = o.now().as_nanos();
+        // Deferred cleanup (§5.1.1: disabling source events is unnecessary
+        // for correctness; do it once in-flight traffic has surely drained).
+        let cleanup_delay = opennf_sim::Dur::millis(500);
+        match self.props.variant {
+            MoveVariant::NoGuarantee => {
+                o.ctx.send(
+                    self.src,
+                    cleanup_delay,
+                    Msg::Sb { op: self.id, call: SbCall::RemoveDropFilter { filter: self.filter } },
+                );
+            }
+            _ => {
+                o.ctx.send(
+                    self.src,
+                    cleanup_delay,
+                    Msg::Sb { op: self.id, call: SbCall::DisableEvents { filter: self.filter } },
+                );
+                if self.props.early_release {
+                    // Late-locked per-flow filters need individual removal.
+                    for id in self.released.iter() {
+                        o.ctx.send(
+                            self.src,
+                            cleanup_delay,
+                            Msg::Sb {
+                                op: self.id,
+                                call: SbCall::DisableEvents { filter: Filter::from_flow_id(*id) },
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Southbound ack dispatch. Returns true when the op is complete.
+    pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, reply: SbReply) -> bool {
+        match (self.phase, reply) {
+            (Phase::Arming, SbReply::Done) => self.begin_stage(o),
+            (Phase::Sealing, SbReply::Done) => {
+                // Global lock in place: catch-up round over the same stage.
+                if let Some(stage) = self.seal_stage {
+                    self.stages.push_back(stage);
+                }
+                self.begin_stage(o)
+            }
+            (Phase::Transferring, SbReply::ChunkStream { chunk, last }) => {
+                if let Some(chunk) = chunk {
+                    self.exported_ids.push(chunk.flow_id);
+                    self.report.chunks += 1;
+                    self.report.bytes += chunk.len() as u64;
+                    self.pending_imports += 1;
+                    o.sb(self.dst, self.id, SbCall::PutChunk { chunk });
+                }
+                if last {
+                    self.export_done = true;
+                    // get → del → put ordering (§5.1): delete at the source
+                    // once the export is complete.
+                    if let Some(del) = self.cur_stage.and_then(|s| self.stage_del_call(s)) {
+                        self.pending_acks += 1;
+                        o.sb(self.src, self.id, del);
+                    }
+                }
+                self.maybe_stage_done(o)
+            }
+            (Phase::Transferring, SbReply::Chunks { chunks }) => {
+                self.export_done = true;
+                for c in &chunks {
+                    self.exported_ids.push(c.flow_id);
+                    self.report.chunks += 1;
+                    self.report.bytes += c.len() as u64;
+                }
+                if let Some(del) = self.cur_stage.and_then(|s| self.stage_del_call(s)) {
+                    self.pending_acks += 1;
+                    o.sb(self.src, self.id, del);
+                }
+                if chunks.is_empty() {
+                    return self.maybe_stage_done(o);
+                }
+                self.pending_acks += 1;
+                let call = match self.cur_stage {
+                    Some(Stage::Per) => SbCall::PutPerflow { chunks },
+                    Some(Stage::Multi) => SbCall::PutMultiflow { chunks },
+                    _ => SbCall::PutAllflows { chunks },
+                };
+                o.sb(self.dst, self.id, call);
+                false
+            }
+            (Phase::Transferring, SbReply::ChunkImported { flow_id }) => {
+                self.pending_imports -= 1;
+                if self.props.early_release {
+                    // Early release: this flow's events can flow to dst now.
+                    self.released.insert(flow_id);
+                    if let Some(buf) = self.per_flow_buf.remove(&flow_id) {
+                        for mut pkt in buf {
+                            pkt.do_not_buffer = true;
+                            self.report.events_released += 1;
+                            o.to_switch(Msg::PacketOut { packet: pkt, to: self.dst });
+                        }
+                    }
+                }
+                self.maybe_stage_done(o)
+            }
+            (Phase::Transferring, SbReply::Done) => {
+                self.pending_acks -= 1;
+                self.maybe_stage_done(o)
+            }
+            (Phase::OpEnableDstBuffer, SbReply::Done) => {
+                // Fig. 6 l.23: low-priority rule to {src, ctrl}.
+                o.to_switch(Msg::FlowMod {
+                    op: self.id,
+                    tag: FM_OP_LOW,
+                    priority: self.prio.0,
+                    filter: self.filter,
+                    to_nodes: vec![self.src],
+                    to_controller: true,
+                });
+                self.phase = Phase::OpPhase1;
+                false
+            }
+            (Phase::OpDisablingDst, SbReply::Done) => self.complete(o),
+            // Late cleanup acks and benign races.
+            _ => false,
+        }
+    }
+
+    /// An event arrived from `from`. Returns true when the op is complete.
+    pub fn on_event(&mut self, o: &mut OpCtx<'_, '_>, from: NodeId, ev: &NfEvent) -> bool {
+        let NfEvent::Received(pkt) = ev else {
+            return false;
+        };
+        if from == self.src {
+            if !self.flushed {
+                self.report.events_buffered += 1;
+                if self.props.early_release {
+                    let fid = pkt.flow_id();
+                    if self.released.contains(&fid) {
+                        let mut p = pkt.clone();
+                        p.do_not_buffer = true;
+                        self.report.events_released += 1;
+                        o.to_switch(Msg::PacketOut { packet: p, to: self.dst });
+                    } else {
+                        self.per_flow_buf.entry(fid).or_default().push(pkt.clone());
+                    }
+                } else {
+                    self.buffered.push(pkt.clone());
+                }
+            } else {
+                // "Handled immediately in the same way" (§5.1.1).
+                let mut p = pkt.clone();
+                p.do_not_buffer = true;
+                self.report.events_released += 1;
+                self.forwarded_src_uids.insert(pkt.uid);
+                o.to_switch(Msg::PacketOut { packet: p, to: self.dst });
+                if self.phase == Phase::OpAwaitSrcLast {
+                    if let Some(last) = self.last_pktin {
+                        if self.forwarded_src_uids.contains(&last) {
+                            return self.advance_to_dst_wait(o);
+                        }
+                    }
+                }
+            }
+        } else if from == self.dst {
+            self.dst_event_uids.insert(pkt.uid);
+            if self.phase == Phase::OpAwaitDstLast {
+                if let Some(last) = self.last_pktin {
+                    if self.dst_event_uids.contains(&last) {
+                        return self.disable_dst(o);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn advance_to_dst_wait(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        if let Some(last) = self.last_pktin {
+            if self.dst_event_uids.contains(&last) {
+                return self.disable_dst(o);
+            }
+        }
+        self.phase = Phase::OpAwaitDstLast;
+        false
+    }
+
+    fn disable_dst(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        o.sb(self.dst, self.id, SbCall::DisableEvents { filter: self.filter });
+        self.phase = Phase::OpDisablingDst;
+        false
+    }
+
+    /// A packet-in matching this op's filter arrived (OP phase window).
+    pub fn on_packet_in(&mut self, o: &mut OpCtx<'_, '_>, pkt: &Packet) -> bool {
+        self.pkt_ins += 1;
+        self.report.packet_ins += 1;
+        self.last_pktin = Some(pkt.uid);
+        if self.phase == Phase::OpAwaitFirstPkt {
+            // Fig. 6 l.24-25: first packet seen — install the high rule.
+            o.to_switch(Msg::FlowMod {
+                op: self.id,
+                tag: FM_OP_HIGH,
+                priority: self.prio.1,
+                filter: self.filter,
+                to_nodes: vec![self.dst],
+                to_controller: false,
+            });
+            self.phase = Phase::OpPhase2;
+        }
+        false
+    }
+
+    /// A flow-mod for this op took effect.
+    pub fn on_flow_mod_applied(&mut self, o: &mut OpCtx<'_, '_>, tag: u32, rule: RuleId) -> bool {
+        match tag {
+            FM_ROUTE => self.complete(o),
+            FM_OP_LOW => {
+                self.low_rule = Some(rule);
+                self.phase = Phase::OpAwaitFirstPkt;
+                o.timer(self.id, TAG_FIRST_PKT_TIMEOUT, o.cfg.op_first_packet_timeout);
+                false
+            }
+            FM_OP_HIGH => {
+                self.phase = Phase::OpDrain;
+                if let Some(rule) = self.low_rule {
+                    o.to_switch(Msg::CounterQuery { op: self.id, rule });
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Counter read-back during the drain check (fn. 9).
+    pub fn on_counter_reply(&mut self, o: &mut OpCtx<'_, '_>, packets: u64) -> bool {
+        if self.phase != Phase::OpDrain {
+            return false;
+        }
+        if packets == self.pkt_ins {
+            // Everything the low rule forwarded has reached us.
+            match self.last_pktin {
+                None => self.disable_dst(o), // idle flows: nothing to order
+                Some(last) => {
+                    if self.forwarded_src_uids.contains(&last) {
+                        self.advance_to_dst_wait(o)
+                    } else {
+                        self.phase = Phase::OpAwaitSrcLast;
+                        false
+                    }
+                }
+            }
+        } else {
+            o.timer(self.id, TAG_COUNTER_POLL, o.cfg.counter_poll);
+            false
+        }
+    }
+
+    /// Timer dispatch.
+    pub fn on_timer(&mut self, o: &mut OpCtx<'_, '_>, tag: u32) -> bool {
+        match tag {
+            TAG_FIRST_PKT_TIMEOUT if self.phase == Phase::OpAwaitFirstPkt => {
+                // No traffic arrived for the moved flows; install the high
+                // rule and skip the ordering waits.
+                o.to_switch(Msg::FlowMod {
+                    op: self.id,
+                    tag: FM_OP_HIGH,
+                    priority: self.prio.1,
+                    filter: self.filter,
+                    to_nodes: vec![self.dst],
+                    to_controller: false,
+                });
+                self.phase = Phase::OpPhase2;
+                false
+            }
+            TAG_COUNTER_POLL if self.phase == Phase::OpDrain => {
+                if let Some(rule) = self.low_rule {
+                    o.to_switch(Msg::CounterQuery { op: self.id, rule });
+                }
+                false
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Per-operation outcome reports: what the experiment harnesses read.
+
+use crate::msg::OpId;
+
+/// Summary of one completed northbound operation.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Operation id.
+    pub op: OpId,
+    /// Human-readable kind, e.g. `"move[LF PL+ER]"`, `"copy"`.
+    pub kind: String,
+    /// Virtual start time (command receipt), ns.
+    pub start_ns: u64,
+    /// Virtual completion time, ns.
+    pub end_ns: u64,
+    /// State chunks transferred.
+    pub chunks: usize,
+    /// State bytes transferred.
+    pub bytes: u64,
+    /// Events buffered at the controller during the op.
+    pub events_buffered: usize,
+    /// Events forwarded to the destination via packet-out.
+    pub events_released: usize,
+    /// Packet-ins received (order-preserving phase window).
+    pub packet_ins: usize,
+}
+
+impl OpReport {
+    /// Creates an empty report started at `start_ns`.
+    pub fn new(op: OpId, kind: String, start_ns: u64) -> Self {
+        OpReport {
+            op,
+            kind,
+            start_ns,
+            end_ns: start_ns,
+            chunks: 0,
+            bytes: 0,
+            events_buffered: 0,
+            events_released: 0,
+            packet_ins: 0,
+        }
+    }
+
+    /// Operation duration in fractional milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ns.saturating_sub(self.start_ns)) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_computes() {
+        let mut r = OpReport::new(OpId(1), "move".into(), 1_000_000);
+        r.end_ns = 3_500_000;
+        assert!((r.duration_ms() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let r = OpReport::new(OpId(1), "move".into(), 5);
+        assert_eq!(r.duration_ms(), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The `share` operation (§5.2.2): keep state readable/updatable at
+//! several instances with strong or strict consistency.
+//!
+//! **Strong**: events are enabled with action=drop on every instance;
+//! state is initially synchronized; then, one packet at a time per flow
+//! group, the controller re-injects the packet (marked `do-not-drop`) at
+//! its original instance, waits for the completion event, pulls the
+//! updated state, and pushes it to every other instance.
+//!
+//! **Strict**: forwarding rules are replaced so matching packets come to
+//! the controller itself, which serializes them in switch-arrival order
+//! and runs the same inject → completion → sync cycle through a single
+//! global queue.
+//!
+//! Ack routing: the controller allocates op ids in a sparse namespace
+//! (multiples of 2²⁰); a share op uses offsets within its namespace to
+//! give every flow group its own southbound correlation id, so the
+//! fan-out acks of concurrent groups can never be confused.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use opennf_nf::NfEvent;
+use opennf_packet::{Filter, FlowId, Ipv4Prefix, Packet};
+use opennf_sim::NodeId;
+
+use crate::msg::{ConsistencyLevel, Msg, OpId, SbCall, SbReply, ScopeSet};
+use crate::ops::report::OpReport;
+use crate::ops::OpCtx;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// enableEvents acks outstanding.
+    Arming,
+    /// Initial state synchronization (gets, then puts).
+    InitialSync,
+    /// Normal operation: queues draining.
+    Running,
+}
+
+/// Per-flow-group serializer state.
+struct Group {
+    /// This group's southbound correlation id.
+    sub: OpId,
+    queue: VecDeque<(NodeId, Packet)>,
+    /// An inject → sync cycle is in flight.
+    busy: bool,
+    /// uid of the injected packet we are waiting on.
+    waiting_uid: Option<u64>,
+    /// Instance currently holding the write.
+    origin: Option<NodeId>,
+    /// Puts outstanding in the sync fan-out.
+    pending_puts: usize,
+}
+
+/// One in-flight `share` (runs until the experiment ends; the harness
+/// reads its counters afterwards).
+pub struct ShareOp {
+    /// Operation id (base of this op's id namespace).
+    pub id: OpId,
+    insts: Vec<NodeId>,
+    filter: Filter,
+    scope: ScopeSet,
+    consistency: ConsistencyLevel,
+    phase: Phase,
+    acks_outstanding: usize,
+    init_gets_outstanding: usize,
+    init_chunks: Vec<opennf_nf::Chunk>,
+    groups: HashMap<FlowId, Group>,
+    /// sub-id → group key.
+    sub_index: HashMap<OpId, FlowId>,
+    next_sub: u64,
+    /// Strict: pre-share routing (instance each flow belongs to).
+    route: Vec<(Filter, NodeId)>,
+    /// Packets fully synchronized so far.
+    pub packets_synced: u64,
+    /// The op's report (`end_ns` stays at start: shares don't complete).
+    pub report: OpReport,
+}
+
+impl ShareOp {
+    /// Creates the op; call [`ShareOp::start`] next. `route` is the
+    /// pre-share instance assignment, needed for strict-mode injection.
+    pub fn new(
+        id: OpId,
+        insts: Vec<NodeId>,
+        filter: Filter,
+        scope: ScopeSet,
+        consistency: ConsistencyLevel,
+        route: Vec<(Filter, NodeId)>,
+        now_ns: u64,
+    ) -> Self {
+        let kind = match consistency {
+            ConsistencyLevel::Strong => "share[strong]",
+            ConsistencyLevel::Strict => "share[strict]",
+        };
+        ShareOp {
+            id,
+            insts,
+            filter,
+            scope,
+            consistency,
+            phase: Phase::Arming,
+            acks_outstanding: 0,
+            init_gets_outstanding: 0,
+            init_chunks: Vec::new(),
+            groups: HashMap::new(),
+            sub_index: HashMap::new(),
+            next_sub: 1,
+            route,
+            packets_synced: 0,
+            report: OpReport::new(id, kind.into(), now_ns),
+        }
+    }
+
+    /// The instances sharing state.
+    pub fn instances(&self) -> &[NodeId] {
+        &self.insts
+    }
+
+    /// The share's filter.
+    pub fn filter(&self) -> &Filter {
+        &self.filter
+    }
+
+    /// Flow grouping: "flows are grouped based on the coarsest granularity
+    /// of state being shared" — the multi-flow state here is per-host, so
+    /// groups are the packet's source host. Strict mode uses one global
+    /// group (switch arrival order is total).
+    fn group_of(&self, pkt: &Packet) -> FlowId {
+        match self.consistency {
+            ConsistencyLevel::Strong => FlowId::host(pkt.src_ip()),
+            ConsistencyLevel::Strict => FlowId::default(),
+        }
+    }
+
+    fn group_filter(host: Option<Ipv4Addr>) -> Filter {
+        match host {
+            Some(ip) => Filter::from_src(Ipv4Prefix::host(ip)).bidi(),
+            None => Filter::any(),
+        }
+    }
+
+    fn group_entry(&mut self, gid: FlowId) -> &mut Group {
+        if !self.groups.contains_key(&gid) {
+            let sub = OpId(self.id.0 + self.next_sub);
+            self.next_sub += 1;
+            self.sub_index.insert(sub, gid);
+            self.groups.insert(
+                gid,
+                Group {
+                    sub,
+                    queue: VecDeque::new(),
+                    busy: false,
+                    waiting_uid: None,
+                    origin: None,
+                    pending_puts: 0,
+                },
+            );
+        }
+        self.groups.get_mut(&gid).unwrap()
+    }
+
+    /// Kicks the operation off.
+    pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
+        let action = match self.consistency {
+            ConsistencyLevel::Strong => opennf_nf::EventAction::Drop,
+            ConsistencyLevel::Strict => opennf_nf::EventAction::Process,
+        };
+        for inst in self.insts.clone() {
+            self.acks_outstanding += 1;
+            o.sb(inst, self.id, SbCall::EnableEvents { filter: self.filter, action });
+        }
+        if matches!(self.consistency, ConsistencyLevel::Strict) {
+            // Redirect all matching traffic to the controller itself.
+            o.to_switch(Msg::FlowMod {
+                op: self.id,
+                tag: 90,
+                priority: u16::MAX,
+                filter: self.filter,
+                to_nodes: vec![],
+                to_controller: true,
+            });
+        }
+    }
+
+    fn begin_initial_sync(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.phase = Phase::InitialSync;
+        for inst in self.insts.clone() {
+            if self.scope.multi_flow {
+                self.init_gets_outstanding += 1;
+                o.sb(inst, self.id, SbCall::GetMultiflow { filter: self.filter, stream: false });
+            }
+            if self.scope.all_flows {
+                self.init_gets_outstanding += 1;
+                o.sb(inst, self.id, SbCall::GetAllflows);
+            }
+        }
+        if self.init_gets_outstanding == 0 {
+            self.phase = Phase::Running;
+        }
+    }
+
+    fn finish_initial_sync(&mut self, o: &mut OpCtx<'_, '_>) {
+        // Push the union of everything gathered to every instance; NFs
+        // merge on import. (Experiments start shares before traffic, so
+        // this is usually empty.)
+        let chunks = std::mem::take(&mut self.init_chunks);
+        if !chunks.is_empty() {
+            for inst in self.insts.clone() {
+                self.acks_outstanding += 1;
+                o.sb(inst, self.id, SbCall::PutMultiflow { chunks: chunks.clone() });
+            }
+        }
+        self.phase = Phase::Running;
+    }
+
+    fn pump_group(&mut self, o: &mut OpCtx<'_, '_>, gid: FlowId) {
+        let Some(group) = self.groups.get_mut(&gid) else {
+            return;
+        };
+        if group.busy {
+            return;
+        }
+        let Some((origin, mut pkt)) = group.queue.pop_front() else {
+            return;
+        };
+        group.busy = true;
+        group.origin = Some(origin);
+        group.waiting_uid = Some(pkt.uid);
+        // Inject at the originating instance, marked so it is processed
+        // despite the drop-action event filter.
+        pkt.do_not_drop = true;
+        o.to_switch(Msg::PacketOut { packet: pkt, to: origin });
+    }
+
+    /// Event dispatch.
+    pub fn on_event(&mut self, o: &mut OpCtx<'_, '_>, from: NodeId, ev: &NfEvent) {
+        match ev {
+            NfEvent::Received(pkt) => {
+                if matches!(self.consistency, ConsistencyLevel::Strict) || pkt.do_not_drop {
+                    // Strict consumes packets via packet-in; a marked
+                    // packet is our own injection echoing back.
+                    return;
+                }
+                if self.phase != Phase::Running {
+                    // Packets racing the arming phase are dropped by the
+                    // NF (action=drop) and resync via the next sync cycle.
+                    return;
+                }
+                let gid = self.group_of(pkt);
+                self.group_entry(gid).queue.push_back((from, pkt.clone()));
+                self.pump_group(o, gid);
+            }
+            NfEvent::Processed(pkt) => {
+                let gid = self.group_of(pkt);
+                let ready = self
+                    .groups
+                    .get(&gid)
+                    .map(|g| g.busy && g.waiting_uid == Some(pkt.uid))
+                    .unwrap_or(false);
+                if ready {
+                    // Pull the updated state from the origin.
+                    let sub = self.groups[&gid].sub;
+                    let filter = match self.consistency {
+                        ConsistencyLevel::Strong => Self::group_filter(gid.nw_src),
+                        ConsistencyLevel::Strict => Self::group_filter(Some(pkt.src_ip())),
+                    };
+                    o.sb(from, sub, SbCall::GetMultiflow { filter, stream: false });
+                }
+            }
+        }
+    }
+
+    /// Strict mode: a matching packet arrived at the controller.
+    pub fn on_packet_in(&mut self, o: &mut OpCtx<'_, '_>, pkt: &Packet) {
+        if !matches!(self.consistency, ConsistencyLevel::Strict) {
+            return;
+        }
+        let inst = self
+            .route
+            .iter()
+            .find(|(f, _)| f.matches_packet(pkt))
+            .map(|(_, n)| *n)
+            .unwrap_or(self.insts[0]);
+        let gid = FlowId::default();
+        self.group_entry(gid).queue.push_back((inst, pkt.clone()));
+        self.pump_group(o, gid);
+    }
+
+    /// Southbound ack dispatch. `op` is the correlation id the reply came
+    /// back with (base id or a group sub-id).
+    pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, op: OpId, reply: SbReply) {
+        if op == self.id {
+            // Base-id control traffic: arming + initial sync.
+            match (self.phase, reply) {
+                (Phase::Arming, SbReply::Done) => {
+                    self.acks_outstanding -= 1;
+                    if self.acks_outstanding == 0 {
+                        self.begin_initial_sync(o);
+                    }
+                }
+                (Phase::InitialSync, SbReply::Chunks { chunks }) => {
+                    self.init_chunks.extend(chunks);
+                    self.init_gets_outstanding -= 1;
+                    if self.init_gets_outstanding == 0 {
+                        self.finish_initial_sync(o);
+                    }
+                }
+                (_, SbReply::Done) => {
+                    self.acks_outstanding = self.acks_outstanding.saturating_sub(1);
+                }
+                _ => {}
+            }
+            return;
+        }
+        // Group traffic.
+        let Some(gid) = self.sub_index.get(&op).copied() else {
+            return;
+        };
+        match reply {
+            SbReply::Chunks { chunks } => {
+                let origin = self.groups[&gid].origin;
+                let others: Vec<NodeId> =
+                    self.insts.iter().copied().filter(|i| Some(*i) != origin).collect();
+                if chunks.is_empty() || others.is_empty() {
+                    self.cycle_done(o, gid);
+                    return;
+                }
+                self.report.bytes += chunks.iter().map(|c| c.len() as u64).sum::<u64>();
+                self.report.chunks += chunks.len();
+                let sub = self.groups[&gid].sub;
+                self.groups.get_mut(&gid).unwrap().pending_puts = others.len();
+                for inst in others {
+                    o.sb(inst, sub, SbCall::PutMultiflow { chunks: chunks.clone() });
+                }
+            }
+            SbReply::Done => {
+                let group = self.groups.get_mut(&gid).expect("group");
+                if group.pending_puts > 0 {
+                    group.pending_puts -= 1;
+                    if group.pending_puts == 0 {
+                        self.cycle_done(o, gid);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn cycle_done(&mut self, o: &mut OpCtx<'_, '_>, gid: FlowId) {
+        let group = self.groups.get_mut(&gid).expect("group");
+        group.busy = false;
+        group.waiting_uid = None;
+        group.origin = None;
+        self.packets_synced += 1;
+        self.pump_group(o, gid);
+    }
+}

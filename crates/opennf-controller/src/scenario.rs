@@ -1,0 +1,258 @@
+//! Scenario builder: the standard evaluation topology of Figure 4 —
+//! traffic sources → one SDN switch → a set of NF instances, with the
+//! controller attached to the switch — plus the metric helpers every
+//! experiment shares.
+
+use std::collections::BTreeMap;
+
+use opennf_nf::NetworkFunction;
+use opennf_packet::{Filter, Packet};
+use opennf_sim::{Dur, Engine, NodeId, Time};
+use opennf_util::Summary;
+
+use crate::config::NetConfig;
+use crate::controller::{ControlApp, ControllerNode, NoopApp};
+use crate::guarantees::Oracle;
+use crate::msg::{Command, Msg};
+use crate::nodes::host::HostNode;
+use crate::nodes::nf_node::NfNode;
+use crate::nodes::switch::SwitchNode;
+
+/// Declarative description of a scenario.
+pub struct ScenarioBuilder {
+    cfg: NetConfig,
+    seed: u64,
+    app: Box<dyn ControlApp>,
+    nfs: Vec<(&'static str, Box<dyn NetworkFunction>)>,
+    schedules: Vec<Vec<(u64, Packet)>>,
+    routes: Vec<(u16, Filter, usize)>,
+    record_traffic: bool,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts an empty scenario with default config.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            cfg: NetConfig::default(),
+            seed: 1,
+            app: Box::new(NoopApp),
+            nfs: Vec::new(),
+            schedules: Vec::new(),
+            routes: Vec::new(),
+            record_traffic: false,
+        }
+    }
+
+    /// Overrides the network/cost configuration.
+    pub fn config(mut self, cfg: NetConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Hosts a control application on the controller.
+    pub fn app(mut self, app: Box<dyn ControlApp>) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Adds an NF instance; returns `self` (instances are indexed in
+    /// insertion order).
+    pub fn nf(mut self, name: &'static str, nf: Box<dyn NetworkFunction>) -> Self {
+        self.nfs.push((name, nf));
+        self
+    }
+
+    /// Adds a traffic source replaying `schedule` (sorted by time, ns).
+    pub fn host(mut self, schedule: Vec<(u64, Packet)>) -> Self {
+        self.schedules.push(schedule);
+        self
+    }
+
+    /// Preinstalls a route: `filter` → instance `idx` at `priority`.
+    pub fn route(mut self, priority: u16, filter: Filter, idx: usize) -> Self {
+        self.routes.push((priority, filter, idx));
+        self
+    }
+
+    /// Records every packet the switch forwards (inspect or dump via
+    /// `scenario.switch().trace` after the run).
+    pub fn record_traffic(mut self) -> Self {
+        self.record_traffic = true;
+        self
+    }
+
+    /// Builds the engine and nodes.
+    pub fn build(self) -> Scenario {
+        // Fixed id layout: ctrl=0, sw=1, instances, then hosts.
+        let ctrl_id = NodeId(0);
+        let sw_id = NodeId(1);
+        let n = self.nfs.len();
+        let inst_ids: Vec<NodeId> = (0..n).map(|i| NodeId(2 + i)).collect();
+        let host_ids: Vec<NodeId> = (0..self.schedules.len()).map(|i| NodeId(2 + n + i)).collect();
+
+        let mut engine: Engine<Msg> = Engine::new(self.seed);
+        let ctrl = ControllerNode::new(self.cfg, sw_id, self.app);
+        assert_eq!(engine.add_node(Box::new(ctrl)), ctrl_id);
+
+        let mut ports = BTreeMap::new();
+        for (i, id) in inst_ids.iter().enumerate() {
+            ports.insert(i as u16 + 1, *id);
+        }
+        let mut sw = SwitchNode::new(self.cfg, ctrl_id, ports);
+        if self.record_traffic {
+            sw.trace = opennf_net::TraceRecorder::enabled();
+        }
+        for (prio, filter, idx) in &self.routes {
+            sw.preinstall(*prio, *filter, &[inst_ids[*idx]]);
+        }
+        assert_eq!(engine.add_node(Box::new(sw)), sw_id);
+
+        for (name, nf) in self.nfs {
+            let node = NfNode::new(name, nf, self.cfg, ctrl_id);
+            engine.add_node(Box::new(node));
+        }
+        for schedule in self.schedules {
+            engine.add_node(Box::new(HostNode::new(sw_id, self.cfg, schedule)));
+        }
+
+        // Mirror preinstalled routes into the controller's shadow table
+        // (apps and strict shares consult it).
+        let shadow: Vec<(u16, Filter, NodeId)> = self
+            .routes
+            .iter()
+            .map(|(p, f, idx)| (*p, *f, inst_ids[*idx]))
+            .collect();
+        {
+            let c: &mut ControllerNode = engine.node_mut(ctrl_id);
+            for (p, f, inst) in shadow {
+                c.seed_route(p, f, inst);
+            }
+        }
+
+        Scenario { engine, cfg: self.cfg, ctrl: ctrl_id, sw: sw_id, instances: inst_ids, hosts: host_ids }
+    }
+}
+
+/// A built scenario: the engine plus the node handles and metric helpers.
+pub struct Scenario {
+    /// The simulation engine.
+    pub engine: Engine<Msg>,
+    /// Config in force.
+    pub cfg: NetConfig,
+    /// Controller node id.
+    pub ctrl: NodeId,
+    /// Switch node id.
+    pub sw: NodeId,
+    /// NF instance ids, in insertion order.
+    pub instances: Vec<NodeId>,
+    /// Host ids, in insertion order.
+    pub hosts: Vec<NodeId>,
+}
+
+impl Scenario {
+    /// Issues a northbound command at `at` (relative to now).
+    pub fn issue_at(&mut self, at: Dur, cmd: Command) {
+        self.engine.inject(self.ctrl, at, Msg::Command(cmd));
+    }
+
+    /// Runs until `deadline` (absolute virtual time).
+    pub fn run_until(&mut self, deadline: Time) {
+        self.engine.run_until(deadline);
+    }
+
+    /// Runs until the event queue drains (guard: 50M events).
+    pub fn run_to_completion(&mut self) {
+        self.engine.run_to_completion(50_000_000);
+    }
+
+    /// The controller.
+    pub fn controller(&self) -> &ControllerNode {
+        self.engine.node(self.ctrl)
+    }
+
+    /// The switch.
+    pub fn switch(&self) -> &SwitchNode {
+        self.engine.node(self.sw)
+    }
+
+    /// Instance `idx` as an [`NfNode`].
+    pub fn nf(&self, idx: usize) -> &NfNode {
+        self.engine.node(self.instances[idx])
+    }
+
+    /// Mutable instance access.
+    pub fn nf_mut(&mut self, idx: usize) -> &mut NfNode {
+        let id = self.instances[idx];
+        self.engine.node_mut(id)
+    }
+
+    /// Total packets dropped across instances (silent + event drops).
+    pub fn total_nf_drops(&self) -> usize {
+        self.instances
+            .iter()
+            .map(|id| {
+                let n: &NfNode = self.engine.node(*id);
+                n.harness().drop_count()
+            })
+            .sum()
+    }
+
+    /// Builds the guarantee oracle from the switch log and every
+    /// instance's processing records.
+    pub fn oracle(&self) -> Oracle {
+        let sw: &SwitchNode = self.engine.node(self.sw);
+        let mut oracle = Oracle::new(&sw.forward_log);
+        for id in &self.instances {
+            let n: &NfNode = self.engine.node(*id);
+            oracle.add_instance(n.records.iter().map(|r| (r.uid, r.done_ns)));
+        }
+        oracle
+    }
+
+    /// Per-packet latency (done - ingress) statistics, split into packets
+    /// that took a controller detour or buffer (`affected`) and those that
+    /// did not (`baseline`). The Figure 10(b) metric is
+    /// `affected - median(baseline)`.
+    pub fn latency_split(&self) -> (Summary, Summary) {
+        let mut affected = Summary::new();
+        let mut baseline = Summary::new();
+        for id in &self.instances {
+            let n: &NfNode = self.engine.node(*id);
+            for r in &n.records {
+                let lat_ms = (r.done_ns.saturating_sub(r.ingress_ns)) as f64 / 1e6;
+                if r.via_controller || r.from_buffer {
+                    affected.record(lat_ms);
+                } else {
+                    baseline.record(lat_ms);
+                }
+            }
+        }
+        (affected, baseline)
+    }
+
+    /// Added latency (ms) for affected packets over the unaffected median:
+    /// `(average, maximum, count)`.
+    pub fn added_latency(&self) -> (f64, f64, usize) {
+        let (affected, mut baseline) = self.latency_split();
+        if affected.is_empty() {
+            return (0.0, 0.0, 0);
+        }
+        let base = baseline.median();
+        let avg = (affected.mean() - base).max(0.0);
+        let max = (affected.max() - base).max(0.0);
+        (avg, max, affected.count())
+    }
+}
+

@@ -1,0 +1,390 @@
+//! End-to-end semantics of the northbound operations on the Figure 4
+//! topology: two PRADS-like monitors behind one switch, traffic replayed
+//! while state moves. The §5.1 guarantees are checked by the oracle, not
+//! assumed.
+
+use opennf_controller::{
+    Command, ConsistencyLevel, MoveProps, NfNode, Scenario, ScenarioBuilder, ScopeSet,
+};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_sim::{Dur, Time};
+
+/// Builds a schedule: `flows` TCP flows from distinct client ports, total
+/// rate `pps`, running for `dur`. Every flow starts with a SYN; data
+/// packets round-robin across flows.
+fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
+    let mut out = Vec::new();
+    let mut uid = 1u64;
+    let gap_ns = 1_000_000_000 / pps;
+    let total = (dur.as_nanos() / gap_ns) as u32;
+    for i in 0..total {
+        let flow = i % flows;
+        let key = FlowKey::tcp(
+            format!("10.0.{}.{}", flow / 250, flow % 250 + 1).parse().unwrap(),
+            2000 + (flow % 60000) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let flags = if i < flows { TcpFlags::SYN } else { TcpFlags::ACK };
+        let pkt = Packet::builder(uid, key).flags(flags).seq(uid as u32).build();
+        out.push((i as u64 * gap_ns, pkt));
+        uid += 1;
+    }
+    out
+}
+
+fn two_monitor_scenario(flows: u32, pps: u64, dur: Dur) -> Scenario {
+    ScenarioBuilder::new()
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(schedule(flows, pps, dur))
+        .route(0, Filter::any(), 0)
+        .build()
+}
+
+fn run_move(props: MoveProps, flows: u32) -> Scenario {
+    let mut s = two_monitor_scenario(flows, 2_500, Dur::millis(600));
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    // Let state build up, then move everything at t = 100 ms.
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+    );
+    s.run_to_completion();
+    s
+}
+
+fn monitor_conns(s: &Scenario, idx: usize) -> usize {
+    s.nf(idx).nf_as::<AssetMonitor>().conn_count()
+}
+
+#[test]
+fn ng_move_transfers_state_but_drops_packets() {
+    let s = run_move(MoveProps::ng_pl(), 50);
+    // State ended up at the destination.
+    assert_eq!(monitor_conns(&s, 0), 0, "src state deleted");
+    assert_eq!(monitor_conns(&s, 1), 50, "dst holds all flows");
+    // The move completed and was reported.
+    let reports = s.controller().reports_of("move[NG PL]");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].chunks, 50);
+    // Packets arriving during the move were dropped at the source.
+    assert!(s.total_nf_drops() > 0, "NG move must drop in-flight packets");
+    let oracle = s.oracle().check();
+    assert!(!oracle.is_loss_free(), "NG is not loss-free: {oracle:?}");
+}
+
+#[test]
+fn lf_move_is_loss_free() {
+    let s = run_move(MoveProps::lf_pl(), 50);
+    assert_eq!(monitor_conns(&s, 0), 0);
+    assert_eq!(monitor_conns(&s, 1), 50);
+    let reports = s.controller().reports_of("move[LF PL]");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].events_buffered > 0, "in-flight packets became events");
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "LF move lost packets: {:?}", oracle.lost);
+    // Every packet the host sent was processed exactly once somewhere.
+    assert_eq!(oracle.processed, oracle.forwarded);
+}
+
+#[test]
+fn lf_er_move_is_loss_free_and_faster_release() {
+    let s = run_move(MoveProps::lf_pl_er(), 50);
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "{:?}", oracle.lost);
+    let reports = s.controller().reports_of("move[LF PL+ER]");
+    assert_eq!(reports.len(), 1);
+}
+
+#[test]
+fn lfop_move_is_loss_free_and_order_preserving() {
+    let s = run_move(MoveProps::lfop_pl_er(), 50);
+    assert_eq!(monitor_conns(&s, 1), 50);
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "lost: {:?} dup: {:?}", oracle.lost, oracle.duplicated);
+    assert!(
+        oracle.is_order_preserving(),
+        "per-flow reordering: {:?}",
+        oracle.reordered_per_flow
+    );
+    let reports = s.controller().reports_of("move[LF+OP");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].packet_ins > 0, "two-phase window saw packets");
+}
+
+#[test]
+fn lfop_without_er_also_preserves_order() {
+    let props = MoveProps {
+        variant: opennf_controller::MoveVariant::LossFreeOrderPreserving,
+        parallel: true,
+        early_release: false,
+    };
+    let s = run_move(props, 30);
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free());
+    assert!(oracle.is_order_preserving(), "reordered: {:?}", oracle.reordered_per_flow);
+    assert!(
+        oracle.is_globally_order_preserving(),
+        "the non-ER OP move buffers everything and is globally ordered: {:?}",
+        oracle.reordered_global
+    );
+}
+
+#[test]
+fn lf_move_faster_than_op_move_and_ng_fastest() {
+    let ng = run_move(MoveProps::ng_pl(), 100);
+    let lf = run_move(MoveProps::lf_pl_er(), 100);
+    let op = run_move(MoveProps::lfop_pl_er(), 100);
+    let t = |s: &Scenario, k: &str| s.controller().reports_of(k)[0].duration_ms();
+    let (t_ng, t_lf, t_op) = (t(&ng, "move[NG"), t(&lf, "move[LF PL+ER]"), t(&op, "move[LF+OP"));
+    assert!(t_ng < t_lf, "NG {t_ng} < LF {t_lf}");
+    assert!(t_lf < t_op, "LF {t_lf} < OP {t_op}");
+}
+
+#[test]
+fn move_on_idle_flows_completes_via_timeout() {
+    // No traffic at all: the OP move must not hang on the first-packet wait.
+    let mut s = ScenarioBuilder::new()
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(schedule(10, 2_500, Dur::millis(50))) // traffic stops at 50 ms
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    // Move at 200 ms, long after the trace went quiet.
+    s.issue_at(
+        Dur::millis(200),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::any(),
+            scope: ScopeSet::per_flow(),
+            props: MoveProps::lfop_pl_er(),
+        },
+    );
+    s.run_to_completion();
+    let reports = s.controller().reports_of("move[LF+OP");
+    assert_eq!(reports.len(), 1, "op completed despite zero in-window packets");
+    assert_eq!(monitor_conns(&s, 1), 10);
+}
+
+#[test]
+fn partial_filter_moves_only_matching_flows() {
+    let mut s = two_monitor_scenario(40, 2_500, Dur::millis(400));
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    // Flows come from 10.0.0.x; move only sources 10.0.0.1–10.0.0.16/28… use
+    // a /28 over part of the space.
+    let filter = Filter::from_src("10.0.0.0/28".parse().unwrap()).bidi();
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move { src, dst, filter, scope: ScopeSet::per_flow(), props: MoveProps::lf_pl() },
+    );
+    s.run_to_completion();
+    let total = monitor_conns(&s, 0) + monitor_conns(&s, 1);
+    assert_eq!(total, 40, "no flow lost");
+    let moved = monitor_conns(&s, 1);
+    assert!(moved > 0 && moved < 40, "a strict subset moved: {moved}");
+}
+
+#[test]
+fn copy_leaves_source_intact() {
+    let mut s = two_monitor_scenario(30, 2_500, Dur::millis(300));
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(100),
+        Command::Copy { src, dst, filter: Filter::any(), scope: ScopeSet::multi_flow() },
+    );
+    s.run_to_completion();
+    assert_eq!(monitor_conns(&s, 0), 30, "source keeps processing");
+    let m2 = s.nf(1).nf_as::<AssetMonitor>();
+    assert!(m2.asset_count() > 0, "multi-flow assets copied");
+    let reports = s.controller().reports_of("copy");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].bytes > 0);
+    // No drops, no forwarding change.
+    assert_eq!(s.total_nf_drops(), 0);
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free());
+}
+
+#[test]
+fn move_per_and_multi_flow_scopes_together() {
+    let mut s = two_monitor_scenario(30, 2_500, Dur::millis(400));
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::any(),
+            scope: ScopeSet { per_flow: true, multi_flow: true, all_flows: false },
+            props: MoveProps::lf_pl(), // ER forbidden with both scopes (§5.1.3)
+        },
+    );
+    s.run_to_completion();
+    let m1 = s.nf(0).nf_as::<AssetMonitor>();
+    let m2 = s.nf(1).nf_as::<AssetMonitor>();
+    assert_eq!(m1.conn_count(), 0);
+    assert_eq!(m1.asset_count(), 0, "multi-flow state moved too");
+    assert_eq!(m2.conn_count(), 30);
+    assert!(m2.asset_count() > 0);
+}
+
+#[test]
+fn share_strong_synchronizes_multiflow_state() {
+    let mut s = two_monitor_scenario(20, 1_000, Dur::millis(300));
+    let insts = vec![s.instances[0], s.instances[1]];
+    // Split traffic across the two instances: sources 10.0.0.0/28 → m2.
+    s.issue_at(
+        Dur::ZERO,
+        Command::Route {
+            filter: Filter::from_src("10.0.0.0/28".parse().unwrap()),
+            priority: 5,
+            inst: s.instances[1],
+        },
+    );
+    s.issue_at(
+        Dur::millis(1),
+        Command::Share {
+            insts,
+            filter: Filter::any(),
+            scope: ScopeSet::multi_flow(),
+            consistency: ConsistencyLevel::Strong,
+        },
+    );
+    s.run_to_completion();
+    // Both instances end with identical asset tables for the shared hosts.
+    let m1 = s.nf(0).nf_as::<AssetMonitor>();
+    let m2 = s.nf(1).nf_as::<AssetMonitor>();
+    assert!(m1.asset_count() > 0);
+    assert_eq!(m1.asset_count(), m2.asset_count(), "asset tables converged");
+    let synced: u64 = s.controller().shares().map(|sh| sh.packets_synced).sum();
+    assert!(synced > 0, "packets flowed through the share serializer");
+}
+
+#[test]
+fn concurrent_moves_both_complete() {
+    let mut s = ScenarioBuilder::new()
+        .nf("a", Box::new(AssetMonitor::new()))
+        .nf("b", Box::new(AssetMonitor::new()))
+        .nf("c", Box::new(AssetMonitor::new()))
+        .host(schedule(60, 3_000, Dur::millis(500)))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (a, b, c) = (s.instances[0], s.instances[1], s.instances[2]);
+    let left = Filter::from_src("10.0.0.0/28".parse().unwrap()).bidi();
+    let right = Filter::from_src("10.0.0.16/28".parse().unwrap()).bidi();
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move { src: a, dst: b, filter: left, scope: ScopeSet::per_flow(), props: MoveProps::lf_pl() },
+    );
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move { src: a, dst: c, filter: right, scope: ScopeSet::per_flow(), props: MoveProps::lf_pl() },
+    );
+    s.run_to_completion();
+    assert_eq!(s.controller().reports.len(), 2);
+    let b_conns = monitor_conns(&s, 1);
+    let c_conns = monitor_conns(&s, 2);
+    assert!(b_conns > 0 && c_conns > 0, "both moves landed ({b_conns}, {c_conns})");
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "{:?}", oracle.lost);
+}
+
+#[test]
+fn route_command_steers_traffic() {
+    let mut s = two_monitor_scenario(10, 1_000, Dur::millis(300));
+    // Route half the sources to m2 at t=50ms; both instances end up with
+    // packets, and nothing is lost at the switch.
+    s.issue_at(
+        Dur::millis(50),
+        Command::Route {
+            filter: Filter::from_src("10.0.0.0/29".parse().unwrap()),
+            priority: 7,
+            inst: s.instances[1],
+        },
+    );
+    s.run_to_completion();
+    assert!(!s.nf(0).processed_log().is_empty());
+    assert!(!s.nf(1).processed_log().is_empty());
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free());
+}
+
+#[test]
+fn copy_all_three_scopes() {
+    let mut s = two_monitor_scenario(20, 2_000, Dur::millis(300));
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(100),
+        Command::Copy { src, dst, filter: Filter::any(), scope: ScopeSet::all() },
+    );
+    s.run_to_completion();
+    let m2 = s.nf(1).nf_as::<AssetMonitor>();
+    assert_eq!(m2.conn_count(), 20, "per-flow copied");
+    assert!(m2.asset_count() > 0, "multi-flow copied");
+    assert!(m2.stats().packets > 0, "all-flows stats copied");
+    // Source untouched.
+    assert_eq!(s.nf(0).nf_as::<AssetMonitor>().conn_count(), 20);
+}
+
+#[test]
+fn record_traffic_captures_forwarded_packets() {
+    let mut s = ScenarioBuilder::new()
+        .record_traffic()
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .host(schedule(5, 1_000, Dur::millis(50)))
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+    let trace = &s.switch().trace;
+    assert_eq!(trace.uids_at("sw.fwd").len(), 50);
+    assert!(trace.dump().contains("sw.fwd"));
+}
+
+#[test]
+fn notify_feeds_control_application() {
+    use opennf_controller::{ControlApp, NoopApp};
+    struct CountingApp {
+        inst: opennf_sim::NodeId,
+        seen: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+    impl ControlApp for CountingApp {
+        fn on_start(&mut self, api: &mut opennf_controller::controller::Api<'_>) {
+            api.issue(Command::Notify {
+                inst: self.inst,
+                filter: Filter::any().proto(opennf_packet::Proto::Tcp).with_tcp_flags(TcpFlags::SYN),
+                enable: true,
+            });
+        }
+        fn on_notify(
+            &mut self,
+            _api: &mut opennf_controller::controller::Api<'_>,
+            _inst: opennf_sim::NodeId,
+            _pkt: &Packet,
+        ) {
+            self.seen.set(self.seen.get() + 1);
+        }
+    }
+    let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+    // Instance ids are deterministic: ctrl=0, sw=1, first NF=2.
+    let app = CountingApp { inst: opennf_sim::NodeId(2), seen: seen.clone() };
+    let mut s = ScenarioBuilder::new()
+        .app(Box::new(app))
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .host(schedule(10, 1_000, Dur::millis(100)))
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+    // The first SYNs can race the enableEvents installation (≈0.3 ms);
+    // everything after the filter is live must be notified.
+    assert!(seen.get() >= 9, "SYNs notified: {}", seen.get());
+    // Notify uses action=process: nothing dropped.
+    assert_eq!(s.total_nf_drops(), 0);
+    let _ = NoopApp; // silence unused import lint paths
+    let _: &NfNode = s.nf(0);
+    assert_eq!(s.nf(0).processed_log().len(), s.oracle().check().processed);
+    assert!(s.engine.now() > Time::ZERO);
+}

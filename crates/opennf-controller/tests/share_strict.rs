@@ -1,0 +1,131 @@
+//! Strict-consistency share (§5.2.2): matching traffic is redirected to
+//! the controller, which serializes packets in switch-arrival order and
+//! runs the inject → completion-event → state-sync cycle one packet at a
+//! time. The result is the strongest guarantee in the paper: every
+//! instance's shared state reflects updates in exactly the order the
+//! switch saw the packets.
+
+use opennf_controller::{
+    Command, ConsistencyLevel, Oracle, ScenarioBuilder, ScopeSet, SwitchNode,
+};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_sim::Dur;
+
+/// Traffic starts 100 ms in, after the strict share's redirect rule has
+/// taken effect (state created before the redirect would simply predate
+/// the share — consistency covers updates from activation onward).
+fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
+    let gap = 1_000_000_000 / pps;
+    let total = dur.as_nanos() / gap;
+    let offset = 100_000_000u64;
+    (0..total)
+        .map(|i| {
+            let f = (i % flows as u64) as u32;
+            let key = FlowKey::tcp(
+                format!("10.0.0.{}", f % 200 + 1).parse().unwrap(),
+                3_000 + f as u16,
+                "1.1.1.1".parse().unwrap(),
+                80,
+            );
+            let flags = if i < flows as u64 { TcpFlags::SYN } else { TcpFlags::ACK };
+            (offset + i * gap, Packet::builder(i + 1, key).flags(flags).seq(i as u32).build())
+        })
+        .collect()
+}
+
+#[test]
+fn strict_share_serializes_globally_and_converges() {
+    let mut s = ScenarioBuilder::new()
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(schedule(16, 800, Dur::millis(400)))
+        .route(0, Filter::any(), 0)
+        .build();
+    // Split: odd sources pre-assigned to m2 (the strict share uses this
+    // routing snapshot to decide each packet's originating instance).
+    s.issue_at(
+        Dur::ZERO,
+        Command::Route {
+            filter: Filter::from_src("10.0.0.0/28".parse().unwrap()),
+            priority: 5,
+            inst: s.instances[1],
+        },
+    );
+    let insts = s.instances.clone();
+    s.issue_at(
+        Dur::millis(1),
+        Command::Share {
+            insts,
+            filter: Filter::any(),
+            scope: ScopeSet::multi_flow(),
+            consistency: ConsistencyLevel::Strict,
+        },
+    );
+    s.run_to_completion();
+
+    // Packets flowed through the controller's global serializer.
+    let synced: u64 = s.controller().shares().map(|sh| sh.packets_synced).sum();
+    assert!(synced > 100, "strict share synchronized packets: {synced}");
+
+    // Both instances converged to identical asset tables.
+    let m1 = s.nf(0).nf_as::<AssetMonitor>();
+    let m2 = s.nf(1).nf_as::<AssetMonitor>();
+    assert!(m1.asset_count() > 0);
+    assert_eq!(m1.asset_count(), m2.asset_count(), "asset tables converged");
+
+    // Global order preserved: processing across both instances followed
+    // switch arrival order exactly.
+    let sw: &SwitchNode = s.engine.node(s.sw);
+    let mut oracle = Oracle::new(&sw.forward_log);
+    for idx in 0..2 {
+        let n = s.nf(idx);
+        oracle.add_instance(n.records.iter().map(|r| (r.uid, r.done_ns)));
+    }
+    let rep = oracle.check();
+    assert!(rep.is_loss_free(), "lost: {:?}", rep.lost);
+    assert!(
+        rep.is_globally_order_preserving(),
+        "strict consistency must process in switch order: {:?}",
+        rep.reordered_global
+    );
+}
+
+#[test]
+fn strict_share_adds_more_latency_than_strong() {
+    let run = |consistency| {
+        let mut s = ScenarioBuilder::new()
+            .nf("m1", Box::new(AssetMonitor::new()))
+            .nf("m2", Box::new(AssetMonitor::new()))
+            .host(schedule(16, 500, Dur::millis(300)))
+            .route(0, Filter::any(), 0)
+            .build();
+        let insts = s.instances.clone();
+        s.issue_at(
+            Dur::millis(1),
+            Command::Share {
+                insts,
+                filter: Filter::any(),
+                scope: ScopeSet::multi_flow(),
+                consistency,
+            },
+        );
+        s.run_to_completion();
+        let (affected, baseline) = s.latency_split();
+        // In strict mode every packet is affected; compare raw means.
+        if affected.is_empty() {
+            baseline.mean()
+        } else {
+            affected.mean()
+        }
+    };
+    let strong = run(ConsistencyLevel::Strong);
+    let strict = run(ConsistencyLevel::Strict);
+    // Strict serializes globally (one queue) and detours via packet-in:
+    // it cannot be cheaper than strong's per-host queues.
+    assert!(
+        strict >= strong * 0.9,
+        "strict ({strict:.2} ms) should cost at least strong ({strong:.2} ms)"
+    );
+    assert!(strict > 0.5, "strict adds real latency: {strict:.2} ms");
+}

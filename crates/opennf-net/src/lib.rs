@@ -1,0 +1,29 @@
+//! SDN substrate: a software OpenFlow-like switch.
+//!
+//! The paper's testbed uses an OpenFlow-enabled HP ProCurve 6600; OpenNF's
+//! correctness argument relies on a small set of switch behaviours, all
+//! reproduced here:
+//!
+//! * a **priority flow table** where the highest-priority matching rule wins
+//!   ([`FlowTable`]) — the two-phase forwarding update of §5.1.2 installs a
+//!   low-priority `{srcInst, ctrl}` rule and then a high-priority `dstInst`
+//!   rule;
+//! * rules can forward to **multiple ports at once** (srcInst *and* the
+//!   controller) and to the controller as packet-in;
+//! * **per-rule counters**, which the controller reads to confirm it has
+//!   seen the last packet forwarded to the source instance (§5.1.2 fn. 9);
+//! * **packet-out** injection with an egress port (modelled by the
+//!   simulation switch node in `opennf-controller`, which also applies the
+//!   flow-mod installation latency and the finite packet-out rate that
+//!   §8.1.1 identifies as the bottleneck at high packet rates).
+//!
+//! This crate is pure data structure + logic; it knows nothing about the
+//! simulator. The `opennf-controller` crate wraps a [`FlowTable`] in a
+//! simulation node and adds latencies, rate limits, and the OpenFlow-ish
+//! message protocol.
+
+pub mod table;
+pub mod trace;
+
+pub use table::{Action, FlowTable, PortRef, Rule, RuleId};
+pub use trace::{TraceRecorder, TraceRecord};

@@ -1,0 +1,249 @@
+//! The priority flow table.
+
+use opennf_packet::{Filter, Packet};
+
+/// Where a rule sends matching packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortRef {
+    /// A numbered switch port (the simulation maps ports to attached nodes).
+    Port(u16),
+    /// Punt to the controller (packet-in).
+    Controller,
+}
+
+/// The action list of a rule. OpenFlow permits multiple output actions;
+/// OpenNF's two-phase update relies on forwarding to `{srcInst, ctrl}`
+/// simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Output to each listed port.
+    Forward(Vec<PortRef>),
+    /// Drop matching packets.
+    Drop,
+}
+
+/// Identifies an installed rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u64);
+
+/// One flow-table entry.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Assigned at installation.
+    pub id: RuleId,
+    /// Higher wins. Ties broken by later installation winning, matching
+    /// OpenFlow's overwrite semantics for equal-priority overlapping rules.
+    pub priority: u16,
+    /// Match criteria.
+    pub filter: Filter,
+    /// What to do with matching packets.
+    pub action: Action,
+    /// Packets matched so far.
+    pub packet_count: u64,
+    /// Bytes matched so far.
+    pub byte_count: u64,
+}
+
+/// A priority flow table with per-rule counters.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    rules: Vec<Rule>,
+    next_id: u64,
+    /// Packets that matched no rule (table-miss); OpenNF experiments install
+    /// explicit defaults, so a non-zero miss count usually flags a bug.
+    pub miss_count: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule, returning its id. Rules are kept sorted by
+    /// descending priority; among equal priorities the most recently
+    /// installed rule is preferred.
+    pub fn install(&mut self, priority: u16, filter: Filter, action: Action) -> RuleId {
+        self.next_id += 1;
+        let id = RuleId(self.next_id);
+        let rule = Rule { id, priority, filter, action, packet_count: 0, byte_count: 0 };
+        // Insert *before* existing rules of the same priority.
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.priority <= priority)
+            .unwrap_or(self.rules.len());
+        self.rules.insert(pos, rule);
+        id
+    }
+
+    /// Removes a rule by id. Returns true if it existed.
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        self.rules.len() != before
+    }
+
+    /// Removes all rules whose filter equals `filter` exactly.
+    /// Returns how many were removed.
+    pub fn remove_by_filter(&mut self, filter: &Filter) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.filter != *filter);
+        before - self.rules.len()
+    }
+
+    /// Looks up the rule for `pkt` and bumps its counters.
+    /// Returns the matched rule's action (cloned) and id, or `None` on
+    /// table miss.
+    pub fn apply(&mut self, pkt: &Packet) -> Option<(RuleId, Action)> {
+        for rule in &mut self.rules {
+            if rule.filter.matches_packet(pkt) {
+                rule.packet_count += 1;
+                rule.byte_count += pkt.wire_size as u64;
+                return Some((rule.id, rule.action.clone()));
+            }
+        }
+        self.miss_count += 1;
+        None
+    }
+
+    /// Looks up without counting (diagnostics).
+    pub fn peek(&self, pkt: &Packet) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.filter.matches_packet(pkt))
+    }
+
+    /// Counter read-back for a rule (packets, bytes).
+    pub fn counters(&self, id: RuleId) -> Option<(u64, u64)> {
+        self.rules.iter().find(|r| r.id == id).map(|r| (r.packet_count, r.byte_count))
+    }
+
+    /// All installed rules, highest priority first.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::{FlowKey, Ipv4Prefix};
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt(src: &str, dst: &str) -> Packet {
+        Packet::builder(0, FlowKey::tcp(ip(src), 1000, ip(dst), 80)).build()
+    }
+
+    fn fwd(port: u16) -> Action {
+        Action::Forward(vec![PortRef::Port(port)])
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new();
+        t.install(1, Filter::any(), fwd(1));
+        t.install(10, Filter::from_src("10.0.0.0/8".parse().unwrap()), fwd(2));
+        let (_, a) = t.apply(&pkt("10.1.1.1", "1.1.1.1")).unwrap();
+        assert_eq!(a, fwd(2));
+        let (_, a) = t.apply(&pkt("11.1.1.1", "1.1.1.1")).unwrap();
+        assert_eq!(a, fwd(1));
+    }
+
+    #[test]
+    fn equal_priority_later_install_wins() {
+        let mut t = FlowTable::new();
+        t.install(5, Filter::any(), fwd(1));
+        t.install(5, Filter::any(), fwd(2));
+        let (_, a) = t.apply(&pkt("1.1.1.1", "2.2.2.2")).unwrap();
+        assert_eq!(a, fwd(2));
+    }
+
+    #[test]
+    fn counters_track_matches() {
+        let mut t = FlowTable::new();
+        let id = t.install(1, Filter::any(), fwd(1));
+        assert_eq!(t.counters(id), Some((0, 0)));
+        let p = pkt("1.1.1.1", "2.2.2.2");
+        t.apply(&p);
+        t.apply(&p);
+        assert_eq!(t.counters(id), Some((2, 2 * p.wire_size as u64)));
+    }
+
+    #[test]
+    fn table_miss_counted() {
+        let mut t = FlowTable::new();
+        t.install(1, Filter::from_src("10.0.0.0/8".parse().unwrap()), fwd(1));
+        assert!(t.apply(&pkt("11.0.0.1", "1.1.1.1")).is_none());
+        assert_eq!(t.miss_count, 1);
+    }
+
+    #[test]
+    fn remove_by_id_and_filter() {
+        let mut t = FlowTable::new();
+        let f = Filter::from_src("10.0.0.0/8".parse().unwrap());
+        let id1 = t.install(1, f, fwd(1));
+        t.install(2, f, fwd(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(id1));
+        assert!(!t.remove(id1));
+        assert_eq!(t.remove_by_filter(&f), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn two_phase_update_shape() {
+        // The §5.1.2 sequence: default rule to src, then low-priority
+        // {src, ctrl}, then high-priority dst.
+        let mut t = FlowTable::new();
+        let flows = Filter::from_src("10.0.0.0/8".parse().unwrap());
+        t.install(0, Filter::any(), fwd(1)); // default: srcInst on port 1
+        // Phase 1: forward to srcInst AND controller.
+        let phase1 = t.install(
+            5,
+            flows,
+            Action::Forward(vec![PortRef::Port(1), PortRef::Controller]),
+        );
+        let (id, a) = t.apply(&pkt("10.1.1.1", "1.1.1.1")).unwrap();
+        assert_eq!(id, phase1);
+        assert_eq!(a, Action::Forward(vec![PortRef::Port(1), PortRef::Controller]));
+        // Phase 2: higher priority straight to dstInst on port 2.
+        let phase2 = t.install(10, flows, fwd(2));
+        let (id, a) = t.apply(&pkt("10.1.1.1", "1.1.1.1")).unwrap();
+        assert_eq!(id, phase2);
+        assert_eq!(a, fwd(2));
+        // Counter read-back on the phase-1 rule still works.
+        assert_eq!(t.counters(phase1).unwrap().0, 1);
+    }
+
+    #[test]
+    fn drop_action() {
+        let mut t = FlowTable::new();
+        t.install(9, Filter::any(), Action::Drop);
+        let (_, a) = t.apply(&pkt("1.1.1.1", "2.2.2.2")).unwrap();
+        assert_eq!(a, Action::Drop);
+    }
+
+    #[test]
+    fn bidirectional_rule_catches_replies() {
+        let mut t = FlowTable::new();
+        let host = Filter::from_src(Ipv4Prefix::host(ip("10.0.0.5"))).bidi();
+        t.install(5, host, fwd(3));
+        let (_, a) = t.apply(&pkt("10.0.0.5", "1.1.1.1")).unwrap();
+        assert_eq!(a, fwd(3));
+        let (_, a) = t.apply(&pkt("1.1.1.1", "10.0.0.5")).unwrap();
+        assert_eq!(a, fwd(3));
+    }
+}

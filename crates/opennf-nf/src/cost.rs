@@ -1,0 +1,112 @@
+//! The virtual-time cost model for NF operations.
+//!
+//! The paper's Figures 10–13 are wall-clock measurements on real NFs; this
+//! reproduction replaces them with an explicit, documented model:
+//!
+//! * exporting a chunk costs `get_chunk_base + get_chunk_per_byte × len`
+//!   (serialization dominates getPerflow — §8.2.1);
+//! * importing costs a configurable fraction of exporting
+//!   ("putPerflow completes at least 2× faster … due to deserialization
+//!   being faster than serialization");
+//! * packet processing costs `process_packet`; while an export/import is in
+//!   flight the instance suffers mild contention (`export_contention`,
+//!   ≈6% per §8.2.1) and a packet whose *own flow* is being serialized at
+//!   that moment waits for the chunk to finish (the per-connection mutex
+//!   the paper adds to Bro).
+//!
+//! Per-NF constants are calibrated so the 500-flow PRADS numbers land near
+//! the paper's (§8.1.1: export 89 ms, import 54 ms) and the relative order
+//! of Figure 12 holds (iptables < PRADS < Bro).
+
+use opennf_sim::Dur;
+
+/// Cost constants for one NF type.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Fixed cost to serialize one chunk for export.
+    pub get_chunk_base: Dur,
+    /// Per-payload-byte cost to serialize for export.
+    pub get_chunk_per_byte: Dur,
+    /// Import cost as a fraction of export cost (< 1.0: deserialization is
+    /// faster).
+    pub put_factor: f64,
+    /// Cost to process one packet in steady state.
+    pub process_packet: Dur,
+    /// Multiplier on `process_packet` while an export/import is active
+    /// (lock and memory-bandwidth contention).
+    pub export_contention: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // PRADS-like defaults: ~178 us to export a ~200 B chunk, import 2×
+        // faster, 120 us per packet, ≤6% contention during export.
+        CostModel {
+            get_chunk_base: Dur::micros(100),
+            get_chunk_per_byte: Dur::nanos(390),
+            put_factor: 0.5,
+            process_packet: Dur::micros(120),
+            export_contention: 1.058,
+        }
+    }
+}
+
+impl CostModel {
+    /// Export (serialize) cost for a chunk of `len` payload bytes.
+    pub fn get_chunk(&self, len: usize) -> Dur {
+        self.get_chunk_base + Dur::nanos(self.get_chunk_per_byte.as_nanos() * len as u64)
+    }
+
+    /// Import (deserialize) cost for a chunk of `len` payload bytes.
+    pub fn put_chunk(&self, len: usize) -> Dur {
+        self.get_chunk(len) * self.put_factor
+    }
+
+    /// Packet-processing cost, possibly under export contention.
+    pub fn packet_cost(&self, exporting: bool) -> Dur {
+        if exporting {
+            self.process_packet * self.export_contention
+        } else {
+            self.process_packet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_prads_calibration() {
+        let m = CostModel::default();
+        // A ~200-byte PRADS chunk exports in ~178 us.
+        let get = m.get_chunk(200);
+        assert!((get.as_millis_f64() - 0.178).abs() < 0.01, "{get}");
+        // Import is 2x faster.
+        assert_eq!(m.put_chunk(200), get * 0.5);
+        // 500 flows export in ~89 ms (paper §8.1.1).
+        let total_ms = get.as_millis_f64() * 500.0;
+        assert!((total_ms - 89.0).abs() < 5.0, "{total_ms}");
+    }
+
+    #[test]
+    fn contention_bumps_processing() {
+        let m = CostModel::default();
+        let normal = m.packet_cost(false);
+        let during = m.packet_cost(true);
+        assert!(during > normal);
+        let rel = during.as_nanos() as f64 / normal.as_nanos() as f64;
+        assert!(rel < 1.06 + 1e-9, "≤6% per §8.2.1, got {rel}");
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let m = CostModel::default();
+        assert!(m.get_chunk(1000) > m.get_chunk(100));
+        assert_eq!(
+            m.get_chunk(0),
+            m.get_chunk_base,
+            "zero-length chunk costs the base only"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! `enableEvents` / `disableEvents` (§4.3) as a reusable harness.
+//!
+//! The paper adds a small shared library to each NF's packet loop: before
+//! normal processing, a received packet is checked against the event
+//! filters installed by the controller; matching packets raise a
+//! *packet-received event* (containing a copy of the packet) and are then
+//! processed, buffered, or dropped according to the filter's action.
+//! [`EventedNf`] is that library. It wraps any [`NetworkFunction`] and is
+//! shared by the simulation NF node and the threaded runtime.
+
+use opennf_packet::{Filter, Packet};
+
+use crate::southbound::{NetworkFunction, NfFault};
+
+/// What to do with packets that trigger events (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventAction {
+    /// Raise the event and process the packet normally (used by `notify`
+    /// and by the strict-consistency `share`).
+    Process,
+    /// Raise the event and hold the packet; released for processing, in
+    /// order, when events are disabled (used at the destination of an
+    /// order-preserving move).
+    Buffer,
+    /// Raise the event and discard the packet (used at the source of a
+    /// loss-free move — the packet survives inside the event).
+    Drop,
+}
+
+/// An event raised by the NF toward the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfEvent {
+    /// A packet matching an event filter arrived; carries a copy.
+    Received(Packet),
+    /// A packet marked `do-not-drop` finished processing — the completion
+    /// signal the `share` operation synchronizes on (§5.2.2).
+    Processed(Packet),
+}
+
+/// What happened to a packet handed to [`EventedNf::handle_packet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleOutcome {
+    /// Processed by the wrapped NF.
+    Processed,
+    /// Held in the event buffer.
+    Buffered,
+    /// Discarded by a `Drop`-action event filter.
+    Dropped,
+    /// Discarded by a silent drop filter (no event raised).
+    DroppedSilently,
+    /// Discarded because the instance has crashed.
+    Faulted,
+}
+
+/// The event-aware wrapper around an NF instance.
+pub struct EventedNf {
+    nf: Box<dyn NetworkFunction>,
+    /// `(filter, action)` in installation order; first match wins.
+    event_filters: Vec<(Filter, EventAction)>,
+    /// Filters that silently drop packets (Split/Merge-style migration and
+    /// moves without guarantees discard traffic to the source instance
+    /// without raising events).
+    drop_filters: Vec<Filter>,
+    /// Buffered packets in arrival order.
+    buffer: Vec<Packet>,
+    /// Uids of packets processed by the wrapped NF, in processing order —
+    /// the raw material of the loss-freedom / order-preservation oracles.
+    processed_log: Vec<u64>,
+    /// Packets discarded (both event-drops and silent drops).
+    dropped_uids: Vec<u64>,
+    fault: Option<NfFault>,
+}
+
+impl EventedNf {
+    /// Wraps an NF.
+    pub fn new(nf: Box<dyn NetworkFunction>) -> Self {
+        EventedNf {
+            nf,
+            event_filters: Vec::new(),
+            drop_filters: Vec::new(),
+            buffer: Vec::new(),
+            processed_log: Vec::new(),
+            dropped_uids: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// The wrapped NF (for southbound calls).
+    pub fn nf(&self) -> &dyn NetworkFunction {
+        self.nf.as_ref()
+    }
+
+    /// Mutable access to the wrapped NF (for southbound calls).
+    pub fn nf_mut(&mut self) -> &mut dyn NetworkFunction {
+        self.nf.as_mut()
+    }
+
+    /// Consumes the harness, returning the NF (tests downcast it).
+    pub fn into_nf(self) -> Box<dyn NetworkFunction> {
+        self.nf
+    }
+
+    /// `enableEvents(filter, action)`: subsequent packets matching `filter`
+    /// raise events and receive `action`. Re-enabling an identical filter
+    /// replaces its action.
+    pub fn enable_events(&mut self, filter: Filter, action: EventAction) {
+        if let Some(slot) = self.event_filters.iter_mut().find(|(f, _)| *f == filter) {
+            slot.1 = action;
+        } else {
+            self.event_filters.push((filter, action));
+        }
+    }
+
+    /// `disableEvents(filter)`: removes the filter and releases any
+    /// packets it buffered, processing them in arrival order.
+    pub fn disable_events(&mut self, filter: &Filter) {
+        for pkt in self.disable_events_release(filter) {
+            self.process_now(&pkt);
+        }
+    }
+
+    /// Like [`EventedNf::disable_events`] but returns the released packets
+    /// *unprocessed*, in arrival order, so a caller that models processing
+    /// time (the simulation NF node) can feed them through its own timed
+    /// path. The caller is responsible for processing every returned
+    /// packet.
+    #[must_use = "released packets must be processed by the caller"]
+    pub fn disable_events_release(&mut self, filter: &Filter) -> Vec<Packet> {
+        self.event_filters.retain(|(f, _)| f != filter);
+        let (matching, rest): (Vec<Packet>, Vec<Packet>) = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .partition(|p| filter.matches_packet(p));
+        self.buffer = rest;
+        matching
+    }
+
+    /// Processes a packet released from the buffer (bypasses filters —
+    /// the buffering decision was already made at arrival time).
+    pub fn process_released(&mut self, pkt: &Packet) {
+        self.process_now(pkt);
+    }
+
+    /// Installs a silent drop filter (no events raised).
+    pub fn add_drop_filter(&mut self, filter: Filter) {
+        if !self.drop_filters.contains(&filter) {
+            self.drop_filters.push(filter);
+        }
+    }
+
+    /// Removes a silent drop filter.
+    pub fn remove_drop_filter(&mut self, filter: &Filter) {
+        self.drop_filters.retain(|f| f != filter);
+    }
+
+    /// True if any event filter is currently installed.
+    pub fn has_event_filters(&self) -> bool {
+        !self.event_filters.is_empty()
+    }
+
+    /// Packets currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Uids processed so far, in order.
+    pub fn processed_log(&self) -> &[u64] {
+        &self.processed_log
+    }
+
+    /// Uids dropped so far (event drops + silent drops).
+    pub fn dropped_uids(&self) -> &[u64] {
+        &self.dropped_uids
+    }
+
+    /// Number of packets dropped so far.
+    pub fn drop_count(&self) -> usize {
+        self.dropped_uids.len()
+    }
+
+    /// The fault that crashed this instance, if any.
+    pub fn fault(&self) -> Option<&NfFault> {
+        self.fault.as_ref()
+    }
+
+    fn process_now(&mut self, pkt: &Packet) {
+        if self.fault.is_some() {
+            return;
+        }
+        match self.nf.process_packet(pkt) {
+            Ok(()) => self.processed_log.push(pkt.uid),
+            Err(f) => self.fault = Some(f),
+        }
+    }
+
+    /// The NF packet loop: checks drop filters, then event filters, then
+    /// processes. Returns the outcome and any events to send to the
+    /// controller.
+    pub fn handle_packet(&mut self, pkt: &Packet) -> (HandleOutcome, Vec<NfEvent>) {
+        if self.fault.is_some() {
+            return (HandleOutcome::Faulted, Vec::new());
+        }
+        if self.drop_filters.iter().any(|f| f.matches_packet(pkt)) && !pkt.do_not_drop {
+            self.dropped_uids.push(pkt.uid);
+            return (HandleOutcome::DroppedSilently, Vec::new());
+        }
+        let matched = self
+            .event_filters
+            .iter()
+            .find(|(f, _)| f.matches_packet(pkt))
+            .map(|(_, a)| *a);
+        let Some(action) = matched else {
+            self.process_now(pkt);
+            return (
+                if self.fault.is_some() { HandleOutcome::Faulted } else { HandleOutcome::Processed },
+                Vec::new(),
+            );
+        };
+        let mut events = vec![NfEvent::Received(pkt.clone())];
+        let outcome = match action {
+            EventAction::Process => {
+                self.process_now(pkt);
+                if pkt.do_not_drop {
+                    events.push(NfEvent::Processed(pkt.clone()));
+                }
+                HandleOutcome::Processed
+            }
+            EventAction::Buffer => {
+                if pkt.do_not_buffer {
+                    self.process_now(pkt);
+                    if pkt.do_not_drop {
+                        events.push(NfEvent::Processed(pkt.clone()));
+                    }
+                    HandleOutcome::Processed
+                } else {
+                    self.buffer.push(pkt.clone());
+                    HandleOutcome::Buffered
+                }
+            }
+            EventAction::Drop => {
+                if pkt.do_not_drop {
+                    self.process_now(pkt);
+                    events.push(NfEvent::Processed(pkt.clone()));
+                    HandleOutcome::Processed
+                } else {
+                    self.dropped_uids.push(pkt.uid);
+                    HandleOutcome::Dropped
+                }
+            }
+        };
+        if self.fault.is_some() {
+            return (HandleOutcome::Faulted, events);
+        }
+        (outcome, events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::southbound::test_support::CountNf;
+    use opennf_packet::{FlowKey, Ipv4Prefix};
+
+    fn pkt(uid: u64, src: &str) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp(src.parse().unwrap(), 1000, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .build()
+    }
+
+    fn harness() -> EventedNf {
+        EventedNf::new(Box::new(CountNf::default()))
+    }
+
+    fn src_filter(prefix: &str) -> Filter {
+        Filter::from_src(prefix.parse::<Ipv4Prefix>().unwrap())
+    }
+
+    #[test]
+    fn no_filters_processes_normally() {
+        let mut h = harness();
+        let (o, ev) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Processed);
+        assert!(ev.is_empty());
+        assert_eq!(h.processed_log(), &[1]);
+    }
+
+    #[test]
+    fn drop_action_raises_event_and_discards() {
+        let mut h = harness();
+        h.enable_events(src_filter("10.0.0.0/8"), EventAction::Drop);
+        let (o, ev) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Dropped);
+        assert_eq!(ev, vec![NfEvent::Received(pkt(1, "10.0.0.1"))]);
+        assert_eq!(h.drop_count(), 1);
+        assert!(h.processed_log().is_empty());
+        // Non-matching traffic unaffected.
+        let (o, ev) = h.handle_packet(&pkt(2, "11.0.0.1"));
+        assert_eq!(o, HandleOutcome::Processed);
+        assert!(ev.is_empty());
+    }
+
+    #[test]
+    fn buffer_action_holds_until_disable() {
+        let mut h = harness();
+        let f = src_filter("10.0.0.0/8");
+        h.enable_events(f, EventAction::Buffer);
+        h.handle_packet(&pkt(1, "10.0.0.1"));
+        h.handle_packet(&pkt(2, "10.0.0.2"));
+        assert_eq!(h.buffered_len(), 2);
+        assert!(h.processed_log().is_empty());
+        h.disable_events(&f);
+        assert_eq!(h.buffered_len(), 0);
+        assert_eq!(h.processed_log(), &[1, 2], "released in arrival order");
+        assert!(!h.has_event_filters());
+    }
+
+    #[test]
+    fn do_not_buffer_bypasses_buffering() {
+        let mut h = harness();
+        h.enable_events(src_filter("10.0.0.0/8"), EventAction::Buffer);
+        let mut p = pkt(1, "10.0.0.1");
+        p.do_not_buffer = true;
+        let (o, ev) = h.handle_packet(&p);
+        assert_eq!(o, HandleOutcome::Processed);
+        assert_eq!(ev.len(), 1, "still raises the received event");
+        assert_eq!(h.processed_log(), &[1]);
+    }
+
+    #[test]
+    fn do_not_drop_forces_processing_and_completion_event() {
+        let mut h = harness();
+        h.enable_events(src_filter("10.0.0.0/8"), EventAction::Drop);
+        let mut p = pkt(1, "10.0.0.1");
+        p.do_not_drop = true;
+        let (o, ev) = h.handle_packet(&p);
+        assert_eq!(o, HandleOutcome::Processed);
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(ev[0], NfEvent::Received(_)));
+        assert!(matches!(ev[1], NfEvent::Processed(_)));
+        assert_eq!(h.processed_log(), &[1]);
+    }
+
+    #[test]
+    fn silent_drop_filter_raises_no_events() {
+        let mut h = harness();
+        let f = src_filter("10.0.0.0/8");
+        h.add_drop_filter(f);
+        let (o, ev) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::DroppedSilently);
+        assert!(ev.is_empty());
+        assert_eq!(h.drop_count(), 1);
+        h.remove_drop_filter(&f);
+        let (o, _) = h.handle_packet(&pkt(2, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Processed);
+    }
+
+    #[test]
+    fn first_matching_filter_wins() {
+        let mut h = harness();
+        h.enable_events(src_filter("10.0.0.0/8"), EventAction::Drop);
+        h.enable_events(src_filter("10.0.0.0/16"), EventAction::Process);
+        let (o, _) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Dropped, "earlier filter matched first");
+    }
+
+    #[test]
+    fn reenabling_filter_replaces_action() {
+        let mut h = harness();
+        let f = src_filter("10.0.0.0/8");
+        h.enable_events(f, EventAction::Drop);
+        h.enable_events(f, EventAction::Process);
+        let (o, _) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Processed);
+    }
+
+    #[test]
+    fn disable_releases_only_matching_buffered_packets() {
+        let mut h = harness();
+        let f1 = src_filter("10.0.0.0/8");
+        let f2 = src_filter("11.0.0.0/8");
+        h.enable_events(f1, EventAction::Buffer);
+        h.enable_events(f2, EventAction::Buffer);
+        h.handle_packet(&pkt(1, "10.0.0.1"));
+        h.handle_packet(&pkt(2, "11.0.0.1"));
+        h.disable_events(&f1);
+        assert_eq!(h.processed_log(), &[1]);
+        assert_eq!(h.buffered_len(), 1, "f2's packet still held");
+    }
+
+    #[test]
+    fn faulted_instance_stops_processing() {
+        struct Bomb;
+        impl NetworkFunction for Bomb {
+            fn nf_type(&self) -> &'static str {
+                "bomb"
+            }
+            fn process_packet(&mut self, _p: &Packet) -> Result<(), NfFault> {
+                Err(NfFault { reason: "boom".into() })
+            }
+            fn drain_logs(&mut self) -> Vec<crate::southbound::LogRecord> {
+                Vec::new()
+            }
+            fn list_perflow(&self, _f: &Filter) -> Vec<opennf_packet::FlowId> {
+                Vec::new()
+            }
+            fn get_perflow(&mut self, _f: &Filter) -> Vec<crate::state::Chunk> {
+                Vec::new()
+            }
+            fn put_perflow(
+                &mut self,
+                _c: Vec<crate::state::Chunk>,
+            ) -> Result<(), crate::southbound::StateError> {
+                Ok(())
+            }
+            fn del_perflow(&mut self, _ids: &[opennf_packet::FlowId]) {}
+            fn list_multiflow(&self, _f: &Filter) -> Vec<opennf_packet::FlowId> {
+                Vec::new()
+            }
+            fn get_multiflow(&mut self, _f: &Filter) -> Vec<crate::state::Chunk> {
+                Vec::new()
+            }
+            fn put_multiflow(
+                &mut self,
+                _c: Vec<crate::state::Chunk>,
+            ) -> Result<(), crate::southbound::StateError> {
+                Ok(())
+            }
+            fn del_multiflow(&mut self, _ids: &[opennf_packet::FlowId]) {}
+            fn get_allflows(&mut self) -> Vec<crate::state::Chunk> {
+                Vec::new()
+            }
+            fn put_allflows(
+                &mut self,
+                _c: Vec<crate::state::Chunk>,
+            ) -> Result<(), crate::southbound::StateError> {
+                Ok(())
+            }
+        }
+        let mut h = EventedNf::new(Box::new(Bomb));
+        let (o, _) = h.handle_packet(&pkt(1, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Faulted);
+        assert!(h.fault().is_some());
+        let (o, _) = h.handle_packet(&pkt(2, "10.0.0.1"));
+        assert_eq!(o, HandleOutcome::Faulted);
+        assert!(h.processed_log().is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! The NF-side of OpenNF: state taxonomy, southbound API, and event
+//! machinery (§3, §4 of the paper).
+//!
+//! The southbound API "allows a controller to request the export or import
+//! of NF state without changing how NFs internally manage state". The
+//! pieces:
+//!
+//! * [`state`] — the three-scope taxonomy (per-flow / multi-flow /
+//!   all-flows, Figure 3) and the [`Chunk`] unit of transfer: "one or more
+//!   related internal NF structures … associated with the same flow (or set
+//!   of flows)", labelled with a [`opennf_packet::FlowId`].
+//! * [`southbound`] — the [`NetworkFunction`] trait: `get`/`put`/`del` ×
+//!   scope, plus packet processing and log draining. Each NF keeps its own
+//!   internal data structures and serialization; state gathering and
+//!   merging are delegated to the NF, exactly as §4.2 prescribes.
+//! * [`events`] — the `enableEvents`/`disableEvents` machinery (§4.3) as a
+//!   reusable harness ([`EventedNf`]) that wraps any `NetworkFunction`,
+//!   mirrors the "shared library" the paper links into Bro/PRADS/Squid, and
+//!   implements the process/buffer/drop actions and the `do-not-buffer` /
+//!   `do-not-drop` packet marks.
+//! * [`cost`] — the virtual-time cost model for export/import and packet
+//!   processing, the knobs behind Figures 10–13.
+//! * [`merge`] — helpers for the common state-combination patterns §4.2
+//!   lists (add counters, max timestamps, union sets).
+
+pub mod cost;
+pub mod events;
+pub mod merge;
+pub mod southbound;
+pub mod state;
+
+pub use cost::CostModel;
+pub use events::{EventAction, EventedNf, HandleOutcome, NfEvent};
+pub use southbound::{LogRecord, NetworkFunction, NfFault, StateError};
+pub use state::{Chunk, Scope};

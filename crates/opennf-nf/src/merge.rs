@@ -1,0 +1,81 @@
+//! Helpers for the common state-combination patterns of §4.2:
+//! "Common methods of combining state include adding or averaging values
+//! (for counters), selecting the greatest or least value (for timestamps),
+//! and calculating the union or intersection of sets."
+//!
+//! State merging remains NF-specific (the trait's `put_*` methods); these
+//! helpers cover the recurring cases so each NF's merge code stays small.
+
+use std::collections::BTreeSet;
+use std::hash::Hash;
+
+/// Counters combine by addition.
+pub fn add_counters(existing: u64, incoming: u64) -> u64 {
+    existing.saturating_add(incoming)
+}
+
+/// Running averages combine weighted by sample counts. Returns the merged
+/// `(average, count)`.
+pub fn average_counters(a: (f64, u64), b: (f64, u64)) -> (f64, u64) {
+    let n = a.1 + b.1;
+    if n == 0 {
+        return (0.0, 0);
+    }
+    ((a.0 * a.1 as f64 + b.0 * b.1 as f64) / n as f64, n)
+}
+
+/// "Last seen" style timestamps combine by maximum.
+pub fn max_timestamp(existing: u64, incoming: u64) -> u64 {
+    existing.max(incoming)
+}
+
+/// "First seen" style timestamps combine by minimum.
+pub fn min_timestamp(existing: u64, incoming: u64) -> u64 {
+    existing.min(incoming)
+}
+
+/// Sets (e.g. of observed ports or addresses) combine by union.
+pub fn union_sets<T: Ord + Clone>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> BTreeSet<T> {
+    a.union(b).cloned().collect()
+}
+
+/// Sets combine by intersection (e.g. candidate OS fingerprints that must
+/// be consistent with all observations).
+pub fn intersect_sets<T: Ord + Clone + Hash>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> BTreeSet<T> {
+    a.intersection(b).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_saturate() {
+        assert_eq!(add_counters(3, 4), 7);
+        assert_eq!(add_counters(u64::MAX, 1), u64::MAX);
+    }
+
+    #[test]
+    fn averages_weight_by_count() {
+        let (avg, n) = average_counters((10.0, 2), (4.0, 4));
+        assert_eq!(n, 6);
+        assert!((avg - 6.0).abs() < 1e-12);
+        assert_eq!(average_counters((0.0, 0), (0.0, 0)), (0.0, 0));
+    }
+
+    #[test]
+    fn timestamps_pick_extremes() {
+        assert_eq!(max_timestamp(100, 50), 100);
+        assert_eq!(min_timestamp(100, 50), 50);
+    }
+
+    #[test]
+    fn set_union_and_intersection() {
+        let a: BTreeSet<u16> = [80, 443].into_iter().collect();
+        let b: BTreeSet<u16> = [443, 8080].into_iter().collect();
+        let u = union_sets(&a, &b);
+        assert_eq!(u.len(), 3);
+        let i = intersect_sets(&a, &b);
+        assert_eq!(i.into_iter().collect::<Vec<_>>(), vec![443]);
+    }
+}

@@ -1,0 +1,316 @@
+//! The southbound API (§4.2): the trait every NF implements.
+
+use std::any::Any;
+
+use opennf_packet::{ConnKey, Filter, FlowId, Packet};
+
+use crate::cost::CostModel;
+use crate::state::Chunk;
+
+/// A structured log/alert record emitted by an NF while processing
+/// traffic. Experiments count these (e.g. spurious `SYN_inside_connection`
+/// alerts under reordering, missed malware detections under loss,
+/// incorrect `conn.log` entries under VM replication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Record category, e.g. `"alert.scan"`, `"alert.malware"`,
+    /// `"weird.syn_inside_connection"`, `"conn_log"`.
+    pub kind: String,
+    /// The connection the record pertains to, if any.
+    pub conn: Option<ConnKey>,
+    /// Free-form details.
+    pub detail: String,
+}
+
+impl LogRecord {
+    /// Convenience constructor.
+    pub fn new(kind: &str, conn: Option<ConnKey>, detail: impl Into<String>) -> Self {
+        LogRecord { kind: kind.to_string(), conn, detail: detail.into() }
+    }
+}
+
+/// A fatal NF error: the instance has crashed and processes no further
+/// packets (Table 1's Squid "Crashed" outcome when multi-flow state for
+/// in-progress transfers is missing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NfFault {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for NfFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NF fault: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NfFault {}
+
+/// A recoverable error from a `put*` call (malformed chunk, unknown kind).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The southbound interface a controller drives (§4.2). The trait mirrors
+/// the paper's function set:
+///
+/// ```text
+/// multimap<flowid,chunk> getPerflow(filter)      -> get_perflow
+/// void putPerflow(multimap<flowid,chunk>)        -> put_perflow
+/// void delPerflow(list<flowid>)                  -> del_perflow
+/// (same for Multiflow)
+/// list<chunk> getAllflows()                      -> get_allflows
+/// void putAllflows(list<chunk>)                  -> put_allflows
+/// ```
+///
+/// plus `list_*` enumerators the harness uses for chunk-at-a-time exports
+/// (the parallelize / early-release optimizations of §5.1.3 stream chunks
+/// individually), and `process_packet`/`drain_logs` for the data path.
+///
+/// "The NF is responsible for identifying and providing all per-flow or
+/// multi-flow state that pertains to flows matching the filter" and "for
+/// replacing or combining existing state … with state provided in an
+/// invocation of putPerflow (or putMultiflow)".
+pub trait NetworkFunction: Any + Send {
+    /// Short type name (`"ids"`, `"monitor"`, `"proxy"`, `"nat"`, …).
+    fn nf_type(&self) -> &'static str;
+
+    /// Processes one packet, updating internal state. `Err` means the
+    /// instance crashed (it must not be given further packets).
+    fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault>;
+
+    /// Removes and returns log records accumulated since the last drain.
+    fn drain_logs(&mut self) -> Vec<LogRecord>;
+
+    /// Flow ids of per-flow state matching `filter`, in deterministic order.
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId>;
+
+    /// Exports per-flow state matching `filter`.
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk>;
+
+    /// Imports per-flow chunks, replacing or merging with existing state.
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError>;
+
+    /// Deletes per-flow state for the given flow ids.
+    fn del_perflow(&mut self, flow_ids: &[FlowId]);
+
+    /// Flow ids of multi-flow state matching `filter`.
+    fn list_multiflow(&self, filter: &Filter) -> Vec<FlowId>;
+
+    /// Exports multi-flow state matching `filter`.
+    fn get_multiflow(&mut self, filter: &Filter) -> Vec<Chunk>;
+
+    /// Imports multi-flow chunks, merging with existing state (counters
+    /// add, timestamps max, sets union — NF-specific).
+    fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError>;
+
+    /// Deletes multi-flow state for the given flow ids.
+    fn del_multiflow(&mut self, flow_ids: &[FlowId]);
+
+    /// Exports all-flows state. (No filter: it applies to everything.)
+    fn get_allflows(&mut self) -> Vec<Chunk>;
+
+    /// Imports all-flows chunks, merging with existing state. There is no
+    /// `del_allflows`: "all-flows state is always relevant regardless of
+    /// the traffic an NF is processing".
+    fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError>;
+
+    /// Virtual-time costs of this NF's operations (Figures 10–13).
+    fn cost_model(&self) -> CostModel {
+        CostModel::default()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A minimal counting NF used by framework tests.
+
+    use std::collections::BTreeMap;
+
+    use super::*;
+    use crate::state::Scope;
+
+    /// Counts packets per connection (per-flow state = a u64 counter) and
+    /// per source host (multi-flow state = a u64 counter). All-flows state
+    /// is the total packet count.
+    #[derive(Default)]
+    pub struct CountNf {
+        pub per_flow: BTreeMap<FlowId, u64>,
+        pub per_host: BTreeMap<FlowId, u64>,
+        pub total: u64,
+        pub processed_uids: Vec<u64>,
+        logs: Vec<LogRecord>,
+    }
+
+    impl NetworkFunction for CountNf {
+        fn nf_type(&self) -> &'static str {
+            "count"
+        }
+
+        fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+            *self.per_flow.entry(pkt.flow_id()).or_insert(0) += 1;
+            *self.per_host.entry(FlowId::host(pkt.src_ip())).or_insert(0) += 1;
+            self.total += 1;
+            self.processed_uids.push(pkt.uid);
+            self.logs.push(LogRecord::new("count", Some(pkt.conn_key()), ""));
+            Ok(())
+        }
+
+        fn drain_logs(&mut self) -> Vec<LogRecord> {
+            std::mem::take(&mut self.logs)
+        }
+
+        fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+            self.per_flow.keys().filter(|id| filter.matches_flow_id(id)).copied().collect()
+        }
+
+        fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+            self.list_perflow(filter)
+                .into_iter()
+                .map(|id| Chunk::encode(id, Scope::PerFlow, "count", &self.per_flow[&id]))
+                .collect()
+        }
+
+        fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+            for c in chunks {
+                let v: u64 = c.decode().map_err(|e| StateError { reason: e })?;
+                self.per_flow.insert(c.flow_id, v);
+            }
+            Ok(())
+        }
+
+        fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+            for id in flow_ids {
+                self.per_flow.remove(id);
+            }
+        }
+
+        fn list_multiflow(&self, filter: &Filter) -> Vec<FlowId> {
+            self.per_host.keys().filter(|id| filter.matches_flow_id(id)).copied().collect()
+        }
+
+        fn get_multiflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+            self.list_multiflow(filter)
+                .into_iter()
+                .map(|id| Chunk::encode(id, Scope::MultiFlow, "host", &self.per_host[&id]))
+                .collect()
+        }
+
+        fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+            for c in chunks {
+                let v: u64 = c.decode().map_err(|e| StateError { reason: e })?;
+                // Counters combine by addition (§4.2).
+                *self.per_host.entry(c.flow_id).or_insert(0) += v;
+            }
+            Ok(())
+        }
+
+        fn del_multiflow(&mut self, flow_ids: &[FlowId]) {
+            for id in flow_ids {
+                self.per_host.remove(id);
+            }
+        }
+
+        fn get_allflows(&mut self) -> Vec<Chunk> {
+            vec![Chunk::encode(FlowId::default(), Scope::AllFlows, "total", &self.total)]
+        }
+
+        fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+            for c in chunks {
+                let v: u64 = c.decode().map_err(|e| StateError { reason: e })?;
+                self.total += v;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::CountNf;
+    use super::*;
+    use opennf_packet::{FlowKey, Ipv4Prefix};
+    use std::net::Ipv4Addr;
+
+    fn pkt(uid: u64, src: &str) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp(src.parse().unwrap(), 1000 + uid as u16, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .build()
+    }
+
+    #[test]
+    fn state_builds_and_exports_by_filter() {
+        let mut nf = CountNf::default();
+        nf.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+        nf.process_packet(&pkt(2, "10.0.0.1")).unwrap();
+        nf.process_packet(&pkt(3, "10.1.0.9")).unwrap();
+        assert_eq!(nf.per_flow.len(), 3);
+        assert_eq!(nf.per_host.len(), 2);
+
+        let filter = Filter::from_src(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 16));
+        assert_eq!(nf.list_perflow(&filter).len(), 2);
+        let chunks = nf.get_perflow(&filter);
+        assert_eq!(chunks.len(), 2);
+        let host_chunks = nf.get_multiflow(&filter);
+        assert_eq!(host_chunks.len(), 1); // only 10.0.0.1
+    }
+
+    #[test]
+    fn move_semantics_get_del_put() {
+        let mut src = CountNf::default();
+        let mut dst = CountNf::default();
+        src.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+        src.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+
+        let all = Filter::any();
+        let chunks = src.get_perflow(&all);
+        let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+        src.del_perflow(&ids);
+        assert!(src.per_flow.is_empty());
+        dst.put_perflow(chunks).unwrap();
+        assert_eq!(dst.per_flow.values().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn multiflow_put_merges_by_addition() {
+        let mut a = CountNf::default();
+        let mut b = CountNf::default();
+        a.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+        b.process_packet(&pkt(2, "10.0.0.1")).unwrap();
+        b.process_packet(&pkt(3, "10.0.0.1")).unwrap();
+        let chunks = a.get_multiflow(&Filter::any());
+        b.put_multiflow(chunks).unwrap();
+        let host = FlowId::host(Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(b.per_host[&host], 3, "1 from a merged into 2 at b");
+    }
+
+    #[test]
+    fn allflows_roundtrip() {
+        let mut a = CountNf::default();
+        a.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+        let chunks = a.get_allflows();
+        let mut b = CountNf::default();
+        b.put_allflows(chunks).unwrap();
+        assert_eq!(b.total, 1);
+    }
+
+    #[test]
+    fn logs_drain_once() {
+        let mut nf = CountNf::default();
+        nf.process_packet(&pkt(1, "10.0.0.1")).unwrap();
+        assert_eq!(nf.drain_logs().len(), 1);
+        assert!(nf.drain_logs().is_empty());
+    }
+}

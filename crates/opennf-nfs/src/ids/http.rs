@@ -1,0 +1,280 @@
+//! The HTTP analyzer: reassembles request and response payloads from a
+//! TCP connection and emits events when a request line/headers or a
+//! complete response body has been assembled.
+//!
+//! The response body digest is the crux of the paper's loss-freedom
+//! argument: "the Bro IDS's malware detection script will compute incorrect
+//! md5sums and fail to detect malicious content if part of an HTTP reply is
+//! missing" (§5.1.1). The analyzer therefore accumulates the *exact bytes
+//! it is fed*; any packet dropped during a state move permanently corrupts
+//! the digest because the IDS taps a copy of traffic and can never see a
+//! retransmission of what the copy lost.
+
+use opennf_util::Md5;
+use serde::{Deserialize, Serialize};
+
+/// Events produced as the analyzer assembles messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpEvent {
+    /// A complete request head was parsed.
+    Request {
+        /// Requested URL (path).
+        url: String,
+        /// User-Agent header value ("" when absent).
+        user_agent: String,
+    },
+    /// A complete response body was reassembled.
+    ResponseBody {
+        /// MD5 of the body bytes, lowercase hex.
+        md5_hex: String,
+        /// URL of the request this response answers ("" if unseen).
+        url: String,
+    },
+}
+
+/// Reassembly state for one HTTP connection (one transaction at a time;
+/// pipelining is out of scope, as in the paper's workloads).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HttpAnalyzer {
+    /// Client-to-server bytes not yet parsed into a request head.
+    pub req_buf: Vec<u8>,
+    /// URL of the most recent complete request.
+    pub current_url: String,
+    /// Response head bytes until `\r\n\r\n` is found.
+    pub resp_head_buf: Vec<u8>,
+    /// True once the response head has been parsed.
+    pub resp_head_done: bool,
+    /// Declared Content-Length of the in-flight response.
+    pub resp_expected: usize,
+    /// Reassembled response body bytes so far.
+    pub resp_body: Vec<u8>,
+    /// Transactions completed on this connection.
+    pub transactions: u64,
+}
+
+impl HttpAnalyzer {
+    /// Feeds payload bytes in one direction; returns any completed-message
+    /// events.
+    pub fn feed(&mut self, from_server: bool, payload: &[u8]) -> Vec<HttpEvent> {
+        if from_server {
+            self.feed_response(payload)
+        } else {
+            self.feed_request(payload)
+        }
+    }
+
+    fn feed_request(&mut self, payload: &[u8]) -> Vec<HttpEvent> {
+        self.req_buf.extend_from_slice(payload);
+        let Some(head_end) = find_double_crlf(&self.req_buf) else {
+            return Vec::new();
+        };
+        let head = String::from_utf8_lossy(&self.req_buf[..head_end]).into_owned();
+        self.req_buf.drain(..head_end + 4);
+        let mut url = String::new();
+        let mut user_agent = String::new();
+        for (i, line) in head.split("\r\n").enumerate() {
+            if i == 0 {
+                // e.g. "GET /path HTTP/1.1"
+                let mut parts = line.split_whitespace();
+                let _method = parts.next();
+                url = parts.next().unwrap_or("").to_string();
+            } else if let Some(v) = line.strip_prefix("User-Agent: ") {
+                user_agent = v.to_string();
+            }
+        }
+        self.current_url = url.clone();
+        // A new request begins a new response cycle.
+        self.resp_head_buf.clear();
+        self.resp_head_done = false;
+        self.resp_expected = 0;
+        self.resp_body.clear();
+        vec![HttpEvent::Request { url, user_agent }]
+    }
+
+    fn feed_response(&mut self, payload: &[u8]) -> Vec<HttpEvent> {
+        let mut rest: &[u8] = payload;
+        if !self.resp_head_done {
+            self.resp_head_buf.extend_from_slice(rest);
+            let Some(head_end) = find_double_crlf(&self.resp_head_buf) else {
+                return Vec::new();
+            };
+            let head = String::from_utf8_lossy(&self.resp_head_buf[..head_end]).into_owned();
+            for line in head.split("\r\n") {
+                if let Some(v) = line.strip_prefix("Content-Length: ") {
+                    self.resp_expected = v.trim().parse().unwrap_or(0);
+                }
+            }
+            // Everything after the head already received is body.
+            let body_start = head_end + 4;
+            let tail: Vec<u8> = self.resp_head_buf[body_start..].to_vec();
+            self.resp_head_buf.clear();
+            self.resp_head_done = true;
+            self.resp_body = tail;
+            rest = &[];
+        }
+        if !rest.is_empty() {
+            self.resp_body.extend_from_slice(rest);
+        }
+        if self.resp_head_done && self.resp_expected > 0 && self.resp_body.len() >= self.resp_expected
+        {
+            let body = &self.resp_body[..self.resp_expected];
+            let md5_hex = Md5::hex(body);
+            self.resp_body.drain(..self.resp_expected);
+            self.resp_head_done = false;
+            self.resp_expected = 0;
+            self.transactions += 1;
+            return vec![HttpEvent::ResponseBody { md5_hex, url: self.current_url.clone() }];
+        }
+        Vec::new()
+    }
+
+    /// Bytes currently buffered (request + response) — the "partially
+    /// reassembled HTTP payloads" that make Bro's per-flow chunks large.
+    pub fn buffered_bytes(&self) -> usize {
+        self.req_buf.len() + self.resp_head_buf.len() + self.resp_body.len()
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(url: &str, ua: &str) -> Vec<u8> {
+        format!("GET {url} HTTP/1.1\r\nHost: example\r\nUser-Agent: {ua}\r\n\r\n").into_bytes()
+    }
+
+    fn response(body: &[u8]) -> Vec<u8> {
+        let mut v = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", body.len())
+            .into_bytes();
+        v.extend_from_slice(body);
+        v
+    }
+
+    #[test]
+    fn parses_request_head() {
+        let mut a = HttpAnalyzer::default();
+        let ev = a.feed(false, &request("/index.html", "MSIE 6.0"));
+        assert_eq!(
+            ev,
+            vec![HttpEvent::Request { url: "/index.html".into(), user_agent: "MSIE 6.0".into() }]
+        );
+    }
+
+    #[test]
+    fn request_split_across_packets() {
+        let mut a = HttpAnalyzer::default();
+        let req = request("/a", "X");
+        let (p1, p2) = req.split_at(10);
+        assert!(a.feed(false, p1).is_empty());
+        let ev = a.feed(false, p2);
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn response_body_digested_when_complete() {
+        let mut a = HttpAnalyzer::default();
+        a.feed(false, &request("/file.bin", "X"));
+        let body = b"MALWARE-PAYLOAD-0123456789";
+        let resp = response(body);
+        // Split into 7-byte packets.
+        let mut events = Vec::new();
+        for chunk in resp.chunks(7) {
+            events.extend(a.feed(true, chunk));
+        }
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            HttpEvent::ResponseBody { md5_hex, url } => {
+                assert_eq!(md5_hex, &Md5::hex(body));
+                assert_eq!(url, "/file.bin");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(a.transactions, 1);
+    }
+
+    #[test]
+    fn dropped_segment_changes_digest() {
+        // The §5.1.1 failure mode: missing bytes => wrong md5 => no match.
+        let body = b"MALWARE-PAYLOAD-0123456789";
+        let resp = response(body);
+        let chunks: Vec<&[u8]> = resp.chunks(7).collect();
+
+        let mut lossless = HttpAnalyzer::default();
+        lossless.feed(false, &request("/f", "X"));
+        let mut complete_digest = None;
+        for c in &chunks {
+            for ev in lossless.feed(true, c) {
+                if let HttpEvent::ResponseBody { md5_hex, .. } = ev {
+                    complete_digest = Some(md5_hex);
+                }
+            }
+        }
+        let complete_digest = complete_digest.expect("body completed");
+
+        let mut lossy = HttpAnalyzer::default();
+        lossy.feed(false, &request("/f", "X"));
+        let mut lossy_digest = None;
+        for (i, c) in chunks.iter().enumerate() {
+            if i == 2 {
+                continue; // drop one mid-body segment
+            }
+            for ev in lossy.feed(true, c) {
+                if let HttpEvent::ResponseBody { md5_hex, .. } = ev {
+                    lossy_digest = Some(md5_hex);
+                }
+            }
+        }
+        // Either the body never completes, or it completes with the wrong
+        // bytes; both mean the malware signature cannot match.
+        if let Some(d) = lossy_digest {
+            assert_ne!(d, complete_digest);
+        }
+    }
+
+    #[test]
+    fn two_transactions_sequentially() {
+        let mut a = HttpAnalyzer::default();
+        a.feed(false, &request("/one", "X"));
+        let n1 = a.feed(true, &response(b"AAAA"));
+        assert_eq!(n1.len(), 1);
+        a.feed(false, &request("/two", "X"));
+        let n2 = a.feed(true, &response(b"BBBB"));
+        assert_eq!(n2.len(), 1);
+        assert_eq!(a.transactions, 2);
+        match &n2[0] {
+            HttpEvent::ResponseBody { url, .. } => assert_eq!(url, "/two"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn buffered_bytes_reflects_partial_state() {
+        let mut a = HttpAnalyzer::default();
+        a.feed(false, &request("/f", "X"));
+        let resp = response(&[0x55u8; 1000]);
+        a.feed(true, &resp[..500]);
+        assert!(a.buffered_bytes() >= 400, "mid-transfer buffer is live state");
+    }
+
+    #[test]
+    fn serde_roundtrip_midtransfer() {
+        let mut a = HttpAnalyzer::default();
+        a.feed(false, &request("/f", "X"));
+        let body = vec![0x66u8; 64];
+        let resp = response(&body);
+        a.feed(true, &resp[..resp.len() - 10]);
+        let js = serde_json::to_string(&a).unwrap();
+        let mut b: HttpAnalyzer = serde_json::from_str(&js).unwrap();
+        // Finish the transfer on the deserialized copy.
+        let ev = b.feed(true, &resp[resp.len() - 10..]);
+        assert_eq!(ev.len(), 1);
+        match &ev[0] {
+            HttpEvent::ResponseBody { md5_hex, .. } => assert_eq!(md5_hex, &Md5::hex(&body)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Multi-flow scan-detection counters: per external host, the set of
+//! destination ports attempted and the total connection attempts
+//! (Figure 1's "host-specific connection counters"; Figure 8 keys them by
+//! ⟨external IP, destination port⟩ — here the per-host record carries the
+//! full port set, which is the same information grouped by host).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-external-host connection counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCounter {
+    /// Distinct destination ports this host attempted to reach.
+    pub ports: BTreeSet<u16>,
+    /// Total connection (SYN) attempts.
+    pub attempts: u64,
+    /// Most recent attempt (virtual ns).
+    pub last_seen_ns: u64,
+    /// Whether the scan alert has already fired for this host (dedup).
+    pub alerted: bool,
+}
+
+impl HostCounter {
+    /// Records one connection attempt.
+    pub fn record_attempt(&mut self, dst_port: u16, now_ns: u64) {
+        self.ports.insert(dst_port);
+        self.attempts += 1;
+        self.last_seen_ns = self.last_seen_ns.max(now_ns);
+    }
+
+    /// Merges another counter into this one (§4.2 semantics: union the
+    /// port sets, add the attempt counters, take the latest timestamp; the
+    /// alert latch is sticky so a host never alerts twice after counters
+    /// are recombined at scale-in).
+    pub fn merge(&mut self, other: &HostCounter) {
+        self.ports = opennf_nf::merge::union_sets(&self.ports, &other.ports);
+        self.attempts = opennf_nf::merge::add_counters(self.attempts, other.attempts);
+        self.last_seen_ns = opennf_nf::merge::max_timestamp(self.last_seen_ns, other.last_seen_ns);
+        self.alerted |= other.alerted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attempts() {
+        let mut c = HostCounter::default();
+        c.record_attempt(80, 100);
+        c.record_attempt(80, 200);
+        c.record_attempt(443, 150);
+        assert_eq!(c.ports.len(), 2);
+        assert_eq!(c.attempts, 3);
+        assert_eq!(c.last_seen_ns, 200);
+    }
+
+    #[test]
+    fn merge_unions_and_adds() {
+        let mut a = HostCounter::default();
+        a.record_attempt(1, 10);
+        a.record_attempt(2, 20);
+        let mut b = HostCounter::default();
+        b.record_attempt(2, 30);
+        b.record_attempt(3, 5);
+        b.alerted = true;
+        a.merge(&b);
+        assert_eq!(a.ports.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(a.attempts, 4);
+        assert_eq!(a.last_seen_ns, 30);
+        assert!(a.alerted);
+    }
+
+    #[test]
+    fn split_counters_merge_to_whole() {
+        // The scale-in scenario of §2.1: counters split across two
+        // instances must combine into the counters one instance would have
+        // had.
+        let mut whole = HostCounter::default();
+        let mut part1 = HostCounter::default();
+        let mut part2 = HostCounter::default();
+        for port in 0..20u16 {
+            whole.record_attempt(port, port as u64);
+            if port % 2 == 0 {
+                part1.record_attempt(port, port as u64);
+            } else {
+                part2.record_attempt(port, port as u64);
+            }
+        }
+        part1.merge(&part2);
+        assert_eq!(part1.ports, whole.ports);
+        assert_eq!(part1.attempts, whole.attempts);
+        assert_eq!(part1.last_seen_ns, whole.last_seen_ns);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = HostCounter::default();
+        c.record_attempt(8080, 7);
+        let js = serde_json::to_string(&c).unwrap();
+        let back: HostCounter = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,283 @@
+//! IDS behaviour tests: detection logic, state export/import, and the
+//! failure modes the paper's experiments count.
+
+use std::net::Ipv4Addr;
+
+use opennf_nf::NetworkFunction;
+use opennf_packet::{Filter, FlowId, FlowKey, Ipv4Prefix, Packet, TcpFlags};
+use opennf_util::Md5;
+
+use super::log_kinds;
+use super::*;
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+struct PktGen {
+    uid: u64,
+    now: u64,
+}
+
+impl PktGen {
+    fn new() -> Self {
+        PktGen { uid: 0, now: 0 }
+    }
+
+    fn pkt(&mut self, k: FlowKey, flags: TcpFlags, payload: &[u8]) -> Packet {
+        self.uid += 1;
+        self.now += 100_000; // 0.1 ms apart
+        Packet::builder(self.uid, k)
+            .flags(flags)
+            .payload(payload.to_vec())
+            .ingress_ns(self.now)
+            .build()
+    }
+
+    /// Full HTTP exchange: handshake, request, response in `seg`-byte
+    /// segments, teardown. Returns the packet list.
+    fn http_flow(&mut self, client: Ipv4Addr, cport: u16, server: Ipv4Addr, url: &str, ua: &str, body: &[u8], seg: usize) -> Vec<Packet> {
+        let k = FlowKey::tcp(client, cport, server, 80);
+        let mut pkts = Vec::new();
+        pkts.push(self.pkt(k, TcpFlags::SYN, b""));
+        pkts.push(self.pkt(k.reversed(), TcpFlags::SYN_ACK, b""));
+        pkts.push(self.pkt(k, TcpFlags::ACK, b""));
+        let req = format!("GET {url} HTTP/1.1\r\nHost: s\r\nUser-Agent: {ua}\r\n\r\n");
+        pkts.push(self.pkt(k, TcpFlags::PSH.union(TcpFlags::ACK), req.as_bytes()));
+        let mut resp = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", body.len()).into_bytes();
+        resp.extend_from_slice(body);
+        for chunk in resp.chunks(seg) {
+            pkts.push(self.pkt(k.reversed(), TcpFlags::ACK, chunk));
+        }
+        pkts.push(self.pkt(k, TcpFlags::FIN.union(TcpFlags::ACK), b""));
+        pkts.push(self.pkt(k.reversed(), TcpFlags::FIN.union(TcpFlags::ACK), b""));
+        pkts
+    }
+}
+
+fn feed(ids: &mut Ids, pkts: &[Packet]) {
+    for p in pkts {
+        ids.process_packet(p).unwrap();
+    }
+}
+
+fn logs_of_kind(logs: &[opennf_nf::LogRecord], kind: &str) -> usize {
+    logs.iter().filter(|l| l.kind == kind).count()
+}
+
+#[test]
+fn malware_detected_on_complete_flow() {
+    let body = b"EVIL-BYTES-EVIL-BYTES";
+    let sig = Md5::hex(body);
+    let mut ids = Ids::with_signatures([sig]);
+    let mut g = PktGen::new();
+    let pkts = g.http_flow(ip("10.0.0.5"), 4000, ip("93.184.216.34"), "/mal.bin", "Firefox", body, 8);
+    feed(&mut ids, &pkts);
+    let logs = ids.drain_logs();
+    assert_eq!(logs_of_kind(&logs, log_kinds::MALWARE), 1);
+    // Clean teardown also writes a normal conn.log entry.
+    assert_eq!(logs_of_kind(&logs, log_kinds::CONN_LOG), 1);
+    assert!(logs.iter().any(|l| l.kind == log_kinds::CONN_LOG && l.detail.contains("state=SF")));
+}
+
+#[test]
+fn malware_missed_when_segment_dropped() {
+    let body = b"EVIL-BYTES-EVIL-BYTES";
+    let sig = Md5::hex(body);
+    let mut ids = Ids::with_signatures([sig]);
+    let mut g = PktGen::new();
+    let pkts = g.http_flow(ip("10.0.0.5"), 4000, ip("93.184.216.34"), "/mal.bin", "Firefox", body, 8);
+    // Drop one mid-body segment (index 5 = second response segment).
+    for (i, p) in pkts.iter().enumerate() {
+        if i == 5 {
+            continue;
+        }
+        ids.process_packet(p).unwrap();
+    }
+    let logs = ids.drain_logs();
+    assert_eq!(logs_of_kind(&logs, log_kinds::MALWARE), 0, "loss breaks the md5");
+}
+
+#[test]
+fn outdated_browser_alert() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    let pkts = g.http_flow(ip("10.0.0.5"), 4000, ip("1.2.3.4"), "/", "Mozilla/4.0 (MSIE 6.0)", b"ok", 8);
+    feed(&mut ids, &pkts);
+    let logs = ids.drain_logs();
+    assert_eq!(logs_of_kind(&logs, log_kinds::OUTDATED_BROWSER), 1);
+}
+
+#[test]
+fn port_scan_detected_and_counters_merge() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let scanner = ip("66.66.66.66");
+    let mut g = PktGen::new();
+    // 6 ports at instance 1, 6 different ports at instance 2: neither
+    // alone crosses the threshold of 10.
+    let mut ids2 = Ids::new(IdsConfig::default());
+    for port in 0..6u16 {
+        let k = FlowKey::tcp(scanner, 50000 + port, ip("10.0.0.9"), 100 + port);
+        let p = g.pkt(k, TcpFlags::SYN, b"");
+        ids.process_packet(&p).unwrap();
+        let k2 = FlowKey::tcp(scanner, 51000 + port, ip("10.0.1.9"), 200 + port);
+        let p2 = g.pkt(k2, TcpFlags::SYN, b"");
+        ids2.process_packet(&p2).unwrap();
+    }
+    assert_eq!(logs_of_kind(&ids.drain_logs(), log_kinds::SCAN), 0);
+    assert_eq!(logs_of_kind(&ids2.drain_logs(), log_kinds::SCAN), 0);
+    // Merge instance 2's counters into instance 1 (scale-in): now 12
+    // distinct ports -> alert fires at merge time.
+    let chunks = ids2.get_multiflow(&Filter::any());
+    ids.put_multiflow(chunks).unwrap();
+    let logs = ids.drain_logs();
+    assert_eq!(logs_of_kind(&logs, log_kinds::SCAN), 1);
+    assert_eq!(ids.host_counter(scanner).unwrap().ports.len(), 12);
+}
+
+#[test]
+fn scan_not_counted_for_local_sources() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    for port in 0..20u16 {
+        let k = FlowKey::tcp(ip("10.0.0.1"), 40000 + port, ip("10.0.0.2"), port);
+        let p = g.pkt(k, TcpFlags::SYN, b"");
+        ids.process_packet(&p).unwrap();
+    }
+    assert_eq!(ids.host_counter_count(), 0);
+    assert_eq!(logs_of_kind(&ids.drain_logs(), log_kinds::SCAN), 0);
+}
+
+#[test]
+fn perflow_move_preserves_midstream_detection() {
+    // The headline scenario: move a flow mid-HTTP-transfer; the digest
+    // still matches at the destination because the partially reassembled
+    // body moves inside the chunk.
+    let body = b"EVIL-BYTES-EVIL-BYTES-LONGER-PAYLOAD-0123456789";
+    let sig = Md5::hex(body);
+    let mut src = Ids::with_signatures([sig.clone()]);
+    let mut dst = Ids::with_signatures([sig]);
+    let mut g = PktGen::new();
+    let pkts = g.http_flow(ip("10.0.0.5"), 4000, ip("93.184.216.34"), "/m", "F", body, 8);
+    let split = pkts.len() / 2;
+    feed(&mut src, &pkts[..split]);
+
+    // Move per-flow state.
+    let filter = Filter::from_src(Ipv4Prefix::host(ip("10.0.0.5"))).bidi();
+    let chunks = src.get_perflow(&filter);
+    assert_eq!(chunks.len(), 1);
+    let ids_list: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+    src.del_perflow(&ids_list);
+    assert_eq!(src.conn_count(), 0);
+    dst.put_perflow(chunks).unwrap();
+
+    feed(&mut dst, &pkts[split..]);
+    let logs = dst.drain_logs();
+    assert_eq!(logs_of_kind(&logs, log_kinds::MALWARE), 1, "detection survives the move");
+    // And the source logged nothing bogus (moved flag semantics).
+    assert_eq!(logs_of_kind(&src.drain_logs(), log_kinds::CONN_LOG), 0);
+}
+
+#[test]
+fn rerouting_without_state_misses_malware() {
+    // The "NFV+SDN only" strawman: reroute mid-flow without moving state.
+    let body = b"EVIL-BYTES-EVIL-BYTES-LONGER-PAYLOAD-0123456789";
+    let sig = Md5::hex(body);
+    let mut src = Ids::with_signatures([sig.clone()]);
+    let mut dst = Ids::with_signatures([sig]);
+    let mut g = PktGen::new();
+    let pkts = g.http_flow(ip("10.0.0.5"), 4000, ip("93.184.216.34"), "/m", "F", body, 8);
+    let split = pkts.len() / 2;
+    feed(&mut src, &pkts[..split]);
+    feed(&mut dst, &pkts[split..]);
+    assert_eq!(logs_of_kind(&dst.drain_logs(), log_kinds::MALWARE), 0);
+    assert_eq!(logs_of_kind(&src.drain_logs(), log_kinds::MALWARE), 0);
+}
+
+#[test]
+fn expire_idle_writes_abnormal_entries() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    // Mid-stream flow that then goes silent.
+    let k = FlowKey::tcp(ip("10.0.0.5"), 4000, ip("1.2.3.4"), 80);
+    let p = g.pkt(k, TcpFlags::ACK, b"data");
+    ids.process_packet(&p).unwrap();
+    assert_eq!(ids.expire_idle(p.ingress_ns + 1), 0, "not yet idle");
+    let expired = ids.expire_idle(p.ingress_ns + opennf_sim::Dur::secs(61).as_nanos());
+    assert_eq!(expired, 1);
+    let logs = ids.drain_logs();
+    assert_eq!(logs.len(), 1);
+    assert!(Ids::is_abnormal_entry(&logs[0]), "timeout of a partial conn is abnormal: {}", logs[0].detail);
+}
+
+#[test]
+fn del_perflow_with_partial_flowid_removes_matching() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    for i in 0..4u16 {
+        let k = FlowKey::tcp(ip("10.0.0.5"), 4000 + i, ip("1.2.3.4"), 80);
+        let p = g.pkt(k, TcpFlags::SYN, b"");
+        ids.process_packet(&p).unwrap();
+    }
+    assert_eq!(ids.conn_count(), 4);
+    ids.del_perflow(&[FlowId::host(ip("10.0.0.5"))]);
+    assert_eq!(ids.conn_count(), 0);
+}
+
+#[test]
+fn allflows_stats_merge() {
+    let mut a = Ids::new(IdsConfig::default());
+    let mut b = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    let k = FlowKey::tcp(ip("10.0.0.5"), 4000, ip("1.2.3.4"), 80);
+    a.process_packet(&g.pkt(k, TcpFlags::SYN, b"")).unwrap();
+    let chunks = a.get_allflows();
+    b.put_allflows(chunks).unwrap();
+    assert_eq!(b.stats().packets, 1);
+    assert_eq!(b.stats().connections, 1);
+}
+
+#[test]
+fn get_perflow_filter_granularity() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    for (i, client) in ["10.0.0.1", "10.0.0.2", "10.1.0.1"].iter().enumerate() {
+        let k = FlowKey::tcp(ip(client), 4000 + i as u16, ip("1.2.3.4"), 80);
+        ids.process_packet(&g.pkt(k, TcpFlags::SYN, b"")).unwrap();
+    }
+    // Whole subnet.
+    let f16 = Filter::from_src("10.0.0.0/16".parse().unwrap()).bidi();
+    assert_eq!(ids.get_perflow(&f16).len(), 2);
+    // Single host.
+    let fh = Filter::from_src(Ipv4Prefix::host(ip("10.1.0.1"))).bidi();
+    assert_eq!(ids.get_perflow(&fh).len(), 1);
+    // Everything.
+    assert_eq!(ids.get_perflow(&Filter::any()).len(), 3);
+}
+
+#[test]
+fn state_bytes_nonzero_and_grows() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let mut g = PktGen::new();
+    let k = FlowKey::tcp(ip("10.0.0.5"), 4000, ip("1.2.3.4"), 80);
+    ids.process_packet(&g.pkt(k, TcpFlags::SYN, b"")).unwrap();
+    let s1 = ids.state_bytes();
+    assert!(s1 > 0);
+    let pkts = g.http_flow(ip("10.0.0.6"), 4001, ip("1.2.3.4"), "/x", "F", &[0u8; 2000], 500);
+    // Feed all but teardown so the conn (with buffered body) stays live.
+    feed(&mut ids, &pkts[..pkts.len() - 2]);
+    let s2 = ids.state_bytes();
+    assert!(s2 > s1, "reassembly buffers inflate per-flow state: {s1} -> {s2}");
+}
+
+#[test]
+fn put_perflow_rejects_unknown_kind() {
+    let mut ids = Ids::new(IdsConfig::default());
+    let bogus = opennf_nf::Chunk {
+        flow_id: FlowId::default(),
+        scope: opennf_nf::Scope::PerFlow,
+        kind: "mystery".into(),
+        data: vec![1, 2, 3],
+    };
+    assert!(ids.put_perflow(vec![bogus]).is_err());
+}

@@ -1,0 +1,28 @@
+//! Concrete network functions for the OpenNF reproduction.
+//!
+//! The paper augments four real NFs (§7) — the Bro IDS, the PRADS asset
+//! monitor, the Squid caching proxy, and iptables — and motivates a fifth
+//! (a redundancy-elimination encoder/decoder, §5.1.2). Each is rebuilt here
+//! from scratch as an implementation of
+//! [`opennf_nf::NetworkFunction`], with the same state taxonomy, the same
+//! merge semantics, and the same observable failure modes:
+//!
+//! | NF | per-flow | multi-flow | all-flows | failure modes exercised |
+//! |---|---|---|---|---|
+//! | [`ids::Ids`] | connection + analyzer objects (incl. partially reassembled HTTP bodies) | per-external-host scan counters | global stats | missed malware under loss, `SYN_inside_connection` under reordering, bogus `conn.log` under cloning |
+//! | [`monitor::AssetMonitor`] | connection metadata | per-host asset records (service set, OS guesses) | global stats | lost assets when multi-flow state is not copied |
+//! | [`proxy::Proxy`] | client transactions (incl. serialized sockets) | cache entries (URL-keyed, client-referenced) | global stats | crash when in-progress entries are missing (Table 1) |
+//! | [`nat::Nat`] | conntrack entries | — | — | broken translations after an unsafe move |
+//! | [`redundancy::ReDecoder`] | — | — | fingerprint store | desynchronization under reordering |
+
+pub mod ids;
+pub mod monitor;
+pub mod nat;
+pub mod proxy;
+pub mod redundancy;
+
+pub use ids::Ids;
+pub use monitor::AssetMonitor;
+pub use nat::Nat;
+pub use proxy::Proxy;
+pub use redundancy::{ReDecoder, ReEncoder};

@@ -1,0 +1,442 @@
+//! A PRADS-like passive asset monitor (§7 "PRADS asset monitor").
+//!
+//! "Identifies and logs basic information about active hosts and the
+//! services they are running." State taxonomy:
+//!
+//! * per-flow: `connection` structures with flow metadata;
+//! * multi-flow: per-host `asset` structures with operating-system and
+//!   service details, merged when `putMultiflow` delivers an asset for a
+//!   host that already has one (§7);
+//! * all-flows: a global statistics structure, copied/merged by
+//!   `get/putAllflows`.
+//!
+//! This is the NF the paper uses for the Figure 10/11 move/copy/share
+//! efficiency experiments, so its chunk sizes (~200 B) and costs are the
+//! calibration anchor of the reproduction's cost model.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use opennf_nf::{merge, Chunk, CostModel, LogRecord, NetworkFunction, NfFault, Scope, StateError};
+use opennf_packet::{ConnKey, Filter, FlowId, Packet, Proto, TcpFlags};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow connection metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnMeta {
+    /// Canonical connection key.
+    pub key: ConnKey,
+    /// First packet time (virtual ns).
+    pub first_seen_ns: u64,
+    /// Latest packet time (virtual ns).
+    pub last_seen_ns: u64,
+    /// Packets observed.
+    pub pkts: u64,
+    /// Payload bytes observed.
+    pub bytes: u64,
+    /// Crude application guess from the server port.
+    pub app: String,
+}
+
+/// A service observed on a host: `(port, proto, name)`.
+pub type Service = (u16, u8, String);
+
+/// Per-host asset record (multi-flow state).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Asset {
+    /// Services this host was seen offering.
+    pub services: BTreeSet<Service>,
+    /// Candidate OS fingerprints (from SYN signatures); kept as a set and
+    /// intersected on merge when both sides have observations.
+    pub os_guesses: BTreeSet<String>,
+    /// Flows involving this host.
+    pub flows: u64,
+    /// Latest activity (virtual ns).
+    pub last_seen_ns: u64,
+}
+
+impl Asset {
+    /// Merges `other` into `self` (§7: "If an asset object provided in a
+    /// putMultiflow call is associated with the same end-host as an asset
+    /// object already in the hash table, then the handler merges the
+    /// contents of the two objects").
+    pub fn merge(&mut self, other: &Asset) {
+        self.services = merge::union_sets(&self.services, &other.services);
+        self.os_guesses = if self.os_guesses.is_empty() || other.os_guesses.is_empty() {
+            merge::union_sets(&self.os_guesses, &other.os_guesses)
+        } else {
+            let i = merge::intersect_sets(&self.os_guesses, &other.os_guesses);
+            if i.is_empty() {
+                merge::union_sets(&self.os_guesses, &other.os_guesses)
+            } else {
+                i
+            }
+        };
+        self.flows = merge::add_counters(self.flows, other.flows);
+        self.last_seen_ns = merge::max_timestamp(self.last_seen_ns, other.last_seen_ns);
+    }
+}
+
+/// Global statistics (all-flows state).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Payload bytes processed.
+    pub bytes: u64,
+    /// Connections tracked.
+    pub flows: u64,
+}
+
+/// The asset-monitor instance.
+#[derive(Default)]
+pub struct AssetMonitor {
+    conns: BTreeMap<ConnKey, ConnMeta>,
+    assets: BTreeMap<Ipv4Addr, Asset>,
+    stats: MonitorStats,
+    logs: Vec<LogRecord>,
+}
+
+impl AssetMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live connection count.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Tracked asset count.
+    pub fn asset_count(&self) -> usize {
+        self.assets.len()
+    }
+
+    /// Global stats.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// Asset for `ip`, if known (tests).
+    pub fn asset(&self, ip: Ipv4Addr) -> Option<&Asset> {
+        self.assets.get(&ip)
+    }
+
+    fn app_of_port(port: u16) -> &'static str {
+        match port {
+            80 => "http",
+            443 => "https",
+            22 => "ssh",
+            53 => "dns",
+            25 => "smtp",
+            _ => "unknown",
+        }
+    }
+
+    fn key_to_conn(id: &FlowId) -> Option<ConnKey> {
+        match (id.nw_src, id.nw_dst, id.tp_src, id.tp_dst, id.nw_proto) {
+            (Some(si), Some(di), Some(sp), Some(dp), Some(pr)) => Some(ConnKey::of(
+                opennf_packet::FlowKey { src_ip: si, dst_ip: di, src_port: sp, dst_port: dp, proto: pr },
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl NetworkFunction for AssetMonitor {
+    fn nf_type(&self) -> &'static str {
+        "monitor"
+    }
+
+    fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+        self.stats.packets += 1;
+        self.stats.bytes += pkt.payload.len() as u64;
+        let key = pkt.conn_key();
+        let is_new = !self.conns.contains_key(&key);
+        if is_new {
+            self.stats.flows += 1;
+        }
+        let server_port = key.0.src_port.min(key.0.dst_port);
+        let meta = self.conns.entry(key).or_insert_with(|| ConnMeta {
+            key,
+            first_seen_ns: pkt.ingress_ns,
+            last_seen_ns: pkt.ingress_ns,
+            pkts: 0,
+            bytes: 0,
+            app: Self::app_of_port(server_port).to_string(),
+        });
+        meta.pkts += 1;
+        meta.bytes += pkt.payload.len() as u64;
+        meta.last_seen_ns = pkt.ingress_ns;
+
+        // Asset tracking: a SYN fingerprints the client OS; a SYN+ACK (or
+        // UDP reply) identifies a service on the responding host.
+        if pkt.is_syn() {
+            let a = self.assets.entry(pkt.src_ip()).or_default();
+            a.flows += 1;
+            a.last_seen_ns = a.last_seen_ns.max(pkt.ingress_ns);
+            // Fake p0f-style signature from the sequence number space.
+            let g = match pkt.seq % 3 {
+                0 => "linux",
+                1 => "windows",
+                _ => "bsd",
+            };
+            a.os_guesses.insert(g.to_string());
+        }
+        if pkt.is_syn_ack() || (pkt.proto() == Proto::Udp && !pkt.payload.is_empty()) {
+            let a = self.assets.entry(pkt.src_ip()).or_default();
+            a.last_seen_ns = a.last_seen_ns.max(pkt.ingress_ns);
+            let svc: Service = (
+                pkt.key.src_port,
+                pkt.proto().number(),
+                Self::app_of_port(pkt.key.src_port).to_string(),
+            );
+            if a.services.insert(svc) {
+                self.logs.push(LogRecord::new(
+                    "asset.service",
+                    Some(key),
+                    format!("host={} port={} app={}", pkt.src_ip(), pkt.key.src_port, Self::app_of_port(pkt.key.src_port)),
+                ));
+            }
+        }
+        if pkt.is_teardown() && pkt.flags.contains(TcpFlags::FIN) {
+            // PRADS keeps flow records briefly; drop on FIN from canonical
+            // reverse direction to bound memory.
+            if self.conns.get(&key).map(|m| m.pkts > 2).unwrap_or(false)
+                && pkt.key.conn_key().0 != pkt.key
+            {
+                self.conns.remove(&key);
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_logs(&mut self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.logs)
+    }
+
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.conns
+            .keys()
+            .map(|k| k.flow_id())
+            .filter(|id| filter.matches_flow_id(id))
+            .collect()
+    }
+
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.list_perflow(filter)
+            .into_iter()
+            .filter_map(|id| {
+                let key = Self::key_to_conn(&id)?;
+                let m = self.conns.get(&key)?;
+                Some(Chunk::encode(id, Scope::PerFlow, "connection", m))
+            })
+            .collect()
+    }
+
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "connection" {
+                return Err(StateError { reason: format!("monitor: unknown per-flow kind {}", c.kind) });
+            }
+            let m: ConnMeta = c.decode().map_err(|e| StateError { reason: e })?;
+            self.conns.insert(m.key, m);
+        }
+        Ok(())
+    }
+
+    fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            if let Some(key) = Self::key_to_conn(id) {
+                self.conns.remove(&key);
+            } else {
+                let f = Filter::from_flow_id(*id);
+                self.conns.retain(|k, _| !f.matches_flow_id(&k.flow_id()));
+            }
+        }
+    }
+
+    fn list_multiflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.assets
+            .keys()
+            .map(|ip| FlowId::host(*ip))
+            .filter(|id| filter.matches_flow_id(id))
+            .collect()
+    }
+
+    fn get_multiflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.list_multiflow(filter)
+            .into_iter()
+            .filter_map(|id| {
+                let ip = id.nw_src?;
+                let a = self.assets.get(&ip)?;
+                Some(Chunk::encode(id, Scope::MultiFlow, "asset", a))
+            })
+            .collect()
+    }
+
+    fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "asset" {
+                return Err(StateError { reason: format!("monitor: unknown multi-flow kind {}", c.kind) });
+            }
+            let incoming: Asset = c.decode().map_err(|e| StateError { reason: e })?;
+            let ip = c
+                .flow_id
+                .nw_src
+                .ok_or_else(|| StateError { reason: "monitor: asset chunk without host ip".into() })?;
+            self.assets.entry(ip).or_default().merge(&incoming);
+        }
+        Ok(())
+    }
+
+    fn del_multiflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            if let Some(ip) = id.nw_src {
+                self.assets.remove(&ip);
+            }
+        }
+    }
+
+    fn get_allflows(&mut self) -> Vec<Chunk> {
+        vec![Chunk::encode(FlowId::default(), Scope::AllFlows, "stats", &self.stats)]
+    }
+
+    fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "stats" {
+                return Err(StateError { reason: format!("monitor: unknown all-flows kind {}", c.kind) });
+            }
+            let s: MonitorStats = c.decode().map_err(|e| StateError { reason: e })?;
+            self.stats.packets += s.packets;
+            self.stats.bytes += s.bytes;
+            self.stats.flows += s.flows;
+        }
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CostModel {
+        // The calibration anchor: defaults are the PRADS numbers.
+        CostModel::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt(uid: u64, k: FlowKey, flags: TcpFlags) -> Packet {
+        Packet::builder(uid, k).flags(flags).seq(uid as u32).ingress_ns(uid * 1000).build()
+    }
+
+    #[test]
+    fn tracks_connections_and_assets() {
+        let mut m = AssetMonitor::new();
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        m.process_packet(&pkt(1, k, TcpFlags::SYN)).unwrap();
+        m.process_packet(&pkt(2, k.reversed(), TcpFlags::SYN_ACK)).unwrap();
+        assert_eq!(m.conn_count(), 1);
+        assert_eq!(m.asset_count(), 2, "client (OS) + server (service)");
+        let server = m.asset(ip("1.1.1.1")).unwrap();
+        assert!(server.services.iter().any(|(p, _, name)| *p == 80 && name == "http"));
+        let logs = m.drain_logs();
+        assert_eq!(logs.len(), 1);
+        assert!(logs[0].kind == "asset.service");
+    }
+
+    #[test]
+    fn asset_merge_unions_services() {
+        let mut a = Asset::default();
+        a.services.insert((80, 6, "http".into()));
+        a.os_guesses.insert("linux".into());
+        a.flows = 2;
+        a.last_seen_ns = 10;
+        let mut b = Asset::default();
+        b.services.insert((22, 6, "ssh".into()));
+        b.os_guesses.insert("linux".into());
+        b.os_guesses.insert("bsd".into());
+        b.flows = 3;
+        b.last_seen_ns = 99;
+        a.merge(&b);
+        assert_eq!(a.services.len(), 2);
+        assert_eq!(a.os_guesses.iter().cloned().collect::<Vec<_>>(), vec!["linux"]);
+        assert_eq!(a.flows, 5);
+        assert_eq!(a.last_seen_ns, 99);
+    }
+
+    #[test]
+    fn merge_with_disjoint_os_guesses_falls_back_to_union() {
+        let mut a = Asset::default();
+        a.os_guesses.insert("linux".into());
+        let mut b = Asset::default();
+        b.os_guesses.insert("windows".into());
+        a.merge(&b);
+        assert_eq!(a.os_guesses.len(), 2);
+    }
+
+    #[test]
+    fn perflow_roundtrip_via_chunks() {
+        let mut src = AssetMonitor::new();
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        src.process_packet(&pkt(1, k, TcpFlags::SYN)).unwrap();
+        let chunks = src.get_perflow(&Filter::any());
+        assert_eq!(chunks.len(), 1);
+        // Typical PRADS chunk is small (~200 B serialized).
+        assert!(chunks[0].len() < 400, "chunk is {} bytes", chunks[0].len());
+        let mut dst = AssetMonitor::new();
+        dst.put_perflow(chunks).unwrap();
+        assert_eq!(dst.conn_count(), 1);
+    }
+
+    #[test]
+    fn multiflow_put_merges_assets() {
+        let mut a = AssetMonitor::new();
+        let mut b = AssetMonitor::new();
+        let k1 = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        let k2 = FlowKey::tcp(ip("10.0.0.1"), 4001, ip("1.1.1.1"), 22);
+        a.process_packet(&pkt(1, k1.reversed(), TcpFlags::SYN_ACK)).unwrap();
+        b.process_packet(&pkt(2, k2.reversed(), TcpFlags::SYN_ACK)).unwrap();
+        let chunks = b.get_multiflow(&Filter::any());
+        a.put_multiflow(chunks).unwrap();
+        let asset = a.asset(ip("1.1.1.1")).unwrap();
+        assert_eq!(asset.services.len(), 2, "http + ssh merged");
+    }
+
+    #[test]
+    fn allflows_stats_add_up() {
+        let mut a = AssetMonitor::new();
+        let mut b = AssetMonitor::new();
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        a.process_packet(&pkt(1, k, TcpFlags::SYN)).unwrap();
+        b.process_packet(&pkt(2, k, TcpFlags::ACK)).unwrap();
+        b.put_allflows(a.get_allflows()).unwrap();
+        assert_eq!(b.stats().packets, 2);
+    }
+
+    #[test]
+    fn del_perflow_removes() {
+        let mut m = AssetMonitor::new();
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        m.process_packet(&pkt(1, k, TcpFlags::SYN)).unwrap();
+        let ids: Vec<FlowId> = m.list_perflow(&Filter::any());
+        m.del_perflow(&ids);
+        assert_eq!(m.conn_count(), 0);
+    }
+
+    #[test]
+    fn udp_service_detection() {
+        let mut m = AssetMonitor::new();
+        let k = FlowKey::udp(ip("8.8.8.8"), 53, ip("10.0.0.1"), 34000);
+        let mut p = Packet::builder(1, k).payload(&b"dns-answer"[..]).build();
+        p.ingress_ns = 5;
+        m.process_packet(&p).unwrap();
+        let a = m.asset(ip("8.8.8.8")).unwrap();
+        assert!(a.services.iter().any(|(p, proto, name)| *p == 53 && *proto == 17 && name == "dns"));
+    }
+}

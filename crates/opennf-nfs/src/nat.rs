@@ -1,0 +1,316 @@
+//! An iptables-like NAT (§7 "iptables").
+//!
+//! "The kernel tracks the 5-tuple, TCP state, security marks, etc. for all
+//! active flows … There is no multi-flow or all-flows state in iptables."
+//! Per-flow conntrack entries are flat and small, which is why iptables has
+//! the cheapest export/import in Figure 12.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use opennf_nf::{Chunk, CostModel, LogRecord, NetworkFunction, NfFault, Scope, StateError};
+use opennf_packet::{ConnKey, Filter, FlowId, Packet, TcpFlags};
+use opennf_sim::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Conntrack TCP states (abbreviated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CtState {
+    /// SYN seen.
+    SynSent,
+    /// SYN+ACK seen.
+    SynRecv,
+    /// Handshake complete.
+    Established,
+    /// FIN seen.
+    FinWait,
+    /// Closed or reset.
+    Closed,
+}
+
+/// One conntrack entry (per-flow state).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtEntry {
+    /// Original (canonical) connection key.
+    pub key: ConnKey,
+    /// Public source port the flow was translated to.
+    pub nat_port: u16,
+    /// TCP state.
+    pub state: CtState,
+    /// Security mark (set by policy; exercised as opaque state).
+    pub mark: u32,
+    /// Packets translated.
+    pub pkts: u64,
+}
+
+/// The NAT instance. Outbound flows (from `inside` prefix) are rewritten to
+/// `public_ip` with an allocated source port.
+pub struct Nat {
+    public_ip: Ipv4Addr,
+    next_port: u16,
+    table: BTreeMap<ConnKey, CtEntry>,
+    /// Packets that matched no entry and were not flow-starting — real NAT
+    /// drops these (exactly what breaks flows moved without their state).
+    pub untranslatable: u64,
+    logs: Vec<LogRecord>,
+}
+
+impl Nat {
+    /// Creates a NAT translating to `public_ip`.
+    pub fn new(public_ip: Ipv4Addr) -> Self {
+        Nat { public_ip, next_port: 20000, table: BTreeMap::new(), untranslatable: 0, logs: Vec::new() }
+    }
+
+    /// Live conntrack entries.
+    pub fn entry_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The entry for a connection (tests).
+    pub fn entry(&self, key: ConnKey) -> Option<&CtEntry> {
+        self.table.get(&key)
+    }
+
+    /// The public address of this NAT.
+    pub fn public_ip(&self) -> Ipv4Addr {
+        self.public_ip
+    }
+
+    fn key_to_conn(id: &FlowId) -> Option<ConnKey> {
+        match (id.nw_src, id.nw_dst, id.tp_src, id.tp_dst, id.nw_proto) {
+            (Some(si), Some(di), Some(sp), Some(dp), Some(pr)) => Some(ConnKey::of(
+                opennf_packet::FlowKey { src_ip: si, dst_ip: di, src_port: sp, dst_port: dp, proto: pr },
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl NetworkFunction for Nat {
+    fn nf_type(&self) -> &'static str {
+        "nat"
+    }
+
+    fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+        let key = pkt.conn_key();
+        match self.table.get_mut(&key) {
+            Some(e) => {
+                e.pkts += 1;
+                if pkt.is_syn_ack() && e.state == CtState::SynSent {
+                    e.state = CtState::SynRecv;
+                } else if pkt.flags.contains(TcpFlags::RST) {
+                    e.state = CtState::Closed;
+                } else if pkt.flags.contains(TcpFlags::FIN) {
+                    e.state = CtState::FinWait;
+                } else if !pkt.is_syn() && e.state == CtState::SynRecv {
+                    e.state = CtState::Established;
+                }
+            }
+            None => {
+                if pkt.is_syn() {
+                    let port = self.next_port;
+                    self.next_port = self.next_port.wrapping_add(1).max(20000);
+                    self.table.insert(
+                        key,
+                        CtEntry { key, nat_port: port, state: CtState::SynSent, mark: 0, pkts: 1 },
+                    );
+                } else {
+                    // Mid-flow packet with no entry: untranslatable.
+                    self.untranslatable += 1;
+                    self.logs.push(LogRecord::new(
+                        "nat.untranslatable",
+                        Some(key),
+                        format!("no conntrack entry for {}", pkt.key),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_logs(&mut self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.logs)
+    }
+
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.table
+            .keys()
+            .map(|k| k.flow_id())
+            .filter(|id| filter.matches_flow_id(id))
+            .collect()
+    }
+
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.list_perflow(filter)
+            .into_iter()
+            .filter_map(|id| {
+                let key = Self::key_to_conn(&id)?;
+                let e = self.table.get(&key)?;
+                Some(Chunk::encode(id, Scope::PerFlow, "conntrack", e))
+            })
+            .collect()
+    }
+
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "conntrack" {
+                return Err(StateError { reason: format!("nat: unknown per-flow kind {}", c.kind) });
+            }
+            let e: CtEntry = c.decode().map_err(|e| StateError { reason: e })?;
+            // Keep the allocator clear of imported ports.
+            if e.nat_port >= self.next_port {
+                self.next_port = e.nat_port.wrapping_add(1).max(20000);
+            }
+            self.table.insert(e.key, e);
+        }
+        Ok(())
+    }
+
+    fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            if let Some(key) = Self::key_to_conn(id) {
+                self.table.remove(&key);
+            } else {
+                let f = Filter::from_flow_id(*id);
+                self.table.retain(|k, _| !f.matches_flow_id(&k.flow_id()));
+            }
+        }
+    }
+
+    fn list_multiflow(&self, _filter: &Filter) -> Vec<FlowId> {
+        Vec::new()
+    }
+
+    fn get_multiflow(&mut self, _filter: &Filter) -> Vec<Chunk> {
+        Vec::new()
+    }
+
+    fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        if chunks.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError { reason: "nat has no multi-flow state".into() })
+        }
+    }
+
+    fn del_multiflow(&mut self, _flow_ids: &[FlowId]) {}
+
+    fn get_allflows(&mut self) -> Vec<Chunk> {
+        Vec::new()
+    }
+
+    fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        if chunks.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError { reason: "nat has no all-flows state".into() })
+        }
+    }
+
+    fn cost_model(&self) -> CostModel {
+        // Flat ~150 B entries captured via netlink: cheapest of the NFs.
+        CostModel {
+            get_chunk_base: Dur::micros(60),
+            get_chunk_per_byte: Dur::nanos(200),
+            put_factor: 0.5,
+            process_packet: Dur::micros(15),
+            export_contention: 1.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn syn(uid: u64, k: FlowKey) -> Packet {
+        Packet::builder(uid, k).flags(TcpFlags::SYN).build()
+    }
+
+    fn data(uid: u64, k: FlowKey) -> Packet {
+        Packet::builder(uid, k).flags(TcpFlags::ACK).build()
+    }
+
+    #[test]
+    fn allocates_distinct_ports() {
+        let mut nat = Nat::new(ip("200.0.0.1"));
+        let k1 = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        let k2 = FlowKey::tcp(ip("10.0.0.2"), 4000, ip("1.1.1.1"), 80);
+        nat.process_packet(&syn(1, k1)).unwrap();
+        nat.process_packet(&syn(2, k2)).unwrap();
+        let p1 = nat.entry(k1.conn_key()).unwrap().nat_port;
+        let p2 = nat.entry(k2.conn_key()).unwrap().nat_port;
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn state_machine_progresses() {
+        let mut nat = Nat::new(ip("200.0.0.1"));
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        nat.process_packet(&syn(1, k)).unwrap();
+        assert_eq!(nat.entry(k.conn_key()).unwrap().state, CtState::SynSent);
+        nat.process_packet(
+            &Packet::builder(2, k.reversed()).flags(TcpFlags::SYN_ACK).build(),
+        )
+        .unwrap();
+        assert_eq!(nat.entry(k.conn_key()).unwrap().state, CtState::SynRecv);
+        nat.process_packet(&data(3, k)).unwrap();
+        assert_eq!(nat.entry(k.conn_key()).unwrap().state, CtState::Established);
+    }
+
+    #[test]
+    fn midflow_without_entry_is_untranslatable() {
+        let mut nat = Nat::new(ip("200.0.0.1"));
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        nat.process_packet(&data(1, k)).unwrap();
+        assert_eq!(nat.untranslatable, 1);
+        assert_eq!(nat.entry_count(), 0);
+        assert_eq!(nat.drain_logs().len(), 1);
+    }
+
+    #[test]
+    fn moved_entry_keeps_translation_alive() {
+        let mut a = Nat::new(ip("200.0.0.1"));
+        let mut b = Nat::new(ip("200.0.0.1"));
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        a.process_packet(&syn(1, k)).unwrap();
+        let port_before = a.entry(k.conn_key()).unwrap().nat_port;
+        let chunks = a.get_perflow(&Filter::any());
+        let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+        a.del_perflow(&ids);
+        b.put_perflow(chunks).unwrap();
+        b.process_packet(&data(2, k)).unwrap();
+        assert_eq!(b.untranslatable, 0);
+        assert_eq!(b.entry(k.conn_key()).unwrap().nat_port, port_before);
+        assert_eq!(b.entry(k.conn_key()).unwrap().pkts, 2);
+    }
+
+    #[test]
+    fn port_allocator_avoids_imported_ports() {
+        let mut a = Nat::new(ip("200.0.0.1"));
+        let k = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        a.process_packet(&syn(1, k)).unwrap();
+        let chunks = a.get_perflow(&Filter::any());
+        let mut b = Nat::new(ip("200.0.0.1"));
+        b.put_perflow(chunks).unwrap();
+        let imported = b.entry(k.conn_key()).unwrap().nat_port;
+        let k2 = FlowKey::tcp(ip("10.0.0.2"), 5000, ip("1.1.1.1"), 80);
+        b.process_packet(&syn(2, k2)).unwrap();
+        assert_ne!(b.entry(k2.conn_key()).unwrap().nat_port, imported);
+    }
+
+    #[test]
+    fn no_multi_or_allflows_state() {
+        let mut nat = Nat::new(ip("200.0.0.1"));
+        assert!(nat.get_multiflow(&Filter::any()).is_empty());
+        assert!(nat.get_allflows().is_empty());
+        assert!(nat.put_multiflow(vec![]).is_ok());
+        let bogus = Chunk { flow_id: FlowId::default(), scope: Scope::MultiFlow, kind: "x".into(), data: vec![] };
+        assert!(nat.put_multiflow(vec![bogus]).is_err());
+    }
+}

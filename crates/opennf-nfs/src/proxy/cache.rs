@@ -1,0 +1,210 @@
+//! Cache entries: the proxy's multi-flow state.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use opennf_nf::{Chunk, Scope, StateError};
+use opennf_packet::FlowId;
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one cached object. The object body is not stored
+/// byte-for-byte: it is synthesized deterministically from `body_seed`
+/// (the content never matters, only its size), but exported chunks carry
+/// the full body so state-transfer sizes are realistic — Table 1's
+/// "MB of multi-flow state transferred" column measures exactly this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Request URL identifying the object.
+    pub url: String,
+    /// Origin server address (derived from the URL hash — the vantage
+    /// point by which entries can be referenced, per §4.1).
+    pub server_ip: Ipv4Addr,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Seed from which the body bytes are synthesized.
+    pub body_seed: u64,
+    /// Whether the object is fully fetched.
+    pub complete: bool,
+    /// Cache hits served from this entry.
+    pub hits: u64,
+    /// Clients with in-progress transfers from this entry, with a
+    /// refcount per client (one client can have several concurrent
+    /// transactions on the same object).
+    pub active_clients: BTreeMap<Ipv4Addr, u32>,
+}
+
+impl CacheEntry {
+    /// "Fetches" the object for `url` from its origin: synthesizes a
+    /// complete entry.
+    pub fn fetch(url: &str, size: u64) -> CacheEntry {
+        let seed = fnv1a(url.as_bytes());
+        CacheEntry {
+            url: url.to_string(),
+            server_ip: server_ip_from_seed(seed),
+            size,
+            body_seed: seed,
+            complete: true,
+            hits: 0,
+            active_clients: BTreeMap::new(),
+        }
+    }
+
+    /// Merges another copy of the same object (§4.2 merge semantics: add
+    /// hit counters and active-client refcounts, prefer completeness).
+    pub fn merge(&mut self, other: &CacheEntry) {
+        debug_assert_eq!(self.url, other.url);
+        self.hits += other.hits;
+        self.complete |= other.complete;
+        for (c, n) in &other.active_clients {
+            *self.active_clients.entry(*c).or_insert(0) += n;
+        }
+    }
+
+    /// Registers one more in-progress transaction for `client`.
+    pub fn add_active(&mut self, client: Ipv4Addr) {
+        *self.active_clients.entry(client).or_insert(0) += 1;
+    }
+
+    /// Releases one in-progress transaction for `client`.
+    pub fn remove_active(&mut self, client: Ipv4Addr) {
+        if let Some(n) = self.active_clients.get_mut(&client) {
+            *n -= 1;
+            if *n == 0 {
+                self.active_clients.remove(&client);
+            }
+        }
+    }
+
+    /// Serializes to a chunk: JSON metadata followed by the synthesized
+    /// body bytes (length-prefixed), so `chunk.len()` reflects the real
+    /// transfer size of the object.
+    pub fn to_chunk(&self) -> Chunk {
+        let meta = serde_json::to_vec(self).expect("cache entry serializes");
+        let mut data = Vec::with_capacity(meta.len() + self.size as usize + 4);
+        data.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        data.extend_from_slice(&meta);
+        data.extend(body_bytes(self.body_seed, self.size));
+        Chunk {
+            flow_id: FlowId::host(self.server_ip),
+            scope: Scope::MultiFlow,
+            kind: "cache_entry".to_string(),
+            data,
+        }
+    }
+
+    /// Deserializes from a chunk, verifying the body length.
+    pub fn from_chunk(chunk: &Chunk) -> Result<CacheEntry, StateError> {
+        if chunk.data.len() < 4 {
+            return Err(StateError { reason: "proxy: truncated cache_entry chunk".into() });
+        }
+        let meta_len = u32::from_le_bytes(chunk.data[..4].try_into().unwrap()) as usize;
+        if chunk.data.len() < 4 + meta_len {
+            return Err(StateError { reason: "proxy: truncated cache_entry metadata".into() });
+        }
+        let entry: CacheEntry = serde_json::from_slice(&chunk.data[4..4 + meta_len])
+            .map_err(|e| StateError { reason: format!("proxy: bad cache_entry metadata: {e}") })?;
+        let body_len = chunk.data.len() - 4 - meta_len;
+        if body_len as u64 != entry.size {
+            return Err(StateError {
+                reason: format!(
+                    "proxy: cache_entry '{}' body is {} bytes, expected {}",
+                    entry.url, body_len, entry.size
+                ),
+            });
+        }
+        Ok(entry)
+    }
+}
+
+/// Parses an object size from a `?size=N` URL parameter (default 1 MiB).
+pub fn size_from_url(url: &str) -> u64 {
+    url.split_once("size=")
+        .and_then(|(_, v)| v.split(&['&', '#'][..]).next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024 * 1024)
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn server_ip_from_seed(seed: u64) -> Ipv4Addr {
+    // Origin servers live in 93.184.0.0/16 (the example.org block).
+    Ipv4Addr::new(93, 184, (seed >> 8) as u8, seed as u8)
+}
+
+/// Deterministic body synthesis: a cheap xorshift stream.
+pub fn body_bytes(seed: u64, size: u64) -> impl Iterator<Item = u8> {
+    let mut x = seed | 1;
+    (0..size).map(move |_| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_is_deterministic() {
+        let a = CacheEntry::fetch("/obj1?size=1000", 1000);
+        let b = CacheEntry::fetch("/obj1?size=1000", 1000);
+        assert_eq!(a, b);
+        let c = CacheEntry::fetch("/obj2?size=1000", 1000);
+        assert_ne!(a.body_seed, c.body_seed);
+    }
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(size_from_url("/x?size=500"), 500);
+        assert_eq!(size_from_url("/x?size=500&v=2"), 500);
+        assert_eq!(size_from_url("/x"), 1024 * 1024);
+        assert_eq!(size_from_url("/x?size=bogus"), 1024 * 1024);
+    }
+
+    #[test]
+    fn chunk_roundtrip_carries_full_body_size() {
+        let e = CacheEntry::fetch("/obj?size=5000", 5000);
+        let c = e.to_chunk();
+        assert!(c.len() as u64 > 5000, "chunk must include the body bytes");
+        let back = CacheEntry::from_chunk(&c).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn from_chunk_rejects_truncation() {
+        let e = CacheEntry::fetch("/obj?size=100", 100);
+        let mut c = e.to_chunk();
+        c.data.truncate(c.data.len() - 10);
+        assert!(CacheEntry::from_chunk(&c).is_err());
+        c.data.truncate(2);
+        assert!(CacheEntry::from_chunk(&c).is_err());
+    }
+
+    #[test]
+    fn merge_adds_hits_and_unions_clients() {
+        let mut a = CacheEntry::fetch("/o?size=10", 10);
+        a.hits = 3;
+        a.add_active("10.0.0.1".parse().unwrap());
+        let mut b = CacheEntry::fetch("/o?size=10", 10);
+        b.hits = 2;
+        b.add_active("10.0.0.2".parse().unwrap());
+        a.merge(&b);
+        assert_eq!(a.hits, 5);
+        assert_eq!(a.active_clients.len(), 2);
+        // Refcounts: two transactions, one teardown, still active.
+        a.add_active("10.0.0.1".parse().unwrap());
+        a.remove_active("10.0.0.1".parse().unwrap());
+        assert!(a.active_clients.contains_key(&"10.0.0.1".parse().unwrap()));
+        a.remove_active("10.0.0.1".parse().unwrap());
+        assert!(!a.active_clients.contains_key(&"10.0.0.1".parse().unwrap()));
+    }
+}

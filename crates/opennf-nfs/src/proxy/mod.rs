@@ -1,0 +1,352 @@
+//! A Squid-like caching proxy (§7 "Squid caching proxy").
+//!
+//! State taxonomy (Figure 3):
+//!
+//! * **per-flow** — socket context, request context, and reply context for
+//!   each client connection ([`ClientTxn`], including a CRIU-style
+//!   serialized socket);
+//! * **multi-flow** — cache entries for each requested web object
+//!   ([`CacheEntry`]), "referenced by client IP (to refer to cached objects
+//!   actively being served), server IP, or URL";
+//! * **all-flows** — global request/hit statistics.
+//!
+//! The Table 1 failure mode reproduces exactly: if processing of an
+//! in-progress transfer resumes at an instance that lacks the transfer's
+//! cache entry, the instance **crashes** ([`opennf_nf::NfFault`]). Copying
+//! only the active client's entries avoids the crash but sacrifices cache
+//! hit ratio; copying the whole cache restores the hit ratio at a ~14×
+//! larger state transfer.
+//!
+//! ## Wire model
+//!
+//! The workload generator drives the proxy with three packet shapes on
+//! port 3128:
+//!
+//! * a request packet whose payload is `GET <url> HTTP/1.1…` — URLs carry
+//!   their object size as `?size=N`;
+//! * empty "credit" packets: each one lets the proxy send one window
+//!   ([`WINDOW_BYTES`]) of the object to the client;
+//! * FIN teardown.
+
+pub mod cache;
+pub mod txn;
+
+use std::collections::BTreeMap;
+
+use opennf_nf::{Chunk, CostModel, LogRecord, NetworkFunction, NfFault, Scope, StateError};
+use opennf_packet::{ConnKey, Filter, FlowId, Packet};
+use opennf_sim::Dur;
+use serde::{Deserialize, Serialize};
+
+pub use cache::CacheEntry;
+pub use txn::{ClientTxn, SockState};
+
+/// Bytes of object data one credit packet releases toward the client.
+pub const WINDOW_BYTES: u64 = 64 * 1024;
+
+/// Global statistics (all-flows state).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyStats {
+    /// Requests received.
+    pub requests: u64,
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that had to be fetched.
+    pub misses: u64,
+    /// Object bytes delivered to clients.
+    pub bytes_served: u64,
+}
+
+/// The proxy instance.
+#[derive(Default)]
+pub struct Proxy {
+    txns: BTreeMap<ConnKey, ClientTxn>,
+    cache: BTreeMap<String, CacheEntry>,
+    stats: ProxyStats,
+    logs: Vec<LogRecord>,
+}
+
+impl Proxy {
+    /// Creates an empty proxy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Live client transactions.
+    pub fn txn_count(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Cached objects.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Global statistics.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Cache entry by URL (tests).
+    pub fn entry(&self, url: &str) -> Option<&CacheEntry> {
+        self.cache.get(url)
+    }
+
+    /// Total body bytes in the cache.
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.values().map(|e| e.size).sum()
+    }
+
+    fn key_to_conn(id: &FlowId) -> Option<ConnKey> {
+        match (id.nw_src, id.nw_dst, id.tp_src, id.tp_dst, id.nw_proto) {
+            (Some(si), Some(di), Some(sp), Some(dp), Some(pr)) => Some(ConnKey::of(
+                opennf_packet::FlowKey { src_ip: si, dst_ip: di, src_port: sp, dst_port: dp, proto: pr },
+            )),
+            _ => None,
+        }
+    }
+
+    /// NF-specific multi-flow matching (§4.2 delegates this to the NF):
+    /// a cache entry pertains to a filter when the filter matches the
+    /// entry's origin-server flow id, or any client currently being served
+    /// from the entry, or is a wildcard.
+    fn entry_matches(entry: &CacheEntry, filter: &Filter) -> bool {
+        if filter.is_any() {
+            return true;
+        }
+        if filter.matches_flow_id(&FlowId::host(entry.server_ip)) {
+            return true;
+        }
+        entry
+            .active_clients
+            .keys()
+            .any(|c| filter.matches_flow_id(&FlowId::host(*c)))
+    }
+
+    fn handle_request(&mut self, pkt: &Packet, url: String) -> Result<(), NfFault> {
+        self.stats.requests += 1;
+        let size = cache::size_from_url(&url);
+        let client = pkt.src_ip();
+        let complete_hit = self.cache.get(&url).map(|e| e.complete).unwrap_or(false);
+        if complete_hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            // Fetch from origin (synthesized deterministically from the
+            // URL) and insert; the entry is immediately complete because
+            // the origin fetch is not the phenomenon under study.
+            let e = CacheEntry::fetch(&url, size);
+            self.cache.insert(url.clone(), e);
+            self.logs.push(LogRecord::new("proxy.fetch", Some(pkt.conn_key()), url.clone()));
+        }
+        let entry = self.cache.get_mut(&url).expect("just ensured");
+        entry.hits += u64::from(complete_hit);
+        entry.add_active(client);
+        self.txns.insert(
+            pkt.conn_key(),
+            ClientTxn::new(pkt.conn_key(), client, url, size, pkt.ingress_ns),
+        );
+        Ok(())
+    }
+
+    fn handle_credit(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+        let key = pkt.conn_key();
+        let Some(txn) = self.txns.get_mut(&key) else {
+            // Credit for an unknown transaction: mid-flow packet whose
+            // per-flow state was never moved here. Squid would RST; we log.
+            self.logs.push(LogRecord::new("proxy.orphan_credit", Some(key), ""));
+            return Ok(());
+        };
+        let url = txn.url.clone();
+        if !self.cache.contains_key(&url) {
+            if txn.bytes_sent == 0 {
+                // Serving hasn't begun: a real proxy simply fetches the
+                // object (a miss), no dangling reference exists yet.
+                let size = txn.size;
+                let client = txn.client;
+                self.stats.misses += 1;
+                let mut e = CacheEntry::fetch(&url, size);
+                e.add_active(client);
+                self.cache.insert(url.clone(), e);
+                self.logs.push(LogRecord::new("proxy.refetch", Some(key), url.clone()));
+            } else {
+                // The Table 1 "Ignore" outcome: a transfer already being
+                // served from a cache entry that is gone is a
+                // use-after-free in real Squid — the instance crashes.
+                return Err(NfFault {
+                    reason: format!("cache entry '{url}' missing for in-progress transfer {key}"),
+                });
+            }
+        }
+        let entry = self.cache.get_mut(&url).expect("just ensured");
+        let sent = txn.advance(WINDOW_BYTES);
+        self.stats.bytes_served += sent;
+        txn.sock.seq = txn.sock.seq.wrapping_add(sent as u32);
+        if txn.done() {
+            let client = txn.client;
+            let key = txn.key;
+            entry.remove_active(client);
+            self.txns.remove(&key);
+        }
+        Ok(())
+    }
+}
+
+impl NetworkFunction for Proxy {
+    fn nf_type(&self) -> &'static str {
+        "proxy"
+    }
+
+    fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+        if pkt.is_teardown() {
+            if let Some(txn) = self.txns.remove(&pkt.conn_key()) {
+                if let Some(e) = self.cache.get_mut(&txn.url) {
+                    e.remove_active(txn.client);
+                }
+            }
+            return Ok(());
+        }
+        let payload = pkt.payload.as_ref();
+        if payload.starts_with(b"GET ") {
+            let line = String::from_utf8_lossy(payload);
+            let url = line
+                .split_whitespace()
+                .nth(1)
+                .unwrap_or("/")
+                .to_string();
+            self.handle_request(pkt, url)
+        } else if pkt.is_syn() || pkt.is_syn_ack() {
+            Ok(())
+        } else {
+            self.handle_credit(pkt)
+        }
+    }
+
+    fn drain_logs(&mut self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.logs)
+    }
+
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.txns
+            .keys()
+            .map(|k| k.flow_id())
+            .filter(|id| filter.matches_flow_id(id))
+            .collect()
+    }
+
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.list_perflow(filter)
+            .into_iter()
+            .filter_map(|id| {
+                let key = Self::key_to_conn(&id)?;
+                let t = self.txns.get(&key)?;
+                Some(Chunk::encode(id, Scope::PerFlow, "client_txn", t))
+            })
+            .collect()
+    }
+
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "client_txn" {
+                return Err(StateError { reason: format!("proxy: unknown per-flow kind {}", c.kind) });
+            }
+            let t: ClientTxn = c.decode().map_err(|e| StateError { reason: e })?;
+            // Re-link the imported transaction to its cache entry, if
+            // present (the entry may arrive via put_multiflow instead).
+            if let Some(e) = self.cache.get_mut(&t.url) {
+                e.add_active(t.client);
+            }
+            self.txns.insert(t.key, t);
+        }
+        Ok(())
+    }
+
+    fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            let keys: Vec<ConnKey> = if let Some(key) = Self::key_to_conn(id) {
+                vec![key]
+            } else {
+                let f = Filter::from_flow_id(*id);
+                self.txns.keys().filter(|k| f.matches_flow_id(&k.flow_id())).copied().collect()
+            };
+            for key in keys {
+                if let Some(txn) = self.txns.remove(&key) {
+                    // A departed transaction no longer pins its entry.
+                    if let Some(e) = self.cache.get_mut(&txn.url) {
+                        e.remove_active(txn.client);
+                    }
+                }
+            }
+        }
+    }
+
+    fn list_multiflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.cache
+            .values()
+            .filter(|e| Self::entry_matches(e, filter))
+            .map(|e| FlowId::host(e.server_ip))
+            .collect()
+    }
+
+    fn get_multiflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.cache
+            .values()
+            .filter(|e| Self::entry_matches(e, filter))
+            .map(CacheEntry::to_chunk)
+            .collect()
+    }
+
+    fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            if c.kind != "cache_entry" {
+                return Err(StateError { reason: format!("proxy: unknown multi-flow kind {}", c.kind) });
+            }
+            let incoming = CacheEntry::from_chunk(&c)?;
+            match self.cache.get_mut(&incoming.url) {
+                Some(existing) => existing.merge(&incoming),
+                None => {
+                    self.cache.insert(incoming.url.clone(), incoming);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn del_multiflow(&mut self, flow_ids: &[FlowId]) {
+        for id in flow_ids {
+            if let Some(ip) = id.nw_src {
+                self.cache.retain(|_, e| e.server_ip != ip);
+            }
+        }
+    }
+
+    fn get_allflows(&mut self) -> Vec<Chunk> {
+        vec![Chunk::encode(FlowId::default(), Scope::AllFlows, "stats", &self.stats)]
+    }
+
+    fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        for c in chunks {
+            let s: ProxyStats = c.decode().map_err(|e| StateError { reason: e })?;
+            self.stats.requests += s.requests;
+            self.stats.hits += s.hits;
+            self.stats.misses += s.misses;
+            self.stats.bytes_served += s.bytes_served;
+        }
+        Ok(())
+    }
+
+    fn cost_model(&self) -> CostModel {
+        // Socket (CRIU) serialization has a high fixed cost; bulk object
+        // bytes stream cheaply (memcpy-bound).
+        CostModel {
+            get_chunk_base: Dur::micros(400),
+            get_chunk_per_byte: Dur::nanos(8),
+            put_factor: 0.5,
+            process_packet: Dur::micros(40),
+            export_contention: 1.04,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,202 @@
+//! Proxy behaviour tests, centred on the Table 1 scenarios.
+
+use std::net::Ipv4Addr;
+
+use opennf_nf::{NetworkFunction, Scope};
+use opennf_packet::{Filter, FlowKey, Ipv4Prefix, Packet, TcpFlags};
+
+use super::*;
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+struct Gen {
+    uid: u64,
+}
+
+impl Gen {
+    fn new() -> Self {
+        Gen { uid: 0 }
+    }
+
+    fn p(&mut self, k: FlowKey, flags: TcpFlags, payload: &[u8]) -> Packet {
+        self.uid += 1;
+        Packet::builder(self.uid, k)
+            .flags(flags)
+            .payload(payload.to_vec())
+            .ingress_ns(self.uid * 1_000)
+            .build()
+    }
+
+    fn request(&mut self, client: Ipv4Addr, cport: u16, url: &str) -> Packet {
+        let k = FlowKey::tcp(client, cport, ip("10.9.9.9"), 3128);
+        let payload = format!("GET {url} HTTP/1.1\r\nHost: origin\r\n\r\n");
+        self.p(k, TcpFlags::PSH.union(TcpFlags::ACK), payload.as_bytes())
+    }
+
+    fn credit(&mut self, client: Ipv4Addr, cport: u16) -> Packet {
+        let k = FlowKey::tcp(client, cport, ip("10.9.9.9"), 3128);
+        self.p(k, TcpFlags::ACK, b"")
+    }
+
+    fn fin(&mut self, client: Ipv4Addr, cport: u16) -> Packet {
+        let k = FlowKey::tcp(client, cport, ip("10.9.9.9"), 3128);
+        self.p(k, TcpFlags::FIN.union(TcpFlags::ACK), b"")
+    }
+}
+
+#[test]
+fn miss_then_hit() {
+    let mut px = Proxy::new();
+    let mut g = Gen::new();
+    px.process_packet(&g.request(ip("10.0.0.1"), 4000, "/a?size=1000")).unwrap();
+    assert_eq!(px.stats().misses, 1);
+    assert_eq!(px.stats().hits, 0);
+    assert_eq!(px.cache_len(), 1);
+    px.process_packet(&g.request(ip("10.0.0.2"), 4001, "/a?size=1000")).unwrap();
+    assert_eq!(px.stats().hits, 1);
+    assert_eq!(px.cache_len(), 1);
+}
+
+#[test]
+fn transfer_completes_with_credits() {
+    let mut px = Proxy::new();
+    let mut g = Gen::new();
+    let size = 3 * WINDOW_BYTES / 2; // needs 2 credits
+    px.process_packet(&g.request(ip("10.0.0.1"), 4000, &format!("/a?size={size}"))).unwrap();
+    assert_eq!(px.txn_count(), 1);
+    px.process_packet(&g.credit(ip("10.0.0.1"), 4000)).unwrap();
+    assert_eq!(px.txn_count(), 1, "still mid-transfer");
+    px.process_packet(&g.credit(ip("10.0.0.1"), 4000)).unwrap();
+    assert_eq!(px.txn_count(), 0, "transfer done");
+    assert_eq!(px.stats().bytes_served, size);
+    assert!(px.entry("/a?size=98304").unwrap().active_clients.is_empty());
+}
+
+#[test]
+fn crash_when_entry_missing_for_midserving_transfer() {
+    // Table 1 "Ignore": move a transaction that is already being served
+    // but none of the multi-flow cache state; the next credit packet
+    // kills the instance (use-after-free in real Squid).
+    let mut src = Proxy::new();
+    let mut dst = Proxy::new();
+    let mut g = Gen::new();
+    src.process_packet(&g.request(ip("10.0.0.2"), 4000, "/big?size=1000000")).unwrap();
+    src.process_packet(&g.credit(ip("10.0.0.2"), 4000)).unwrap(); // serving began
+    let per = src.get_perflow(&Filter::any());
+    assert_eq!(per.len(), 1);
+    dst.put_perflow(per).unwrap();
+    let r = dst.process_packet(&g.credit(ip("10.0.0.2"), 4000));
+    assert!(r.is_err(), "missing cache entry for mid-serving transfer must crash");
+    assert!(r.unwrap_err().reason.contains("/big"));
+}
+
+#[test]
+fn not_yet_served_transfer_refetches_instead_of_crashing() {
+    // A moved transaction that never sent a byte can recover: the proxy
+    // re-fetches the object (counted as a miss).
+    let mut src = Proxy::new();
+    let mut dst = Proxy::new();
+    let mut g = Gen::new();
+    src.process_packet(&g.request(ip("10.0.0.2"), 4000, "/big?size=100000")).unwrap();
+    let per = src.get_perflow(&Filter::any());
+    dst.put_perflow(per).unwrap();
+    dst.process_packet(&g.credit(ip("10.0.0.2"), 4000)).unwrap();
+    assert_eq!(dst.stats().misses, 1, "recovered via refetch");
+    assert!(dst.drain_logs().iter().any(|l| l.kind == "proxy.refetch"));
+}
+
+#[test]
+fn copy_client_multiflow_avoids_crash() {
+    // Table 1 "Copy Client": copy only entries pertaining to the moved
+    // client; the transfer finishes at the destination.
+    let mut src = Proxy::new();
+    let mut dst = Proxy::new();
+    let mut g = Gen::new();
+    // Client 1's object (not being served to client 2).
+    src.process_packet(&g.request(ip("10.0.0.1"), 4007, "/other?size=1000")).unwrap();
+    src.process_packet(&g.credit(ip("10.0.0.1"), 4007)).unwrap();
+    // Client 2 starts a big transfer.
+    src.process_packet(&g.request(ip("10.0.0.2"), 4000, "/big?size=200000")).unwrap();
+
+    let client2 = Filter::from_src(Ipv4Prefix::host(ip("10.0.0.2")));
+    let mf = src.get_multiflow(&client2);
+    assert_eq!(mf.len(), 1, "only the actively-served entry matches the client filter");
+    let per = src.get_perflow(&client2.bidi());
+    dst.put_multiflow(mf).unwrap();
+    dst.put_perflow(per).unwrap();
+
+    for _ in 0..4 {
+        dst.process_packet(&g.credit(ip("10.0.0.2"), 4000)).unwrap();
+    }
+    assert_eq!(dst.txn_count(), 0, "transfer completed at destination");
+    // But a later request for client 1's object misses at the destination.
+    dst.process_packet(&g.request(ip("10.0.0.2"), 4010, "/other?size=1000")).unwrap();
+    assert_eq!(dst.stats().misses, 1);
+}
+
+#[test]
+fn copy_all_preserves_hit_ratio() {
+    let mut src = Proxy::new();
+    let mut dst = Proxy::new();
+    let mut g = Gen::new();
+    for i in 0..5 {
+        let url = format!("/obj{i}?size=1000");
+        let p = g.request(ip("10.0.0.1"), 4000 + i, &url);
+        src.process_packet(&p).unwrap();
+        src.process_packet(&g.fin(ip("10.0.0.1"), 4000 + i)).unwrap();
+    }
+    let all = src.get_multiflow(&Filter::any());
+    assert_eq!(all.len(), 5);
+    dst.put_multiflow(all).unwrap();
+    for i in 0..5 {
+        let url = format!("/obj{i}?size=1000");
+        dst.process_packet(&g.request(ip("10.0.0.2"), 5000 + i, &url)).unwrap();
+        dst.process_packet(&g.fin(ip("10.0.0.2"), 5000 + i)).unwrap();
+    }
+    assert_eq!(dst.stats().hits, 5);
+    assert_eq!(dst.stats().misses, 0);
+}
+
+#[test]
+fn multiflow_chunks_carry_body_sized_payloads() {
+    let mut px = Proxy::new();
+    let mut g = Gen::new();
+    px.process_packet(&g.request(ip("10.0.0.1"), 4000, "/big?size=500000")).unwrap();
+    let chunks = px.get_multiflow(&Filter::any());
+    assert_eq!(chunks.len(), 1);
+    assert!(chunks[0].len() > 500_000, "transfer size reflects the object body");
+    assert_eq!(chunks[0].scope, Scope::MultiFlow);
+}
+
+#[test]
+fn orphan_credit_is_logged_not_fatal() {
+    let mut px = Proxy::new();
+    let mut g = Gen::new();
+    px.process_packet(&g.credit(ip("10.0.0.1"), 4000)).unwrap();
+    let logs = px.drain_logs();
+    assert!(logs.iter().any(|l| l.kind == "proxy.orphan_credit"));
+}
+
+#[test]
+fn teardown_clears_active_clients() {
+    let mut px = Proxy::new();
+    let mut g = Gen::new();
+    px.process_packet(&g.request(ip("10.0.0.1"), 4000, "/a?size=1000000")).unwrap();
+    assert_eq!(px.entry("/a?size=1000000").unwrap().active_clients.len(), 1);
+    px.process_packet(&g.fin(ip("10.0.0.1"), 4000)).unwrap();
+    assert_eq!(px.txn_count(), 0);
+    assert!(px.entry("/a?size=1000000").unwrap().active_clients.is_empty());
+}
+
+#[test]
+fn allflows_stats_merge() {
+    let mut a = Proxy::new();
+    let mut b = Proxy::new();
+    let mut g = Gen::new();
+    a.process_packet(&g.request(ip("10.0.0.1"), 4000, "/a?size=100")).unwrap();
+    b.put_allflows(a.get_allflows()).unwrap();
+    assert_eq!(b.stats().requests, 1);
+    assert_eq!(b.stats().misses, 1);
+}

@@ -1,0 +1,374 @@
+//! A redundancy-elimination (RE) encoder/decoder pair, after SmartRE \[16\].
+//!
+//! The paper uses the RE decoder as its canonical example of an NF that is
+//! broken by *reordering*, not just loss: "an encoded packet arriving
+//! before the data packet w.r.t. which it was encoded will be silently
+//! dropped; this can cause the decoder's data store to rapidly become out
+//! of synch with the encoders" (§5.1.2). The pair here reproduces that
+//! failure precisely, and the decoder's fingerprint store is the canonical
+//! **all-flows** state (Figure 3: "fingerprint table in a redundancy
+//! eliminator is classified as all-flows state").
+//!
+//! ## Encoding format
+//!
+//! Payloads are cut into [`CHUNK`]-byte pieces. Each piece is emitted
+//! either as a literal record `0x00 len:u16 bytes` (and remembered by both
+//! sides) or, if its fingerprint is already in the store, as a reference
+//! record `0x01 fp:u64`.
+
+use std::collections::HashMap;
+
+use opennf_nf::{Chunk as StateChunk, CostModel, LogRecord, NetworkFunction, NfFault, Scope, StateError};
+use opennf_packet::{Filter, FlowId, Packet};
+use serde::{Deserialize, Serialize};
+
+/// Content chunk size for fingerprinting.
+pub const CHUNK: usize = 32;
+
+fn fingerprint(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The shared fingerprint store (all-flows state on both encoder and
+/// decoder).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FingerprintStore {
+    /// fingerprint → chunk bytes.
+    pub table: HashMap<u64, Vec<u8>>,
+}
+
+impl FingerprintStore {
+    fn learn(&mut self, data: &[u8]) -> u64 {
+        let fp = fingerprint(data);
+        self.table.entry(fp).or_insert_with(|| data.to_vec());
+        fp
+    }
+}
+
+/// The encoder: replaces repeated content chunks with references.
+#[derive(Default)]
+pub struct ReEncoder {
+    store: FingerprintStore,
+    /// Bytes in minus bytes out (savings achieved).
+    pub bytes_saved: u64,
+    logs: Vec<LogRecord>,
+}
+
+impl ReEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encodes a payload, updating the store.
+    pub fn encode(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        for piece in payload.chunks(CHUNK) {
+            let fp = fingerprint(piece);
+            if piece.len() == CHUNK && self.store.table.contains_key(&fp) {
+                out.push(0x01);
+                out.extend_from_slice(&fp.to_le_bytes());
+                self.bytes_saved += piece.len() as u64 - 9;
+            } else {
+                out.push(0x00);
+                out.extend_from_slice(&(piece.len() as u16).to_le_bytes());
+                out.extend_from_slice(piece);
+                if piece.len() == CHUNK {
+                    self.store.learn(piece);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The decoder: reconstructs payloads; desynchronizes under reordering.
+#[derive(Default)]
+pub struct ReDecoder {
+    store: FingerprintStore,
+    /// Packets dropped because a referenced fingerprint was absent.
+    pub desync_drops: u64,
+    /// Payloads successfully reconstructed.
+    pub decoded: u64,
+    logs: Vec<LogRecord>,
+}
+
+impl ReDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes one encoded payload. `None` means the packet had to be
+    /// dropped (missing fingerprint).
+    pub fn decode(&mut self, encoded: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(encoded.len() * 2);
+        let mut learned: Vec<Vec<u8>> = Vec::new();
+        let mut i = 0usize;
+        while i < encoded.len() {
+            match encoded[i] {
+                0x00 => {
+                    if i + 3 > encoded.len() {
+                        return self.drop_payload();
+                    }
+                    let len = u16::from_le_bytes([encoded[i + 1], encoded[i + 2]]) as usize;
+                    i += 3;
+                    if i + len > encoded.len() {
+                        return self.drop_payload();
+                    }
+                    let piece = &encoded[i..i + len];
+                    out.extend_from_slice(piece);
+                    if len == CHUNK {
+                        learned.push(piece.to_vec());
+                    }
+                    i += len;
+                }
+                0x01 => {
+                    if i + 9 > encoded.len() {
+                        return self.drop_payload();
+                    }
+                    let fp = u64::from_le_bytes(encoded[i + 1..i + 9].try_into().unwrap());
+                    i += 9;
+                    match self.store.table.get(&fp) {
+                        Some(piece) => out.extend_from_slice(piece),
+                        None => return self.drop_payload(),
+                    }
+                }
+                _ => return self.drop_payload(),
+            }
+        }
+        // Only a fully decodable packet teaches the store (a dropped packet
+        // teaches nothing — that is what makes desync *cascade*).
+        for piece in learned {
+            self.store.learn(&piece);
+        }
+        self.decoded += 1;
+        Some(out)
+    }
+
+    fn drop_payload(&mut self) -> Option<Vec<u8>> {
+        self.desync_drops += 1;
+        None
+    }
+
+    /// Fingerprints currently known.
+    pub fn store_len(&self) -> usize {
+        self.store.table.len()
+    }
+}
+
+macro_rules! re_allflows_nf {
+    ($ty:ident, $name:literal) => {
+        impl NetworkFunction for $ty {
+            fn nf_type(&self) -> &'static str {
+                $name
+            }
+
+            fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+                // Encoder side compresses, decoder side decompresses; both
+                // consume the packet payload.
+                self.feed(pkt);
+                Ok(())
+            }
+
+            fn drain_logs(&mut self) -> Vec<LogRecord> {
+                std::mem::take(&mut self.logs)
+            }
+
+            fn list_perflow(&self, _f: &Filter) -> Vec<FlowId> {
+                Vec::new()
+            }
+
+            fn get_perflow(&mut self, _f: &Filter) -> Vec<StateChunk> {
+                Vec::new()
+            }
+
+            fn put_perflow(&mut self, chunks: Vec<StateChunk>) -> Result<(), StateError> {
+                if chunks.is_empty() {
+                    Ok(())
+                } else {
+                    Err(StateError { reason: concat!($name, " has no per-flow state").into() })
+                }
+            }
+
+            fn del_perflow(&mut self, _ids: &[FlowId]) {}
+
+            fn list_multiflow(&self, _f: &Filter) -> Vec<FlowId> {
+                Vec::new()
+            }
+
+            fn get_multiflow(&mut self, _f: &Filter) -> Vec<StateChunk> {
+                Vec::new()
+            }
+
+            fn put_multiflow(&mut self, chunks: Vec<StateChunk>) -> Result<(), StateError> {
+                if chunks.is_empty() {
+                    Ok(())
+                } else {
+                    Err(StateError { reason: concat!($name, " has no multi-flow state").into() })
+                }
+            }
+
+            fn del_multiflow(&mut self, _ids: &[FlowId]) {}
+
+            fn get_allflows(&mut self) -> Vec<StateChunk> {
+                vec![StateChunk::encode(
+                    FlowId::default(),
+                    Scope::AllFlows,
+                    "fingerprint_store",
+                    &self.store,
+                )]
+            }
+
+            fn put_allflows(&mut self, chunks: Vec<StateChunk>) -> Result<(), StateError> {
+                for c in chunks {
+                    if c.kind != "fingerprint_store" {
+                        return Err(StateError {
+                            reason: format!(concat!($name, ": unknown all-flows kind {}"), c.kind),
+                        });
+                    }
+                    let incoming: FingerprintStore =
+                        c.decode().map_err(|e| StateError { reason: e })?;
+                    // Union-merge the tables.
+                    for (fp, piece) in incoming.table {
+                        self.store.table.entry(fp).or_insert(piece);
+                    }
+                }
+                Ok(())
+            }
+
+            fn cost_model(&self) -> CostModel {
+                CostModel {
+                    get_chunk_base: opennf_sim::Dur::micros(150),
+                    get_chunk_per_byte: opennf_sim::Dur::nanos(50),
+                    put_factor: 0.5,
+                    process_packet: opennf_sim::Dur::micros(25),
+                    export_contention: 1.03,
+                }
+            }
+        }
+    };
+}
+
+impl ReEncoder {
+    fn feed(&mut self, pkt: &Packet) {
+        let _ = self.encode(&pkt.payload);
+    }
+}
+
+impl ReDecoder {
+    fn feed(&mut self, pkt: &Packet) {
+        if self.decode(&pkt.payload).is_none() {
+            self.logs.push(LogRecord::new(
+                "re.desync_drop",
+                Some(pkt.conn_key()),
+                format!("uid={}", pkt.uid),
+            ));
+        }
+    }
+}
+
+re_allflows_nf!(ReEncoder, "re_encoder");
+re_allflows_nf!(ReDecoder, "re_decoder");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads() -> Vec<Vec<u8>> {
+        // Three payloads; the 2nd and 3rd repeat content from the 1st.
+        let base: Vec<u8> = (0..128u8).collect();
+        vec![base.clone(), base.clone(), base.iter().rev().copied().collect()]
+    }
+
+    #[test]
+    fn roundtrip_in_order() {
+        let mut enc = ReEncoder::new();
+        let mut dec = ReDecoder::new();
+        for p in payloads() {
+            let e = enc.encode(&p);
+            let d = dec.decode(&e).expect("in-order stream decodes");
+            assert_eq!(d, p);
+        }
+        assert_eq!(dec.desync_drops, 0);
+        assert!(enc.bytes_saved > 0, "repeated content must be elided");
+    }
+
+    #[test]
+    fn second_copy_is_compressed() {
+        let mut enc = ReEncoder::new();
+        let p: Vec<u8> = (0..128u8).collect();
+        let first = enc.encode(&p);
+        let second = enc.encode(&p);
+        assert!(second.len() < first.len() / 2, "{} vs {}", second.len(), first.len());
+    }
+
+    #[test]
+    fn reordering_desynchronizes_decoder() {
+        // Encode A (teaches chunks) then B (references them); deliver B
+        // before A: B is dropped — the §5.1.2 failure.
+        let mut enc = ReEncoder::new();
+        let p: Vec<u8> = (0..128u8).collect();
+        let ea = enc.encode(&p);
+        let eb = enc.encode(&p);
+        let mut dec = ReDecoder::new();
+        assert!(dec.decode(&eb).is_none(), "reference before literal is dropped");
+        assert_eq!(dec.desync_drops, 1);
+        // The literal still decodes afterwards.
+        assert!(dec.decode(&ea).is_some());
+        // And the retransmitted reference now works.
+        assert!(dec.decode(&eb).is_some());
+    }
+
+    #[test]
+    fn store_move_keeps_decoder_in_sync() {
+        // Moving the all-flows store to a fresh decoder instance lets it
+        // pick up mid-stream — what an OpenNF move of all-flows state does.
+        let mut enc = ReEncoder::new();
+        let p: Vec<u8> = (0..128u8).collect();
+        let _ = enc.encode(&p);
+        let eb = enc.encode(&p);
+
+        let mut dec1 = ReDecoder::new();
+        let ea2 = {
+            let mut e2 = ReEncoder::new();
+            e2.encode(&p)
+        };
+        assert!(dec1.decode(&ea2).is_some());
+
+        let mut dec2 = ReDecoder::new();
+        assert!(dec2.decode(&eb).is_none(), "fresh instance lacks the store");
+        let chunks = dec1.get_allflows();
+        dec2.put_allflows(chunks).unwrap();
+        assert!(dec2.decode(&eb).is_some(), "after the move the reference resolves");
+    }
+
+    #[test]
+    fn malformed_input_is_dropped_not_panicking() {
+        let mut dec = ReDecoder::new();
+        assert!(dec.decode(&[0x01, 1, 2]).is_none());
+        assert!(dec.decode(&[0x00, 255, 0, 1]).is_none());
+        assert!(dec.decode(&[0x42]).is_none());
+        assert_eq!(dec.desync_drops, 3);
+    }
+
+    #[test]
+    fn allflows_merge_unions_tables() {
+        let mut a = ReDecoder::new();
+        let mut b = ReDecoder::new();
+        let mut enc = ReEncoder::new();
+        let p1: Vec<u8> = (0..64u8).collect();
+        let p2: Vec<u8> = (64..128u8).collect();
+        a.decode(&enc.encode(&p1));
+        let mut enc2 = ReEncoder::new();
+        b.decode(&enc2.encode(&p2));
+        let from_b = b.get_allflows();
+        a.put_allflows(from_b).unwrap();
+        assert_eq!(a.store_len(), 4, "2 chunks from each side");
+    }
+}

@@ -1,0 +1,524 @@
+//! OpenFlow-style match filters (§4.2).
+//!
+//! A [`Filter`] is "a dictionary specifying values for one or more standard
+//! packet header fields … similar to match criteria in OpenFlow. Header
+//! fields not specified are assumed to be wildcards." Filters are used in
+//! three places, with three different matching relations:
+//!
+//! 1. against a **packet** ([`Filter::matches_packet`]) — switch flow tables
+//!    and `enableEvents`;
+//! 2. against a **flow id** labelling state ([`Filter::matches_flow_id`]) —
+//!    `getPerflow`/`getMultiflow`. Crucially, "only fields relevant to the
+//!    state are matched against the filter; other fields in the filter are
+//!    ignored" — e.g. a filter with ports still matches a per-host counter
+//!    whose flow id carries only an IP;
+//! 3. against another **filter** ([`Filter::is_subset_of`]) — rule-overlap
+//!    reasoning in the switch and controller.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{FlowId, Proto};
+use crate::packet::{Packet, TcpFlags};
+
+/// An IPv4 prefix, e.g. `10.0.0.0/8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    /// Network address (host bits are masked off on construction).
+    pub addr: Ipv4Addr,
+    /// Prefix length, `0..=32`.
+    pub len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix, masking off host bits. `len` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        let len = len.min(32);
+        let mask = Self::mask(len);
+        Ipv4Prefix { addr: Ipv4Addr::from(u32::from(addr) & mask), len }
+    }
+
+    /// A /32 prefix for a single host.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Ipv4Prefix { addr, len: 32 }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        let mask = Self::mask(self.len);
+        (u32::from(ip) & mask) == (u32::from(self.addr) & mask)
+    }
+
+    /// True if every address in `other` is also in `self`.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        self.len <= other.len && self.contains(other.addr)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.addr, self.len)
+    }
+}
+
+impl std::str::FromStr for Ipv4Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((a, l)) => {
+                let addr: Ipv4Addr = a.parse().map_err(|e| format!("bad address: {e}"))?;
+                let len: u8 = l.parse().map_err(|e| format!("bad prefix length: {e}"))?;
+                if len > 32 {
+                    return Err(format!("prefix length {len} > 32"));
+                }
+                Ok(Ipv4Prefix::new(addr, len))
+            }
+            None => {
+                let addr: Ipv4Addr = s.parse().map_err(|e| format!("bad address: {e}"))?;
+                Ok(Ipv4Prefix::host(addr))
+            }
+        }
+    }
+}
+
+/// An OpenFlow-like match over packet header fields. Unset fields are
+/// wildcards. [`Filter::any`] matches everything.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Filter {
+    /// Source address prefix.
+    pub nw_src: Option<Ipv4Prefix>,
+    /// Destination address prefix.
+    pub nw_dst: Option<Ipv4Prefix>,
+    /// Transport source port (exact).
+    pub tp_src: Option<u16>,
+    /// Transport destination port (exact).
+    pub tp_dst: Option<u16>,
+    /// Transport protocol (exact).
+    pub nw_proto: Option<Proto>,
+    /// TCP flags that must all be set on a matching packet (extension used
+    /// by the failure-recovery application of Figure 9, which installs
+    /// `{nw_proto: TCP, tcp_flags: SYN}` and `{…, tcp_flags: RST}` filters).
+    pub tcp_flags: Option<TcpFlags>,
+    /// If true, the packet's *connection* must involve the filter's
+    /// addresses in either direction (used for state filters which describe
+    /// flows, not directional packets).
+    pub bidirectional: bool,
+}
+
+impl Filter {
+    /// The match-everything filter.
+    pub fn any() -> Filter {
+        Filter::default()
+    }
+
+    /// Matches all traffic whose source address is in `p` (directional), or
+    /// either endpoint when combined with [`Filter::bidi`].
+    pub fn from_src(p: Ipv4Prefix) -> Filter {
+        Filter { nw_src: Some(p), ..Filter::default() }
+    }
+
+    /// Matches all traffic destined to `p`.
+    pub fn from_dst(p: Ipv4Prefix) -> Filter {
+        Filter { nw_dst: Some(p), ..Filter::default() }
+    }
+
+    /// Matches exactly one connection (both directions).
+    pub fn from_flow_id(id: FlowId) -> Filter {
+        Filter {
+            nw_src: id.nw_src.map(Ipv4Prefix::host),
+            nw_dst: id.nw_dst.map(Ipv4Prefix::host),
+            tp_src: id.tp_src,
+            tp_dst: id.tp_dst,
+            nw_proto: id.nw_proto,
+            tcp_flags: None,
+            bidirectional: true,
+        }
+    }
+
+    /// Returns the filter with bidirectional matching enabled.
+    pub fn bidi(mut self) -> Filter {
+        self.bidirectional = true;
+        self
+    }
+
+    /// Returns the filter with a protocol constraint added.
+    pub fn proto(mut self, p: Proto) -> Filter {
+        self.nw_proto = Some(p);
+        self
+    }
+
+    /// Returns the filter with a destination-port constraint added.
+    pub fn dst_port(mut self, p: u16) -> Filter {
+        self.tp_dst = Some(p);
+        self
+    }
+
+    /// Returns the filter with a TCP-flags constraint added.
+    pub fn with_tcp_flags(mut self, f: TcpFlags) -> Filter {
+        self.tcp_flags = Some(f);
+        self
+    }
+
+    /// True when the filter has no constraints at all.
+    pub fn is_any(&self) -> bool {
+        *self == Filter::default() || {
+            let mut f = *self;
+            f.bidirectional = false;
+            f == Filter::default()
+        }
+    }
+
+    fn matches_directional(&self, pkt: &Packet) -> bool {
+        if let Some(p) = &self.nw_src {
+            if !p.contains(pkt.src_ip()) {
+                return false;
+            }
+        }
+        if let Some(p) = &self.nw_dst {
+            if !p.contains(pkt.dst_ip()) {
+                return false;
+            }
+        }
+        if let Some(port) = self.tp_src {
+            if pkt.key.src_port != port {
+                return false;
+            }
+        }
+        if let Some(port) = self.tp_dst {
+            if pkt.key.dst_port != port {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Match against a packet on the wire.
+    pub fn matches_packet(&self, pkt: &Packet) -> bool {
+        if let Some(proto) = self.nw_proto {
+            if pkt.proto() != proto {
+                return false;
+            }
+        }
+        if let Some(flags) = self.tcp_flags {
+            if !pkt.flags.contains(flags) {
+                return false;
+            }
+        }
+        if self.matches_directional(pkt) {
+            return true;
+        }
+        if self.bidirectional {
+            // Check the address/port constraints against the reverse
+            // orientation of the packet.
+            let mut rev = self.clone_addrs_swapped();
+            rev.nw_proto = None; // already checked
+            rev.tcp_flags = None;
+            return rev.matches_directional(pkt);
+        }
+        false
+    }
+
+    fn clone_addrs_swapped(&self) -> Filter {
+        Filter {
+            nw_src: self.nw_dst,
+            nw_dst: self.nw_src,
+            tp_src: self.tp_dst,
+            tp_dst: self.tp_src,
+            nw_proto: self.nw_proto,
+            tcp_flags: self.tcp_flags,
+            bidirectional: false,
+        }
+    }
+
+    /// Match against a flow id labelling a chunk of state.
+    ///
+    /// Per §4.2, only the fields *present in the flow id* are compared: "in
+    /// the Bro IDS, only the IP fields in a filter will be considered when
+    /// determining which end-host connection counters to return". Both
+    /// orientations are tried, because state is connection-scoped while
+    /// filters are written directionally (and per-flow ids are stored in
+    /// canonical orientation). An orientation matches only if every
+    /// comparable field pair agrees *and* at least one comparison was
+    /// actually made — a filter whose constrained fields are entirely absent
+    /// from the id in one orientation provides no evidence in that
+    /// orientation. A filter that constrains none of the id's dimensions in
+    /// either orientation matches (it does not speak about this state).
+    pub fn matches_flow_id(&self, id: &FlowId) -> bool {
+        let fwd = self.fields_match_flow_id_directional(id);
+        let rev = self.clone_addrs_swapped().fields_match_flow_id_directional(id);
+        match (fwd, rev) {
+            (Some(n), _) if n > 0 => true,
+            (_, Some(n)) if n > 0 => true,
+            (Some(0), Some(0)) => true,
+            _ => false,
+        }
+    }
+
+    /// Returns `Some(count_of_comparisons)` if all comparable (present in
+    /// both filter and id) fields agree, `None` on any disagreement.
+    fn fields_match_flow_id_directional(&self, id: &FlowId) -> Option<usize> {
+        let mut n = 0usize;
+        if let (Some(p), Some(ip)) = (&self.nw_src, id.nw_src) {
+            if !p.contains(ip) {
+                return None;
+            }
+            n += 1;
+        }
+        if let (Some(p), Some(ip)) = (&self.nw_dst, id.nw_dst) {
+            if !p.contains(ip) {
+                return None;
+            }
+            n += 1;
+        }
+        if let (Some(fp), Some(ip)) = (self.tp_src, id.tp_src) {
+            if fp != ip {
+                return None;
+            }
+            n += 1;
+        }
+        if let (Some(fp), Some(ip)) = (self.tp_dst, id.tp_dst) {
+            if fp != ip {
+                return None;
+            }
+            n += 1;
+        }
+        if let (Some(fp), Some(ip)) = (self.nw_proto, id.nw_proto) {
+            if fp != ip {
+                return None;
+            }
+            n += 1;
+        }
+        Some(n)
+    }
+
+    /// Conservative subset test: true when every packet matching `self`
+    /// also matches `other`. (Sound but not complete for bidirectional
+    /// filters; used for rule-shadowing diagnostics, not correctness.)
+    pub fn is_subset_of(&self, other: &Filter) -> bool {
+        fn prefix_ok(inner: Option<Ipv4Prefix>, outer: Option<Ipv4Prefix>) -> bool {
+            match (inner, outer) {
+                (_, None) => true,
+                (Some(i), Some(o)) => o.covers(&i),
+                (None, Some(_)) => false,
+            }
+        }
+        fn exact_ok<T: PartialEq>(inner: Option<T>, outer: Option<T>) -> bool {
+            match (inner, outer) {
+                (_, None) => true,
+                (Some(i), Some(o)) => i == o,
+                (None, Some(_)) => false,
+            }
+        }
+        if self.bidirectional != other.bidirectional && other.bidirectional {
+            // A bidirectional outer matches more, still fine.
+        } else if self.bidirectional && !other.bidirectional {
+            return false;
+        }
+        prefix_ok(self.nw_src, other.nw_src)
+            && prefix_ok(self.nw_dst, other.nw_dst)
+            && exact_ok(self.tp_src, other.tp_src)
+            && exact_ok(self.tp_dst, other.tp_dst)
+            && exact_ok(self.nw_proto, other.nw_proto)
+            && match (self.tcp_flags, other.tcp_flags) {
+                (_, None) => true,
+                (Some(i), Some(o)) => i.contains(o),
+                (None, Some(_)) => false,
+            }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(v) = &self.nw_src {
+            parts.push(format!("nw_src={v}"));
+        }
+        if let Some(v) = &self.nw_dst {
+            parts.push(format!("nw_dst={v}"));
+        }
+        if let Some(v) = self.tp_src {
+            parts.push(format!("tp_src={v}"));
+        }
+        if let Some(v) = self.tp_dst {
+            parts.push(format!("tp_dst={v}"));
+        }
+        if let Some(v) = self.nw_proto {
+            parts.push(format!("nw_proto={v}"));
+        }
+        if let Some(v) = self.tcp_flags {
+            parts.push(format!("tcp_flags={v}"));
+        }
+        if self.bidirectional {
+            parts.push("bidi".to_string());
+        }
+        if parts.is_empty() {
+            write!(f, "{{*}}")
+        } else {
+            write!(f, "{{{}}}", parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowKey;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn pkt(src: &str, sport: u16, dst: &str, dport: u16) -> Packet {
+        Packet::builder(0, FlowKey::tcp(ip(src), sport, ip(dst), dport)).build()
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        assert!(p.contains(ip("10.255.1.2")));
+        assert!(!p.contains(ip("11.0.0.1")));
+        assert!(Ipv4Prefix::new(ip("0.0.0.0"), 0).contains(ip("255.255.255.255")));
+        let host = Ipv4Prefix::host(ip("1.2.3.4"));
+        assert!(host.contains(ip("1.2.3.4")));
+        assert!(!host.contains(ip("1.2.3.5")));
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Ipv4Prefix::new(ip("10.1.2.3"), 16);
+        assert_eq!(p.addr, ip("10.1.0.0"));
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let wide: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let narrow: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+    }
+
+    #[test]
+    fn prefix_parse_errors() {
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("not-an-ip/8".parse::<Ipv4Prefix>().is_err());
+        assert!("1.2.3.4".parse::<Ipv4Prefix>().unwrap().len == 32);
+    }
+
+    #[test]
+    fn any_filter_matches_everything() {
+        let f = Filter::any();
+        assert!(f.is_any());
+        assert!(f.matches_packet(&pkt("1.2.3.4", 1, "5.6.7.8", 2)));
+    }
+
+    #[test]
+    fn directional_source_filter() {
+        let f = Filter::from_src("10.0.0.0/8".parse().unwrap());
+        assert!(f.matches_packet(&pkt("10.9.9.9", 1000, "1.1.1.1", 80)));
+        assert!(!f.matches_packet(&pkt("1.1.1.1", 80, "10.9.9.9", 1000)));
+    }
+
+    #[test]
+    fn bidirectional_filter_matches_replies() {
+        let f = Filter::from_src("10.0.0.0/8".parse().unwrap()).bidi();
+        assert!(f.matches_packet(&pkt("10.9.9.9", 1000, "1.1.1.1", 80)));
+        assert!(f.matches_packet(&pkt("1.1.1.1", 80, "10.9.9.9", 1000)));
+        assert!(!f.matches_packet(&pkt("2.2.2.2", 80, "3.3.3.3", 1000)));
+    }
+
+    #[test]
+    fn flow_filter_matches_both_directions() {
+        let fwd = FlowKey::tcp(ip("10.0.0.1"), 4000, ip("1.1.1.1"), 80);
+        let f = Filter::from_flow_id(fwd.flow_id());
+        let p1 = Packet::builder(0, fwd).build();
+        let p2 = Packet::builder(1, fwd.reversed()).build();
+        assert!(f.matches_packet(&p1));
+        assert!(f.matches_packet(&p2));
+        let other = pkt("10.0.0.1", 4001, "1.1.1.1", 80);
+        assert!(!f.matches_packet(&other));
+    }
+
+    #[test]
+    fn tcp_flags_filter() {
+        use crate::packet::TcpFlags;
+        let f = Filter::any().proto(Proto::Tcp).with_tcp_flags(TcpFlags::SYN);
+        let mut syn = pkt("1.1.1.1", 1, "2.2.2.2", 2);
+        syn.flags = TcpFlags::SYN;
+        let mut syn_ack = pkt("2.2.2.2", 2, "1.1.1.1", 1);
+        syn_ack.flags = TcpFlags::SYN_ACK;
+        let data = pkt("1.1.1.1", 1, "2.2.2.2", 2);
+        assert!(f.matches_packet(&syn));
+        assert!(f.matches_packet(&syn_ack)); // SYN bit is set
+        assert!(!f.matches_packet(&data));
+    }
+
+    #[test]
+    fn flow_id_matching_ignores_irrelevant_fields() {
+        // Filter has ports; the per-host counter's flow id only has an IP.
+        // §4.2: "only fields relevant to the state are matched".
+        let f = Filter {
+            nw_src: Some(Ipv4Prefix::host(ip("10.0.0.1"))),
+            tp_dst: Some(80),
+            nw_proto: Some(Proto::Tcp),
+            ..Filter::default()
+        };
+        let host_state = FlowId::host(ip("10.0.0.1"));
+        assert!(f.matches_flow_id(&host_state));
+        let other_host = FlowId::host(ip("10.0.0.2"));
+        assert!(!f.matches_flow_id(&other_host));
+    }
+
+    #[test]
+    fn flow_id_matching_checks_reverse_orientation() {
+        // State labelled with the canonical orientation must still match a
+        // filter written from the client's perspective.
+        let conn = FlowKey::tcp(ip("192.168.1.5"), 443, ip("10.0.0.1"), 50000);
+        let id = conn.flow_id(); // canonical: 10.0.0.1:50000 -> 192.168.1.5:443
+        let filter_from_server_view = Filter {
+            nw_src: Some(Ipv4Prefix::host(ip("192.168.1.5"))),
+            tp_src: Some(443),
+            ..Filter::default()
+        };
+        assert!(filter_from_server_view.matches_flow_id(&id));
+    }
+
+    #[test]
+    fn subnet_filter_selects_host_states() {
+        let f = Filter::from_src("10.1.0.0/16".parse().unwrap());
+        assert!(f.matches_flow_id(&FlowId::host(ip("10.1.2.3"))));
+        assert!(!f.matches_flow_id(&FlowId::host(ip("10.2.2.3"))));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let all = Filter::any();
+        let sub = Filter::from_src("10.0.0.0/8".parse().unwrap());
+        let subsub = Filter::from_src("10.1.0.0/16".parse().unwrap()).dst_port(80);
+        assert!(sub.is_subset_of(&all));
+        assert!(subsub.is_subset_of(&sub));
+        assert!(!sub.is_subset_of(&subsub));
+        assert!(!all.is_subset_of(&sub));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Filter::any().to_string(), "{*}");
+        let f = Filter::from_src("10.0.0.0/8".parse().unwrap()).proto(Proto::Tcp);
+        assert_eq!(f.to_string(), "{nw_src=10.0.0.0/8,nw_proto=tcp}");
+    }
+}

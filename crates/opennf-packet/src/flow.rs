@@ -1,0 +1,268 @@
+//! Flow identifiers: directional 5-tuples, canonical connection keys, and
+//! the partial `FlowId` dictionaries that label chunks of NF state.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// Transport protocol. The paper's NFs track TCP, UDP, and ICMP connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Proto {
+    /// Transmission Control Protocol (IP proto 6).
+    Tcp,
+    /// User Datagram Protocol (IP proto 17).
+    Udp,
+    /// Internet Control Message Protocol (IP proto 1).
+    Icmp,
+}
+
+impl Proto {
+    /// The IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        }
+    }
+
+    /// Parses an IP protocol number.
+    pub fn from_number(n: u8) -> Option<Proto> {
+        match n {
+            1 => Some(Proto::Icmp),
+            6 => Some(Proto::Tcp),
+            17 => Some(Proto::Udp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Icmp => write!(f, "icmp"),
+        }
+    }
+}
+
+/// A *directional* 5-tuple: source and destination as they appear in one
+/// packet. Two packets of the same TCP connection travelling in opposite
+/// directions have different `FlowKey`s but the same [`ConnKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port (ICMP: identifier).
+    pub src_port: u16,
+    /// Destination transport port (ICMP: 0).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// Creates a TCP flow key.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Proto::Tcp }
+    }
+
+    /// Creates a UDP flow key.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, proto: Proto::Udp }
+    }
+
+    /// The same flow viewed from the opposite direction.
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// The canonical bidirectional connection key.
+    pub fn conn_key(self) -> ConnKey {
+        ConnKey::of(self)
+    }
+
+    /// The full-precision [`FlowId`] describing exactly this connection
+    /// (both directions; canonical orientation).
+    pub fn flow_id(self) -> FlowId {
+        let c = self.conn_key();
+        FlowId {
+            nw_src: Some(c.0.src_ip),
+            nw_dst: Some(c.0.dst_ip),
+            tp_src: Some(c.0.src_port),
+            tp_dst: Some(c.0.dst_port),
+            nw_proto: Some(c.0.proto),
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}/{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+/// Canonical (direction-independent) connection key: the endpoint with the
+/// numerically smaller `(ip, port)` pair is stored as the source. NFs key
+/// their per-flow state on this so that both directions of a connection hit
+/// the same state, as real NFs do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnKey(pub FlowKey);
+
+impl ConnKey {
+    /// Canonicalizes a directional flow key.
+    pub fn of(k: FlowKey) -> ConnKey {
+        if (k.src_ip, k.src_port) <= (k.dst_ip, k.dst_port) {
+            ConnKey(k)
+        } else {
+            ConnKey(k.reversed())
+        }
+    }
+
+    /// The full-precision [`FlowId`] for this connection.
+    pub fn flow_id(self) -> FlowId {
+        FlowId {
+            nw_src: Some(self.0.src_ip),
+            nw_dst: Some(self.0.dst_ip),
+            tp_src: Some(self.0.src_port),
+            tp_dst: Some(self.0.dst_port),
+            nw_proto: Some(self.0.proto),
+        }
+    }
+}
+
+impl fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn[{}]", self.0)
+    }
+}
+
+/// A dictionary of header fields describing the flow (or set of flows) a
+/// chunk of state pertains to (§4.2). A per-flow chunk carries all five
+/// fields; a multi-flow chunk for an end-host counter carries only the
+/// host's IP, e.g. `FlowId::host(ip)`.
+///
+/// `None` means the field is not part of the description (not "wildcard
+/// matching anything", but "this dimension is irrelevant to the state").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct FlowId {
+    /// Network source address (canonical orientation for per-flow ids).
+    pub nw_src: Option<Ipv4Addr>,
+    /// Network destination address.
+    pub nw_dst: Option<Ipv4Addr>,
+    /// Transport source port.
+    pub tp_src: Option<u16>,
+    /// Transport destination port.
+    pub tp_dst: Option<u16>,
+    /// Transport protocol.
+    pub nw_proto: Option<Proto>,
+}
+
+impl FlowId {
+    /// A flow id describing all state for one end-host (multi-flow scope),
+    /// e.g. the Bro IDS's per-host connection counters.
+    pub fn host(ip: Ipv4Addr) -> FlowId {
+        FlowId { nw_src: Some(ip), ..FlowId::default() }
+    }
+
+    /// A flow id keyed on an `(external IP, destination port)` pair, the
+    /// granularity at which the paper's scan-detection counters are kept
+    /// (§6, "High performance network monitoring").
+    pub fn host_port(ip: Ipv4Addr, port: u16) -> FlowId {
+        FlowId { nw_src: Some(ip), tp_dst: Some(port), ..FlowId::default() }
+    }
+
+    /// True when every field is unset (state that applies to everything).
+    pub fn is_empty(&self) -> bool {
+        *self == FlowId::default()
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(v) = self.nw_src {
+            parts.push(format!("nw_src={v}"));
+        }
+        if let Some(v) = self.nw_dst {
+            parts.push(format!("nw_dst={v}"));
+        }
+        if let Some(v) = self.tp_src {
+            parts.push(format!("tp_src={v}"));
+        }
+        if let Some(v) = self.tp_dst {
+            parts.push(format!("tp_dst={v}"));
+        }
+        if let Some(v) = self.nw_proto {
+            parts.push(format!("nw_proto={v}"));
+        }
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn conn_key_is_direction_independent() {
+        let fwd = FlowKey::tcp(ip("10.0.0.1"), 4242, ip("192.168.1.1"), 80);
+        let rev = fwd.reversed();
+        assert_ne!(fwd, rev);
+        assert_eq!(fwd.conn_key(), rev.conn_key());
+        assert_eq!(fwd.flow_id(), rev.flow_id());
+    }
+
+    #[test]
+    fn conn_key_breaks_ties_on_port() {
+        let a = FlowKey::tcp(ip("10.0.0.1"), 9000, ip("10.0.0.1"), 80);
+        let b = a.reversed();
+        assert_eq!(a.conn_key(), b.conn_key());
+        assert_eq!(a.conn_key().0.src_port, 80);
+    }
+
+    #[test]
+    fn proto_numbers_roundtrip() {
+        for p in [Proto::Tcp, Proto::Udp, Proto::Icmp] {
+            assert_eq!(Proto::from_number(p.number()), Some(p));
+        }
+        assert_eq!(Proto::from_number(42), None);
+    }
+
+    #[test]
+    fn host_flow_id_only_sets_source() {
+        let id = FlowId::host(ip("8.8.8.8"));
+        assert_eq!(id.nw_src, Some(ip("8.8.8.8")));
+        assert_eq!(id.nw_dst, None);
+        assert!(!id.is_empty());
+        assert!(FlowId::default().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let k = FlowKey::tcp(ip("1.2.3.4"), 1000, ip("5.6.7.8"), 80);
+        assert_eq!(k.to_string(), "1.2.3.4:1000->5.6.7.8:80/tcp");
+        let id = FlowId::host_port(ip("1.2.3.4"), 22);
+        assert_eq!(id.to_string(), "{nw_src=1.2.3.4,tp_dst=22}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Packet, flow, and filter types shared by every OpenNF crate.
+//!
+//! OpenNF specifies which state to export/import and which packets should
+//! raise events using OpenFlow-like *filters* — dictionaries of standard
+//! header fields where unspecified fields are wildcards (§4.2). Chunks of
+//! state are labelled with *flowids* — dictionaries describing the exact flow
+//! (a TCP connection) or set of flows (a host, a subnet) the state pertains
+//! to. This crate provides:
+//!
+//! * [`Packet`] — the unit of traffic. Synthetic but structurally faithful:
+//!   5-tuple, TCP flags and sequence numbers, a payload, a wire size, and the
+//!   control marks OpenNF adds in flight (`do-not-buffer` for replayed
+//!   events, `do-not-drop` for share-operation injections, §5.1.2, §5.2.2).
+//! * [`FlowKey`] / [`ConnKey`] — directional and canonical (bidirectional)
+//!   flow identifiers.
+//! * [`FlowId`] — the partial dictionary labelling a chunk of NF state.
+//! * [`Filter`] — OpenFlow-style match with IPv4 prefixes and wildcards.
+
+pub mod filter;
+pub mod flow;
+pub mod packet;
+
+pub use filter::{Filter, Ipv4Prefix};
+pub use flow::{ConnKey, FlowId, FlowKey, Proto};
+pub use packet::{Packet, PacketBuilder, TcpFlags};

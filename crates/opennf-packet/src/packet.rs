@@ -1,0 +1,275 @@
+//! The synthetic packet representation used throughout the simulator.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{ConnKey, FlowId, FlowKey, Proto};
+
+/// TCP control flags, stored as a bit set.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN: sender is done sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgment field significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+
+    /// SYN|ACK, the second step of the handshake.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x02 | 0x10);
+
+    /// True if every flag in `other` is also set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+
+    /// True if no flags are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        for (bit, c) in [
+            (TcpFlags::SYN, 'S'),
+            (TcpFlags::ACK, 'A'),
+            (TcpFlags::FIN, 'F'),
+            (TcpFlags::RST, 'R'),
+            (TcpFlags::PSH, 'P'),
+        ] {
+            if self.contains(bit) {
+                s.push(c);
+            }
+        }
+        if s.is_empty() {
+            s.push('.');
+        }
+        write!(f, "{s}")
+    }
+}
+
+/// One packet. Identity (`uid`) is unique per generated packet and survives
+/// buffering, event encapsulation, and packet-out replay — the
+/// loss-freedom/order-preservation oracles key on it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique packet id, assigned at generation time.
+    pub uid: u64,
+    /// Directional 5-tuple as it appears on the wire.
+    pub key: FlowKey,
+    /// TCP flags (`TcpFlags::NONE` for UDP/ICMP).
+    pub flags: TcpFlags,
+    /// TCP sequence number of the first payload byte (0 for non-TCP).
+    pub seq: u32,
+    /// Application payload carried by this packet.
+    #[serde(with = "serde_bytes_b64")]
+    pub payload: Bytes,
+    /// Total on-the-wire size in bytes (headers + payload).
+    pub wire_size: u32,
+    /// Virtual time (ns) at which the packet entered the network.
+    pub ingress_ns: u64,
+    /// OpenNF mark: this packet was replayed from a buffered event and must
+    /// not be buffered again at the destination instance (§5.1.2).
+    pub do_not_buffer: bool,
+    /// OpenNF mark: this packet was re-injected by the controller during a
+    /// `share` operation and must be processed, not dropped (§5.2.2).
+    pub do_not_drop: bool,
+}
+
+/// Serialize `Bytes` as a plain byte vector for serde (JSON encodes it as an
+/// array; adequate for the southbound protocol reproduction).
+mod serde_bytes_b64 {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Packet {
+    /// Starts building a packet for `key`.
+    pub fn builder(uid: u64, key: FlowKey) -> PacketBuilder {
+        PacketBuilder {
+            pkt: Packet {
+                uid,
+                key,
+                flags: TcpFlags::NONE,
+                seq: 0,
+                payload: Bytes::new(),
+                wire_size: 0,
+                ingress_ns: 0,
+                do_not_buffer: false,
+                do_not_drop: false,
+            },
+        }
+    }
+
+    /// Canonical connection key for state lookup.
+    pub fn conn_key(&self) -> ConnKey {
+        self.key.conn_key()
+    }
+
+    /// Full-precision flow id for this packet's connection.
+    pub fn flow_id(&self) -> FlowId {
+        self.key.flow_id()
+    }
+
+    /// Source IP address.
+    pub fn src_ip(&self) -> Ipv4Addr {
+        self.key.src_ip
+    }
+
+    /// Destination IP address.
+    pub fn dst_ip(&self) -> Ipv4Addr {
+        self.key.dst_ip
+    }
+
+    /// Transport protocol.
+    pub fn proto(&self) -> Proto {
+        self.key.proto
+    }
+
+    /// True for a pure SYN (no ACK) — a connection-opening packet.
+    pub fn is_syn(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN) && !self.flags.contains(TcpFlags::ACK)
+    }
+
+    /// True for SYN+ACK.
+    pub fn is_syn_ack(&self) -> bool {
+        self.flags.contains(TcpFlags::SYN_ACK)
+    }
+
+    /// True if FIN or RST is set — the flow is ending.
+    pub fn is_teardown(&self) -> bool {
+        self.flags.contains(TcpFlags::FIN) || self.flags.contains(TcpFlags::RST)
+    }
+}
+
+/// Builder for [`Packet`]; wire size defaults to payload + 54 bytes of
+/// Ethernet/IP/TCP headers if not set explicitly.
+pub struct PacketBuilder {
+    pkt: Packet,
+}
+
+impl PacketBuilder {
+    /// Sets the TCP flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.pkt.flags = flags;
+        self
+    }
+
+    /// Sets the TCP sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.pkt.seq = seq;
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: impl Into<Bytes>) -> Self {
+        self.pkt.payload = payload.into();
+        self
+    }
+
+    /// Sets the wire size explicitly.
+    pub fn wire_size(mut self, size: u32) -> Self {
+        self.pkt.wire_size = size;
+        self
+    }
+
+    /// Sets the network ingress timestamp (virtual ns).
+    pub fn ingress_ns(mut self, t: u64) -> Self {
+        self.pkt.ingress_ns = t;
+        self
+    }
+
+    /// Finishes the packet.
+    pub fn build(mut self) -> Packet {
+        if self.pkt.wire_size == 0 {
+            // Ethernet (14) + IPv4 (20) + TCP (20) header estimate.
+            self.pkt.wire_size = self.pkt.payload.len() as u32 + 54;
+        }
+        self.pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp("10.0.0.1".parse().unwrap(), 4000, "1.1.1.1".parse().unwrap(), 80)
+    }
+
+    #[test]
+    fn flags_contains_and_union() {
+        let sa = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert_eq!(sa, TcpFlags::SYN_ACK);
+        assert!(sa.contains(TcpFlags::SYN));
+        assert!(sa.contains(TcpFlags::ACK));
+        assert!(!TcpFlags::SYN.contains(sa));
+        assert!(TcpFlags::NONE.is_empty());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SA");
+        assert_eq!(TcpFlags::NONE.to_string(), ".");
+        assert_eq!(TcpFlags::FIN.union(TcpFlags::ACK).to_string(), "AF");
+    }
+
+    #[test]
+    fn builder_defaults_wire_size() {
+        let p = Packet::builder(1, key()).payload(vec![0u8; 100]).build();
+        assert_eq!(p.wire_size, 154);
+        let q = Packet::builder(2, key()).wire_size(60).build();
+        assert_eq!(q.wire_size, 60);
+    }
+
+    #[test]
+    fn handshake_classification() {
+        let syn = Packet::builder(1, key()).flags(TcpFlags::SYN).build();
+        let syn_ack = Packet::builder(2, key().reversed()).flags(TcpFlags::SYN_ACK).build();
+        let fin = Packet::builder(3, key()).flags(TcpFlags::FIN.union(TcpFlags::ACK)).build();
+        assert!(syn.is_syn() && !syn.is_syn_ack() && !syn.is_teardown());
+        assert!(!syn_ack.is_syn() && syn_ack.is_syn_ack());
+        assert!(fin.is_teardown());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Packet::builder(7, key())
+            .flags(TcpFlags::PSH.union(TcpFlags::ACK))
+            .seq(1234)
+            .payload(&b"GET / HTTP/1.1"[..])
+            .ingress_ns(99)
+            .build();
+        let js = serde_json::to_string(&p).unwrap();
+        let q: Packet = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based checks on filter/flow-id algebra — the foundations every
+//! routing and state-selection decision rests on.
+
+use opennf_packet::{ConnKey, Filter, FlowKey, Ipv4Prefix, Packet, Proto, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_flow_key() -> impl Strategy<Value = FlowKey> {
+    (arb_ip(), any::<u16>(), arb_ip(), any::<u16>(), 0..3u8).prop_map(|(si, sp, di, dp, pr)| {
+        FlowKey {
+            src_ip: si,
+            dst_ip: di,
+            src_port: sp,
+            dst_port: dp,
+            proto: match pr {
+                0 => Proto::Tcp,
+                1 => Proto::Udp,
+                _ => Proto::Icmp,
+            },
+        }
+    })
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (arb_ip(), 0..=32u8).prop_map(|(ip, len)| Ipv4Prefix::new(ip, len))
+}
+
+proptest! {
+    #[test]
+    fn conn_key_is_canonical(k in arb_flow_key()) {
+        let c1 = ConnKey::of(k);
+        let c2 = ConnKey::of(k.reversed());
+        prop_assert_eq!(c1, c2);
+        // Canonicalization is idempotent.
+        prop_assert_eq!(ConnKey::of(c1.0), c1);
+        // Reversing twice is identity.
+        prop_assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_covers(p in arb_prefix(), q in arb_prefix(), ip in arb_ip()) {
+        // covers(q) implies every member of q is in p.
+        if p.covers(&q) && q.contains(ip) {
+            prop_assert!(p.contains(ip));
+        }
+        // A prefix always contains its own network address and covers itself.
+        prop_assert!(p.contains(p.addr));
+        prop_assert!(p.covers(&p));
+    }
+
+    #[test]
+    fn flow_filter_matches_both_directions(k in arb_flow_key()) {
+        let f = Filter::from_flow_id(k.flow_id());
+        let fwd = Packet::builder(1, k).build();
+        let rev = Packet::builder(2, k.reversed()).build();
+        prop_assert!(f.matches_packet(&fwd));
+        prop_assert!(f.matches_packet(&rev));
+        // And it matches the canonical flow id it was built from.
+        prop_assert!(f.matches_flow_id(&k.flow_id()));
+    }
+
+    #[test]
+    fn any_filter_is_top(k in arb_flow_key(), flags in any::<u8>()) {
+        let p = Packet::builder(1, k).flags(TcpFlags(flags & 0x1F)).build();
+        prop_assert!(Filter::any().matches_packet(&p));
+        prop_assert!(Filter::any().matches_flow_id(&k.flow_id()));
+        prop_assert!(Filter::any().matches_flow_id(&opennf_packet::FlowId::host(k.src_ip)));
+    }
+
+    #[test]
+    fn subset_implies_match_subset(k in arb_flow_key(), p in arb_prefix()) {
+        // If `sub ⊆ sup` and a packet matches sub, it matches sup.
+        let sub = Filter::from_src(p).proto(k.proto);
+        let sup = Filter::from_src(p);
+        prop_assert!(sub.is_subset_of(&sup));
+        let pkt = Packet::builder(1, k).build();
+        if sub.matches_packet(&pkt) {
+            prop_assert!(sup.matches_packet(&pkt));
+        }
+    }
+
+    #[test]
+    fn host_filter_partitions_host_states(a in arb_ip(), b in arb_ip()) {
+        let f = Filter::from_src(Ipv4Prefix::host(a));
+        let id_a = opennf_packet::FlowId::host(a);
+        let id_b = opennf_packet::FlowId::host(b);
+        prop_assert!(f.matches_flow_id(&id_a));
+        if a != b {
+            prop_assert!(!f.matches_flow_id(&id_b));
+        }
+    }
+
+    #[test]
+    fn packet_serde_roundtrip(k in arb_flow_key(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let p = Packet::builder(9, k).payload(payload).seq(7).build();
+        let js = serde_json::to_string(&p).unwrap();
+        let q: Packet = serde_json::from_str(&js).unwrap();
+        prop_assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,27 @@
+//! A threaded in-process OpenNF runtime.
+//!
+//! The simulator (`opennf-controller`) gives deterministic virtual-time
+//! experiments; this crate runs the *same southbound protocol* under real
+//! OS-thread concurrency, mirroring the paper's deployment shape (§7):
+//!
+//! * each NF instance runs on its own thread, wrapping the same
+//!   [`opennf_nf::EventedNf`] harness the simulator uses;
+//! * "The controller and NFs exchange JSON messages to invoke southbound
+//!   functions, provide function results, and send events" — the channel
+//!   payloads here are literally JSON strings ([`wire`]);
+//! * a software switch ([`router::Router`]) steers generator traffic to
+//!   instances through an atomically-updated rule table.
+//!
+//! The runtime demonstrates that the loss-free move protocol holds under
+//! genuine races (threads, not virtual time): packets keep flowing while
+//! state moves, and every packet is processed exactly once.
+
+pub mod controller;
+pub mod router;
+pub mod wire;
+pub mod worker;
+
+pub use controller::{MoveStats, RtController};
+pub use router::Router;
+pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
+pub use worker::{spawn_worker, WorkerHandle};

@@ -1,0 +1,108 @@
+//! The software switch of the threaded runtime: an atomically-updated
+//! priority rule table mapping packets to worker indices. Generator
+//! threads call [`Router::route`] on every packet; the controller swaps
+//! rules during a move.
+
+use parking_lot::RwLock;
+
+use opennf_packet::{Filter, Packet};
+
+/// One rule: priority, match, worker index.
+#[derive(Debug, Clone)]
+struct Rule {
+    priority: u16,
+    filter: Filter,
+    worker: usize,
+}
+
+/// The rule table. Cheap reads (every packet), rare writes (moves).
+#[derive(Default)]
+pub struct Router {
+    rules: RwLock<Vec<Rule>>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule. Higher priority wins; equal priority, later
+    /// install wins.
+    pub fn install(&self, priority: u16, filter: Filter, worker: usize) {
+        let mut rules = self.rules.write();
+        let pos = rules.iter().position(|r| r.priority <= priority).unwrap_or(rules.len());
+        rules.insert(pos, Rule { priority, filter, worker });
+    }
+
+    /// Routes a packet to a worker index, if any rule matches.
+    pub fn route(&self, pkt: &Packet) -> Option<usize> {
+        let rules = self.rules.read();
+        rules.iter().find(|r| r.filter.matches_packet(pkt)).map(|r| r.worker)
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+
+    fn pkt(src: &str) -> Packet {
+        Packet::builder(
+            1,
+            FlowKey::tcp(src.parse().unwrap(), 1, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .build()
+    }
+
+    #[test]
+    fn priority_routing() {
+        let r = Router::new();
+        r.install(0, Filter::any(), 0);
+        r.install(10, Filter::from_src("10.0.0.0/8".parse().unwrap()), 1);
+        assert_eq!(r.route(&pkt("10.1.1.1")), Some(1));
+        assert_eq!(r.route(&pkt("11.1.1.1")), Some(0));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_router_routes_nothing() {
+        let r = Router::new();
+        assert!(r.is_empty());
+        assert_eq!(r.route(&pkt("10.0.0.1")), None);
+    }
+
+    #[test]
+    fn concurrent_reads_during_write() {
+        use std::sync::Arc;
+        let r = Arc::new(Router::new());
+        r.install(0, Filter::any(), 0);
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let _ = r.route(&pkt("10.0.0.1"));
+                    }
+                })
+            })
+            .collect();
+        for i in 0..50 {
+            r.install(1 + i, Filter::any(), (i % 2) as usize);
+        }
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 51);
+    }
+}

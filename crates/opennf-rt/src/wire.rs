@@ -1,0 +1,201 @@
+//! The JSON wire protocol (§7: "The controller and NFs exchange JSON
+//! messages to invoke southbound functions, provide function results, and
+//! send events"). Every message crossing a channel is serialized to a JSON
+//! string and parsed on the far side — exactly the cost profile the
+//! paper's controller has (and §8.3 profiles).
+
+use opennf_nf::Chunk;
+use opennf_packet::{Filter, FlowId, Packet};
+use serde::{Deserialize, Serialize};
+
+/// Event actions on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum WireAction {
+    /// Process normally.
+    Process,
+    /// Buffer until disable.
+    Buffer,
+    /// Drop (the packet survives in the event).
+    Drop,
+}
+
+impl From<WireAction> for opennf_nf::EventAction {
+    fn from(a: WireAction) -> Self {
+        match a {
+            WireAction::Process => opennf_nf::EventAction::Process,
+            WireAction::Buffer => opennf_nf::EventAction::Buffer,
+            WireAction::Drop => opennf_nf::EventAction::Drop,
+        }
+    }
+}
+
+/// Southbound calls on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "call", rename_all = "snake_case")]
+pub enum WireCall {
+    /// Export per-flow state.
+    GetPerflow {
+        /// Selector.
+        filter: Filter,
+    },
+    /// Import per-flow chunks.
+    PutPerflow {
+        /// Chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// Delete per-flow state.
+    DelPerflow {
+        /// Flow ids.
+        flow_ids: Vec<FlowId>,
+    },
+    /// Export multi-flow state.
+    GetMultiflow {
+        /// Selector.
+        filter: Filter,
+    },
+    /// Import multi-flow chunks.
+    PutMultiflow {
+        /// Chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// Export all-flows state.
+    GetAllflows,
+    /// Import all-flows chunks.
+    PutAllflows {
+        /// Chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// `enableEvents(filter, action)`.
+    EnableEvents {
+        /// Selector.
+        filter: Filter,
+        /// Action.
+        action: WireAction,
+    },
+    /// `disableEvents(filter)`.
+    DisableEvents {
+        /// Selector.
+        filter: Filter,
+    },
+}
+
+/// Replies on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+pub enum WireReply {
+    /// Exported chunks.
+    Chunks {
+        /// The chunks.
+        chunks: Vec<Chunk>,
+    },
+    /// Completion.
+    Done,
+    /// Error string.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Events on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum WireEvent {
+    /// A packet matching an event filter arrived.
+    PacketReceived {
+        /// Copy of the packet.
+        packet: Packet,
+    },
+    /// A `do-not-drop` packet finished processing.
+    PacketProcessed {
+        /// Copy of the packet.
+        packet: Packet,
+    },
+}
+
+/// Any message on a channel: always shipped as serialized JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum WireMsg {
+    /// Data-plane packet toward an instance.
+    Packet {
+        /// The packet.
+        packet: Packet,
+    },
+    /// Controller → NF request.
+    Request {
+        /// Correlation id.
+        id: u64,
+        /// The call.
+        call: WireCall,
+    },
+    /// NF → controller response.
+    Response {
+        /// Correlation id.
+        id: u64,
+        /// The reply.
+        reply: WireReply,
+    },
+    /// NF → controller event.
+    Event {
+        /// Which worker raised it.
+        worker: usize,
+        /// The event.
+        ev: WireEvent,
+    },
+    /// Stop the worker thread.
+    Shutdown,
+}
+
+impl WireMsg {
+    /// Serializes to the JSON wire form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("wire message serializes")
+    }
+
+    /// Parses from the JSON wire form.
+    pub fn from_json(s: &str) -> Result<WireMsg, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_packet::FlowKey;
+
+    #[test]
+    fn roundtrip_request() {
+        let m = WireMsg::Request {
+            id: 7,
+            call: WireCall::GetPerflow { filter: Filter::any() },
+        };
+        let js = m.to_json();
+        assert!(js.contains("\"type\":\"request\""));
+        assert!(js.contains("get_perflow"));
+        match WireMsg::from_json(&js).unwrap() {
+            WireMsg::Request { id: 7, call: WireCall::GetPerflow { .. } } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_event_with_packet() {
+        let k = FlowKey::tcp("10.0.0.1".parse().unwrap(), 1, "2.2.2.2".parse().unwrap(), 80);
+        let p = Packet::builder(9, k).payload(&b"x"[..]).build();
+        let m = WireMsg::Event { worker: 1, ev: WireEvent::PacketReceived { packet: p.clone() } };
+        match WireMsg::from_json(&m.to_json()).unwrap() {
+            WireMsg::Event { worker: 1, ev: WireEvent::PacketReceived { packet } } => {
+                assert_eq!(packet, p)
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(WireMsg::from_json("{not json").is_err());
+        assert!(WireMsg::from_json("{\"type\":\"nope\"}").is_err());
+    }
+}

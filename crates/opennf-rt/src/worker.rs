@@ -1,0 +1,194 @@
+//! NF worker threads: each wraps an [`EventedNf`] and speaks the JSON wire
+//! protocol over crossbeam channels.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
+
+use crate::wire::{WireCall, WireEvent, WireMsg, WireReply};
+
+/// Handle to a running worker.
+pub struct WorkerHandle {
+    /// Worker index (used in events it raises).
+    pub index: usize,
+    /// Channel into the worker (JSON strings).
+    pub tx: Sender<String>,
+    join: Option<JoinHandle<EventedNf>>,
+}
+
+impl WorkerHandle {
+    /// Sends a wire message to the worker.
+    pub fn send(&self, msg: &WireMsg) {
+        self.tx.send(msg.to_json()).expect("worker alive");
+    }
+
+    /// Shuts the worker down and returns its harness (for inspection).
+    pub fn shutdown(mut self) -> EventedNf {
+        let _ = self.tx.send(WireMsg::Shutdown.to_json());
+        self.join.take().expect("not yet joined").join().expect("worker thread")
+    }
+}
+
+/// Spawns a worker thread for `nf`. All controller-bound traffic
+/// (responses and events) goes to `to_ctrl` as JSON.
+pub fn spawn_worker(
+    index: usize,
+    nf: Box<dyn NetworkFunction>,
+    to_ctrl: Sender<String>,
+) -> WorkerHandle {
+    let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
+    let join = std::thread::Builder::new()
+        .name(format!("nf-worker-{index}"))
+        .spawn(move || worker_loop(index, nf, rx, to_ctrl))
+        .expect("spawn worker");
+    WorkerHandle { index, tx, join: Some(join) }
+}
+
+fn send_events(index: usize, to_ctrl: &Sender<String>, events: Vec<NfEvent>) {
+    for ev in events {
+        let wire = match ev {
+            NfEvent::Received(packet) => WireEvent::PacketReceived { packet },
+            NfEvent::Processed(packet) => WireEvent::PacketProcessed { packet },
+        };
+        let _ = to_ctrl.send(WireMsg::Event { worker: index, ev: wire }.to_json());
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    nf: Box<dyn NetworkFunction>,
+    rx: Receiver<String>,
+    to_ctrl: Sender<String>,
+) -> EventedNf {
+    let mut harness = EventedNf::new(nf);
+    while let Ok(raw) = rx.recv() {
+        let msg = match WireMsg::from_json(&raw) {
+            Ok(m) => m,
+            Err(e) => {
+                let _ = to_ctrl.send(
+                    WireMsg::Response { id: 0, reply: WireReply::Error { message: e.to_string() } }
+                        .to_json(),
+                );
+                continue;
+            }
+        };
+        match msg {
+            WireMsg::Shutdown => break,
+            WireMsg::Packet { packet } => {
+                let (_outcome, events) = harness.handle_packet(&packet);
+                send_events(index, &to_ctrl, events);
+            }
+            WireMsg::Request { id, call } => {
+                let reply = handle_call(&mut harness, call);
+                let _ = to_ctrl.send(WireMsg::Response { id, reply }.to_json());
+            }
+            // Workers never receive responses or events.
+            WireMsg::Response { .. } | WireMsg::Event { .. } => {}
+        }
+    }
+    harness
+}
+
+fn handle_call(harness: &mut EventedNf, call: WireCall) -> WireReply {
+    match call {
+        WireCall::GetPerflow { filter } => {
+            WireReply::Chunks { chunks: harness.nf_mut().get_perflow(&filter) }
+        }
+        WireCall::PutPerflow { chunks } => match harness.nf_mut().put_perflow(chunks) {
+            Ok(()) => WireReply::Done,
+            Err(e) => WireReply::Error { message: e.to_string() },
+        },
+        WireCall::DelPerflow { flow_ids } => {
+            harness.nf_mut().del_perflow(&flow_ids);
+            WireReply::Done
+        }
+        WireCall::GetMultiflow { filter } => {
+            WireReply::Chunks { chunks: harness.nf_mut().get_multiflow(&filter) }
+        }
+        WireCall::PutMultiflow { chunks } => match harness.nf_mut().put_multiflow(chunks) {
+            Ok(()) => WireReply::Done,
+            Err(e) => WireReply::Error { message: e.to_string() },
+        },
+        WireCall::GetAllflows => WireReply::Chunks { chunks: harness.nf_mut().get_allflows() },
+        WireCall::PutAllflows { chunks } => match harness.nf_mut().put_allflows(chunks) {
+            Ok(()) => WireReply::Done,
+            Err(e) => WireReply::Error { message: e.to_string() },
+        },
+        WireCall::EnableEvents { filter, action } => {
+            harness.enable_events(filter, action.into());
+            WireReply::Done
+        }
+        WireCall::DisableEvents { filter } => {
+            harness.disable_events(&filter);
+            WireReply::Done
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_nfs::AssetMonitor;
+    use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+
+    fn pkt(uid: u64) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), 4000, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .flags(TcpFlags::SYN)
+        .build()
+    }
+
+    #[test]
+    fn worker_processes_and_exports() {
+        let (to_ctrl, from_workers) = unbounded();
+        let w = spawn_worker(0, Box::new(AssetMonitor::new()), to_ctrl);
+        w.send(&WireMsg::Packet { packet: pkt(1) });
+        w.send(&WireMsg::Request { id: 5, call: WireCall::GetPerflow { filter: Filter::any() } });
+        let resp = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
+        match resp {
+            WireMsg::Response { id: 5, reply: WireReply::Chunks { chunks } } => {
+                assert_eq!(chunks.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let harness = w.shutdown();
+        assert_eq!(harness.processed_log(), &[1]);
+    }
+
+    #[test]
+    fn worker_raises_events_for_drop_filter() {
+        let (to_ctrl, from_workers) = unbounded();
+        let w = spawn_worker(3, Box::new(AssetMonitor::new()), to_ctrl);
+        w.send(&WireMsg::Request {
+            id: 1,
+            call: WireCall::EnableEvents {
+                filter: Filter::any(),
+                action: crate::wire::WireAction::Drop,
+            },
+        });
+        let _ack = from_workers.recv().unwrap();
+        w.send(&WireMsg::Packet { packet: pkt(9) });
+        let ev = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
+        match ev {
+            WireMsg::Event { worker: 3, ev: WireEvent::PacketReceived { packet } } => {
+                assert_eq!(packet.uid, 9)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let harness = w.shutdown();
+        assert_eq!(harness.drop_count(), 1);
+    }
+
+    #[test]
+    fn malformed_json_yields_error_response() {
+        let (to_ctrl, from_workers) = unbounded();
+        let w = spawn_worker(0, Box::new(AssetMonitor::new()), to_ctrl);
+        w.tx.send("garbage".to_string()).unwrap();
+        let resp = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
+        assert!(matches!(resp, WireMsg::Response { reply: WireReply::Error { .. }, .. }));
+        w.shutdown();
+    }
+}

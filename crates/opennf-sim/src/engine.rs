@@ -1,0 +1,435 @@
+//! The event loop: nodes, scheduled messages, and the engine that delivers
+//! them in deterministic timestamp order.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::metrics::Counters;
+use crate::rng::SimRng;
+use crate::time::{Dur, Time};
+
+/// Identifies a node registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated component: switch, link, host, NF instance, or controller.
+///
+/// Nodes receive messages via [`Node::on_message`] and react by mutating
+/// their own state and scheduling further sends through the [`Ctx`]. The
+/// `Any` supertrait allows experiment harnesses to downcast nodes after a
+/// run to read out their metrics.
+pub trait Node<M>: Any {
+    /// Called once before the first event is delivered.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called for each message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    time: Time,
+    seq: u64,
+    src: NodeId,
+    dst: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Handle through which a node interacts with the engine during a callback.
+pub struct Ctx<'a, M> {
+    now: Time,
+    me: NodeId,
+    outbox: &'a mut Vec<(Time, NodeId, NodeId, M)>,
+    rng: &'a mut SimRng,
+    counters: &'a mut Counters,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The node currently executing.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Schedules `msg` for delivery to `dst` after `delay`.
+    pub fn send(&mut self, dst: NodeId, delay: Dur, msg: M) {
+        self.outbox.push((self.now + delay, self.me, dst, msg));
+    }
+
+    /// Schedules `msg` to this node itself after `delay` (a timer).
+    pub fn send_self(&mut self, delay: Dur, msg: M) {
+        let me = self.me;
+        self.send(me, delay, msg);
+    }
+
+    /// The engine's deterministic PRNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Global named counters, for cross-cutting statistics.
+    pub fn counters(&mut self) -> &mut Counters {
+        self.counters
+    }
+}
+
+/// The simulation engine: owns nodes, the event queue, the clock, the PRNG,
+/// and global counters.
+pub struct Engine<M> {
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    clock: Time,
+    seq: u64,
+    rng: SimRng,
+    counters: Counters,
+    started: bool,
+    delivered: u64,
+}
+
+impl<M: 'static> Engine<M> {
+    /// Creates an engine with the given PRNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            clock: Time::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            counters: Counters::new(),
+            started: false,
+            delivered: 0,
+        }
+    }
+
+    /// Registers a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        self.nodes.push(Some(node));
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Global counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Schedules a message from "outside" the simulation (source id is the
+    /// destination itself).
+    pub fn inject(&mut self, dst: NodeId, at: Dur, msg: M) {
+        let time = self.clock + at;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { time, seq: self.seq, src: dst, dst, msg }));
+    }
+
+    fn flush_outbox(&mut self, outbox: Vec<(Time, NodeId, NodeId, M)>) {
+        for (time, src, dst, msg) in outbox {
+            self.seq += 1;
+            self.queue.push(Reverse(Scheduled { time, seq: self.seq, src, dst, msg }));
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let mut node = self.nodes[i].take().expect("node present");
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = Ctx {
+                    now: self.clock,
+                    me: NodeId(i),
+                    outbox: &mut outbox,
+                    rng: &mut self.rng,
+                    counters: &mut self.counters,
+                };
+                node.on_start(&mut ctx);
+            }
+            self.nodes[i] = Some(node);
+            self.flush_outbox(outbox);
+        }
+    }
+
+    /// Delivers the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.clock, "time went backwards");
+        self.clock = ev.time;
+        self.delivered += 1;
+        let idx = ev.dst.0;
+        let Some(slot) = self.nodes.get_mut(idx) else {
+            panic!("message to unknown node {}", ev.dst);
+        };
+        let mut node = slot.take().unwrap_or_else(|| {
+            panic!("re-entrant delivery to node {}", ev.dst);
+        });
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.clock,
+                me: ev.dst,
+                outbox: &mut outbox,
+                rng: &mut self.rng,
+                counters: &mut self.counters,
+            };
+            node.on_message(&mut ctx, ev.src, ev.msg);
+        }
+        self.nodes[idx] = Some(node);
+        self.flush_outbox(outbox);
+        true
+    }
+
+    /// Runs until the queue is empty. Panics after `max_events` deliveries
+    /// as a runaway guard.
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        let mut n = 0u64;
+        while self.step() {
+            n += 1;
+            assert!(n <= max_events, "simulation exceeded {max_events} events");
+        }
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are delivered) or the queue empties.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.start_if_needed();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => {
+                    if self.clock < deadline {
+                        self.clock = deadline;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.0].as_ref().expect("node present");
+        let any: &dyn Any = node.as_ref();
+        any.downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> &mut T {
+        let node = self.nodes[id.0].as_mut().expect("node present");
+        let any: &mut dyn Any = node.as_mut();
+        any.downcast_mut::<T>().expect("node type mismatch")
+    }
+
+    /// Whether any events remain queued.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum TestMsg {
+        Ping(u32),
+        Pong(u32),
+        Tick,
+    }
+
+    /// Replies to pings after a fixed delay.
+    struct Echo {
+        delay: Dur,
+        seen: Vec<(u64, u32)>, // (time ns, value)
+    }
+
+    impl Node<TestMsg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, from: NodeId, msg: TestMsg) {
+            if let TestMsg::Ping(v) = msg {
+                self.seen.push((ctx.now().as_nanos(), v));
+                ctx.send(from, self.delay, TestMsg::Pong(v));
+            }
+        }
+    }
+
+    /// Sends pings on start, counts pongs.
+    struct Pinger {
+        target: NodeId,
+        pongs: Vec<(u64, u32)>,
+        ticks: u32,
+    }
+
+    impl Node<TestMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            for i in 0..3 {
+                ctx.send(self.target, Dur::millis(i as u64 + 1), TestMsg::Ping(i));
+            }
+            ctx.send_self(Dur::millis(100), TestMsg::Tick);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: NodeId, msg: TestMsg) {
+            match msg {
+                TestMsg::Pong(v) => self.pongs.push((ctx.now().as_nanos(), v)),
+                TestMsg::Tick => {
+                    self.ticks += 1;
+                    ctx.counters().inc("ticks");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn build() -> (Engine<TestMsg>, NodeId, NodeId) {
+        let mut eng = Engine::new(1);
+        let echo = eng.add_node(Box::new(Echo { delay: Dur::millis(2), seen: Vec::new() }));
+        let pinger = eng.add_node(Box::new(Pinger { target: echo, pongs: Vec::new(), ticks: 0 }));
+        (eng, echo, pinger)
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let (mut eng, echo, pinger) = build();
+        eng.run_to_completion(1000);
+        let e: &Echo = eng.node(echo);
+        assert_eq!(
+            e.seen,
+            vec![(1_000_000, 0), (2_000_000, 1), (3_000_000, 2)],
+            "pings arrive at their scheduled times"
+        );
+        let p: &Pinger = eng.node(pinger);
+        assert_eq!(p.pongs, vec![(3_000_000, 0), (4_000_000, 1), (5_000_000, 2)]);
+        assert_eq!(p.ticks, 1);
+        assert_eq!(eng.counters().get("ticks"), 1);
+        assert_eq!(eng.now().as_millis_f64(), 100.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut eng, _, pinger) = build();
+        eng.run_until(Time::ZERO + Dur::millis(4));
+        let p: &Pinger = eng.node(pinger);
+        assert_eq!(p.pongs.len(), 2, "only pongs at 3ms and 4ms delivered");
+        assert_eq!(p.ticks, 0);
+        assert!(!eng.is_idle());
+        // Clock advanced to the deadline even though next event is later.
+        assert_eq!(eng.now().as_millis_f64(), 4.0);
+        // Continue to completion.
+        eng.run_to_completion(1000);
+        let p: &Pinger = eng.node(pinger);
+        assert_eq!(p.pongs.len(), 3);
+        assert_eq!(p.ticks, 1);
+    }
+
+    #[test]
+    fn simultaneous_events_deliver_in_schedule_order() {
+        struct Collect {
+            got: Vec<u32>,
+        }
+        impl Node<TestMsg> for Collect {
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, msg: TestMsg) {
+                if let TestMsg::Ping(v) = msg {
+                    self.got.push(v);
+                }
+            }
+        }
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        let c = eng.add_node(Box::new(Collect { got: Vec::new() }));
+        for v in [5u32, 3, 9, 1] {
+            eng.inject(c, Dur::millis(7), TestMsg::Ping(v));
+        }
+        eng.run_to_completion(100);
+        let node: &Collect = eng.node(c);
+        assert_eq!(node.got, vec![5, 3, 9, 1], "FIFO among same-time events");
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut eng: Engine<TestMsg> = Engine::new(seed);
+            struct R {
+                vals: Vec<u64>,
+            }
+            impl Node<TestMsg> for R {
+                fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {
+                    let v = ctx.rng().below(1000);
+                    self.vals.push(v);
+                    if self.vals.len() < 50 {
+                        let d = Dur::nanos(ctx.rng().below(100) + 1);
+                        ctx.send_self(d, TestMsg::Tick);
+                    }
+                }
+            }
+            let r = eng.add_node(Box::new(R { vals: Vec::new() }));
+            eng.inject(r, Dur::ZERO, TestMsg::Tick);
+            eng.run_to_completion(1000);
+            let node: &R = eng.node(r);
+            (node.vals.clone(), eng.now())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_guard_trips() {
+        struct Loopy;
+        impl Node<TestMsg> for Loopy {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {
+                ctx.send_self(Dur::nanos(1), TestMsg::Tick);
+            }
+        }
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        let n = eng.add_node(Box::new(Loopy));
+        eng.inject(n, Dur::ZERO, TestMsg::Tick);
+        eng.run_to_completion(100);
+    }
+}

@@ -1,0 +1,31 @@
+//! A deterministic discrete-event simulation kernel.
+//!
+//! The OpenNF evaluation testbed (switch, servers, controller, NFs) is
+//! reproduced as a set of event-driven *nodes* exchanging timestamped
+//! messages through a single priority queue of scheduled deliveries. The
+//! kernel guarantees:
+//!
+//! * **Determinism** — events are ordered by `(time, sequence-number)`; the
+//!   sequence number is assigned at scheduling time, so simultaneous events
+//!   are delivered in the order they were scheduled. All randomness flows
+//!   from one seeded PRNG. The same seed always produces the same run.
+//! * **Virtual time** — [`Time`] is a `u64` nanosecond count; nothing in a
+//!   run depends on the wall clock, so experiments measuring "move
+//!   operation total time" report model time, not host speed.
+//! * **Race fidelity** — message latency is explicit (every send carries a
+//!   delay), so the in-flight-packet / state-transfer / rule-update races
+//!   OpenNF is designed around arise exactly as they would in a real
+//!   network, but reproducibly.
+//!
+//! The message type is a crate-level generic (`Engine<M>`); the network and
+//! controller crates instantiate it with their own message enum.
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Ctx, Engine, Node, NodeId};
+pub use metrics::Counters;
+pub use rng::SimRng;
+pub use time::{Dur, Time};

@@ -1,0 +1,79 @@
+//! Global named counters for cross-cutting statistics (drops, rule
+//! installs, events raised, …). Nodes also keep richer private metrics; the
+//! counters exist for quantities that span nodes.
+
+use std::collections::BTreeMap;
+
+/// A map of named monotonic counters. `BTreeMap` keeps iteration order
+/// deterministic for report output.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Resets every counter to zero (keeps names).
+    pub fn reset(&mut self) {
+        for v in self.map.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_add_get() {
+        let mut c = Counters::new();
+        assert_eq!(c.get("drops"), 0);
+        c.inc("drops");
+        c.add("drops", 4);
+        assert_eq!(c.get("drops"), 5);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut c = Counters::new();
+        c.inc("zeta");
+        c.inc("alpha");
+        c.inc("mid");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let mut c = Counters::new();
+        c.add("x", 9);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+        assert_eq!(c.iter().count(), 1);
+    }
+}

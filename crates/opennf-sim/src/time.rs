@@ -1,0 +1,208 @@
+//! Virtual time: nanosecond instants ([`Time`]) and durations ([`Dur`]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// Simulation start.
+    pub const ZERO: Time = Time(0);
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since simulation start.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// From nanoseconds.
+    pub fn nanos(n: u64) -> Dur {
+        Dur(n)
+    }
+
+    /// From microseconds.
+    pub fn micros(n: u64) -> Dur {
+        Dur(n * 1_000)
+    }
+
+    /// From milliseconds.
+    pub fn millis(n: u64) -> Dur {
+        Dur(n * 1_000_000)
+    }
+
+    /// From seconds.
+    pub fn secs(n: u64) -> Dur {
+        Dur(n * 1_000_000_000)
+    }
+
+    /// From fractional milliseconds (rounds to nearest nanosecond).
+    pub fn millis_f64(ms: f64) -> Dur {
+        Dur((ms.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// From fractional seconds.
+    pub fn secs_f64(s: f64) -> Dur {
+        Dur((s.max(0.0) * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Nanosecond count.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    fn add(self, d: Dur) -> Dur {
+        Dur(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    fn sub(self, d: Dur) -> Dur {
+        Dur(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, k: f64) -> Dur {
+        Dur((self.0 as f64 * k.max(0.0)).round() as u64)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Dur::millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Dur::micros(5).as_nanos(), 5_000);
+        assert_eq!(Dur::secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(Dur::millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(Dur::secs_f64(0.25).as_millis_f64(), 250.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::ZERO + Dur::millis(10);
+        assert_eq!(t.as_millis_f64(), 10.0);
+        assert_eq!((t + Dur::millis(5)) - t, Dur::millis(5));
+        assert_eq!(t.since(Time::ZERO), Dur::millis(10));
+        // Saturation.
+        assert_eq!(Time::ZERO.since(t), Dur::ZERO);
+        assert_eq!(Dur::millis(1) - Dur::millis(2), Dur::ZERO);
+        assert_eq!(Dur::millis(2) * 3, Dur::millis(6));
+        assert_eq!(Dur::millis(2) * 1.5, Dur::millis(3));
+        assert_eq!(Dur::millis(6) / 3, Dur::millis(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dur::millis(2).to_string(), "2.000ms");
+        assert_eq!(Dur::micros(15).to_string(), "15.000us");
+        assert_eq!(Dur::nanos(7).to_string(), "7ns");
+        assert_eq!((Time::ZERO + Dur::millis(1)).to_string(), "t=1.000ms");
+    }
+
+    #[test]
+    fn negative_float_clamps_to_zero() {
+        assert_eq!(Dur::millis_f64(-3.0), Dur::ZERO);
+        assert_eq!(Dur::millis(1) * -2.0, Dur::ZERO);
+    }
+}

@@ -1,0 +1,183 @@
+//! Structured HTTP flow synthesis: the packet sequences the IDS's
+//! reassembly pipeline and the proxy's transfer logic consume.
+
+use std::net::Ipv4Addr;
+
+use opennf_packet::{FlowKey, Packet, TcpFlags};
+
+use crate::TimedPacket;
+
+/// Specification of one synthetic HTTP session.
+#[derive(Debug, Clone)]
+pub struct HttpFlowSpec {
+    /// Client address.
+    pub client: Ipv4Addr,
+    /// Client ephemeral port.
+    pub client_port: u16,
+    /// Server address.
+    pub server: Ipv4Addr,
+    /// Server port (80 = analyzed HTTP; anything else is opaque to the
+    /// IDS's HTTP analyzer).
+    pub server_port: u16,
+    /// Requested URL.
+    pub url: String,
+    /// User-Agent header value.
+    pub user_agent: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Response segment size (bytes of body per packet).
+    pub segment: usize,
+    /// Flow start time (ns).
+    pub start_ns: u64,
+    /// Gap between consecutive packets of this flow (ns).
+    pub gap_ns: u64,
+}
+
+impl HttpFlowSpec {
+    /// Renders the session into timed packets: SYN, SYN+ACK, ACK, request,
+    /// response segments, FIN exchange. Placeholder uids (caller merges).
+    pub fn render(&self) -> Vec<TimedPacket> {
+        let k = FlowKey::tcp(self.client, self.client_port, self.server, self.server_port);
+        let mut t = self.start_ns;
+        let mut out: Vec<TimedPacket> = Vec::new();
+        let mut push = |t: &mut u64, pkt: Packet, gap: u64| {
+            out.push((*t, pkt));
+            *t += gap;
+        };
+        let g = self.gap_ns.max(1);
+        push(&mut t, Packet::builder(0, k).flags(TcpFlags::SYN).seq(1).build(), g);
+        push(
+            &mut t,
+            Packet::builder(0, k.reversed()).flags(TcpFlags::SYN_ACK).seq(1).build(),
+            g,
+        );
+        push(&mut t, Packet::builder(0, k).flags(TcpFlags::ACK).seq(2).build(), g);
+        let req = format!(
+            "GET {} HTTP/1.1\r\nHost: {}\r\nUser-Agent: {}\r\n\r\n",
+            self.url, self.server, self.user_agent
+        );
+        push(
+            &mut t,
+            Packet::builder(0, k)
+                .flags(TcpFlags::PSH.union(TcpFlags::ACK))
+                .seq(2)
+                .payload(req.into_bytes())
+                .build(),
+            g,
+        );
+        let mut resp =
+            format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", self.body.len()).into_bytes();
+        resp.extend_from_slice(&self.body);
+        let mut seq = 1u32;
+        for chunk in resp.chunks(self.segment.max(1)) {
+            push(
+                &mut t,
+                Packet::builder(0, k.reversed())
+                    .flags(TcpFlags::ACK)
+                    .seq(seq)
+                    .payload(chunk.to_vec())
+                    .build(),
+                g,
+            );
+            seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        push(&mut t, Packet::builder(0, k).flags(TcpFlags::FIN.union(TcpFlags::ACK)).build(), g);
+        push(
+            &mut t,
+            Packet::builder(0, k.reversed()).flags(TcpFlags::FIN.union(TcpFlags::ACK)).build(),
+            g,
+        );
+        out
+    }
+
+    /// Number of packets this spec renders to.
+    pub fn packet_count(&self) -> usize {
+        let head = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", self.body.len()).len();
+        let resp_len = head + self.body.len();
+        let segments = resp_len.div_ceil(self.segment.max(1));
+        4 + segments + 2
+    }
+}
+
+/// Deterministic synthetic body for malware sample `id` (the IDS signature
+/// set is the md5 of these).
+pub fn malware_body(id: u32, len: usize) -> Vec<u8> {
+    let mut x = 0x9E3779B9u32 ^ id;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x as u8
+        })
+        .collect()
+}
+
+/// The md5 hex signatures of malware bodies `0..n` of length `len`.
+pub fn malware_signatures(n: u32, len: usize) -> Vec<String> {
+    (0..n).map(|id| opennf_util_md5(&malware_body(id, len))).collect()
+}
+
+fn opennf_util_md5(data: &[u8]) -> String {
+    opennf_util::Md5::hex(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> HttpFlowSpec {
+        HttpFlowSpec {
+            client: "10.0.0.1".parse().unwrap(),
+            client_port: 4000,
+            server: "93.184.216.34".parse().unwrap(),
+                server_port: 80,
+            url: "/index".into(),
+            user_agent: "Firefox".into(),
+            body: vec![0x41; 300],
+            segment: 100,
+            start_ns: 1_000,
+            gap_ns: 500,
+        }
+    }
+
+    #[test]
+    fn renders_expected_structure() {
+        let s = spec();
+        let pkts = s.render();
+        assert_eq!(pkts.len(), s.packet_count());
+        assert!(pkts[0].1.is_syn());
+        assert!(pkts[1].1.is_syn_ack());
+        assert!(pkts.last().unwrap().1.is_teardown());
+        // Times ascend with the configured gap.
+        assert!(pkts.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(pkts[0].0, 1_000);
+        assert_eq!(pkts[1].0, 1_500);
+    }
+
+    #[test]
+    fn malware_bodies_are_deterministic_and_distinct() {
+        assert_eq!(malware_body(1, 64), malware_body(1, 64));
+        assert_ne!(malware_body(1, 64), malware_body(2, 64));
+        let sigs = malware_signatures(3, 64);
+        assert_eq!(sigs.len(), 3);
+        assert_eq!(sigs[0], opennf_util::Md5::hex(&malware_body(0, 64)));
+    }
+
+    #[test]
+    fn reassembled_body_matches_signature() {
+        // Concatenating the rendered response segments' payload after the
+        // header yields exactly the body (what the IDS digests).
+        let mut s = spec();
+        s.body = malware_body(7, 257);
+        let pkts = s.render();
+        let mut resp = Vec::new();
+        for (_, p) in &pkts {
+            if p.key.src_port == 80 && !p.payload.is_empty() {
+                resp.extend_from_slice(&p.payload);
+            }
+        }
+        let head_end = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        assert_eq!(&resp[head_end..], &s.body[..]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Table 1 proxy workload: "We generate 100 requests (drawn from a
+//! logarithmic distribution) for 40 unique URLs (objects are 0.5–4 MB in
+//! size) from each of two clients at a rate of 5 requests/second."
+
+use std::net::Ipv4Addr;
+
+use opennf_packet::{FlowKey, Packet, TcpFlags};
+use opennf_sim::{Dur, SimRng};
+
+use crate::{merge_schedules, TimedPacket};
+
+/// Configuration for [`proxy_workload`].
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Clients issuing requests.
+    pub clients: Vec<Ipv4Addr>,
+    /// Requests per client.
+    pub requests_per_client: u32,
+    /// Unique URLs.
+    pub urls: u32,
+    /// Object size range (bytes).
+    pub size_range: (u64, u64),
+    /// Request rate per client (requests/second).
+    pub rate: f64,
+    /// Proxy address requests are sent to.
+    pub proxy: Ipv4Addr,
+    /// Gap between credit packets (ns): how fast each transfer drains.
+    /// 20 ms/credit ≈ 26 Mbps per transfer, so big objects stay in
+    /// progress for hundreds of ms — in-flight transfers are the point of
+    /// Table 1.
+    pub credit_gap_ns: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            clients: vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)],
+            requests_per_client: 100,
+            urls: 40,
+            size_range: (512 * 1024, 4 * 1024 * 1024),
+            rate: 5.0,
+            proxy: Ipv4Addr::new(10, 9, 9, 9),
+            credit_gap_ns: 20_000_000,
+            seed: 17,
+        }
+    }
+}
+
+/// Deterministic size for URL index `u` within the configured range.
+pub fn object_size(cfg: &ProxyConfig, u: u32) -> u64 {
+    let (lo, hi) = cfg.size_range;
+    let mut x = 0x243F6A88u64 ^ (u as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+    x ^= x >> 33;
+    lo + x % (hi - lo).max(1)
+}
+
+/// The URL string for index `u` (embeds the object size, which the proxy
+/// parses).
+pub fn url_of(cfg: &ProxyConfig, u: u32) -> String {
+    format!("/obj{u}?size={}", object_size(cfg, u))
+}
+
+/// Draws a URL index from a log-ish (Zipf-like, s=1) popularity
+/// distribution over `0..urls`.
+fn draw_url(rng: &mut SimRng, urls: u32) -> u32 {
+    // Inverse-CDF Zipf(s=1) via the harmonic sum.
+    let h: f64 = (1..=urls).map(|k| 1.0 / k as f64).sum();
+    let target = rng.f64() * h;
+    let mut acc = 0.0;
+    for k in 1..=urls {
+        acc += 1.0 / k as f64;
+        if acc >= target {
+            return k - 1;
+        }
+    }
+    urls - 1
+}
+
+/// Renders one request transaction: request packet, credit packets until
+/// the object is fully delivered (64 KiB per credit, matching the proxy's
+/// window), FIN.
+fn render_request(
+    cfg: &ProxyConfig,
+    client: Ipv4Addr,
+    port: u16,
+    url_idx: u32,
+    start_ns: u64,
+) -> Vec<TimedPacket> {
+    const WINDOW: u64 = 64 * 1024;
+    let k = FlowKey::tcp(client, port, cfg.proxy, 3128);
+    let size = object_size(cfg, url_idx);
+    let credits = size.div_ceil(WINDOW);
+    let mut out = Vec::with_capacity(credits as usize + 2);
+    let mut t = start_ns;
+    let req = format!("GET {} HTTP/1.1\r\nHost: origin\r\n\r\n", url_of(cfg, url_idx));
+    out.push((
+        t,
+        Packet::builder(0, k)
+            .flags(TcpFlags::PSH.union(TcpFlags::ACK))
+            .payload(req.into_bytes())
+            .build(),
+    ));
+    for _ in 0..credits {
+        t += cfg.credit_gap_ns;
+        out.push((t, Packet::builder(0, k).flags(TcpFlags::ACK).build()));
+    }
+    t += cfg.credit_gap_ns;
+    out.push((t, Packet::builder(0, k).flags(TcpFlags::FIN.union(TcpFlags::ACK)).build()));
+    out
+}
+
+/// Generates the full workload. Returns per-client schedules merged into
+/// one, plus the per-request `(client, url_idx, start_ns)` list for
+/// assertions.
+pub fn proxy_workload(cfg: &ProxyConfig) -> (Vec<TimedPacket>, Vec<(Ipv4Addr, u32, u64)>) {
+    let mut rng = SimRng::new(cfg.seed);
+    let gap = Dur::secs_f64(1.0 / cfg.rate).as_nanos();
+    let mut parts = Vec::new();
+    let mut requests = Vec::new();
+    for (ci, client) in cfg.clients.iter().enumerate() {
+        for r in 0..cfg.requests_per_client {
+            let url_idx = draw_url(&mut rng, cfg.urls);
+            let start = r as u64 * gap + (ci as u64 * gap / cfg.clients.len().max(1) as u64);
+            let port = 10_000 + (ci as u16) * 10_000 + r as u16;
+            parts.push(render_request(cfg, *client, port, url_idx, start));
+            requests.push((*client, url_idx, start));
+        }
+    }
+    (merge_schedules(parts), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape() {
+        let cfg = ProxyConfig { requests_per_client: 10, ..ProxyConfig::default() };
+        let (sched, reqs) = proxy_workload(&cfg);
+        assert_eq!(reqs.len(), 20);
+        // Requests appear as GET packets.
+        let gets = sched.iter().filter(|(_, p)| p.payload.starts_with(b"GET ")).count();
+        assert_eq!(gets, 20);
+        // Sorted and uid-ascending.
+        assert!(sched.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1.uid < w[1].1.uid));
+    }
+
+    #[test]
+    fn sizes_in_range_and_deterministic() {
+        let cfg = ProxyConfig::default();
+        for u in 0..40 {
+            let s = object_size(&cfg, u);
+            assert!((512 * 1024..4 * 1024 * 1024).contains(&s), "url {u}: {s}");
+            assert_eq!(s, object_size(&cfg, u));
+        }
+    }
+
+    #[test]
+    fn url_popularity_is_skewed() {
+        let cfg = ProxyConfig { requests_per_client: 500, ..ProxyConfig::default() };
+        let (_, reqs) = proxy_workload(&cfg);
+        let mut counts = vec![0usize; 40];
+        for (_, u, _) in &reqs {
+            counts[*u as usize] += 1;
+        }
+        let popular = counts[0] + counts[1] + counts[2];
+        let tail: usize = counts[30..].iter().sum();
+        assert!(popular > tail, "zipf head ({popular}) should beat tail ({tail})");
+        // All URLs requested at least once with 1000 draws over 40 URLs.
+        assert!(counts.iter().filter(|c| **c > 0).count() >= 35);
+    }
+
+    #[test]
+    fn credits_cover_object_size() {
+        let cfg = ProxyConfig::default();
+        let pkts = render_request(&cfg, "10.0.0.1".parse().unwrap(), 10_000, 0, 0);
+        let credits = pkts.iter().filter(|(_, p)| p.payload.is_empty() && !p.is_teardown()).count();
+        let size = object_size(&cfg, 0);
+        assert_eq!(credits as u64, size.div_ceil(64 * 1024));
+    }
+}

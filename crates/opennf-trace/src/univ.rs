@@ -1,0 +1,317 @@
+//! University-to-cloud style traces: HTTP sessions from local clients to
+//! cloud servers, plus port scans, with heavy-tailed flow durations.
+
+use std::net::Ipv4Addr;
+
+use opennf_packet::{FlowKey, Packet, TcpFlags};
+use opennf_sim::{Dur, SimRng};
+
+use crate::http::{malware_body, malware_signatures, HttpFlowSpec};
+use crate::{merge_schedules, TimedPacket};
+
+/// Configuration for [`univ_cloud`].
+#[derive(Debug, Clone)]
+pub struct UnivCloudConfig {
+    /// Concurrent HTTP flows to synthesize.
+    pub flows: u32,
+    /// Aggregate packet rate to target (packets/second).
+    pub pps: u64,
+    /// Trace duration.
+    pub duration: Dur,
+    /// Number of local /24 subnets under 10.0.0.0/16.
+    pub subnets: u8,
+    /// Fraction of flows whose response body is a known-malware sample.
+    pub malware_fraction: f64,
+    /// Fraction of flows with an outdated browser User-Agent.
+    pub outdated_ua_fraction: f64,
+    /// Fraction of flows on port 443 (opaque to the HTTP analyzer) — the
+    /// "other" traffic class of §8.4's rebalancing experiment.
+    pub https_fraction: f64,
+    /// Number of external scanners probing local hosts.
+    pub scanners: u8,
+    /// Distinct ports each scanner probes.
+    pub scan_ports: u16,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for UnivCloudConfig {
+    fn default() -> Self {
+        UnivCloudConfig {
+            flows: 500,
+            pps: 2_500,
+            duration: Dur::secs(2),
+            subnets: 4,
+            malware_fraction: 0.02,
+            outdated_ua_fraction: 0.05,
+            https_fraction: 0.0,
+            scanners: 0,
+            scan_ports: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated trace.
+pub struct Trace {
+    /// The timed packet schedule (sorted, uids ascending).
+    pub packets: Vec<TimedPacket>,
+    /// MD5 signatures of the malware bodies embedded in the trace.
+    pub signatures: Vec<String>,
+    /// Number of HTTP flows.
+    pub flows: u32,
+    /// Number of flows carrying malware.
+    pub malware_flows: u32,
+    /// Number of flows with outdated browsers.
+    pub outdated_flows: u32,
+}
+
+/// Local client address: subnet `s`, host `h`.
+pub fn local_client(s: u8, h: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, s, h.max(1))
+}
+
+/// Cloud server address for flow `i`.
+pub fn cloud_server(i: u32) -> Ipv4Addr {
+    Ipv4Addr::new(93, 184, (i / 200) as u8 + 1, (i % 200) as u8 + 1)
+}
+
+/// Synthesizes the trace.
+pub fn univ_cloud(cfg: &UnivCloudConfig) -> Trace {
+    let mut rng = SimRng::new(cfg.seed);
+    let dur_ns = cfg.duration.as_nanos();
+    let total_packets = (cfg.pps as f64 * cfg.duration.as_secs_f64()) as u64;
+    let pkts_per_flow = (total_packets / cfg.flows.max(1) as u64).max(8);
+
+    let mut parts: Vec<Vec<TimedPacket>> = Vec::new();
+    let mut malware_flows = 0;
+    let mut outdated_flows = 0;
+    let n_sigs = 8u32;
+    let sig_len = 2_048usize;
+
+    for i in 0..cfg.flows {
+        let subnet = (i % cfg.subnets.max(1) as u32) as u8;
+        let host = (rng.below(200) + 1) as u8;
+        let is_malware = rng.chance(cfg.malware_fraction);
+        let is_outdated = rng.chance(cfg.outdated_ua_fraction);
+        if is_malware {
+            malware_flows += 1;
+        }
+        if is_outdated {
+            outdated_flows += 1;
+        }
+        // Size the body so the flow renders to ≈pkts_per_flow packets with
+        // ~6 non-segment packets and ~700 B segments.
+        let segment = 700usize;
+        let seg_count = pkts_per_flow.saturating_sub(6).max(2) as usize;
+        let body = if is_malware {
+            malware_body(rng.below(n_sigs as u64) as u32, sig_len)
+        } else {
+            let len = (seg_count * segment).saturating_sub(64).max(128);
+            vec![0x55u8; len]
+        };
+        let is_https = rng.chance(cfg.https_fraction) && !is_malware;
+        let start_ns = rng.below((dur_ns / 4).max(1));
+        // Pace the flow across most of the remaining trace.
+        let pkt_count = 6 + body.len().div_ceil(segment) as u64;
+        let span = dur_ns - start_ns;
+        let gap_ns = (span * 3 / 4 / pkt_count.max(1)).max(1_000);
+        let spec = HttpFlowSpec {
+            client: local_client(subnet, host),
+            client_port: 2_000 + (i % 60_000) as u16,
+            server_port: if is_https { 443 } else { 80 },
+            server: cloud_server(i),
+            url: format!("/obj{i}"),
+            user_agent: if is_outdated {
+                "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)".to_string()
+            } else {
+                "Mozilla/5.0 (X11; Linux) Firefox/115".to_string()
+            },
+            body,
+            segment,
+            start_ns,
+            gap_ns,
+        };
+        parts.push(spec.render());
+    }
+
+    // Scanners: external hosts SYN-probing many ports on local hosts.
+    for s in 0..cfg.scanners {
+        let scanner = Ipv4Addr::new(66, 66, 0, s + 1);
+        let mut pkts = Vec::new();
+        for port in 0..cfg.scan_ports {
+            let t = rng.below(dur_ns.max(1));
+            let victim = local_client((port % cfg.subnets.max(1) as u16) as u8, 9);
+            let key = FlowKey::tcp(scanner, 40_000 + port, victim, 1 + port);
+            pkts.push((t, Packet::builder(0, key).flags(TcpFlags::SYN).seq(7).build()));
+        }
+        pkts.sort_by_key(|(t, _)| *t);
+        parts.push(pkts);
+    }
+
+    Trace {
+        packets: merge_schedules(parts),
+        signatures: malware_signatures(n_sigs, sig_len),
+        flows: cfg.flows,
+        malware_flows,
+        outdated_flows,
+    }
+}
+
+/// A uniform, steady packet stream across `flows` flows at `pps` for
+/// `duration` — the Figure 10/11/13 driver. Every flow opens with a SYN.
+pub fn steady_flows(flows: u32, pps: u64, duration: Dur, seed: u64) -> Vec<TimedPacket> {
+    let mut rng = SimRng::new(seed);
+    let gap_ns = 1_000_000_000 / pps.max(1);
+    let total = duration.as_nanos() / gap_ns;
+    let mut out = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        let flow = (i % flows as u64) as u32;
+        let key = FlowKey::tcp(
+            local_client((flow % 200 / 50) as u8, (flow % 200 + 1) as u8),
+            2_000 + (flow / 200) as u16 * 250 + (flow % 250) as u16,
+            cloud_server(flow),
+            80,
+        );
+        let flags = if i < flows as u64 { TcpFlags::SYN } else { TcpFlags::ACK };
+        let payload_len = 100 + rng.below(80) as usize;
+        let pkt = Packet::builder(0, key)
+            .flags(flags)
+            .seq(i as u32)
+            .payload(vec![0x5Au8; payload_len])
+            .build();
+        out.push((i * gap_ns, pkt));
+    }
+    merge_schedules(vec![out])
+}
+
+/// Like [`steady_flows`], but all flows are *established first*: every
+/// SYN is emitted in an initial 100 ms warm-up burst, then data packets
+/// run at `pps`. This mirrors the §8.1.1 methodology ("Once it has created
+/// state for 500 flows … we move"): the number of per-flow states a move
+/// covers must not depend on the data rate under test.
+pub fn warmed_flows(flows: u32, pps: u64, duration: Dur, seed: u64) -> Vec<TimedPacket> {
+    let mut rng = SimRng::new(seed);
+    let warmup_ns = 100_000_000u64;
+    let mut out = Vec::new();
+    let syn_gap = warmup_ns / flows.max(1) as u64;
+    let key_of = |flow: u32| {
+        FlowKey::tcp(
+            local_client((flow % 200 / 50) as u8, (flow % 200 + 1) as u8),
+            2_000 + (flow / 200) as u16 * 250 + (flow % 250) as u16,
+            cloud_server(flow),
+            80,
+        )
+    };
+    for flow in 0..flows {
+        let pkt = Packet::builder(0, key_of(flow)).flags(TcpFlags::SYN).seq(flow).build();
+        out.push((flow as u64 * syn_gap, pkt));
+    }
+    let gap_ns = 1_000_000_000 / pps.max(1);
+    let total = duration.as_nanos().saturating_sub(warmup_ns) / gap_ns;
+    for i in 0..total {
+        let flow = (i % flows as u64) as u32;
+        let payload_len = 100 + rng.below(80) as usize;
+        let pkt = Packet::builder(0, key_of(flow))
+            .flags(TcpFlags::ACK)
+            .seq(i as u32)
+            .payload(vec![0x5Au8; payload_len])
+            .build();
+        out.push((warmup_ns + i * gap_ns, pkt));
+    }
+    merge_schedules(vec![out])
+}
+
+/// Heavy-tailed flow durations (seconds): bounded Pareto calibrated so
+/// roughly 9 % of flows exceed 25 minutes (§8.4) while the median stays at
+/// tens of seconds — the property that makes "wait for flows to die"
+/// scale-in take tens of minutes.
+pub fn heavy_tail_durations(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::new(seed);
+    // P(X > x) = (xm/x)^alpha; want P(X > 1500 s) ≈ 0.09 with xm = 10 s:
+    // alpha = ln(0.09)/ln(10/1500) ≈ 0.48.
+    let xm = 10.0;
+    let alpha = (0.09f64).ln() / (xm / 1500.0f64).ln();
+    (0..n).map(|_| rng.pareto(xm, alpha).min(4.0 * 3600.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_flows_hits_rate_and_flow_count() {
+        let sched = steady_flows(250, 2_500, Dur::secs(1), 1);
+        assert_eq!(sched.len(), 2_500);
+        let distinct: std::collections::HashSet<_> =
+            sched.iter().map(|(_, p)| p.conn_key()).collect();
+        assert_eq!(distinct.len(), 250);
+        // uids ascend with time.
+        assert!(sched.windows(2).all(|w| w[0].1.uid < w[1].1.uid && w[0].0 <= w[1].0));
+        // SYN-first per flow.
+        let syns = sched.iter().filter(|(_, p)| p.is_syn()).count();
+        assert_eq!(syns, 250);
+    }
+
+    #[test]
+    fn univ_cloud_embeds_detectable_malware() {
+        let cfg = UnivCloudConfig {
+            flows: 50,
+            pps: 2_000,
+            duration: Dur::secs(1),
+            malware_fraction: 0.3,
+            ..UnivCloudConfig::default()
+        };
+        let trace = univ_cloud(&cfg);
+        assert!(trace.malware_flows > 0);
+        assert_eq!(trace.signatures.len(), 8);
+        assert!(!trace.packets.is_empty());
+        // Deterministic for the seed.
+        let again = univ_cloud(&cfg);
+        assert_eq!(trace.packets.len(), again.packets.len());
+        assert_eq!(trace.malware_flows, again.malware_flows);
+    }
+
+    #[test]
+    fn univ_cloud_total_rate_is_close() {
+        let cfg = UnivCloudConfig {
+            flows: 200,
+            pps: 2_500,
+            duration: Dur::secs(2),
+            ..UnivCloudConfig::default()
+        };
+        let trace = univ_cloud(&cfg);
+        let got_pps = trace.packets.len() as f64 / 2.0;
+        assert!(
+            (got_pps - 2_500.0).abs() / 2_500.0 < 0.35,
+            "target 2500 pps, got {got_pps}"
+        );
+    }
+
+    #[test]
+    fn scanners_probe_many_ports() {
+        let cfg = UnivCloudConfig {
+            flows: 5,
+            scanners: 2,
+            scan_ports: 30,
+            duration: Dur::secs(1),
+            ..UnivCloudConfig::default()
+        };
+        let trace = univ_cloud(&cfg);
+        let scan_pkts = trace
+            .packets
+            .iter()
+            .filter(|(_, p)| p.src_ip().octets()[0] == 66)
+            .count();
+        assert_eq!(scan_pkts, 60);
+    }
+
+    #[test]
+    fn duration_tail_matches_paper() {
+        let durs = heavy_tail_durations(40_000, 3);
+        let over_25min = durs.iter().filter(|d| **d > 1_500.0).count() as f64 / durs.len() as f64;
+        assert!((over_25min - 0.09).abs() < 0.02, "9% > 25 min, got {over_25min}");
+        let over_10min = durs.iter().filter(|d| **d > 600.0).count() as f64 / durs.len() as f64;
+        assert!(over_10min > over_25min);
+    }
+}

@@ -1,0 +1,273 @@
+//! A small LZ77-style compressor for serialized NF state.
+//!
+//! §8.3 of the paper observes that the controller bottleneck (threads busy
+//! reading state off sockets) "can be overcome by optimizing the size of
+//! state transfers using compression", measuring ≈38% compression on
+//! serialized PRADS state. Serialized NF state is highly repetitive (JSON
+//! field names, repeated IP prefixes, zeroed counters), so even a simple
+//! greedy LZ77 with a 32 KiB window reaches that ballpark.
+//!
+//! # Format
+//!
+//! A sequence of tokens, each introduced by a tag byte:
+//!
+//! * `0x00, len_lo, len_hi, <len bytes>` — literal run (`len ≥ 1`).
+//! * `0x01, dist_lo, dist_hi, len_lo, len_hi` — copy `len` bytes from
+//!   `dist` bytes back (`dist ≥ 1`, `len ≥ MIN_MATCH`).
+//!
+//! The format favours simplicity and determinism over ratio; it is *not* a
+//! general-purpose codec.
+
+/// Minimum match length worth encoding (tag + dist + len = 5 bytes).
+const MIN_MATCH: usize = 6;
+/// Maximum match length per token.
+const MAX_MATCH: usize = 0xFFFF;
+/// Sliding window size (maximum back-reference distance).
+const WINDOW: usize = 32 * 1024;
+/// Number of hash-chain heads.
+const HASH_SIZE: usize = 1 << 15;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`. Always succeeds; worst case expands by
+/// ~`3 bytes per 65535` of input plus 3 bytes.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    if data.is_empty() {
+        return out;
+    }
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the same chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(0xFFFF);
+            out.push(0x00);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&data[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + 4 <= data.len() {
+            let h = hash4(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && cand + WINDOW > i && chain < 32 {
+                if cand < i {
+                    let maxl = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < maxl && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                        if l >= 128 {
+                            break; // good enough; bound the work
+                        }
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                chain += 1;
+            }
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, lit_start, i);
+            out.push(0x01);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.extend_from_slice(&(best_len as u16).to_le_bytes());
+            // Insert hash entries for the skipped region so later matches can
+            // reference it (cheap partial insertion: every 2nd position).
+            let end = i + best_len;
+            let mut j = i + 1;
+            while j + 4 <= data.len() && j < end {
+                let h = hash4(data, j);
+                prev[j % WINDOW] = head[h];
+                head[h] = j;
+                j += 2;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len());
+    out
+}
+
+/// Error returned by [`decompress`] on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended in the middle of a token.
+    Truncated,
+    /// A copy token referenced data before the start of the output.
+    BadDistance,
+    /// Unknown tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::BadDistance => write!(f, "copy token distance out of range"),
+            DecompressError::BadTag(t) => write!(f, "unknown token tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        match data[i] {
+            0x00 => {
+                if i + 3 > data.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let n = u16::from_le_bytes([data[i + 1], data[i + 2]]) as usize;
+                i += 3;
+                if i + n > data.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&data[i..i + n]);
+                i += n;
+            }
+            0x01 => {
+                if i + 5 > data.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let dist = u16::from_le_bytes([data[i + 1], data[i + 2]]) as usize;
+                let len = u16::from_le_bytes([data[i + 3], data[i + 4]]) as usize;
+                i += 5;
+                if dist == 0 || dist > out.len() {
+                    return Err(DecompressError::BadDistance);
+                }
+                // Overlapping copies are valid (RLE-style); copy byte-wise.
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            t => return Err(DecompressError::BadTag(t)),
+        }
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `data`, as saved fraction in `[0, 1)`.
+/// Returns 0 if compression expands the input.
+pub fn savings(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let c = compress(data).len();
+    if c >= data.len() {
+        0.0
+    } else {
+        1.0 - c as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcde");
+    }
+
+    #[test]
+    fn repetitive_json_like_state_compresses_well() {
+        // Shaped like serialized PRADS state: repeated field names, IPs.
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!(
+                "{{\"src_ip\":\"10.0.{}.{}\",\"dst_ip\":\"192.168.1.1\",\"proto\":6,\
+                 \"pkts\":{},\"bytes\":{},\"last_seen\":1700000000}}",
+                i / 256,
+                i % 256,
+                i * 3,
+                i * 1500
+            ));
+        }
+        let data = s.as_bytes();
+        roundtrip(data);
+        let ratio = savings(data);
+        assert!(ratio > 0.35, "expected ≥35% savings, got {ratio:.2}");
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        let data = vec![0x42u8; 100_000];
+        let c = compress(&data);
+        assert!(c.len() < 200, "RLE-ish input should collapse, got {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // A cheap PRNG stream; should still round-trip even if it expands.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn decompress_rejects_malformed() {
+        assert_eq!(decompress(&[0x00]), Err(DecompressError::Truncated));
+        assert_eq!(decompress(&[0x00, 5, 0, 1, 2]), Err(DecompressError::Truncated));
+        assert_eq!(
+            decompress(&[0x01, 1, 0, 4, 0]),
+            Err(DecompressError::BadDistance)
+        );
+        assert_eq!(decompress(&[0x07]), Err(DecompressError::BadTag(0x07)));
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Pattern recurs at a distance just under / over the window.
+        let unit: Vec<u8> = (0..=255u8).collect();
+        let mut data = Vec::new();
+        while data.len() < WINDOW + 4096 {
+            data.extend_from_slice(&unit);
+        }
+        roundtrip(&data);
+    }
+}

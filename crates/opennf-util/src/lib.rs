@@ -1,0 +1,22 @@
+//! Utility substrates for the OpenNF reproduction.
+//!
+//! Everything in this crate is implemented from scratch so the workspace has
+//! no dependency on external cryptography or compression crates:
+//!
+//! * [`md5`] — the RFC 1321 MD5 message-digest algorithm. The Bro-like IDS
+//!   uses it to fingerprint reassembled HTTP bodies against a malware
+//!   signature database, exactly as the paper's malware-detection policy
+//!   script computes md5sums of HTTP replies (§2.1, §5.1.1).
+//! * [`mod@compress`] — a byte-oriented LZ77-style compressor used to reproduce
+//!   the §8.3 controller-scalability experiment ("state can be compressed by
+//!   38% improving execution latency from 110ms to 70ms").
+//! * [`stats`] — small, allocation-light summary statistics (mean, max,
+//!   percentiles, confidence intervals) used by every experiment harness.
+
+pub mod compress;
+pub mod md5;
+pub mod stats;
+
+pub use compress::{compress, decompress};
+pub use md5::Md5;
+pub use stats::Summary;

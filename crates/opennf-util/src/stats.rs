@@ -1,0 +1,182 @@
+//! Summary statistics used by experiment harnesses and NF runtimes.
+//!
+//! The paper reports averages, maxima, and 95% confidence intervals over 5
+//! runs (Figure 10), so those are the primitives provided here. The
+//! implementation keeps all samples; experiment sample counts are small
+//! (thousands), so simplicity wins over streaming quantile sketches.
+
+/// A collection of `f64` samples with summary accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a summary from existing samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in samples {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::MIN, f64::max).max(0.0)
+    }
+
+    /// Minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::MAX, f64::min)
+        }
+    }
+
+    /// Sample standard deviation (Bessel-corrected); 0 with fewer than 2 samples.
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval on the mean
+    /// (normal approximation, `1.96 · s/√n`); 0 with fewer than 2 samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev() / (n as f64).sqrt()
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) by nearest-rank; 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Read-only access to the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another summary's samples into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), 2.0);
+        // Sample (not population) stddev of this classic set ≈ 2.1381.
+        assert!((s.stddev() - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut s = Summary::from_samples((1..=101).map(|v| v as f64));
+        assert_eq!(s.median(), 51.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 101.0);
+        assert_eq!(s.quantile(0.95), 96.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Summary::from_samples([1.0, 2.0]);
+        let b = Summary::from_samples([3.0, 4.0]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::from_samples([1.0, 2.0, 3.0, 4.0]);
+        let many = Summary::from_samples((0..400).map(|i| 1.0 + (i % 4) as f64));
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based checks on the from-scratch codecs.
+
+use opennf_util::{compress, decompress, Md5};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn compress_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrips_repetitive_bytes(
+        unit in proptest::collection::vec(any::<u8>(), 1..32),
+        reps in 1usize..256,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = compress(&data);
+        let len = data.len();
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+        // Highly repetitive input should not expand (beyond tiny inputs).
+        if len > 64 {
+            prop_assert!(c.len() <= len + 8, "{} vs {}", c.len(), len);
+        }
+    }
+
+    #[test]
+    fn md5_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(1usize..64, 0..16),
+    ) {
+        let oneshot = Md5::oneshot(&data);
+        let mut h = Md5::new();
+        let mut rest: &[u8] = &data;
+        for c in cuts {
+            let take = c.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.digest(), oneshot);
+    }
+
+    #[test]
+    fn md5_distinguishes_any_single_bit_flip(
+        mut data in proptest::collection::vec(any::<u8>(), 1..256),
+        idx in any::<prop::sample::Index>(),
+        bit in 0..8u8,
+    ) {
+        let original = Md5::oneshot(&data);
+        let i = idx.index(data.len());
+        data[i] ^= 1 << bit;
+        prop_assert_ne!(Md5::oneshot(&data), original);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Result may be Ok or Err, but must never panic.
+        let _ = decompress(&data);
+    }
+}

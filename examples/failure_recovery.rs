@@ -1,0 +1,50 @@
+//! Fast failure recovery (§2.1, Figure 9).
+//!
+//! A hot standby is kept eventually consistent through `notify`-driven
+//! per-flow copies (triggered by TCP SYN/RST and local HTTP requests).
+//! When the primary fails, traffic is re-routed to the standby, which
+//! already holds the critical state — flows continue without appearing
+//! brand new.
+//!
+//! ```sh
+//! cargo run --example failure_recovery
+//! ```
+
+use opennf::apps::FailoverApp;
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::sim::NodeId;
+use opennf::trace::steady_flows;
+
+fn main() {
+    let app = FailoverApp::new(
+        NodeId(2),                       // primary (instance 0)
+        NodeId(3),                       // standby (instance 1)
+        "10.0.0.0/8".parse().unwrap(),   // the protected network
+        Some(Dur::millis(500)),          // the primary fails at t = 500 ms
+    );
+    let mut s = ScenarioBuilder::new()
+        .app(Box::new(app))
+        .nf("primary", Box::new(AssetMonitor::new()))
+        .nf("standby", Box::new(AssetMonitor::new()))
+        .host(steady_flows(100, 2_500, Dur::secs(1), 5))
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+
+    let copies = s.controller().reports_of("copy").len();
+    let primary = s.nf(0);
+    let standby = s.nf(1);
+    let p_state = primary.nf_as::<AssetMonitor>().conn_count();
+    let s_state = standby.nf_as::<AssetMonitor>().conn_count();
+    println!("notify-driven copies : {copies}");
+    println!("primary  : {} pkts processed, {} flows tracked", primary.processed_log().len(), p_state);
+    println!("standby  : {} pkts processed, {} flows tracked", standby.processed_log().len(), s_state);
+
+    // The standby took over mid-run…
+    assert!(!standby.processed_log().is_empty(), "standby processed traffic after failover");
+    // …and, because state was already there, its flow table shows the real
+    // flow count rather than a cold start.
+    assert_eq!(s_state, 100, "standby holds state for every flow");
+    println!("failover : OK — standby continued with {s_state} pre-copied flows");
+}

@@ -1,0 +1,83 @@
+//! Selectively invoking advanced remote processing (§2.1, §6).
+//!
+//! The local IDS only identifies browsers; the cloud IDS holds the full
+//! malware corpus. When the local instance flags an outdated browser, the
+//! offload application loss-free-moves that flow — including its partially
+//! reassembled HTTP state — to the cloud, which completes the reassembly
+//! and catches the malware. A lossy move would corrupt the MD5 and miss it.
+//!
+//! ```sh
+//! cargo run --example remote_processing
+//! ```
+
+use opennf::apps::OffloadApp;
+use opennf::nfs::ids::{Ids, IdsConfig};
+use opennf::prelude::*;
+use opennf::sim::NodeId;
+use opennf::trace::http::{malware_body, malware_signatures, HttpFlowSpec};
+use opennf::trace::merge_schedules;
+
+fn main() {
+    // Workload: one slow HTTP flow from an outdated browser fetching a
+    // malware payload, plus benign background flows.
+    let mut parts = vec![HttpFlowSpec {
+        client: "10.0.0.5".parse().unwrap(),
+        client_port: 4000,
+        server: "93.184.216.34".parse().unwrap(),
+                server_port: 80,
+        url: "/download/installer.exe".into(),
+        user_agent: "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)".into(),
+        body: malware_body(3, 4_096),
+        segment: 256,
+        start_ns: 1_000_000,
+        gap_ns: 15_000_000,
+    }
+    .render()];
+    for i in 0..8u32 {
+        parts.push(
+            HttpFlowSpec {
+                client: format!("10.0.0.{}", 20 + i).parse().unwrap(),
+                client_port: 5000 + i as u16,
+                server: "93.184.216.34".parse().unwrap(),
+                server_port: 80,
+                url: format!("/page{i}"),
+                user_agent: "Mozilla/5.0 Firefox/115".into(),
+                body: vec![0x22; 900],
+                segment: 300,
+                start_ns: 3_000_000 + i as u64 * 2_000_000,
+                gap_ns: 4_000_000,
+            }
+            .render(),
+        );
+    }
+
+    let local = Ids::new(IdsConfig::default()); // no signatures: browser checks only
+    let cloud = Ids::with_signatures(malware_signatures(8, 4_096)); // full corpus
+
+    let mut s = ScenarioBuilder::new()
+        .app(Box::new(OffloadApp::new(NodeId(2), NodeId(3))))
+        .nf("local-ids", Box::new(local))
+        .nf("cloud-ids", Box::new(cloud))
+        .host(merge_schedules(parts))
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+
+    let browser_alerts = s.nf(0).logs_of("alert.outdated_browser").len();
+    let moves = s.controller().reports_of("move[LF").len();
+    let cloud_malware = s.nf(1).logs_of("alert.malware").len();
+    println!("local-ids : {browser_alerts} outdated-browser alert(s)");
+    println!("offloads  : {moves} loss-free move(s) to the cloud instance");
+    println!("cloud-ids : {cloud_malware} malware detection(s)");
+    for r in &s.controller().reports {
+        println!("op        : {:<16} {:>7.1} ms", r.kind, r.duration_ms());
+    }
+    let oracle = s.oracle().check();
+    println!("loss-free : {}", oracle.is_loss_free());
+
+    assert_eq!(browser_alerts, 1);
+    assert_eq!(moves, 1);
+    assert_eq!(cloud_malware, 1, "the mid-flow move must preserve the reassembly state");
+    assert!(oracle.is_loss_free());
+    println!("verdict   : malware caught in the cloud after a mid-flow, loss-free offload");
+}

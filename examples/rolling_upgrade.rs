@@ -1,0 +1,102 @@
+//! Always up-to-date NFs (§2.1): the rolling-upgrade scenario.
+//!
+//! "An SLA may require that traffic is never processed by outdated NF
+//! instances for more than 10 minutes per year … The only way to both
+//! satisfy the SLA and maintain NF accuracy is for the control plane to
+//! offer the ability to move NF state alongside updates to network
+//! forwarding state … the operation must complete in bounded time."
+//!
+//! We launch an "upgraded" IDS instance mid-run and move *everything* —
+//! per-flow, multi-flow, and all-flows state — with a loss-free move. The
+//! outdated instance is drained in a quarter of a second instead of the
+//! tens of minutes that waiting for flows to die would take (~9 % of
+//! flows outlive 25 minutes per the paper's cited tail).
+//!
+//! ```sh
+//! cargo run --example rolling_upgrade
+//! ```
+
+use opennf::baselines::scale_in_wait_secs;
+use opennf::nfs::ids::Ids;
+use opennf::prelude::*;
+use opennf::trace::{heavy_tail_durations, univ_cloud, UnivCloudConfig};
+
+fn main() {
+    let cfg = UnivCloudConfig {
+        flows: 300,
+        pps: 2_500,
+        duration: Dur::secs(2),
+        malware_fraction: 0.05,
+        scanners: 1,
+        scan_ports: 15,
+        ..UnivCloudConfig::default()
+    };
+    let trace = univ_cloud(&cfg);
+    let sigs = trace.signatures.clone();
+    let mut s = ScenarioBuilder::new()
+        .nf("ids-v1 (outdated)", Box::new(Ids::with_signatures(sigs.clone())))
+        .nf("ids-v2 (upgraded)", Box::new(Ids::with_signatures(sigs)))
+        .host(trace.packets)
+        .route(0, Filter::any(), 0)
+        .build();
+    let (old, new) = (s.instances[0], s.instances[1]);
+
+    // The upgrade: one loss-free move of every state class.
+    s.issue_at(
+        Dur::millis(800),
+        Command::Move {
+            src: old,
+            dst: new,
+            filter: Filter::any(),
+            scope: ScopeSet::all(),
+            props: MoveProps::lf_pl(),
+        },
+    );
+    s.run_to_completion();
+
+    let report = &s.controller().reports[0];
+    let v1 = s.nf(0);
+    let v2 = s.nf(1);
+    println!(
+        "upgrade   : {} in {:.0} ms ({} chunks, {} bytes)",
+        report.kind,
+        report.duration_ms(),
+        report.chunks,
+        report.bytes
+    );
+    println!(
+        "ids-v1    : {} pkts processed, {} flows left",
+        v1.processed_log().len(),
+        v1.nf_as::<Ids>().conn_count()
+    );
+    println!(
+        "ids-v2    : {} pkts processed, {} flows, {} host counters, malware={}",
+        v2.processed_log().len(),
+        v2.nf_as::<Ids>().conn_count(),
+        v2.nf_as::<Ids>().host_counter_count(),
+        v2.logs_of("alert.malware").len() + v1.logs_of("alert.malware").len(),
+    );
+    let oracle = s.oracle().check();
+    println!("loss-free : {}", oracle.is_loss_free());
+
+    // The alternative the paper rules out: wait for flows to terminate.
+    let durs = heavy_tail_durations(10_000, 1);
+    let starts = vec![0.0; durs.len()];
+    let wait = scale_in_wait_secs(&starts, &durs, 1.0);
+    println!(
+        "vs waiting: draining by attrition would pin ids-v1 for ≈{:.0} minutes",
+        wait / 60.0
+    );
+
+    assert!(oracle.is_loss_free());
+    assert_eq!(v1.nf_as::<Ids>().conn_count(), 0, "outdated instance fully drained");
+    assert!(report.duration_ms() < 10_000.0, "upgrade bounded in time (seconds, not minutes)");
+    let total_malware: usize =
+        (0..2).map(|i| s.nf(i).logs_of("alert.malware").len()).sum();
+    assert_eq!(total_malware as u32, trace.malware_flows, "no detection lost");
+    println!(
+        "verdict   : upgraded in {:.1} s with zero missed detections (vs {:.0} min by attrition)",
+        report.duration_ms() / 1e3,
+        wait / 60.0
+    );
+}

@@ -1,0 +1,77 @@
+//! # OpenNF — coordinated control of NF state and network forwarding state
+//!
+//! A from-scratch Rust reproduction of *OpenNF: Enabling Innovation in
+//! Network Function Control* (Gember-Jacobson et al., SIGCOMM 2014).
+//!
+//! OpenNF is a control plane that lets applications reallocate packet
+//! processing across network function (NF) instances **quickly and
+//! safely**: internal NF state moves/copies/shares in lockstep with
+//! forwarding-state updates, with selectable guarantees (loss-freedom,
+//! order preservation, eventual/strong/strict consistency).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`packet`] | `opennf-packet` | packets, flows, OpenFlow-like filters |
+//! | [`sim`] | `opennf-sim` | deterministic discrete-event kernel |
+//! | [`net`] | `opennf-net` | priority flow tables, trace recorder |
+//! | [`nf`] | `opennf-nf` | state taxonomy, southbound API, events |
+//! | [`nfs`] | `opennf-nfs` | IDS, asset monitor, caching proxy, NAT, RE |
+//! | [`control`] | `opennf-controller` | the controller: move/copy/share, guarantees, scenarios |
+//! | [`apps`] | `opennf-apps` | load balancing, failover, remote processing |
+//! | [`baselines`] | `opennf-baselines` | Split/Merge, VM replication, no-rebalance |
+//! | [`trace`] | `opennf-trace` | synthetic workload generators |
+//! | [`rt`] | `opennf-rt` | threaded runtime with the JSON southbound protocol |
+//! | [`util`] | `opennf-util` | MD5, LZ compression, statistics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use opennf::prelude::*;
+//!
+//! // Two PRADS-like monitors behind one switch; 50 flows at 2500 pps.
+//! let mut s = ScenarioBuilder::new()
+//!     .nf("m1", Box::new(opennf::nfs::AssetMonitor::new()))
+//!     .nf("m2", Box::new(opennf::nfs::AssetMonitor::new()))
+//!     .host(opennf::trace::steady_flows(50, 2_500, Dur::millis(400), 1))
+//!     .route(0, Filter::any(), 0)
+//!     .build();
+//! let (src, dst) = (s.instances[0], s.instances[1]);
+//!
+//! // Loss-free, parallelized, early-release move of everything at t=100ms.
+//! s.issue_at(Dur::millis(100), Command::Move {
+//!     src, dst,
+//!     filter: Filter::any(),
+//!     scope: ScopeSet::per_flow(),
+//!     props: MoveProps::lf_pl_er(),
+//! });
+//! s.run_to_completion();
+//!
+//! // The oracle checks the §5.1 guarantee from the run's logs.
+//! let report = s.oracle().check();
+//! assert!(report.is_loss_free());
+//! ```
+
+pub use opennf_apps as apps;
+pub use opennf_baselines as baselines;
+pub use opennf_controller as control;
+pub use opennf_net as net;
+pub use opennf_nf as nf;
+pub use opennf_nfs as nfs;
+pub use opennf_packet as packet;
+pub use opennf_rt as rt;
+pub use opennf_sim as sim;
+pub use opennf_trace as trace;
+pub use opennf_util as util;
+
+/// The most commonly used items, one `use` away.
+pub mod prelude {
+    pub use opennf_controller::{
+        Command, ConsistencyLevel, ControlApp, MoveProps, MoveVariant, NetConfig, OpReport,
+        Scenario, ScenarioBuilder, ScopeSet,
+    };
+    pub use opennf_nf::{Chunk, EventAction, NetworkFunction, Scope};
+    pub use opennf_packet::{ConnKey, Filter, FlowId, FlowKey, Ipv4Prefix, Packet, Proto, TcpFlags};
+    pub use opennf_sim::{Dur, Time};
+}

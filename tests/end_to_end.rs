@@ -1,0 +1,228 @@
+//! Cross-crate end-to-end scenarios: realistic traces through real NFs
+//! with OpenNF operations in flight, checked by the guarantee oracle.
+
+use opennf::nfs::ids::Ids;
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::trace::{steady_flows, univ_cloud, UnivCloudConfig};
+
+#[test]
+fn ids_pipeline_on_synthetic_trace_detects_everything() {
+    let cfg = UnivCloudConfig {
+        flows: 120,
+        pps: 2_000,
+        duration: Dur::secs(2),
+        malware_fraction: 0.1,
+        outdated_ua_fraction: 0.1,
+        scanners: 1,
+        scan_ports: 25,
+        ..UnivCloudConfig::default()
+    };
+    let trace = univ_cloud(&cfg);
+    let mut s = ScenarioBuilder::new()
+        .nf("ids", Box::new(Ids::with_signatures(trace.signatures.clone())))
+        .host(trace.packets)
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+    let n = s.nf(0);
+    assert_eq!(
+        n.logs_of("alert.malware").len() as u32,
+        trace.malware_flows,
+        "every malware flow detected, none missed"
+    );
+    assert_eq!(n.logs_of("alert.outdated_browser").len() as u32, trace.outdated_flows);
+    assert_eq!(n.logs_of("alert.scan").len(), 1, "one scanner, one alert");
+    // Clean teardown: conn.log entries with state=SF for completed flows.
+    let sf = n
+        .logs_of("conn_log")
+        .iter()
+        .filter(|l| l.detail.contains("state=SF"))
+        .count();
+    assert_eq!(sf as u32, trace.flows, "all HTTP flows closed cleanly");
+}
+
+#[test]
+fn midtrace_move_does_not_lose_detections() {
+    // Malware flows are moved mid-transfer; loss-free moves must keep
+    // every detection.
+    let cfg = UnivCloudConfig {
+        flows: 60,
+        pps: 2_500,
+        duration: Dur::secs(2),
+        malware_fraction: 0.5,
+        subnets: 2,
+        ..UnivCloudConfig::default()
+    };
+    let trace = univ_cloud(&cfg);
+    let mk = || Box::new(Ids::with_signatures(trace.signatures.clone()));
+    let mut s = ScenarioBuilder::new()
+        .nf("ids1", mk())
+        .nf("ids2", mk())
+        .host(trace.packets)
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    // Move one subnet's flows mid-trace.
+    s.issue_at(
+        Dur::millis(700),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::from_src("10.0.1.0/24".parse().unwrap()).bidi(),
+            scope: ScopeSet::per_flow(),
+            props: MoveProps::lf_pl_er(),
+        },
+    );
+    s.run_to_completion();
+    let total: usize = (0..2).map(|i| s.nf(i).logs_of("alert.malware").len()).sum();
+    assert_eq!(total as u32, trace.malware_flows, "no detection lost to the move");
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "{:?}", oracle.lost);
+    // No spurious weird-activity alerts either (order held within flows).
+    let weird: usize =
+        (0..2).map(|i| s.nf(i).logs_of("weird.syn_inside_connection").len()).sum();
+    assert_eq!(weird, 0, "no false SYN_inside_connection alerts");
+}
+
+#[test]
+fn lossy_move_misses_detections_but_lossfree_does_not() {
+    // A/B comparison on the same trace: the NG move drops packets and
+    // loses malware detections; the LF move keeps them all.
+    let cfg = UnivCloudConfig {
+        flows: 40,
+        pps: 4_000,
+        duration: Dur::secs(2),
+        malware_fraction: 1.0, // every flow carries a signature
+        ..UnivCloudConfig::default()
+    };
+    let run = |props: MoveProps| {
+        let trace = univ_cloud(&cfg);
+        let mk = || Box::new(Ids::with_signatures(trace.signatures.clone()));
+        let mut s = ScenarioBuilder::new()
+            .nf("ids1", mk())
+            .nf("ids2", mk())
+            .host(trace.packets)
+            .route(0, Filter::any(), 0)
+            .build();
+        let (src, dst) = (s.instances[0], s.instances[1]);
+        s.issue_at(
+            Dur::millis(700),
+            Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+        );
+        s.run_to_completion();
+        let total: usize = (0..2).map(|i| s.nf(i).logs_of("alert.malware").len()).sum();
+        total as u32
+    };
+    let detected_ng = run(MoveProps::ng_pl());
+    let detected_lf = run(MoveProps::lf_pl());
+    assert_eq!(detected_lf, 40, "loss-free move preserves every detection");
+    assert!(
+        detected_ng < 40,
+        "the no-guarantee move must miss some detections (got {detected_ng}/40)"
+    );
+}
+
+#[test]
+fn nat_flows_survive_moves() {
+    use opennf::nfs::Nat;
+    let mut s = ScenarioBuilder::new()
+        .nf("nat1", Box::new(Nat::new("200.0.0.1".parse().unwrap())))
+        .nf("nat2", Box::new(Nat::new("200.0.0.1".parse().unwrap())))
+        .host(steady_flows(80, 2_500, Dur::secs(1), 21))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(300),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::any(),
+            scope: ScopeSet::per_flow(),
+            props: MoveProps::lf_pl_er(),
+        },
+    );
+    s.run_to_completion();
+    let n2 = s.nf(1).nf_as::<Nat>();
+    assert_eq!(n2.entry_count(), 80, "all conntrack entries at the destination");
+    assert_eq!(n2.untranslatable, 0, "no mid-flow packet hit a missing translation");
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free());
+}
+
+#[test]
+fn scale_in_merges_counters_and_still_detects() {
+    // Scale-in (§2.1): flows from two instances are consolidated; the scan
+    // counters must merge so split evidence still triggers detection.
+    let mut parts = Vec::new();
+    // A scanner probing 6 ports observed by ids1 and 6 by ids2.
+    for (block, base_port) in [(0u8, 100u16), (1u8, 200u16)] {
+        for p in 0..6u16 {
+            let key = opennf::packet::FlowKey::tcp(
+                "66.66.66.1".parse().unwrap(),
+                50_000 + base_port + p,
+                format!("10.0.{block}.9").parse().unwrap(),
+                base_port + p,
+            );
+            let pkt = Packet::builder(0, key).flags(TcpFlags::SYN).build();
+            parts.push(vec![(1_000_000 * (p as u64 + 1) + block as u64 * 500, pkt)]);
+        }
+    }
+    let sched = opennf::trace::merge_schedules(parts);
+    let mut s = ScenarioBuilder::new()
+        .nf("ids1", Box::new(Ids::new(opennf::nfs::ids::IdsConfig::default())))
+        .nf("ids2", Box::new(Ids::new(opennf::nfs::ids::IdsConfig::default())))
+        .host(sched)
+        .route(0, Filter::from_dst("10.0.0.0/24".parse().unwrap()), 0)
+        .route(1, Filter::from_dst("10.0.1.0/24".parse().unwrap()), 1)
+        .build();
+    let (a, b) = (s.instances[0], s.instances[1]);
+    // Scale in at 100 ms: move instance b's flows AND multi-flow counters
+    // into a.
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move {
+            src: b,
+            dst: a,
+            filter: Filter::any(),
+            scope: ScopeSet { per_flow: true, multi_flow: true, all_flows: false },
+            props: MoveProps::lf_pl(),
+        },
+    );
+    s.run_to_completion();
+    let scans = s.nf(0).logs_of("alert.scan").len();
+    assert_eq!(scans, 1, "merged counters (6+6 ports ≥ 10) must fire the alert");
+}
+
+#[test]
+fn deterministic_runs_for_fixed_seed() {
+    let run = || {
+        let mut s = ScenarioBuilder::new()
+            .seed(77)
+            .nf("m1", Box::new(AssetMonitor::new()))
+            .nf("m2", Box::new(AssetMonitor::new()))
+            .host(steady_flows(50, 3_000, Dur::millis(500), 77))
+            .route(0, Filter::any(), 0)
+            .build();
+        let (src, dst) = (s.instances[0], s.instances[1]);
+        s.issue_at(
+            Dur::millis(100),
+            Command::Move {
+                src,
+                dst,
+                filter: Filter::any(),
+                scope: ScopeSet::per_flow(),
+                props: MoveProps::lfop_pl_er(),
+            },
+        );
+        s.run_to_completion();
+        (
+            s.controller().reports[0].duration_ms(),
+            s.nf(0).processed_log().to_vec(),
+            s.nf(1).processed_log().to_vec(),
+            s.engine.now().as_nanos(),
+        )
+    };
+    assert_eq!(run(), run(), "same seed, same run");
+}

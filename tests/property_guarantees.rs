@@ -1,0 +1,102 @@
+//! Property-based checks of the §5.1 guarantees: across randomized flow
+//! counts, packet rates, move times, and optimization combinations, the
+//! loss-free move never loses a packet and the order-preserving move never
+//! reorders within a flow. (The paper proves these properties; here
+//! proptest searches for counterexamples on every run.)
+
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::trace::steady_flows;
+use proptest::prelude::*;
+
+fn run_move(
+    flows: u32,
+    pps: u64,
+    move_at_ms: u64,
+    props: MoveProps,
+    seed: u64,
+) -> (opennf::control::GuaranteeReport, usize, usize) {
+    let mut s = ScenarioBuilder::new()
+        .seed(seed)
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(steady_flows(flows, pps, Dur::millis(400), seed))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(move_at_ms),
+        Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+    );
+    s.run_to_completion();
+    let oracle = s.oracle().check();
+    let c1 = s.nf(0).nf_as::<AssetMonitor>().conn_count();
+    let c2 = s.nf(1).nf_as::<AssetMonitor>().conn_count();
+    (oracle, c1, c2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lossfree_move_never_loses(
+        flows in 5u32..60,
+        pps in 500u64..6_000,
+        move_at in 20u64..250,
+        er in any::<bool>(),
+        seed in 1u64..1_000,
+    ) {
+        let props = MoveProps {
+            variant: MoveVariant::LossFree,
+            parallel: true,
+            early_release: er,
+        };
+        let (oracle, c1, c2) = run_move(flows, pps, move_at, props, seed);
+        prop_assert!(oracle.is_loss_free(),
+            "lost={:?} dup={:?} (flows={flows} pps={pps} at={move_at} er={er} seed={seed})",
+            oracle.lost, oracle.duplicated);
+        prop_assert_eq!(c1, 0, "source must end empty");
+        prop_assert_eq!(c2, flows as usize, "destination must hold all flows");
+    }
+
+    #[test]
+    fn op_move_never_reorders_within_flows(
+        flows in 5u32..40,
+        pps in 500u64..6_000,
+        move_at in 20u64..250,
+        er in any::<bool>(),
+        seed in 1u64..1_000,
+    ) {
+        let props = MoveProps {
+            variant: MoveVariant::LossFreeOrderPreserving,
+            parallel: true,
+            early_release: er,
+        };
+        let (oracle, _, c2) = run_move(flows, pps, move_at, props, seed);
+        prop_assert!(oracle.is_loss_free(),
+            "lost={:?} (flows={flows} pps={pps} at={move_at} er={er} seed={seed})",
+            oracle.lost);
+        prop_assert!(oracle.is_order_preserving(),
+            "per-flow reorder={:?} (flows={flows} pps={pps} at={move_at} er={er} seed={seed})",
+            oracle.reordered_per_flow);
+        if !er {
+            prop_assert!(oracle.is_globally_order_preserving(),
+                "global reorder={:?} without ER (flows={flows} pps={pps} at={move_at} seed={seed})",
+                oracle.reordered_global);
+        }
+        prop_assert_eq!(c2, flows as usize);
+    }
+
+    #[test]
+    fn every_packet_processed_exactly_once_under_any_variant(
+        variant_idx in 0usize..3,
+        flows in 5u32..40,
+        pps in 500u64..4_000,
+        seed in 1u64..1_000,
+    ) {
+        let props = [MoveProps::lf_pl(), MoveProps::lf_pl_er(), MoveProps::lfop_pl_er()][variant_idx];
+        let (oracle, _, _) = run_move(flows, pps, 100, props, seed);
+        prop_assert!(oracle.duplicated.is_empty(), "dup={:?}", oracle.duplicated);
+        prop_assert_eq!(oracle.processed, oracle.forwarded);
+    }
+}

@@ -1,0 +1,112 @@
+//! The §5.1.2 redundancy-elimination motivation, end to end: "an encoded
+//! packet arriving before the data packet w.r.t. which it was encoded will
+//! be silently dropped; this can cause the decoder's data store to rapidly
+//! become out of synch with the encoders."
+//!
+//! An RE decoder's fingerprint store is all-flows state. We move it
+//! between decoder instances mid-stream with (a) a loss-free move and
+//! (b) a loss-free *and order-preserving* move, and count decoder drops.
+//! Reordering across flows is what matters here (every packet updates the
+//! shared store), so only the globally-order-preserving variant is safe.
+
+use opennf::nfs::{ReDecoder, ReEncoder};
+use opennf::prelude::*;
+
+/// Builds an encoded packet schedule where packet k's content references
+/// content taught by packet k-1 — possibly on a *different* flow — so the
+/// decoder depends on global processing order.
+fn encoded_schedule(packets: u64, flows: u16, pps: u64) -> Vec<(u64, Packet)> {
+    let mut enc = ReEncoder::new();
+    let gap = 1_000_000_000 / pps;
+    let chunk = |i: u64| -> Vec<u8> {
+        // Globally unique 32-byte content per index (xorshift stream
+        // seeded by a splitmix of i), so a reference can only resolve if
+        // the teaching packet was actually processed first.
+        let mut x = i.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..32)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    };
+    let mut out = Vec::new();
+    for k in 0..packets {
+        // Content: the previous packet's chunk (a back-reference once the
+        // encoder has taught it) plus this packet's new chunk.
+        let mut content = if k > 0 { chunk(k - 1) } else { Vec::new() };
+        content.extend(chunk(k));
+        let payload = enc.encode(&content);
+        let key = FlowKey::tcp(
+            format!("10.0.0.{}", (k % flows as u64) + 1).parse().unwrap(),
+            5_000 + (k % flows as u64) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        out.push((k * gap, Packet::builder(k + 1, key).payload(payload).build()));
+    }
+    out
+}
+
+fn run(props: MoveProps) -> (u64, u64, bool) {
+    let mut s = ScenarioBuilder::new()
+        .nf("dec1", Box::new(ReDecoder::new()))
+        .nf("dec2", Box::new(ReDecoder::new()))
+        .host(encoded_schedule(4_000, 40, 8_000))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(150),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::any(),
+            scope: ScopeSet { per_flow: false, multi_flow: false, all_flows: true },
+            props,
+        },
+    );
+    s.run_to_completion();
+    let d1 = s.nf(0).nf_as::<ReDecoder>();
+    let d2 = s.nf(1).nf_as::<ReDecoder>();
+    let oracle = s.oracle().check();
+    (d1.desync_drops + d2.desync_drops, d1.decoded + d2.decoded, oracle.is_loss_free())
+}
+
+#[test]
+fn order_preserving_move_keeps_decoder_in_sync() {
+    let props = MoveProps {
+        variant: MoveVariant::LossFreeOrderPreserving,
+        parallel: true,
+        early_release: false, // global ordering needed: all-flows state
+    };
+    let (drops, decoded, loss_free) = run(props);
+    assert!(loss_free);
+    assert_eq!(drops, 0, "an order-preserving move must not desynchronize the decoder");
+    assert_eq!(decoded, 4_000, "every packet decoded");
+}
+
+#[test]
+fn lossfree_only_move_desynchronizes_decoder() {
+    let (drops, decoded, loss_free) = run(MoveProps::lf_pl());
+    assert!(loss_free, "LF still loses nothing…");
+    assert!(
+        drops > 0,
+        "…but reordering must desynchronize the RE decoder (decoded {decoded})"
+    );
+}
+
+#[test]
+fn no_move_baseline_decodes_everything() {
+    let mut s = ScenarioBuilder::new()
+        .nf("dec1", Box::new(ReDecoder::new()))
+        .host(encoded_schedule(2_000, 40, 8_000))
+        .route(0, Filter::any(), 0)
+        .build();
+    s.run_to_completion();
+    let d = s.nf(0).nf_as::<ReDecoder>();
+    assert_eq!(d.desync_drops, 0);
+    assert_eq!(d.decoded, 2_000);
+}

@@ -1,0 +1,176 @@
+//! Southbound API conformance: every NF in the workspace must obey the
+//! §4.2 contract. The same suite runs over all of them:
+//!
+//! * `get_perflow(filter)` returns exactly the state whose flow ids match;
+//! * `get → del → put` relocates state losslessly (move semantics);
+//! * `put_multiflow` merges rather than replaces;
+//! * exports are deserializable by a fresh instance of the same NF;
+//! * `list_*` agrees with `get_*`.
+
+use opennf::nf::NetworkFunction;
+use opennf::nfs::ids::{Ids, IdsConfig};
+use opennf::nfs::{AssetMonitor, Nat, Proxy, ReDecoder};
+use opennf::prelude::*;
+
+/// Each entry: a factory plus a packet feeder that installs state for
+/// flows from the given client IP.
+type Factory = fn() -> Box<dyn NetworkFunction>;
+
+fn factories() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("ids", || Box::new(Ids::new(IdsConfig::default()))),
+        ("monitor", || Box::new(AssetMonitor::new())),
+        ("nat", || Box::new(Nat::new("200.0.0.1".parse().unwrap()))),
+        ("proxy", || Box::new(Proxy::new())),
+        ("re_decoder", || Box::new(ReDecoder::new())),
+    ]
+}
+
+/// Feeds `n` flows from `client_octet` (10.0.0.x) into the NF. Uses a
+/// packet shape every NF accepts (TCP SYN + data toward port 80/3128).
+fn feed_flows(nf: &mut dyn NetworkFunction, client_octet: u8, n: u16) {
+    for i in 0..n {
+        let dst_port = if nf.nf_type() == "proxy" { 3128 } else { 80 };
+        let key = FlowKey::tcp(
+            format!("10.0.0.{client_octet}").parse().unwrap(),
+            3_000 + i,
+            "93.184.216.34".parse().unwrap(),
+            dst_port,
+        );
+        let syn = Packet::builder(1 + i as u64 * 3, key)
+            .flags(TcpFlags::SYN)
+            .seq(i as u32)
+            .ingress_ns(1000)
+            .build();
+        nf.process_packet(&syn).unwrap();
+        let payload = if nf.nf_type() == "proxy" {
+            format!("GET /c{client_octet}obj{i}?size=1000 HTTP/1.1\r\n\r\n").into_bytes()
+        } else {
+            b"data-data-data".to_vec()
+        };
+        let data = Packet::builder(2 + i as u64 * 3, key)
+            .flags(TcpFlags::PSH.union(TcpFlags::ACK))
+            .seq(i as u32 + 1)
+            .payload(payload)
+            .ingress_ns(2000)
+            .build();
+        nf.process_packet(&data).unwrap();
+    }
+    let _ = nf.drain_logs();
+}
+
+fn client_filter(octet: u8) -> Filter {
+    Filter::from_src(Ipv4Prefix::host(format!("10.0.0.{octet}").parse().unwrap())).bidi()
+}
+
+#[test]
+fn get_perflow_respects_filter() {
+    for (name, mk) in factories() {
+        let mut nf = mk();
+        feed_flows(nf.as_mut(), 1, 4);
+        feed_flows(nf.as_mut(), 2, 3);
+        let total = nf.get_perflow(&Filter::any()).len();
+        let c1 = nf.get_perflow(&client_filter(1)).len();
+        let c2 = nf.get_perflow(&client_filter(2)).len();
+        if name == "re_decoder" {
+            assert_eq!(total, 0, "{name}: RE has no per-flow state");
+            continue;
+        }
+        assert_eq!(c1 + c2, total, "{name}: filters partition the state");
+        assert!(c1 >= 4 - 1, "{name}: client 1 flows found ({c1})");
+        assert!(c1 > c2, "{name}: 4 vs 3 flows ({c1} vs {c2})");
+        // Every exported chunk's flow id matches the filter it was
+        // selected by.
+        for chunk in nf.get_perflow(&client_filter(1)) {
+            assert!(
+                client_filter(1).matches_flow_id(&chunk.flow_id),
+                "{name}: chunk {} escapes its filter",
+                chunk.flow_id
+            );
+        }
+    }
+}
+
+#[test]
+fn list_agrees_with_get() {
+    for (name, mk) in factories() {
+        let mut nf = mk();
+        feed_flows(nf.as_mut(), 1, 5);
+        let listed = nf.list_perflow(&Filter::any());
+        let got = nf.get_perflow(&Filter::any());
+        assert_eq!(listed.len(), got.len(), "{name}");
+        let got_ids: Vec<FlowId> = got.iter().map(|c| c.flow_id).collect();
+        for id in &listed {
+            assert!(got_ids.contains(id), "{name}: listed {id} but not exported");
+        }
+    }
+}
+
+#[test]
+fn move_semantics_get_del_put() {
+    for (name, mk) in factories() {
+        let mut src = mk();
+        let mut dst = mk();
+        feed_flows(src.as_mut(), 1, 5);
+        let before = src.list_perflow(&Filter::any()).len();
+        let chunks = src.get_perflow(&Filter::any());
+        let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+        src.del_perflow(&ids);
+        assert_eq!(src.list_perflow(&Filter::any()).len(), 0, "{name}: deleted at src");
+        dst.put_perflow(chunks).unwrap_or_else(|e| panic!("{name}: put failed: {e}"));
+        assert_eq!(
+            dst.list_perflow(&Filter::any()).len(),
+            before,
+            "{name}: state relocated losslessly"
+        );
+    }
+}
+
+#[test]
+fn multiflow_put_merges() {
+    // The NFs with multi-flow state must merge, not replace.
+    for (name, mk) in factories() {
+        let mut a = mk();
+        let mut b = mk();
+        feed_flows(a.as_mut(), 1, 3);
+        feed_flows(b.as_mut(), 1, 3);
+        let a_before = a.get_multiflow(&Filter::any());
+        if a_before.is_empty() {
+            continue; // nat / re: no multi-flow state
+        }
+        let from_b = b.get_multiflow(&Filter::any());
+        a.put_multiflow(from_b).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Merging must not shrink the table.
+        let after = a.get_multiflow(&Filter::any()).len();
+        assert!(after >= a_before.len(), "{name}: merge shrank state");
+    }
+}
+
+#[test]
+fn exports_decode_on_fresh_instances() {
+    for (name, mk) in factories() {
+        let mut src = mk();
+        feed_flows(src.as_mut(), 1, 2);
+        let per = src.get_perflow(&Filter::any());
+        let multi = src.get_multiflow(&Filter::any());
+        let all = src.get_allflows();
+        let mut fresh = mk();
+        fresh.put_perflow(per).unwrap_or_else(|e| panic!("{name} per: {e}"));
+        fresh.put_multiflow(multi).unwrap_or_else(|e| panic!("{name} multi: {e}"));
+        fresh.put_allflows(all).unwrap_or_else(|e| panic!("{name} all: {e}"));
+    }
+}
+
+#[test]
+fn unknown_chunk_kinds_are_rejected_not_panicking() {
+    for (name, mk) in factories() {
+        let mut nf = mk();
+        let bogus = Chunk {
+            flow_id: FlowId::default(),
+            scope: Scope::PerFlow,
+            kind: "definitely-unknown".into(),
+            data: vec![0xFF; 8],
+        };
+        assert!(nf.put_perflow(vec![bogus]).is_err(), "{name} must reject unknown kinds");
+    }
+}
