@@ -68,8 +68,7 @@ fn loaded_nf(which: &str, flows: u32) -> Box<dyn NetworkFunction> {
 pub fn export_import_ms(which: &str, flows: u32) -> (f64, f64) {
     // Zero network delays: isolate the NF-side (de)serialization cost the
     // paper's Figure 12 measures.
-    let mut cfg = NetConfig::default();
-    cfg.ctrl_to_nf = Dur::ZERO;
+    let cfg = NetConfig { ctrl_to_nf: Dur::ZERO, ..NetConfig::default() };
     let mut eng: Engine<Msg> = Engine::new(1);
     let stub = eng.add_node(Box::new(Stub { last_reply_ns: 0, chunks: Vec::new() }));
     let src = eng.add_node(Box::new(NfNode::new("src", loaded_nf(which, flows), cfg, stub)));

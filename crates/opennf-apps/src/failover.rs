@@ -98,15 +98,30 @@ impl ControlApp for FailoverApp {
 
     fn on_tick(&mut self, api: &mut Api<'_>) {
         if self.armed_failure && !self.failed_over {
-            self.failed_over = true;
-            // The normal instance failed: steer everything to the standby.
-            api.issue(Command::Route {
-                filter: Filter::any(),
-                priority: 1000,
-                inst: self.stby_inst,
-            });
-            api.set_tick(None);
+            self.execute_failover(api);
         }
+    }
+
+    fn on_nf_failed(&mut self, api: &mut Api<'_>, inst: NodeId, _reason: &str) {
+        // An operation aborted blaming an instance. If it is the one we
+        // protect, the standby (kept warm by updateStandby copies) takes
+        // over immediately — no timer needed.
+        if inst == self.norm_inst && !self.failed_over {
+            self.execute_failover(api);
+        }
+    }
+}
+
+impl FailoverApp {
+    fn execute_failover(&mut self, api: &mut Api<'_>) {
+        self.failed_over = true;
+        // The normal instance failed: steer everything to the standby.
+        api.issue(Command::Route {
+            filter: Filter::any(),
+            priority: 1000,
+            inst: self.stby_inst,
+        });
+        api.set_tick(None);
     }
 }
 
@@ -148,6 +163,57 @@ mod tests {
         );
         // The standby processed no packets itself.
         assert!(s.nf(1).processed_log().is_empty());
+    }
+
+    #[test]
+    fn nf_failure_during_move_triggers_failover() {
+        use opennf_controller::{Command, MoveProps, NetConfig};
+        use opennf_sim::{FaultPlan, Time};
+
+        // Short phase timeout so the abort (and thus the failover) happens
+        // while traffic is still flowing.
+        let mut cfg = NetConfig::default();
+        cfg.op.phase_timeout = Dur::millis(50);
+        let app = FailoverApp::new(NodeId(2), NodeId(3), "10.0.0.0/8".parse().unwrap(), None);
+        let mut s = ScenarioBuilder::new()
+            .config(cfg)
+            .app(Box::new(app))
+            .nf("norm", Box::new(AssetMonitor::new()))
+            .nf("stby", Box::new(AssetMonitor::new()))
+            .host(steady_flows(30, 2_000, Dur::millis(800), 9))
+            .route(0, Filter::any(), 0)
+            // The protected instance dies just after the move starts.
+            .fault_plan(FaultPlan::new(7).crash(NodeId(2), Time(310_000_000)))
+            .build();
+        s.issue_at(
+            Dur::millis(300),
+            Command::Move {
+                src: NodeId(2),
+                dst: NodeId(3),
+                filter: Filter::any(),
+                scope: ScopeSet::per_flow(),
+                props: MoveProps::lf_pl(),
+            },
+        );
+        s.run_to_completion();
+
+        let reports = s.controller().reports_of("move");
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].outcome.is_aborted(), "move aborted: {:?}", reports[0].outcome);
+        assert_eq!(reports[0].failed_inst, Some(NodeId(2)), "abort blames the crashed source");
+        // The abort's failure event drove on_nf_failed: traffic was
+        // re-routed and the standby picked it up.
+        assert!(
+            !s.nf(1).processed_log().is_empty(),
+            "standby processes traffic after failure-driven failover"
+        );
+        // Every packet is processed exactly once or explicitly accounted
+        // for (lost at the crashed node, or listed in the abort report).
+        let check = s.oracle_with_faults().check();
+        assert!(
+            check.is_exactly_once_or_accounted(),
+            "exactly-once-or-accounted: {check:?}"
+        );
     }
 
     #[test]

@@ -48,6 +48,37 @@ pub struct NetConfig {
     /// peer". Small control-plane chunks (PRADS/dummy, ~200 B) still pay
     /// the full controller cost, preserving the §8.3/Figure 13 behaviour.
     pub p2p_chunk_threshold: usize,
+    /// Failure-handling knobs for northbound operations.
+    pub op: OpConfig,
+}
+
+/// Timeout/retry policy for northbound operations. Each operation arms a
+/// per-phase watchdog; when it fires, retryable phases (idempotent
+/// southbound calls) are re-sent with exponential backoff up to
+/// `sb_retries` times, and non-retryable phases abort the operation with
+/// rollback (see `ops::move_op`).
+#[derive(Debug, Clone, Copy)]
+pub struct OpConfig {
+    /// Watchdog deadline for each operation phase. Generous relative to
+    /// the round-trip latencies so it only fires on genuine loss or
+    /// failure.
+    pub phase_timeout: Dur,
+    /// How many times a timed-out retryable phase re-sends its southbound
+    /// call before the operation aborts.
+    pub sb_retries: u32,
+    /// Extra delay added before the first retry; doubles on each
+    /// subsequent retry.
+    pub sb_retry_backoff: Dur,
+}
+
+impl Default for OpConfig {
+    fn default() -> Self {
+        OpConfig {
+            phase_timeout: Dur::secs(2),
+            sb_retries: 2,
+            sb_retry_backoff: Dur::millis(50),
+        }
+    }
 }
 
 impl Default for NetConfig {
@@ -65,6 +96,7 @@ impl Default for NetConfig {
             counter_poll: Dur::millis(15),
             op_first_packet_timeout: Dur::millis(500),
             p2p_chunk_threshold: 4096,
+            op: OpConfig::default(),
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::config::NetConfig;
 use crate::msg::{Command, Msg, OpId};
 use crate::ops::copy_op::CopyOp;
 use crate::ops::move_op::MoveOp;
-use crate::ops::report::OpReport;
+use crate::ops::report::{OpOutcome, OpReport};
 use crate::ops::share_op::ShareOp;
 use crate::ops::OpCtx;
 
@@ -72,6 +72,12 @@ pub trait ControlApp: 'static {
 
     /// A northbound operation completed.
     fn on_op_complete(&mut self, _api: &mut Api<'_>, _report: &OpReport) {}
+
+    /// An operation aborted after blaming a specific NF instance
+    /// (unresponsive or crashed). Called before `on_op_complete` so the
+    /// application can react — e.g. the failover app re-routes traffic to
+    /// a standby.
+    fn on_nf_failed(&mut self, _api: &mut Api<'_>, _inst: NodeId, _reason: &str) {}
 }
 
 /// The do-nothing application.
@@ -181,6 +187,12 @@ impl ControllerNode {
 
     fn finalize(&mut self, ctx: &mut Ctx<'_, Msg>, report: OpReport) {
         let mut api = Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
+        if let (OpOutcome::Aborted { reason }, Some(inst)) =
+            (&report.outcome, report.failed_inst)
+        {
+            let reason = reason.clone();
+            self.app.on_nf_failed(&mut api, inst, &reason);
+        }
         self.app.on_op_complete(&mut api, &report);
         self.reports.push(report);
         self.drain_cmds(ctx);
@@ -230,7 +242,7 @@ impl ControllerNode {
             Command::Share { insts, filter, scope, consistency } => {
                 let id = self.alloc_op();
                 let mut route: Vec<(u16, Filter, NodeId)> = self.route_shadow.clone();
-                route.sort_by(|a, b| b.0.cmp(&a.0));
+                route.sort_by_key(|r| std::cmp::Reverse(r.0));
                 let route = route.into_iter().map(|(_, f, n)| (f, n)).collect();
                 let mut op =
                     ShareOp::new(id, insts, filter, scope, consistency, route, ctx.now().as_nanos());
@@ -300,6 +312,12 @@ impl ControllerNode {
                 op.reported = true;
                 let id = op.id;
                 let report = op.report.clone();
+                if op.route_reverted() {
+                    // Aborted before the route changed: the move's shadow
+                    // entry never took effect, so forget it.
+                    let key = op.shadow_key();
+                    self.route_shadow.retain(|e| *e != key);
+                }
                 self.moves.insert(base, op);
                 ctx.send_self(MOVE_LINGER, Msg::Timer { op: id, tag: TAG_MOVE_EXPIRE });
                 self.finalize(ctx, report);
@@ -471,7 +489,17 @@ impl Node<Msg> for ControllerNode {
                     self.moves.remove(&Self::base(op));
                 } else {
                     let base = Self::base(op);
-                    self.with_move(ctx, base, off, |m, o| m.on_timer(o, tag));
+                    if self.moves.contains_key(&base) {
+                        self.with_move(ctx, base, off, |m, o| m.on_timer(o, tag));
+                    } else if self.copies.contains_key(&base) {
+                        self.with_copy(ctx, base, off, |c, o| c.on_timer(o, tag));
+                    } else if let Some(mut sh) = self.shares.remove(&base) {
+                        {
+                            let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                            sh.on_timer(&mut o, tag);
+                        }
+                        self.shares.insert(base, sh);
+                    }
                 }
             }
             Msg::Alert { record } => {

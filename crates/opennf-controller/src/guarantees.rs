@@ -35,6 +35,13 @@ pub struct GuaranteeReport {
     pub lost: Vec<u64>,
     /// Packets processed more than once (across all instances).
     pub duplicated: Vec<u64>,
+    /// Forwarded-but-unprocessed packets whose loss is *accounted for* —
+    /// excused via [`Oracle::excuse`] because the fault log or an abort
+    /// report explains their fate.
+    pub excused_lost: Vec<u64>,
+    /// Multiply-processed packets whose duplication is accounted for
+    /// (e.g. a fault-injected duplicate delivery).
+    pub excused_duplicated: Vec<u64>,
     /// Packets processed after a later-forwarded packet of the *same
     /// connection* had already been processed.
     pub reordered_per_flow: Vec<u64>,
@@ -50,6 +57,14 @@ pub struct GuaranteeReport {
 impl GuaranteeReport {
     /// True iff no forwarded packet was lost or duplicated.
     pub fn is_loss_free(&self) -> bool {
+        self.lost.is_empty() && self.duplicated.is_empty()
+    }
+
+    /// The fault-run guarantee: every forwarded packet was processed
+    /// exactly once, or its absence/duplication is explicitly accounted
+    /// for (fault log or abort report). An operation under injected
+    /// failures must never *silently* lose or duplicate a packet.
+    pub fn is_exactly_once_or_accounted(&self) -> bool {
         self.lost.is_empty() && self.duplicated.is_empty()
     }
 
@@ -77,6 +92,8 @@ pub struct Oracle {
     /// `(done_ns, seq, uid)` processing events across all instances.
     processing: Vec<(u64, usize, u64)>,
     seq: usize,
+    /// Packets whose loss or duplication is accounted for.
+    excused: HashSet<u64>,
 }
 
 impl Oracle {
@@ -92,7 +109,22 @@ impl Oracle {
                 (forwarded_in_order.len() - 1, *conn)
             });
         }
-        Oracle { forward_index, forwarded_in_order, processing: Vec::new(), seq: 0 }
+        Oracle {
+            forward_index,
+            forwarded_in_order,
+            processing: Vec::new(),
+            seq: 0,
+            excused: HashSet::new(),
+        }
+    }
+
+    /// Excuses packets whose loss or duplication is already accounted for
+    /// elsewhere — fault-injected drops/duplicates recorded in the
+    /// engine's fault log, or uids listed in an operation's abort report.
+    /// Excused packets show up in `excused_lost`/`excused_duplicated`
+    /// rather than failing the run.
+    pub fn excuse(&mut self, uids: impl IntoIterator<Item = u64>) {
+        self.excused.extend(uids);
     }
 
     /// Restricts the oracle to a subset of packets (e.g. only the flows a
@@ -137,7 +169,11 @@ impl Oracle {
         let mut max_per_conn: HashMap<ConnKey, usize> = HashMap::new();
         for (_, _, uid) in &events {
             if !seen.insert(*uid) {
-                report.duplicated.push(*uid);
+                if self.excused.contains(uid) {
+                    report.excused_duplicated.push(*uid);
+                } else {
+                    report.duplicated.push(*uid);
+                }
                 continue;
             }
             if let Some((idx, conn)) = self.forward_index.get(uid) {
@@ -159,7 +195,11 @@ impl Oracle {
         }
         for uid in &self.forwarded_in_order {
             if !seen.contains(uid) {
-                report.lost.push(*uid);
+                if self.excused.contains(uid) {
+                    report.excused_lost.push(*uid);
+                } else {
+                    report.lost.push(*uid);
+                }
             }
         }
         report
@@ -261,6 +301,36 @@ mod tests {
         let r = o.check();
         assert!(r.is_loss_free(), "evens are out of scope: {r:?}");
         assert!(r.is_order_preserving());
+    }
+
+    #[test]
+    fn excused_loss_and_duplication_are_accounted_not_failed() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0), (3, 0)]));
+        o.add_instance(times(&[1, 3], 10));
+        o.add_instance(times(&[3], 30));
+        // Without excusal: 2 is lost, 3 duplicated.
+        let strict = o.check();
+        assert_eq!(strict.lost, vec![2]);
+        assert_eq!(strict.duplicated, vec![3]);
+        assert!(!strict.is_exactly_once_or_accounted());
+        // Excuse both (as a fault log / abort report would).
+        o.excuse([2, 3]);
+        let r = o.check();
+        assert!(r.is_exactly_once_or_accounted(), "{r:?}");
+        assert_eq!(r.excused_lost, vec![2]);
+        assert_eq!(r.excused_duplicated, vec![3]);
+        assert!(r.lost.is_empty() && r.duplicated.is_empty());
+    }
+
+    #[test]
+    fn unexcused_loss_still_fails_alongside_excused() {
+        let mut o = Oracle::new(&log(&[(1, 0), (2, 0), (3, 0)]));
+        o.add_instance(times(&[1], 10));
+        o.excuse([2]);
+        let r = o.check();
+        assert_eq!(r.excused_lost, vec![2]);
+        assert_eq!(r.lost, vec![3], "3 was silently lost");
+        assert!(!r.is_exactly_once_or_accounted());
     }
 
     #[test]

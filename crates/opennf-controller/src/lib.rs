@@ -31,12 +31,12 @@ pub mod nodes;
 pub mod ops;
 pub mod scenario;
 
-pub use config::NetConfig;
+pub use config::{NetConfig, OpConfig};
 pub use controller::{ControlApp, ControllerNode, NoopApp};
 pub use guarantees::{GuaranteeReport, Oracle};
 pub use msg::{Command, ConsistencyLevel, MoveProps, MoveVariant, Msg, OpId, ScopeSet};
 pub use nodes::host::HostNode;
 pub use nodes::nf_node::NfNode;
 pub use nodes::switch::SwitchNode;
-pub use ops::report::OpReport;
+pub use ops::report::{OpOutcome, OpReport};
 pub use scenario::{Scenario, ScenarioBuilder};

@@ -280,8 +280,9 @@ pub enum SbReply {
     Done,
 }
 
-/// Everything that can travel between nodes.
-#[derive(Debug)]
+/// Everything that can travel between nodes. `Clone` is required by the
+/// engine's fault layer (duplicate faults re-deliver a copy).
+#[derive(Debug, Clone)]
 pub enum Msg {
     /// A data-plane packet.
     Packet(Packet),
@@ -403,6 +404,18 @@ impl Msg {
                 96 + 2 * p.wire_size as usize
             }
             _ => 64,
+        }
+    }
+
+    /// The uid of the data-plane packet this message carries, if any.
+    /// Fault harnesses use it to excuse fault-lost packets when checking
+    /// the exactly-once oracle.
+    pub fn packet_uid(&self) -> Option<u64> {
+        match self {
+            Msg::Packet(p) | Msg::PacketIn(p) => Some(p.uid),
+            Msg::PacketOut { packet, .. } => Some(packet.uid),
+            Msg::Event(NfEvent::Received(p)) | Msg::Event(NfEvent::Processed(p)) => Some(p.uid),
+            _ => None,
         }
     }
 }

@@ -3,14 +3,26 @@
 //! processing and updating its copy. Eventual consistency is the
 //! application's job (re-issue `copy`, typically from a `notify`
 //! callback or a timer), exactly as the paper prescribes.
+//!
+//! Failure handling: each stage runs under a watchdog. A stalled stage
+//! re-issues its export (gets are read-only and puts idempotent, so a
+//! duplicate round is harmless) with exponential backoff; when the retry
+//! budget is exhausted the copy aborts. Aborting a copy needs no
+//! rollback — nothing was deleted anywhere — so the abort is purely a
+//! truthful report.
 
 use std::collections::VecDeque;
 
-use opennf_sim::NodeId;
+use opennf_sim::{Dur, NodeId};
 
 use crate::msg::{OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
 use crate::ops::OpCtx;
+
+/// Watchdog timer tags (same scheme as `move_op`): high bits mark the
+/// watchdog, low 16 bits carry a generation number.
+const TAG_WATCHDOG_BASE: u32 = 0x57A0_0000;
+const TAG_WATCHDOG_MASK: u32 = 0xFFFF_0000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
@@ -32,6 +44,10 @@ pub struct CopyOp {
     export_done: bool,
     pending_imports: usize,
     pending_acks: usize,
+    watchdog_gen: u16,
+    retries_left: u32,
+    backoff: Dur,
+    done: bool,
     /// The op's outcome report.
     pub report: OpReport,
 }
@@ -68,6 +84,10 @@ impl CopyOp {
             export_done: false,
             pending_imports: 0,
             pending_acks: 0,
+            watchdog_gen: 0,
+            retries_left: 0,
+            backoff: Dur::ZERO,
+            done: false,
             report: OpReport::new(id, "copy".into(), now_ns),
         }
     }
@@ -83,27 +103,47 @@ impl CopyOp {
         self.next_stage(o)
     }
 
+    fn arm_watchdog(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.rearm_after(o, Dur::ZERO);
+    }
+
+    fn rearm_after(&mut self, o: &mut OpCtx<'_, '_>, extra: Dur) {
+        self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+        o.timer(
+            self.id,
+            TAG_WATCHDOG_BASE | self.watchdog_gen as u32,
+            o.cfg.op.phase_timeout + extra,
+        );
+    }
+
+    fn stage_call(&self, stage: Stage) -> SbCall {
+        match stage {
+            Stage::Per => SbCall::GetPerflow {
+                filter: self.filter,
+                stream: self.parallel,
+                late_lock: false,
+            },
+            Stage::Multi => SbCall::GetMultiflow { filter: self.filter, stream: self.parallel },
+            Stage::All => SbCall::GetAllflows,
+        }
+    }
+
     fn next_stage(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
         match self.stages.pop_front() {
             None => {
+                // Invalidate the pending watchdog and finish.
+                self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+                self.done = true;
                 self.report.end_ns = o.now().as_nanos();
                 true
             }
             Some(stage) => {
                 self.cur = Some(stage);
                 self.export_done = false;
-                let call = match stage {
-                    Stage::Per => SbCall::GetPerflow {
-                        filter: self.filter,
-                        stream: self.parallel,
-                        late_lock: false,
-                    },
-                    Stage::Multi => {
-                        SbCall::GetMultiflow { filter: self.filter, stream: self.parallel }
-                    }
-                    Stage::All => SbCall::GetAllflows,
-                };
-                o.sb(self.src, self.id, call);
+                self.retries_left = o.cfg.op.sb_retries;
+                self.backoff = o.cfg.op.sb_retry_backoff;
+                self.arm_watchdog(o);
+                o.sb(self.src, self.id, self.stage_call(stage));
                 false
             }
         }
@@ -118,6 +158,10 @@ impl CopyOp {
 
     /// Southbound ack dispatch. Returns true when the op is complete.
     pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, reply: SbReply) -> bool {
+        if self.done {
+            return false;
+        }
+        self.arm_watchdog(o);
         match reply {
             SbReply::ChunkStream { chunk, last } => {
                 if let Some(chunk) = chunk {
@@ -150,13 +194,45 @@ impl CopyOp {
                 false
             }
             SbReply::ChunkImported { .. } => {
-                self.pending_imports -= 1;
+                self.pending_imports = self.pending_imports.saturating_sub(1);
                 self.maybe_done(o)
             }
             SbReply::Done => {
-                self.pending_acks -= 1;
+                self.pending_acks = self.pending_acks.saturating_sub(1);
                 self.maybe_done(o)
             }
+        }
+    }
+
+    /// Timer dispatch. Returns true when the op finishes (aborted).
+    pub fn on_timer(&mut self, o: &mut OpCtx<'_, '_>, tag: u32) -> bool {
+        if tag & TAG_WATCHDOG_MASK != TAG_WATCHDOG_BASE
+            || (tag & 0xFFFF) as u16 != self.watchdog_gen
+            || self.done
+        {
+            return false; // stale watchdog, or not ours
+        }
+        if self.retries_left > 0 {
+            self.retries_left -= 1;
+            self.report.retries += 1;
+            let backoff = self.backoff;
+            self.backoff = self.backoff + self.backoff;
+            if let Some(stage) = self.cur {
+                o.sb_after(self.src, self.id, self.stage_call(stage), backoff);
+            }
+            self.rearm_after(o, backoff);
+            false
+        } else {
+            // Non-destructive abort: the source keeps its state; nothing
+            // was removed anywhere, so reporting truthfully is enough.
+            let blame = if self.export_done { self.dst } else { self.src };
+            self.report.abort(
+                format!("copy stalled ({} retries exhausted)", o.cfg.op.sb_retries),
+                Some(blame),
+            );
+            self.report.end_ns = o.now().as_nanos();
+            self.done = true;
+            true
         }
     }
 }

@@ -43,6 +43,12 @@ impl OpCtx<'_, '_> {
         self.ctx.send(inst, d, Msg::Sb { op, call });
     }
 
+    /// Issues a southbound call after an extra delay (retry backoff).
+    pub fn sb_after(&mut self, inst: NodeId, op: OpId, call: SbCall, extra: Dur) {
+        let d = self.off + self.cfg.ctrl_to_nf + extra;
+        self.ctx.send(inst, d, Msg::Sb { op, call });
+    }
+
     /// Sends a control message to the switch.
     pub fn to_switch(&mut self, msg: Msg) {
         let d = self.off + self.cfg.sw_to_ctrl;

@@ -7,9 +7,9 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use opennf_net::RuleId;
-use opennf_nf::{EventAction, NfEvent};
+use opennf_nf::{Chunk, EventAction, NfEvent, Scope};
 use opennf_packet::{Filter, FlowId, Packet};
-use opennf_sim::NodeId;
+use opennf_sim::{Dur, NodeId};
 
 use crate::msg::{Msg, MoveProps, MoveVariant, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
@@ -18,6 +18,11 @@ use crate::ops::OpCtx;
 /// Timer tags.
 const TAG_FIRST_PKT_TIMEOUT: u32 = 10;
 const TAG_COUNTER_POLL: u32 = 11;
+/// Watchdog timer tags: high bits mark the watchdog, low 16 bits carry a
+/// generation number so a timer armed for an earlier phase is ignored
+/// once the op has moved on.
+const TAG_WATCHDOG_BASE: u32 = 0x57A0_0000;
+const TAG_WATCHDOG_MASK: u32 = 0xFFFF_0000;
 
 /// FlowMod tags.
 const FM_ROUTE: u32 = 1;
@@ -101,6 +106,23 @@ pub struct MoveOp {
     last_pktin: Option<u64>,
     forwarded_src_uids: HashSet<u64>,
     dst_event_uids: HashSet<u64>,
+    /// Every packet-in uid seen in the OP window; an abort accounts for
+    /// the ones never confirmed via a src or dst event.
+    pktin_uids: HashSet<u64>,
+    // Failure handling.
+    /// Every chunk shipped to the destination, retained so an abort can
+    /// re-import it at the source.
+    moved_chunks: Vec<Chunk>,
+    /// Generation of the currently armed phase watchdog; timers carrying
+    /// an older generation are stale and ignored.
+    watchdog_gen: u16,
+    /// Southbound re-sends left in the current phase.
+    retries_left: u32,
+    /// Delay before the next re-send; doubles each retry.
+    backoff: Dur,
+    /// Set on a pre-flush abort: the route still points at the source and
+    /// the controller must forget the move's shadow routing entry.
+    route_reverted: bool,
     /// The op's outcome report.
     pub report: OpReport,
     /// Set when the report has been collected; the op then lingers only to
@@ -172,6 +194,12 @@ impl MoveOp {
             last_pktin: None,
             forwarded_src_uids: HashSet::new(),
             dst_event_uids: HashSet::new(),
+            pktin_uids: HashSet::new(),
+            moved_chunks: Vec::new(),
+            watchdog_gen: 0,
+            retries_left: 0,
+            backoff: Dur::ZERO,
+            route_reverted: false,
             report: OpReport::new(id, kind, now_ns),
             reported: false,
         }
@@ -198,6 +226,280 @@ impl MoveOp {
         &self.filter
     }
 
+    /// True if the move aborted before the route changed: traffic still
+    /// flows to the source, so the controller must drop the shadow
+    /// routing entry it recorded for this move.
+    pub fn route_reverted(&self) -> bool {
+        self.route_reverted
+    }
+
+    /// The `(priority, filter, dst)` shadow routing entry the controller
+    /// recorded for this move.
+    pub fn shadow_key(&self) -> (u16, Filter, NodeId) {
+        (self.prio.1, self.filter, self.dst)
+    }
+
+    /// Enters `phase`: resets the retry budget and arms a fresh watchdog.
+    fn enter(&mut self, o: &mut OpCtx<'_, '_>, phase: Phase) {
+        self.phase = phase;
+        self.retries_left = o.cfg.op.sb_retries;
+        self.backoff = o.cfg.op.sb_retry_backoff;
+        self.arm_watchdog(o);
+    }
+
+    fn arm_watchdog(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.rearm_after(o, Dur::ZERO);
+    }
+
+    fn rearm_after(&mut self, o: &mut OpCtx<'_, '_>, extra: Dur) {
+        self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+        o.timer(
+            self.id,
+            TAG_WATCHDOG_BASE | self.watchdog_gen as u32,
+            o.cfg.op.phase_timeout + extra,
+        );
+    }
+
+    /// Invalidates any pending watchdog without arming a new one (used
+    /// for phases that have their own progress timer).
+    fn disarm_watchdog(&mut self) {
+        self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+    }
+
+    /// The (target, call) pair a retryable phase is waiting on; re-sent
+    /// verbatim on retry (all four calls are idempotent filter updates).
+    fn phase_call(&self) -> (NodeId, SbCall) {
+        match self.phase {
+            Phase::Arming => match self.props.variant {
+                MoveVariant::NoGuarantee => {
+                    (self.src, SbCall::AddDropFilter { filter: self.filter })
+                }
+                _ => (
+                    self.src,
+                    SbCall::EnableEvents { filter: self.filter, action: EventAction::Drop },
+                ),
+            },
+            Phase::Sealing => (
+                self.src,
+                SbCall::EnableEvents { filter: self.filter, action: EventAction::Drop },
+            ),
+            Phase::OpEnableDstBuffer => (
+                self.dst,
+                SbCall::EnableEvents { filter: self.filter, action: EventAction::Buffer },
+            ),
+            Phase::OpDisablingDst => {
+                (self.dst, SbCall::DisableEvents { filter: self.filter })
+            }
+            _ => unreachable!("phase_call is only defined for retryable phases"),
+        }
+    }
+
+    /// Re-sends the flow-mod a switch-wait phase is blocked on.
+    fn resend_flow_mod(&mut self, o: &mut OpCtx<'_, '_>) {
+        let (tag, priority, to_nodes, to_controller) = match self.phase {
+            Phase::RouteUpdate => (FM_ROUTE, self.prio.1, vec![self.dst], false),
+            Phase::OpPhase1 => (FM_OP_LOW, self.prio.0, vec![self.src], true),
+            _ => (FM_OP_HIGH, self.prio.1, vec![self.dst], false),
+        };
+        o.to_switch(Msg::FlowMod {
+            op: self.id,
+            tag,
+            priority,
+            filter: self.filter,
+            to_nodes,
+            to_controller,
+        });
+    }
+
+    /// The phase watchdog fired: retry if the phase is retryable and the
+    /// budget allows, otherwise abort. Returns true when the op finishes.
+    fn on_watchdog(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        match self.phase {
+            Phase::Arming | Phase::Sealing | Phase::OpEnableDstBuffer | Phase::OpDisablingDst => {
+                let (target, call) = self.phase_call();
+                if self.retries_left > 0 {
+                    self.retries_left -= 1;
+                    self.report.retries += 1;
+                    let backoff = self.backoff;
+                    self.backoff = self.backoff + self.backoff;
+                    o.sb_after(target, self.id, call, backoff);
+                    self.rearm_after(o, backoff);
+                    false
+                } else {
+                    let reason = format!(
+                        "{:?}: southbound call unacknowledged after {} retries",
+                        self.phase, o.cfg.op.sb_retries
+                    );
+                    if self.flushed {
+                        self.abort_forward(o, reason, Some(target))
+                    } else {
+                        self.abort_rollback(o, reason, Some(target))
+                    }
+                }
+            }
+            Phase::Transferring => {
+                let blame = if self.export_done { self.dst } else { self.src };
+                self.abort_rollback(
+                    o,
+                    "Transferring: state transfer stalled past the phase timeout".into(),
+                    Some(blame),
+                )
+            }
+            Phase::RouteUpdate | Phase::OpPhase1 | Phase::OpPhase2 => {
+                if self.retries_left > 0 {
+                    self.retries_left -= 1;
+                    self.report.retries += 1;
+                    self.resend_flow_mod(o);
+                    self.arm_watchdog(o);
+                    false
+                } else {
+                    let reason = format!("{:?}: flow-mod never confirmed", self.phase);
+                    self.abort_forward(o, reason, None)
+                }
+            }
+            Phase::OpDrain | Phase::OpAwaitSrcLast | Phase::OpAwaitDstLast => {
+                let reason = format!("{:?}: ordering wait timed out", self.phase);
+                self.abort_forward(o, reason, None)
+            }
+            // OpAwaitFirstPkt has its own progress timer; Done is over.
+            Phase::OpAwaitFirstPkt | Phase::Done => false,
+        }
+    }
+
+    /// Aborts before the route changed (arming, transfer, or sealing
+    /// failed). Restores shipped chunks at the source, deletes the copies
+    /// at the destination, replays every buffered event back through the
+    /// source (marked `do_not_buffer` + `do_not_drop` so they are
+    /// processed exactly once), and removes the move's filters. The route
+    /// never left the source, so afterwards the network behaves as if the
+    /// move had not been attempted.
+    fn abort_rollback(
+        &mut self,
+        o: &mut OpCtx<'_, '_>,
+        reason: String,
+        blame: Option<NodeId>,
+    ) -> bool {
+        let mut per = Vec::new();
+        let mut multi = Vec::new();
+        let mut all = Vec::new();
+        for c in self.moved_chunks.drain(..) {
+            match c.scope {
+                Scope::PerFlow => per.push(c),
+                Scope::MultiFlow => multi.push(c),
+                Scope::AllFlows => all.push(c),
+            }
+        }
+        if !per.is_empty() {
+            let ids: Vec<FlowId> = per.iter().map(|c| c.flow_id).collect();
+            o.sb(self.dst, self.id, SbCall::DelPerflow { flow_ids: ids });
+            o.sb(self.src, self.id, SbCall::PutPerflow { chunks: per });
+        }
+        if !multi.is_empty() {
+            let ids: Vec<FlowId> = multi.iter().map(|c| c.flow_id).collect();
+            o.sb(self.dst, self.id, SbCall::DelMultiflow { flow_ids: ids });
+            o.sb(self.src, self.id, SbCall::PutMultiflow { chunks: multi });
+        }
+        if !all.is_empty() {
+            // No delAllflows exists (§4.2); re-import at the source so it
+            // resumes with the freshest copy.
+            o.sb(self.src, self.id, SbCall::PutAllflows { chunks: all });
+        }
+        // Replay buffered events through the source. They were captured
+        // by the source's drop-event filter once already, so they bypass
+        // both buffering and the (still installed) drop filter.
+        let mut packets: Vec<Packet> = std::mem::take(&mut self.buffered);
+        let mut rest: Vec<Packet> =
+            std::mem::take(&mut self.per_flow_buf).into_values().flatten().collect();
+        rest.sort_by_key(|p| p.uid);
+        packets.extend(rest);
+        for mut pkt in packets {
+            pkt.do_not_buffer = true;
+            pkt.do_not_drop = true;
+            self.report.events_released += 1;
+            o.to_switch(Msg::PacketOut { packet: pkt, to: self.src });
+        }
+        // Remove the move's filters at the source promptly so fresh
+        // traffic resumes normal processing.
+        match self.props.variant {
+            MoveVariant::NoGuarantee => {
+                o.sb(self.src, self.id, SbCall::RemoveDropFilter { filter: self.filter });
+            }
+            _ => {
+                o.sb(self.src, self.id, SbCall::DisableEvents { filter: self.filter });
+                for id in self.released.iter() {
+                    let f = Filter::from_flow_id(*id);
+                    o.sb(self.src, self.id, SbCall::DisableEvents { filter: f });
+                }
+            }
+        }
+        self.route_reverted = true;
+        self.finish_aborted(o, reason, blame)
+    }
+
+    /// Aborts after the buffered-event flush: state and flushed events
+    /// already live at the destination, so rolling back would reprocess
+    /// them. Fail forward instead — (re)install a plain route to the
+    /// destination, dismantle the ordering machinery, and account for
+    /// every packet-in whose processing was never confirmed.
+    fn abort_forward(
+        &mut self,
+        o: &mut OpCtx<'_, '_>,
+        reason: String,
+        blame: Option<NodeId>,
+    ) -> bool {
+        o.to_switch(Msg::FlowMod {
+            op: self.id,
+            tag: FM_ROUTE,
+            priority: self.prio.1,
+            filter: self.filter,
+            to_nodes: vec![self.dst],
+            to_controller: false,
+        });
+        if !matches!(self.phase, Phase::RouteUpdate) {
+            // The OP machinery may have enabled buffering at dst; clearing
+            // it releases anything held there.
+            o.sb(self.dst, self.id, SbCall::DisableEvents { filter: self.filter });
+        }
+        // Deferred source cleanup, as on normal completion.
+        let cleanup_delay = Dur::millis(500);
+        let call = match self.props.variant {
+            MoveVariant::NoGuarantee => SbCall::RemoveDropFilter { filter: self.filter },
+            _ => SbCall::DisableEvents { filter: self.filter },
+        };
+        o.ctx.send(self.src, cleanup_delay, Msg::Sb { op: self.id, call });
+        if self.props.early_release {
+            for id in self.released.iter() {
+                o.ctx.send(
+                    self.src,
+                    cleanup_delay,
+                    Msg::Sb {
+                        op: self.id,
+                        call: SbCall::DisableEvents { filter: Filter::from_flow_id(*id) },
+                    },
+                );
+            }
+        }
+        let mut lost: Vec<u64> = self
+            .pktin_uids
+            .iter()
+            .filter(|u| {
+                !self.forwarded_src_uids.contains(u) && !self.dst_event_uids.contains(u)
+            })
+            .copied()
+            .collect();
+        lost.sort_unstable();
+        self.report.abort_lost = lost;
+        self.finish_aborted(o, reason, blame)
+    }
+
+    fn finish_aborted(&mut self, o: &mut OpCtx<'_, '_>, reason: String, blame: Option<NodeId>) -> bool {
+        self.disarm_watchdog();
+        self.report.abort(reason, blame);
+        self.report.end_ns = o.now().as_nanos();
+        self.phase = Phase::Done;
+        true
+    }
+
     /// Kicks the operation off. Returns true if already complete.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
         match self.props.variant {
@@ -205,7 +507,7 @@ impl MoveOp {
                 // Split/Merge behaviour: silently drop traffic at the
                 // source while state moves.
                 o.sb(self.src, self.id, SbCall::AddDropFilter { filter: self.filter });
-                self.phase = Phase::Arming;
+                self.enter(o, Phase::Arming);
             }
             MoveVariant::LossFree | MoveVariant::LossFreeOrderPreserving => {
                 if self.props.early_release {
@@ -217,7 +519,7 @@ impl MoveOp {
                     self.id,
                     SbCall::EnableEvents { filter: self.filter, action: EventAction::Drop },
                 );
-                self.phase = Phase::Arming;
+                self.enter(o, Phase::Arming);
             }
         }
         false
@@ -234,7 +536,7 @@ impl MoveOp {
                     // ER endgame: freeze everything at the source, then run
                     // a catch-up export for state created mid-move.
                     self.sealed = true;
-                    self.phase = Phase::Sealing;
+                    self.enter(o, Phase::Sealing);
                     o.sb(
                         self.src,
                         self.id,
@@ -247,7 +549,7 @@ impl MoveOp {
             Some(stage) => {
                 self.cur_stage = Some(stage);
                 self.export_done = false;
-                self.phase = Phase::Transferring;
+                self.enter(o, Phase::Transferring);
                 if self.seal_stage.is_none() {
                     self.seal_stage = Some(stage);
                 }
@@ -322,7 +624,7 @@ impl MoveOp {
                     to_nodes: vec![self.dst],
                     to_controller: false,
                 });
-                self.phase = Phase::RouteUpdate;
+                self.enter(o, Phase::RouteUpdate);
             }
             MoveVariant::LossFreeOrderPreserving => {
                 o.sb(
@@ -330,13 +632,14 @@ impl MoveOp {
                     self.id,
                     SbCall::EnableEvents { filter: self.filter, action: EventAction::Buffer },
                 );
-                self.phase = Phase::OpEnableDstBuffer;
+                self.enter(o, Phase::OpEnableDstBuffer);
             }
         }
         false
     }
 
     fn complete(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.disarm_watchdog();
         self.phase = Phase::Done;
         self.report.end_ns = o.now().as_nanos();
         // Deferred cleanup (§5.1.1: disabling source events is unnecessary
@@ -386,11 +689,13 @@ impl MoveOp {
                 self.begin_stage(o)
             }
             (Phase::Transferring, SbReply::ChunkStream { chunk, last }) => {
+                self.arm_watchdog(o);
                 if let Some(chunk) = chunk {
                     self.exported_ids.push(chunk.flow_id);
                     self.report.chunks += 1;
                     self.report.bytes += chunk.len() as u64;
                     self.pending_imports += 1;
+                    self.moved_chunks.push(chunk.clone());
                     o.sb(self.dst, self.id, SbCall::PutChunk { chunk });
                 }
                 if last {
@@ -405,11 +710,13 @@ impl MoveOp {
                 self.maybe_stage_done(o)
             }
             (Phase::Transferring, SbReply::Chunks { chunks }) => {
+                self.arm_watchdog(o);
                 self.export_done = true;
                 for c in &chunks {
                     self.exported_ids.push(c.flow_id);
                     self.report.chunks += 1;
                     self.report.bytes += c.len() as u64;
+                    self.moved_chunks.push(c.clone());
                 }
                 if let Some(del) = self.cur_stage.and_then(|s| self.stage_del_call(s)) {
                     self.pending_acks += 1;
@@ -428,7 +735,8 @@ impl MoveOp {
                 false
             }
             (Phase::Transferring, SbReply::ChunkImported { flow_id }) => {
-                self.pending_imports -= 1;
+                self.arm_watchdog(o);
+                self.pending_imports = self.pending_imports.saturating_sub(1);
                 if self.props.early_release {
                     // Early release: this flow's events can flow to dst now.
                     self.released.insert(flow_id);
@@ -443,7 +751,8 @@ impl MoveOp {
                 self.maybe_stage_done(o)
             }
             (Phase::Transferring, SbReply::Done) => {
-                self.pending_acks -= 1;
+                self.arm_watchdog(o);
+                self.pending_acks = self.pending_acks.saturating_sub(1);
                 self.maybe_stage_done(o)
             }
             (Phase::OpEnableDstBuffer, SbReply::Done) => {
@@ -456,7 +765,7 @@ impl MoveOp {
                     to_nodes: vec![self.src],
                     to_controller: true,
                 });
-                self.phase = Phase::OpPhase1;
+                self.enter(o, Phase::OpPhase1);
                 false
             }
             (Phase::OpDisablingDst, SbReply::Done) => self.complete(o),
@@ -470,6 +779,20 @@ impl MoveOp {
         let NfEvent::Received(pkt) = ev else {
             return false;
         };
+        if self.route_reverted {
+            // Aborted with rollback: flows live at the source again. An
+            // event raised before the abort's filter removal landed is
+            // replayed back through the source, marked so it is processed
+            // exactly once.
+            if from == self.src {
+                let mut p = pkt.clone();
+                p.do_not_buffer = true;
+                p.do_not_drop = true;
+                self.report.events_released += 1;
+                o.to_switch(Msg::PacketOut { packet: p, to: self.src });
+            }
+            return false;
+        }
         if from == self.src {
             if !self.flushed {
                 self.report.events_buffered += 1;
@@ -520,13 +843,13 @@ impl MoveOp {
                 return self.disable_dst(o);
             }
         }
-        self.phase = Phase::OpAwaitDstLast;
+        self.enter(o, Phase::OpAwaitDstLast);
         false
     }
 
     fn disable_dst(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
         o.sb(self.dst, self.id, SbCall::DisableEvents { filter: self.filter });
-        self.phase = Phase::OpDisablingDst;
+        self.enter(o, Phase::OpDisablingDst);
         false
     }
 
@@ -535,6 +858,7 @@ impl MoveOp {
         self.pkt_ins += 1;
         self.report.packet_ins += 1;
         self.last_pktin = Some(pkt.uid);
+        self.pktin_uids.insert(pkt.uid);
         if self.phase == Phase::OpAwaitFirstPkt {
             // Fig. 6 l.24-25: first packet seen — install the high rule.
             o.to_switch(Msg::FlowMod {
@@ -545,7 +869,7 @@ impl MoveOp {
                 to_nodes: vec![self.dst],
                 to_controller: false,
             });
-            self.phase = Phase::OpPhase2;
+            self.enter(o, Phase::OpPhase2);
         }
         false
     }
@@ -557,11 +881,13 @@ impl MoveOp {
             FM_OP_LOW => {
                 self.low_rule = Some(rule);
                 self.phase = Phase::OpAwaitFirstPkt;
+                // The first-packet timer is this phase's own watchdog.
+                self.disarm_watchdog();
                 o.timer(self.id, TAG_FIRST_PKT_TIMEOUT, o.cfg.op_first_packet_timeout);
                 false
             }
             FM_OP_HIGH => {
-                self.phase = Phase::OpDrain;
+                self.enter(o, Phase::OpDrain);
                 if let Some(rule) = self.low_rule {
                     o.to_switch(Msg::CounterQuery { op: self.id, rule });
                 }
@@ -584,7 +910,7 @@ impl MoveOp {
                     if self.forwarded_src_uids.contains(&last) {
                         self.advance_to_dst_wait(o)
                     } else {
-                        self.phase = Phase::OpAwaitSrcLast;
+                        self.enter(o, Phase::OpAwaitSrcLast);
                         false
                     }
                 }
@@ -617,6 +943,12 @@ impl MoveOp {
                     o.to_switch(Msg::CounterQuery { op: self.id, rule });
                 }
                 false
+            }
+            tag if tag & TAG_WATCHDOG_MASK == TAG_WATCHDOG_BASE => {
+                if (tag & 0xFFFF) as u16 != self.watchdog_gen || self.phase == Phase::Done {
+                    return false; // stale: the phase already moved on
+                }
+                self.on_watchdog(o)
             }
             _ => false,
         }

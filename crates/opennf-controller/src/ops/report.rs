@@ -1,6 +1,29 @@
 //! Per-operation outcome reports: what the experiment harnesses read.
 
 use crate::msg::OpId;
+use opennf_sim::NodeId;
+
+/// How a northbound operation ended.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OpOutcome {
+    /// The operation ran to completion with its guarantees intact.
+    #[default]
+    Completed,
+    /// The operation was abandoned after a failure; any half-applied
+    /// changes were rolled back, and `OpReport::abort_lost` accounts for
+    /// packets whose fate the controller can no longer guarantee.
+    Aborted {
+        /// Why the operation gave up (phase + exhausted retries, crash…).
+        reason: String,
+    },
+}
+
+impl OpOutcome {
+    /// True if the operation was aborted.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, OpOutcome::Aborted { .. })
+    }
+}
 
 /// Summary of one completed northbound operation.
 #[derive(Debug, Clone)]
@@ -23,6 +46,17 @@ pub struct OpReport {
     pub events_released: usize,
     /// Packet-ins received (order-preserving phase window).
     pub packet_ins: usize,
+    /// Completed, or aborted with a reason.
+    pub outcome: OpOutcome,
+    /// Southbound calls re-sent after a watchdog timeout.
+    pub retries: u32,
+    /// Uids of packets the controller saw but can no longer account for
+    /// after an abort — the explicit loss report that keeps the
+    /// exactly-once-or-accounted oracle honest.
+    pub abort_lost: Vec<u64>,
+    /// The instance blamed for an abort (unresponsive or crashed), if the
+    /// failure localized to one.
+    pub failed_inst: Option<NodeId>,
 }
 
 impl OpReport {
@@ -38,6 +72,19 @@ impl OpReport {
             events_buffered: 0,
             events_released: 0,
             packet_ins: 0,
+            outcome: OpOutcome::Completed,
+            retries: 0,
+            abort_lost: Vec::new(),
+            failed_inst: None,
+        }
+    }
+
+    /// Marks the report aborted with `reason`, blaming `failed_inst` if
+    /// the failure localized to one instance.
+    pub fn abort(&mut self, reason: impl Into<String>, failed_inst: Option<NodeId>) {
+        self.outcome = OpOutcome::Aborted { reason: reason.into() };
+        if self.failed_inst.is_none() {
+            self.failed_inst = failed_inst;
         }
     }
 

@@ -22,11 +22,16 @@ use std::net::Ipv4Addr;
 
 use opennf_nf::NfEvent;
 use opennf_packet::{Filter, FlowId, Ipv4Prefix, Packet};
-use opennf_sim::NodeId;
+use opennf_sim::{Dur, NodeId};
 
 use crate::msg::{ConsistencyLevel, Msg, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
 use crate::ops::OpCtx;
+
+/// Watchdog timer tags (same scheme as `move_op`): high bits mark the
+/// watchdog, low 16 bits carry a generation number.
+const TAG_WATCHDOG_BASE: u32 = 0x57A0_0000;
+const TAG_WATCHDOG_MASK: u32 = 0xFFFF_0000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -72,6 +77,9 @@ pub struct ShareOp {
     next_sub: u64,
     /// Strict: pre-share routing (instance each flow belongs to).
     route: Vec<(Filter, NodeId)>,
+    watchdog_gen: u16,
+    retries_left: u32,
+    backoff: Dur,
     /// Packets fully synchronized so far.
     pub packets_synced: u64,
     /// The op's report (`end_ns` stays at start: shares don't complete).
@@ -108,6 +116,9 @@ impl ShareOp {
             sub_index: HashMap::new(),
             next_sub: 1,
             route,
+            watchdog_gen: 0,
+            retries_left: 0,
+            backoff: Dur::ZERO,
             packets_synced: 0,
             report: OpReport::new(id, kind.into(), now_ns),
         }
@@ -161,16 +172,42 @@ impl ShareOp {
         self.groups.get_mut(&gid).unwrap()
     }
 
-    /// Kicks the operation off.
-    pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
-        let action = match self.consistency {
+    fn arm_watchdog(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.rearm_after(o, Dur::ZERO);
+    }
+
+    fn rearm_after(&mut self, o: &mut OpCtx<'_, '_>, extra: Dur) {
+        self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+        o.timer(
+            self.id,
+            TAG_WATCHDOG_BASE | self.watchdog_gen as u32,
+            o.cfg.op.phase_timeout + extra,
+        );
+    }
+
+    /// Invalidates the pending watchdog (used entering `Running`: the
+    /// steady-state sync cycles are driven by events, not deadlines).
+    fn disarm_watchdog(&mut self) {
+        self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
+    }
+
+    fn event_action(&self) -> opennf_nf::EventAction {
+        match self.consistency {
             ConsistencyLevel::Strong => opennf_nf::EventAction::Drop,
             ConsistencyLevel::Strict => opennf_nf::EventAction::Process,
-        };
+        }
+    }
+
+    /// Kicks the operation off.
+    pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
+        let action = self.event_action();
         for inst in self.insts.clone() {
             self.acks_outstanding += 1;
             o.sb(inst, self.id, SbCall::EnableEvents { filter: self.filter, action });
         }
+        self.retries_left = o.cfg.op.sb_retries;
+        self.backoff = o.cfg.op.sb_retry_backoff;
+        self.arm_watchdog(o);
         if matches!(self.consistency, ConsistencyLevel::Strict) {
             // Redirect all matching traffic to the controller itself.
             o.to_switch(Msg::FlowMod {
@@ -198,6 +235,11 @@ impl ShareOp {
         }
         if self.init_gets_outstanding == 0 {
             self.phase = Phase::Running;
+            self.disarm_watchdog();
+        } else {
+            self.retries_left = o.cfg.op.sb_retries;
+            self.backoff = o.cfg.op.sb_retry_backoff;
+            self.arm_watchdog(o);
         }
     }
 
@@ -213,6 +255,7 @@ impl ShareOp {
             }
         }
         self.phase = Phase::Running;
+        self.disarm_watchdog();
     }
 
     fn pump_group(&mut self, o: &mut OpCtx<'_, '_>, gid: FlowId) {
@@ -295,14 +338,14 @@ impl ShareOp {
             // Base-id control traffic: arming + initial sync.
             match (self.phase, reply) {
                 (Phase::Arming, SbReply::Done) => {
-                    self.acks_outstanding -= 1;
+                    self.acks_outstanding = self.acks_outstanding.saturating_sub(1);
                     if self.acks_outstanding == 0 {
                         self.begin_initial_sync(o);
                     }
                 }
                 (Phase::InitialSync, SbReply::Chunks { chunks }) => {
                     self.init_chunks.extend(chunks);
-                    self.init_gets_outstanding -= 1;
+                    self.init_gets_outstanding = self.init_gets_outstanding.saturating_sub(1);
                     if self.init_gets_outstanding == 0 {
                         self.finish_initial_sync(o);
                     }
@@ -355,5 +398,73 @@ impl ShareOp {
         group.origin = None;
         self.packets_synced += 1;
         self.pump_group(o, gid);
+    }
+
+    /// Timer dispatch: the setup-phase watchdog. A stalled `Arming` or
+    /// `InitialSync` re-sends its (idempotent) calls with backoff; when
+    /// the budget runs out, the share proceeds degraded with what it has
+    /// and the report says so — a share never completes, so wedging it
+    /// would silently lose the whole steady state.
+    pub fn on_timer(&mut self, o: &mut OpCtx<'_, '_>, tag: u32) {
+        if tag & TAG_WATCHDOG_MASK != TAG_WATCHDOG_BASE
+            || (tag & 0xFFFF) as u16 != self.watchdog_gen
+            || self.phase == Phase::Running
+        {
+            return; // stale, or the setup already finished
+        }
+        if self.retries_left > 0 {
+            self.retries_left -= 1;
+            self.report.retries += 1;
+            let backoff = self.backoff;
+            self.backoff = self.backoff + self.backoff;
+            match self.phase {
+                Phase::Arming => {
+                    let action = self.event_action();
+                    for inst in self.insts.clone() {
+                        o.sb_after(
+                            inst,
+                            self.id,
+                            SbCall::EnableEvents { filter: self.filter, action },
+                            backoff,
+                        );
+                    }
+                }
+                Phase::InitialSync => {
+                    for inst in self.insts.clone() {
+                        if self.scope.multi_flow {
+                            o.sb_after(
+                                inst,
+                                self.id,
+                                SbCall::GetMultiflow { filter: self.filter, stream: false },
+                                backoff,
+                            );
+                        }
+                        if self.scope.all_flows {
+                            o.sb_after(inst, self.id, SbCall::GetAllflows, backoff);
+                        }
+                    }
+                }
+                Phase::Running => {}
+            }
+            self.rearm_after(o, backoff);
+        } else {
+            self.report.abort(
+                format!("share setup stalled in {:?} ({} retries exhausted)",
+                    self.phase, o.cfg.op.sb_retries),
+                None,
+            );
+            // Proceed degraded rather than wedge.
+            match self.phase {
+                Phase::Arming => {
+                    self.acks_outstanding = 0;
+                    self.begin_initial_sync(o);
+                }
+                Phase::InitialSync => {
+                    self.init_gets_outstanding = 0;
+                    self.finish_initial_sync(o);
+                }
+                Phase::Running => {}
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use opennf_nf::NetworkFunction;
 use opennf_packet::{Filter, Packet};
-use opennf_sim::{Dur, Engine, NodeId, Time};
+use opennf_sim::{Dur, Engine, FaultPlan, NodeId, Time};
 use opennf_util::Summary;
 
 use crate::config::NetConfig;
@@ -27,6 +27,7 @@ pub struct ScenarioBuilder {
     schedules: Vec<Vec<(u64, Packet)>>,
     routes: Vec<(u16, Filter, usize)>,
     record_traffic: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ScenarioBuilder {
@@ -46,6 +47,7 @@ impl ScenarioBuilder {
             schedules: Vec::new(),
             routes: Vec::new(),
             record_traffic: false,
+            fault_plan: None,
         }
     }
 
@@ -93,6 +95,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Injects failures from a deterministic [`FaultPlan`]. Node ids
+    /// follow the fixed layout: controller=0, switch=1, then instances in
+    /// insertion order, then hosts.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the engine and nodes.
     pub fn build(self) -> Scenario {
         // Fixed id layout: ctrl=0, sw=1, instances, then hosts.
@@ -103,6 +113,9 @@ impl ScenarioBuilder {
         let host_ids: Vec<NodeId> = (0..self.schedules.len()).map(|i| NodeId(2 + n + i)).collect();
 
         let mut engine: Engine<Msg> = Engine::new(self.seed);
+        if let Some(plan) = self.fault_plan {
+            engine.set_fault_plan(plan);
+        }
         let ctrl = ControllerNode::new(self.cfg, sw_id, self.app);
         assert_eq!(engine.add_node(Box::new(ctrl)), ctrl_id);
 
@@ -218,6 +231,36 @@ impl Scenario {
             let n: &NfNode = self.engine.node(*id);
             oracle.add_instance(n.records.iter().map(|r| (r.uid, r.done_ns)));
         }
+        oracle
+    }
+
+    /// Uids whose loss/duplication is already accounted for: data-plane
+    /// packets the fault layer dropped or duplicated (from the engine's
+    /// fault record) plus every uid an aborted operation explicitly
+    /// reported as unaccountable.
+    pub fn accounted_uids(&self) -> Vec<u64> {
+        let mut uids = Vec::new();
+        if let Some(f) = self.engine.fault() {
+            for (_, _, _, msg) in f.lost.iter().chain(f.duplicated.iter()) {
+                if let Some(uid) = msg.packet_uid() {
+                    uids.push(uid);
+                }
+            }
+        }
+        for report in &self.controller().reports {
+            uids.extend(report.abort_lost.iter().copied());
+        }
+        uids.sort_unstable();
+        uids.dedup();
+        uids
+    }
+
+    /// Builds the oracle with every fault-explained packet excused — the
+    /// exactly-once-or-accounted check for runs under a
+    /// [`FaultPlan`].
+    pub fn oracle_with_faults(&self) -> Oracle {
+        let mut oracle = self.oracle();
+        oracle.excuse(self.accounted_uids());
         oracle
     }
 

@@ -15,10 +15,10 @@ use opennf_sim::{Dur, Time};
 /// packets round-robin across flows.
 fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
     let mut out = Vec::new();
-    let mut uid = 1u64;
     let gap_ns = 1_000_000_000 / pps;
     let total = (dur.as_nanos() / gap_ns) as u32;
     for i in 0..total {
+        let uid = i as u64 + 1;
         let flow = i % flows;
         let key = FlowKey::tcp(
             format!("10.0.{}.{}", flow / 250, flow % 250 + 1).parse().unwrap(),
@@ -29,7 +29,6 @@ fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
         let flags = if i < flows { TcpFlags::SYN } else { TcpFlags::ACK };
         let pkt = Packet::builder(uid, key).flags(flags).seq(uid as u32).build();
         out.push((i as u64 * gap_ns, pkt));
-        uid += 1;
     }
     out
 }

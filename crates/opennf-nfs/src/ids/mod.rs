@@ -108,8 +108,10 @@ impl Ids {
 
     /// Creates an IDS with default configuration plus malware signatures.
     pub fn with_signatures(sigs: impl IntoIterator<Item = String>) -> Self {
-        let mut cfg = IdsConfig::default();
-        cfg.malware_signatures = sigs.into_iter().collect();
+        let cfg = IdsConfig {
+            malware_signatures: sigs.into_iter().collect(),
+            ..IdsConfig::default()
+        };
         Ids::new(cfg)
     }
 

@@ -36,6 +36,7 @@ impl PktGen {
 
     /// Full HTTP exchange: handshake, request, response in `seg`-byte
     /// segments, teardown. Returns the packet list.
+    #[allow(clippy::too_many_arguments)]
     fn http_flow(&mut self, client: Ipv4Addr, cport: u16, server: Ipv4Addr, url: &str, ua: &str, body: &[u8], seg: usize) -> Vec<Packet> {
         let k = FlowKey::tcp(client, cport, server, 80);
         let mut pkts = Vec::new();

@@ -80,8 +80,8 @@ pub struct Packet {
     pub flags: TcpFlags,
     /// TCP sequence number of the first payload byte (0 for non-TCP).
     pub seq: u32,
-    /// Application payload carried by this packet.
-    #[serde(with = "serde_bytes_b64")]
+    /// Application payload carried by this packet (serde encodes `Bytes`
+    /// as a plain byte array).
     pub payload: Bytes,
     /// Total on-the-wire size in bytes (headers + payload).
     pub wire_size: u32,
@@ -93,22 +93,6 @@ pub struct Packet {
     /// OpenNF mark: this packet was re-injected by the controller during a
     /// `share` operation and must be processed, not dropped (§5.2.2).
     pub do_not_drop: bool,
-}
-
-/// Serialize `Bytes` as a plain byte vector for serde (JSON encodes it as an
-/// array; adequate for the southbound protocol reproduction).
-mod serde_bytes_b64 {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Packet {

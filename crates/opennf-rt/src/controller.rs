@@ -1,16 +1,28 @@
 //! The threaded controller: executes loss-free moves over the JSON wire
 //! protocol while traffic keeps flowing from generator threads.
+//!
+//! Every southbound exchange is failure-aware: sends to dead workers,
+//! missing replies, malformed wire messages, and NF panics all surface as
+//! [`RtError`] instead of panicking the controller thread. A worker that
+//! dies mid-operation produces [`RtError::NfFailed`] (its final
+//! [`WireEvent::NfFailed`] report) or [`RtError::WorkerGone`], and the
+//! caller — like the simulator's failover app — decides how to recover.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use opennf_nf::{EventedNf, NetworkFunction};
 use opennf_packet::Filter;
 
+use crate::error::RtError;
 use crate::router::Router;
 use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
 use crate::worker::{spawn_worker, WorkerHandle};
+
+/// How long the controller waits for any single southbound reply before
+/// declaring the request dead.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Outcome of a threaded loss-free move.
 #[derive(Debug, Clone)]
@@ -51,11 +63,13 @@ impl RtController {
 
     /// Injects a packet through the router (what generator threads do via
     /// a clone of [`RtController::router`] and worker senders — this
-    /// method is the single-threaded convenience).
-    pub fn inject(&self, pkt: opennf_packet::Packet) {
+    /// method is the single-threaded convenience). Fails if the routed-to
+    /// worker is dead.
+    pub fn inject(&self, pkt: opennf_packet::Packet) -> Result<(), RtError> {
         if let Some(w) = self.router.route(&pkt) {
-            self.workers[w].send(&WireMsg::Packet { packet: pkt });
+            self.workers[w].send(&WireMsg::Packet { packet: pkt })?;
         }
+        Ok(())
     }
 
     /// A clone of worker `i`'s channel (for generator threads).
@@ -69,23 +83,52 @@ impl RtController {
         self.to_ctrl.clone()
     }
 
-    fn call(&mut self, worker: usize, call: WireCall) -> (u64, ()) {
+    fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.workers[worker].send(&WireMsg::Request { id, call });
-        (id, ())
+        self.workers[worker].send(&WireMsg::Request { id, call })?;
+        Ok(id)
     }
 
     /// Waits for the response to `id`, buffering any events that arrive in
-    /// the meantime into `events`.
-    fn await_reply(&self, id: u64, events: &mut Vec<WireEvent>) -> WireReply {
+    /// the meantime into `events`. An [`WireEvent::NfFailed`] report from
+    /// any worker aborts the wait — that reply is never coming.
+    fn await_reply(&self, id: u64, events: &mut Vec<WireEvent>) -> Result<WireReply, RtError> {
         loop {
-            let raw = self.from_workers.recv().expect("workers alive");
-            match WireMsg::from_json(&raw).expect("valid wire json") {
-                WireMsg::Response { id: rid, reply } if rid == id => return reply,
+            let raw = self.from_workers.recv_timeout(REPLY_TIMEOUT).map_err(|e| match e {
+                RecvTimeoutError::Timeout => RtError::Timeout { id },
+                RecvTimeoutError::Disconnected => RtError::ChannelClosed,
+            })?;
+            match WireMsg::from_json(&raw).map_err(|e| RtError::Wire(e.to_string()))? {
+                WireMsg::Response { id: rid, reply } if rid == id => return Ok(reply),
+                WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } } => {
+                    return Err(RtError::NfFailed { worker, reason });
+                }
                 WireMsg::Event { ev, .. } => events.push(ev),
                 _ => {}
             }
+        }
+    }
+
+    /// Checks a reply that should be a plain completion.
+    fn expect_done(reply: WireReply) -> Result<(), RtError> {
+        match reply {
+            WireReply::Done => Ok(()),
+            WireReply::Error { message } => Err(RtError::Wire(message)),
+            other => Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Replays a buffered event packet to `dst` (marked do-not-buffer /
+    /// do-not-drop, §4.3). Returns how many packets were sent (0 or 1).
+    fn replay(workers: &[WorkerHandle], dst: usize, ev: WireEvent) -> Result<usize, RtError> {
+        if let WireEvent::PacketReceived { mut packet } = ev {
+            packet.do_not_buffer = true;
+            packet.do_not_drop = true;
+            workers[dst].send(&WireMsg::Packet { packet })?;
+            Ok(1)
+        } else {
+            Ok(0)
         }
     }
 
@@ -96,60 +139,67 @@ impl RtController {
     /// 2. `getPerflow` / `delPerflow` at src, `putPerflow` at dst;
     /// 3. replay buffered event packets to dst (marked do-not-buffer);
     /// 4. flip the router to dst.
-    pub fn move_flows_lossfree(&mut self, src: usize, dst: usize, filter: Filter) -> MoveStats {
+    ///
+    /// On failure the error names the faulty worker; the router still
+    /// points wherever it pointed before the failing step, so the caller
+    /// can re-route (failover) or retry.
+    pub fn move_flows_lossfree(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+    ) -> Result<MoveStats, RtError> {
         let start = Instant::now();
         let mut events: Vec<WireEvent> = Vec::new();
 
-        let (id, ()) = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop });
-        assert!(matches!(self.await_reply(id, &mut events), WireReply::Done));
+        let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
+        Self::expect_done(self.await_reply(id, &mut events)?)?;
 
-        let (id, ()) = self.call(src, WireCall::GetPerflow { filter });
-        let chunks = match self.await_reply(id, &mut events) {
+        let id = self.call(src, WireCall::GetPerflow { filter })?;
+        let chunks = match self.await_reply(id, &mut events)? {
             WireReply::Chunks { chunks } => chunks,
-            other => panic!("unexpected reply {other:?}"),
+            WireReply::Error { message } => return Err(RtError::Wire(message)),
+            other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
         };
         let bytes: usize = chunks.iter().map(|c| c.len()).sum();
         let n_chunks = chunks.len();
         let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
 
-        let (id, ()) = self.call(src, WireCall::DelPerflow { flow_ids });
-        assert!(matches!(self.await_reply(id, &mut events), WireReply::Done));
+        let id = self.call(src, WireCall::DelPerflow { flow_ids })?;
+        Self::expect_done(self.await_reply(id, &mut events)?)?;
 
-        let (id, ()) = self.call(dst, WireCall::PutPerflow { chunks });
-        assert!(matches!(self.await_reply(id, &mut events), WireReply::Done));
+        let id = self.call(dst, WireCall::PutPerflow { chunks })?;
+        Self::expect_done(self.await_reply(id, &mut events)?)?;
 
         // Replay everything buffered so far, then flip the route. Events
         // still in flight after the flip drain in the background loop
         // below (the real controller keeps its event thread running; here
         // we poll the channel briefly after flipping).
         let mut replayed = 0usize;
-        let mut replay = |ev: WireEvent, workers: &[WorkerHandle]| {
-            if let WireEvent::PacketReceived { mut packet } = ev {
-                packet.do_not_buffer = true;
-                packet.do_not_drop = true;
-                workers[dst].send(&WireMsg::Packet { packet });
-                replayed += 1;
-            }
-        };
         for ev in events.drain(..) {
-            replay(ev, &self.workers);
+            replayed += Self::replay(&self.workers, dst, ev)?;
         }
         self.router.install(10, filter, dst);
         // Drain stragglers: packets that were already queued toward src
         // when the route flipped still raise events.
-        let deadline = Instant::now() + std::time::Duration::from_millis(200);
+        let deadline = Instant::now() + Duration::from_millis(200);
         while Instant::now() < deadline {
-            match self.from_workers.recv_timeout(std::time::Duration::from_millis(20)) {
-                Ok(raw) => {
-                    if let Ok(WireMsg::Event { ev, .. }) = WireMsg::from_json(&raw) {
-                        replay(ev, &self.workers);
+            match self.from_workers.recv_timeout(Duration::from_millis(20)) {
+                Ok(raw) => match WireMsg::from_json(&raw) {
+                    Ok(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                        return Err(RtError::NfFailed { worker, reason });
                     }
-                }
-                Err(_) => break,
+                    Ok(WireMsg::Event { ev, .. }) => {
+                        replayed += Self::replay(&self.workers, dst, ev)?;
+                    }
+                    _ => {}
+                },
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => return Err(RtError::ChannelClosed),
             }
         }
 
-        MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() }
+        Ok(MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() })
     }
 
     /// Shuts all workers down and returns their harnesses in index order.
@@ -161,8 +211,10 @@ impl RtController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::PanicNf;
     use opennf_nfs::AssetMonitor;
     use opennf_packet::{FlowKey, Packet, TcpFlags};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn pkt(uid: u64, flow: u16) -> Packet {
         Packet::builder(
@@ -185,6 +237,8 @@ mod tests {
         let router = ctrl.router.clone();
         let tx0 = ctrl.worker_tx(0);
         let tx1 = ctrl.worker_tx(1);
+        let sent = Arc::new(AtomicU64::new(0));
+        let sent_gen = sent.clone();
         let gen = std::thread::spawn(move || {
             let txs = [tx0, tx1];
             for uid in 1..=2_000u64 {
@@ -192,13 +246,19 @@ mod tests {
                 if let Some(w) = router.route(&p) {
                     let _ = txs[w].send(WireMsg::Packet { packet: p }.to_json());
                 }
+                sent_gen.store(uid, Ordering::Release);
                 std::thread::sleep(std::time::Duration::from_micros(50));
             }
         });
 
-        // Let state build, then move everything.
-        std::thread::sleep(std::time::Duration::from_millis(30));
-        let stats = ctrl.move_flows_lossfree(0, 1, Filter::any());
+        // Rendezvous on packets actually sent, not wall time: once 200
+        // packets are enqueued, every flow's SYN is queued ahead of the
+        // move's first southbound request (the channel is FIFO), so all
+        // 40 flows have state at the source when the export runs.
+        while sent.load(Ordering::Acquire) < 200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = ctrl.move_flows_lossfree(0, 1, Filter::any()).expect("move succeeds");
         assert_eq!(stats.chunks, 40, "all 40 flows moved");
         assert!(stats.bytes > 0);
 
@@ -220,10 +280,38 @@ mod tests {
             "no packet processed twice"
         );
         assert_eq!(all.len(), 2_000, "every packet processed exactly once");
-        assert!(h1.processed_log().len() > 0, "destination took over");
+        assert!(!h1.processed_log().is_empty(), "destination took over");
         // The destination holds all flow state.
         let any: &dyn std::any::Any = h1.nf();
         let m1 = any.downcast_ref::<AssetMonitor>().unwrap();
         assert_eq!(m1.conn_count(), 40);
+    }
+
+    #[test]
+    fn move_surfaces_source_nf_failure_as_typed_error() {
+        let mut ctrl = RtController::new(vec![
+            Box::new(PanicNf::new(7)),
+            Box::new(AssetMonitor::new()),
+        ]);
+        // The faulting packet is queued ahead of the move's requests, so
+        // the source dies before (or while) answering them.
+        for uid in 1..=7u64 {
+            ctrl.inject(pkt(uid, (uid % 4) as u16)).expect("worker alive at enqueue time");
+        }
+        let res = ctrl.move_flows_lossfree(0, 1, Filter::any());
+        match res {
+            Err(RtError::NfFailed { worker: 0, reason }) => {
+                assert!(reason.contains("injected NF bug"), "reason: {reason}");
+            }
+            // The worker may already have torn down its channel by the
+            // time the first request is sent.
+            Err(RtError::WorkerGone { worker: 0 }) => {}
+            other => panic!("expected a source-failure error, got {other:?}"),
+        }
+        // The controller is not poisoned: the surviving worker still
+        // answers southbound calls.
+        let id = ctrl.call(1, WireCall::GetAllflows).unwrap();
+        let mut events = Vec::new();
+        assert!(matches!(ctrl.await_reply(id, &mut events), Ok(WireReply::Chunks { .. })));
     }
 }

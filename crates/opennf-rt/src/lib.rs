@@ -16,12 +16,22 @@
 //! genuine races (threads, not virtual time): packets keep flowing while
 //! state moves, and every packet is processed exactly once.
 
+//!
+//! Failures are first-class: NF panics are caught inside the worker and
+//! reported as [`WireEvent::NfFailed`], channel deaths and reply timeouts
+//! surface as typed [`RtError`]s, and the controller never panics because
+//! an instance died.
+
 pub mod controller;
+pub mod error;
 pub mod router;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod wire;
 pub mod worker;
 
 pub use controller::{MoveStats, RtController};
+pub use error::RtError;
 pub use router::Router;
 pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
 pub use worker::{spawn_worker, WorkerHandle};

@@ -1,0 +1,76 @@
+//! Test-only helpers shared across the crate's unit tests.
+
+use opennf_nf::{Chunk, LogRecord, NetworkFunction, NfFault, StateError};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowId, Packet};
+
+/// An NF that behaves like an [`AssetMonitor`] but panics when it sees the
+/// trigger uid — a stand-in for an NF implementation bug.
+pub struct PanicNf {
+    inner: AssetMonitor,
+    trigger: u64,
+}
+
+impl PanicNf {
+    /// Panics on the packet with uid `trigger`.
+    pub fn new(trigger: u64) -> Self {
+        PanicNf { inner: AssetMonitor::new(), trigger }
+    }
+}
+
+impl NetworkFunction for PanicNf {
+    fn nf_type(&self) -> &'static str {
+        "panic-monitor"
+    }
+
+    fn process_packet(&mut self, pkt: &Packet) -> Result<(), NfFault> {
+        if pkt.uid == self.trigger {
+            panic!("injected NF bug at uid {}", pkt.uid);
+        }
+        self.inner.process_packet(pkt)
+    }
+
+    fn drain_logs(&mut self) -> Vec<LogRecord> {
+        self.inner.drain_logs()
+    }
+
+    fn list_perflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.inner.list_perflow(filter)
+    }
+
+    fn get_perflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.inner.get_perflow(filter)
+    }
+
+    fn put_perflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        self.inner.put_perflow(chunks)
+    }
+
+    fn del_perflow(&mut self, flow_ids: &[FlowId]) {
+        self.inner.del_perflow(flow_ids)
+    }
+
+    fn list_multiflow(&self, filter: &Filter) -> Vec<FlowId> {
+        self.inner.list_multiflow(filter)
+    }
+
+    fn get_multiflow(&mut self, filter: &Filter) -> Vec<Chunk> {
+        self.inner.get_multiflow(filter)
+    }
+
+    fn put_multiflow(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        self.inner.put_multiflow(chunks)
+    }
+
+    fn del_multiflow(&mut self, flow_ids: &[FlowId]) {
+        self.inner.del_multiflow(flow_ids)
+    }
+
+    fn get_allflows(&mut self) -> Vec<Chunk> {
+        self.inner.get_allflows()
+    }
+
+    fn put_allflows(&mut self, chunks: Vec<Chunk>) -> Result<(), StateError> {
+        self.inner.put_allflows(chunks)
+    }
+}

@@ -112,6 +112,12 @@ pub enum WireEvent {
         /// Copy of the packet.
         packet: Packet,
     },
+    /// The NF crashed (panicked) while processing; this is the worker's
+    /// last message before its thread exits.
+    NfFailed {
+        /// The panic payload, stringified.
+        reason: String,
+    },
 }
 
 /// Any message on a channel: always shipped as serialized JSON.
@@ -188,6 +194,20 @@ mod tests {
         match WireMsg::from_json(&m.to_json()).unwrap() {
             WireMsg::Event { worker: 1, ev: WireEvent::PacketReceived { packet } } => {
                 assert_eq!(packet, p)
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_nf_failed() {
+        let m = WireMsg::Event {
+            worker: 2,
+            ev: WireEvent::NfFailed { reason: "index out of bounds".into() },
+        };
+        match WireMsg::from_json(&m.to_json()).unwrap() {
+            WireMsg::Event { worker: 2, ev: WireEvent::NfFailed { reason } } => {
+                assert_eq!(reason, "index out of bounds")
             }
             other => panic!("bad roundtrip: {other:?}"),
         }

@@ -1,11 +1,18 @@
 //! NF worker threads: each wraps an [`EventedNf`] and speaks the JSON wire
 //! protocol over crossbeam channels.
+//!
+//! Workers are failure-contained: a panic inside the NF is caught per
+//! message, reported to the controller as [`WireEvent::NfFailed`], and the
+//! thread exits cleanly — it never unwinds across the channel and never
+//! leaves the controller blocked on a reply that will not come.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
 
+use crate::error::RtError;
 use crate::wire::{WireCall, WireEvent, WireMsg, WireReply};
 
 /// Handle to a running worker.
@@ -18,13 +25,20 @@ pub struct WorkerHandle {
 }
 
 impl WorkerHandle {
-    /// Sends a wire message to the worker.
-    pub fn send(&self, msg: &WireMsg) {
-        self.tx.send(msg.to_json()).expect("worker alive");
+    /// Sends a wire message to the worker. Fails with
+    /// [`RtError::WorkerGone`] when the worker thread has exited (shut
+    /// down, or dead after an NF failure).
+    pub fn send(&self, msg: &WireMsg) -> Result<(), RtError> {
+        self.tx
+            .send(msg.to_json())
+            .map_err(|_| RtError::WorkerGone { worker: self.index })
     }
 
     /// Shuts the worker down and returns its harness (for inspection).
+    /// Also the way to recover the harness of a worker that already died:
+    /// the failed thread still hands its state back.
     pub fn shutdown(mut self) -> EventedNf {
+        // If the thread already exited, the send fails — that's fine.
         let _ = self.tx.send(WireMsg::Shutdown.to_json());
         self.join.take().expect("not yet joined").join().expect("worker thread")
     }
@@ -55,6 +69,18 @@ fn send_events(index: usize, to_ctrl: &Sender<String>, events: Vec<NfEvent>) {
     }
 }
 
+/// Stringifies a panic payload (`&str` and `String` payloads cover
+/// `panic!`; anything else gets a generic description).
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "NF panicked with a non-string payload".to_string()
+    }
+}
+
 fn worker_loop(
     index: usize,
     nf: Box<dyn NetworkFunction>,
@@ -76,12 +102,32 @@ fn worker_loop(
         match msg {
             WireMsg::Shutdown => break,
             WireMsg::Packet { packet } => {
-                let (_outcome, events) = harness.handle_packet(&packet);
-                send_events(index, &to_ctrl, events);
+                match catch_unwind(AssertUnwindSafe(|| harness.handle_packet(&packet))) {
+                    Ok((_outcome, events)) => send_events(index, &to_ctrl, events),
+                    Err(payload) => {
+                        let reason = panic_reason(payload);
+                        let _ = to_ctrl.send(
+                            WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } }
+                                .to_json(),
+                        );
+                        break;
+                    }
+                }
             }
             WireMsg::Request { id, call } => {
-                let reply = handle_call(&mut harness, call);
-                let _ = to_ctrl.send(WireMsg::Response { id, reply }.to_json());
+                match catch_unwind(AssertUnwindSafe(|| handle_call(&mut harness, call))) {
+                    Ok(reply) => {
+                        let _ = to_ctrl.send(WireMsg::Response { id, reply }.to_json());
+                    }
+                    Err(payload) => {
+                        let reason = panic_reason(payload);
+                        let _ = to_ctrl.send(
+                            WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } }
+                                .to_json(),
+                        );
+                        break;
+                    }
+                }
             }
             // Workers never receive responses or events.
             WireMsg::Response { .. } | WireMsg::Event { .. } => {}
@@ -129,6 +175,7 @@ fn handle_call(harness: &mut EventedNf, call: WireCall) -> WireReply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::PanicNf;
     use opennf_nfs::AssetMonitor;
     use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
 
@@ -145,8 +192,9 @@ mod tests {
     fn worker_processes_and_exports() {
         let (to_ctrl, from_workers) = unbounded();
         let w = spawn_worker(0, Box::new(AssetMonitor::new()), to_ctrl);
-        w.send(&WireMsg::Packet { packet: pkt(1) });
-        w.send(&WireMsg::Request { id: 5, call: WireCall::GetPerflow { filter: Filter::any() } });
+        w.send(&WireMsg::Packet { packet: pkt(1) }).unwrap();
+        w.send(&WireMsg::Request { id: 5, call: WireCall::GetPerflow { filter: Filter::any() } })
+            .unwrap();
         let resp = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
         match resp {
             WireMsg::Response { id: 5, reply: WireReply::Chunks { chunks } } => {
@@ -168,9 +216,10 @@ mod tests {
                 filter: Filter::any(),
                 action: crate::wire::WireAction::Drop,
             },
-        });
+        })
+        .unwrap();
         let _ack = from_workers.recv().unwrap();
-        w.send(&WireMsg::Packet { packet: pkt(9) });
+        w.send(&WireMsg::Packet { packet: pkt(9) }).unwrap();
         let ev = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
         match ev {
             WireMsg::Event { worker: 3, ev: WireEvent::PacketReceived { packet } } => {
@@ -189,6 +238,45 @@ mod tests {
         w.tx.send("garbage".to_string()).unwrap();
         let resp = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
         assert!(matches!(resp, WireMsg::Response { reply: WireReply::Error { .. }, .. }));
+        w.shutdown();
+    }
+
+    #[test]
+    fn panicking_nf_reports_failure_and_hands_back_state() {
+        let (to_ctrl, from_workers) = unbounded();
+        let w = spawn_worker(2, Box::new(PanicNf::new(5)), to_ctrl);
+        w.send(&WireMsg::Packet { packet: pkt(1) }).unwrap();
+        w.send(&WireMsg::Packet { packet: pkt(5) }).unwrap();
+        // The panic is caught, reported, and the thread exits — no
+        // unwinding across the channel.
+        match WireMsg::from_json(&from_workers.recv().unwrap()).unwrap() {
+            WireMsg::Event { worker: 2, ev: WireEvent::NfFailed { reason } } => {
+                assert!(reason.contains("injected NF bug"), "reason: {reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The dead worker's harness is still recoverable (it processed
+        // everything before the faulting packet).
+        let harness = w.shutdown();
+        assert_eq!(harness.processed_log(), &[1]);
+    }
+
+    #[test]
+    fn send_to_dead_worker_is_a_typed_error() {
+        let (to_ctrl, _from_workers) = unbounded();
+        let w = spawn_worker(1, Box::new(AssetMonitor::new()), to_ctrl);
+        w.send(&WireMsg::Shutdown).unwrap();
+        // The channel stays writable until the thread drops its receiver;
+        // poll until the death is observable.
+        let mut err = None;
+        for _ in 0..2_000 {
+            if let Err(e) = w.send(&WireMsg::Packet { packet: pkt(1) }) {
+                err = Some(e);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(err, Some(RtError::WorkerGone { worker: 1 }));
         w.shutdown();
     }
 }

@@ -5,6 +5,7 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultState};
 use crate::metrics::Counters;
 use crate::rng::SimRng;
 use crate::time::{Dur, Time};
@@ -112,9 +113,10 @@ pub struct Engine<M> {
     counters: Counters,
     started: bool,
     delivered: u64,
+    fault: Option<FaultState<M>>,
 }
 
-impl<M: 'static> Engine<M> {
+impl<M: Clone + 'static> Engine<M> {
     /// Creates an engine with the given PRNG seed.
     pub fn new(seed: u64) -> Self {
         Engine {
@@ -126,7 +128,21 @@ impl<M: 'static> Engine<M> {
             counters: Counters::new(),
             started: false,
             delivered: 0,
+            fault: None,
         }
+    }
+
+    /// Arms fault injection for this run. The plan's own seed drives all
+    /// fault randomness, so the engine PRNG stream is untouched and the
+    /// same `(seed, plan)` pair replays byte-identically.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// The fault state, if a plan was armed (fault log, lost/duplicated
+    /// message records).
+    pub fn fault(&self) -> Option<&FaultState<M>> {
+        self.fault.as_ref()
     }
 
     /// Registers a node, returning its id.
@@ -159,14 +175,54 @@ impl<M: 'static> Engine<M> {
     /// destination itself).
     pub fn inject(&mut self, dst: NodeId, at: Dur, msg: M) {
         let time = self.clock + at;
+        self.push_raw(time, dst, dst, msg);
+    }
+
+    fn push_raw(&mut self, time: Time, src: NodeId, dst: NodeId, msg: M) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { time, seq: self.seq, src: dst, dst, msg }));
+        self.queue.push(Reverse(Scheduled { time, seq: self.seq, src, dst, msg }));
+    }
+
+    /// Queues a message, applying any matching link-fault rule. Timers and
+    /// injected messages (src == dst) are exempt: watchdogs must stay
+    /// reliable for timeout-driven recovery to be meaningful.
+    fn schedule(&mut self, time: Time, src: NodeId, dst: NodeId, msg: M) {
+        if src != dst {
+            if let Some(f) = self.fault.as_mut() {
+                match f.link_verdict(src, dst, time) {
+                    Some(FaultKind::Drop) => {
+                        f.log.push(FaultEvent::Dropped { time, src, dst });
+                        f.lost.push((time, src, dst, msg));
+                        return;
+                    }
+                    Some(FaultKind::Delay(by)) => {
+                        f.log.push(FaultEvent::Delayed { time, src, dst, by });
+                        self.push_raw(time + by, src, dst, msg);
+                        return;
+                    }
+                    Some(FaultKind::Duplicate(gap)) => {
+                        f.log.push(FaultEvent::Duplicated { time, src, dst });
+                        f.duplicated.push((time, src, dst, msg.clone()));
+                        self.push_raw(time, src, dst, msg.clone());
+                        self.push_raw(time + gap, src, dst, msg);
+                        return;
+                    }
+                    Some(FaultKind::Reorder(max)) => {
+                        let by = f.jitter(max);
+                        f.log.push(FaultEvent::Reordered { time, src, dst, by });
+                        self.push_raw(time + by, src, dst, msg);
+                        return;
+                    }
+                    None => {}
+                }
+            }
+        }
+        self.push_raw(time, src, dst, msg);
     }
 
     fn flush_outbox(&mut self, outbox: Vec<(Time, NodeId, NodeId, M)>) {
         for (time, src, dst, msg) in outbox {
-            self.seq += 1;
-            self.queue.push(Reverse(Scheduled { time, seq: self.seq, src, dst, msg }));
+            self.schedule(time, src, dst, msg);
         }
     }
 
@@ -202,6 +258,21 @@ impl<M: 'static> Engine<M> {
         };
         debug_assert!(ev.time >= self.clock, "time went backwards");
         self.clock = ev.time;
+        // Delivery-time faults: crashed nodes receive nothing (timers
+        // included); stalled nodes have deliveries deferred to the end of
+        // the stall window, in original order.
+        if let Some(f) = self.fault.as_mut() {
+            if f.is_down(ev.dst, ev.time) {
+                f.log.push(FaultEvent::LostAtCrashedNode { time: ev.time, dst: ev.dst });
+                f.lost.push((ev.time, ev.src, ev.dst, ev.msg));
+                return true;
+            }
+            if let Some(until) = f.stall_until(ev.dst, ev.time) {
+                f.log.push(FaultEvent::Stalled { time: ev.time, dst: ev.dst, until });
+                self.push_raw(until, ev.src, ev.dst, ev.msg);
+                return true;
+            }
+        }
         self.delivered += 1;
         let idx = ev.dst.0;
         let Some(slot) = self.nodes.get_mut(idx) else {
@@ -416,6 +487,134 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn fault_drop_loses_message_and_records_it() {
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        let echo = eng.add_node(Box::new(Echo { delay: Dur::millis(2), seen: Vec::new() }));
+        let pinger = eng.add_node(Box::new(Pinger { target: echo, pongs: Vec::new(), ticks: 0 }));
+        // Sever pinger → echo for the whole run: no ping arrives, but the
+        // pinger's self-timer still fires (timers are fault-exempt).
+        let plan = FaultPlan::new(9).sever(pinger, echo, Time::ZERO, Time(u64::MAX));
+        eng.set_fault_plan(plan);
+        eng.run_to_completion(1000);
+        let e: &Echo = eng.node(echo);
+        assert!(e.seen.is_empty(), "all pings dropped");
+        let p: &Pinger = eng.node(pinger);
+        assert_eq!(p.ticks, 1, "self-timer unaffected");
+        let f = eng.fault().unwrap();
+        assert_eq!(f.lost_count(), 3);
+        assert!(f.log.iter().all(|ev| matches!(ev, FaultEvent::Dropped { .. })));
+    }
+
+    #[test]
+    fn fault_crash_discards_deliveries_until_restart() {
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        let echo = eng.add_node(Box::new(Echo { delay: Dur::millis(2), seen: Vec::new() }));
+        let pinger = eng.add_node(Box::new(Pinger { target: echo, pongs: Vec::new(), ticks: 0 }));
+        // Echo is down while pings 1 and 2 arrive (1 ms, 2 ms), back for
+        // ping 3 (3 ms).
+        let plan = FaultPlan::new(9)
+            .crash(echo, Time::ZERO + Dur::micros(500))
+            .restart(echo, Time::ZERO + Dur::micros(2500));
+        eng.set_fault_plan(plan);
+        eng.run_to_completion(1000);
+        let e: &Echo = eng.node(echo);
+        assert_eq!(e.seen.len(), 1, "only the post-restart ping arrives");
+        let p: &Pinger = eng.node(pinger);
+        assert_eq!(p.pongs.len(), 1);
+        let lost = eng.fault().unwrap().lost_count();
+        assert_eq!(lost, 2);
+    }
+
+    #[test]
+    fn fault_stall_defers_in_order() {
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        struct Collect {
+            got: Vec<(u64, u32)>,
+        }
+        impl Node<TestMsg> for Collect {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, msg: TestMsg) {
+                if let TestMsg::Ping(v) = msg {
+                    self.got.push((ctx.now().as_nanos(), v));
+                }
+            }
+        }
+        struct Feeder {
+            target: NodeId,
+        }
+        impl Node<TestMsg> for Feeder {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+                for i in 0..4 {
+                    ctx.send(self.target, Dur::millis(i as u64 + 1), TestMsg::Ping(i));
+                }
+            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, TestMsg>, _f: NodeId, _m: TestMsg) {}
+        }
+        let c = eng.add_node(Box::new(Collect { got: Vec::new() }));
+        eng.add_node(Box::new(Feeder { target: c }));
+        // Stall the collector over [1.5 ms, 3.5 ms): pings at 2 ms and
+        // 3 ms defer to 3.5 ms, still in order.
+        let plan = FaultPlan::new(9).stall(
+            c,
+            Time::ZERO + Dur::micros(1500),
+            Time::ZERO + Dur::micros(3500),
+        );
+        eng.set_fault_plan(plan);
+        eng.run_to_completion(1000);
+        let node: &Collect = eng.node(c);
+        let vals: Vec<u32> = node.got.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3], "stall preserves order");
+        assert_eq!(node.got[1].0, 3_500_000, "deferred to stall end");
+        assert_eq!(node.got[2].0, 3_500_000);
+        assert_eq!(node.got[3].0, 4_000_000, "post-stall delivery on time");
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice_and_records_copy() {
+        let mut eng: Engine<TestMsg> = Engine::new(1);
+        let echo = eng.add_node(Box::new(Echo { delay: Dur::millis(2), seen: Vec::new() }));
+        let pinger = eng.add_node(Box::new(Pinger { target: echo, pongs: Vec::new(), ticks: 0 }));
+        let plan = FaultPlan::new(9).link(
+            Some(pinger),
+            Some(echo),
+            Time::ZERO,
+            Time(u64::MAX),
+            1000,
+            FaultKind::Duplicate(Dur::micros(100)),
+        );
+        eng.set_fault_plan(plan);
+        eng.run_to_completion(1000);
+        let e: &Echo = eng.node(echo);
+        assert_eq!(e.seen.len(), 6, "each of 3 pings arrives twice");
+        assert_eq!(eng.fault().unwrap().duplicated.len(), 3);
+    }
+
+    #[test]
+    fn identical_fault_plans_replay_identically() {
+        let run = || {
+            let mut eng: Engine<TestMsg> = Engine::new(42);
+            let echo = eng.add_node(Box::new(Echo { delay: Dur::millis(2), seen: Vec::new() }));
+            let pinger =
+                eng.add_node(Box::new(Pinger { target: echo, pongs: Vec::new(), ticks: 0 }));
+            let plan = FaultPlan::new(7)
+                .link(Some(pinger), Some(echo), Time::ZERO, Time(u64::MAX), 500, FaultKind::Drop)
+                .link(
+                    Some(echo),
+                    Some(pinger),
+                    Time::ZERO,
+                    Time(u64::MAX),
+                    500,
+                    FaultKind::Reorder(Dur::millis(3)),
+                );
+            eng.set_fault_plan(plan);
+            eng.run_to_completion(1000);
+            let e: &Echo = eng.node(echo);
+            let p: &Pinger = eng.node(pinger);
+            (e.seen.clone(), p.pongs.clone(), format!("{:?}", eng.fault().unwrap().log))
+        };
+        assert_eq!(run(), run(), "same (seed, plan) replays byte-identically");
     }
 
     #[test]

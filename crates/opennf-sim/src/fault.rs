@@ -1,0 +1,340 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes, ahead of a run, every failure the engine
+//! should inject: per-link message faults (drop / delay / duplicate /
+//! reorder, each with a probability and a time window), node crashes and
+//! restarts at scheduled virtual times, and node stalls (a frozen window
+//! during which deliveries are deferred — used to model a wedged
+//! controller). The plan carries its own PRNG seed, separate from the
+//! engine's, so injecting faults never perturbs the main randomness
+//! stream: the same `(engine seed, FaultPlan)` pair always produces a
+//! byte-identical run, which is what makes failure bugs replayable.
+//!
+//! Faults are applied at two points:
+//!
+//! * **scheduling time** — link rules rewrite a message as it is queued
+//!   (drop it, shift its delivery time, enqueue a second copy);
+//! * **delivery time** — crash windows discard messages addressed to a
+//!   down node, stall windows defer them to the window's end.
+//!
+//! Self-addressed messages (timers) are exempt from *link* rules — a
+//! node's own watchdogs must stay reliable for timeout-driven recovery to
+//! be testable — but they die with the node during a crash window.
+//!
+//! Every injected fault is recorded: a summary entry in the
+//! [`FaultState::log`] and, for losses and duplicates, the full message in
+//! [`FaultState::lost`] / [`FaultState::duplicated`]. Harnesses use those
+//! to *excuse* the affected packets when checking the exactly-once oracle:
+//! a packet may be unprocessed only if the fault log or an abort report
+//! accounts for it.
+
+use crate::engine::NodeId;
+use crate::rng::SimRng;
+use crate::time::{Dur, Time};
+
+/// What a matched link rule does to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message never arrives.
+    Drop,
+    /// Delivery shifts later by the given duration.
+    Delay(Dur),
+    /// A second copy is delivered the given duration after the first.
+    Duplicate(Dur),
+    /// Delivery shifts later by a uniformly random duration in
+    /// `[0, jitter]` — enough to invert the order of closely spaced
+    /// messages on the same link.
+    Reorder(Dur),
+}
+
+/// One per-link fault rule. `src`/`dst` of `None` match any node; the
+/// window is half-open `[from, until)`; `per_mille` is the probability in
+/// thousandths (integer, so runs are bit-identical across platforms).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkRule {
+    /// Sending node (None = any).
+    pub src: Option<NodeId>,
+    /// Receiving node (None = any).
+    pub dst: Option<NodeId>,
+    /// Active window `[from, until)`, in scheduling time.
+    pub from: Time,
+    /// End of the active window (exclusive).
+    pub until: Time,
+    /// Probability the rule fires, in 1/1000.
+    pub per_mille: u16,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+impl LinkRule {
+    fn applies(&self, src: NodeId, dst: NodeId, t: Time) -> bool {
+        self.src.map(|s| s == src).unwrap_or(true)
+            && self.dst.map(|d| d == dst).unwrap_or(true)
+            && t >= self.from
+            && t < self.until
+    }
+}
+
+/// The full failure schedule for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault PRNG (independent of the engine seed).
+    pub seed: u64,
+    /// Link rules, checked in order; the first match rolls the dice.
+    pub links: Vec<LinkRule>,
+    /// `(node, time)`: the node stops receiving at `time`.
+    pub crashes: Vec<(NodeId, Time)>,
+    /// `(node, time)`: the node resumes receiving at `time`.
+    pub restarts: Vec<(NodeId, Time)>,
+    /// `(node, from, until)`: deliveries to the node during `[from,
+    /// until)` are deferred to `until` (original order preserved).
+    pub stalls: Vec<(NodeId, Time, Time)>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given fault-PRNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Adds a link rule.
+    pub fn link(
+        mut self,
+        src: Option<NodeId>,
+        dst: Option<NodeId>,
+        from: Time,
+        until: Time,
+        per_mille: u16,
+        kind: FaultKind,
+    ) -> Self {
+        self.links.push(LinkRule { src, dst, from, until, per_mille, kind });
+        self
+    }
+
+    /// Drops every message from `src` to `dst` during the window.
+    pub fn sever(self, src: NodeId, dst: NodeId, from: Time, until: Time) -> Self {
+        self.link(Some(src), Some(dst), from, until, 1000, FaultKind::Drop)
+    }
+
+    /// Crashes `node` at `at` (it stops receiving messages, timers
+    /// included).
+    pub fn crash(mut self, node: NodeId, at: Time) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Restarts `node` at `at` (it resumes receiving; its state is
+    /// whatever it held at the crash — a recovered process, not a fresh
+    /// one).
+    pub fn restart(mut self, node: NodeId, at: Time) -> Self {
+        self.restarts.push((node, at));
+        self
+    }
+
+    /// Freezes `node` during `[from, until)`; pending deliveries burst in,
+    /// in order, at `until`.
+    pub fn stall(mut self, node: NodeId, from: Time, until: Time) -> Self {
+        self.stalls.push((node, from, until));
+        self
+    }
+}
+
+/// One injected fault, in injection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A link rule dropped a message.
+    Dropped {
+        /// Scheduled delivery time.
+        time: Time,
+        /// Sender.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+    },
+    /// A link rule delayed a message.
+    Delayed {
+        /// Original delivery time.
+        time: Time,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Added delay.
+        by: Dur,
+    },
+    /// A link rule duplicated a message.
+    Duplicated {
+        /// Delivery time of the first copy.
+        time: Time,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+    },
+    /// A link rule jittered a message for reordering.
+    Reordered {
+        /// Original delivery time.
+        time: Time,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Added jitter.
+        by: Dur,
+    },
+    /// A message addressed to a crashed node was discarded.
+    LostAtCrashedNode {
+        /// Delivery time.
+        time: Time,
+        /// The down node.
+        dst: NodeId,
+    },
+    /// A delivery was deferred past a stall window.
+    Stalled {
+        /// Original delivery time.
+        time: Time,
+        /// The stalled node.
+        dst: NodeId,
+        /// When it will actually deliver.
+        until: Time,
+    },
+}
+
+/// Live fault-injection state inside an engine: the plan, its private
+/// PRNG, and the record of everything injected so far.
+pub struct FaultState<M> {
+    /// The schedule being executed.
+    pub plan: FaultPlan,
+    rng: SimRng,
+    /// Summary of every injected fault, in injection order.
+    pub log: Vec<FaultEvent>,
+    /// Messages that never arrived (link drops + crash-window losses),
+    /// with their intended `(time, src, dst)`.
+    pub lost: Vec<(Time, NodeId, NodeId, M)>,
+    /// Extra copies injected by duplicate rules.
+    pub duplicated: Vec<(Time, NodeId, NodeId, M)>,
+}
+
+impl<M> FaultState<M> {
+    /// Builds the live state for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        // Offset the seed so plan seed 0 still yields a useful stream.
+        let rng = SimRng::new(plan.seed ^ 0xFA17_FA17_FA17_FA17);
+        FaultState { plan, rng, log: Vec::new(), lost: Vec::new(), duplicated: Vec::new() }
+    }
+
+    /// First link rule that matches and wins its dice roll. One roll per
+    /// matching rule, in plan order, so outcomes depend only on the plan
+    /// and the message schedule.
+    pub(crate) fn link_verdict(&mut self, src: NodeId, dst: NodeId, t: Time) -> Option<FaultKind> {
+        // Split out of `self.plan` to satisfy the borrow on `self.rng`.
+        for i in 0..self.plan.links.len() {
+            let rule = self.plan.links[i];
+            if rule.applies(src, dst, t) && self.rng.below(1000) < rule.per_mille as u64 {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Uniform jitter in `[0, max]` from the fault PRNG.
+    pub(crate) fn jitter(&mut self, max: Dur) -> Dur {
+        Dur::nanos(self.rng.below(max.as_nanos() + 1))
+    }
+
+    /// True if `node` is crashed (and not yet restarted) at `t`.
+    pub fn is_down(&self, node: NodeId, t: Time) -> bool {
+        let last_crash = self
+            .plan
+            .crashes
+            .iter()
+            .filter(|(n, at)| *n == node && *at <= t)
+            .map(|(_, at)| *at)
+            .max();
+        match last_crash {
+            None => false,
+            Some(c) => !self.plan.restarts.iter().any(|(n, at)| *n == node && *at > c && *at <= t),
+        }
+    }
+
+    /// If `node` is stalled at `t`, the time deliveries defer to.
+    pub fn stall_until(&self, node: NodeId, t: Time) -> Option<Time> {
+        self.plan
+            .stalls
+            .iter()
+            .filter(|(n, from, until)| *n == node && t >= *from && t < *until)
+            .map(|(_, _, until)| *until)
+            .max()
+    }
+
+    /// Number of messages that never arrived.
+    pub fn lost_count(&self) -> usize {
+        self.lost.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn at(ms: u64) -> Time {
+        Time::ZERO + Dur::millis(ms)
+    }
+
+    #[test]
+    fn link_rule_matches_window_and_endpoints() {
+        let r = LinkRule {
+            src: Some(n(1)),
+            dst: None,
+            from: at(10),
+            until: at(20),
+            per_mille: 1000,
+            kind: FaultKind::Drop,
+        };
+        assert!(r.applies(n(1), n(2), at(10)));
+        assert!(r.applies(n(1), n(9), at(19)));
+        assert!(!r.applies(n(2), n(1), at(15)), "src mismatch");
+        assert!(!r.applies(n(1), n(2), at(20)), "window is half-open");
+        assert!(!r.applies(n(1), n(2), at(9)));
+    }
+
+    #[test]
+    fn crash_and_restart_windows() {
+        let plan = FaultPlan::new(1).crash(n(3), at(10)).restart(n(3), at(30)).crash(n(3), at(50));
+        let fs: FaultState<()> = FaultState::new(plan);
+        assert!(!fs.is_down(n(3), at(9)));
+        assert!(fs.is_down(n(3), at(10)), "down at the crash instant");
+        assert!(fs.is_down(n(3), at(29)));
+        assert!(!fs.is_down(n(3), at(30)), "restart brings it back");
+        assert!(!fs.is_down(n(3), at(49)));
+        assert!(fs.is_down(n(3), at(99)), "second crash with no restart");
+        assert!(!fs.is_down(n(4), at(15)), "other nodes unaffected");
+    }
+
+    #[test]
+    fn stall_window_defers_to_end() {
+        let plan = FaultPlan::new(1).stall(n(0), at(5), at(8));
+        let fs: FaultState<()> = FaultState::new(plan);
+        assert_eq!(fs.stall_until(n(0), at(6)), Some(at(8)));
+        assert_eq!(fs.stall_until(n(0), at(8)), None, "half-open");
+        assert_eq!(fs.stall_until(n(1), at(6)), None);
+    }
+
+    #[test]
+    fn verdicts_are_deterministic_per_seed() {
+        let plan = || {
+            FaultPlan::new(7).link(None, None, Time::ZERO, at(1000), 500, FaultKind::Drop)
+        };
+        let roll = |mut fs: FaultState<()>| {
+            (0..64).map(|i| fs.link_verdict(n(0), n(1), at(i)).is_some()).collect::<Vec<_>>()
+        };
+        let a = roll(FaultState::new(plan()));
+        let b = roll(FaultState::new(plan()));
+        assert_eq!(a, b, "same plan, same verdicts");
+        assert!(a.iter().any(|x| *x) && a.iter().any(|x| !*x), "~half fire at 500/1000");
+    }
+}

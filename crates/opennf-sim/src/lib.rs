@@ -17,15 +17,22 @@
 //!   OpenNF is designed around arise exactly as they would in a real
 //!   network, but reproducibly.
 //!
+//! * **Replayable failures** — an optional [`fault::FaultPlan`] injects
+//!   message drops/delays/duplicates/reordering, node crashes/restarts,
+//!   and stall windows from its own seeded PRNG, so a failing run under
+//!   faults reproduces byte-identically from `(seed, plan)`.
+//!
 //! The message type is a crate-level generic (`Engine<M>`); the network and
 //! controller crates instantiate it with their own message enum.
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 
 pub use engine::{Ctx, Engine, Node, NodeId};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, LinkRule};
 pub use metrics::Counters;
 pub use rng::SimRng;
 pub use time::{Dur, Time};

@@ -48,7 +48,7 @@ fn main() {
 
     // Let state accumulate, then move everything, live.
     std::thread::sleep(std::time::Duration::from_millis(40));
-    let stats = ctrl.move_flows_lossfree(0, 1, Filter::any());
+    let stats = ctrl.move_flows_lossfree(0, 1, Filter::any()).expect("loss-free move");
     println!("moved     : {} flows, {} bytes of state", stats.chunks, stats.bytes);
     println!("replayed  : {} event packets to the destination", stats.events_replayed);
     println!("wall time : {:?}", stats.duration);

@@ -68,10 +68,10 @@ pub use opennf_util as util;
 /// The most commonly used items, one `use` away.
 pub mod prelude {
     pub use opennf_controller::{
-        Command, ConsistencyLevel, ControlApp, MoveProps, MoveVariant, NetConfig, OpReport,
-        Scenario, ScenarioBuilder, ScopeSet,
+        Command, ConsistencyLevel, ControlApp, MoveProps, MoveVariant, NetConfig, OpConfig,
+        OpOutcome, OpReport, Scenario, ScenarioBuilder, ScopeSet,
     };
     pub use opennf_nf::{Chunk, EventAction, NetworkFunction, Scope};
     pub use opennf_packet::{ConnKey, Filter, FlowId, FlowKey, Ipv4Prefix, Packet, Proto, TcpFlags};
-    pub use opennf_sim::{Dur, Time};
+    pub use opennf_sim::{Dur, FaultKind, FaultPlan, NodeId, Time};
 }

@@ -1,0 +1,163 @@
+//! Fault-injection acceptance tests: operations under injected failures
+//! either run to completion (absorbing message loss with retries) or abort
+//! cleanly with every packet accounted for — never silently wedging.
+//!
+//! The exactly-once-or-accounted oracle: every packet the switch forwarded
+//! is processed exactly once, or its loss/duplication is explained by the
+//! fault record (dropped/duplicated on a link, lost at a crashed node) or
+//! by an abort report's explicit `abort_lost` list.
+
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::trace::steady_flows;
+
+fn two_monitor_scenario(
+    cfg: NetConfig,
+    flows: u32,
+    pps: u64,
+    dur: Dur,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Scenario {
+    let mut b = ScenarioBuilder::new()
+        .config(cfg)
+        .seed(seed)
+        .nf("src", Box::new(AssetMonitor::new()))
+        .nf("dst", Box::new(AssetMonitor::new()))
+        .host(steady_flows(flows, pps, dur, seed))
+        .route(0, Filter::any(), 0);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    b.build()
+}
+
+fn move_cmd(s: &Scenario, props: MoveProps) -> Command {
+    Command::Move {
+        src: s.instances[0],
+        dst: s.instances[1],
+        filter: Filter::any(),
+        scope: ScopeSet::per_flow(),
+        props,
+    }
+}
+
+/// An order-preserving move of idle flows: no packet ever arrives for the
+/// moved filter after the route flip, so the first-packet wait can only
+/// end via its timeout — the operation must still complete.
+#[test]
+fn op_move_of_idle_flows_completes_via_first_packet_timeout() {
+    let cfg = NetConfig::default();
+    // Traffic ends at 200 ms; the move starts at 300 ms on a quiet network.
+    let mut s = two_monitor_scenario(cfg, 10, 2_000, Dur::millis(200), 3, None);
+    let cmd = move_cmd(&s, MoveProps::lfop_pl_er());
+    s.issue_at(Dur::millis(300), cmd);
+    s.run_to_completion();
+
+    let reports = s.controller().reports_of("move");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].outcome, OpOutcome::Completed, "idle-flow OP move completes");
+    // Completion had to ride the first-packet timeout, so the op cannot
+    // have ended before it elapsed.
+    let issued_ns = Dur::millis(300).0;
+    assert!(
+        reports[0].end_ns >= issued_ns + cfg.op_first_packet_timeout.0,
+        "end {} ns is before the first-packet timeout could fire",
+        reports[0].end_ns
+    );
+    // All state still arrived at the destination.
+    assert_eq!(s.nf(1).nf_as::<AssetMonitor>().conn_count(), 10);
+    assert!(s.oracle().check().is_loss_free());
+}
+
+/// Acceptance demo: the source NF crashes mid-export. The move must abort
+/// with a precise account — blamed instance, explicit `abort_lost` — and
+/// the exactly-once-or-accounted oracle must hold.
+#[test]
+fn move_aborted_by_source_crash_mid_export_accounts_for_every_packet() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(50);
+    // The source dies 3 ms into the move — while per-flow chunks are
+    // streaming out (30 flows take ~15 ms of southbound round trips).
+    let plan = FaultPlan::new(11).crash(NodeId(2), Time(303_000_000));
+    let mut s = two_monitor_scenario(cfg, 30, 2_000, Dur::millis(800), 7, Some(plan));
+    let cmd = move_cmd(&s, MoveProps::lf_pl());
+    s.issue_at(Dur::millis(300), cmd);
+    s.run_to_completion();
+
+    let reports = s.controller().reports_of("move");
+    assert_eq!(reports.len(), 1);
+    let report = reports[0];
+    assert!(report.outcome.is_aborted(), "outcome: {:?}", report.outcome);
+    assert_eq!(report.failed_inst, Some(NodeId(2)), "abort blames the crashed source");
+
+    // The crash drowned real traffic: the fault record is non-empty and
+    // every single loss is accounted for.
+    assert!(!s.accounted_uids().is_empty(), "crash losses appear in the account");
+    let check = s.oracle_with_faults().check();
+    assert!(
+        check.is_exactly_once_or_accounted(),
+        "unaccounted lost={:?} dup={:?}",
+        check.lost,
+        check.duplicated
+    );
+    // Without the excusals the same run must show losses — the oracle is
+    // not vacuous.
+    assert!(!s.oracle().check().is_loss_free(), "the crash really lost packets");
+}
+
+/// A southbound call whose delivery is dropped by the fault layer is
+/// retried by the per-phase watchdog and the operation still completes.
+#[test]
+fn dropped_southbound_call_is_retried_then_op_completes() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(20);
+    cfg.op.sb_retry_backoff = Dur::millis(5);
+    // Sever controller → source exactly over the window where the move's
+    // first southbound call (enableEvents) is sent; the retry at
+    // ~125 ms falls outside it and gets through.
+    let plan = FaultPlan::new(5).sever(NodeId(0), NodeId(2), Time(100_000_000), Time(110_000_000));
+    let mut s = two_monitor_scenario(cfg, 20, 2_000, Dur::millis(400), 9, Some(plan));
+    let cmd = move_cmd(&s, MoveProps::lf_pl());
+    s.issue_at(Dur::millis(100), cmd);
+    s.run_to_completion();
+
+    let reports = s.controller().reports_of("move");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].outcome, OpOutcome::Completed, "retry recovered the op");
+    assert!(reports[0].retries >= 1, "the drop forced at least one retry");
+    assert_eq!(s.nf(1).nf_as::<AssetMonitor>().conn_count(), 20);
+    assert!(s.oracle().check().is_loss_free(), "loss-freedom held across the retry");
+}
+
+/// Determinism: the same seed and the same fault plan replay to
+/// byte-identical reports, fault logs, and accounting.
+#[test]
+fn identical_seed_and_fault_plan_replay_identically() {
+    let run = || {
+        let mut cfg = NetConfig::default();
+        cfg.op.phase_timeout = Dur::millis(50);
+        let plan = FaultPlan::new(42)
+            .link(
+                Some(NodeId(1)),
+                Some(NodeId(2)),
+                Time(0),
+                Time(u64::MAX),
+                150,
+                FaultKind::Drop,
+            )
+            .crash(NodeId(2), Time(250_000_000));
+        let mut s = two_monitor_scenario(cfg, 15, 2_000, Dur::millis(500), 21, Some(plan));
+        let cmd = move_cmd(&s, MoveProps::lf_pl());
+        s.issue_at(Dur::millis(200), cmd);
+        s.run_to_completion();
+        let fault_log = format!("{:?}", s.engine.fault().expect("fault state").log);
+        let reports = format!("{:?}", s.controller().reports);
+        (fault_log, reports, s.accounted_uids())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "fault logs identical");
+    assert_eq!(a.1, b.1, "operation reports identical");
+    assert_eq!(a.2, b.2, "accounted uids identical");
+}

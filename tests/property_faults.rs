@@ -1,0 +1,100 @@
+//! Property-based fault injection: across randomized fault plans — drops,
+//! duplicates, and a mid-move source crash — a move either completes or
+//! aborts, and the exactly-once-or-accounted oracle always holds: no
+//! packet is ever lost or duplicated without an explicit explanation in
+//! the fault record or an abort report.
+
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::trace::steady_flows;
+use proptest::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+fn run_faulted_move(
+    flows: u32,
+    pps: u64,
+    move_at_ms: u64,
+    props: MoveProps,
+    seed: u64,
+    drop_data: u16,
+    dup_data: u16,
+    drop_events: u16,
+    drop_ctrl: u16,
+    crash_src_off_ms: Option<u64>,
+) -> Scenario {
+    let mut cfg = NetConfig::default();
+    // Aborts must land while the run is still short.
+    cfg.op.phase_timeout = Dur::millis(50);
+    cfg.op.sb_retry_backoff = Dur::millis(10);
+
+    let sw = NodeId(1);
+    let src = NodeId(2);
+    let ctrl = NodeId(0);
+    let always = (Time(0), Time(u64::MAX));
+    let mut plan = FaultPlan::new(seed ^ 0x00F0_0D5E)
+        // Data path toward the source: drops and duplicates.
+        .link(Some(sw), Some(src), always.0, always.1, drop_data, FaultKind::Drop)
+        .link(Some(sw), Some(src), always.0, always.1, dup_data, FaultKind::Duplicate(Dur::micros(80)))
+        // Events / southbound replies from the source.
+        .link(Some(src), Some(ctrl), always.0, always.1, drop_events, FaultKind::Drop)
+        // Southbound calls and packet-out replays toward the source.
+        .link(Some(ctrl), Some(src), always.0, always.1, drop_ctrl, FaultKind::Drop);
+    if let Some(off) = crash_src_off_ms {
+        plan = plan.crash(src, Time((move_at_ms + 1 + off) * 1_000_000));
+    }
+
+    let mut s = ScenarioBuilder::new()
+        .config(cfg)
+        .seed(seed)
+        .nf("src", Box::new(AssetMonitor::new()))
+        .nf("dst", Box::new(AssetMonitor::new()))
+        .host(steady_flows(flows, pps, Dur::millis(400), seed))
+        .route(0, Filter::any(), 0)
+        .fault_plan(plan)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(move_at_ms),
+        Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+    );
+    s.run_to_completion();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_fault_plans_never_violate_exactly_once_or_accounted(
+        flows in 5u32..25,
+        pps in 500u64..2_500,
+        move_at in 50u64..250,
+        variant_idx in 0usize..2,
+        seed in 1u64..1_000,
+        drop_data in 0u16..300,
+        dup_data in 0u16..150,
+        drop_events in 0u16..200,
+        drop_ctrl in 0u16..150,
+        crash_roll in 0u64..60,
+    ) {
+        // Half the cases crash the source 1–31 ms into the move.
+        let crash = if crash_roll < 30 { Some(crash_roll) } else { None };
+        let props = [MoveProps::lf_pl(), MoveProps::lfop_pl_er()][variant_idx];
+        let s = run_faulted_move(
+            flows, pps, move_at, props, seed,
+            drop_data, dup_data, drop_events, drop_ctrl, crash,
+        );
+        // The op never silently wedges: exactly one report exists and it
+        // is either completed or aborted with a reason.
+        let reports = s.controller().reports_of("move");
+        prop_assert_eq!(reports.len(), 1, "the op must finish one way or the other");
+        let check = s.oracle_with_faults().check();
+        prop_assert!(
+            check.is_exactly_once_or_accounted(),
+            "unaccounted lost={:?} dup={:?} (outcome={:?} flows={} pps={} at={} v={} seed={} faults=({},{},{},{}) crash={:?})",
+            check.lost, check.duplicated, reports[0].outcome,
+            flows, pps, move_at, variant_idx, seed,
+            drop_data, dup_data, drop_events, drop_ctrl, crash
+        );
+    }
+}

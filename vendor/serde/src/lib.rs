@@ -1,0 +1,407 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! real serde is replaced by this value-tree implementation: `Serialize`
+//! renders a type into a [`Value`], `Deserialize` reads one back, and the
+//! companion `serde_json` stub prints/parses the JSON text form. The derive
+//! macros (re-exported from `serde_derive`) cover the shapes this repo uses:
+//! named structs, tuple/newtype structs, fieldless enums, and data-carrying
+//! enums with optional `#[serde(tag = "...", rename_all = "...")]`.
+//!
+//! Deliberate simplifications (fine for a self-contained wire format):
+//! maps serialize as arrays of `[key, value]` pairs, so non-string keys
+//! (e.g. `ConnKey`) work uniformly; hash containers are sorted by encoded
+//! key so output bytes are deterministic across runs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::Value;
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` as a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree. The lifetime parameter exists
+/// only for signature compatibility with real serde bounds
+/// (`for<'de> Deserialize<'de>`); nothing borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Parses a value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a named field in an object body; a missing field deserializes
+/// from `Null` (so `Option` fields tolerate omission).
+pub fn field<T: for<'de> Deserialize<'de>>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::from_value(&Value::Null)
+            .map_err(|e| Error::msg(format!("missing field `{name}`: {e}"))),
+    }
+}
+
+// ---- impls for std types --------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::msg("expected f64"))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::msg("expected f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error::msg("expected string"))
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::msg("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T> Deserialize<'_> for Box<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .ok_or_else(|| Error::msg("expected ip string"))?
+            .parse()
+            .map_err(|_| Error::msg("invalid ipv4 address"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize<'_> for Option<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(it: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(it.map(Serialize::to_value).collect())
+}
+
+fn value_to_seq<T>(v: &Value) -> Result<Vec<T>, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    v.as_array()
+        .ok_or_else(|| Error::msg("expected array"))?
+        .iter()
+        .map(T::from_value)
+        .collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+impl<T> Deserialize<'_> for Vec<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        value_to_seq(v)
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+impl<T> Deserialize<'_> for std::collections::VecDeque<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(value_to_seq(v)?.into())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+impl<T> Deserialize<'_> for std::collections::BTreeSet<T>
+where
+    T: for<'de> Deserialize<'de> + Ord,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(value_to_seq::<T>(v)?.into_iter().collect())
+    }
+}
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut vals: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        // Hash iteration order is nondeterministic; sort the encoded form so
+        // serialized bytes are stable across runs.
+        vals.sort_by_key(|v| v.encode_json());
+        Value::Array(vals)
+    }
+}
+impl<T> Deserialize<'_> for std::collections::HashSet<T>
+where
+    T: for<'de> Deserialize<'de> + Eq + std::hash::Hash,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(value_to_seq::<T>(v)?.into_iter().collect())
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs so arbitrary key types work.
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    it: impl Iterator<Item = (&'a K, &'a V)>,
+    sort: bool,
+) -> Value {
+    let mut pairs: Vec<Value> =
+        it.map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect();
+    if sort {
+        pairs.sort_by_key(|p| p.encode_json());
+    }
+    Value::Array(pairs)
+}
+
+fn value_to_pairs<K, V>(v: &Value) -> Result<Vec<(K, V)>, Error>
+where
+    K: for<'de> Deserialize<'de>,
+    V: for<'de> Deserialize<'de>,
+{
+    v.as_array()
+        .ok_or_else(|| Error::msg("expected map (array of pairs)"))?
+        .iter()
+        .map(|pair| {
+            let kv = pair.as_array().ok_or_else(|| Error::msg("expected [key, value] pair"))?;
+            if kv.len() != 2 {
+                return Err(Error::msg("expected [key, value] pair"));
+            }
+            Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), false)
+    }
+}
+impl<K, V> Deserialize<'_> for std::collections::BTreeMap<K, V>
+where
+    K: for<'de> Deserialize<'de> + Ord,
+    V: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(value_to_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter(), true)
+    }
+}
+impl<K, V> Deserialize<'_> for std::collections::HashMap<K, V>
+where
+    K: for<'de> Deserialize<'de> + Eq + std::hash::Hash,
+    V: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(value_to_pairs::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t),+> Deserialize<'_> for ($($t,)+)
+        where $($t: for<'de> Deserialize<'de>),+
+        {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                Ok(($($t::from_value(a.get($n).unwrap_or(&Value::Null))?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+impl<T, const N: usize> Deserialize<'_> for [T; N]
+where
+    T: for<'de> Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = value_to_seq::<T>(v)?;
+        items.try_into().map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

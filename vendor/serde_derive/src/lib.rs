@@ -1,0 +1,564 @@
+//! Offline drop-in subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree traits in the companion `serde` stub, with no dependency on
+//! `syn`/`quote`: the item's token stream is parsed by hand into a small
+//! shape description and code is generated as text.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! named-field structs, tuple/newtype structs, unit structs, fieldless
+//! enums, and data-carrying enums — externally tagged by default or
+//! internally tagged via `#[serde(tag = "...")]`, with optional
+//! `#[serde(rename_all = "lowercase" | "snake_case" | "UPPERCASE")]`.
+//! Generic type parameters are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- shape description ----------------------------------------------------
+
+struct Container {
+    name: String,
+    /// `#[serde(tag = "...")]`: internal tagging for enums.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "...")]`: applied to enum variant names.
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with the given arity (1 = newtype).
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum with its variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut tag = None;
+    let mut rename_all = None;
+
+    // Leading attributes and visibility.
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut tag, &mut rename_all);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type `{name}` is not supported");
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("serde derive stub: unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive stub: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive stub: unsupported item kind `{other}`"),
+    };
+
+    Container { name, tag, rename_all, kind }
+}
+
+/// Extracts `tag`/`rename_all` from the inside of a `#[...]` attribute if it
+/// is a `serde(...)` attribute; ignores everything else (docs, other attrs).
+fn parse_serde_attr(attr: TokenStream, tag: &mut Option<String>, rename_all: &mut Option<String>) {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    let key = key.to_string();
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let val = strip_quotes(&lit.to_string());
+                            match key.as_str() {
+                                "tag" => *tag = Some(val),
+                                "rename_all" => *rename_all = Some(val),
+                                _ => {}
+                            }
+                            j += 3;
+                            continue;
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn strip_quotes(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+/// Parses `{ field: Type, ... }` bodies into field names, skipping
+/// attributes and visibility, and tracking `<...>` depth so commas inside
+/// generic types don't split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '#' {
+                i += 2; // '#' + bracket group
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(name)) = toks.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':' then consume the type up to a top-level ','.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ':' {
+                i += 1;
+            }
+        }
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct/variant body `(TypeA, TypeB, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    // Tolerate a trailing comma.
+    if let Some(TokenTree::Punct(p)) = toks.last() {
+        if p.as_char() == ',' && saw_any {
+            count -= 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = toks.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the ',' separating variants (covers `= disc`, which serde
+        // would ignore anyway).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- renaming -------------------------------------------------------------
+
+fn rename(name: &str, style: Option<&str>) -> String {
+    match style {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => name.to_string(),
+    }
+}
+
+// ---- codegen --------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let style = c.rename_all.as_deref();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_ser_variant(name, v, c.tag.as_deref(), style))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_ser_variant(name: &str, v: &Variant, tag: Option<&str>, style: Option<&str>) -> String {
+    let vn = &v.name;
+    let wire = rename(vn, style);
+    let key = |s: &str| format!("::std::string::String::from(\"{s}\")");
+    match (&v.fields, tag) {
+        (VariantFields::Unit, None) => {
+            format!("{name}::{vn} => ::serde::Value::Str({}),", key(&wire))
+        }
+        (VariantFields::Unit, Some(t)) => format!(
+            "{name}::{vn} => ::serde::Value::Object(vec![({}, ::serde::Value::Str({}))]),",
+            key(t),
+            key(&wire)
+        ),
+        (VariantFields::Named(fields), tag) => {
+            let binds = fields.join(", ");
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::to_value({f}))", key(f)))
+                .collect();
+            match tag {
+                Some(t) => format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                     ({}, ::serde::Value::Str({})), {}]),",
+                    key(t),
+                    key(&wire),
+                    pairs.join(", ")
+                ),
+                None => format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({}, \
+                     ::serde::Value::Object(vec![{}]))]),",
+                    key(&wire),
+                    pairs.join(", ")
+                ),
+            }
+        }
+        (VariantFields::Tuple(n), None) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__x0)".to_string()
+            } else {
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Object(vec![({}, {inner})]),",
+                binds.join(", "),
+                key(&wire)
+            )
+        }
+        (VariantFields::Tuple(_), Some(_)) => {
+            panic!("serde derive stub: tuple variant `{vn}` cannot be internally tagged")
+        }
+    }
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(__o, \"{f}\")?")).collect();
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                         __a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: expected array\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_de_enum(name, variants, c.tag.as_deref(), c.rename_all.as_deref()),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_de_enum(name: &str, variants: &[Variant], tag: Option<&str>, style: Option<&str>) -> String {
+    match tag {
+        Some(t) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let wire = rename(&v.name, style);
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__o, \"{f}\")?"))
+                                .collect();
+                            format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(_) => panic!(
+                            "serde derive stub: tuple variant `{vn}` cannot be internally tagged"
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: expected object\"))?;\n\
+                 let __tag = __v.get(\"{t}\").and_then(|x| x.as_str()).ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: missing `{t}` tag\"))?;\n\
+                 match __tag {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"{name}: unknown variant `{{__tag}}`\"))) }}",
+                arms.join(" ")
+            )
+        }
+        None => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{}\" => return ::std::result::Result::Ok({name}::{}),",
+                        rename(&v.name, style),
+                        v.name
+                    )
+                })
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let wire = rename(&v.name, style);
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("\"{wire}\" => ::std::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__fields, \"{f}\")?"))
+                                .collect();
+                            format!(
+                                "\"{wire}\" => {{ let __fields = __inner.as_object()\
+                                 .ok_or_else(|| ::serde::Error::msg(\"{name}::{vn}: expected \
+                                 object\"))?; ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(\
+                                         __a.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{wire}\" => {{ let __a = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::msg(\"{name}::{vn}: expected array\"))?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{ {} _ => return ::std::result::Result::Err(\
+                 ::serde::Error::msg(format!(\"{name}: unknown variant `{{__s}}`\"))) }}\n\
+                 }}\n\
+                 let __o = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: expected string or object\"))?;\n\
+                 let (__k, __inner) = __o.first().ok_or_else(|| \
+                 ::serde::Error::msg(\"{name}: empty object\"))?;\n\
+                 match __k.as_str() {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"{name}: unknown variant `{{__k}}`\"))) }}",
+                unit_arms.join(" "),
+                keyed_arms.join(" ")
+            )
+        }
+    }
+}

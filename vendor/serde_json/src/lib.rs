@@ -1,0 +1,44 @@
+//! Offline drop-in subset of `serde_json`: JSON text on top of the `serde`
+//! stub's [`Value`] tree.
+
+pub use serde::Value;
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().encode_json())
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(value.to_value().encode_json().into_bytes())
+}
+
+/// Parses JSON text into `T`.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let v = Value::parse_json(s).map_err(Error)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Parses JSON bytes into `T`.
+pub fn from_slice<T: for<'de> serde::Deserialize<'de>>(b: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(b).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
