@@ -53,6 +53,11 @@ fn main() {
             "nfperf" => {
                 nfperf::run().print();
             }
+            // Not a paper artifact: fault-shim hot-path overhead (opt-in).
+            "faultshim" => {
+                let msgs = if quick { 20_000 } else { 200_000 };
+                faultshim::run(msgs).print();
+            }
             "table2" => {
                 table2::run().print();
             }

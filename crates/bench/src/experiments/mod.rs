@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod compress;
 pub mod copyshare;
+pub mod faultshim;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -1,0 +1,455 @@
+//! Cross-runtime fault conformance.
+//!
+//! The simulator (`opennf-controller` on `opennf-sim`) and the threaded
+//! runtime (`opennf-rt`) implement the same southbound protocol and the
+//! same loss-free move. This crate is the differential driver that holds
+//! them to it: one [`Spec`] — a traffic trace, a move command, and a
+//! seeded [`FaultPlan`] — runs through **both** runtimes, and each side
+//! must independently satisfy the exactly-once-or-accounted oracle:
+//!
+//! > every generated packet is processed exactly once, or its loss /
+//! > duplication is explained by the injected-fault record or by an
+//! > abort's explicit accounting.
+//!
+//! On fault-free specs the two sides must additionally agree on the
+//! *final NF state digest* (an MD5 over every per-flow chunk) and on the
+//! processed-packet count. Under faults the runtimes legitimately diverge
+//! in *which* packets a probabilistic rule hits (the simulator rolls one
+//! dice stream in delivery order; the runtime rolls content-addressed
+//! dice per message — see `opennf-rt::faults`), so only the oracle and
+//! rerun-determinism are compared there.
+//!
+//! Everything derives from `(seed, mask)`: the mask enables/disables
+//! fault-plan components bit by bit, which is also the shrinking
+//! dimension the soak binary walks when a seed fails.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use opennf_controller::{
+    Command, MoveProps, NetConfig, Scenario, ScenarioBuilder, ScopeSet,
+};
+use opennf_nf::{Chunk, NetworkFunction};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::Filter;
+use opennf_rt::{RtController, WireMsg};
+use opennf_trace::steady_flows;
+use opennf_util::{Dur, FaultKind, FaultPlan, Md5, NodeId, SimRng, Time};
+
+/// Mask bit: drop packets on the router → source-worker link.
+pub const M_DROP_DATA: u32 = 1 << 0;
+/// Mask bit: drop events/replies on the source-worker → controller link.
+pub const M_DROP_UP: u32 = 1 << 1;
+/// Mask bit: delay packets on the router → source-worker link.
+pub const M_DELAY_DATA: u32 = 1 << 2;
+/// Mask bit: duplicate packets on the router → source-worker link.
+pub const M_DUP_DATA: u32 = 1 << 3;
+/// Mask bit: reorder packets on the router → source-worker link.
+pub const M_REORDER_DATA: u32 = 1 << 4;
+/// Mask bit: crash + restart the source worker mid-run.
+pub const M_CRASH_SRC: u32 = 1 << 5;
+/// Mask bit: stall window on the destination worker.
+pub const M_STALL_DST: u32 = 1 << 6;
+/// Mask bit: full traffic load (cleared = halved flows and rate).
+pub const M_FULL_LOAD: u32 = 1 << 7;
+
+/// Every fault bit (no load bit).
+pub const M_ALL_FAULTS: u32 =
+    M_DROP_DATA | M_DROP_UP | M_DELAY_DATA | M_DUP_DATA | M_REORDER_DATA | M_CRASH_SRC | M_STALL_DST;
+/// The default soak mask: all faults, full load.
+pub const M_DEFAULT: u32 = M_ALL_FAULTS | M_FULL_LOAD;
+
+/// Shared node layout (see `opennf-rt::faults`): controller 0, switch 1,
+/// then instances.
+const SRC_NODE: NodeId = NodeId(2);
+const DST_NODE: NodeId = NodeId(3);
+
+/// One differential case: a two-monitor topology, steady traffic, a
+/// loss-free move at `move_at`, and a fault plan — all derived from
+/// `(seed, mask)`.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Derivation seed (traffic seed; the plan seed mixes it).
+    pub seed: u64,
+    /// Enabled-component mask (`M_*` bits).
+    pub mask: u32,
+    /// Concurrent flows in the trace.
+    pub flows: u32,
+    /// Per-flow packet rate.
+    pub pps: u64,
+    /// Trace length.
+    pub duration: Dur,
+    /// When the move is issued.
+    pub move_at: Dur,
+    /// The fault plan both runtimes consume.
+    pub plan: FaultPlan,
+}
+
+impl Spec {
+    /// Derives a spec from `(seed, mask)`. Same inputs, same spec.
+    pub fn from_seed(seed: u64, mask: u32) -> Spec {
+        let mut rng = SimRng::new(seed ^ 0x5bec_5bec_5bec_5bec);
+        let mut flows = 6 + rng.below(10) as u32; // 6..16
+        let mut pps = 800 + rng.below(1200); // 800..2000 per flow
+        if mask & M_FULL_LOAD == 0 {
+            flows = (flows / 2).max(2);
+            pps = (pps / 2).max(200);
+        }
+        let duration = Dur::millis(150 + rng.below(100)); // 150..250 ms
+        let move_at = Dur::millis(50 + rng.below(60)); // 50..110 ms
+        // Probabilistic link rules use the full-run window [0, ∞): the
+        // threaded runtime's verdicts are content-addressed, so unbounded
+        // windows keep its ledger rerun-identical even though wall-clock
+        // send times jitter (a bounded window could flip edge-straddling
+        // packets between runs). Crash/stall windows are inherently
+        // time-edged; their rt reruns are identical up to that edge.
+        let mut plan = FaultPlan::new(seed ^ 0xfa17_0000_0000_0001);
+        if mask & M_DROP_DATA != 0 {
+            let pm = 20 + rng.below(80) as u16;
+            plan = plan.link(Some(NodeId(1)), Some(SRC_NODE), Time(0), Time(u64::MAX), pm, FaultKind::Drop);
+        }
+        if mask & M_DROP_UP != 0 {
+            let pm = 10 + rng.below(60) as u16;
+            plan = plan.link(Some(SRC_NODE), Some(NodeId(0)), Time(0), Time(u64::MAX), pm, FaultKind::Drop);
+        }
+        if mask & M_DELAY_DATA != 0 {
+            let pm = 30 + rng.below(100) as u16;
+            let by = Dur::millis(1 + rng.below(15));
+            plan = plan.link(Some(NodeId(1)), Some(SRC_NODE), Time(0), Time(u64::MAX), pm, FaultKind::Delay(by));
+        }
+        if mask & M_DUP_DATA != 0 {
+            let pm = 20 + rng.below(60) as u16;
+            let gap = Dur::millis(1 + rng.below(5));
+            plan = plan.link(Some(NodeId(1)), Some(SRC_NODE), Time(0), Time(u64::MAX), pm, FaultKind::Duplicate(gap));
+        }
+        if mask & M_REORDER_DATA != 0 {
+            let pm = 30 + rng.below(100) as u16;
+            let win = Dur::millis(1 + rng.below(4));
+            plan = plan.link(Some(NodeId(1)), Some(SRC_NODE), Time(0), Time(u64::MAX), pm, FaultKind::Reorder(win));
+        }
+        if mask & M_CRASH_SRC != 0 {
+            // Crash the source around the move window, restart well before
+            // the run ends so the runtimes can converge.
+            let crash_at = move_at + Dur::millis(rng.below(20));
+            let back_at = crash_at + Dur::millis(20 + rng.below(40));
+            plan = plan.crash(SRC_NODE, Time(0) + crash_at).restart(SRC_NODE, Time(0) + back_at);
+        }
+        if mask & M_STALL_DST != 0 {
+            let from = Dur::millis(30 + rng.below(40));
+            let until = from + Dur::millis(10 + rng.below(30));
+            plan = plan.stall(DST_NODE, Time(0) + from, Time(0) + until);
+        }
+        Spec { seed, mask, flows, pps, duration, move_at, plan }
+    }
+
+    /// True when no fault component is enabled: state digests and
+    /// processed counts must then match across runtimes.
+    pub fn is_fault_free(&self) -> bool {
+        self.plan.links.is_empty()
+            && self.plan.crashes.is_empty()
+            && self.plan.restarts.is_empty()
+            && self.plan.stalls.is_empty()
+    }
+
+    /// The one-command reproduction line for this spec.
+    pub fn repro(&self) -> String {
+        format!("cargo run --release --example soak -- --seed {} --mask 0x{:x}", self.seed, self.mask)
+    }
+}
+
+/// What one runtime reports for one spec — the comparable surface.
+#[derive(Debug, Clone)]
+pub struct SideReport {
+    /// Oracle verdict.
+    pub ok: bool,
+    /// Human-readable failure detail (empty when `ok`).
+    pub detail: String,
+    /// Packets processed (all instances, replays included).
+    pub processed: usize,
+    /// Canonical injected-fault summary (per-kind counts + sorted uids);
+    /// rerun-stable within a runtime, not comparable across runtimes.
+    pub fault_canonical: String,
+    /// MD5 over the final per-flow state of every instance.
+    pub digest: String,
+    /// Whether the move completed (vs aborted).
+    pub move_completed: bool,
+}
+
+fn digest_chunks(mut chunks: Vec<Chunk>) -> String {
+    chunks.sort_by(|a, b| {
+        (format!("{:?}", a.flow_id), &a.kind).cmp(&(format!("{:?}", b.flow_id), &b.kind))
+    });
+    let mut md5 = Md5::new();
+    for c in &chunks {
+        md5.update(format!("{:?}|{}|", c.flow_id, c.kind).as_bytes());
+        md5.update(&c.data);
+        md5.update(b";");
+    }
+    md5.hex_digest()
+}
+
+/// Runs the spec through the discrete-event simulator.
+pub fn run_sim(spec: &Spec) -> SideReport {
+    let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
+    let mut b = ScenarioBuilder::new()
+        .config(NetConfig::default())
+        .seed(spec.seed)
+        .nf("src", Box::new(AssetMonitor::new()))
+        .nf("dst", Box::new(AssetMonitor::new()))
+        .host(trace)
+        .route(0, Filter::any(), 0);
+    if !spec.is_fault_free() {
+        b = b.fault_plan(spec.plan.clone());
+    }
+    let mut s = b.build();
+    let cmd = Command::Move {
+        src: s.instances[0],
+        dst: s.instances[1],
+        filter: Filter::any(),
+        scope: ScopeSet::per_flow(),
+        props: MoveProps::lf_pl(),
+    };
+    s.issue_at(spec.move_at, cmd);
+    s.run_to_completion();
+
+    let check = s.oracle_with_faults().check();
+    let ok = check.is_exactly_once_or_accounted();
+    let detail = if ok {
+        String::new()
+    } else {
+        format!("sim oracle: unaccounted lost={:?} dup={:?}", check.lost, check.duplicated)
+    };
+    let processed: usize = (0..2).map(|i| s.nf(i).records.len()).sum();
+    let move_completed = s
+        .controller()
+        .reports_of("move")
+        .first()
+        .map(|r| !r.outcome.is_aborted())
+        .unwrap_or(false);
+    let fault_canonical = sim_fault_canonical(&s);
+    let digest = sim_digest(&mut s);
+    SideReport { ok, detail, processed, fault_canonical, digest, move_completed }
+}
+
+fn sim_digest(s: &mut Scenario) -> String {
+    let mut chunks = Vec::new();
+    for i in 0..2 {
+        chunks.extend(s.nf_mut(i).harness_mut().nf_mut().get_perflow(&Filter::any()));
+    }
+    digest_chunks(chunks)
+}
+
+fn sim_fault_canonical(s: &Scenario) -> String {
+    match s.engine.fault() {
+        None => String::from("none"),
+        Some(f) => {
+            let mut kinds = std::collections::BTreeMap::new();
+            for ev in &f.log {
+                let d = format!("{ev:?}");
+                let name = d.split([' ', '{']).next().unwrap_or("?").to_string();
+                *kinds.entry(name).or_insert(0usize) += 1;
+            }
+            let mut lost: Vec<u64> =
+                f.lost.iter().filter_map(|(_, _, _, m)| m.packet_uid()).collect();
+            lost.sort_unstable();
+            let mut dup: Vec<u64> =
+                f.duplicated.iter().filter_map(|(_, _, _, m)| m.packet_uid()).collect();
+            dup.sort_unstable();
+            format!("kinds={kinds:?} lost={lost:?} dup={dup:?}")
+        }
+    }
+}
+
+/// Runs the spec through the threaded runtime. The same `steady_flows`
+/// trace is replayed wall-clock-paced through the fault-shimmed router →
+/// worker links; virtual plan time maps 1:1 onto nanoseconds since the
+/// controller armed the shim.
+pub fn run_rt(spec: &Spec) -> SideReport {
+    let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
+    let uids: Vec<u64> = trace.iter().map(|(_, p)| p.uid).collect();
+
+    let nfs: Vec<Box<dyn NetworkFunction>> =
+        vec![Box::new(AssetMonitor::new()), Box::new(AssetMonitor::new())];
+    let (ctrl, faults) = RtController::new_with_faults(nfs, spec.plan.clone());
+    let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
+
+    // Generator thread: replay the trace against the shared router,
+    // stamping each packet's ingress with its *scheduled* time — exactly
+    // what the simulator's host node stamps — so fault-free final state
+    // digests are byte-comparable across runtimes.
+    let router = ctrl.router.clone();
+    let links = [ctrl.data_tx(0), ctrl.data_tx(1)];
+    let gen_faults = faults.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let gen_done = done.clone();
+    let gen = std::thread::spawn(move || {
+        for (t, mut pkt) in trace {
+            while gen_faults.now() < Time(t) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            pkt.ingress_ns = t;
+            if let Some(w) = router.route(&pkt) {
+                let _ = links[w].send(&WireMsg::Packet { packet: pkt });
+            }
+        }
+        gen_done.store(true, Ordering::SeqCst);
+    });
+
+    // Issue the move at its virtual time.
+    while faults.now() < Time(0) + spec.move_at {
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    let move_result = ctrl.move_flows_lossfree(0, 1, Filter::any());
+    let move_completed = move_result.is_ok();
+    let mut excused: Vec<u64> = ctrl.abort_lost().to_vec();
+
+    // Let the trace finish plus a margin wide enough for every delayed /
+    // duplicated / stalled delivery (plan delays are bounded well below
+    // this) to land before teardown.
+    while !done.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    gen.join().expect("generator");
+
+    let harnesses = ctrl.shutdown();
+    faults.join_pump();
+
+    let ledger = faults.ledger();
+    excused.extend(ledger.lost_sorted());
+    excused.extend(ledger.duplicated_sorted());
+    excused.sort_unstable();
+    excused.dedup();
+
+    // Exactly-once-or-accounted over the merged processed logs.
+    let mut counts = std::collections::HashMap::new();
+    let mut processed = 0usize;
+    for h in &harnesses {
+        for &uid in h.processed_log() {
+            *counts.entry(uid).or_insert(0usize) += 1;
+            processed += 1;
+        }
+    }
+    let mut bad = Vec::new();
+    for &uid in &uids {
+        let n = counts.get(&uid).copied().unwrap_or(0);
+        if n != 1 && excused.binary_search(&uid).is_err() {
+            bad.push((uid, n));
+        }
+    }
+    let ok = bad.is_empty();
+    let detail = if ok {
+        String::new()
+    } else {
+        bad.truncate(16);
+        format!("rt oracle: unaccounted (uid, times-processed)={bad:?}")
+    };
+
+    let mut chunks = Vec::new();
+    let mut harnesses = harnesses;
+    for h in harnesses.iter_mut() {
+        chunks.extend(h.nf_mut().get_perflow(&Filter::any()));
+    }
+    SideReport {
+        ok,
+        detail,
+        processed,
+        fault_canonical: format!("{:?}", ledger.canonical()),
+        digest: digest_chunks(chunks),
+        move_completed,
+    }
+}
+
+/// The cross-runtime verdict for one spec.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Simulator side.
+    pub sim: SideReport,
+    /// Threaded-runtime side.
+    pub rt: SideReport,
+    /// Overall verdict.
+    pub ok: bool,
+    /// What disagreed (empty when `ok`).
+    pub detail: String,
+}
+
+/// Runs `spec` through both runtimes and compares.
+pub fn differential(spec: &Spec) -> DiffReport {
+    let sim = run_sim(spec);
+    let rt = run_rt(spec);
+    let mut problems = Vec::new();
+    if !sim.ok {
+        problems.push(sim.detail.clone());
+    }
+    if !rt.ok {
+        problems.push(rt.detail.clone());
+    }
+    if spec.is_fault_free() {
+        if sim.digest != rt.digest {
+            problems.push(format!("state digest mismatch: sim={} rt={}", sim.digest, rt.digest));
+        }
+        if sim.processed != rt.processed {
+            problems
+                .push(format!("processed mismatch: sim={} rt={}", sim.processed, rt.processed));
+        }
+    }
+    let ok = problems.is_empty();
+    DiffReport { sim, rt, ok, detail: problems.join("; ") }
+}
+
+/// Shrinks a failing `(seed, mask)` by greedily clearing mask bits while
+/// the failure persists; returns the minimal failing mask. `check` runs
+/// the case and returns true when it still fails.
+pub fn shrink_mask(mask: u32, mut still_fails: impl FnMut(u32) -> bool) -> u32 {
+    let mut cur = mask;
+    loop {
+        let mut improved = false;
+        for bit in 0..32 {
+            let b = 1u32 << bit;
+            if cur & b != 0 {
+                let candidate = cur & !b;
+                if still_fails(candidate) {
+                    cur = candidate;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_derivation_is_deterministic() {
+        let a = Spec::from_seed(7, M_DEFAULT);
+        let b = Spec::from_seed(7, M_DEFAULT);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!a.is_fault_free());
+        let c = Spec::from_seed(7, M_FULL_LOAD);
+        assert!(c.is_fault_free());
+    }
+
+    #[test]
+    fn mask_bits_gate_plan_components() {
+        let s = Spec::from_seed(3, M_CRASH_SRC | M_FULL_LOAD);
+        assert!(s.plan.links.is_empty());
+        assert_eq!(s.plan.crashes.len(), 1);
+        assert_eq!(s.plan.restarts.len(), 1);
+        let s = Spec::from_seed(3, M_DROP_DATA | M_FULL_LOAD);
+        assert_eq!(s.plan.links.len(), 1);
+        assert!(s.plan.crashes.is_empty());
+    }
+
+    #[test]
+    fn shrink_reaches_a_minimal_mask() {
+        // Pretend the failure only needs M_DROP_UP.
+        let minimal = shrink_mask(M_DEFAULT, |m| m & M_DROP_UP != 0);
+        assert_eq!(minimal, M_DROP_UP);
+    }
+}

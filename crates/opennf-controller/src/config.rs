@@ -69,6 +69,11 @@ pub struct OpConfig {
     /// Extra delay added before the first retry; doubles on each
     /// subsequent retry.
     pub sb_retry_backoff: Dur,
+    /// What a `share` does when its setup retries are exhausted. `false`
+    /// (default): proceed degraded with whatever instances did ack.
+    /// `true`: tear the share down — disable its event filters everywhere,
+    /// drop the op, and report the out-of-sync instances in the abort.
+    pub strict_share: bool,
 }
 
 impl Default for OpConfig {
@@ -77,6 +82,7 @@ impl Default for OpConfig {
             phase_timeout: Dur::secs(2),
             sb_retries: 2,
             sb_retry_backoff: Dur::millis(50),
+            strict_share: false,
         }
     }
 }

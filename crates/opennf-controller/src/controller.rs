@@ -458,7 +458,7 @@ impl Node<Msg> for ControllerNode {
                 } else if let Some(mut sh) = self.shares.remove(&base) {
                     {
                         let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
-                        sh.on_sb_ack(&mut o, op, reply);
+                        sh.on_sb_ack(&mut o, from, op, reply);
                     }
                     self.shares.insert(base, sh);
                 }
@@ -498,9 +498,35 @@ impl Node<Msg> for ControllerNode {
                             let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
                             sh.on_timer(&mut o, tag);
                         }
-                        self.shares.insert(base, sh);
+                        if sh.torn_down() {
+                            // Strict teardown: report once and drop the op
+                            // so no further events/packet-ins reach it.
+                            let report = sh.report.clone();
+                            self.finalize(ctx, report);
+                        } else {
+                            self.shares.insert(base, sh);
+                        }
                     }
                 }
+            }
+            Msg::NfRestarted => {
+                // Restart detection: recompute the event-filter state the
+                // recovered instance should hold (filters claimed by ops
+                // still running on it) and re-issue it as one atomic sync,
+                // clearing anything installed before the crash that no op
+                // wants any more.
+                let mut filters: Vec<(Filter, opennf_nf::EventAction)> = Vec::new();
+                for m in self.moves.values() {
+                    filters.extend(m.desired_filters(from));
+                }
+                for s in self.shares.values() {
+                    filters.extend(s.desired_filters(from));
+                }
+                ctx.send(
+                    from,
+                    off + self.cfg.ctrl_to_nf,
+                    Msg::Sb { op: OpId(0), call: crate::msg::SbCall::SyncEvents { filters } },
+                );
             }
             Msg::Alert { record } => {
                 let mut api =

@@ -243,6 +243,15 @@ pub enum SbCall {
         /// Which filter to remove.
         filter: Filter,
     },
+    /// `syncEvents(filters)` — atomically replaces the instance's entire
+    /// event-filter set with the given one. The controller's restart
+    /// re-synchronization: a recovered instance may hold filters installed
+    /// before its crash; one sync clears everything stale and re-installs
+    /// everything still wanted.
+    SyncEvents {
+        /// The desired `(filter, action)` set.
+        filters: Vec<(Filter, EventAction)>,
+    },
     /// Install a silent drop filter (no events) — the Split/Merge-style
     /// behaviour used by no-guarantee moves and baselines.
     AddDropFilter {
@@ -359,6 +368,10 @@ pub enum Msg {
     },
     /// Application/harness → controller: northbound command.
     Command(Command),
+    /// NF → controller: the instance just came back from a crash and may
+    /// hold stale southbound state (event filters installed before it went
+    /// down). The controller answers with [`SbCall::SyncEvents`].
+    NfRestarted,
     /// Node-internal timer (never crosses nodes).
     Timer {
         /// Correlation.

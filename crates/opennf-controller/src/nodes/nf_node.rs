@@ -408,6 +408,14 @@ impl NfNode {
                 }
                 ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
             }
+            SbCall::SyncEvents { filters } => {
+                let released = self.harness.sync_events_release(&filters);
+                for pkt in released {
+                    self.harness.process_released(&pkt);
+                    self.schedule_processing(ctx, &pkt, true);
+                }
+                ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
+            }
             SbCall::AddDropFilter { filter } => {
                 self.harness.add_drop_filter(filter);
                 ctx.send(self.ctrl, Dur::micros(10) + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
@@ -421,6 +429,15 @@ impl NfNode {
 }
 
 impl Node<Msg> for NfNode {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // A recovered process announces itself. Its harness state (event
+        // filters, buffers) survived the crash; the controller replies
+        // with a `SyncEvents` carrying the filter set it *should* hold —
+        // without this, a filter armed before the crash would keep
+        // dropping packets and raising stale events forever.
+        ctx.send(self.ctrl, self.cfg.ctrl_to_nf, Msg::NfRestarted);
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::Packet(pkt) => {

@@ -239,6 +239,23 @@ impl MoveOp {
         (self.prio.1, self.filter, self.dst)
     }
 
+    /// The event filters this op wants installed at `inst` right now —
+    /// the controller's restart re-synchronization consults this. Only the
+    /// source's drop filter is claimed: a completed (lingering) or aborted
+    /// move wants nothing, which is exactly what clears a crash-stale
+    /// filter, and a destination buffer filter is never re-claimed (a
+    /// restarted destination lost its buffer; buffering anew could only
+    /// wedge packets).
+    pub fn desired_filters(&self, inst: NodeId) -> Vec<(Filter, EventAction)> {
+        if self.reported
+            || inst != self.src
+            || matches!(self.props.variant, MoveVariant::NoGuarantee)
+        {
+            return Vec::new();
+        }
+        vec![(self.filter, EventAction::Drop)]
+    }
+
     /// Enters `phase`: resets the retry budget and arms a fresh watchdog.
     fn enter(&mut self, o: &mut OpCtx<'_, '_>, phase: Phase) {
         self.phase = phase;

@@ -80,6 +80,14 @@ pub struct ShareOp {
     watchdog_gen: u16,
     retries_left: u32,
     backoff: Dur,
+    /// Instances whose current setup-phase ack is still outstanding (one
+    /// entry per outstanding call) — the out-of-sync set a strict teardown
+    /// reports.
+    pending_insts: Vec<NodeId>,
+    /// The share was torn down after retry exhaustion
+    /// ([`crate::config::OpConfig::strict_share`]); it accepts no further
+    /// traffic and the controller drops it.
+    torn_down: bool,
     /// Packets fully synchronized so far.
     pub packets_synced: u64,
     /// The op's report (`end_ns` stays at start: shares don't complete).
@@ -119,6 +127,8 @@ impl ShareOp {
             watchdog_gen: 0,
             retries_left: 0,
             backoff: Dur::ZERO,
+            pending_insts: Vec::new(),
+            torn_down: false,
             packets_synced: 0,
             report: OpReport::new(id, kind.into(), now_ns),
         }
@@ -203,6 +213,7 @@ impl ShareOp {
         let action = self.event_action();
         for inst in self.insts.clone() {
             self.acks_outstanding += 1;
+            self.pending_insts.push(inst);
             o.sb(inst, self.id, SbCall::EnableEvents { filter: self.filter, action });
         }
         self.retries_left = o.cfg.op.sb_retries;
@@ -226,10 +237,12 @@ impl ShareOp {
         for inst in self.insts.clone() {
             if self.scope.multi_flow {
                 self.init_gets_outstanding += 1;
+                self.pending_insts.push(inst);
                 o.sb(inst, self.id, SbCall::GetMultiflow { filter: self.filter, stream: false });
             }
             if self.scope.all_flows {
                 self.init_gets_outstanding += 1;
+                self.pending_insts.push(inst);
                 o.sb(inst, self.id, SbCall::GetAllflows);
             }
         }
@@ -255,7 +268,38 @@ impl ShareOp {
             }
         }
         self.phase = Phase::Running;
+        self.pending_insts.clear();
         self.disarm_watchdog();
+    }
+
+    /// Removes one outstanding-ack entry for `inst`.
+    fn settle_pending(&mut self, inst: NodeId) {
+        if let Some(pos) = self.pending_insts.iter().position(|i| *i == inst) {
+            self.pending_insts.remove(pos);
+        }
+    }
+
+    /// True once a strict teardown ran; the controller finalizes the
+    /// report and drops the op.
+    pub fn torn_down(&self) -> bool {
+        self.torn_down
+    }
+
+    /// The instances whose setup acks never arrived (deduplicated).
+    pub fn out_of_sync(&self) -> Vec<NodeId> {
+        let mut out = self.pending_insts.clone();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The event filters this op wants installed at `inst` right now (the
+    /// controller's restart re-synchronization consults this).
+    pub fn desired_filters(&self, inst: NodeId) -> Vec<(Filter, opennf_nf::EventAction)> {
+        if self.torn_down || !self.insts.contains(&inst) {
+            return Vec::new();
+        }
+        vec![(self.filter, self.event_action())]
     }
 
     fn pump_group(&mut self, o: &mut OpCtx<'_, '_>, gid: FlowId) {
@@ -279,6 +323,9 @@ impl ShareOp {
 
     /// Event dispatch.
     pub fn on_event(&mut self, o: &mut OpCtx<'_, '_>, from: NodeId, ev: &NfEvent) {
+        if self.torn_down {
+            return;
+        }
         match ev {
             NfEvent::Received(pkt) => {
                 if matches!(self.consistency, ConsistencyLevel::Strict) || pkt.do_not_drop {
@@ -317,6 +364,9 @@ impl ShareOp {
 
     /// Strict mode: a matching packet arrived at the controller.
     pub fn on_packet_in(&mut self, o: &mut OpCtx<'_, '_>, pkt: &Packet) {
+        if self.torn_down {
+            return;
+        }
         if !matches!(self.consistency, ConsistencyLevel::Strict) {
             return;
         }
@@ -333,20 +383,32 @@ impl ShareOp {
 
     /// Southbound ack dispatch. `op` is the correlation id the reply came
     /// back with (base id or a group sub-id).
-    pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, op: OpId, reply: SbReply) {
+    pub fn on_sb_ack(&mut self, o: &mut OpCtx<'_, '_>, from: NodeId, op: OpId, reply: SbReply) {
+        if self.torn_down {
+            return;
+        }
         if op == self.id {
             // Base-id control traffic: arming + initial sync.
             match (self.phase, reply) {
+                // Phase advancement keys off `pending_insts`, not a bare
+                // count: watchdog retries re-send to every instance, so a
+                // reachable one acks twice — a count would hit zero and
+                // advance with the unreachable instance still un-armed.
                 (Phase::Arming, SbReply::Done) => {
                     self.acks_outstanding = self.acks_outstanding.saturating_sub(1);
-                    if self.acks_outstanding == 0 {
+                    self.settle_pending(from);
+                    if self.pending_insts.is_empty() {
                         self.begin_initial_sync(o);
                     }
                 }
                 (Phase::InitialSync, SbReply::Chunks { chunks }) => {
+                    if !self.pending_insts.contains(&from) {
+                        return; // duplicate reply from a retry re-send
+                    }
                     self.init_chunks.extend(chunks);
                     self.init_gets_outstanding = self.init_gets_outstanding.saturating_sub(1);
-                    if self.init_gets_outstanding == 0 {
+                    self.settle_pending(from);
+                    if self.pending_insts.is_empty() {
                         self.finish_initial_sync(o);
                     }
                 }
@@ -447,13 +509,47 @@ impl ShareOp {
                 Phase::Running => {}
             }
             self.rearm_after(o, backoff);
+        } else if o.cfg.op.strict_share {
+            // Strict mode: an instance that never acked its setup call is
+            // out of sync with the share group; proceeding would hand it
+            // live traffic against stale state. Tear the share down —
+            // disable the event filters everywhere (best effort: an
+            // unreachable instance is re-synced by the restart
+            // announcement path when it comes back) and report exactly
+            // which instances were left behind.
+            let out = self.out_of_sync();
+            self.report.abort(
+                format!(
+                    "share setup stalled in {:?} ({} retries exhausted); torn down, out-of-sync instances: {:?}",
+                    self.phase, o.cfg.op.sb_retries, out
+                ),
+                out.first().copied(),
+            );
+            self.torn_down = true;
+            // Packets queued for an inject → sync cycle that will now
+            // never run were dropped at their instance: account them.
+            let mut lost: Vec<u64> = self
+                .groups
+                .values()
+                .flat_map(|g| g.queue.iter().map(|(_, p)| p.uid))
+                .collect();
+            lost.sort_unstable();
+            lost.dedup();
+            self.report.abort_lost.extend(lost);
+            for inst in self.insts.clone() {
+                o.sb(inst, self.id, SbCall::DisableEvents { filter: self.filter });
+            }
+            self.groups.clear();
+            self.sub_index.clear();
+            self.disarm_watchdog();
         } else {
             self.report.abort(
                 format!("share setup stalled in {:?} ({} retries exhausted)",
                     self.phase, o.cfg.op.sb_retries),
                 None,
             );
-            // Proceed degraded rather than wedge.
+            // Proceed degraded rather than wedge (the historical default;
+            // see `OpConfig::strict_share` for the teardown alternative).
             match self.phase {
                 Phase::Arming => {
                     self.acks_outstanding = 0;

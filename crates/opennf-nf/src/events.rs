@@ -140,6 +140,37 @@ impl EventedNf {
         self.process_now(pkt);
     }
 
+    /// `syncEvents(desired)`: replaces the entire event-filter set — the
+    /// controller's restart re-synchronization primitive. Filters absent
+    /// from `desired` are disabled and their buffered packets are
+    /// returned, in arrival order, for the caller to process; filters in
+    /// `desired` are (re-)installed with their action.
+    #[must_use = "released packets must be processed by the caller"]
+    pub fn sync_events_release(&mut self, desired: &[(Filter, EventAction)]) -> Vec<Packet> {
+        let stale: Vec<Filter> = self
+            .event_filters
+            .iter()
+            .map(|(f, _)| *f)
+            .filter(|f| !desired.iter().any(|(d, _)| d == f))
+            .collect();
+        let mut released = Vec::new();
+        for f in &stale {
+            released.extend(self.disable_events_release(f));
+        }
+        for (f, a) in desired {
+            self.enable_events(*f, *a);
+        }
+        released
+    }
+
+    /// [`EventedNf::sync_events_release`] + immediate processing of the
+    /// released packets (callers without a timed processing path).
+    pub fn sync_events(&mut self, desired: &[(Filter, EventAction)]) {
+        for pkt in self.sync_events_release(desired) {
+            self.process_now(&pkt);
+        }
+    }
+
     /// Installs a silent drop filter (no events raised).
     pub fn add_drop_filter(&mut self, filter: Filter) {
         if !self.drop_filters.contains(&filter) {

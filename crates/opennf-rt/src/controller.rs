@@ -16,9 +16,11 @@ use opennf_nf::{EventedNf, NetworkFunction};
 use opennf_packet::Filter;
 
 use crate::error::RtError;
+use crate::faults::{worker_node, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 use crate::router::Router;
 use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
-use crate::worker::{spawn_worker, WorkerHandle};
+use crate::worker::{spawn_worker_faulty, WorkerHandle};
+use opennf_util::FaultPlan;
 
 /// How long the controller waits for any single southbound reply before
 /// declaring the request dead.
@@ -45,29 +47,109 @@ pub struct RtController {
     from_workers: Receiver<String>,
     to_ctrl: Sender<String>,
     next_id: u64,
+    /// Controller → worker links (shimmed when a fault plan is armed).
+    ctrl_links: Vec<FaultyChannel>,
+    /// Router → worker links (what fault-aware generators send through).
+    data_links: Vec<FaultyChannel>,
+    reply_timeout: Duration,
+    /// Packet uids the last aborted move could not replay (its explicit
+    /// loss accounting, mirroring the simulator's `abort_lost`).
+    last_abort_lost: Vec<u64>,
 }
 
 impl RtController {
     /// Spawns one worker per NF; installs a default route to worker 0.
     pub fn new(nfs: Vec<Box<dyn NetworkFunction>>) -> Self {
+        Self::build(nfs, None)
+    }
+
+    /// Like [`RtController::new`], but every channel — controller → worker,
+    /// router → worker, worker → controller — runs through a
+    /// [`FaultyChannel`] armed with `plan`. Returns the shared
+    /// [`RtFaults`] so the caller can read the injected-fault ledger and
+    /// join the delay pump after shutdown.
+    pub fn new_with_faults(
+        nfs: Vec<Box<dyn NetworkFunction>>,
+        plan: FaultPlan,
+    ) -> (Self, Arc<RtFaults>) {
+        let (faults, pump) = RtFaults::arm(plan);
+        let ctrl = Self::build(nfs, Some((faults.clone(), pump)));
+        (ctrl, faults)
+    }
+
+    fn build(
+        nfs: Vec<Box<dyn NetworkFunction>>,
+        faults: Option<(Arc<RtFaults>, crossbeam::channel::Sender<crate::faults::PumpJob>)>,
+    ) -> Self {
         let (to_ctrl, from_workers) = unbounded();
+        let n = nfs.len();
         let workers: Vec<WorkerHandle> = nfs
             .into_iter()
             .enumerate()
-            .map(|(i, nf)| spawn_worker(i, nf, to_ctrl.clone()))
+            .map(|(i, nf)| {
+                let up = match &faults {
+                    Some((f, pump)) => FaultyChannel::shimmed(
+                        to_ctrl.clone(),
+                        worker_node(i),
+                        CTRL_NODE,
+                        f.clone(),
+                        pump.clone(),
+                    ),
+                    None => FaultyChannel::passthrough(to_ctrl.clone()),
+                };
+                spawn_worker_faulty(i, nf, up)
+            })
             .collect();
+        let link = |i: usize, src| match &faults {
+            Some((f, pump)) => FaultyChannel::shimmed(
+                workers[i].tx.clone(),
+                src,
+                worker_node(i),
+                f.clone(),
+                pump.clone(),
+            ),
+            None => FaultyChannel::passthrough(workers[i].tx.clone()),
+        };
+        let ctrl_links = (0..n).map(|i| link(i, CTRL_NODE)).collect();
+        let data_links = (0..n).map(|i| link(i, ROUTER_NODE)).collect();
         let router = Arc::new(Router::new());
         router.install(0, Filter::any(), 0);
-        RtController { workers, router, from_workers, to_ctrl, next_id: 1 }
+        RtController {
+            workers,
+            router,
+            from_workers,
+            to_ctrl,
+            next_id: 1,
+            ctrl_links,
+            data_links,
+            reply_timeout: REPLY_TIMEOUT,
+            last_abort_lost: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-reply southbound timeout (fault soaks use a short
+    /// one so a dropped request fails the operation quickly).
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Sends `msg` to worker `i` over the (possibly shimmed) controller
+    /// link. An injected drop is a *successful* send — the message just
+    /// never arrives, exactly as on a real network.
+    fn send_to_worker(&self, i: usize, msg: &WireMsg) -> Result<(), RtError> {
+        self.ctrl_links[i].send(msg).map_err(|_| RtError::WorkerGone { worker: i })
     }
 
     /// Injects a packet through the router (what generator threads do via
     /// a clone of [`RtController::router`] and worker senders — this
     /// method is the single-threaded convenience). Fails if the routed-to
-    /// worker is dead.
+    /// worker is dead. Runs through the router → worker fault shim.
     pub fn inject(&self, pkt: opennf_packet::Packet) -> Result<(), RtError> {
         if let Some(w) = self.router.route(&pkt) {
-            self.workers[w].send(&WireMsg::Packet { packet: pkt })?;
+            self.data_links[w]
+                .send(&WireMsg::Packet { packet: pkt })
+                .map_err(|_| RtError::WorkerGone { worker: w })?;
         }
         Ok(())
     }
@@ -75,6 +157,12 @@ impl RtController {
     /// A clone of worker `i`'s channel (for generator threads).
     pub fn worker_tx(&self, i: usize) -> Sender<String> {
         self.workers[i].tx.clone()
+    }
+
+    /// The router → worker `i` link, fault shim included (what generator
+    /// threads in fault-armed runs should send packets through).
+    pub fn data_tx(&self, i: usize) -> FaultyChannel {
+        self.data_links[i].clone()
     }
 
     /// Sender for controller-bound messages (used by tests to emulate
@@ -86,7 +174,7 @@ impl RtController {
     fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.workers[worker].send(&WireMsg::Request { id, call })?;
+        self.send_to_worker(worker, &WireMsg::Request { id, call })?;
         Ok(id)
     }
 
@@ -95,7 +183,7 @@ impl RtController {
     /// any worker aborts the wait — that reply is never coming.
     fn await_reply(&self, id: u64, events: &mut Vec<WireEvent>) -> Result<WireReply, RtError> {
         loop {
-            let raw = self.from_workers.recv_timeout(REPLY_TIMEOUT).map_err(|e| match e {
+            let raw = self.from_workers.recv_timeout(self.reply_timeout).map_err(|e| match e {
                 RecvTimeoutError::Timeout => RtError::Timeout { id },
                 RecvTimeoutError::Disconnected => RtError::ChannelClosed,
             })?;
@@ -121,11 +209,13 @@ impl RtController {
 
     /// Replays a buffered event packet to `dst` (marked do-not-buffer /
     /// do-not-drop, §4.3). Returns how many packets were sent (0 or 1).
-    fn replay(workers: &[WorkerHandle], dst: usize, ev: WireEvent) -> Result<usize, RtError> {
+    fn replay(links: &[FaultyChannel], dst: usize, ev: WireEvent) -> Result<usize, RtError> {
         if let WireEvent::PacketReceived { mut packet } = ev {
             packet.do_not_buffer = true;
             packet.do_not_drop = true;
-            workers[dst].send(&WireMsg::Packet { packet })?;
+            links[dst]
+                .send(&WireMsg::Packet { packet })
+                .map_err(|_| RtError::WorkerGone { worker: dst })?;
             Ok(1)
         } else {
             Ok(0)
@@ -149,14 +239,51 @@ impl RtController {
         dst: usize,
         filter: Filter,
     ) -> Result<MoveStats, RtError> {
-        let start = Instant::now();
+        self.last_abort_lost.clear();
         let mut events: Vec<WireEvent> = Vec::new();
+        let mut flipped = false;
+        match self.try_move(src, dst, filter, &mut events, &mut flipped) {
+            Ok(mut stats) => {
+                // Converge: tear the event filter down over the management
+                // channel and replay whatever the teardown flushes out, so
+                // no straggler is ever silently dropped at the source.
+                let (extra, lost) = self.settle(src, dst, filter, events);
+                stats.events_replayed += extra;
+                self.last_abort_lost = lost;
+                Ok(stats)
+            }
+            Err(e) => {
+                // Abort: restore a quiescent source (no stale filter) and
+                // replay buffered events back to wherever the route points;
+                // anything unreplayable is recorded in `abort_lost`.
+                let replay_to = if flipped { dst } else { src };
+                let (_, lost) = self.settle(src, replay_to, filter, events);
+                self.last_abort_lost = lost;
+                Err(e)
+            }
+        }
+    }
+
+    /// Uids the last move explicitly gave up on (abort accounting).
+    pub fn abort_lost(&self) -> &[u64] {
+        &self.last_abort_lost
+    }
+
+    fn try_move(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+        events: &mut Vec<WireEvent>,
+        flipped: &mut bool,
+    ) -> Result<MoveStats, RtError> {
+        let start = Instant::now();
 
         let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
-        Self::expect_done(self.await_reply(id, &mut events)?)?;
+        Self::expect_done(self.await_reply(id, events)?)?;
 
         let id = self.call(src, WireCall::GetPerflow { filter })?;
-        let chunks = match self.await_reply(id, &mut events)? {
+        let chunks = match self.await_reply(id, events)? {
             WireReply::Chunks { chunks } => chunks,
             WireReply::Error { message } => return Err(RtError::Wire(message)),
             other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
@@ -166,10 +293,10 @@ impl RtController {
         let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
 
         let id = self.call(src, WireCall::DelPerflow { flow_ids })?;
-        Self::expect_done(self.await_reply(id, &mut events)?)?;
+        Self::expect_done(self.await_reply(id, events)?)?;
 
         let id = self.call(dst, WireCall::PutPerflow { chunks })?;
-        Self::expect_done(self.await_reply(id, &mut events)?)?;
+        Self::expect_done(self.await_reply(id, events)?)?;
 
         // Replay everything buffered so far, then flip the route. Events
         // still in flight after the flip drain in the background loop
@@ -177,9 +304,10 @@ impl RtController {
         // we poll the channel briefly after flipping).
         let mut replayed = 0usize;
         for ev in events.drain(..) {
-            replayed += Self::replay(&self.workers, dst, ev)?;
+            replayed += Self::replay(&self.ctrl_links, dst, ev)?;
         }
         self.router.install(10, filter, dst);
+        *flipped = true;
         // Drain stragglers: packets that were already queued toward src
         // when the route flipped still raise events.
         let deadline = Instant::now() + Duration::from_millis(200);
@@ -190,7 +318,7 @@ impl RtController {
                         return Err(RtError::NfFailed { worker, reason });
                     }
                     Ok(WireMsg::Event { ev, .. }) => {
-                        replayed += Self::replay(&self.workers, dst, ev)?;
+                        replayed += Self::replay(&self.ctrl_links, dst, ev)?;
                     }
                     _ => {}
                 },
@@ -202,8 +330,69 @@ impl RtController {
         Ok(MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() })
     }
 
+    /// Tears the move's event filter down at `src` over the *management
+    /// channel* (the raw, unshimmed worker channel — standing in for the
+    /// reliable control connection the paper's controller keeps), waits for
+    /// the ack while collecting the events the teardown flushes out, and
+    /// replays every collected event to `replay_to` marked
+    /// do-not-buffer/do-not-drop. The worker channel is FIFO, so once the
+    /// disable acks, no further events can be raised by that filter.
+    /// Returns `(replayed, lost_uids)`: uids whose replay failed (dead
+    /// worker) are the move's explicit loss accounting.
+    fn settle(
+        &mut self,
+        src: usize,
+        replay_to: usize,
+        filter: Filter,
+        mut events: Vec<WireEvent>,
+    ) -> (usize, Vec<u64>) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let disable = WireMsg::Request { id, call: WireCall::DisableEvents { filter } };
+        if self.workers[src].send(&disable).is_ok() {
+            // Collect events until the ack (or the worker dies / times out).
+            let deadline = Instant::now() + self.reply_timeout;
+            loop {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.from_workers.recv_timeout(left) {
+                    Ok(raw) => match WireMsg::from_json(&raw) {
+                        Ok(WireMsg::Response { id: rid, .. }) if rid == id => break,
+                        Ok(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => break,
+                        Ok(WireMsg::Event { ev, .. }) => events.push(ev),
+                        _ => {}
+                    },
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut replayed = 0usize;
+        let mut lost = Vec::new();
+        for ev in events {
+            if let WireEvent::PacketReceived { mut packet } = ev {
+                packet.do_not_buffer = true;
+                packet.do_not_drop = true;
+                let uid = packet.uid;
+                // Replay over the management channel too: the abort path
+                // must converge even while the fault plan is hostile.
+                if self.workers[replay_to].send(&WireMsg::Packet { packet }).is_ok() {
+                    replayed += 1;
+                } else {
+                    lost.push(uid);
+                }
+            }
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        (replayed, lost)
+    }
+
     /// Shuts all workers down and returns their harnesses in index order.
+    /// Shutdown bypasses the fault shim — teardown must not be droppable.
     pub fn shutdown(self) -> Vec<EventedNf> {
+        // Drop the shimmed links first so the delay pump can drain and
+        // exit once the workers join.
+        drop(self.ctrl_links);
+        drop(self.data_links);
         self.workers.into_iter().map(WorkerHandle::shutdown).collect()
     }
 }

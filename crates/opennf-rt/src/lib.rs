@@ -20,10 +20,14 @@
 //! Failures are first-class: NF panics are caught inside the worker and
 //! reported as [`WireEvent::NfFailed`], channel deaths and reply timeouts
 //! surface as typed [`RtError`]s, and the controller never panics because
-//! an instance died.
+//! an instance died. The [`faults`] module extends the simulator's seeded
+//! [`opennf_util::FaultPlan`] to these channels, so the JSON southbound
+//! path can be soak-tested under the same replayable failure schedules as
+//! the simulator.
 
 pub mod controller;
 pub mod error;
+pub mod faults;
 pub mod router;
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -32,6 +36,7 @@ pub mod worker;
 
 pub use controller::{MoveStats, RtController};
 pub use error::RtError;
+pub use faults::{worker_node, FaultLedger, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 pub use router::Router;
 pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
-pub use worker::{spawn_worker, WorkerHandle};
+pub use worker::{spawn_worker, spawn_worker_faulty, WorkerHandle};

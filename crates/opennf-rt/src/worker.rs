@@ -13,6 +13,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
 
 use crate::error::RtError;
+use crate::faults::FaultyChannel;
 use crate::wire::{WireCall, WireEvent, WireMsg, WireReply};
 
 /// Handle to a running worker.
@@ -45,11 +46,22 @@ impl WorkerHandle {
 }
 
 /// Spawns a worker thread for `nf`. All controller-bound traffic
-/// (responses and events) goes to `to_ctrl` as JSON.
+/// (responses and events) goes to `to_ctrl` as JSON — a plain sender,
+/// unshimmed. Fault-armed runs use [`spawn_worker_faulty`].
 pub fn spawn_worker(
     index: usize,
     nf: Box<dyn NetworkFunction>,
     to_ctrl: Sender<String>,
+) -> WorkerHandle {
+    spawn_worker_faulty(index, nf, FaultyChannel::passthrough(to_ctrl))
+}
+
+/// Spawns a worker whose controller-bound link runs through the fault
+/// shim (or a passthrough).
+pub fn spawn_worker_faulty(
+    index: usize,
+    nf: Box<dyn NetworkFunction>,
+    to_ctrl: FaultyChannel,
 ) -> WorkerHandle {
     let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
     let join = std::thread::Builder::new()
@@ -59,13 +71,13 @@ pub fn spawn_worker(
     WorkerHandle { index, tx, join: Some(join) }
 }
 
-fn send_events(index: usize, to_ctrl: &Sender<String>, events: Vec<NfEvent>) {
+fn send_events(index: usize, to_ctrl: &FaultyChannel, events: Vec<NfEvent>) {
     for ev in events {
         let wire = match ev {
             NfEvent::Received(packet) => WireEvent::PacketReceived { packet },
             NfEvent::Processed(packet) => WireEvent::PacketProcessed { packet },
         };
-        let _ = to_ctrl.send(WireMsg::Event { worker: index, ev: wire }.to_json());
+        let _ = to_ctrl.send(&WireMsg::Event { worker: index, ev: wire });
     }
 }
 
@@ -85,17 +97,17 @@ fn worker_loop(
     index: usize,
     nf: Box<dyn NetworkFunction>,
     rx: Receiver<String>,
-    to_ctrl: Sender<String>,
+    to_ctrl: FaultyChannel,
 ) -> EventedNf {
     let mut harness = EventedNf::new(nf);
     while let Ok(raw) = rx.recv() {
         let msg = match WireMsg::from_json(&raw) {
             Ok(m) => m,
             Err(e) => {
-                let _ = to_ctrl.send(
-                    WireMsg::Response { id: 0, reply: WireReply::Error { message: e.to_string() } }
-                        .to_json(),
-                );
+                let _ = to_ctrl.send(&WireMsg::Response {
+                    id: 0,
+                    reply: WireReply::Error { message: e.to_string() },
+                });
                 continue;
             }
         };
@@ -106,10 +118,8 @@ fn worker_loop(
                     Ok((_outcome, events)) => send_events(index, &to_ctrl, events),
                     Err(payload) => {
                         let reason = panic_reason(payload);
-                        let _ = to_ctrl.send(
-                            WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } }
-                                .to_json(),
-                        );
+                        let _ = to_ctrl
+                            .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
                         break;
                     }
                 }
@@ -117,14 +127,12 @@ fn worker_loop(
             WireMsg::Request { id, call } => {
                 match catch_unwind(AssertUnwindSafe(|| handle_call(&mut harness, call))) {
                     Ok(reply) => {
-                        let _ = to_ctrl.send(WireMsg::Response { id, reply }.to_json());
+                        let _ = to_ctrl.send(&WireMsg::Response { id, reply });
                     }
                     Err(payload) => {
                         let reason = panic_reason(payload);
-                        let _ = to_ctrl.send(
-                            WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } }
-                                .to_json(),
-                        );
+                        let _ = to_ctrl
+                            .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
                         break;
                     }
                 }

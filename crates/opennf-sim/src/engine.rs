@@ -10,15 +10,7 @@ use crate::metrics::Counters;
 use crate::rng::SimRng;
 use crate::time::{Dur, Time};
 
-/// Identifies a node registered with an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub usize);
-
-impl std::fmt::Display for NodeId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
+pub use opennf_util::NodeId;
 
 /// A simulated component: switch, link, host, NF instance, or controller.
 ///
@@ -29,6 +21,13 @@ impl std::fmt::Display for NodeId {
 pub trait Node<M>: Any {
     /// Called once before the first event is delivered.
     fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called when a fault-plan restart brings this node back after a
+    /// crash window. The node's state is whatever it held at the crash
+    /// (a recovered process, not a fresh one); the hook is where it
+    /// announces the restart so peers can re-sync what was lost in the
+    /// window.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 
     /// Called for each message delivered to this node.
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
@@ -114,6 +113,9 @@ pub struct Engine<M> {
     started: bool,
     delivered: u64,
     fault: Option<FaultState<M>>,
+    /// Plan restarts not yet fired, soonest first; each fires the node's
+    /// [`Node::on_restart`] hook before any same-or-later-time delivery.
+    pending_restarts: Vec<(Time, NodeId)>,
 }
 
 impl<M: Clone + 'static> Engine<M> {
@@ -129,6 +131,7 @@ impl<M: Clone + 'static> Engine<M> {
             started: false,
             delivered: 0,
             fault: None,
+            pending_restarts: Vec::new(),
         }
     }
 
@@ -136,6 +139,8 @@ impl<M: Clone + 'static> Engine<M> {
     /// fault randomness, so the engine PRNG stream is untouched and the
     /// same `(seed, plan)` pair replays byte-identically.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.pending_restarts = plan.restarts.iter().map(|&(n, t)| (t, n)).collect();
+        self.pending_restarts.sort();
         self.fault = Some(FaultState::new(plan));
     }
 
@@ -249,10 +254,49 @@ impl<M: Clone + 'static> Engine<M> {
         }
     }
 
+    /// Fires the next pending restart hook if it is due before (or at)
+    /// the next queued event. Restart-at-T beats delivery-at-T because
+    /// [`FaultState::is_down`] already counts the node as up at T.
+    fn fire_due_restart(&mut self) -> bool {
+        let Some(&(at, node)) = self.pending_restarts.first() else {
+            return false;
+        };
+        let next_ev = self.queue.peek().map(|Reverse(e)| e.time);
+        if next_ev.is_some_and(|t| t < at) {
+            return false;
+        }
+        self.pending_restarts.remove(0);
+        if at > self.clock {
+            self.clock = at;
+        }
+        let idx = node.0;
+        let Some(slot) = self.nodes.get_mut(idx) else {
+            return true; // restart of an unknown node: ignore
+        };
+        let mut n = slot.take().expect("re-entrant restart");
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.clock,
+                me: node,
+                outbox: &mut outbox,
+                rng: &mut self.rng,
+                counters: &mut self.counters,
+            };
+            n.on_restart(&mut ctx);
+        }
+        self.nodes[idx] = Some(n);
+        self.flush_outbox(outbox);
+        true
+    }
+
     /// Delivers the next event, if any. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
+        if self.fire_due_restart() {
+            return true;
+        }
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
@@ -312,11 +356,18 @@ impl<M: Clone + 'static> Engine<M> {
     pub fn run_until(&mut self, deadline: Time) {
         self.start_if_needed();
         loop {
+            let due = |t: &Time| *t <= deadline;
             match self.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
+                Some(Reverse(ev)) if due(&ev.time) => {
                     self.step();
                 }
                 _ => {
+                    // Queue is drained (or past the deadline) but a
+                    // restart hook may still be due within it.
+                    if self.pending_restarts.first().map(|(t, _)| t).is_some_and(due) {
+                        self.fire_due_restart();
+                        continue;
+                    }
                     if self.clock < deadline {
                         self.clock = deadline;
                     }

@@ -24,12 +24,27 @@
 //!
 //! The message type is a crate-level generic (`Engine<M>`); the network and
 //! controller crates instantiate it with their own message enum.
+//!
+//! The runtime-agnostic pieces — [`Time`]/[`Dur`], [`SimRng`], [`NodeId`],
+//! and the fault-plan vocabulary — live in `opennf-util` so the threaded
+//! runtime (`opennf-rt`) can consume the *same* seeded [`FaultPlan`]; this
+//! crate re-exports them at their historical paths.
 
 pub mod engine;
-pub mod fault;
 pub mod metrics;
-pub mod rng;
-pub mod time;
+
+/// Fault-plan vocabulary (re-exported from `opennf-util::fault`).
+pub mod fault {
+    pub use opennf_util::fault::*;
+}
+/// Seeded PRNG (re-exported from `opennf-util::rng`).
+pub mod rng {
+    pub use opennf_util::rng::*;
+}
+/// Virtual time (re-exported from `opennf-util::time`).
+pub mod time {
+    pub use opennf_util::time::*;
+}
 
 pub use engine::{Ctx, Engine, Node, NodeId};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, LinkRule};

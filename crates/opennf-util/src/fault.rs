@@ -28,7 +28,7 @@
 //! a packet may be unprocessed only if the fault log or an abort report
 //! accounts for it.
 
-use crate::engine::NodeId;
+use crate::node::NodeId;
 use crate::rng::SimRng;
 use crate::time::{Dur, Time};
 
@@ -67,7 +67,11 @@ pub struct LinkRule {
 }
 
 impl LinkRule {
-    fn applies(&self, src: NodeId, dst: NodeId, t: Time) -> bool {
+    /// True if the rule covers a message from `src` to `dst` scheduled at
+    /// `t`. Runtimes that keep per-link dice streams (the threaded runtime
+    /// does; see `opennf-rt::faults`) call this directly instead of going
+    /// through [`FaultState::link_verdict`].
+    pub fn applies(&self, src: NodeId, dst: NodeId, t: Time) -> bool {
         self.src.map(|s| s == src).unwrap_or(true)
             && self.dst.map(|d| d == dst).unwrap_or(true)
             && t >= self.from
@@ -136,6 +140,29 @@ impl FaultPlan {
     pub fn stall(mut self, node: NodeId, from: Time, until: Time) -> Self {
         self.stalls.push((node, from, until));
         self
+    }
+
+    /// True if `node` is crashed (and not yet restarted) at `t`.
+    pub fn is_down(&self, node: NodeId, t: Time) -> bool {
+        let last_crash = self
+            .crashes
+            .iter()
+            .filter(|(n, at)| *n == node && *at <= t)
+            .map(|(_, at)| *at)
+            .max();
+        match last_crash {
+            None => false,
+            Some(c) => !self.restarts.iter().any(|(n, at)| *n == node && *at > c && *at <= t),
+        }
+    }
+
+    /// If `node` is stalled at `t`, the time deliveries defer to.
+    pub fn stall_until(&self, node: NodeId, t: Time) -> Option<Time> {
+        self.stalls
+            .iter()
+            .filter(|(n, from, until)| *n == node && t >= *from && t < *until)
+            .map(|(_, _, until)| *until)
+            .max()
     }
 }
 
@@ -226,7 +253,7 @@ impl<M> FaultState<M> {
     /// First link rule that matches and wins its dice roll. One roll per
     /// matching rule, in plan order, so outcomes depend only on the plan
     /// and the message schedule.
-    pub(crate) fn link_verdict(&mut self, src: NodeId, dst: NodeId, t: Time) -> Option<FaultKind> {
+    pub fn link_verdict(&mut self, src: NodeId, dst: NodeId, t: Time) -> Option<FaultKind> {
         // Split out of `self.plan` to satisfy the borrow on `self.rng`.
         for i in 0..self.plan.links.len() {
             let rule = self.plan.links[i];
@@ -238,33 +265,18 @@ impl<M> FaultState<M> {
     }
 
     /// Uniform jitter in `[0, max]` from the fault PRNG.
-    pub(crate) fn jitter(&mut self, max: Dur) -> Dur {
+    pub fn jitter(&mut self, max: Dur) -> Dur {
         Dur::nanos(self.rng.below(max.as_nanos() + 1))
     }
 
     /// True if `node` is crashed (and not yet restarted) at `t`.
     pub fn is_down(&self, node: NodeId, t: Time) -> bool {
-        let last_crash = self
-            .plan
-            .crashes
-            .iter()
-            .filter(|(n, at)| *n == node && *at <= t)
-            .map(|(_, at)| *at)
-            .max();
-        match last_crash {
-            None => false,
-            Some(c) => !self.plan.restarts.iter().any(|(n, at)| *n == node && *at > c && *at <= t),
-        }
+        self.plan.is_down(node, t)
     }
 
     /// If `node` is stalled at `t`, the time deliveries defer to.
     pub fn stall_until(&self, node: NodeId, t: Time) -> Option<Time> {
-        self.plan
-            .stalls
-            .iter()
-            .filter(|(n, from, until)| *n == node && t >= *from && t < *until)
-            .map(|(_, _, until)| *until)
-            .max()
+        self.plan.stall_until(node, t)
     }
 
     /// Number of messages that never arrived.

@@ -12,11 +12,30 @@
 //!   38% improving execution latency from 110ms to 70ms").
 //! * [`stats`] — small, allocation-light summary statistics (mean, max,
 //!   percentiles, confidence intervals) used by every experiment harness.
+//!
+//! It also hosts the types shared by *both* runtimes — the deterministic
+//! simulator (`opennf-sim`) and the threaded runtime (`opennf-rt`) — so a
+//! single seeded failure schedule can drive either:
+//!
+//! * [`time`] — virtual time ([`Time`], [`Dur`]); the threaded runtime maps
+//!   these onto wall-clock ticks.
+//! * [`rng`] — the seeded [`SimRng`] PRNG (SplitMix64 → xoshiro256++).
+//! * [`node`] — the [`NodeId`] address space common to both runtimes.
+//! * [`fault`] — seeded, replayable fault schedules ([`FaultPlan`]) and the
+//!   live injection record ([`FaultState`]).
 
 pub mod compress;
+pub mod fault;
 pub mod md5;
+pub mod node;
+pub mod rng;
 pub mod stats;
+pub mod time;
 
 pub use compress::{compress, decompress};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, LinkRule};
 pub use md5::Md5;
+pub use node::NodeId;
+pub use rng::SimRng;
 pub use stats::Summary;
+pub use time::{Dur, Time};

@@ -1,0 +1,17 @@
+//! Node identity, shared by every runtime.
+//!
+//! Both the discrete-event simulator (`opennf-sim`) and the threaded
+//! runtime (`opennf-rt`) address participants by the same [`NodeId`], so a
+//! [`crate::fault::FaultPlan`] written against one runtime's node layout
+//! applies verbatim to the other.
+
+/// Identifies a node registered with a runtime (an engine node in the
+/// simulator; the controller, router, or a worker in `opennf-rt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}

@@ -1,0 +1,104 @@
+//! Differential fault soak: iterate random `(seed, mask)` specs through
+//! both runtimes (simulator + threaded) and stop at the first oracle or
+//! conformance violation, shrinking it to a minimal failing mask and
+//! printing a one-command reproduction.
+//!
+//! ```text
+//! cargo run --release --example soak                      # 100 seeds, default mask
+//! cargo run --release --example soak -- --seeds 500       # longer pass
+//! cargo run --release --example soak -- --start 1000      # different seed range
+//! cargo run --release --example soak -- --seed 7          # one specific case
+//! cargo run --release --example soak -- --seed 7 --mask 0x21   # exact repro
+//! ```
+//!
+//! Exit status: 0 when every case passed, 1 on the first failure (after
+//! printing `REPRO: cargo run --release --example soak -- --seed S --mask M`).
+
+use conformance::{differential, shrink_mask, Spec, M_DEFAULT};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    single: Option<u64>,
+    mask: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seeds: 100, start: 1, single: None, mask: M_DEFAULT };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--seeds" => args.seeds = val("--seeds").parse().expect("--seeds: u64"),
+            "--start" => args.start = val("--start").parse().expect("--start: u64"),
+            "--seed" => args.single = Some(val("--seed").parse().expect("--seed: u64")),
+            "--mask" => {
+                let v = val("--mask");
+                args.mask = if let Some(hex) = v.strip_prefix("0x") {
+                    u32::from_str_radix(hex, 16).expect("--mask: hex u32")
+                } else {
+                    v.parse().expect("--mask: u32")
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak [--seeds N] [--start S0] [--seed S] [--mask M]\n\
+                     default: seeds 1..=100, mask 0x{M_DEFAULT:x} (all faults + full load)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    args
+}
+
+fn run_case(seed: u64, mask: u32) -> Result<(), String> {
+    let spec = Spec::from_seed(seed, mask);
+    let r = differential(&spec);
+    if r.ok {
+        Ok(())
+    } else {
+        Err(r.detail)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let seeds: Vec<u64> = match args.single {
+        Some(s) => vec![s],
+        None => (args.start..args.start + args.seeds).collect(),
+    };
+    let total = seeds.len();
+    let mut passed = 0usize;
+    for (i, seed) in seeds.into_iter().enumerate() {
+        match run_case(seed, args.mask) {
+            Ok(()) => {
+                passed += 1;
+                if (i + 1) % 10 == 0 || i + 1 == total {
+                    println!("[{}/{}] ok through seed {}", i + 1, total, seed);
+                }
+            }
+            Err(detail) => {
+                println!("FAIL seed={} mask=0x{:x}: {}", seed, args.mask, detail);
+                // Shrink: greedily clear mask bits while the failure holds,
+                // then try the reduced-load variant of the survivor.
+                println!("shrinking...");
+                let minimal = shrink_mask(args.mask, |m| run_case(seed, m).is_err());
+                let spec = Spec::from_seed(seed, minimal);
+                println!(
+                    "minimal failing mask: 0x{:x} ({} link rules, {} crashes, {} stalls)",
+                    minimal,
+                    spec.plan.links.len(),
+                    spec.plan.crashes.len(),
+                    spec.plan.stalls.len()
+                );
+                println!("REPRO: {}", spec.repro());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("soak clean: {passed}/{total} specs passed (mask 0x{:x})", args.mask);
+}

@@ -161,3 +161,75 @@ fn identical_seed_and_fault_plan_replay_identically() {
     assert_eq!(a.1, b.1, "operation reports identical");
     assert_eq!(a.2, b.2, "accounted uids identical");
 }
+
+/// `strict_share` teardown: when a share's southbound traffic to one
+/// instance is severed past retry exhaustion, strict mode must not limp
+/// along half-synchronized — it tears the whole share down, disables
+/// every redirect filter, and reports exactly which instances are
+/// out of sync.
+#[test]
+fn strict_share_tears_down_on_retry_exhaustion_and_names_out_of_sync_instances() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(20);
+    cfg.op.sb_retries = 1;
+    cfg.op.sb_retry_backoff = Dur::millis(5);
+    cfg.op.strict_share = true;
+    // Controller → second instance is dead for the whole setup window, so
+    // the arming call and its one retry are both swallowed.
+    let plan = FaultPlan::new(7).sever(NodeId(0), NodeId(3), Time(0), Time(200_000_000));
+    let mut s = two_monitor_scenario(cfg, 12, 1_500, Dur::millis(300), 11, Some(plan));
+    let insts = s.instances.clone();
+    s.issue_at(
+        Dur::millis(10),
+        Command::Share {
+            insts,
+            filter: Filter::any(),
+            scope: ScopeSet::multi_flow(),
+            consistency: ConsistencyLevel::Strong,
+        },
+    );
+    s.run_to_completion();
+
+    // The share was dropped, not left in-flight.
+    assert_eq!(s.controller().inflight_ops(), 0, "share must be torn down");
+    let reports = s.controller().reports_of("share");
+    assert_eq!(reports.len(), 1, "teardown produces exactly one report");
+    assert!(reports[0].outcome.is_aborted(), "outcome: {:?}", reports[0].outcome);
+    let reason = format!("{:?}", reports[0].outcome);
+    assert!(reason.contains("out-of-sync"), "report names stragglers: {reason}");
+    assert_eq!(reports[0].failed_inst, Some(s.instances[1]));
+
+    // Teardown disabled the reachable instance's redirect filter too.
+    assert!(
+        !s.nf(0).harness().has_event_filters(),
+        "reachable instance still has the share's event filter armed"
+    );
+}
+
+/// Default (non-strict) shares degrade instead: the same severed link
+/// leaves the share in flight serving the instances it can reach, and no
+/// abort report is filed.
+#[test]
+fn default_share_degrades_instead_of_tearing_down() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(20);
+    cfg.op.sb_retries = 1;
+    cfg.op.sb_retry_backoff = Dur::millis(5);
+    assert!(!cfg.op.strict_share, "degrade is the default");
+    let plan = FaultPlan::new(7).sever(NodeId(0), NodeId(3), Time(0), Time(200_000_000));
+    let mut s = two_monitor_scenario(cfg, 12, 1_500, Dur::millis(300), 11, Some(plan));
+    let insts = s.instances.clone();
+    s.issue_at(
+        Dur::millis(10),
+        Command::Share {
+            insts,
+            filter: Filter::any(),
+            scope: ScopeSet::multi_flow(),
+            consistency: ConsistencyLevel::Strong,
+        },
+    );
+    s.run_to_completion();
+
+    assert_eq!(s.controller().inflight_ops(), 1, "share keeps running degraded");
+    assert!(s.controller().reports_of("share").is_empty(), "no abort filed");
+}

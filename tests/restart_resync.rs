@@ -1,0 +1,76 @@
+//! Restart re-synchronization: an NF that crashes while a move has its
+//! event filter armed comes back (state retained — a recovered process)
+//! with that filter still installed. The abort's `disableEvents` was
+//! discarded at the down node, so without re-synchronization the stale
+//! filter drops packets and raises stale packet-in events forever. The
+//! fix: the instance announces its restart and the controller re-issues
+//! the event-filter state it should hold (`syncEvents`), which for a dead
+//! operation is *nothing*.
+
+use opennf::nfs::AssetMonitor;
+use opennf::prelude::*;
+use opennf::trace::steady_flows;
+
+/// Crashes the move's source mid-`enableEvents` window (between the
+/// filter install and the abort's cleanup), restarts it after the abort,
+/// and asserts the stale filter is gone: no event filter installed at the
+/// end, and no packet sent after the restart was dropped by it.
+#[test]
+fn stale_event_filter_is_cleared_when_source_restarts_after_aborted_move() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(10);
+    cfg.op.sb_retries = 0;
+    // The enableEvents lands ~100.6 ms; the crash at 103 ms swallows the
+    // export replies, so the move aborts at ~113 ms — while the node is
+    // down, which is what strands the filter. Restart at 200 ms.
+    let plan = FaultPlan::new(9)
+        .crash(NodeId(2), Time(103_000_000))
+        .restart(NodeId(2), Time(200_000_000));
+    let trace = steady_flows(10, 2_000, Dur::millis(500), 5);
+    let mut s = ScenarioBuilder::new()
+        .config(cfg)
+        .seed(5)
+        .nf("src", Box::new(AssetMonitor::new()))
+        .nf("dst", Box::new(AssetMonitor::new()))
+        .host(trace.clone())
+        .route(0, Filter::any(), 0)
+        .fault_plan(plan)
+        .build();
+    let cmd = Command::Move {
+        src: s.instances[0],
+        dst: s.instances[1],
+        filter: Filter::any(),
+        scope: ScopeSet::per_flow(),
+        props: MoveProps::lf_pl(),
+    };
+    s.issue_at(Dur::millis(100), cmd);
+    s.run_to_completion();
+
+    // The crash really aborted the move.
+    let reports = s.controller().reports_of("move");
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].outcome.is_aborted(), "outcome: {:?}", reports[0].outcome);
+
+    // Restart re-sync cleared the filter the abort could not reach.
+    assert!(
+        !s.nf(0).harness().has_event_filters(),
+        "stale event filter survived the restart"
+    );
+
+    // No packet generated after the restart (plus one sync round trip)
+    // was dropped by the stale filter. Packet uid u was scheduled at
+    // trace[u-1].0 ns (uids are assigned 1..=N in schedule order).
+    let resync_done_ns = 200_000_000u64 + 2_000_000;
+    let late_drops: Vec<u64> = s
+        .nf(0)
+        .harness()
+        .dropped_uids()
+        .iter()
+        .copied()
+        .filter(|&u| trace[(u - 1) as usize].0 > resync_done_ns)
+        .collect();
+    assert!(
+        late_drops.is_empty(),
+        "packets dropped by a stale filter after restart: {late_drops:?}"
+    );
+}
