@@ -3,6 +3,7 @@
 //! executed by this library, not the virtual-time model.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opennf_net::{Action, FlowTable, PortRef};
 use opennf_nf::NetworkFunction;
 use opennf_nfs::ids::{Ids, IdsConfig};
 use opennf_nfs::{AssetMonitor, Nat};
@@ -73,5 +74,42 @@ fn bench_packet_processing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_export_import, bench_packet_processing);
+/// Per-packet classification against rule tables of increasing size —
+/// the switch hot path the hash-indexed exact-match fast path serves.
+/// Lookup cost must stay flat as exact-match rules grow.
+fn bench_flowtable_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable_lookup");
+    for rules in [100u32, 1_000, 10_000] {
+        let mut table = FlowTable::new();
+        let pkts: Vec<Packet> = (0..rules)
+            .map(|i| {
+                let key = FlowKey::tcp(
+                    format!("10.{}.{}.2", i >> 8, i & 0xFF).parse().unwrap(),
+                    1_024 + (i % 20_000) as u16,
+                    "93.184.216.34".parse().unwrap(),
+                    80,
+                );
+                Packet::builder(i as u64 + 1, key).flags(TcpFlags::ACK).build()
+            })
+            .collect();
+        for p in &pkts {
+            table.install(
+                10,
+                Filter::from_flow_id(p.flow_id()),
+                Action::Forward(vec![PortRef::Port(1)].into()),
+            );
+        }
+        table.install(0, Filter::any(), Action::Forward(vec![PortRef::Port(9)].into()));
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("exact_match", rules), &(), |b, _| {
+            b.iter(|| {
+                i = (i + 13) % pkts.len();
+                table.apply(&pkts[i])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_export_import, bench_packet_processing, bench_flowtable_lookup);
 criterion_main!(benches);

@@ -14,11 +14,20 @@ use bench::experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let bench_baseline: Option<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--bench-baseline=").map(str::to_string));
+    // Regression gate for --bench-baseline. Local default is tight; CI
+    // passes a looser value because shared runners are noisy.
+    let max_regress: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--bench-max-regress=").and_then(|v| v.parse().ok()))
+        .unwrap_or(25.0);
     let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let wanted = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
             "fig10", "fig11", "copyshare", "table1", "fig12", "nfperf", "table2", "fig13",
-            "compress", "priorplanes", "ablations",
+            "compress", "priorplanes", "ablations", "perf",
         ]
     } else {
         wanted
@@ -74,6 +83,21 @@ fn main() {
             }
             "priorplanes" => {
                 priorplanes::run().print();
+            }
+            // Machine-readable hot-path numbers → BENCH_<n>.json.
+            "perf" => {
+                let rep = perf::run(quick);
+                rep.print();
+                match rep.write_json() {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("could not write BENCH json: {e}"),
+                }
+                if let Some(base) = &bench_baseline {
+                    if let Err(e) = perf::compare(&rep, base, max_regress) {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             "ablations" => {
                 let ks: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };

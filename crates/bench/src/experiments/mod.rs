@@ -11,6 +11,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod nfperf;
+pub mod perf;
 pub mod priorplanes;
 pub mod table1;
 pub mod table2;

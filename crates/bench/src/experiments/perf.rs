@@ -1,0 +1,307 @@
+//! Machine-readable hot-path benchmarks: per-packet classification,
+//! southbound serialization, and bulk per-flow move throughput.
+//!
+//! Unlike the paper-artifact experiments this module measures *wall
+//! clock* of the repro's own hot paths, and writes the numbers to a
+//! `BENCH_<n>.json` in the working directory so the repo accumulates a
+//! perf trajectory across PRs. `compare` checks a run against a
+//! checked-in baseline and fails on >25% regression of any shared key
+//! (all keys are lower-is-better latencies).
+
+use opennf_controller::msg::MoveProps;
+use opennf_net::{Action, FlowTable, PortRef};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_rt::{wire, RtController, WireEvent, WireMsg};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured experiment.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Stable key used for cross-run comparison.
+    pub key: String,
+    /// Unit of `median`/`p95` (always a lower-is-better latency).
+    pub unit: &'static str,
+    /// Median over samples.
+    pub median: f64,
+    /// 95th percentile over samples.
+    pub p95: f64,
+    /// Derived items-per-second throughput (informational).
+    pub throughput: f64,
+    /// What one throughput item is ("lookup", "flow", "msg", …).
+    pub item: &'static str,
+}
+
+/// All rows from one run.
+pub struct PerfReport {
+    /// Measured rows.
+    pub rows: Vec<Row>,
+    /// Whether the run used the reduced quick parameters.
+    pub quick: bool,
+}
+
+fn quantiles(samples: &mut [f64]) -> (f64, f64) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let p95 = samples[((samples.len() as f64 * 0.95) as usize).min(samples.len() - 1)];
+    (median, p95)
+}
+
+fn key(i: u32) -> FlowKey {
+    let src = Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 2);
+    FlowKey::tcp(src, 1024 + (i % 20_000) as u16, Ipv4Addr::new(93, 184, 216, 34), 80)
+}
+
+fn pkt(uid: u64, i: u32) -> Packet {
+    Packet::builder(uid, key(i)).flags(TcpFlags::ACK).build()
+}
+
+/// Per-packet classification with 1k exact-match rules + a wildcard
+/// default — the `FlowTable::apply` hot path the switch runs per packet.
+fn flowtable_lookup_1k(quick: bool) -> Row {
+    let mut table = FlowTable::new();
+    let pkts: Vec<Packet> = (0..1000u32).map(|i| pkt(i as u64 + 1, i)).collect();
+    for p in &pkts {
+        table.install(
+            10,
+            Filter::from_flow_id(p.flow_id()),
+            Action::Forward(vec![PortRef::Port(1)].into()),
+        );
+    }
+    table.install(0, Filter::any(), Action::Forward(vec![PortRef::Port(9)].into()));
+
+    let (batches, per_batch) = if quick { (30, 5_000) } else { (150, 10_000) };
+    let mut samples = Vec::with_capacity(batches);
+    let mut hits = 0u64;
+    for b in 0..batches {
+        let t0 = Instant::now();
+        for j in 0..per_batch {
+            let p = &pkts[(b * 7 + j * 13) % pkts.len()];
+            if table.apply(p).is_some() {
+                hits += 1;
+            }
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / per_batch as f64);
+    }
+    std::hint::black_box(hits);
+    let (median, p95) = quantiles(&mut samples);
+    Row {
+        key: "flowtable_lookup_1k".into(),
+        unit: "ns/lookup",
+        median,
+        p95,
+        throughput: 1e9 / median,
+        item: "lookup",
+    }
+}
+
+/// Southbound event serialization: encode 256 packet events into channel
+/// payloads exactly the way the runtime ships them.
+fn sb_encode_256(quick: bool) -> Row {
+    let msgs: Vec<WireMsg> = (0..256u32)
+        .map(|i| WireMsg::Event {
+            worker: 0,
+            ev: WireEvent::PacketProcessed { packet: pkt(i as u64 + 1, i) },
+        })
+        .collect();
+    let iters = if quick { 60 } else { 300 };
+    let mut samples = Vec::with_capacity(iters);
+    let mut bytes = 0usize;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let frames = wire::encode_frames(&msgs, 32);
+        samples.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
+        bytes += frames.iter().map(String::len).sum::<usize>();
+    }
+    std::hint::black_box(bytes);
+    let (median, p95) = quantiles(&mut samples);
+    Row {
+        key: "sb_encode_256_events".into(),
+        unit: "us/256 msgs",
+        median,
+        p95,
+        throughput: 256.0 * 1e6 / median,
+        item: "msg",
+    }
+}
+
+fn rt_move_sample(flows: u32, p2p: bool) -> (f64, f64) {
+    let mut ctrl = RtController::new(vec![
+        Box::new(AssetMonitor::new()),
+        Box::new(AssetMonitor::new()),
+    ]);
+    let tx = ctrl.worker_tx(0);
+    for f in 0..flows {
+        let p = Packet::builder(f as u64 + 1, key(f)).flags(TcpFlags::SYN).build();
+        tx.send(WireMsg::Packet { packet: p }.to_json()).expect("worker alive");
+    }
+    // The worker channel is FIFO: quiesce returns only after every
+    // preloaded packet above has been processed, so the move's measured
+    // window covers the transfer itself, not the preload drain.
+    ctrl.quiesce(0).expect("worker alive");
+    let stats = if p2p {
+        ctrl.move_flows_p2p(0, 1, Filter::any()).expect("p2p move succeeds")
+    } else {
+        ctrl.move_flows_lossfree(0, 1, Filter::any()).expect("move succeeds")
+    };
+    assert_eq!(stats.chunks, flows as usize, "every preloaded flow moved");
+    ctrl.shutdown();
+    let ms = stats.duration.as_secs_f64() * 1e3;
+    (ms, flows as f64 / stats.duration.as_secs_f64())
+}
+
+/// Bulk per-flow move throughput on the threaded runtime: move N
+/// preloaded flows between two live AssetMonitor workers.
+///
+/// The headline `rt_bulk_move_<n>` key tracks the *default bulk path*,
+/// which since the P2P tentpole is the direct src → dst transfer
+/// (footnote 10) — comparing it against a pre-P2P baseline is exactly the
+/// before/after of that change. The controller-mediated path keeps its
+/// own `_lossfree` key so regressions there stay visible too.
+fn rt_bulk_move(quick: bool, p2p: bool) -> Row {
+    let flows = if quick { 500 } else { 2_000 };
+    let runs = if quick { 3 } else { 5 };
+    let mut samples = Vec::with_capacity(runs);
+    let mut tput = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let (ms, fps) = rt_move_sample(flows, p2p);
+        samples.push(ms);
+        tput.push(fps);
+    }
+    let (median, p95) = quantiles(&mut samples);
+    tput.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Row {
+        key: if p2p {
+            format!("rt_bulk_move_{flows}")
+        } else {
+            format!("rt_bulk_move_{flows}_lossfree")
+        },
+        unit: "ms/move",
+        median,
+        p95,
+        throughput: tput[tput.len() / 2],
+        item: "flow",
+    }
+}
+
+/// Simulated loss-free parallel move of 500 flows under live traffic
+/// (fig10's LF PL cell): virtual move latency end to end.
+fn sim_move_500() -> Row {
+    let runs = 3;
+    let mut samples = Vec::with_capacity(runs);
+    let mut tput = Vec::with_capacity(runs);
+    for seed in 1..=runs as u64 {
+        let out = crate::run_prads_move(500, 2_500, MoveProps::lf_pl(), seed);
+        samples.push(out.total_ms);
+        tput.push(500.0 / (out.total_ms / 1e3));
+    }
+    let (median, p95) = quantiles(&mut samples);
+    tput.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Row {
+        key: "sim_move_500_lf_pl".into(),
+        unit: "virtual ms/move",
+        median,
+        p95,
+        throughput: tput[tput.len() / 2],
+        item: "flow",
+    }
+}
+
+/// Runs every hot-path benchmark.
+pub fn run(quick: bool) -> PerfReport {
+    let rows = vec![
+        flowtable_lookup_1k(quick),
+        sb_encode_256(quick),
+        rt_bulk_move(quick, true),
+        rt_bulk_move(quick, false),
+        sim_move_500(),
+    ];
+    PerfReport { rows, quick }
+}
+
+impl PerfReport {
+    /// Renders the rows as a table.
+    pub fn print(&self) {
+        println!("\n== perf: hot-path benchmarks{} ==", if self.quick { " (quick)" } else { "" });
+        println!("{:<28} {:>14} {:>12} {:>12} {:>16}", "experiment", "unit", "median", "p95", "throughput");
+        for r in &self.rows {
+            println!(
+                "{:<28} {:>14} {:>12.2} {:>12.2} {:>12.0}/s {}",
+                r.key, r.unit, r.median, r.p95, r.throughput, r.item
+            );
+        }
+    }
+
+    /// Serializes the report as JSON text.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"opennf-bench-v1\",\n");
+        s.push_str(&format!("  \"quick\": {},\n  \"results\": {{\n", self.quick));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"unit\": \"{}\", \"median\": {:.3}, \"p95\": {:.3}, \"throughput_per_s\": {:.1}, \"item\": \"{}\"}}{}\n",
+                r.key,
+                r.unit,
+                r.median,
+                r.p95,
+                r.throughput,
+                r.item,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<n>.json` (first free n in the working directory),
+    /// or to `$BENCH_OUT` when set. Returns the path written.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let path = match std::env::var_os("BENCH_OUT") {
+            Some(p) => PathBuf::from(p),
+            None => (0..)
+                .map(|n| PathBuf::from(format!("BENCH_{n}.json")))
+                .find(|p| !p.exists())
+                .unwrap(),
+        };
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Compares `current` against a checked-in baseline JSON. Prints each
+/// shared key's delta and returns `Err` listing any key whose median
+/// regressed by more than `max_regress_pct`.
+pub fn compare(current: &PerfReport, baseline_path: &str, max_regress_pct: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let v = serde_json::Value::parse_json(&text)
+        .map_err(|e| format!("cannot parse baseline {baseline_path}: {e}"))?;
+    let results = v.get("results").ok_or("baseline has no 'results' object")?;
+    let mut regressions = Vec::new();
+    println!("\n== perf: vs baseline {baseline_path} (fail >{max_regress_pct:.0}% regression) ==");
+    for r in &current.rows {
+        let Some(base) = results.get(&r.key).and_then(|b| b.get("median")).and_then(|m| m.as_f64())
+        else {
+            println!("{:<28} (new key, no baseline)", r.key);
+            continue;
+        };
+        let ratio = r.median / base;
+        println!(
+            "{:<28} baseline {:>10.2} now {:>10.2} {} ({:+.1}%)",
+            r.key,
+            base,
+            r.median,
+            r.unit,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > 1.0 + max_regress_pct / 100.0 {
+            regressions.push(format!("{}: {:.2} -> {:.2} {} ({:+.1}%)", r.key, base, r.median, r.unit, (ratio - 1.0) * 100.0));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("perf regressions beyond {max_regress_pct:.0}%:\n  {}", regressions.join("\n  ")))
+    }
+}

@@ -88,7 +88,11 @@ impl ScaleOutApp {
             dst: self.sq2,
             filter: self.client2_filter,
             scope: ScopeSet::per_flow(),
-            props: MoveProps { variant: MoveVariant::LossFree, parallel: true, early_release: false },
+            props: MoveProps {
+                variant: MoveVariant::LossFree,
+                parallel: true,
+                ..Default::default()
+            },
         });
     }
 }

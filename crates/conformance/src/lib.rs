@@ -53,6 +53,16 @@ pub const M_CRASH_SRC: u32 = 1 << 5;
 pub const M_STALL_DST: u32 = 1 << 6;
 /// Mask bit: full traffic load (cleared = halved flows and rate).
 pub const M_FULL_LOAD: u32 = 1 << 7;
+/// Mask bit: use the P2P bulk-transfer move variant (the source streams
+/// chunk batches directly to the destination; the controller only sees
+/// begin/ack) instead of the controller-mediated loss-free move.
+pub const M_P2P: u32 = 1 << 8;
+/// Mask bit: issue no move at all — traffic only. Used by determinism
+/// checks: without a mid-run route flip, every packet's path (and so the
+/// per-link message set the content-addressed dice see) is fully
+/// schedule-determined, making the threaded runtime's injected-fault
+/// ledger strictly rerun-identical.
+pub const M_NO_MOVE: u32 = 1 << 9;
 
 /// Every fault bit (no load bit).
 pub const M_ALL_FAULTS: u32 =
@@ -140,6 +150,15 @@ impl Spec {
             let until = from + Dur::millis(10 + rng.below(30));
             plan = plan.stall(DST_NODE, Time(0) + from, Time(0) + until);
         }
+        if mask & M_P2P != 0 && mask & M_DROP_DATA != 0 {
+            // Exercise the direct src → dst transfer path under loss: chunk
+            // batches (and only them — nothing else crosses that link) get
+            // dropped, forcing the reconcile-and-retry machinery. Gated on
+            // M_DROP_DATA so a bare M_P2P spec stays fault-free and its
+            // digests stay comparable across runtimes.
+            let pm = 40 + rng.below(120) as u16;
+            plan = plan.link(Some(SRC_NODE), Some(DST_NODE), Time(0), Time(u64::MAX), pm, FaultKind::Drop);
+        }
         Spec { seed, mask, flows, pps, duration, move_at, plan }
     }
 
@@ -203,14 +222,20 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         b = b.fault_plan(spec.plan.clone());
     }
     let mut s = b.build();
-    let cmd = Command::Move {
-        src: s.instances[0],
-        dst: s.instances[1],
-        filter: Filter::any(),
-        scope: ScopeSet::per_flow(),
-        props: MoveProps::lf_pl(),
-    };
-    s.issue_at(spec.move_at, cmd);
+    if spec.mask & M_NO_MOVE == 0 {
+        let cmd = Command::Move {
+            src: s.instances[0],
+            dst: s.instances[1],
+            filter: Filter::any(),
+            scope: ScopeSet::per_flow(),
+            props: if spec.mask & M_P2P != 0 {
+                MoveProps::lf_pl_p2p()
+            } else {
+                MoveProps::lf_pl()
+            },
+        };
+        s.issue_at(spec.move_at, cmd);
+    }
     s.run_to_completion();
 
     let check = s.oracle_with_faults().check();
@@ -296,13 +321,21 @@ pub fn run_rt(spec: &Spec) -> SideReport {
         gen_done.store(true, Ordering::SeqCst);
     });
 
-    // Issue the move at its virtual time.
-    while faults.now() < Time(0) + spec.move_at {
-        std::thread::sleep(Duration::from_micros(500));
-    }
-    let move_result = ctrl.move_flows_lossfree(0, 1, Filter::any());
-    let move_completed = move_result.is_ok();
-    let mut excused: Vec<u64> = ctrl.abort_lost().to_vec();
+    // Issue the move at its virtual time (unless this is a traffic-only
+    // determinism spec).
+    let (move_completed, mut excused) = if spec.mask & M_NO_MOVE != 0 {
+        (false, Vec::new())
+    } else {
+        while faults.now() < Time(0) + spec.move_at {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let move_result = if spec.mask & M_P2P != 0 {
+            ctrl.move_flows_p2p(0, 1, Filter::any())
+        } else {
+            ctrl.move_flows_lossfree(0, 1, Filter::any())
+        };
+        (move_result.is_ok(), ctrl.abort_lost().to_vec())
+    };
 
     // Let the trace finish plus a margin wide enough for every delayed /
     // duplicated / stalled delivery (plan delays are bounded well below

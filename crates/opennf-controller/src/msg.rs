@@ -76,6 +76,12 @@ pub struct MoveProps {
     /// chunk starts serializing, and release its buffered events as soon as
     /// its chunk is imported.
     pub early_release: bool,
+    /// Footnote-10 peer-to-peer bulk transfer: the source streams chunk
+    /// batches directly to the destination; the controller only sees the
+    /// begin call and the two completion envelopes. Copy-then-delete: the
+    /// source keeps its state until every exported flow is confirmed
+    /// imported, so an abort never loses state.
+    pub p2p: bool,
 }
 
 impl MoveProps {
@@ -91,12 +97,23 @@ impl MoveProps {
 
     /// `LF PL` — loss-free, parallelized.
     pub fn lf_pl() -> Self {
-        MoveProps { variant: MoveVariant::LossFree, parallel: true, early_release: false }
+        MoveProps { variant: MoveVariant::LossFree, parallel: true, ..Self::default() }
     }
 
     /// `LF PL+ER` — loss-free, parallelized, early-release.
     pub fn lf_pl_er() -> Self {
-        MoveProps { variant: MoveVariant::LossFree, parallel: true, early_release: true }
+        MoveProps {
+            variant: MoveVariant::LossFree,
+            parallel: true,
+            early_release: true,
+            ..Self::default()
+        }
+    }
+
+    /// `LF PL+P2P` — loss-free, parallelized, with the footnote-10
+    /// peer-to-peer bulk transfer.
+    pub fn lf_pl_p2p() -> Self {
+        MoveProps { variant: MoveVariant::LossFree, parallel: true, p2p: true, ..Self::default() }
     }
 
     /// `LF+OP PL+ER` — loss-free and order-preserving, fully optimized.
@@ -105,6 +122,7 @@ impl MoveProps {
             variant: MoveVariant::LossFreeOrderPreserving,
             parallel: true,
             early_release: true,
+            ..Self::default()
         }
     }
 }
@@ -231,6 +249,30 @@ pub enum SbCall {
         /// The chunks.
         chunks: Vec<Chunk>,
     },
+    /// Footnote-10 P2P bulk transfer: export per-flow state matching
+    /// `filter` and stream it in chunk batches *directly* to `peer`
+    /// ([`Msg::P2pChunks`] never touches the controller). `xfer`
+    /// distinguishes retry rounds; `only` (empty = everything matching)
+    /// restricts a retry round to the flows still missing at the peer.
+    TransferPerflow {
+        /// State selector.
+        filter: Filter,
+        /// Destination instance of the direct stream.
+        peer: NodeId,
+        /// Transfer round (monotone per op; stale rounds are ignored).
+        xfer: u32,
+        /// Restrict to these flows (empty = all matching `filter`).
+        only: Vec<FlowId>,
+    },
+    /// Abort a P2P transfer at the *destination*: delete the listed
+    /// imported flows and tombstone rounds `<= xfer` so chunk batches
+    /// still in flight cannot resurrect state after the rollback.
+    AbortTransfer {
+        /// Flows the destination imported (to delete).
+        flow_ids: Vec<FlowId>,
+        /// Discard in-flight batches of rounds up to and including this.
+        xfer: u32,
+    },
     /// `enableEvents(filter, action)`.
     EnableEvents {
         /// Which packets.
@@ -284,6 +326,26 @@ pub enum SbReply {
     ChunkImported {
         /// Flow the chunk pertained to.
         flow_id: FlowId,
+    },
+    /// P2P source ack: every flow round `xfer` streamed toward the peer.
+    /// A small envelope — the chunks themselves went NF → NF.
+    TransferExported {
+        /// Which round finished exporting.
+        xfer: u32,
+        /// The flows shipped in this round.
+        flow_ids: Vec<FlowId>,
+        /// Chunk bytes shipped in this round.
+        bytes: u64,
+    },
+    /// P2P destination ack, sent when round `xfer`'s final batch lands:
+    /// the *cumulative* set of flows imported across all rounds. The
+    /// controller reconciles this against the exported set to find flows
+    /// whose batch was lost in flight.
+    TransferDone {
+        /// Which round's final batch triggered this ack.
+        xfer: u32,
+        /// Every flow imported so far (all rounds).
+        imported: Vec<FlowId>,
     },
     /// Generic completion acknowledgment.
     Done,
@@ -358,6 +420,18 @@ pub enum Msg {
         /// The reply.
         reply: SbReply,
     },
+    /// NF → NF: a P2P chunk batch (footnote 10). Travels on the direct
+    /// instance-to-instance link; the controller never sees it.
+    P2pChunks {
+        /// Correlation with the transfer's op.
+        op: OpId,
+        /// Transfer round this batch belongs to.
+        xfer: u32,
+        /// Final batch of the round (may carry zero chunks).
+        last: bool,
+        /// The chunk batch.
+        chunks: Vec<Chunk>,
+    },
     /// NF → controller: a raised event (§4.3).
     Event(NfEvent),
     /// NF → controller: an alert log record (control applications such as
@@ -416,6 +490,9 @@ impl Msg {
                 // base64 + field names roughly double the bytes.
                 96 + 2 * p.wire_size as usize
             }
+            Msg::P2pChunks { chunks, .. } => {
+                96 + chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
+            }
             _ => 64,
         }
     }
@@ -446,6 +523,8 @@ mod tests {
         assert!(MoveProps::ng_pl().parallel);
         assert_eq!(MoveProps::lf_pl().variant, MoveVariant::LossFree);
         assert!(MoveProps::lf_pl_er().early_release);
+        assert!(MoveProps::lf_pl_p2p().p2p && !MoveProps::lf_pl_p2p().early_release);
+        assert!(!MoveProps::lf_pl().p2p, "P2P is opt-in");
         assert_eq!(
             MoveProps::lfop_pl_er().variant,
             MoveVariant::LossFreeOrderPreserving

@@ -40,12 +40,35 @@ struct ExportTask {
     filter: Filter,
     pending: VecDeque<FlowId>,
     exported: std::collections::HashSet<FlowId>,
+    /// `exported` in serialization order (deterministic reporting).
+    exported_order: Vec<FlowId>,
     relists: u32,
     stream: bool,
     late_lock: bool,
     collected: Vec<Chunk>,
     in_flight: Option<(FlowId, Vec<Chunk>)>,
     in_flight_done: Time,
+    /// P2P (footnote 10): stream batches directly to this peer instance
+    /// instead of chunk-by-chunk through the controller. `(peer, xfer)`.
+    peer: Option<(NodeId, u32)>,
+    /// Restrict the export to these flows (retry rounds re-ship exactly
+    /// the missing set; also disables re-listing).
+    only: Option<std::collections::HashSet<FlowId>>,
+    /// Chunks accumulated toward the next P2P batch.
+    batch: Vec<Chunk>,
+    /// Chunk bytes shipped by this task (P2P round reporting).
+    round_bytes: u64,
+}
+
+/// Per-op P2P import state at a transfer's destination.
+#[derive(Default)]
+struct P2pIn {
+    /// Flows imported across every round, in arrival order.
+    imported: Vec<FlowId>,
+    seen: std::collections::HashSet<FlowId>,
+    /// Tombstone: batches of rounds `<= aborted_through` arriving after an
+    /// abort are discarded so they cannot resurrect rolled-back state.
+    aborted_through: u32,
 }
 
 /// Cap on re-list rounds at export end — state created *during* an export
@@ -55,6 +78,10 @@ struct ExportTask {
 const MAX_RELISTS: u32 = 16;
 
 const TAG_EXPORT_STEP: u32 = 1;
+
+/// Chunks per P2P batch: one direct NF → NF message carries up to this
+/// many chunks (the threaded runtime's frame coalescing, modelled).
+const P2P_BATCH_CHUNKS: usize = 8;
 
 /// An NF instance in the simulation.
 pub struct NfNode {
@@ -72,6 +99,8 @@ pub struct NfNode {
     /// and models transfer time of bulk state.
     uplink_busy: Time,
     exports: HashMap<OpId, ExportTask>,
+    /// P2P transfer state at the destination side, per op.
+    p2p_in: HashMap<OpId, P2pIn>,
     /// Per-packet processing records.
     pub records: Vec<ProcRecord>,
     /// Sum of chunk bytes exported (reports).
@@ -102,6 +131,7 @@ impl NfNode {
             import_busy: Time::ZERO,
             uplink_busy: Time::ZERO,
             exports: HashMap::new(),
+            p2p_in: HashMap::new(),
             records: Vec::new(),
             bytes_exported: 0,
             bytes_imported: 0,
@@ -184,6 +214,17 @@ impl NfNode {
         ctx.send(self.ctrl, (done - ctx.now()) + self.cfg.ctrl_to_nf, msg);
     }
 
+    /// Sends a message over the direct NF → NF link (P2P transfers). It
+    /// shares the instance's NIC with the southbound uplink, so bulk
+    /// batches occupy the same transfer budget `send_ctrl` models.
+    fn send_peer(&mut self, ctx: &mut Ctx<'_, Msg>, peer: NodeId, bytes: usize, msg: Msg) {
+        let start = ctx.now().max(self.uplink_busy);
+        let done = start + self.cfg.transfer_time(bytes);
+        self.uplink_busy = done;
+        ctx.send(peer, (done - ctx.now()) + self.cfg.ctrl_to_nf, msg);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn begin_export(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -192,22 +233,34 @@ impl NfNode {
         filter: &Filter,
         stream: bool,
         late_lock: bool,
+        peer: Option<(NodeId, u32)>,
+        only: Option<Vec<FlowId>>,
     ) {
-        let pending: VecDeque<FlowId> = match scope {
+        let only: Option<std::collections::HashSet<FlowId>> =
+            only.map(|ids| ids.into_iter().collect());
+        let mut pending: VecDeque<FlowId> = match scope {
             ExportScope::Per => self.harness.nf().list_perflow(filter).into(),
             ExportScope::Multi => self.harness.nf().list_multiflow(filter).into(),
         };
+        if let Some(only) = &only {
+            pending.retain(|f| only.contains(f));
+        }
         let task = ExportTask {
             scope,
             filter: *filter,
             pending,
             exported: std::collections::HashSet::new(),
+            exported_order: Vec::new(),
             relists: 0,
             stream,
             late_lock,
             collected: Vec::new(),
             in_flight: None,
             in_flight_done: Time::ZERO,
+            peer,
+            only,
+            batch: Vec::new(),
+            round_bytes: 0,
         };
         self.exports.insert(op, task);
         // Kick the serialization loop.
@@ -220,12 +273,34 @@ impl NfNode {
             let Some(task) = self.exports.get_mut(&op) else {
                 return;
             };
-            task.in_flight.take().map(|(_flow, chunks)| (chunks, task.stream))
+            task.in_flight.take().map(|(_flow, chunks)| (chunks, task.stream, task.peer))
         };
-        if let Some((chunks, stream)) = finished {
+        if let Some((chunks, stream, peer)) = finished {
             let bytes: usize = chunks.iter().map(Chunk::len).sum();
             self.bytes_exported += bytes as u64;
-            if stream {
+            if let Some((peer_node, xfer)) = peer {
+                // P2P: accumulate toward a batch; a full batch ships
+                // directly to the peer, bypassing the controller.
+                let full_batch = {
+                    let task = self.exports.get_mut(&op).unwrap();
+                    task.round_bytes += bytes as u64;
+                    task.batch.extend(chunks);
+                    if task.batch.len() >= P2P_BATCH_CHUNKS {
+                        Some(std::mem::take(&mut task.batch))
+                    } else {
+                        None
+                    }
+                };
+                if let Some(batch) = full_batch {
+                    let bb: usize = batch.iter().map(Chunk::len).sum();
+                    self.send_peer(
+                        ctx,
+                        peer_node,
+                        bb,
+                        Msg::P2pChunks { op, xfer, last: false, chunks: batch },
+                    );
+                }
+            } else if stream {
                 for chunk in chunks {
                     let bytes = chunk.len();
                     self.send_ctrl(
@@ -248,7 +323,7 @@ impl NfNode {
             let Some(task) = self.exports.get_mut(&op) else {
                 return;
             };
-            if task.pending.is_empty() && task.relists < MAX_RELISTS {
+            if task.pending.is_empty() && task.relists < MAX_RELISTS && task.only.is_none() {
                 task.relists += 1;
                 let fresh: Vec<FlowId> = match task.scope {
                     ExportScope::Per => self.harness.nf().list_perflow(&task.filter),
@@ -282,7 +357,9 @@ impl NfNode {
                 let bytes: usize = chunks.iter().map(Chunk::len).sum();
                 let cost = self.cost.get_chunk(bytes.max(1));
                 let task = self.exports.get_mut(&op).unwrap();
-                task.exported.insert(flow_id);
+                if task.exported.insert(flow_id) {
+                    task.exported_order.push(flow_id);
+                }
                 task.in_flight = Some((flow_id, chunks));
                 task.in_flight_done = ctx.now() + cost;
                 ctx.send_self(cost, Msg::Timer { op, tag: TAG_EXPORT_STEP });
@@ -290,7 +367,31 @@ impl NfNode {
             None => {
                 // Export complete.
                 let task = self.exports.remove(&op).unwrap();
-                if task.stream {
+                if let Some((peer_node, xfer)) = task.peer {
+                    // Final batch (possibly empty) closes the round at the
+                    // peer; data batches always carry `last: false`, so an
+                    // empty round still terminates cleanly.
+                    let bb: usize = task.batch.iter().map(Chunk::len).sum();
+                    self.send_peer(
+                        ctx,
+                        peer_node,
+                        bb.max(1),
+                        Msg::P2pChunks { op, xfer, last: true, chunks: task.batch },
+                    );
+                    // The controller only sees a small completion envelope.
+                    self.send_ctrl(
+                        ctx,
+                        96,
+                        Msg::SbAck {
+                            op,
+                            reply: SbReply::TransferExported {
+                                xfer,
+                                flow_ids: task.exported_order,
+                                bytes: task.round_bytes,
+                            },
+                        },
+                    );
+                } else if task.stream {
                     // Explicit end-of-stream marker; data chunks always
                     // carry `last: false` so an empty final flow cannot
                     // leave the stream unterminated. Same FIFO uplink, so
@@ -315,10 +416,37 @@ impl NfNode {
     fn handle_sb(&mut self, ctx: &mut Ctx<'_, Msg>, op: OpId, call: SbCall) {
         match call {
             SbCall::GetPerflow { filter, stream, late_lock } => {
-                self.begin_export(ctx, op, ExportScope::Per, &filter, stream, late_lock);
+                self.begin_export(ctx, op, ExportScope::Per, &filter, stream, late_lock, None, None);
             }
             SbCall::GetMultiflow { filter, stream } => {
-                self.begin_export(ctx, op, ExportScope::Multi, &filter, stream, false);
+                self.begin_export(ctx, op, ExportScope::Multi, &filter, stream, false, None, None);
+            }
+            SbCall::TransferPerflow { filter, peer, xfer, only } => {
+                let only = if only.is_empty() { None } else { Some(only) };
+                self.begin_export(
+                    ctx,
+                    op,
+                    ExportScope::Per,
+                    &filter,
+                    true,
+                    false,
+                    Some((peer, xfer)),
+                    only,
+                );
+            }
+            SbCall::AbortTransfer { flow_ids, xfer } => {
+                // Destination-side rollback: delete what this op imported
+                // and tombstone the round so straggler batches still in
+                // flight on the direct link are discarded on arrival.
+                let st = self.p2p_in.entry(op).or_default();
+                st.aborted_through = st.aborted_through.max(xfer);
+                st.imported.retain(|f| !flow_ids.contains(f));
+                for f in &flow_ids {
+                    st.seen.remove(f);
+                }
+                self.harness.nf_mut().del_perflow(&flow_ids);
+                let cost = Dur::micros(5) * flow_ids.len().max(1) as u64;
+                ctx.send(self.ctrl, cost + self.cfg.ctrl_to_nf, Msg::SbAck { op, reply: SbReply::Done });
             }
             SbCall::GetAllflows => {
                 let chunks = self.harness.nf_mut().get_allflows();
@@ -426,6 +554,53 @@ impl NfNode {
             }
         }
     }
+
+    /// A P2P chunk batch arrived on the direct NF → NF link (this
+    /// instance is the transfer's destination).
+    fn on_p2p_chunks(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op: OpId,
+        xfer: u32,
+        last: bool,
+        chunks: Vec<Chunk>,
+    ) {
+        let st = self.p2p_in.entry(op).or_default();
+        if xfer <= st.aborted_through {
+            // Tombstoned round: a batch that raced the abort. Importing it
+            // would resurrect rolled-back state.
+            return;
+        }
+        let bytes: usize = chunks.iter().map(Chunk::len).sum();
+        self.bytes_imported += bytes as u64;
+        let mut cost = Dur::ZERO;
+        for c in &chunks {
+            cost += self.cost.put_chunk(c.len().max(1));
+        }
+        let start = ctx.now().max(self.import_busy);
+        let done = start + cost;
+        self.import_busy = done;
+        let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+        if !chunks.is_empty() {
+            self.harness.nf_mut().put_perflow(chunks).expect("p2p put_perflow");
+        }
+        let st = self.p2p_in.entry(op).or_default();
+        for id in ids {
+            if st.seen.insert(id) {
+                st.imported.push(id);
+            }
+        }
+        if last {
+            // Round complete: report the cumulative imported set to the
+            // controller in a small envelope, trailing the import work.
+            let imported = st.imported.clone();
+            ctx.send(
+                self.ctrl,
+                (done - ctx.now()) + self.cfg.ctrl_to_nf,
+                Msg::SbAck { op, reply: SbReply::TransferDone { xfer, imported } },
+            );
+        }
+    }
 }
 
 impl Node<Msg> for NfNode {
@@ -455,6 +630,7 @@ impl Node<Msg> for NfNode {
                 }
             }
             Msg::Sb { op, call } => self.handle_sb(ctx, op, call),
+            Msg::P2pChunks { op, xfer, last, chunks } => self.on_p2p_chunks(ctx, op, xfer, last, chunks),
             Msg::Timer { op, tag } if tag == TAG_EXPORT_STEP => self.export_step(ctx, op),
             other => debug_assert!(false, "nf {}: unexpected message {other:?}", self.name),
         }
@@ -496,6 +672,7 @@ mod tests {
                     SbReply::ChunkImported { .. } => self.imported += 1,
                     SbReply::Chunks { chunks } => self.bulk.push(chunks.len()),
                     SbReply::Done => self.done += 1,
+                    SbReply::TransferExported { .. } | SbReply::TransferDone { .. } => {}
                 },
                 Msg::Event(_) => self.events += 1,
                 _ => {}

@@ -68,7 +68,7 @@ impl SwitchNode {
 
     fn forward(&self, ctx: &mut Ctx<'_, Msg>, pkt: &opennf_packet::Packet, action: &Action) {
         if let Action::Forward(ports) = action {
-            for p in ports {
+            for p in ports.iter() {
                 match p {
                     PortRef::Port(n) => {
                         let node = self.ports[n];
@@ -125,7 +125,7 @@ impl Node<Msg> for SwitchNode {
                     if to_controller {
                         ports.push(PortRef::Controller);
                     }
-                    let action = if ports.is_empty() { Action::Drop } else { Action::Forward(ports) };
+                    let action = if ports.is_empty() { Action::Drop } else { Action::forward(ports) };
                     let rule = self.table.install(priority, filter, action);
                     ctx.counters().inc("switch.flow_mods");
                     ctx.send(self.ctrl, self.cfg.sw_to_ctrl, Msg::FlowModApplied { op, tag, rule });

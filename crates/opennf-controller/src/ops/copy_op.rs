@@ -201,6 +201,8 @@ impl CopyOp {
                 self.pending_acks = self.pending_acks.saturating_sub(1);
                 self.maybe_done(o)
             }
+            // P2P transfer summaries belong to move ops only.
+            SbReply::TransferExported { .. } | SbReply::TransferDone { .. } => false,
         }
     }
 

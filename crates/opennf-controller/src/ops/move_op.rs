@@ -109,6 +109,22 @@ pub struct MoveOp {
     /// Every packet-in uid seen in the OP window; an abort accounts for
     /// the ones never confirmed via a src or dst event.
     pktin_uids: HashSet<u64>,
+    // P2P bulk transfer (footnote 10).
+    /// Current transfer round; bumped per retry so stale acks and
+    /// straggler batches are distinguishable.
+    p2p_xfer: u32,
+    /// Flows the source reported exported, in serialization order,
+    /// cumulative across rounds (with a set mirror for O(1) membership).
+    p2p_exported: Vec<FlowId>,
+    p2p_exported_set: HashSet<FlowId>,
+    /// The destination's latest cumulative imported set.
+    p2p_imported: Vec<FlowId>,
+    /// Round bookkeeping: both acks (src export, dst import) must land
+    /// before the round reconciles.
+    p2p_round_exported: bool,
+    p2p_round_done: bool,
+    /// Transfer retry budget (separate from the southbound-ack budget).
+    p2p_retries_left: u32,
     // Failure handling.
     /// Every chunk shipped to the destination, retained so an abort can
     /// re-import it at the source.
@@ -147,6 +163,10 @@ impl MoveOp {
             !(props.early_release && scope.per_flow && scope.multi_flow),
             "ER cannot be applied to a move involving both per-flow and multi-flow state (§5.1.3)"
         );
+        assert!(
+            !(props.p2p && props.early_release),
+            "P2P composes with PL, not ER: late-locking needs the controller to see every chunk"
+        );
         let mut stages = VecDeque::new();
         // Multi-flow state first (applications are told to provide
         // multi-flow state before per-flow processing resumes, §5.2).
@@ -160,7 +180,7 @@ impl MoveOp {
             stages.push_back(Stage::All);
         }
         let kind = format!(
-            "move[{}{}{}]",
+            "move[{}{}{}{}]",
             match props.variant {
                 MoveVariant::NoGuarantee => "NG",
                 MoveVariant::LossFree => "LF",
@@ -168,6 +188,7 @@ impl MoveOp {
             },
             if props.parallel { " PL" } else { "" },
             if props.early_release { "+ER" } else { "" },
+            if props.p2p { "+P2P" } else { "" },
         );
         MoveOp {
             id,
@@ -195,6 +216,13 @@ impl MoveOp {
             forwarded_src_uids: HashSet::new(),
             dst_event_uids: HashSet::new(),
             pktin_uids: HashSet::new(),
+            p2p_xfer: 0,
+            p2p_exported: Vec::new(),
+            p2p_exported_set: HashSet::new(),
+            p2p_imported: Vec::new(),
+            p2p_round_exported: false,
+            p2p_round_done: false,
+            p2p_retries_left: 0,
             moved_chunks: Vec::new(),
             watchdog_gen: 0,
             retries_left: 0,
@@ -355,6 +383,13 @@ impl MoveOp {
                 }
             }
             Phase::Transferring => {
+                if self.props.p2p && self.cur_stage == Some(Stage::Per) {
+                    // The direct transfer stalled (a chunk batch or a summary
+                    // ack went missing); the source kept its copy, so a fresh
+                    // round is safe.
+                    let missing = self.p2p_missing();
+                    return self.p2p_retry(o, missing);
+                }
                 let blame = if self.export_done { self.dst } else { self.src };
                 self.abort_rollback(
                     o,
@@ -396,6 +431,26 @@ impl MoveOp {
         reason: String,
         blame: Option<NodeId>,
     ) -> bool {
+        if self.props.p2p && self.p2p_xfer > 0 && !self.export_done {
+            // Tear down the direct transfer: the destination deletes whatever
+            // it imported and tombstones the round, so straggler batches
+            // still in flight on the src → dst link cannot resurrect the
+            // state. Copy-then-delete means the source still holds every
+            // flow (the DelPerflow only goes out after full confirmation);
+            // record which transfers were cut off mid-flight. (If
+            // `export_done` the rounds reconciled clean and the source may
+            // already have deleted — then the destination's copy is the only
+            // one and must survive the abort.)
+            o.sb(
+                self.dst,
+                self.id,
+                SbCall::AbortTransfer {
+                    flow_ids: self.p2p_imported.clone(),
+                    xfer: self.p2p_xfer,
+                },
+            );
+            self.report.p2p_inflight = self.p2p_missing();
+        }
         let mut per = Vec::new();
         let mut multi = Vec::new();
         let mut all = Vec::new();
@@ -571,6 +626,20 @@ impl MoveOp {
                     self.seal_stage = Some(stage);
                 }
                 let call = match stage {
+                    // Footnote 10: per-flow state streams src → dst directly;
+                    // the controller only sees the export/import summaries.
+                    Stage::Per if self.props.p2p => {
+                        self.p2p_xfer += 1;
+                        self.p2p_round_exported = false;
+                        self.p2p_round_done = false;
+                        self.p2p_retries_left = o.cfg.op.sb_retries;
+                        SbCall::TransferPerflow {
+                            filter: self.filter,
+                            peer: self.dst,
+                            xfer: self.p2p_xfer,
+                            only: Vec::new(),
+                        }
+                    }
                     Stage::Per => SbCall::GetPerflow {
                         filter: self.filter,
                         stream: self.props.parallel,
@@ -596,6 +665,72 @@ impl MoveOp {
             // There is no delAllflows (§4.2).
             Stage::All => None,
         }
+    }
+
+    /// The flows the source reported exported but the destination never
+    /// confirmed, in serialization order.
+    fn p2p_missing(&self) -> Vec<FlowId> {
+        let imported: HashSet<FlowId> = self.p2p_imported.iter().copied().collect();
+        self.p2p_exported.iter().filter(|f| !imported.contains(f)).copied().collect()
+    }
+
+    /// Both summaries of a P2P round (source export, destination import)
+    /// have possibly landed: compare them. Everything confirmed → delete
+    /// at the source (copy-then-delete: only now does the source let go)
+    /// and finish the stage; otherwise re-request the gap or give up.
+    fn p2p_reconcile(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        if !(self.p2p_round_exported && self.p2p_round_done) {
+            return false;
+        }
+        let missing = self.p2p_missing();
+        if missing.is_empty() {
+            self.export_done = true;
+            if !self.p2p_imported.is_empty() {
+                self.pending_acks += 1;
+                o.sb(
+                    self.src,
+                    self.id,
+                    SbCall::DelPerflow { flow_ids: self.p2p_imported.clone() },
+                );
+            }
+            return self.maybe_stage_done(o);
+        }
+        self.p2p_retry(o, missing)
+    }
+
+    /// Re-requests `missing` flows in a fresh transfer round (an empty list
+    /// re-requests the whole filter — the round may have stalled before the
+    /// source even reported its export), or aborts once the budget is spent.
+    fn p2p_retry(&mut self, o: &mut OpCtx<'_, '_>, missing: Vec<FlowId>) -> bool {
+        if self.p2p_retries_left == 0 {
+            let blame = if self.p2p_round_exported { self.dst } else { self.src };
+            return self.abort_rollback(
+                o,
+                format!(
+                    "Transferring: P2P transfer incomplete after {} retries ({} flows unconfirmed)",
+                    o.cfg.op.sb_retries,
+                    missing.len()
+                ),
+                Some(blame),
+            );
+        }
+        self.p2p_retries_left -= 1;
+        self.report.retries += 1;
+        self.p2p_xfer += 1;
+        self.p2p_round_exported = false;
+        self.p2p_round_done = false;
+        o.sb(
+            self.src,
+            self.id,
+            SbCall::TransferPerflow {
+                filter: self.filter,
+                peer: self.dst,
+                xfer: self.p2p_xfer,
+                only: missing,
+            },
+        );
+        self.arm_watchdog(o);
+        false
     }
 
     fn maybe_stage_done(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
@@ -771,6 +906,30 @@ impl MoveOp {
                 self.arm_watchdog(o);
                 self.pending_acks = self.pending_acks.saturating_sub(1);
                 self.maybe_stage_done(o)
+            }
+            (Phase::Transferring, SbReply::TransferExported { xfer, flow_ids, bytes }) => {
+                if xfer != self.p2p_xfer {
+                    return false; // ack from a superseded transfer round
+                }
+                self.arm_watchdog(o);
+                self.report.chunks += flow_ids.len();
+                self.report.bytes += bytes;
+                for id in flow_ids {
+                    if self.p2p_exported_set.insert(id) {
+                        self.p2p_exported.push(id);
+                    }
+                }
+                self.p2p_round_exported = true;
+                self.p2p_reconcile(o)
+            }
+            (Phase::Transferring, SbReply::TransferDone { xfer, imported }) => {
+                if xfer != self.p2p_xfer {
+                    return false; // ack from a superseded transfer round
+                }
+                self.arm_watchdog(o);
+                self.p2p_imported = imported;
+                self.p2p_round_done = true;
+                self.p2p_reconcile(o)
             }
             (Phase::OpEnableDstBuffer, SbReply::Done) => {
                 // Fig. 6 l.23: low-priority rule to {src, ctrl}.

@@ -54,6 +54,12 @@ pub struct OpReport {
     /// after an abort — the explicit loss report that keeps the
     /// exactly-once-or-accounted oracle honest.
     pub abort_lost: Vec<u64>,
+    /// P2P aborts only: flows whose chunk batches were still in flight on
+    /// the direct src → dst link when the transfer was abandoned. Kept
+    /// separate from `abort_lost` (flow ids, not packet uids): the source
+    /// retained its copy (copy-then-delete), so no packet is lost — but
+    /// the accounting records exactly which transfers were cut short.
+    pub p2p_inflight: Vec<opennf_packet::FlowId>,
     /// The instance blamed for an abort (unresponsive or crashed), if the
     /// failure localized to one.
     pub failed_inst: Option<NodeId>,
@@ -75,6 +81,7 @@ impl OpReport {
             outcome: OpOutcome::Completed,
             retries: 0,
             abort_lost: Vec::new(),
+            p2p_inflight: Vec::new(),
             failed_inst: None,
         }
     }

@@ -98,6 +98,32 @@ fn lf_er_move_is_loss_free_and_faster_release() {
 }
 
 #[test]
+fn lf_p2p_move_is_loss_free_and_bypasses_controller() {
+    let s = run_move(MoveProps::lf_pl_p2p(), 50);
+    assert_eq!(monitor_conns(&s, 0), 0, "src state deleted (copy-then-delete completed)");
+    assert_eq!(monitor_conns(&s, 1), 50, "dst holds all flows");
+    let reports = s.controller().reports_of("move[LF PL+P2P]");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].chunks, 50, "export summary counted every flow");
+    assert!(reports[0].bytes > 0, "export summary carried the byte count");
+    assert!(reports[0].p2p_inflight.is_empty(), "no transfer cut short");
+    let oracle = s.oracle().check();
+    assert!(oracle.is_loss_free(), "P2P move lost packets: {:?}", oracle.lost);
+    assert_eq!(oracle.processed, oracle.forwarded);
+}
+
+#[test]
+fn lf_p2p_move_faster_than_controller_mediated() {
+    // Footnote 10: shipping chunk batches src → dst directly beats
+    // bouncing every chunk through the controller.
+    let relayed = run_move(MoveProps::lf_pl(), 100);
+    let direct = run_move(MoveProps::lf_pl_p2p(), 100);
+    let t = |s: &Scenario, k: &str| s.controller().reports_of(k)[0].duration_ms();
+    let (t_relay, t_p2p) = (t(&relayed, "move[LF PL]"), t(&direct, "move[LF PL+P2P]"));
+    assert!(t_p2p < t_relay, "P2P {t_p2p} ms < relayed {t_relay} ms");
+}
+
+#[test]
 fn lfop_move_is_loss_free_and_order_preserving() {
     let s = run_move(MoveProps::lfop_pl_er(), 50);
     assert_eq!(monitor_conns(&s, 1), 50);
@@ -119,6 +145,7 @@ fn lfop_without_er_also_preserves_order() {
         variant: opennf_controller::MoveVariant::LossFreeOrderPreserving,
         parallel: true,
         early_release: false,
+        ..Default::default()
     };
     let s = run_move(props, 30);
     let oracle = s.oracle().check();

@@ -1,6 +1,18 @@
 //! The priority flow table.
+//!
+//! Lookup has two tiers: an exact-match fast path over a hash index keyed
+//! on the directional 5-tuple (the common case — per-connection rules the
+//! move protocols install), and the OpenFlow priority scan for everything
+//! with a wildcard. The index stores, per 5-tuple, the slot the priority
+//! scan would have picked among exact rules, so the fast path is only
+//! taken when that rule also out-prioritizes every wildcard rule; any
+//! ambiguity falls back to the scan, keeping the two tiers observationally
+//! identical (see `tests/table_model.rs` for the property proof).
 
-use opennf_packet::{Filter, Packet};
+use opennf_packet::{Filter, Packet, Proto};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Where a rule sends matching packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -13,13 +25,21 @@ pub enum PortRef {
 
 /// The action list of a rule. OpenFlow permits multiple output actions;
 /// OpenNF's two-phase update relies on forwarding to `{srcInst, ctrl}`
-/// simultaneously.
+/// simultaneously. The port list is shared (`Arc`) so that `apply`, which
+/// clones the action once per matched packet, never re-allocates it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
     /// Output to each listed port.
-    Forward(Vec<PortRef>),
+    Forward(Arc<[PortRef]>),
     /// Drop matching packets.
     Drop,
+}
+
+impl Action {
+    /// Builds a forward action from any port list.
+    pub fn forward(ports: impl Into<Arc<[PortRef]>>) -> Action {
+        Action::Forward(ports.into())
+    }
 }
 
 /// Identifies an installed rule.
@@ -44,6 +64,50 @@ pub struct Rule {
     pub byte_count: u64,
 }
 
+/// Directional 5-tuple key of an exact-match rule (or of a packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ExactKey {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    tp_src: u16,
+    tp_dst: u16,
+    proto: Proto,
+}
+
+impl ExactKey {
+    fn of_packet(pkt: &Packet) -> ExactKey {
+        ExactKey {
+            src: pkt.key.src_ip,
+            dst: pkt.key.dst_ip,
+            tp_src: pkt.key.src_port,
+            tp_dst: pkt.key.dst_port,
+            proto: pkt.key.proto,
+        }
+    }
+
+    /// The key(s) a filter pins down exactly, if it is an exact-match
+    /// filter: both addresses /32, both ports and the protocol set, and no
+    /// TCP-flags constraint (flags are a contains-check, not exact-match).
+    /// Bidirectional filters yield a key per orientation.
+    fn of_filter(f: &Filter) -> Option<(ExactKey, Option<ExactKey>)> {
+        let (src, dst) = (f.nw_src?, f.nw_dst?);
+        if src.len != 32 || dst.len != 32 || f.tcp_flags.is_some() {
+            return None;
+        }
+        let (tp_src, tp_dst) = (f.tp_src?, f.tp_dst?);
+        let proto = f.nw_proto?;
+        let fwd = ExactKey { src: src.addr, dst: dst.addr, tp_src, tp_dst, proto };
+        let rev = f.bidirectional.then_some(ExactKey {
+            src: dst.addr,
+            dst: src.addr,
+            tp_src: tp_dst,
+            tp_dst: tp_src,
+            proto,
+        });
+        Some((fwd, rev))
+    }
+}
+
 /// A priority flow table with per-rule counters.
 #[derive(Debug, Default)]
 pub struct FlowTable {
@@ -52,12 +116,45 @@ pub struct FlowTable {
     /// Packets that matched no rule (table-miss); OpenNF experiments install
     /// explicit defaults, so a non-zero miss count usually flags a bug.
     pub miss_count: u64,
+    /// Fast path: per 5-tuple, the slot the priority scan would pick among
+    /// exact-match rules. Rebuilt on every mutation.
+    exact: HashMap<ExactKey, usize>,
+    /// Rule-id → slot, for O(1) counter read-back and removal.
+    by_id: HashMap<RuleId, usize>,
+    /// Highest priority of any non-exact (wildcard) rule; the fast path
+    /// only fires when the indexed rule strictly beats this.
+    max_wild_prio: Option<u16>,
 }
 
 impl FlowTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Re-derives the exact-match index, the id→slot map, and the wildcard
+    /// priority ceiling from `rules`. Called after every mutation:
+    /// installs/removals are orders of magnitude rarer than lookups.
+    fn rebuild_index(&mut self) {
+        self.exact.clear();
+        self.by_id.clear();
+        self.max_wild_prio = None;
+        for (slot, r) in self.rules.iter().enumerate() {
+            self.by_id.insert(r.id, slot);
+            match ExactKey::of_filter(&r.filter) {
+                Some((fwd, rev)) => {
+                    // First slot per key wins: `rules` is in scan order.
+                    self.exact.entry(fwd).or_insert(slot);
+                    if let Some(rev) = rev {
+                        self.exact.entry(rev).or_insert(slot);
+                    }
+                }
+                None => {
+                    self.max_wild_prio =
+                        Some(self.max_wild_prio.map_or(r.priority, |w| w.max(r.priority)));
+                }
+            }
+        }
     }
 
     /// Installs a rule, returning its id. Rules are kept sorted by
@@ -74,14 +171,20 @@ impl FlowTable {
             .position(|r| r.priority <= priority)
             .unwrap_or(self.rules.len());
         self.rules.insert(pos, rule);
+        self.rebuild_index();
         id
     }
 
     /// Removes a rule by id. Returns true if it existed.
     pub fn remove(&mut self, id: RuleId) -> bool {
-        let before = self.rules.len();
-        self.rules.retain(|r| r.id != id);
-        self.rules.len() != before
+        match self.by_id.get(&id).copied() {
+            Some(slot) => {
+                self.rules.remove(slot);
+                self.rebuild_index();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes all rules whose filter equals `filter` exactly.
@@ -89,13 +192,36 @@ impl FlowTable {
     pub fn remove_by_filter(&mut self, filter: &Filter) -> usize {
         let before = self.rules.len();
         self.rules.retain(|r| r.filter != *filter);
-        before - self.rules.len()
+        let removed = before - self.rules.len();
+        if removed > 0 {
+            self.rebuild_index();
+        }
+        removed
     }
 
     /// Looks up the rule for `pkt` and bumps its counters.
     /// Returns the matched rule's action (cloned) and id, or `None` on
     /// table miss.
     pub fn apply(&mut self, pkt: &Packet) -> Option<(RuleId, Action)> {
+        match self.exact.get(&ExactKey::of_packet(pkt)).copied() {
+            Some(slot)
+                if self.max_wild_prio.is_none()
+                    || self.rules[slot].priority > self.max_wild_prio.unwrap() =>
+            {
+                // Fast path: the best exact rule beats every wildcard rule,
+                // so the scan could not have picked anything else.
+                let rule = &mut self.rules[slot];
+                rule.packet_count += 1;
+                rule.byte_count += pkt.wire_size as u64;
+                return Some((rule.id, rule.action.clone()));
+            }
+            None if self.max_wild_prio.is_none() => {
+                // Only exact rules installed and none carries this 5-tuple.
+                self.miss_count += 1;
+                return None;
+            }
+            _ => {}
+        }
         for rule in &mut self.rules {
             if rule.filter.matches_packet(pkt) {
                 rule.packet_count += 1;
@@ -114,7 +240,9 @@ impl FlowTable {
 
     /// Counter read-back for a rule (packets, bytes).
     pub fn counters(&self, id: RuleId) -> Option<(u64, u64)> {
-        self.rules.iter().find(|r| r.id == id).map(|r| (r.packet_count, r.byte_count))
+        let slot = self.by_id.get(&id)?;
+        let r = &self.rules[*slot];
+        Some((r.packet_count, r.byte_count))
     }
 
     /// All installed rules, highest priority first.
@@ -148,7 +276,7 @@ mod tests {
     }
 
     fn fwd(port: u16) -> Action {
-        Action::Forward(vec![PortRef::Port(port)])
+        Action::forward(vec![PortRef::Port(port)])
     }
 
     #[test]
@@ -191,6 +319,13 @@ mod tests {
     }
 
     #[test]
+    fn empty_table_misses_without_scanning() {
+        let mut t = FlowTable::new();
+        assert!(t.apply(&pkt("1.1.1.1", "2.2.2.2")).is_none());
+        assert_eq!(t.miss_count, 1);
+    }
+
+    #[test]
     fn remove_by_id_and_filter() {
         let mut t = FlowTable::new();
         let f = Filter::from_src("10.0.0.0/8".parse().unwrap());
@@ -214,11 +349,11 @@ mod tests {
         let phase1 = t.install(
             5,
             flows,
-            Action::Forward(vec![PortRef::Port(1), PortRef::Controller]),
+            Action::forward(vec![PortRef::Port(1), PortRef::Controller]),
         );
         let (id, a) = t.apply(&pkt("10.1.1.1", "1.1.1.1")).unwrap();
         assert_eq!(id, phase1);
-        assert_eq!(a, Action::Forward(vec![PortRef::Port(1), PortRef::Controller]));
+        assert_eq!(a, Action::forward(vec![PortRef::Port(1), PortRef::Controller]));
         // Phase 2: higher priority straight to dstInst on port 2.
         let phase2 = t.install(10, flows, fwd(2));
         let (id, a) = t.apply(&pkt("10.1.1.1", "1.1.1.1")).unwrap();
@@ -244,6 +379,33 @@ mod tests {
         let (_, a) = t.apply(&pkt("10.0.0.5", "1.1.1.1")).unwrap();
         assert_eq!(a, fwd(3));
         let (_, a) = t.apply(&pkt("1.1.1.1", "10.0.0.5")).unwrap();
+        assert_eq!(a, fwd(3));
+    }
+
+    #[test]
+    fn exact_fast_path_agrees_with_scan_semantics() {
+        // Exact rule beaten by a same-priority wildcard installed later:
+        // the fast path must not fire (scan order puts the wildcard first).
+        let mut t = FlowTable::new();
+        let p = pkt("10.0.0.5", "1.1.1.1");
+        let exact = Filter::from_flow_id(p.flow_id());
+        t.install(5, exact, fwd(1));
+        t.install(5, Filter::any(), fwd(2));
+        let (_, a) = t.apply(&p).unwrap();
+        assert_eq!(a, fwd(2), "later equal-priority wildcard wins over exact");
+        // A higher-priority exact rule takes the fast path over wildcards.
+        t.install(9, exact, fwd(3));
+        let (_, a) = t.apply(&p).unwrap();
+        assert_eq!(a, fwd(3));
+        // The bidirectional exact rule also catches the reply direction.
+        let reply = pkt("1.1.1.1", "10.0.0.5");
+        // (swap ports too: the reply of src:1000→dst:80 is src:80→dst:1000)
+        let reply = Packet::builder(
+            1,
+            FlowKey::tcp(reply.key.src_ip, 80, reply.key.dst_ip, 1000),
+        )
+        .build();
+        let (_, a) = t.apply(&reply).unwrap();
         assert_eq!(a, fwd(3));
     }
 }

@@ -1,0 +1,211 @@
+//! Model-based property test: the hash-indexed `FlowTable` must be
+//! observationally identical to the pre-index linear priority scan under
+//! random install/remove/lookup sequences — including overlapping
+//! wildcards, bidirectional exact rules, and equal-priority tie-breaks,
+//! which are exactly the cases where a too-eager fast path would diverge.
+
+use opennf_net::{Action, FlowTable, PortRef, Rule, RuleId};
+use opennf_packet::{Filter, FlowKey, Ipv4Prefix, Packet, Proto, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// The seed implementation: a plain vector in scan order. Every method
+/// mirrors the original `FlowTable` exactly.
+#[derive(Default)]
+struct LinearTable {
+    rules: Vec<Rule>,
+    next_id: u64,
+    miss_count: u64,
+}
+
+impl LinearTable {
+    fn install(&mut self, priority: u16, filter: Filter, action: Action) -> RuleId {
+        self.next_id += 1;
+        let id = RuleId(self.next_id);
+        let rule = Rule { id, priority, filter, action, packet_count: 0, byte_count: 0 };
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.priority <= priority)
+            .unwrap_or(self.rules.len());
+        self.rules.insert(pos, rule);
+        id
+    }
+
+    fn remove(&mut self, id: RuleId) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != id);
+        self.rules.len() != before
+    }
+
+    fn remove_by_filter(&mut self, filter: &Filter) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.filter != *filter);
+        before - self.rules.len()
+    }
+
+    fn apply(&mut self, pkt: &Packet) -> Option<(RuleId, Action)> {
+        for rule in &mut self.rules {
+            if rule.filter.matches_packet(pkt) {
+                rule.packet_count += 1;
+                rule.byte_count += pkt.wire_size as u64;
+                return Some((rule.id, rule.action.clone()));
+            }
+        }
+        self.miss_count += 1;
+        None
+    }
+
+    fn counters(&self, id: RuleId) -> Option<(u64, u64)> {
+        self.rules.iter().find(|r| r.id == id).map(|r| (r.packet_count, r.byte_count))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Install { prio: u16, filt: usize },
+    Remove { nth: usize },
+    RemoveByFilter { filt: usize },
+    Apply { pkt: usize },
+    Counters { nth: usize },
+}
+
+fn ips() -> [Ipv4Addr; 3] {
+    [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(1, 1, 1, 1)]
+}
+
+/// A small closed universe of packets so rules and traffic overlap often.
+fn packet_pool() -> Vec<Packet> {
+    let ports = [80u16, 1000, 2000];
+    let mut out = Vec::new();
+    let mut uid = 0;
+    for &si in &ips() {
+        for &di in &ips() {
+            for &sp in &ports {
+                for &dp in &ports {
+                    for proto in [Proto::Tcp, Proto::Udp] {
+                        uid += 1;
+                        let key = match proto {
+                            Proto::Tcp => FlowKey::tcp(si, sp, di, dp),
+                            _ => FlowKey::udp(si, sp, di, dp),
+                        };
+                        let mut b = Packet::builder(uid, key);
+                        if proto == Proto::Tcp && uid % 3 == 0 {
+                            b = b.flags(TcpFlags::SYN);
+                        }
+                        out.push(b.build());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Filters spanning every class the index distinguishes: wildcards,
+/// partial matches, directional and bidirectional exact 5-tuples, and
+/// exact 5-tuples with a flags constraint (which must NOT be indexed).
+fn filter_pool(pkts: &[Packet]) -> Vec<Filter> {
+    let mut out = vec![
+        Filter::any(),
+        Filter::from_src(Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8)),
+        Filter::from_dst(Ipv4Prefix::new(Ipv4Addr::new(1, 0, 0, 0), 8)),
+        Filter::from_src(Ipv4Prefix::host(ips()[0])).bidi(),
+        Filter::any().proto(Proto::Tcp),
+        Filter::any().dst_port(80),
+        Filter::any().proto(Proto::Tcp).with_tcp_flags(TcpFlags::SYN),
+    ];
+    for p in pkts.iter().step_by(7) {
+        // Bidirectional exact (what the move protocols install).
+        out.push(Filter::from_flow_id(p.flow_id()));
+        // Directional exact.
+        out.push(Filter {
+            nw_src: Some(Ipv4Prefix::host(p.src_ip())),
+            nw_dst: Some(Ipv4Prefix::host(p.dst_ip())),
+            tp_src: Some(p.key.src_port),
+            tp_dst: Some(p.key.dst_port),
+            nw_proto: Some(p.proto()),
+            tcp_flags: None,
+            bidirectional: false,
+        });
+        // Exact 5-tuple + flags: looks exact but must take the scan path.
+        if p.proto() == Proto::Tcp {
+            out.push(
+                Filter {
+                    nw_src: Some(Ipv4Prefix::host(p.src_ip())),
+                    nw_dst: Some(Ipv4Prefix::host(p.dst_ip())),
+                    tp_src: Some(p.key.src_port),
+                    tp_dst: Some(p.key.dst_port),
+                    nw_proto: Some(Proto::Tcp),
+                    tcp_flags: None,
+                    bidirectional: false,
+                }
+                .with_tcp_flags(TcpFlags::SYN),
+            );
+        }
+    }
+    out
+}
+
+fn arb_op(n_filters: usize, n_pkts: usize) -> impl Strategy<Value = Op> {
+    // Weighted mix (the vendored proptest has no `prop_oneof!`): installs
+    // and lookups dominate, removals and counter reads salt the sequence.
+    (0..12u8, 0..6u16, 0..n_filters, 0..n_pkts, 0..64usize).prop_map(
+        |(tag, prio, filt, pkt, nth)| match tag {
+            0..=3 => Op::Install { prio, filt },
+            4 => Op::Remove { nth },
+            5 => Op::RemoveByFilter { filt },
+            6 => Op::Counters { nth },
+            _ => Op::Apply { pkt },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, max_shrink_iters: 0 })]
+    #[test]
+    fn indexed_table_matches_linear_model(
+        ops in proptest::collection::vec(arb_op(40, 160), 1..80)
+    ) {
+        let pkts = packet_pool();
+        let filters = filter_pool(&pkts);
+        let mut real = FlowTable::new();
+        let mut model = LinearTable::default();
+        let mut ids: Vec<RuleId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Install { prio, filt } => {
+                    let f = filters[filt % filters.len()];
+                    let a = Action::forward(vec![PortRef::Port(prio)]);
+                    let id_r = real.install(prio, f, a.clone());
+                    let id_m = model.install(prio, f, a);
+                    prop_assert_eq!(id_r, id_m);
+                    ids.push(id_r);
+                }
+                Op::Remove { nth } => {
+                    let id = ids.get(nth % ids.len().max(1)).copied().unwrap_or(RuleId(9999));
+                    prop_assert_eq!(real.remove(id), model.remove(id));
+                }
+                Op::RemoveByFilter { filt } => {
+                    let f = filters[filt % filters.len()];
+                    prop_assert_eq!(real.remove_by_filter(&f), model.remove_by_filter(&f));
+                }
+                Op::Apply { pkt } => {
+                    let p = &pkts[pkt % pkts.len()];
+                    prop_assert_eq!(real.apply(p), model.apply(p));
+                }
+                Op::Counters { nth } => {
+                    let id = ids.get(nth % ids.len().max(1)).copied().unwrap_or(RuleId(9999));
+                    prop_assert_eq!(real.counters(id), model.counters(id));
+                }
+            }
+            prop_assert_eq!(real.len(), model.rules.len());
+            prop_assert_eq!(real.miss_count, model.miss_count);
+        }
+        // Final scan order (ids high-priority-first) must agree too.
+        let real_ids: Vec<RuleId> = real.rules().iter().map(|r| r.id).collect();
+        let model_ids: Vec<RuleId> = model.rules.iter().map(|r| r.id).collect();
+        prop_assert_eq!(real_ids, model_ids);
+    }
+}

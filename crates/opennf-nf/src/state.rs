@@ -33,7 +33,7 @@ impl std::fmt::Display for Scope {
 /// flows)" (§4.2). The payload is the NF's own serialization (JSON in this
 /// reproduction, matching the paper's JSON southbound protocol); the
 /// `kind` tag tells the importing NF which deserializer to use.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Chunk {
     /// Which flow (or set of flows) the state pertains to. Per-flow chunks
     /// carry a full 5-tuple; a per-host counter carries only the host IP.
@@ -44,6 +44,73 @@ pub struct Chunk {
     pub kind: String,
     /// Serialized state.
     pub data: Vec<u8>,
+}
+
+// Hand-written wire impls: the derived form for `Vec<u8>` is a JSON array
+// of integers — one `Value` allocation plus ~4 wire bytes plus an integer
+// parse *per payload byte* — and chunk payload codec is the cost that
+// dominates bulk state transfer. Payloads are almost always JSON text, so
+// ship them as one tagged JSON string instead: `"s:<utf8 text>"` for
+// valid UTF-8 (1:1 bytes), `"h:<hex>"` for arbitrary binary (2:1).
+impl serde::Serialize for Chunk {
+    fn to_value(&self) -> serde::Value {
+        let data = match std::str::from_utf8(&self.data) {
+            Ok(text) => {
+                let mut out = String::with_capacity(text.len() + 2);
+                out.push_str("s:");
+                out.push_str(text);
+                out
+            }
+            Err(_) => {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                let mut out = String::with_capacity(self.data.len() * 2 + 2);
+                out.push_str("h:");
+                for b in &self.data {
+                    out.push(HEX[(b >> 4) as usize] as char);
+                    out.push(HEX[(b & 15) as usize] as char);
+                }
+                out
+            }
+        };
+        serde::Value::Object(vec![
+            ("flow_id".into(), self.flow_id.to_value()),
+            ("scope".into(), self.scope.to_value()),
+            ("kind".into(), serde::Value::Str(self.kind.clone())),
+            ("data".into(), serde::Value::Str(data)),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Chunk {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| serde::Error::msg("expected chunk object"))?;
+        let tagged: String = serde::field(obj, "data")?;
+        let data = if let Some(text) = tagged.strip_prefix("s:") {
+            text.as_bytes().to_vec()
+        } else if let Some(hex) = tagged.strip_prefix("h:") {
+            let nib = |c: u8| match c {
+                b'0'..=b'9' => Ok(c - b'0'),
+                b'a'..=b'f' => Ok(c - b'a' + 10),
+                _ => Err(serde::Error::msg("bad hex digit in chunk payload")),
+            };
+            let bytes = hex.as_bytes();
+            if bytes.len() % 2 != 0 {
+                return Err(serde::Error::msg("odd-length hex chunk payload"));
+            }
+            bytes
+                .chunks_exact(2)
+                .map(|p| Ok((nib(p[0])? << 4) | nib(p[1])?))
+                .collect::<Result<Vec<u8>, serde::Error>>()?
+        } else {
+            return Err(serde::Error::msg("chunk payload missing 's:'/'h:' tag"));
+        };
+        Ok(Chunk {
+            flow_id: serde::field(obj, "flow_id")?,
+            scope: serde::field(obj, "scope")?,
+            kind: serde::field(obj, "kind")?,
+            data,
+        })
+    }
 }
 
 impl Chunk {
@@ -135,7 +202,31 @@ mod tests {
         let id = FlowId::host(Ipv4Addr::new(1, 2, 3, 4));
         let c = Chunk::encode(id, Scope::MultiFlow, "counter", &7u64);
         let wire = serde_json::to_string(&c).unwrap();
+        // JSON payloads ride the string fast path, not a byte array.
+        assert!(wire.contains("\"s:7\""), "got {wire}");
         let back: Chunk = serde_json::from_str(&wire).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn binary_chunk_payload_roundtrips_as_hex() {
+        let id = FlowId::default();
+        let c = Chunk {
+            flow_id: id,
+            scope: Scope::AllFlows,
+            kind: "blob".into(),
+            data: vec![0x00, 0xFF, 0x80, 0x7F],
+        };
+        let wire = serde_json::to_string(&c).unwrap();
+        assert!(wire.contains("h:00ff807f"), "got {wire}");
+        let back: Chunk = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn untagged_chunk_payload_is_rejected() {
+        let c = Chunk::encode(FlowId::default(), Scope::AllFlows, "x", &7u64);
+        let bad = serde_json::to_string(&c).unwrap().replace("\"s:7\"", "\"7\"");
+        assert!(serde_json::from_str::<Chunk>(&bad).is_err());
     }
 }

@@ -8,19 +8,25 @@
 //! [`WireEvent::NfFailed`] report) or [`RtError::WorkerGone`], and the
 //! caller — like the simulator's failover app — decides how to recover.
 
-use std::sync::Arc;
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use opennf_nf::{EventedNf, NetworkFunction};
-use opennf_packet::Filter;
+use opennf_packet::{Filter, FlowId};
 
 use crate::error::RtError;
 use crate::faults::{worker_node, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 use crate::router::Router;
-use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
-use crate::worker::{spawn_worker_faulty, WorkerHandle};
+use crate::wire::{decode_frame, FrameBuf, WireAction, WireCall, WireEvent, WireMsg, WireReply};
+use crate::worker::{spawn_worker_full, PeerLinks, WorkerHandle};
 use opennf_util::FaultPlan;
+
+/// Replayed packets are coalesced into frames of at most this many
+/// messages: one channel send (and one fault verdict) per frame instead of
+/// per packet, without unbounded frame sizes.
+const REPLAY_BATCH: usize = 64;
 
 /// How long the controller waits for any single southbound reply before
 /// declaring the request dead.
@@ -55,6 +61,21 @@ pub struct RtController {
     /// Packet uids the last aborted move could not replay (its explicit
     /// loss accounting, mirroring the simulator's `abort_lost`).
     last_abort_lost: Vec<u64>,
+    /// Messages decoded from a coalesced frame but not yet consumed: a
+    /// frame's messages drain in order before the channel is polled again.
+    inbox: VecDeque<WireMsg>,
+}
+
+/// What one controller-side receive produced.
+enum Recv {
+    /// The next message (possibly popped out of a coalesced frame).
+    Msg(WireMsg),
+    /// An undecodable channel payload (the wire-error text).
+    Bad(String),
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// Every sender is gone.
+    Disconnected,
 }
 
 impl RtController {
@@ -83,6 +104,7 @@ impl RtController {
     ) -> Self {
         let (to_ctrl, from_workers) = unbounded();
         let n = nfs.len();
+        let peer_cells: Vec<PeerLinks> = (0..n).map(|_| Arc::new(OnceLock::new())).collect();
         let workers: Vec<WorkerHandle> = nfs
             .into_iter()
             .enumerate()
@@ -97,9 +119,28 @@ impl RtController {
                     ),
                     None => FaultyChannel::passthrough(to_ctrl.clone()),
                 };
-                spawn_worker_faulty(i, nf, up)
+                spawn_worker_full(i, nf, up, peer_cells[i].clone())
             })
             .collect();
+        // Wire the direct worker ↔ worker mesh for P2P bulk transfer now
+        // that every inbox exists. Worker i's link to worker j runs through
+        // the fault shim for the worker_node(i) → worker_node(j) link, so a
+        // plan can drop or delay chunk batches on the direct path too.
+        for (i, cell) in peer_cells.iter().enumerate() {
+            let links: Vec<FaultyChannel> = (0..n)
+                .map(|j| match &faults {
+                    Some((f, pump)) => FaultyChannel::shimmed(
+                        workers[j].tx.clone(),
+                        worker_node(i),
+                        worker_node(j),
+                        f.clone(),
+                        pump.clone(),
+                    ),
+                    None => FaultyChannel::passthrough(workers[j].tx.clone()),
+                })
+                .collect();
+            let _ = cell.set(links);
+        }
         let link = |i: usize, src| match &faults {
             Some((f, pump)) => FaultyChannel::shimmed(
                 workers[i].tx.clone(),
@@ -124,6 +165,25 @@ impl RtController {
             data_links,
             reply_timeout: REPLY_TIMEOUT,
             last_abort_lost: Vec::new(),
+            inbox: VecDeque::new(),
+        }
+    }
+
+    /// Pops the next controller-bound wire message, decoding coalesced
+    /// frames as they arrive.
+    fn recv_msg(&mut self, timeout: Duration) -> Recv {
+        loop {
+            if let Some(m) = self.inbox.pop_front() {
+                return Recv::Msg(m);
+            }
+            match self.from_workers.recv_timeout(timeout) {
+                Ok(raw) => match decode_frame(&raw) {
+                    Ok(msgs) => self.inbox.extend(msgs),
+                    Err(e) => return Recv::Bad(e.to_string()),
+                },
+                Err(RecvTimeoutError::Timeout) => return Recv::Timeout,
+                Err(RecvTimeoutError::Disconnected) => return Recv::Disconnected,
+            }
         }
     }
 
@@ -171,6 +231,16 @@ impl RtController {
         self.to_ctrl.clone()
     }
 
+    /// Synchronization barrier: returns once worker `i` has drained every
+    /// message queued on its channel before this call (FIFO ordering), and
+    /// consumes the events those messages raised. Benchmarks use this to
+    /// keep preload processing out of a measured move window.
+    pub fn quiesce(&mut self, worker: usize) -> Result<(), RtError> {
+        let id = self.call(worker, WireCall::DelPerflow { flow_ids: Vec::new() })?;
+        let mut events = Vec::new();
+        Self::expect_done(self.await_reply(id, &mut events)?)
+    }
+
     fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
@@ -181,19 +251,18 @@ impl RtController {
     /// Waits for the response to `id`, buffering any events that arrive in
     /// the meantime into `events`. An [`WireEvent::NfFailed`] report from
     /// any worker aborts the wait — that reply is never coming.
-    fn await_reply(&self, id: u64, events: &mut Vec<WireEvent>) -> Result<WireReply, RtError> {
+    fn await_reply(&mut self, id: u64, events: &mut Vec<WireEvent>) -> Result<WireReply, RtError> {
         loop {
-            let raw = self.from_workers.recv_timeout(self.reply_timeout).map_err(|e| match e {
-                RecvTimeoutError::Timeout => RtError::Timeout { id },
-                RecvTimeoutError::Disconnected => RtError::ChannelClosed,
-            })?;
-            match WireMsg::from_json(&raw).map_err(|e| RtError::Wire(e.to_string()))? {
-                WireMsg::Response { id: rid, reply } if rid == id => return Ok(reply),
-                WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } } => {
+            match self.recv_msg(self.reply_timeout) {
+                Recv::Timeout => return Err(RtError::Timeout { id }),
+                Recv::Disconnected => return Err(RtError::ChannelClosed),
+                Recv::Bad(e) => return Err(RtError::Wire(e)),
+                Recv::Msg(WireMsg::Response { id: rid, reply }) if rid == id => return Ok(reply),
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
                     return Err(RtError::NfFailed { worker, reason });
                 }
-                WireMsg::Event { ev, .. } => events.push(ev),
-                _ => {}
+                Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                Recv::Msg(_) => {}
             }
         }
     }
@@ -220,6 +289,49 @@ impl RtController {
         } else {
             Ok(0)
         }
+    }
+
+    /// Replays a run of buffered event packets to `dst` as coalesced
+    /// frames of at most [`REPLAY_BATCH`] packets each — one channel send
+    /// per frame instead of per packet. Returns how many packets shipped.
+    ///
+    /// Shimmed links fall back to per-packet sends: how many events are
+    /// buffered at replay time is timing-dependent, and a frame whose
+    /// composition varies between reruns would get rerun-varying
+    /// content-addressed fault verdicts (breaking ledger determinism).
+    fn replay_batch(
+        links: &[FaultyChannel],
+        dst: usize,
+        events: impl Iterator<Item = WireEvent>,
+    ) -> Result<usize, RtError> {
+        if links[dst].is_shimmed() {
+            let mut replayed = 0usize;
+            for ev in events {
+                replayed += Self::replay(links, dst, ev)?;
+            }
+            return Ok(replayed);
+        }
+        let mut buf = FrameBuf::new();
+        let mut shipped = 0usize;
+        let flush = |buf: &mut FrameBuf| -> Result<(), RtError> {
+            if let Some(frame) = buf.finish() {
+                links[dst].send_json(frame).map_err(|_| RtError::WorkerGone { worker: dst })?;
+            }
+            Ok(())
+        };
+        for ev in events {
+            if let WireEvent::PacketReceived { mut packet } = ev {
+                packet.do_not_buffer = true;
+                packet.do_not_drop = true;
+                buf.push(&WireMsg::Packet { packet });
+                shipped += 1;
+                if buf.len() >= REPLAY_BATCH {
+                    flush(&mut buf)?;
+                }
+            }
+        }
+        flush(&mut buf)?;
+        Ok(shipped)
     }
 
     /// Executes a loss-free move of per-flow state matching `filter` from
@@ -269,6 +381,190 @@ impl RtController {
         &self.last_abort_lost
     }
 
+    /// Executes a loss-free move whose bulk state transfer goes *directly*
+    /// from `src` to `dst` (footnote 10), copy-then-delete:
+    ///
+    /// 1. `enableEvents(filter, drop)` at src;
+    /// 2. `transferPerflow`: src streams chunk batches straight to dst and
+    ///    summarizes to the controller; dst summarizes its imports;
+    /// 3. the controller reconciles the two summaries, re-requesting any
+    ///    unconfirmed flows (a dropped batch costs one narrower round, not
+    ///    the move);
+    /// 4. only once every exported flow is confirmed imported does src
+    ///    delete — an abort before that never loses state;
+    /// 5. replay buffered events to dst and flip the router.
+    ///
+    /// On failure the destination is told to discard partial imports and
+    /// tombstone in-flight batches (`abortTransfer`), then the move settles
+    /// like [`RtController::move_flows_lossfree`].
+    pub fn move_flows_p2p(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+    ) -> Result<MoveStats, RtError> {
+        self.last_abort_lost.clear();
+        let mut events: Vec<WireEvent> = Vec::new();
+        let mut flipped = false;
+        let mut abort: Option<(u64, Vec<FlowId>)> = None;
+        match self.try_move_p2p(src, dst, filter, &mut events, &mut flipped, &mut abort) {
+            Ok(mut stats) => {
+                let (extra, lost) = self.settle(src, dst, filter, events);
+                stats.events_replayed += extra;
+                self.last_abort_lost = lost;
+                Ok(stats)
+            }
+            Err(e) => {
+                if let Some((through_id, imported)) = abort.take() {
+                    // Best-effort teardown at the destination: delete the
+                    // partial imports and tombstone every round so a chunk
+                    // batch still in flight cannot resurrect them.
+                    if let Ok(id) =
+                        self.call(dst, WireCall::AbortTransfer { flow_ids: imported, through_id })
+                    {
+                        let _ = self.await_reply(id, &mut events);
+                    }
+                }
+                let replay_to = if flipped { dst } else { src };
+                let (_, lost) = self.settle(src, replay_to, filter, events);
+                self.last_abort_lost = lost;
+                Err(e)
+            }
+        }
+    }
+
+    /// Waits for a P2P round's two summaries — the source's
+    /// `TransferExported` and the destination's `TransferDone`, both
+    /// correlated to `id`. A timeout leaves the corresponding side `None`:
+    /// that is a round outcome the caller reconciles, not an operation
+    /// error.
+    #[allow(clippy::type_complexity)]
+    fn await_transfer(
+        &mut self,
+        id: u64,
+        events: &mut Vec<WireEvent>,
+    ) -> Result<(Option<(Vec<FlowId>, u64)>, Option<Vec<FlowId>>), RtError> {
+        let mut exported: Option<(Vec<FlowId>, u64)> = None;
+        let mut done: Option<Vec<FlowId>> = None;
+        let deadline = Instant::now() + self.reply_timeout;
+        while exported.is_none() || done.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_msg(left) {
+                Recv::Timeout => break,
+                Recv::Disconnected => return Err(RtError::ChannelClosed),
+                Recv::Bad(e) => return Err(RtError::Wire(e)),
+                Recv::Msg(WireMsg::Response { id: rid, reply }) if rid == id => match reply {
+                    WireReply::TransferExported { flow_ids, bytes } => {
+                        exported = Some((flow_ids, bytes));
+                    }
+                    WireReply::TransferDone { imported } => done = Some(imported),
+                    WireReply::Error { message } => return Err(RtError::Wire(message)),
+                    _ => {}
+                },
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                    return Err(RtError::NfFailed { worker, reason });
+                }
+                Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                Recv::Msg(_) => {}
+            }
+        }
+        Ok((exported, done))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_move_p2p(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+        events: &mut Vec<WireEvent>,
+        flipped: &mut bool,
+        abort: &mut Option<(u64, Vec<FlowId>)>,
+    ) -> Result<MoveStats, RtError> {
+        const ATTEMPTS: u32 = 3;
+        let start = Instant::now();
+
+        let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
+        Self::expect_done(self.await_reply(id, events)?)?;
+
+        let mut all_exported: Vec<FlowId> = Vec::new();
+        let mut exported_set: HashSet<FlowId> = HashSet::new();
+        let mut imported: Vec<FlowId> = Vec::new();
+        let mut bytes = 0usize;
+        // Empty = the whole filter; retries narrow to the unconfirmed gap.
+        let mut only: Vec<FlowId> = Vec::new();
+        let mut complete = false;
+        for _ in 0..ATTEMPTS {
+            let id =
+                self.call(src, WireCall::TransferPerflow { filter, peer: dst, only: only.clone() })?;
+            *abort = Some((id, imported.clone()));
+            let (round_exported, round_done) = self.await_transfer(id, events)?;
+            let both_acked = round_exported.is_some() && round_done.is_some();
+            if let Some((flow_ids, round_bytes)) = round_exported {
+                bytes += round_bytes as usize;
+                for f in flow_ids {
+                    if exported_set.insert(f) {
+                        all_exported.push(f);
+                    }
+                }
+            }
+            if let Some(cumulative) = round_done {
+                imported = cumulative; // dst reports cumulatively across rounds
+            }
+            *abort = Some((id, imported.clone()));
+            let have: HashSet<FlowId> = imported.iter().copied().collect();
+            only = all_exported.iter().filter(|f| !have.contains(f)).copied().collect();
+            // Complete only when this round's *both* summaries landed and
+            // every exported flow is confirmed — a missing summary retries
+            // even with an empty gap, because the gap is then unknown.
+            if both_acked && only.is_empty() {
+                complete = true;
+                break;
+            }
+        }
+        if !complete {
+            return Err(RtError::Wire(format!(
+                "P2P transfer incomplete after {ATTEMPTS} attempts ({} flows unconfirmed)",
+                only.len()
+            )));
+        }
+        // Copy-then-delete: the source lets go only now that every flow is
+        // confirmed at the destination.
+        if !imported.is_empty() {
+            let id = self.call(src, WireCall::DelPerflow { flow_ids: imported.clone() })?;
+            Self::expect_done(self.await_reply(id, events)?)?;
+        }
+        *abort = None;
+
+        let mut replayed = Self::replay_batch(&self.ctrl_links, dst, events.drain(..))?;
+        self.router.install(10, filter, dst);
+        *flipped = true;
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            match self.recv_msg(Duration::from_millis(20)) {
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                    return Err(RtError::NfFailed { worker, reason });
+                }
+                Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    replayed += Self::replay(&self.ctrl_links, dst, ev)?;
+                }
+                Recv::Msg(_) | Recv::Bad(_) => {}
+                Recv::Timeout => break,
+                Recv::Disconnected => return Err(RtError::ChannelClosed),
+            }
+        }
+
+        Ok(MoveStats {
+            chunks: all_exported.len(),
+            bytes,
+            events_replayed: replayed,
+            duration: start.elapsed(),
+        })
+    }
+
     fn try_move(
         &mut self,
         src: usize,
@@ -302,28 +598,23 @@ impl RtController {
         // still in flight after the flip drain in the background loop
         // below (the real controller keeps its event thread running; here
         // we poll the channel briefly after flipping).
-        let mut replayed = 0usize;
-        for ev in events.drain(..) {
-            replayed += Self::replay(&self.ctrl_links, dst, ev)?;
-        }
+        let mut replayed = Self::replay_batch(&self.ctrl_links, dst, events.drain(..))?;
         self.router.install(10, filter, dst);
         *flipped = true;
         // Drain stragglers: packets that were already queued toward src
         // when the route flipped still raise events.
         let deadline = Instant::now() + Duration::from_millis(200);
         while Instant::now() < deadline {
-            match self.from_workers.recv_timeout(Duration::from_millis(20)) {
-                Ok(raw) => match WireMsg::from_json(&raw) {
-                    Ok(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
-                        return Err(RtError::NfFailed { worker, reason });
-                    }
-                    Ok(WireMsg::Event { ev, .. }) => {
-                        replayed += Self::replay(&self.ctrl_links, dst, ev)?;
-                    }
-                    _ => {}
-                },
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => return Err(RtError::ChannelClosed),
+            match self.recv_msg(Duration::from_millis(20)) {
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                    return Err(RtError::NfFailed { worker, reason });
+                }
+                Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    replayed += Self::replay(&self.ctrl_links, dst, ev)?;
+                }
+                Recv::Msg(_) | Recv::Bad(_) => {}
+                Recv::Timeout => break,
+                Recv::Disconnected => return Err(RtError::ChannelClosed),
             }
         }
 
@@ -354,33 +645,46 @@ impl RtController {
             let deadline = Instant::now() + self.reply_timeout;
             loop {
                 let left = deadline.saturating_duration_since(Instant::now());
-                match self.from_workers.recv_timeout(left) {
-                    Ok(raw) => match WireMsg::from_json(&raw) {
-                        Ok(WireMsg::Response { id: rid, .. }) if rid == id => break,
-                        Ok(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => break,
-                        Ok(WireMsg::Event { ev, .. }) => events.push(ev),
-                        _ => {}
-                    },
-                    Err(_) => break,
+                match self.recv_msg(left) {
+                    Recv::Msg(WireMsg::Response { id: rid, .. }) if rid == id => break,
+                    Recv::Msg(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => break,
+                    Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                    Recv::Msg(_) | Recv::Bad(_) => {}
+                    Recv::Timeout | Recv::Disconnected => break,
                 }
             }
         }
+        // Replay over the management channel too (the abort path must
+        // converge even while the fault plan is hostile), coalesced into
+        // frames; a frame the dead worker never takes loses every packet
+        // inside it, and each uid is accounted.
         let mut replayed = 0usize;
         let mut lost = Vec::new();
+        let mut buf = FrameBuf::new();
+        let mut pending: Vec<u64> = Vec::new();
+        let flush =
+            |buf: &mut FrameBuf, pending: &mut Vec<u64>, replayed: &mut usize, lost: &mut Vec<u64>| {
+                if let Some(frame) = buf.finish() {
+                    if self.workers[replay_to].tx.send(frame).is_ok() {
+                        *replayed += pending.len();
+                    } else {
+                        lost.append(pending);
+                    }
+                    pending.clear();
+                }
+            };
         for ev in events {
             if let WireEvent::PacketReceived { mut packet } = ev {
                 packet.do_not_buffer = true;
                 packet.do_not_drop = true;
-                let uid = packet.uid;
-                // Replay over the management channel too: the abort path
-                // must converge even while the fault plan is hostile.
-                if self.workers[replay_to].send(&WireMsg::Packet { packet }).is_ok() {
-                    replayed += 1;
-                } else {
-                    lost.push(uid);
+                pending.push(packet.uid);
+                buf.push(&WireMsg::Packet { packet });
+                if buf.len() >= REPLAY_BATCH {
+                    flush(&mut buf, &mut pending, &mut replayed, &mut lost);
                 }
             }
         }
+        flush(&mut buf, &mut pending, &mut replayed, &mut lost);
         lost.sort_unstable();
         lost.dedup();
         (replayed, lost)
@@ -474,6 +778,57 @@ mod tests {
         let any: &dyn std::any::Any = h1.nf();
         let m1 = any.downcast_ref::<AssetMonitor>().unwrap();
         assert_eq!(m1.conn_count(), 40);
+    }
+
+    #[test]
+    fn p2p_move_under_live_traffic_is_loss_free() {
+        let mut ctrl = RtController::new(vec![
+            Box::new(AssetMonitor::new()),
+            Box::new(AssetMonitor::new()),
+        ]);
+        let router = ctrl.router.clone();
+        let tx0 = ctrl.worker_tx(0);
+        let tx1 = ctrl.worker_tx(1);
+        let sent = Arc::new(AtomicU64::new(0));
+        let sent_gen = sent.clone();
+        let gen = std::thread::spawn(move || {
+            let txs = [tx0, tx1];
+            for uid in 1..=2_000u64 {
+                let p = pkt(uid, (uid % 40) as u16);
+                if let Some(w) = router.route(&p) {
+                    let _ = txs[w].send(WireMsg::Packet { packet: p }.to_json());
+                }
+                sent_gen.store(uid, Ordering::Release);
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        });
+        while sent.load(Ordering::Acquire) < 200 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = ctrl.move_flows_p2p(0, 1, Filter::any()).expect("p2p move succeeds");
+        assert_eq!(stats.chunks, 40, "all 40 flows transferred directly");
+        assert!(stats.bytes > 0);
+
+        gen.join().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let harnesses = ctrl.shutdown();
+        let (h0, h1) = (&harnesses[0], &harnesses[1]);
+        let mut all: Vec<u64> =
+            h0.processed_log().iter().chain(h1.processed_log()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            h0.processed_log().len() + h1.processed_log().len(),
+            "no packet processed twice"
+        );
+        assert_eq!(all.len(), 2_000, "every packet processed exactly once");
+        // Copy-then-delete completed: the source holds nothing, the
+        // destination holds all 40 flows.
+        let any: &dyn std::any::Any = h0.nf();
+        assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 0);
+        let any: &dyn std::any::Any = h1.nf();
+        assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 40);
     }
 
     #[test]

@@ -269,13 +269,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The uid of the data packet a wire message carries, if any.
-fn packet_uid(json: &str) -> Option<u64> {
-    match WireMsg::from_json(json) {
-        Ok(WireMsg::Packet { packet }) => Some(packet.uid),
-        Ok(WireMsg::Event { ev: WireEvent::PacketReceived { packet }, .. }) => Some(packet.uid),
-        Ok(WireMsg::Event { ev: WireEvent::PacketProcessed { packet }, .. }) => Some(packet.uid),
+/// The uid of the data packet one wire message carries, if any.
+fn msg_uid(msg: &WireMsg) -> Option<u64> {
+    match msg {
+        WireMsg::Packet { packet } => Some(packet.uid),
+        WireMsg::Event { ev: WireEvent::PacketReceived { packet }, .. } => Some(packet.uid),
+        WireMsg::Event { ev: WireEvent::PacketProcessed { packet }, .. } => Some(packet.uid),
         _ => None,
+    }
+}
+
+/// The uids of every data packet a channel payload carries. A payload may
+/// be a single message or a coalesced frame; a fault hits the whole frame,
+/// so every packet inside it must be accounted.
+fn packet_uids(json: &str) -> Vec<u64> {
+    match crate::wire::decode_frame(json) {
+        Ok(msgs) => msgs.iter().filter_map(msg_uid).collect(),
+        Err(_) => Vec::new(),
     }
 }
 
@@ -307,6 +317,15 @@ impl FaultyChannel {
     /// A shim-free channel: sends go straight through.
     pub fn passthrough(target: Sender<String>) -> Self {
         FaultyChannel { target, shim: None }
+    }
+
+    /// Whether a fault plan is armed on this link. Senders that coalesce
+    /// messages into frames must not do so across a shimmed link when the
+    /// grouping is timing-dependent: verdicts are content-addressed, so a
+    /// frame whose composition varies between reruns would make the
+    /// injected-fault ledger non-reproducible.
+    pub fn is_shimmed(&self) -> bool {
+        self.shim.is_some()
     }
 
     /// Wraps the `src → dst` link with `faults`.
@@ -342,9 +361,7 @@ impl FaultyChannel {
         if f.plan.is_down(shim.dst, t) {
             let mut led = f.ledger.lock();
             led.log.push(FaultEvent::LostAtCrashedNode { time: t, dst: shim.dst });
-            if let Some(uid) = packet_uid(&json) {
-                led.lost_uids.push(uid);
-            }
+            led.lost_uids.extend(packet_uids(&json));
             return Ok(());
         }
 
@@ -360,9 +377,7 @@ impl FaultyChannel {
             Some(FaultKind::Drop) => {
                 let mut led = f.ledger.lock();
                 led.log.push(FaultEvent::Dropped { time: t, src: shim.src, dst: shim.dst });
-                if let Some(uid) = packet_uid(&json) {
-                    led.lost_uids.push(uid);
-                }
+                led.lost_uids.extend(packet_uids(&json));
                 Ok(())
             }
             Some(FaultKind::Delay(by)) => {
@@ -379,9 +394,7 @@ impl FaultyChannel {
                 {
                     let mut led = f.ledger.lock();
                     led.log.push(FaultEvent::Duplicated { time: t, src: shim.src, dst: shim.dst });
-                    if let Some(uid) = packet_uid(&json) {
-                        led.duplicated_uids.push(uid);
-                    }
+                    led.duplicated_uids.extend(packet_uids(&json));
                 }
                 self.pump_at(shim, t + gap, json.clone());
                 self.target.send(json).map_err(|_| LinkClosed)
@@ -537,7 +550,7 @@ mod tests {
         assert!(rx.try_recv().is_err(), "not delivered synchronously");
         let got = rx.recv_timeout(Duration::from_secs(2)).expect("redelivered");
         assert!(t0.elapsed() >= Duration::from_millis(25), "held for ~30ms");
-        assert_eq!(packet_uid(&got), Some(9));
+        assert_eq!(packet_uids(&got), vec![9]);
         drop(ch);
         faults.join_pump();
     }
@@ -586,6 +599,28 @@ mod tests {
         let led = faults.ledger();
         assert_eq!(led.lost_sorted(), vec![1, 2, 3, 4, 5]);
         assert!(led.log.iter().all(|e| matches!(e, FaultEvent::LostAtCrashedNode { .. })));
+        drop(ch);
+        faults.join_pump();
+    }
+
+    #[test]
+    fn dropped_frame_accounts_every_packet_inside() {
+        // A fault verdict hits a whole coalesced frame; every packet it
+        // carried must land in the ledger, not just the first.
+        let (from, until) = always();
+        let plan = FaultPlan::new(3).sever(ROUTER_NODE, worker_node(0), from, until);
+        let (faults, pump) = RtFaults::arm(plan);
+        let (tx, rx) = unbounded();
+        let ch = FaultyChannel::shimmed(tx, ROUTER_NODE, worker_node(0), faults.clone(), pump);
+        let k = FlowKey::tcp("10.0.0.1".parse().unwrap(), 1000, "1.1.1.1".parse().unwrap(), 80);
+        let msgs: Vec<WireMsg> = (1..=6u64)
+            .map(|uid| WireMsg::Packet { packet: Packet::builder(uid, k).build() })
+            .collect();
+        for frame in crate::wire::encode_frames(&msgs, 3) {
+            ch.send_json(frame).unwrap();
+        }
+        assert!(rx.try_recv().is_err(), "all dropped");
+        assert_eq!(faults.ledger().lost_sorted(), (1..=6).collect::<Vec<_>>());
         drop(ch);
         faults.join_pump();
     }

@@ -78,6 +78,28 @@ pub enum WireCall {
         /// Selector.
         filter: Filter,
     },
+    /// P2P bulk transfer (footnote 10): export matching per-flow state and
+    /// stream the chunk batches straight to worker `peer` — the controller
+    /// only gets the export summary back. An empty `only` means every flow
+    /// matching `filter`; a retry narrows it to the unconfirmed flows.
+    TransferPerflow {
+        /// Selector.
+        filter: Filter,
+        /// Destination worker index.
+        peer: usize,
+        /// Retry narrowing; empty = all matching flows.
+        only: Vec<FlowId>,
+    },
+    /// Abort a P2P transfer at the destination: delete the listed imports
+    /// and tombstone every round whose correlation id is `<= through_id`,
+    /// so straggler chunk batches still in flight are discarded instead of
+    /// resurrecting state.
+    AbortTransfer {
+        /// Flows to delete (the destination's confirmed imports).
+        flow_ids: Vec<FlowId>,
+        /// Highest transfer correlation id being aborted.
+        through_id: u64,
+    },
 }
 
 /// Replies on the wire.
@@ -95,6 +117,21 @@ pub enum WireReply {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// P2P source summary: which flows were shipped to the peer, and how
+    /// many chunk bytes. The controller reconciles this against the
+    /// destination's [`WireReply::TransferDone`].
+    TransferExported {
+        /// Flows exported this round, in serialization order.
+        flow_ids: Vec<FlowId>,
+        /// Total chunk bytes shipped.
+        bytes: u64,
+    },
+    /// P2P destination summary: the cumulative set of flows imported for
+    /// this transfer, sent when the `last` chunk batch arrives.
+    TransferDone {
+        /// Every flow imported so far (across retries).
+        imported: Vec<FlowId>,
     },
 }
 
@@ -150,6 +187,21 @@ pub enum WireMsg {
         /// The event.
         ev: WireEvent,
     },
+    /// Worker → worker chunk batch of a P2P bulk transfer (footnote 10).
+    /// Never crosses a controller link. `id` is the correlation id of the
+    /// [`WireCall::TransferPerflow`] that started the round; the
+    /// destination answers the controller with `Response { id,
+    /// TransferDone }` once the `last` batch lands.
+    P2pChunks {
+        /// Correlation id of the originating transfer request.
+        id: u64,
+        /// Batch sequence number within the round (diagnostics).
+        seq: u64,
+        /// True on the round's final batch.
+        last: bool,
+        /// The chunk payload.
+        chunks: Vec<Chunk>,
+    },
     /// Stop the worker thread.
     Shutdown,
 }
@@ -160,10 +212,153 @@ impl WireMsg {
         serde_json::to_string(self).expect("wire message serializes")
     }
 
+    /// Serializes the JSON wire form appended to `out`, so callers can
+    /// reuse one buffer across many messages instead of allocating a
+    /// fresh `String` each time.
+    pub fn write_json(&self, out: &mut String) {
+        self.to_value().encode_json_into(out);
+    }
+
     /// Parses from the JSON wire form.
     pub fn from_json(s: &str) -> Result<WireMsg, serde_json::Error> {
         serde_json::from_str(s)
     }
+}
+
+/// A reusable frame assembler: messages accumulated since the last
+/// [`finish`](FrameBuf::finish) are coalesced into one channel payload.
+///
+/// A frame holding a single message is byte-identical to
+/// [`WireMsg::to_json`], so anything that only ever ships one message per
+/// send (and every existing digest/conformance check) is unaffected. A
+/// frame holding several messages is a JSON array of wire objects — or,
+/// with the `compact-wire` feature, a length-prefixed netstring run
+/// (`#<len>:<json><len>:<json>…`) that skips the closing-bracket scan on
+/// decode. [`decode_frame`] understands all three forms unconditionally.
+///
+/// The internal buffer keeps its capacity across frames, so steady-state
+/// encoding does no per-message allocation.
+#[derive(Default)]
+pub struct FrameBuf {
+    scratch: String,
+    #[cfg(feature = "compact-wire")]
+    tmp: String,
+    count: usize,
+}
+
+impl FrameBuf {
+    /// An empty assembler.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends one message to the frame under assembly.
+    pub fn push(&mut self, msg: &WireMsg) {
+        #[cfg(feature = "compact-wire")]
+        {
+            use std::fmt::Write;
+            self.tmp.clear();
+            msg.write_json(&mut self.tmp);
+            if self.count == 0 {
+                self.scratch.push('#');
+            }
+            let _ = write!(self.scratch, "{}:", self.tmp.len());
+            self.scratch.push_str(&self.tmp);
+        }
+        #[cfg(not(feature = "compact-wire"))]
+        {
+            self.scratch.push(if self.count == 0 { '[' } else { ',' });
+            msg.write_json(&mut self.scratch);
+        }
+        self.count += 1;
+    }
+
+    /// Messages accumulated since the last `finish`.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Takes the assembled frame, leaving the assembler empty (capacity
+    /// retained). `None` when nothing was pushed.
+    pub fn finish(&mut self) -> Option<String> {
+        let out = match self.count {
+            0 => None,
+            // Single message: strip the array framing so the payload is
+            // exactly the bare wire form (digest-stable).
+            1 if !cfg!(feature = "compact-wire") => Some(self.scratch[1..].to_string()),
+            _ => {
+                if !cfg!(feature = "compact-wire") {
+                    self.scratch.push(']');
+                }
+                Some(self.scratch.clone())
+            }
+        };
+        self.scratch.clear();
+        self.count = 0;
+        out
+    }
+}
+
+/// Decodes one channel payload into the messages it frames. Accepts every
+/// form a [`FrameBuf`] can emit regardless of compile-time features: a
+/// bare JSON object (single message), a JSON array batch, or a
+/// `#`-prefixed netstring batch.
+pub fn decode_frame(raw: &str) -> Result<Vec<WireMsg>, serde_json::Error> {
+    match raw.as_bytes().first() {
+        Some(b'[') => {
+            let v = serde::Value::parse_json(raw).map_err(serde_json::Error)?;
+            let arr = v
+                .as_array()
+                .ok_or_else(|| serde_json::Error("frame is not an array".into()))?;
+            arr.iter()
+                .map(|e| {
+                    use serde::Deserialize;
+                    WireMsg::from_value(e).map_err(serde_json::Error::from)
+                })
+                .collect()
+        }
+        Some(b'#') => {
+            let mut rest = &raw[1..];
+            let mut out = Vec::new();
+            while !rest.is_empty() {
+                let colon = rest
+                    .find(':')
+                    .ok_or_else(|| serde_json::Error("netstring missing ':'".into()))?;
+                let len: usize = rest[..colon]
+                    .parse()
+                    .map_err(|_| serde_json::Error("netstring bad length".into()))?;
+                let body = rest
+                    .get(colon + 1..colon + 1 + len)
+                    .ok_or_else(|| serde_json::Error("netstring truncated".into()))?;
+                out.push(WireMsg::from_json(body)?);
+                rest = &rest[colon + 1 + len..];
+            }
+            Ok(out)
+        }
+        _ => WireMsg::from_json(raw).map(|m| vec![m]),
+    }
+}
+
+/// Encodes a run of messages into channel payloads the way the runtime
+/// ships them: coalesced into frames of at most `batch` messages, through
+/// one reused buffer.
+pub fn encode_frames(msgs: &[WireMsg], batch: usize) -> Vec<String> {
+    let batch = batch.max(1);
+    let mut buf = FrameBuf::new();
+    let mut out = Vec::with_capacity(msgs.len().div_ceil(batch));
+    for m in msgs {
+        buf.push(m);
+        if buf.len() >= batch {
+            out.extend(buf.finish());
+        }
+    }
+    out.extend(buf.finish());
+    out
 }
 
 #[cfg(test)]
@@ -217,5 +412,74 @@ mod tests {
     fn malformed_json_is_an_error() {
         assert!(WireMsg::from_json("{not json").is_err());
         assert!(WireMsg::from_json("{\"type\":\"nope\"}").is_err());
+    }
+
+    fn sample_msgs(n: u64) -> Vec<WireMsg> {
+        let k = FlowKey::tcp("10.0.0.1".parse().unwrap(), 1, "2.2.2.2".parse().unwrap(), 80);
+        (1..=n)
+            .map(|uid| WireMsg::Event {
+                worker: 0,
+                ev: WireEvent::PacketProcessed { packet: Packet::builder(uid, k).build() },
+            })
+            .collect()
+    }
+
+    #[test]
+    #[cfg_attr(feature = "compact-wire", ignore = "compact frames are not bare JSON")]
+    fn single_message_frame_is_byte_identical_to_to_json() {
+        let msgs = sample_msgs(1);
+        let mut buf = FrameBuf::new();
+        buf.push(&msgs[0]);
+        assert_eq!(buf.finish().unwrap(), msgs[0].to_json());
+    }
+
+    #[test]
+    fn frames_roundtrip_in_order() {
+        let msgs = sample_msgs(10);
+        let frames = encode_frames(&msgs, 4);
+        assert_eq!(frames.len(), 3, "10 msgs at batch=4 => 4+4+2");
+        let mut got = Vec::new();
+        for f in &frames {
+            got.extend(decode_frame(f).unwrap());
+        }
+        assert_eq!(got.len(), 10);
+        for (a, b) in got.iter().zip(&msgs) {
+            assert_eq!(a.to_json(), b.to_json());
+        }
+    }
+
+    #[test]
+    fn decode_frame_accepts_all_wire_forms() {
+        let msgs = sample_msgs(3);
+        // Bare single object.
+        let one = decode_frame(&msgs[0].to_json()).unwrap();
+        assert_eq!(one.len(), 1);
+        // JSON array batch.
+        let arr = format!("[{},{}]", msgs[0].to_json(), msgs[1].to_json());
+        assert_eq!(decode_frame(&arr).unwrap().len(), 2);
+        // Netstring batch.
+        let (a, b) = (msgs[1].to_json(), msgs[2].to_json());
+        let net = format!("#{}:{}{}:{}", a.len(), a, b.len(), b);
+        let got = decode_frame(&net).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].to_json(), a);
+        // Truncated netstring is an error, not a panic.
+        assert!(decode_frame("#999:{\"type\"").is_err());
+        assert!(decode_frame("[{\"type\":\"nope\"}]").is_err());
+    }
+
+    #[test]
+    fn frame_buf_reuses_capacity() {
+        let msgs = sample_msgs(8);
+        let mut buf = FrameBuf::new();
+        for m in &msgs {
+            buf.push(m);
+        }
+        let first = buf.finish().unwrap();
+        assert!(buf.is_empty());
+        for m in &msgs {
+            buf.push(m);
+        }
+        assert_eq!(buf.finish().unwrap(), first, "assembler state fully resets");
     }
 }

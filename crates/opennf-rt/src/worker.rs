@@ -6,15 +6,27 @@
 //! thread exits cleanly — it never unwinds across the channel and never
 //! leaves the controller blocked on a reply that will not come.
 
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
+use opennf_packet::{Filter, FlowId};
 
 use crate::error::RtError;
 use crate::faults::FaultyChannel;
-use crate::wire::{WireCall, WireEvent, WireMsg, WireReply};
+use crate::wire::{decode_frame, FrameBuf, WireCall, WireEvent, WireMsg, WireReply};
+
+/// Chunks per direct worker → worker frame in a P2P bulk transfer.
+const P2P_BATCH_CHUNKS: usize = 64;
+
+/// Direct worker → worker links for P2P bulk transfer, indexed by
+/// destination worker. Filled in by the controller once every worker has
+/// been spawned (the full mesh cannot exist before all ends do); a worker
+/// that receives a transfer request before then reports an error.
+pub type PeerLinks = Arc<OnceLock<Vec<FaultyChannel>>>;
 
 /// Handle to a running worker.
 pub struct WorkerHandle {
@@ -57,27 +69,43 @@ pub fn spawn_worker(
 }
 
 /// Spawns a worker whose controller-bound link runs through the fault
-/// shim (or a passthrough).
+/// shim (or a passthrough). No peer links: P2P transfer requests fail.
 pub fn spawn_worker_faulty(
     index: usize,
     nf: Box<dyn NetworkFunction>,
     to_ctrl: FaultyChannel,
 ) -> WorkerHandle {
+    spawn_worker_full(index, nf, to_ctrl, Arc::new(OnceLock::new()))
+}
+
+/// Spawns a worker with a (late-bound) set of direct peer links for P2P
+/// bulk transfer.
+pub fn spawn_worker_full(
+    index: usize,
+    nf: Box<dyn NetworkFunction>,
+    to_ctrl: FaultyChannel,
+    peers: PeerLinks,
+) -> WorkerHandle {
     let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
     let join = std::thread::Builder::new()
         .name(format!("nf-worker-{index}"))
-        .spawn(move || worker_loop(index, nf, rx, to_ctrl))
+        .spawn(move || worker_loop(index, nf, rx, to_ctrl, peers))
         .expect("spawn worker");
     WorkerHandle { index, tx, join: Some(join) }
 }
 
-fn send_events(index: usize, to_ctrl: &FaultyChannel, events: Vec<NfEvent>) {
+/// Ships every event one packet raised as a single coalesced frame (one
+/// channel send, one fault verdict), through the reused assembler.
+fn send_events(index: usize, to_ctrl: &FaultyChannel, buf: &mut FrameBuf, events: Vec<NfEvent>) {
     for ev in events {
         let wire = match ev {
             NfEvent::Received(packet) => WireEvent::PacketReceived { packet },
             NfEvent::Processed(packet) => WireEvent::PacketProcessed { packet },
         };
-        let _ = to_ctrl.send(&WireMsg::Event { worker: index, ev: wire });
+        buf.push(&WireMsg::Event { worker: index, ev: wire });
+    }
+    if let Some(frame) = buf.finish() {
+        let _ = to_ctrl.send_json(frame);
     }
 }
 
@@ -93,15 +121,87 @@ fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Destination-side bookkeeping of a P2P bulk transfer: the cumulative
+/// imports (what `TransferDone` reports) and the abort tombstone.
+#[derive(Default)]
+struct P2pIn {
+    imported: Vec<FlowId>,
+    seen: HashSet<FlowId>,
+    /// Chunk batches whose correlation id is `<=` this are from aborted
+    /// rounds: discard them instead of resurrecting deleted state.
+    aborted_through: u64,
+}
+
+/// Source side of a P2P transfer: export the matching per-flow state and
+/// stream it to the peer in chunk batches, then summarize for the
+/// controller. The state is NOT deleted here — copy-then-delete means the
+/// controller sends `DelPerflow` only after the destination confirmed
+/// every flow.
+fn do_transfer(
+    harness: &mut EventedNf,
+    peers: &PeerLinks,
+    id: u64,
+    filter: &Filter,
+    peer: usize,
+    only: &[FlowId],
+) -> WireReply {
+    let Some(links) = peers.get() else {
+        return WireReply::Error { message: "peer links not wired (no P2P mesh)".into() };
+    };
+    let Some(link) = links.get(peer) else {
+        return WireReply::Error { message: format!("no peer link to worker {peer}") };
+    };
+    let mut chunks = harness.nf_mut().get_perflow(filter);
+    if !only.is_empty() {
+        let keep: HashSet<FlowId> = only.iter().copied().collect();
+        chunks.retain(|c| keep.contains(&c.flow_id));
+    }
+    let mut flow_ids = Vec::new();
+    let mut listed = HashSet::new();
+    let mut bytes = 0u64;
+    for c in &chunks {
+        bytes += c.len() as u64;
+        if listed.insert(c.flow_id) {
+            flow_ids.push(c.flow_id);
+        }
+    }
+    // Ship in bounded batches; the final one carries `last` (and goes out
+    // even when there is nothing to ship, so the destination always acks).
+    let mut seq = 0u64;
+    let mut remaining = chunks;
+    loop {
+        let rest = if remaining.len() > P2P_BATCH_CHUNKS {
+            remaining.split_off(P2P_BATCH_CHUNKS)
+        } else {
+            Vec::new()
+        };
+        let last = rest.is_empty();
+        // A dead peer is not the source's problem: the controller sees the
+        // missing TransferDone and retries or aborts.
+        let _ = link.send(&WireMsg::P2pChunks { id, seq, last, chunks: remaining });
+        seq += 1;
+        if last {
+            break;
+        }
+        remaining = rest;
+    }
+    WireReply::TransferExported { flow_ids, bytes }
+}
+
 fn worker_loop(
     index: usize,
     nf: Box<dyn NetworkFunction>,
     rx: Receiver<String>,
     to_ctrl: FaultyChannel,
+    peers: PeerLinks,
 ) -> EventedNf {
     let mut harness = EventedNf::new(nf);
-    while let Ok(raw) = rx.recv() {
-        let msg = match WireMsg::from_json(&raw) {
+    let mut ev_buf = FrameBuf::new();
+    let mut p2p = P2pIn::default();
+    'recv: while let Ok(raw) = rx.recv() {
+        // A payload may frame several messages (batched packets/chunks);
+        // process them in frame order.
+        let msgs = match decode_frame(&raw) {
             Ok(m) => m,
             Err(e) => {
                 let _ = to_ctrl.send(&WireMsg::Response {
@@ -111,34 +211,93 @@ fn worker_loop(
                 continue;
             }
         };
-        match msg {
-            WireMsg::Shutdown => break,
-            WireMsg::Packet { packet } => {
-                match catch_unwind(AssertUnwindSafe(|| harness.handle_packet(&packet))) {
-                    Ok((_outcome, events)) => send_events(index, &to_ctrl, events),
-                    Err(payload) => {
-                        let reason = panic_reason(payload);
-                        let _ = to_ctrl
-                            .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
-                        break;
+        for msg in msgs {
+            match msg {
+                WireMsg::Shutdown => break 'recv,
+                WireMsg::Packet { packet } => {
+                    match catch_unwind(AssertUnwindSafe(|| harness.handle_packet(&packet))) {
+                        Ok((_outcome, events)) => {
+                            send_events(index, &to_ctrl, &mut ev_buf, events)
+                        }
+                        Err(payload) => {
+                            let reason = panic_reason(payload);
+                            let _ = to_ctrl
+                                .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
+                            break 'recv;
+                        }
                     }
                 }
-            }
-            WireMsg::Request { id, call } => {
-                match catch_unwind(AssertUnwindSafe(|| handle_call(&mut harness, call))) {
-                    Ok(reply) => {
-                        let _ = to_ctrl.send(&WireMsg::Response { id, reply });
+                WireMsg::Request { id, call: WireCall::TransferPerflow { filter, peer, only } } => {
+                    let reply = match catch_unwind(AssertUnwindSafe(|| {
+                        do_transfer(&mut harness, &peers, id, &filter, peer, &only)
+                    })) {
+                        Ok(reply) => reply,
+                        Err(payload) => {
+                            let reason = panic_reason(payload);
+                            let _ = to_ctrl
+                                .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
+                            break 'recv;
+                        }
+                    };
+                    let _ = to_ctrl.send(&WireMsg::Response { id, reply });
+                }
+                WireMsg::Request { id, call: WireCall::AbortTransfer { flow_ids, through_id } } => {
+                    p2p.aborted_through = p2p.aborted_through.max(through_id);
+                    harness.nf_mut().del_perflow(&flow_ids);
+                    for f in &flow_ids {
+                        p2p.seen.remove(f);
                     }
-                    Err(payload) => {
-                        let reason = panic_reason(payload);
-                        let _ = to_ctrl
-                            .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
-                        break;
+                    let gone: HashSet<FlowId> = flow_ids.into_iter().collect();
+                    p2p.imported.retain(|f| !gone.contains(f));
+                    let _ = to_ctrl.send(&WireMsg::Response { id, reply: WireReply::Done });
+                }
+                WireMsg::Request { id, call } => {
+                    match catch_unwind(AssertUnwindSafe(|| handle_call(&mut harness, call))) {
+                        Ok(reply) => {
+                            let _ = to_ctrl.send(&WireMsg::Response { id, reply });
+                        }
+                        Err(payload) => {
+                            let reason = panic_reason(payload);
+                            let _ = to_ctrl
+                                .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
+                            break 'recv;
+                        }
                     }
                 }
+                WireMsg::P2pChunks { id, seq: _, last, chunks } => {
+                    if id <= p2p.aborted_through {
+                        // Straggler from an aborted round: the state it
+                        // carries was already rolled back at the source.
+                        continue;
+                    }
+                    let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
+                    match harness.nf_mut().put_perflow(chunks) {
+                        Ok(()) => {
+                            for f in ids {
+                                if p2p.seen.insert(f) {
+                                    p2p.imported.push(f);
+                                }
+                            }
+                            if last {
+                                let _ = to_ctrl.send(&WireMsg::Response {
+                                    id,
+                                    reply: WireReply::TransferDone {
+                                        imported: p2p.imported.clone(),
+                                    },
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            let _ = to_ctrl.send(&WireMsg::Response {
+                                id,
+                                reply: WireReply::Error { message: e.to_string() },
+                            });
+                        }
+                    }
+                }
+                // Workers never receive responses or events.
+                WireMsg::Response { .. } | WireMsg::Event { .. } => {}
             }
-            // Workers never receive responses or events.
-            WireMsg::Response { .. } | WireMsg::Event { .. } => {}
         }
     }
     harness
@@ -176,6 +335,11 @@ fn handle_call(harness: &mut EventedNf, call: WireCall) -> WireReply {
         WireCall::DisableEvents { filter } => {
             harness.disable_events(&filter);
             WireReply::Done
+        }
+        // Intercepted in `worker_loop` (they need the peer links and the
+        // per-transfer bookkeeping).
+        WireCall::TransferPerflow { .. } | WireCall::AbortTransfer { .. } => {
+            WireReply::Error { message: "transfer calls are handled by the worker loop".into() }
         }
     }
 }

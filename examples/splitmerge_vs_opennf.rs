@@ -72,6 +72,7 @@ fn opennf_run() -> (usize, bool, bool) {
                 variant: MoveVariant::LossFreeOrderPreserving,
                 parallel: true,
                 early_release: false,
+                ..Default::default()
             },
         },
     );

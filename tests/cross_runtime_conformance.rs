@@ -7,7 +7,7 @@
 
 use conformance::{
     differential, run_rt, run_sim, Spec, M_ALL_FAULTS, M_DEFAULT, M_DROP_DATA, M_DROP_UP,
-    M_DUP_DATA, M_FULL_LOAD,
+    M_DUP_DATA, M_FULL_LOAD, M_NO_MOVE, M_P2P,
 };
 
 /// With no faults the two runtimes are observationally equivalent: the
@@ -46,9 +46,16 @@ fn same_fault_plan_drives_both_runtimes_and_both_account_for_every_packet() {
 /// the simulator replays byte-identically (canonical fault record and
 /// state digest), and the threaded runtime's content-addressed dice make
 /// its injected-fault ledger rerun-identical despite thread scheduling.
+///
+/// The rt guarantee is "same per-link message set ⇒ same ledger", so the
+/// spec must keep the message set schedule-determined: `M_NO_MOVE`. With
+/// a move in flight, the route flip races the generator thread, and a
+/// packet that lands on the faulted link in one run may miss it in the
+/// next — the ledger then legitimately differs (moves under faults are
+/// exercised by the oracle tests above, which don't compare ledgers).
 #[test]
 fn same_seed_reruns_are_deterministic_per_runtime() {
-    let spec = Spec::from_seed(4, M_DROP_DATA | M_DUP_DATA | M_DROP_UP | M_FULL_LOAD);
+    let spec = Spec::from_seed(4, M_DROP_DATA | M_DUP_DATA | M_DROP_UP | M_FULL_LOAD | M_NO_MOVE);
     let (a, b) = (run_sim(&spec), run_sim(&spec));
     assert_eq!(a.fault_canonical, b.fault_canonical, "sim fault record replays");
     assert_eq!(a.digest, b.digest, "sim state digest replays");
@@ -56,6 +63,37 @@ fn same_seed_reruns_are_deterministic_per_runtime() {
 
     let (a, b) = (run_rt(&spec), run_rt(&spec));
     assert_eq!(a.fault_canonical, b.fault_canonical, "rt ledger is rerun-identical");
+}
+
+/// The P2P bulk-transfer move variant (source streams chunk batches
+/// directly to the destination) is observationally equivalent to the
+/// controller-mediated move on fault-free specs: both runtimes complete
+/// the move and agree on final state digests and processed counts.
+#[test]
+fn p2p_move_fault_free_agrees_across_runtimes() {
+    for seed in [6u64, 21] {
+        let spec = Spec::from_seed(seed, M_FULL_LOAD | M_P2P);
+        assert!(spec.is_fault_free(), "bare M_P2P must not arm any fault");
+        let r = differential(&spec);
+        assert!(r.ok, "seed {seed}: {} (repro: {})", r.detail, spec.repro());
+        assert_eq!(r.sim.digest, r.rt.digest, "seed {seed} digests");
+        assert_eq!(r.sim.processed, r.rt.processed, "seed {seed} processed");
+        assert!(r.sim.move_completed && r.rt.move_completed, "seed {seed} move completed");
+    }
+}
+
+/// P2P under the full fault cocktail — including drops on the direct
+/// src → dst chunk-batch link — must still satisfy the
+/// exactly-once-or-accounted oracle on both sides: a dropped batch costs
+/// a narrower retry round (or an accounted abort), never silent loss.
+#[test]
+fn p2p_move_under_faults_accounts_for_every_packet() {
+    for seed in [9u64, 11] {
+        let spec = Spec::from_seed(seed, M_DEFAULT | M_P2P);
+        assert!(!spec.is_fault_free());
+        let r = differential(&spec);
+        assert!(r.ok, "seed {seed}: {} (repro: {})", r.detail, spec.repro());
+    }
 }
 
 /// The default soak mask (what CI iterates) holds on its first seeds.

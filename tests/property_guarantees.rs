@@ -50,6 +50,7 @@ proptest! {
             variant: MoveVariant::LossFree,
             parallel: true,
             early_release: er,
+            ..Default::default()
         };
         let (oracle, c1, c2) = run_move(flows, pps, move_at, props, seed);
         prop_assert!(oracle.is_loss_free(),
@@ -71,6 +72,7 @@ proptest! {
             variant: MoveVariant::LossFreeOrderPreserving,
             parallel: true,
             early_release: er,
+            ..Default::default()
         };
         let (oracle, _, c2) = run_move(flows, pps, move_at, props, seed);
         prop_assert!(oracle.is_loss_free(),

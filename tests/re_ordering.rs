@@ -81,6 +81,7 @@ fn order_preserving_move_keeps_decoder_in_sync() {
         variant: MoveVariant::LossFreeOrderPreserving,
         parallel: true,
         early_release: false, // global ordering needed: all-flows state
+        ..Default::default()
     };
     let (drops, decoded, loss_free) = run(props);
     assert!(loss_free);

@@ -99,6 +99,12 @@ impl Value {
         out
     }
 
+    /// Encodes this value as compact JSON text appended to `out`,
+    /// letting callers reuse one output buffer across many values.
+    pub fn encode_json_into(&self, out: &mut String) {
+        self.write_json(out);
+    }
+
     fn write_json(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
