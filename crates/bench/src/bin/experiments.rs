@@ -99,6 +99,16 @@ fn main() {
                     }
                 }
             }
+            // CI gate: telemetry-enabled full-size bulk moves vs the
+            // pre-telemetry baseline, hard 10% budget (not a paper
+            // artifact; run explicitly, never part of "all").
+            "perfguard" => {
+                let base = bench_baseline.as_deref().unwrap_or("BENCH_1.json");
+                if let Err(e) = perf::perfguard(base) {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
             "ablations" => {
                 let ks: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
                 ablations::run_submoves(&ks).print();

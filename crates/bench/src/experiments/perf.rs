@@ -13,6 +13,7 @@ use opennf_net::{Action, FlowTable, PortRef};
 use opennf_nfs::AssetMonitor;
 use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
 use opennf_rt::{wire, RtController, WireEvent, WireMsg};
+use opennf_telemetry::Telemetry;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -34,10 +35,30 @@ pub struct Row {
     pub item: &'static str,
 }
 
+/// Per-phase latency percentiles harvested from the telemetry
+/// histograms the bulk-move runs feed (one histogram per `move.*` span
+/// name, values in nanoseconds, log2 buckets → factor-of-two accuracy).
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Span name ("move.export", "move.transfer", …).
+    pub name: &'static str,
+    /// Spans recorded across all bulk-move samples.
+    pub count: u64,
+    /// Median phase latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile phase latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile phase latency, ms.
+    pub p99_ms: f64,
+}
+
 /// All rows from one run.
 pub struct PerfReport {
     /// Measured rows.
     pub rows: Vec<Row>,
+    /// Per-phase percentile breakdown of the bulk moves (empty when no
+    /// telemetry-enabled experiment ran).
+    pub phases: Vec<PhaseRow>,
     /// Whether the run used the reduced quick parameters.
     pub quick: bool,
 }
@@ -127,11 +148,11 @@ fn sb_encode_256(quick: bool) -> Row {
     }
 }
 
-fn rt_move_sample(flows: u32, p2p: bool) -> (f64, f64) {
-    let mut ctrl = RtController::new(vec![
-        Box::new(AssetMonitor::new()),
-        Box::new(AssetMonitor::new()),
-    ]);
+fn rt_move_sample(flows: u32, p2p: bool, tel: &Telemetry) -> (f64, f64) {
+    let mut ctrl = RtController::new_with_telemetry(
+        vec![Box::new(AssetMonitor::new()), Box::new(AssetMonitor::new())],
+        tel.clone(),
+    );
     let tx = ctrl.worker_tx(0);
     for f in 0..flows {
         let p = Packet::builder(f as u64 + 1, key(f)).flags(TcpFlags::SYN).build();
@@ -160,13 +181,18 @@ fn rt_move_sample(flows: u32, p2p: bool) -> (f64, f64) {
 /// (footnote 10) — comparing it against a pre-P2P baseline is exactly the
 /// before/after of that change. The controller-mediated path keeps its
 /// own `_lossfree` key so regressions there stay visible too.
-fn rt_bulk_move(quick: bool, p2p: bool) -> Row {
+///
+/// Every sample runs with the flight recorder and span clocks *enabled*
+/// (`tel` is shared across samples so per-phase histograms accumulate):
+/// the checked-in baseline predates telemetry, so the regression gate
+/// doubles as the telemetry-overhead budget.
+fn rt_bulk_move(quick: bool, p2p: bool, tel: &Telemetry) -> Row {
     let flows = if quick { 500 } else { 2_000 };
     let runs = if quick { 3 } else { 5 };
     let mut samples = Vec::with_capacity(runs);
     let mut tput = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let (ms, fps) = rt_move_sample(flows, p2p);
+        let (ms, fps) = rt_move_sample(flows, p2p, tel);
         samples.push(ms);
         tput.push(fps);
     }
@@ -209,16 +235,52 @@ fn sim_move_500() -> Row {
     }
 }
 
+/// The five move phases in protocol order — same names both runtimes
+/// emit, same order `span_sequence` checks in conformance.
+const MOVE_PHASES: [&str; 5] =
+    ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+
+/// Reads the per-phase latency histograms the bulk-move samples fed.
+fn collect_phases(tel: &Telemetry) -> Vec<PhaseRow> {
+    MOVE_PHASES
+        .iter()
+        .filter_map(|&name| {
+            tel.hist_snapshot(name).map(|h| PhaseRow {
+                name,
+                count: h.count,
+                p50_ms: h.p50 as f64 / 1e6,
+                p95_ms: h.p95 as f64 / 1e6,
+                p99_ms: h.p99 as f64 / 1e6,
+            })
+        })
+        .collect()
+}
+
 /// Runs every hot-path benchmark.
 pub fn run(quick: bool) -> PerfReport {
+    let tel = Telemetry::wall();
     let rows = vec![
         flowtable_lookup_1k(quick),
         sb_encode_256(quick),
-        rt_bulk_move(quick, true),
-        rt_bulk_move(quick, false),
+        rt_bulk_move(quick, true, &tel),
+        rt_bulk_move(quick, false, &tel),
         sim_move_500(),
     ];
-    PerfReport { rows, quick }
+    PerfReport { rows, phases: collect_phases(&tel), quick }
+}
+
+/// CI perf gate: the full-size (2000-flow) bulk moves, flight recorder
+/// on, compared against a checked-in baseline at a 10% budget. Unlike
+/// `--quick` runs (whose 500-flow keys have no baseline counterpart and
+/// are skipped by `compare`), this always exercises the exact keys the
+/// baseline holds, so a telemetry-overhead regression cannot slip
+/// through unkeyed.
+pub fn perfguard(baseline_path: &str) -> Result<(), String> {
+    let tel = Telemetry::wall();
+    let rows = vec![rt_bulk_move(false, true, &tel), rt_bulk_move(false, false, &tel)];
+    let rep = PerfReport { rows, phases: collect_phases(&tel), quick: false };
+    rep.print();
+    compare(&rep, baseline_path, 10.0)
 }
 
 impl PerfReport {
@@ -231,6 +293,16 @@ impl PerfReport {
                 "{:<28} {:>14} {:>12.2} {:>12.2} {:>12.0}/s {}",
                 r.key, r.unit, r.median, r.p95, r.throughput, r.item
             );
+        }
+        if !self.phases.is_empty() {
+            println!("\n-- per-phase latency over all bulk moves (ms) --");
+            println!("{:<20} {:>8} {:>10} {:>10} {:>10}", "phase", "count", "p50", "p95", "p99");
+            for p in &self.phases {
+                println!(
+                    "{:<20} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                    p.name, p.count, p.p50_ms, p.p95_ms, p.p99_ms
+                );
+            }
         }
     }
 
@@ -248,6 +320,18 @@ impl PerfReport {
                 r.throughput,
                 r.item,
                 if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  },\n  \"phases\": {\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+                p.name,
+                p.count,
+                p.p50_ms,
+                p.p95_ms,
+                p.p99_ms,
+                if i + 1 == self.phases.len() { "" } else { "," }
             ));
         }
         s.push_str("  }\n}\n");

@@ -34,6 +34,7 @@ use opennf_nf::{Chunk, NetworkFunction};
 use opennf_nfs::AssetMonitor;
 use opennf_packet::Filter;
 use opennf_rt::{RtController, WireMsg};
+use opennf_telemetry::Telemetry;
 use opennf_trace::steady_flows;
 use opennf_util::{Dur, FaultKind, FaultPlan, Md5, NodeId, SimRng, Time};
 
@@ -193,6 +194,16 @@ pub struct SideReport {
     pub digest: String,
     /// Whether the move completed (vs aborted).
     pub move_completed: bool,
+    /// Begin-ordered `move.*` span names from the run's telemetry. On
+    /// fault-free specs with a move both runtimes must emit the identical
+    /// sequence (export → transfer → import → flush → fwd_update).
+    pub move_spans: Vec<String>,
+    /// Flight-recorder dump (JSONL, metrics summary included) — what the
+    /// soak writes next to the repro line when a spec fails.
+    pub flight_jsonl: String,
+    /// The same recorder as a Chrome trace-event JSON document (open in
+    /// `chrome://tracing` or Perfetto).
+    pub flight_chrome: String,
 }
 
 fn digest_chunks(mut chunks: Vec<Chunk>) -> String {
@@ -210,10 +221,12 @@ fn digest_chunks(mut chunks: Vec<Chunk>) -> String {
 
 /// Runs the spec through the discrete-event simulator.
 pub fn run_sim(spec: &Spec) -> SideReport {
+    let tel = Telemetry::manual();
     let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
     let mut b = ScenarioBuilder::new()
         .config(NetConfig::default())
         .seed(spec.seed)
+        .telemetry(tel.clone())
         .nf("src", Box::new(AssetMonitor::new()))
         .nf("dst", Box::new(AssetMonitor::new()))
         .host(trace)
@@ -254,7 +267,17 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         .unwrap_or(false);
     let fault_canonical = sim_fault_canonical(&s);
     let digest = sim_digest(&mut s);
-    SideReport { ok, detail, processed, fault_canonical, digest, move_completed }
+    SideReport {
+        ok,
+        detail,
+        processed,
+        fault_canonical,
+        digest,
+        move_completed,
+        move_spans: tel.span_sequence("move."),
+        flight_jsonl: tel.export_jsonl(),
+        flight_chrome: tel.export_chrome(),
+    }
 }
 
 fn sim_digest(s: &mut Scenario) -> String {
@@ -294,9 +317,11 @@ pub fn run_rt(spec: &Spec) -> SideReport {
     let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
     let uids: Vec<u64> = trace.iter().map(|(_, p)| p.uid).collect();
 
+    let tel = Telemetry::wall();
     let nfs: Vec<Box<dyn NetworkFunction>> =
         vec![Box::new(AssetMonitor::new()), Box::new(AssetMonitor::new())];
-    let (ctrl, faults) = RtController::new_with_faults(nfs, spec.plan.clone());
+    let (ctrl, faults) =
+        RtController::new_with_faults_and_telemetry(nfs, spec.plan.clone(), tel.clone());
     let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
 
     // Generator thread: replay the trace against the shared router,
@@ -391,6 +416,9 @@ pub fn run_rt(spec: &Spec) -> SideReport {
         fault_canonical: format!("{:?}", ledger.canonical()),
         digest: digest_chunks(chunks),
         move_completed,
+        move_spans: tel.span_sequence("move."),
+        flight_jsonl: tel.export_jsonl(),
+        flight_chrome: tel.export_chrome(),
     }
 }
 
@@ -425,6 +453,14 @@ pub fn differential(spec: &Spec) -> DiffReport {
         if sim.processed != rt.processed {
             problems
                 .push(format!("processed mismatch: sim={} rt={}", sim.processed, rt.processed));
+        }
+        // Both runtimes tile a fault-free move with the same ordered
+        // phase spans — a protocol-shape check on top of the state check.
+        if spec.mask & M_NO_MOVE == 0 && sim.move_spans != rt.move_spans {
+            problems.push(format!(
+                "move span sequence mismatch: sim={:?} rt={:?}",
+                sim.move_spans, rt.move_spans
+            ));
         }
     }
     let ok = problems.is_empty();
@@ -484,5 +520,31 @@ mod tests {
         // Pretend the failure only needs M_DROP_UP.
         let minimal = shrink_mask(M_DEFAULT, |m| m & M_DROP_UP != 0);
         assert_eq!(minimal, M_DROP_UP);
+    }
+
+    #[test]
+    fn fault_free_move_emits_same_span_sequence_in_both_runtimes() {
+        let canonical =
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+        let spec = Spec::from_seed(11, M_FULL_LOAD);
+        assert!(spec.is_fault_free());
+        let report = differential(&spec);
+        assert!(report.ok, "differential failed: {}", report.detail);
+        assert_eq!(report.sim.move_spans, canonical, "sim phase order");
+        assert_eq!(report.rt.move_spans, canonical, "rt phase order");
+        assert!(!report.sim.flight_jsonl.is_empty());
+        assert!(!report.rt.flight_jsonl.is_empty());
+    }
+
+    #[test]
+    fn fault_free_p2p_move_emits_same_span_sequence_in_both_runtimes() {
+        let canonical =
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+        let spec = Spec::from_seed(11, M_FULL_LOAD | M_P2P);
+        assert!(spec.is_fault_free(), "bare M_P2P stays fault-free");
+        let report = differential(&spec);
+        assert!(report.ok, "differential failed: {}", report.detail);
+        assert_eq!(report.sim.move_spans, canonical, "sim phase order");
+        assert_eq!(report.rt.move_spans, canonical, "rt phase order");
     }
 }

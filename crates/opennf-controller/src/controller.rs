@@ -7,6 +7,7 @@ use std::collections::HashMap;
 use opennf_nf::{LogRecord, NfEvent};
 use opennf_packet::{Filter, Packet};
 use opennf_sim::{Ctx, Dur, Node, NodeId, Time};
+use opennf_telemetry::Telemetry;
 
 use crate::config::NetConfig;
 use crate::msg::{Command, Msg, OpId};
@@ -109,6 +110,8 @@ pub struct ControllerNode {
     pub messages_handled: u64,
     /// Bytes handled (scalability metric).
     pub bytes_handled: u64,
+    /// The run's telemetry (manual clock driven by virtual time).
+    tel: Telemetry,
 }
 
 impl ControllerNode {
@@ -131,7 +134,19 @@ impl ControllerNode {
             pending_cmds: Vec::new(),
             messages_handled: 0,
             bytes_handled: 0,
+            tel: Telemetry::manual(),
         }
+    }
+
+    /// The run's telemetry handle (clone it to keep reading after the run).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Replaces the telemetry handle (the scenario builder shares one
+    /// handle between the controller and the harness).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Seeds the routing shadow with a preinstalled route (used by the
@@ -213,7 +228,7 @@ impl ControllerNode {
                 let prio = self.alloc_prio_pair();
                 let mut op = MoveOp::new(id, src, dst, filter, scope, props, prio, ctx.now().as_nanos());
                 let done = {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                     op.start(&mut o)
                 };
                 // Moving traffic re-routes it: record intent in the shadow.
@@ -229,7 +244,7 @@ impl ControllerNode {
                 let id = self.alloc_op();
                 let mut op = CopyOp::new(id, src, dst, filter, scope, true, ctx.now().as_nanos());
                 let done = {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                     op.start(&mut o)
                 };
                 if done {
@@ -247,7 +262,7 @@ impl ControllerNode {
                 let mut op =
                     ShareOp::new(id, insts, filter, scope, consistency, route, ctx.now().as_nanos());
                 {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                     op.start(&mut o);
                 }
                 self.shares.insert(Self::base(id), op);
@@ -304,7 +319,7 @@ impl ControllerNode {
     {
         if let Some(mut op) = self.moves.remove(&base) {
             let done = {
-                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                 f(&mut op, &mut o)
             };
             let newly_done = done && !op.reported;
@@ -333,7 +348,7 @@ impl ControllerNode {
     {
         if let Some(mut op) = self.copies.remove(&base) {
             let done = {
-                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                 f(&mut op, &mut o)
             };
             if done {
@@ -370,7 +385,7 @@ impl ControllerNode {
         if let Some(base) = share_base {
             if let Some(mut op) = self.shares.remove(&base) {
                 {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                     op.on_event(&mut o, from, &ev);
                 }
                 self.shares.insert(base, op);
@@ -411,7 +426,7 @@ impl ControllerNode {
         if let Some(base) = share_base {
             if let Some(mut op) = self.shares.remove(&base) {
                 {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                     op.on_packet_in(&mut o, &pkt);
                 }
                 self.shares.insert(base, op);
@@ -431,6 +446,9 @@ impl Node<Msg> for ControllerNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        // Drive the telemetry clock from virtual time so span timestamps
+        // line up with the simulator's timeline.
+        self.tel.set_time_ns(ctx.now().as_nanos());
         // Footnote-10 peer-to-peer bulk transfer: chunks above the
         // threshold don't flow through the controller CPU; it only handles
         // a small envelope.
@@ -457,7 +475,7 @@ impl Node<Msg> for ControllerNode {
                     self.with_copy(ctx, base, off, |c, o| c.on_sb_ack(o, reply));
                 } else if let Some(mut sh) = self.shares.remove(&base) {
                     {
-                        let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                        let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                         sh.on_sb_ack(&mut o, from, op, reply);
                     }
                     self.shares.insert(base, sh);
@@ -495,7 +513,7 @@ impl Node<Msg> for ControllerNode {
                         self.with_copy(ctx, base, off, |c, o| c.on_timer(o, tag));
                     } else if let Some(mut sh) = self.shares.remove(&base) {
                         {
-                            let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off };
+                            let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
                             sh.on_timer(&mut o, tag);
                         }
                         if sh.torn_down() {

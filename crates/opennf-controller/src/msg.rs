@@ -12,7 +12,7 @@ use opennf_sim::NodeId;
 
 /// Correlates southbound calls, replies, and flow-mods with the northbound
 /// operation that issued them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct OpId(pub u64);
 
 impl std::fmt::Display for OpId {

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 
 use opennf_sim::{Dur, NodeId};
+use opennf_telemetry::SpanId;
 
 use crate::msg::{OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
@@ -50,6 +51,10 @@ pub struct CopyOp {
     done: bool,
     /// The op's outcome report.
     pub report: OpReport,
+    // Telemetry spans: export = first get → source's last reply; import =
+    // the rest of the op (puts confirmed at the destination).
+    sp_export: Option<SpanId>,
+    sp_import: Option<SpanId>,
 }
 
 impl CopyOp {
@@ -89,6 +94,24 @@ impl CopyOp {
             backoff: Dur::ZERO,
             done: false,
             report: OpReport::new(id, "copy".into(), now_ns),
+            sp_export: None,
+            sp_import: None,
+        }
+    }
+
+    /// The first export finished: close the export span, open the import
+    /// span (later stages reuse the flag without touching the spans).
+    fn mark_export_done(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.export_done = true;
+        if let Some(s) = self.sp_export.take() {
+            o.span_end(s);
+            self.sp_import = Some(o.span_begin("copy.import"));
+        }
+    }
+
+    fn close_spans(&mut self, o: &mut OpCtx<'_, '_>) {
+        for s in [self.sp_export.take(), self.sp_import.take()].into_iter().flatten() {
+            o.span_end(s);
         }
     }
 
@@ -134,12 +157,16 @@ impl CopyOp {
                 // Invalidate the pending watchdog and finish.
                 self.watchdog_gen = self.watchdog_gen.wrapping_add(1);
                 self.done = true;
+                self.close_spans(o);
                 self.report.end_ns = o.now().as_nanos();
                 true
             }
             Some(stage) => {
                 self.cur = Some(stage);
                 self.export_done = false;
+                if self.sp_export.is_none() && self.sp_import.is_none() {
+                    self.sp_export = Some(o.span_begin("copy.export"));
+                }
                 self.retries_left = o.cfg.op.sb_retries;
                 self.backoff = o.cfg.op.sb_retry_backoff;
                 self.arm_watchdog(o);
@@ -171,12 +198,12 @@ impl CopyOp {
                     o.sb(self.dst, self.id, SbCall::PutChunk { chunk });
                 }
                 if last {
-                    self.export_done = true;
+                    self.mark_export_done(o);
                 }
                 self.maybe_done(o)
             }
             SbReply::Chunks { chunks } => {
-                self.export_done = true;
+                self.mark_export_done(o);
                 if chunks.is_empty() {
                     return self.maybe_done(o);
                 }
@@ -228,6 +255,8 @@ impl CopyOp {
             // Non-destructive abort: the source keeps its state; nothing
             // was removed anywhere, so reporting truthfully is enough.
             let blame = if self.export_done { self.dst } else { self.src };
+            self.close_spans(o);
+            o.tel_event("copy.abort", None);
             self.report.abort(
                 format!("copy stalled ({} retries exhausted)", o.cfg.op.sb_retries),
                 Some(blame),

@@ -12,6 +12,7 @@ pub mod report;
 pub mod share_op;
 
 use opennf_sim::{Ctx, Dur, NodeId, Time};
+use opennf_telemetry::{SpanId, Telemetry};
 
 use crate::config::NetConfig;
 use crate::msg::{Msg, OpId, SbCall};
@@ -29,12 +30,31 @@ pub struct OpCtx<'a, 'b> {
     pub sw: NodeId,
     /// Controller service offset for this message.
     pub off: Dur,
+    /// The run's telemetry (manual clock, stamped by the controller node
+    /// before each dispatch).
+    pub tel: &'a Telemetry,
 }
 
 impl OpCtx<'_, '_> {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.ctx.now()
+    }
+
+    /// Opens a telemetry span stamped with the current virtual time.
+    pub fn span_begin(&self, name: &'static str) -> SpanId {
+        self.tel.begin_at(name, self.now().as_nanos())
+    }
+
+    /// Closes a telemetry span at the current virtual time.
+    pub fn span_end(&self, span: SpanId) {
+        self.tel.end_at(span, self.now().as_nanos());
+    }
+
+    /// Records an instantaneous telemetry event at the current virtual
+    /// time.
+    pub fn tel_event(&self, name: &'static str, arg: Option<String>) {
+        self.tel.event_at(name, self.now().as_nanos(), arg);
     }
 
     /// Issues a southbound call.

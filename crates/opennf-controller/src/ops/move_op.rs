@@ -10,6 +10,7 @@ use opennf_net::RuleId;
 use opennf_nf::{Chunk, EventAction, NfEvent, Scope};
 use opennf_packet::{Filter, FlowId, Packet};
 use opennf_sim::{Dur, NodeId};
+use opennf_telemetry::SpanId;
 
 use crate::msg::{Msg, MoveProps, MoveVariant, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
@@ -144,6 +145,14 @@ pub struct MoveOp {
     /// Set when the report has been collected; the op then lingers only to
     /// forward late events until cleanup.
     pub reported: bool,
+    // Telemetry spans. The five phases tile the op disjointly (export →
+    // transfer → import → flush → fwd_update), so their durations sum to
+    // at most the report's total and the begin order matches the threaded
+    // runtime's trace record for record.
+    sp_export: Option<SpanId>,
+    sp_transfer: Option<SpanId>,
+    sp_import: Option<SpanId>,
+    sp_fwd: Option<SpanId>,
 }
 
 impl MoveOp {
@@ -230,6 +239,47 @@ impl MoveOp {
             route_reverted: false,
             report: OpReport::new(id, kind, now_ns),
             reported: false,
+            sp_export: None,
+            sp_transfer: None,
+            sp_import: None,
+            sp_fwd: None,
+        }
+    }
+
+    /// The first export for this op is complete: close the export span and
+    /// open the transfer span (later stages and P2P rounds reuse the
+    /// flag without touching the spans).
+    fn mark_export_done(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.export_done = true;
+        if let Some(s) = self.sp_export.take() {
+            o.span_end(s);
+            self.sp_transfer = Some(o.span_begin("move.transfer"));
+        }
+    }
+
+    /// First confirmation from the far side after the export finished:
+    /// the wire transfer is over, the remaining waits are imports.
+    fn mark_transfer_ack(&mut self, o: &mut OpCtx<'_, '_>) {
+        if self.export_done {
+            if let Some(s) = self.sp_transfer.take() {
+                o.span_end(s);
+                self.sp_import = Some(o.span_begin("move.import"));
+            }
+        }
+    }
+
+    /// Closes whatever phase spans are still open (abort path).
+    fn close_spans(&mut self, o: &mut OpCtx<'_, '_>) {
+        for s in [
+            self.sp_export.take(),
+            self.sp_transfer.take(),
+            self.sp_import.take(),
+            self.sp_fwd.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            o.span_end(s);
         }
     }
 
@@ -566,6 +616,8 @@ impl MoveOp {
 
     fn finish_aborted(&mut self, o: &mut OpCtx<'_, '_>, reason: String, blame: Option<NodeId>) -> bool {
         self.disarm_watchdog();
+        self.close_spans(o);
+        o.tel_event("move.abort", Some(reason.clone()));
         self.report.abort(reason, blame);
         self.report.end_ns = o.now().as_nanos();
         self.phase = Phase::Done;
@@ -621,6 +673,13 @@ impl MoveOp {
             Some(stage) => {
                 self.cur_stage = Some(stage);
                 self.export_done = false;
+                if self.sp_export.is_none()
+                    && self.sp_transfer.is_none()
+                    && self.sp_import.is_none()
+                    && !self.flushed
+                {
+                    self.sp_export = Some(o.span_begin("move.export"));
+                }
                 self.enter(o, Phase::Transferring);
                 if self.seal_stage.is_none() {
                     self.seal_stage = Some(stage);
@@ -684,7 +743,7 @@ impl MoveOp {
         }
         let missing = self.p2p_missing();
         if missing.is_empty() {
-            self.export_done = true;
+            self.mark_export_done(o);
             if !self.p2p_imported.is_empty() {
                 self.pending_acks += 1;
                 o.sb(
@@ -717,6 +776,10 @@ impl MoveOp {
         self.p2p_retries_left -= 1;
         self.report.retries += 1;
         self.p2p_xfer += 1;
+        o.tel_event(
+            "move.p2p_round",
+            Some(format!("xfer={} missing={}", self.p2p_xfer, missing.len())),
+        );
         self.p2p_round_exported = false;
         self.p2p_round_done = false;
         o.sb(
@@ -749,6 +812,17 @@ impl MoveOp {
     /// Flush controller-buffered events toward dst (Fig. 6 l.19-21) and
     /// run the variant-specific endgame.
     fn after_transfer(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        // Transfer and import are over (a stage that drained in a single
+        // handler may not have seen a far-side ack; close its spans here so
+        // the tiling stays intact).
+        if let Some(s) = self.sp_transfer.take() {
+            o.span_end(s);
+            self.sp_import = Some(o.span_begin("move.import"));
+        }
+        if let Some(s) = self.sp_import.take() {
+            o.span_end(s);
+        }
+        let sp_flush = o.span_begin("move.flush");
         // Release everything still buffered, in arrival order.
         let mut packets: Vec<Packet> = std::mem::take(&mut self.buffered);
         // ER: any flows never released (e.g. flows that appeared after the
@@ -765,6 +839,8 @@ impl MoveOp {
             o.to_switch(Msg::PacketOut { packet: pkt, to: self.dst });
         }
         self.flushed = true;
+        o.span_end(sp_flush);
+        self.sp_fwd = Some(o.span_begin("move.fwd_update"));
 
         match self.props.variant {
             MoveVariant::NoGuarantee | MoveVariant::LossFree => {
@@ -793,6 +869,9 @@ impl MoveOp {
     fn complete(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
         self.disarm_watchdog();
         self.phase = Phase::Done;
+        if let Some(s) = self.sp_fwd.take() {
+            o.span_end(s);
+        }
         self.report.end_ns = o.now().as_nanos();
         // Deferred cleanup (§5.1.1: disabling source events is unnecessary
         // for correctness; do it once in-flight traffic has surely drained).
@@ -851,7 +930,7 @@ impl MoveOp {
                     o.sb(self.dst, self.id, SbCall::PutChunk { chunk });
                 }
                 if last {
-                    self.export_done = true;
+                    self.mark_export_done(o);
                     // get → del → put ordering (§5.1): delete at the source
                     // once the export is complete.
                     if let Some(del) = self.cur_stage.and_then(|s| self.stage_del_call(s)) {
@@ -863,7 +942,7 @@ impl MoveOp {
             }
             (Phase::Transferring, SbReply::Chunks { chunks }) => {
                 self.arm_watchdog(o);
-                self.export_done = true;
+                self.mark_export_done(o);
                 for c in &chunks {
                     self.exported_ids.push(c.flow_id);
                     self.report.chunks += 1;
@@ -888,6 +967,7 @@ impl MoveOp {
             }
             (Phase::Transferring, SbReply::ChunkImported { flow_id }) => {
                 self.arm_watchdog(o);
+                self.mark_transfer_ack(o);
                 self.pending_imports = self.pending_imports.saturating_sub(1);
                 if self.props.early_release {
                     // Early release: this flow's events can flow to dst now.
@@ -904,6 +984,7 @@ impl MoveOp {
             }
             (Phase::Transferring, SbReply::Done) => {
                 self.arm_watchdog(o);
+                self.mark_transfer_ack(o);
                 self.pending_acks = self.pending_acks.saturating_sub(1);
                 self.maybe_stage_done(o)
             }

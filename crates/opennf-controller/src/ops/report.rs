@@ -1,10 +1,12 @@
 //! Per-operation outcome reports: what the experiment harnesses read.
 
+use serde::{Deserialize, Serialize};
+
 use crate::msg::OpId;
 use opennf_sim::NodeId;
 
 /// How a northbound operation ended.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum OpOutcome {
     /// The operation ran to completion with its guarantees intact.
     #[default]
@@ -25,8 +27,10 @@ impl OpOutcome {
     }
 }
 
-/// Summary of one completed northbound operation.
-#[derive(Debug, Clone)]
+/// Summary of one completed northbound operation. Serializable so
+/// harnesses (the conformance soak, the bench suite) can round-trip
+/// reports through JSON repro logs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OpReport {
     /// Operation id.
     pub op: OpId,

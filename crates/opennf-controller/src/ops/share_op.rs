@@ -23,6 +23,7 @@ use std::net::Ipv4Addr;
 use opennf_nf::NfEvent;
 use opennf_packet::{Filter, FlowId, Ipv4Prefix, Packet};
 use opennf_sim::{Dur, NodeId};
+use opennf_telemetry::SpanId;
 
 use crate::msg::{ConsistencyLevel, Msg, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
@@ -56,6 +57,8 @@ struct Group {
     origin: Option<NodeId>,
     /// Puts outstanding in the sync fan-out.
     pending_puts: usize,
+    /// Telemetry span covering the in-flight inject → sync cycle.
+    span: Option<SpanId>,
 }
 
 /// One in-flight `share` (runs until the experiment ends; the harness
@@ -92,6 +95,9 @@ pub struct ShareOp {
     pub packets_synced: u64,
     /// The op's report (`end_ns` stays at start: shares don't complete).
     pub report: OpReport,
+    // Telemetry spans for the two setup phases.
+    sp_arm: Option<SpanId>,
+    sp_init: Option<SpanId>,
 }
 
 impl ShareOp {
@@ -131,6 +137,8 @@ impl ShareOp {
             torn_down: false,
             packets_synced: 0,
             report: OpReport::new(id, kind.into(), now_ns),
+            sp_arm: None,
+            sp_init: None,
         }
     }
 
@@ -176,6 +184,7 @@ impl ShareOp {
                     waiting_uid: None,
                     origin: None,
                     pending_puts: 0,
+                    span: None,
                 },
             );
         }
@@ -210,6 +219,7 @@ impl ShareOp {
 
     /// Kicks the operation off.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.sp_arm = Some(o.span_begin("share.arm"));
         let action = self.event_action();
         for inst in self.insts.clone() {
             self.acks_outstanding += 1;
@@ -234,6 +244,10 @@ impl ShareOp {
 
     fn begin_initial_sync(&mut self, o: &mut OpCtx<'_, '_>) {
         self.phase = Phase::InitialSync;
+        if let Some(s) = self.sp_arm.take() {
+            o.span_end(s);
+        }
+        self.sp_init = Some(o.span_begin("share.init_sync"));
         for inst in self.insts.clone() {
             if self.scope.multi_flow {
                 self.init_gets_outstanding += 1;
@@ -248,6 +262,9 @@ impl ShareOp {
         }
         if self.init_gets_outstanding == 0 {
             self.phase = Phase::Running;
+            if let Some(s) = self.sp_init.take() {
+                o.span_end(s);
+            }
             self.disarm_watchdog();
         } else {
             self.retries_left = o.cfg.op.sb_retries;
@@ -268,6 +285,9 @@ impl ShareOp {
             }
         }
         self.phase = Phase::Running;
+        if let Some(s) = self.sp_init.take() {
+            o.span_end(s);
+        }
         self.pending_insts.clear();
         self.disarm_watchdog();
     }
@@ -315,6 +335,7 @@ impl ShareOp {
         group.busy = true;
         group.origin = Some(origin);
         group.waiting_uid = Some(pkt.uid);
+        group.span = Some(o.tel.begin_at("share.sync_cycle", o.ctx.now().as_nanos()));
         // Inject at the originating instance, marked so it is processed
         // despite the drop-action event filter.
         pkt.do_not_drop = true;
@@ -458,6 +479,9 @@ impl ShareOp {
         group.busy = false;
         group.waiting_uid = None;
         group.origin = None;
+        if let Some(s) = group.span.take() {
+            o.tel.end_at(s, o.ctx.now().as_nanos());
+        }
         self.packets_synced += 1;
         self.pump_group(o, gid);
     }
@@ -526,6 +550,10 @@ impl ShareOp {
                 out.first().copied(),
             );
             self.torn_down = true;
+            for s in [self.sp_arm.take(), self.sp_init.take()].into_iter().flatten() {
+                o.span_end(s);
+            }
+            o.tel_event("share.teardown", None);
             // Packets queued for an inject → sync cycle that will now
             // never run were dropped at their instance: account them.
             let mut lost: Vec<u64> = self

@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 use opennf_nf::NetworkFunction;
 use opennf_packet::{Filter, Packet};
 use opennf_sim::{Dur, Engine, FaultPlan, NodeId, Time};
+use opennf_telemetry::Telemetry;
 use opennf_util::Summary;
 
 use crate::config::NetConfig;
@@ -28,6 +29,7 @@ pub struct ScenarioBuilder {
     routes: Vec<(u16, Filter, usize)>,
     record_traffic: bool,
     fault_plan: Option<FaultPlan>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for ScenarioBuilder {
@@ -48,6 +50,7 @@ impl ScenarioBuilder {
             routes: Vec::new(),
             record_traffic: false,
             fault_plan: None,
+            telemetry: None,
         }
     }
 
@@ -95,6 +98,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Shares a telemetry handle with the controller: keep a clone to read
+    /// spans/metrics after the run (the controller otherwise creates its
+    /// own private handle).
+    pub fn telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = Some(tel);
+        self
+    }
+
     /// Injects failures from a deterministic [`FaultPlan`]. Node ids
     /// follow the fixed layout: controller=0, switch=1, then instances in
     /// insertion order, then hosts.
@@ -116,7 +127,10 @@ impl ScenarioBuilder {
         if let Some(plan) = self.fault_plan {
             engine.set_fault_plan(plan);
         }
-        let ctrl = ControllerNode::new(self.cfg, sw_id, self.app);
+        let mut ctrl = ControllerNode::new(self.cfg, sw_id, self.app);
+        if let Some(tel) = self.telemetry {
+            ctrl.set_telemetry(tel);
+        }
         assert_eq!(engine.add_node(Box::new(ctrl)), ctrl_id);
 
         let mut ports = BTreeMap::new();
@@ -193,6 +207,11 @@ impl Scenario {
     /// The controller.
     pub fn controller(&self) -> &ControllerNode {
         self.engine.node(self.ctrl)
+    }
+
+    /// The run's telemetry handle (the controller's).
+    pub fn telemetry(&self) -> Telemetry {
+        self.controller().telemetry().clone()
     }
 
     /// The switch.

@@ -1,0 +1,122 @@
+//! Telemetry-facing accounting checks: operation reports must survive a
+//! JSON round-trip with their abort bookkeeping intact (the conformance
+//! soak and CI artifacts persist them), and the per-phase spans a move
+//! emits must tile inside the duration the report claims.
+
+use opennf_controller::{
+    Command, MoveProps, OpId, OpOutcome, OpReport, ScenarioBuilder, ScopeSet,
+};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowId, FlowKey, Packet, TcpFlags};
+use opennf_sim::Dur;
+use opennf_telemetry::{Kind, Telemetry};
+
+#[test]
+fn op_report_round_trips_through_json() {
+    let mut report = OpReport::new(OpId(42), "move[LF PL]".into(), 1_000_000);
+    report.end_ns = 9_500_000;
+    report.chunks = 17;
+    report.bytes = 4096;
+    report.events_buffered = 5;
+    report.events_released = 5;
+    report.retries = 2;
+    report.abort_lost = vec![101, 202, 303];
+    report.p2p_inflight = vec![
+        FlowId::host("10.0.0.1".parse().unwrap()),
+        FlowId::host_port("10.0.0.2".parse().unwrap(), 443),
+    ];
+    report.abort("transfer timed out", None);
+
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: OpReport = serde_json::from_str(&json).expect("deserialize");
+
+    assert_eq!(back.op, report.op);
+    assert_eq!(back.kind, report.kind);
+    assert_eq!(back.abort_lost, vec![101, 202, 303], "abort accounting survives");
+    assert_eq!(back.p2p_inflight, report.p2p_inflight, "in-flight flow ids survive");
+    assert_eq!(back.retries, 2);
+    assert!(matches!(back.outcome, OpOutcome::Aborted { ref reason } if reason == "transfer timed out"));
+    assert!((back.duration_ms() - report.duration_ms()).abs() < 1e-9);
+}
+
+fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
+    let mut out = Vec::new();
+    let gap_ns = 1_000_000_000 / pps;
+    let total = (dur.as_nanos() / gap_ns) as u32;
+    for i in 0..total {
+        let uid = i as u64 + 1;
+        let flow = i % flows;
+        let key = FlowKey::tcp(
+            format!("10.0.0.{}", flow + 1).parse().unwrap(),
+            2000 + flow as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let flags = if i < flows { TcpFlags::SYN } else { TcpFlags::ACK };
+        out.push((i as u64 * gap_ns, Packet::builder(uid, key).flags(flags).build()));
+    }
+    out
+}
+
+#[test]
+fn move_phase_spans_tile_inside_the_reported_duration() {
+    let tel = Telemetry::manual();
+    let mut s = ScenarioBuilder::new()
+        .telemetry(tel.clone())
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(schedule(20, 2_500, Dur::millis(400)))
+        .route(0, Filter::any(), 0)
+        .build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move {
+            src,
+            dst,
+            filter: Filter::any(),
+            scope: ScopeSet::per_flow(),
+            props: MoveProps::lfop_pl_er(),
+        },
+    );
+    s.run_to_completion();
+
+    let reports = s.controller().reports_of("move[LF+OP PL+ER]");
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert!(!report.outcome.is_aborted());
+    let total_ns = report.end_ns - report.start_ns;
+
+    // Reconstruct each move.* span's duration from the flight recorder:
+    // Begin and End records pair by span id.
+    let recs = tel.records();
+    let mut sum_ns = 0u64;
+    let mut phases = Vec::new();
+    for b in recs.iter().filter(|r| r.kind == Kind::Begin && r.name.starts_with("move.")) {
+        let e = recs
+            .iter()
+            .find(|r| r.kind == Kind::End && r.id == b.id)
+            .unwrap_or_else(|| panic!("span {} never ended", b.name));
+        assert!(e.t_ns >= b.t_ns, "{} ends after it begins", b.name);
+        sum_ns += e.t_ns - b.t_ns;
+        phases.push(b.name);
+    }
+    assert_eq!(
+        phases,
+        ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"],
+        "the five phases tile the move in protocol order"
+    );
+    // The phases are disjoint sub-intervals of the op window, so their
+    // durations sum to at most the reported total (and a completed LF+OP
+    // move does real work in at least one phase).
+    assert!(sum_ns > 0, "phases measured no time");
+    assert!(
+        sum_ns <= total_ns,
+        "phase durations ({sum_ns} ns) exceed the reported op duration ({total_ns} ns)"
+    );
+    // Ending a span feeds the per-phase histogram; every phase shows up.
+    for name in ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"] {
+        let snap = tel.hist_snapshot(name).unwrap_or_else(|| panic!("no histogram for {name}"));
+        assert_eq!(snap.count, 1, "{name} recorded once");
+    }
+}

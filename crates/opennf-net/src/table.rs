@@ -12,6 +12,7 @@
 use opennf_packet::{Filter, Packet, Proto};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Where a rule sends matching packets.
@@ -124,6 +125,10 @@ pub struct FlowTable {
     /// Highest priority of any non-exact (wildcard) rule; the fast path
     /// only fires when the indexed rule strictly beats this.
     max_wild_prio: Option<u16>,
+    /// Optional lookup counter (a telemetry registry counter, but held as
+    /// a plain atomic so this crate stays dependency-free): one relaxed
+    /// `fetch_add` per [`FlowTable::apply`] when set.
+    lookup_counter: Option<Arc<AtomicU64>>,
 }
 
 impl FlowTable {
@@ -203,6 +208,9 @@ impl FlowTable {
     /// Returns the matched rule's action (cloned) and id, or `None` on
     /// table miss.
     pub fn apply(&mut self, pkt: &Packet) -> Option<(RuleId, Action)> {
+        if let Some(c) = &self.lookup_counter {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         match self.exact.get(&ExactKey::of_packet(pkt)).copied() {
             Some(slot)
                 if self.max_wild_prio.is_none()
@@ -231,6 +239,13 @@ impl FlowTable {
         }
         self.miss_count += 1;
         None
+    }
+
+    /// Attaches a lookup counter: every [`FlowTable::apply`] call bumps it
+    /// with one relaxed `fetch_add`. Pass a handle from a telemetry
+    /// registry (e.g. `tel.counter("net.flowtable.lookups")`).
+    pub fn set_lookup_counter(&mut self, counter: Arc<AtomicU64>) {
+        self.lookup_counter = Some(counter);
     }
 
     /// Looks up without counting (diagnostics).
@@ -361,6 +376,18 @@ mod tests {
         assert_eq!(a, fwd(2));
         // Counter read-back on the phase-1 rule still works.
         assert_eq!(t.counters(phase1).unwrap().0, 1);
+    }
+
+    #[test]
+    fn lookup_counter_counts_every_apply() {
+        let mut t = FlowTable::new();
+        let c = Arc::new(AtomicU64::new(0));
+        t.set_lookup_counter(c.clone());
+        t.install(1, Filter::any(), fwd(1));
+        let p = pkt("1.1.1.1", "2.2.2.2");
+        t.apply(&p);
+        t.apply(&p);
+        assert_eq!(c.load(Ordering::Relaxed), 2);
     }
 
     #[test]

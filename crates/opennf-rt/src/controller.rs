@@ -9,18 +9,20 @@
 //! caller — like the simulator's failover app — decides how to recover.
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use opennf_nf::{EventedNf, NetworkFunction};
 use opennf_packet::{Filter, FlowId};
+use opennf_telemetry::Telemetry;
 
 use crate::error::RtError;
 use crate::faults::{worker_node, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 use crate::router::Router;
 use crate::wire::{decode_frame, FrameBuf, WireAction, WireCall, WireEvent, WireMsg, WireReply};
-use crate::worker::{spawn_worker_full, PeerLinks, WorkerHandle};
+use crate::worker::{spawn_worker_full, PeerMesh, WorkerHandle};
 use opennf_util::FaultPlan;
 
 /// Replayed packets are coalesced into frames of at most this many
@@ -64,6 +66,12 @@ pub struct RtController {
     /// Messages decoded from a coalesced frame but not yet consumed: a
     /// frame's messages drain in order before the channel is polled again.
     inbox: VecDeque<WireMsg>,
+    /// The run's telemetry (wall clock). Workers share it; its counters
+    /// below are resolved once so the hot paths never touch the registry.
+    tel: Telemetry,
+    c_frames_decoded: Arc<AtomicU64>,
+    c_frames_encoded: Arc<AtomicU64>,
+    c_events_pumped: Arc<AtomicU64>,
 }
 
 /// What one controller-side receive produced.
@@ -81,7 +89,14 @@ enum Recv {
 impl RtController {
     /// Spawns one worker per NF; installs a default route to worker 0.
     pub fn new(nfs: Vec<Box<dyn NetworkFunction>>) -> Self {
-        Self::build(nfs, None)
+        Self::build(nfs, None, Telemetry::wall())
+    }
+
+    /// Like [`RtController::new`], but with a caller-supplied telemetry
+    /// handle (keep a clone to read spans/metrics during and after the
+    /// run).
+    pub fn new_with_telemetry(nfs: Vec<Box<dyn NetworkFunction>>, tel: Telemetry) -> Self {
+        Self::build(nfs, None, tel)
     }
 
     /// Like [`RtController::new`], but every channel — controller → worker,
@@ -93,18 +108,33 @@ impl RtController {
         nfs: Vec<Box<dyn NetworkFunction>>,
         plan: FaultPlan,
     ) -> (Self, Arc<RtFaults>) {
+        Self::new_with_faults_and_telemetry(nfs, plan, Telemetry::wall())
+    }
+
+    /// [`RtController::new_with_faults`] with a caller-supplied telemetry
+    /// handle; injected faults also land in its flight recorder as
+    /// `fault.*` events.
+    pub fn new_with_faults_and_telemetry(
+        nfs: Vec<Box<dyn NetworkFunction>>,
+        plan: FaultPlan,
+        tel: Telemetry,
+    ) -> (Self, Arc<RtFaults>) {
         let (faults, pump) = RtFaults::arm(plan);
-        let ctrl = Self::build(nfs, Some((faults.clone(), pump)));
+        faults.set_telemetry(tel.clone());
+        let ctrl = Self::build(nfs, Some((faults.clone(), pump)), tel);
         (ctrl, faults)
     }
 
     fn build(
         nfs: Vec<Box<dyn NetworkFunction>>,
         faults: Option<(Arc<RtFaults>, crossbeam::channel::Sender<crate::faults::PumpJob>)>,
+        tel: Telemetry,
     ) -> Self {
         let (to_ctrl, from_workers) = unbounded();
         let n = nfs.len();
-        let peer_cells: Vec<PeerLinks> = (0..n).map(|_| Arc::new(OnceLock::new())).collect();
+        let dials = tel.counter("rt.p2p.dials");
+        let meshes: Vec<Arc<PeerMesh>> =
+            (0..n).map(|_| PeerMesh::new(n, dials.clone())).collect();
         let workers: Vec<WorkerHandle> = nfs
             .into_iter()
             .enumerate()
@@ -119,27 +149,17 @@ impl RtController {
                     ),
                     None => FaultyChannel::passthrough(to_ctrl.clone()),
                 };
-                spawn_worker_full(i, nf, up, peer_cells[i].clone())
+                spawn_worker_full(i, nf, up, meshes[i].clone(), tel.clone())
             })
             .collect();
-        // Wire the direct worker ↔ worker mesh for P2P bulk transfer now
-        // that every inbox exists. Worker i's link to worker j runs through
-        // the fault shim for the worker_node(i) → worker_node(j) link, so a
-        // plan can drop or delay chunk batches on the direct path too.
-        for (i, cell) in peer_cells.iter().enumerate() {
-            let links: Vec<FaultyChannel> = (0..n)
-                .map(|j| match &faults {
-                    Some((f, pump)) => FaultyChannel::shimmed(
-                        workers[j].tx.clone(),
-                        worker_node(i),
-                        worker_node(j),
-                        f.clone(),
-                        pump.clone(),
-                    ),
-                    None => FaultyChannel::passthrough(workers[j].tx.clone()),
-                })
-                .collect();
-            let _ = cell.set(links);
+        // Hand every mesh the ingredients for the direct worker ↔ worker
+        // links now that every inbox exists — but dial nothing: worker i's
+        // link to worker j is constructed on its first P2P transfer (and
+        // runs through the fault shim for that link, so a plan can drop or
+        // delay chunk batches on the direct path too).
+        let peer_txs: Vec<Sender<String>> = workers.iter().map(|w| w.tx.clone()).collect();
+        for (i, mesh) in meshes.iter().enumerate() {
+            mesh.wire(i, peer_txs.clone(), faults.clone());
         }
         let link = |i: usize, src| match &faults {
             Some((f, pump)) => FaultyChannel::shimmed(
@@ -155,6 +175,9 @@ impl RtController {
         let data_links = (0..n).map(|i| link(i, ROUTER_NODE)).collect();
         let router = Arc::new(Router::new());
         router.install(0, Filter::any(), 0);
+        let c_frames_decoded = tel.counter("rt.frames.decoded");
+        let c_frames_encoded = tel.counter("rt.frames.encoded");
+        let c_events_pumped = tel.counter("rt.events.pumped");
         RtController {
             workers,
             router,
@@ -166,7 +189,16 @@ impl RtController {
             reply_timeout: REPLY_TIMEOUT,
             last_abort_lost: Vec::new(),
             inbox: VecDeque::new(),
+            tel,
+            c_frames_decoded,
+            c_frames_encoded,
+            c_events_pumped,
         }
+    }
+
+    /// The run's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Pops the next controller-bound wire message, decoding coalesced
@@ -178,7 +210,10 @@ impl RtController {
             }
             match self.from_workers.recv_timeout(timeout) {
                 Ok(raw) => match decode_frame(&raw) {
-                    Ok(msgs) => self.inbox.extend(msgs),
+                    Ok(msgs) => {
+                        self.c_frames_decoded.fetch_add(1, Ordering::Relaxed);
+                        self.inbox.extend(msgs);
+                    }
                     Err(e) => return Recv::Bad(e.to_string()),
                 },
                 Err(RecvTimeoutError::Timeout) => return Recv::Timeout,
@@ -261,7 +296,10 @@ impl RtController {
                 Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
                     return Err(RtError::NfFailed { worker, reason });
                 }
-                Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                    events.push(ev);
+                }
                 Recv::Msg(_) => {}
             }
         }
@@ -303,6 +341,7 @@ impl RtController {
         links: &[FaultyChannel],
         dst: usize,
         events: impl Iterator<Item = WireEvent>,
+        frames_encoded: &AtomicU64,
     ) -> Result<usize, RtError> {
         if links[dst].is_shimmed() {
             let mut replayed = 0usize;
@@ -315,6 +354,7 @@ impl RtController {
         let mut shipped = 0usize;
         let flush = |buf: &mut FrameBuf| -> Result<(), RtError> {
             if let Some(frame) = buf.finish() {
+                frames_encoded.fetch_add(1, Ordering::Relaxed);
                 links[dst].send_json(frame).map_err(|_| RtError::WorkerGone { worker: dst })?;
             }
             Ok(())
@@ -368,6 +408,7 @@ impl RtController {
                 // Abort: restore a quiescent source (no stale filter) and
                 // replay buffered events back to wherever the route points;
                 // anything unreplayable is recorded in `abort_lost`.
+                self.tel.event("move.abort", Some(e.to_string()));
                 let replay_to = if flipped { dst } else { src };
                 let (_, lost) = self.settle(src, replay_to, filter, events);
                 self.last_abort_lost = lost;
@@ -415,6 +456,7 @@ impl RtController {
                 Ok(stats)
             }
             Err(e) => {
+                self.tel.event("move.abort", Some(e.to_string()));
                 if let Some((through_id, imported)) = abort.take() {
                     // Best-effort teardown at the destination: delete the
                     // partial imports and tombstone every round so a chunk
@@ -467,7 +509,10 @@ impl RtController {
                 Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
                     return Err(RtError::NfFailed { worker, reason });
                 }
-                Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                    events.push(ev);
+                }
                 Recv::Msg(_) => {}
             }
         }
@@ -487,9 +532,15 @@ impl RtController {
         const ATTEMPTS: u32 = 3;
         let start = Instant::now();
 
+        // Same five phases (and names) as the relayed move; here
+        // "transfer" is the direct src → dst reconcile loop and "import"
+        // the copy-then-delete release.
+        let sp = self.tel.begin("move.export");
         let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
         Self::expect_done(self.await_reply(id, events)?)?;
+        self.tel.end(sp);
 
+        let sp_transfer = self.tel.begin("move.transfer");
         let mut all_exported: Vec<FlowId> = Vec::new();
         let mut exported_set: HashSet<FlowId> = HashSet::new();
         let mut imported: Vec<FlowId> = Vec::new();
@@ -524,6 +575,10 @@ impl RtController {
                 complete = true;
                 break;
             }
+            self.tel.event(
+                "move.p2p_round",
+                Some(format!("xfer={id} missing={}", only.len())),
+            );
         }
         if !complete {
             return Err(RtError::Wire(format!(
@@ -531,15 +586,22 @@ impl RtController {
                 only.len()
             )));
         }
+        self.tel.end(sp_transfer);
         // Copy-then-delete: the source lets go only now that every flow is
         // confirmed at the destination.
+        let sp = self.tel.begin("move.import");
         if !imported.is_empty() {
             let id = self.call(src, WireCall::DelPerflow { flow_ids: imported.clone() })?;
             Self::expect_done(self.await_reply(id, events)?)?;
         }
+        self.tel.end(sp);
         *abort = None;
 
-        let mut replayed = Self::replay_batch(&self.ctrl_links, dst, events.drain(..))?;
+        let sp = self.tel.begin("move.flush");
+        let mut replayed =
+            Self::replay_batch(&self.ctrl_links, dst, events.drain(..), &self.c_frames_encoded)?;
+        self.tel.end(sp);
+        let sp = self.tel.begin("move.fwd_update");
         self.router.install(10, filter, dst);
         *flipped = true;
         let deadline = Instant::now() + Duration::from_millis(200);
@@ -556,6 +618,7 @@ impl RtController {
                 Recv::Disconnected => return Err(RtError::ChannelClosed),
             }
         }
+        self.tel.end(sp);
 
         Ok(MoveStats {
             chunks: all_exported.len(),
@@ -575,6 +638,11 @@ impl RtController {
     ) -> Result<MoveStats, RtError> {
         let start = Instant::now();
 
+        // Per-phase spans tile the move with the same names (and begin
+        // order) the simulator's MoveOp emits: export → transfer → import
+        // → flush → fwd_update. An error mid-phase leaves that span open —
+        // the flight recorder then shows exactly where the move died.
+        let sp = self.tel.begin("move.export");
         let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
         Self::expect_done(self.await_reply(id, events)?)?;
 
@@ -587,18 +655,27 @@ impl RtController {
         let bytes: usize = chunks.iter().map(|c| c.len()).sum();
         let n_chunks = chunks.len();
         let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
+        self.tel.end(sp);
 
+        let sp = self.tel.begin("move.transfer");
         let id = self.call(src, WireCall::DelPerflow { flow_ids })?;
         Self::expect_done(self.await_reply(id, events)?)?;
+        self.tel.end(sp);
 
+        let sp = self.tel.begin("move.import");
         let id = self.call(dst, WireCall::PutPerflow { chunks })?;
         Self::expect_done(self.await_reply(id, events)?)?;
+        self.tel.end(sp);
 
         // Replay everything buffered so far, then flip the route. Events
         // still in flight after the flip drain in the background loop
         // below (the real controller keeps its event thread running; here
         // we poll the channel briefly after flipping).
-        let mut replayed = Self::replay_batch(&self.ctrl_links, dst, events.drain(..))?;
+        let sp = self.tel.begin("move.flush");
+        let mut replayed =
+            Self::replay_batch(&self.ctrl_links, dst, events.drain(..), &self.c_frames_encoded)?;
+        self.tel.end(sp);
+        let sp = self.tel.begin("move.fwd_update");
         self.router.install(10, filter, dst);
         *flipped = true;
         // Drain stragglers: packets that were already queued toward src
@@ -617,6 +694,7 @@ impl RtController {
                 Recv::Disconnected => return Err(RtError::ChannelClosed),
             }
         }
+        self.tel.end(sp);
 
         Ok(MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() })
     }
@@ -648,7 +726,10 @@ impl RtController {
                 match self.recv_msg(left) {
                     Recv::Msg(WireMsg::Response { id: rid, .. }) if rid == id => break,
                     Recv::Msg(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => break,
-                    Recv::Msg(WireMsg::Event { ev, .. }) => events.push(ev),
+                    Recv::Msg(WireMsg::Event { ev, .. }) => {
+                        self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                        events.push(ev);
+                    }
                     Recv::Msg(_) | Recv::Bad(_) => {}
                     Recv::Timeout | Recv::Disconnected => break,
                 }
@@ -665,6 +746,7 @@ impl RtController {
         let flush =
             |buf: &mut FrameBuf, pending: &mut Vec<u64>, replayed: &mut usize, lost: &mut Vec<u64>| {
                 if let Some(frame) = buf.finish() {
+                    self.c_frames_encoded.fetch_add(1, Ordering::Relaxed);
                     if self.workers[replay_to].tx.send(frame).is_ok() {
                         *replayed += pending.len();
                     } else {
@@ -829,6 +911,52 @@ mod tests {
         assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 0);
         let any: &dyn std::any::Any = h1.nf();
         assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 40);
+    }
+
+    #[test]
+    fn p2p_mesh_dials_lazily_and_counts_dials() {
+        // Four workers could mean a 16-link mesh; one P2P move must dial
+        // exactly one link (src → dst), observable via the dial counter.
+        let tel = Telemetry::wall();
+        let mut ctrl = RtController::new_with_telemetry(
+            (0..4).map(|_| Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>).collect(),
+            tel.clone(),
+        );
+        for uid in 1..=40u64 {
+            ctrl.inject(pkt(uid, (uid % 8) as u16)).unwrap();
+        }
+        ctrl.quiesce(0).unwrap();
+        ctrl.move_flows_p2p(0, 1, Filter::any()).expect("p2p move succeeds");
+        assert_eq!(
+            tel.counter("rt.p2p.dials").load(Ordering::Relaxed),
+            1,
+            "only the src → dst link is dialed"
+        );
+        assert!(
+            tel.counter("rt.p2p.batches").load(Ordering::Relaxed) >= 1,
+            "at least one chunk batch shipped on the dialed link"
+        );
+        ctrl.shutdown();
+    }
+
+    #[test]
+    fn lossfree_move_emits_canonical_span_sequence() {
+        let tel = Telemetry::wall();
+        let mut ctrl = RtController::new_with_telemetry(
+            vec![Box::new(AssetMonitor::new()), Box::new(AssetMonitor::new())],
+            tel.clone(),
+        );
+        for uid in 1..=20u64 {
+            ctrl.inject(pkt(uid, (uid % 4) as u16)).unwrap();
+        }
+        ctrl.quiesce(0).unwrap();
+        ctrl.move_flows_lossfree(0, 1, Filter::any()).expect("move succeeds");
+        assert_eq!(
+            tel.span_sequence("move."),
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"],
+            "the five phases tile the move in protocol order"
+        );
+        ctrl.shutdown();
     }
 
     #[test]

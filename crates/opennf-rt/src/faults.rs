@@ -43,10 +43,11 @@
 //! what the exactly-once-or-accounted oracle consumes.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use opennf_telemetry::Telemetry;
 use opennf_util::{Dur, FaultEvent, FaultKind, FaultPlan, NodeId, SimRng, Time};
 use parking_lot::Mutex;
 
@@ -189,6 +190,10 @@ pub struct RtFaults {
     ledger: Mutex<FaultLedger>,
     pump_join: Mutex<Option<std::thread::JoinHandle<()>>>,
     pump_seq: Mutex<u64>,
+    /// Late-bound telemetry: when set, every injected fault also lands in
+    /// the flight recorder as a `fault.*` event (the ledger stays the
+    /// source of truth for the oracle).
+    tel: OnceLock<Telemetry>,
 }
 
 impl RtFaults {
@@ -207,8 +212,21 @@ impl RtFaults {
             ledger: Mutex::new(FaultLedger::default()),
             pump_join: Mutex::new(Some(join)),
             pump_seq: Mutex::new(0),
+            tel: OnceLock::new(),
         });
         (rt, tx)
+    }
+
+    /// Attaches a telemetry handle (first call wins): injected faults are
+    /// mirrored into its flight recorder from then on.
+    pub fn set_telemetry(&self, tel: Telemetry) {
+        let _ = self.tel.set(tel);
+    }
+
+    fn emit(&self, name: &'static str, arg: String) {
+        if let Some(tel) = self.tel.get() {
+            tel.event(name, Some(arg));
+        }
     }
 
     /// The armed plan.
@@ -359,15 +377,19 @@ impl FaultyChannel {
         // simulator's delivery-time check. (Channels have no distinct
         // delivery step, so the send instant stands in for it.)
         if f.plan.is_down(shim.dst, t) {
-            let mut led = f.ledger.lock();
-            led.log.push(FaultEvent::LostAtCrashedNode { time: t, dst: shim.dst });
-            led.lost_uids.extend(packet_uids(&json));
+            {
+                let mut led = f.ledger.lock();
+                led.log.push(FaultEvent::LostAtCrashedNode { time: t, dst: shim.dst });
+                led.lost_uids.extend(packet_uids(&json));
+            }
+            f.emit("fault.crash_loss", format!("dst={}", shim.dst.0));
             return Ok(());
         }
 
         // Stall window: defer to the window's end.
         if let Some(until) = f.plan.stall_until(shim.dst, t) {
             f.ledger.lock().log.push(FaultEvent::Stalled { time: t, dst: shim.dst, until });
+            f.emit("fault.stall", format!("dst={} until_ns={}", shim.dst.0, until.as_nanos()));
             self.pump_at(shim, until, json);
             return Ok(());
         }
@@ -375,9 +397,12 @@ impl FaultyChannel {
         match f.verdict(shim.src, shim.dst, t, &json) {
             None => self.target.send(json).map_err(|_| LinkClosed),
             Some(FaultKind::Drop) => {
-                let mut led = f.ledger.lock();
-                led.log.push(FaultEvent::Dropped { time: t, src: shim.src, dst: shim.dst });
-                led.lost_uids.extend(packet_uids(&json));
+                {
+                    let mut led = f.ledger.lock();
+                    led.log.push(FaultEvent::Dropped { time: t, src: shim.src, dst: shim.dst });
+                    led.lost_uids.extend(packet_uids(&json));
+                }
+                f.emit("fault.drop", format!("src={} dst={}", shim.src.0, shim.dst.0));
                 Ok(())
             }
             Some(FaultKind::Delay(by)) => {
@@ -387,6 +412,10 @@ impl FaultyChannel {
                     dst: shim.dst,
                     by,
                 });
+                f.emit(
+                    "fault.delay",
+                    format!("src={} dst={} by_ns={}", shim.src.0, shim.dst.0, by.as_nanos()),
+                );
                 self.pump_at(shim, t + by, json);
                 Ok(())
             }
@@ -396,6 +425,7 @@ impl FaultyChannel {
                     led.log.push(FaultEvent::Duplicated { time: t, src: shim.src, dst: shim.dst });
                     led.duplicated_uids.extend(packet_uids(&json));
                 }
+                f.emit("fault.duplicate", format!("src={} dst={}", shim.src.0, shim.dst.0));
                 self.pump_at(shim, t + gap, json.clone());
                 self.target.send(json).map_err(|_| LinkClosed)
             }
@@ -411,6 +441,10 @@ impl FaultyChannel {
                     dst: shim.dst,
                     by,
                 });
+                f.emit(
+                    "fault.reorder",
+                    format!("src={} dst={} by_ns={}", shim.src.0, shim.dst.0, by.as_nanos()),
+                );
                 self.pump_at(shim, t + by, json);
                 Ok(())
             }

@@ -39,4 +39,4 @@ pub use error::RtError;
 pub use faults::{worker_node, FaultLedger, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 pub use router::Router;
 pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
-pub use worker::{spawn_worker, spawn_worker_faulty, WorkerHandle};
+pub use worker::{spawn_worker, spawn_worker_faulty, PeerMesh, WorkerHandle};

@@ -8,25 +8,107 @@
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
 use opennf_packet::{Filter, FlowId};
+use opennf_telemetry::Telemetry;
 
 use crate::error::RtError;
-use crate::faults::FaultyChannel;
+use crate::faults::{worker_node, FaultyChannel, PumpJob, RtFaults};
 use crate::wire::{decode_frame, FrameBuf, WireCall, WireEvent, WireMsg, WireReply};
 
 /// Chunks per direct worker → worker frame in a P2P bulk transfer.
 const P2P_BATCH_CHUNKS: usize = 64;
 
-/// Direct worker → worker links for P2P bulk transfer, indexed by
-/// destination worker. Filled in by the controller once every worker has
-/// been spawned (the full mesh cannot exist before all ends do); a worker
-/// that receives a transfer request before then reports an error.
-pub type PeerLinks = Arc<OnceLock<Vec<FaultyChannel>>>;
+/// The ingredients for dialing a direct worker → worker link, installed by
+/// the controller once every worker inbox exists.
+struct MeshWiring {
+    /// The worker this mesh belongs to (fault plans address links by
+    /// source node).
+    src: usize,
+    /// Every worker's inbox, by index (including our own — self-transfers
+    /// are rejected upstream).
+    peer_txs: Vec<Sender<String>>,
+    /// Fault shim to thread each dialed link through, if a plan is armed.
+    faults: Option<(Arc<RtFaults>, Sender<PumpJob>)>,
+}
+
+/// Lazily dialed direct worker → worker links for P2P bulk transfer.
+///
+/// The controller installs the wiring (inboxes + fault shim) after
+/// spawning every worker, but no link exists until a transfer actually
+/// targets that peer: the first use dials it (constructing the possibly
+/// shimmed channel) and every dial is counted, so an O(n²) mesh is never
+/// materialized for workloads that move state between a handful of peers.
+pub struct PeerMesh {
+    wiring: OnceLock<MeshWiring>,
+    links: Vec<OnceLock<FaultyChannel>>,
+    dials: Arc<AtomicU64>,
+}
+
+impl PeerMesh {
+    /// A mesh over `n` workers whose dials increment `dials` (the shared
+    /// `rt.p2p.dials` telemetry counter).
+    pub fn new(n: usize, dials: Arc<AtomicU64>) -> Arc<Self> {
+        Arc::new(PeerMesh {
+            wiring: OnceLock::new(),
+            links: (0..n).map(|_| OnceLock::new()).collect(),
+            dials,
+        })
+    }
+
+    /// A mesh that was never wired: every transfer request fails (workers
+    /// spawned outside a controller have no peers).
+    pub fn unwired() -> Arc<Self> {
+        Self::new(0, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Installs the dialing ingredients. Called once by the controller
+    /// after all workers are spawned; later calls are ignored.
+    pub fn wire(
+        &self,
+        src: usize,
+        peer_txs: Vec<Sender<String>>,
+        faults: Option<(Arc<RtFaults>, Sender<PumpJob>)>,
+    ) {
+        let _ = self.wiring.set(MeshWiring { src, peer_txs, faults });
+    }
+
+    /// The link to `peer`, dialing it on first use.
+    fn link(&self, peer: usize) -> Result<&FaultyChannel, String> {
+        let Some(w) = self.wiring.get() else {
+            return Err("peer links not wired (no P2P mesh)".into());
+        };
+        let Some(cell) = self.links.get(peer) else {
+            return Err(format!("no peer link to worker {peer}"));
+        };
+        Ok(cell.get_or_init(|| {
+            self.dials.fetch_add(1, Ordering::Relaxed);
+            match &w.faults {
+                Some((f, pump)) => FaultyChannel::shimmed(
+                    w.peer_txs[peer].clone(),
+                    worker_node(w.src),
+                    worker_node(peer),
+                    f.clone(),
+                    pump.clone(),
+                ),
+                None => FaultyChannel::passthrough(w.peer_txs[peer].clone()),
+            }
+        }))
+    }
+
+    /// How many peer links this mesh has dialed so far.
+    pub fn dials(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared handle to a worker's peer mesh.
+pub type PeerLinks = Arc<PeerMesh>;
 
 /// Handle to a running worker.
 pub struct WorkerHandle {
@@ -75,28 +157,53 @@ pub fn spawn_worker_faulty(
     nf: Box<dyn NetworkFunction>,
     to_ctrl: FaultyChannel,
 ) -> WorkerHandle {
-    spawn_worker_full(index, nf, to_ctrl, Arc::new(OnceLock::new()))
+    spawn_worker_full(index, nf, to_ctrl, PeerMesh::unwired(), Telemetry::disabled())
 }
 
-/// Spawns a worker with a (late-bound) set of direct peer links for P2P
-/// bulk transfer.
+/// Spawns a worker with a (late-bound) peer mesh for P2P bulk transfer and
+/// a telemetry handle for its hot-path counters.
 pub fn spawn_worker_full(
     index: usize,
     nf: Box<dyn NetworkFunction>,
     to_ctrl: FaultyChannel,
     peers: PeerLinks,
+    tel: Telemetry,
 ) -> WorkerHandle {
     let (tx, rx): (Sender<String>, Receiver<String>) = unbounded();
     let join = std::thread::Builder::new()
         .name(format!("nf-worker-{index}"))
-        .spawn(move || worker_loop(index, nf, rx, to_ctrl, peers))
+        .spawn(move || worker_loop(index, nf, rx, to_ctrl, peers, tel))
         .expect("spawn worker");
     WorkerHandle { index, tx, join: Some(join) }
 }
 
+/// Counter handles a worker resolves once at startup so the hot loop never
+/// touches the registry (one relaxed `fetch_add` per count).
+struct WorkerCounters {
+    frames_encoded: Arc<AtomicU64>,
+    frames_decoded: Arc<AtomicU64>,
+    p2p_batches: Arc<AtomicU64>,
+}
+
+impl WorkerCounters {
+    fn resolve(tel: &Telemetry) -> Self {
+        WorkerCounters {
+            frames_encoded: tel.counter("rt.frames.encoded"),
+            frames_decoded: tel.counter("rt.frames.decoded"),
+            p2p_batches: tel.counter("rt.p2p.batches"),
+        }
+    }
+}
+
 /// Ships every event one packet raised as a single coalesced frame (one
 /// channel send, one fault verdict), through the reused assembler.
-fn send_events(index: usize, to_ctrl: &FaultyChannel, buf: &mut FrameBuf, events: Vec<NfEvent>) {
+fn send_events(
+    index: usize,
+    to_ctrl: &FaultyChannel,
+    buf: &mut FrameBuf,
+    events: Vec<NfEvent>,
+    frames_encoded: &AtomicU64,
+) {
     for ev in events {
         let wire = match ev {
             NfEvent::Received(packet) => WireEvent::PacketReceived { packet },
@@ -105,6 +212,7 @@ fn send_events(index: usize, to_ctrl: &FaultyChannel, buf: &mut FrameBuf, events
         buf.push(&WireMsg::Event { worker: index, ev: wire });
     }
     if let Some(frame) = buf.finish() {
+        frames_encoded.fetch_add(1, Ordering::Relaxed);
         let _ = to_ctrl.send_json(frame);
     }
 }
@@ -144,12 +252,11 @@ fn do_transfer(
     filter: &Filter,
     peer: usize,
     only: &[FlowId],
+    p2p_batches: &AtomicU64,
 ) -> WireReply {
-    let Some(links) = peers.get() else {
-        return WireReply::Error { message: "peer links not wired (no P2P mesh)".into() };
-    };
-    let Some(link) = links.get(peer) else {
-        return WireReply::Error { message: format!("no peer link to worker {peer}") };
+    let link = match peers.link(peer) {
+        Ok(link) => link,
+        Err(message) => return WireReply::Error { message },
     };
     let mut chunks = harness.nf_mut().get_perflow(filter);
     if !only.is_empty() {
@@ -178,6 +285,7 @@ fn do_transfer(
         let last = rest.is_empty();
         // A dead peer is not the source's problem: the controller sees the
         // missing TransferDone and retries or aborts.
+        p2p_batches.fetch_add(1, Ordering::Relaxed);
         let _ = link.send(&WireMsg::P2pChunks { id, seq, last, chunks: remaining });
         seq += 1;
         if last {
@@ -194,15 +302,20 @@ fn worker_loop(
     rx: Receiver<String>,
     to_ctrl: FaultyChannel,
     peers: PeerLinks,
+    tel: Telemetry,
 ) -> EventedNf {
     let mut harness = EventedNf::new(nf);
     let mut ev_buf = FrameBuf::new();
     let mut p2p = P2pIn::default();
+    let counters = WorkerCounters::resolve(&tel);
     'recv: while let Ok(raw) = rx.recv() {
         // A payload may frame several messages (batched packets/chunks);
         // process them in frame order.
         let msgs = match decode_frame(&raw) {
-            Ok(m) => m,
+            Ok(m) => {
+                counters.frames_decoded.fetch_add(1, Ordering::Relaxed);
+                m
+            }
             Err(e) => {
                 let _ = to_ctrl.send(&WireMsg::Response {
                     id: 0,
@@ -216,9 +329,13 @@ fn worker_loop(
                 WireMsg::Shutdown => break 'recv,
                 WireMsg::Packet { packet } => {
                     match catch_unwind(AssertUnwindSafe(|| harness.handle_packet(&packet))) {
-                        Ok((_outcome, events)) => {
-                            send_events(index, &to_ctrl, &mut ev_buf, events)
-                        }
+                        Ok((_outcome, events)) => send_events(
+                            index,
+                            &to_ctrl,
+                            &mut ev_buf,
+                            events,
+                            &counters.frames_encoded,
+                        ),
                         Err(payload) => {
                             let reason = panic_reason(payload);
                             let _ = to_ctrl
@@ -229,7 +346,7 @@ fn worker_loop(
                 }
                 WireMsg::Request { id, call: WireCall::TransferPerflow { filter, peer, only } } => {
                     let reply = match catch_unwind(AssertUnwindSafe(|| {
-                        do_transfer(&mut harness, &peers, id, &filter, peer, &only)
+                        do_transfer(&mut harness, &peers, id, &filter, peer, &only, &counters.p2p_batches)
                     })) {
                         Ok(reply) => reply,
                         Err(payload) => {

@@ -1,0 +1,70 @@
+//! Timestamp sources.
+//!
+//! Telemetry timestamps are raw `u64` nanoseconds, the same representation
+//! as `opennf_util::Time`, so one span/record vocabulary covers both
+//! runtimes: the threaded runtime reads a monotonic wall clock, the
+//! simulator *drives* a manual clock from its virtual time. A manual clock
+//! only moves forward (`fetch_max`), so out-of-order `set_ns` calls from
+//! same-timestamp deliveries cannot make spans run backwards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Where `now` comes from.
+pub enum Clock {
+    /// Monotonic wall clock: nanoseconds since the clock was created.
+    Wall(Instant),
+    /// Externally driven clock (the simulator's virtual time).
+    Manual(AtomicU64),
+}
+
+impl Clock {
+    /// A wall clock anchored at the call instant.
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// A manual clock starting at 0.
+    pub fn manual() -> Self {
+        Clock::Manual(AtomicU64::new(0))
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Wall(epoch) => epoch.elapsed().as_nanos() as u64,
+            Clock::Manual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advances a manual clock to `ns` (monotone: never moves backwards).
+    /// No-op on a wall clock.
+    pub fn set_ns(&self, ns: u64) {
+        if let Clock::Manual(t) = self {
+            t.fetch_max(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_monotone() {
+        let c = Clock::manual();
+        c.set_ns(100);
+        c.set_ns(50);
+        assert_eq!(c.now_ns(), 100);
+        c.set_ns(200);
+        assert_eq!(c.now_ns(), 200);
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let c = Clock::wall();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(c.now_ns() > a);
+    }
+}

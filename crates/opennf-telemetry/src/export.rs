@@ -1,0 +1,169 @@
+//! Exporters: JSONL (one record per line, grep-friendly) and the Chrome
+//! `chrome://tracing` / Perfetto trace-event format.
+//!
+//! Both are built through `serde_json::Value` so the output is guaranteed
+//! to be syntactically valid JSON — the Chrome file in particular must
+//! round-trip through a strict parser or the viewer silently shows an
+//! empty timeline.
+
+use serde_json::Value;
+
+use crate::metrics::{HistSnapshot, Registry};
+use crate::recorder::{Kind, Rec};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn rec_value(r: &Rec) -> Value {
+    let mut fields = vec![
+        ("t_ns", Value::UInt(r.t_ns)),
+        (
+            "kind",
+            Value::Str(
+                match r.kind {
+                    Kind::Begin => "begin",
+                    Kind::End => "end",
+                    Kind::Event => "event",
+                }
+                .to_string(),
+            ),
+        ),
+        ("name", Value::Str(r.name.to_string())),
+        ("id", Value::UInt(r.id)),
+        ("parent", Value::UInt(r.parent)),
+        ("tid", Value::UInt(r.tid)),
+    ];
+    if let Some(arg) = &r.arg {
+        fields.push(("arg", Value::Str(arg.clone())));
+    }
+    obj(fields)
+}
+
+fn hist_value(s: &HistSnapshot) -> Value {
+    obj(vec![
+        ("count", Value::UInt(s.count)),
+        ("sum", Value::UInt(s.sum)),
+        ("p50", Value::UInt(s.p50)),
+        ("p95", Value::UInt(s.p95)),
+        ("p99", Value::UInt(s.p99)),
+    ])
+}
+
+/// One line per record, oldest first, then one `{"counters":…}` summary
+/// line with every counter, gauge, and histogram snapshot.
+pub fn jsonl(records: &[Rec], registry: &Registry, dropped: u64) -> String {
+    let mut out = String::new();
+    for r in records {
+        rec_value(r).encode_json_into(&mut out);
+        out.push('\n');
+    }
+    let summary = obj(vec![
+        ("dropped_records", Value::UInt(dropped)),
+        (
+            "counters",
+            Value::Object(
+                registry.counters().into_iter().map(|(k, v)| (k, Value::UInt(v))).collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Value::Object(
+                registry.gauges().into_iter().map(|(k, v)| (k, Value::UInt(v))).collect(),
+            ),
+        ),
+        (
+            "hists",
+            Value::Object(
+                registry.hists().into_iter().map(|(k, s)| (k, hist_value(&s))).collect(),
+            ),
+        ),
+    ]);
+    summary.encode_json_into(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Chrome trace-event JSON (`{"traceEvents": […]}`): load the file via
+/// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
+/// microseconds (the format's unit); span begin/end map to `"B"`/`"E"`
+/// phases on the recording thread's track, instants to `"i"`.
+pub fn chrome_trace(records: &[Rec]) -> String {
+    let events: Vec<Value> = records
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                ("name", Value::Str(r.name.to_string())),
+                ("ph", Value::Str(r.kind.phase().to_string())),
+                ("ts", Value::Float(r.t_ns as f64 / 1_000.0)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(r.tid)),
+            ];
+            if r.kind == Kind::Event {
+                fields.push(("s", Value::Str("t".to_string())));
+            }
+            if let Some(arg) = &r.arg {
+                fields.push(("args", obj(vec![("arg", Value::Str(arg.clone()))])));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+    .encode_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs() -> Vec<Rec> {
+        vec![
+            Rec {
+                t_ns: 1_000,
+                kind: Kind::Begin,
+                id: 1,
+                parent: 0,
+                tid: 0,
+                name: "move.export",
+                arg: Some("flows=3".into()),
+            },
+            Rec { t_ns: 2_000, kind: Kind::Event, id: 0, parent: 1, tid: 0, name: "fault.drop", arg: None },
+            Rec { t_ns: 5_000, kind: Kind::End, id: 1, parent: 0, tid: 0, name: "move.export", arg: None },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let reg = Registry::default();
+        reg.counter("c").fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+        reg.hist("h").record(42);
+        let text = jsonl(&recs(), &reg, 7);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 records + 1 summary");
+        for line in &lines {
+            Value::parse_json(line).expect("every JSONL line is valid JSON");
+        }
+        let summary = Value::parse_json(lines[3]).unwrap();
+        assert_eq!(summary.get("dropped_records").and_then(Value::as_u64), Some(7));
+        assert_eq!(
+            summary.get("counters").and_then(|c| c.get("c")).and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_balances_phases() {
+        let text = chrome_trace(&recs());
+        let v = Value::parse_json(&text).expect("chrome trace is valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let phases: Vec<&str> =
+            events.iter().filter_map(|e| e.get("ph").and_then(Value::as_str)).collect();
+        assert_eq!(phases, vec!["B", "i", "E"]);
+        // ts is microseconds.
+        assert_eq!(events[0].get("ts").and_then(Value::as_f64), Some(1.0));
+    }
+}

@@ -1,0 +1,522 @@
+//! Spans, metrics, and a flight recorder shared by every OpenNF runtime.
+//!
+//! The paper's evaluation (§7–§8) is about *where time goes* inside a
+//! move/copy/share — serialization vs. transfer vs. event flushing. This
+//! crate is the substrate that answers that question in both runtimes:
+//!
+//! * **Spans** — named intervals (`move.export`, `rt.replay`, …) with
+//!   begin/end records. The threaded runtime uses RAII guards on a wall
+//!   clock ([`Telemetry::span`] / [`span!`]); the simulator, whose time is
+//!   virtual, stamps explicitly ([`Telemetry::begin_at`] /
+//!   [`Telemetry::end_at`]) from its own clock. Every span end feeds a
+//!   log2 histogram keyed by the span name, so per-phase p50/p95/p99 fall
+//!   out for free.
+//! * **Metrics** — counters/gauges handed out as `Arc<AtomicU64>` (one
+//!   relaxed `fetch_add` on the hot path) and fixed-bucket histograms.
+//! * **Flight recorder** — a bounded ring of the most recent records,
+//!   dumped on failure as JSONL or a Chrome trace
+//!   ([`Telemetry::export_jsonl`] / [`Telemetry::export_chrome`]).
+//!
+//! A [`Telemetry`] is a cheap `Arc` handle: clone it into every node,
+//! worker, and shim of one run. There is deliberately no process-global
+//! instance — parallel tests and differential sim/rt runs each get their
+//! own isolated timeline. A disabled handle ([`Telemetry::disabled`], or
+//! [`Telemetry::set_enabled`]) reduces every operation to one atomic load,
+//! which keeps the telemetry-off path within noise on the bulk-move bench.
+//!
+//! Span-name convention: `<layer>.<phase>` — `move.*`/`copy.*`/`share.*`
+//! for northbound operation phases (identical names in both runtimes so
+//! traces diff cleanly), `rt.*` for runtime plumbing, `fault.*` for
+//! injected faults, `net.*` for switch-level counters.
+
+mod clock;
+mod export;
+mod metrics;
+mod recorder;
+
+pub use metrics::{Hist, HistSnapshot, Registry};
+pub use recorder::{Kind, Rec};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use clock::Clock;
+use recorder::Ring;
+
+/// Default flight-recorder capacity (records).
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4_096;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: Cell<Option<u64>> = const { Cell::new(None) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+struct Inner {
+    enabled: AtomicBool,
+    clock: Clock,
+    next_span: AtomicU64,
+    ring: Mutex<Ring>,
+    registry: Registry,
+}
+
+/// One run's telemetry: clock + recorder + metrics behind an `Arc`.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+/// An open span. `Copy`, so operation state machines can stash it in a
+/// field across messages and close it from a later handler.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanId {
+    id: u64,
+    t0: u64,
+    name: &'static str,
+}
+
+impl SpanId {
+    /// The no-op span a disabled handle returns.
+    fn none() -> Self {
+        SpanId { id: 0, t0: 0, name: "" }
+    }
+
+    /// Whether this span is live (came from an enabled handle).
+    pub fn is_live(&self) -> bool {
+        self.id != 0
+    }
+}
+
+/// RAII span for wall-clock runtimes: ends the span when dropped and
+/// maintains the thread-local span stack for parent attribution.
+pub struct SpanGuard {
+    tel: Option<Telemetry>,
+    span: SpanId,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(tel) = self.tel.take() {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            tel.end(self.span);
+        }
+    }
+}
+
+impl Telemetry {
+    fn build(clock: Clock, enabled: bool, capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(enabled),
+                clock,
+                next_span: AtomicU64::new(1),
+                ring: Mutex::new(Ring::new(capacity)),
+                registry: Registry::default(),
+            }),
+        }
+    }
+
+    /// Wall-clock telemetry (threaded runtime), enabled, default ring.
+    pub fn wall() -> Self {
+        Self::build(Clock::wall(), true, DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// Manually clocked telemetry (simulator), enabled, default ring. Drive
+    /// it with [`Telemetry::set_time_ns`].
+    pub fn manual() -> Self {
+        Self::build(Clock::manual(), true, DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// A disabled handle: every operation early-outs on one atomic load.
+    pub fn disabled() -> Self {
+        Self::build(Clock::wall(), false, 16)
+    }
+
+    /// Wall-clock telemetry with an explicit recorder capacity.
+    pub fn wall_with_capacity(capacity: usize) -> Self {
+        Self::build(Clock::wall(), true, capacity)
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Advances a manual clock (no-op on wall clocks). The simulator calls
+    /// this with its virtual now before dispatching each message.
+    pub fn set_time_ns(&self, ns: u64) {
+        self.inner.clock.set_ns(ns);
+    }
+
+    /// Current time on this handle's clock.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    fn push(&self, rec: Rec) {
+        self.inner.ring.lock().unwrap().push(rec);
+    }
+
+    // ---- spans ----
+
+    /// Opens a span at an explicit timestamp (simulator API).
+    pub fn begin_at(&self, name: &'static str, t_ns: u64) -> SpanId {
+        self.begin_at_arg(name, t_ns, None)
+    }
+
+    /// [`Telemetry::begin_at`] with formatted attributes.
+    pub fn begin_at_arg(&self, name: &'static str, t_ns: u64, arg: Option<String>) -> SpanId {
+        if !self.enabled() {
+            return SpanId::none();
+        }
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.push(Rec {
+            t_ns,
+            kind: Kind::Begin,
+            id,
+            parent,
+            tid: thread_tid(),
+            name,
+            arg,
+        });
+        SpanId { id, t0: t_ns, name }
+    }
+
+    /// Closes a span at an explicit timestamp and feeds the `name`
+    /// histogram with its duration.
+    pub fn end_at(&self, span: SpanId, t_ns: u64) {
+        if span.id == 0 || !self.enabled() {
+            return;
+        }
+        self.push(Rec {
+            t_ns,
+            kind: Kind::End,
+            id: span.id,
+            parent: 0,
+            tid: thread_tid(),
+            name: span.name,
+            arg: None,
+        });
+        self.inner.registry.hist(span.name).record(t_ns.saturating_sub(span.t0));
+    }
+
+    /// Opens a span now (this handle's clock) — simulator state machines
+    /// that hold the id across messages pair it with [`Telemetry::end`].
+    pub fn begin(&self, name: &'static str) -> SpanId {
+        self.begin_at(name, self.now_ns())
+    }
+
+    /// Closes a span at now.
+    pub fn end(&self, span: SpanId) {
+        self.end_at(span, self.now_ns());
+    }
+
+    /// RAII span on this handle's clock (threaded-runtime API); prefer the
+    /// [`span!`] macro, which skips attribute formatting when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.span_arg(name, None)
+    }
+
+    /// [`Telemetry::span`] with formatted attributes.
+    pub fn span_arg(&self, name: &'static str, arg: Option<String>) -> SpanGuard {
+        if !self.enabled() {
+            return SpanGuard { tel: None, span: SpanId::none() };
+        }
+        let span = self.begin_at_arg(name, self.now_ns(), arg);
+        SPAN_STACK.with(|s| s.borrow_mut().push(span.id));
+        SpanGuard { tel: Some(self.clone()), span }
+    }
+
+    // ---- events ----
+
+    /// Records an instantaneous event at now.
+    pub fn event(&self, name: &'static str, arg: Option<String>) {
+        self.event_at(name, self.now_ns(), arg);
+    }
+
+    /// Records an instantaneous event at an explicit timestamp.
+    pub fn event_at(&self, name: &'static str, t_ns: u64, arg: Option<String>) {
+        if !self.enabled() {
+            return;
+        }
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        self.push(Rec { t_ns, kind: Kind::Event, id: 0, parent, tid: thread_tid(), name, arg });
+    }
+
+    // ---- metrics ----
+
+    /// The counter named `name` (hold the `Arc` on hot paths).
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        self.inner.registry.counter(name)
+    }
+
+    /// Adds `n` to the counter named `name` (registration-cost path; hot
+    /// paths should hold the handle from [`Telemetry::counter`]).
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.registry.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge named `name`.
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.registry.gauge(name).store(v, Ordering::Relaxed);
+    }
+
+    /// Records `v` into the histogram named `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.registry.hist(name).record(v);
+    }
+
+    /// The metrics registry (for exporters and report builders).
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Snapshot of the histogram named `name`, if any value was recorded.
+    pub fn hist_snapshot(&self, name: &str) -> Option<HistSnapshot> {
+        let h = self.inner.registry.hist_if_present(name)?;
+        let s = h.snapshot();
+        (s.count > 0).then_some(s)
+    }
+
+    // ---- recorder access / export ----
+
+    /// The recorder's current contents, oldest first.
+    pub fn records(&self) -> Vec<Rec> {
+        self.inner.ring.lock().unwrap().snapshot()
+    }
+
+    /// Records evicted from the ring so far.
+    pub fn dropped_records(&self) -> u64 {
+        self.inner.ring.lock().unwrap().dropped()
+    }
+
+    /// Whether the recorder holds any records (dump gates use this).
+    pub fn has_records(&self) -> bool {
+        !self.inner.ring.lock().unwrap().is_empty()
+    }
+
+    /// Names of spans whose name starts with `prefix`, in begin order —
+    /// the cross-runtime conformance check compares these sequences.
+    pub fn span_sequence(&self, prefix: &str) -> Vec<String> {
+        self.records()
+            .iter()
+            .filter(|r| r.kind == Kind::Begin && r.name.starts_with(prefix))
+            .map(|r| r.name.to_string())
+            .collect()
+    }
+
+    /// JSONL dump: every record plus a final metrics-summary line.
+    pub fn export_jsonl(&self) -> String {
+        let (records, dropped) = {
+            let ring = self.inner.ring.lock().unwrap();
+            (ring.snapshot(), ring.dropped())
+        };
+        export::jsonl(&records, &self.inner.registry, dropped)
+    }
+
+    /// Chrome trace-event dump (open in `chrome://tracing` or Perfetto).
+    pub fn export_chrome(&self) -> String {
+        export::chrome_trace(&self.records())
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::wall()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("records", &self.inner.ring.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// Opens an RAII span: `span!(tel, "move.export")` or
+/// `span!(tel, "move.export", flows = n, round = r)`. Attribute values are
+/// formatted with `Display` — and not formatted at all when the handle is
+/// disabled, so an off handle costs one atomic load.
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr) => {
+        $tel.span($name)
+    };
+    ($tel:expr, $name:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        let tel = &$tel;
+        if tel.enabled() {
+            let mut arg = String::new();
+            $(
+                {
+                    use std::fmt::Write as _;
+                    if !arg.is_empty() {
+                        arg.push(' ');
+                    }
+                    let _ = write!(arg, concat!(stringify!($k), "={}"), $v);
+                }
+            )+
+            tel.span_arg($name, Some(arg))
+        } else {
+            tel.span($name)
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    #[test]
+    fn explicit_spans_record_and_feed_histograms() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(1_000);
+        let s = tel.begin("move.export");
+        tel.set_time_ns(5_000);
+        tel.end(s);
+        let recs = tel.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, Kind::Begin);
+        assert_eq!(recs[1].kind, Kind::End);
+        let snap = tel.hist_snapshot("move.export").expect("histogram fed on end");
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 4_000);
+    }
+
+    #[test]
+    fn guard_spans_nest_via_the_thread_local_stack() {
+        let tel = Telemetry::wall();
+        {
+            let _outer = span!(tel, "outer");
+            let _inner = span!(tel, "inner", flow = 7);
+            tel.event("tick", None);
+        }
+        let recs = tel.records();
+        assert_eq!(recs.len(), 5); // B outer, B inner, i tick, E inner, E outer
+        let outer_id = recs[0].id;
+        assert_eq!(recs[1].parent, outer_id, "inner span's parent is outer");
+        assert_eq!(recs[2].parent, recs[1].id, "event attributed to inner span");
+        assert_eq!(recs[1].arg.as_deref(), Some("flow=7"));
+        assert_eq!(recs[3].name, "inner");
+        assert_eq!(recs[4].name, "outer");
+    }
+
+    #[test]
+    fn span_sequence_filters_by_prefix_in_begin_order() {
+        let tel = Telemetry::manual();
+        let a = tel.begin("move.export");
+        let b = tel.begin("move.transfer");
+        tel.begin("rt.pump");
+        tel.end(b);
+        tel.end(a);
+        assert_eq!(tel.span_sequence("move."), vec!["move.export", "move.transfer"]);
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing_and_spans_are_dead() {
+        let tel = Telemetry::disabled();
+        let s = tel.begin("x");
+        assert!(!s.is_live());
+        tel.end(s);
+        {
+            let _g = span!(tel, "y", big = 12345);
+        }
+        tel.event("e", None);
+        tel.add("c", 5);
+        tel.observe("h", 9);
+        assert!(tel.records().is_empty());
+        assert!(tel.registry().counters().is_empty());
+        assert!(tel.hist_snapshot("h").is_none());
+    }
+
+    #[test]
+    fn enable_toggle_takes_effect_immediately() {
+        let tel = Telemetry::disabled();
+        tel.set_enabled(true);
+        let s = tel.begin("x");
+        tel.end(s);
+        assert_eq!(tel.records().len(), 2);
+    }
+
+    #[test]
+    fn exports_are_valid_json() {
+        let tel = Telemetry::manual();
+        let s = tel.begin_at_arg("move.export", 10, Some("flows=2".into()));
+        tel.event_at("fault.drop", 20, None);
+        tel.end_at(s, 30);
+        tel.add("rt.frames.encoded", 3);
+
+        let chrome = tel.export_chrome();
+        let v = Value::parse_json(&chrome).expect("chrome export parses");
+        assert_eq!(v.get("traceEvents").and_then(Value::as_array).map(|a| a.len()), Some(3));
+
+        for line in tel.export_jsonl().lines() {
+            Value::parse_json(line).expect("jsonl line parses");
+        }
+    }
+
+    #[test]
+    fn counters_are_shared_handles() {
+        let tel = Telemetry::wall();
+        let c = tel.counter("net.flowtable.lookups");
+        c.fetch_add(41, Ordering::Relaxed);
+        tel.add("net.flowtable.lookups", 1);
+        assert_eq!(tel.registry().counters(), vec![("net.flowtable.lookups".to_string(), 42)]);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let tel = Telemetry::wall_with_capacity(8);
+        for _ in 0..20 {
+            tel.event("e", None);
+        }
+        assert_eq!(tel.records().len(), 8);
+        assert_eq!(tel.dropped_records(), 12);
+    }
+
+    #[test]
+    fn disabled_span_overhead_is_cheap() {
+        // Not a benchmark assertion (CI machines are noisy) — just pins
+        // that the disabled path does no allocation-scale work: 1M no-op
+        // spans must finish fast enough that an accidental lock/format on
+        // the disabled path (micro-seconds each) would blow the bound.
+        let tel = Telemetry::disabled();
+        let t0 = std::time::Instant::now();
+        for i in 0..1_000_000u64 {
+            let _g = span!(tel, "hot", i = i);
+        }
+        assert!(t0.elapsed().as_secs_f64() < 2.0, "disabled span path must stay trivial");
+    }
+}

@@ -1,0 +1,235 @@
+//! Lock-cheap metrics: counters, gauges, and log2-bucket latency
+//! histograms with quantile extraction.
+//!
+//! Hot paths hold an `Arc<AtomicU64>` handed out once by
+//! [`Registry::counter`] and pay a single relaxed `fetch_add` per event —
+//! the registry's mutex is touched only at registration and export time.
+//! Histograms bucket by the value's bit length (64 fixed buckets), so
+//! recording is two relaxed atomic adds and quantiles are accurate to
+//! within a factor of two — plenty for p50/p95/p99 of phase latencies that
+//! span six orders of magnitude.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fixed 64-bucket log2 histogram. Bucket `i` holds values whose bit
+/// length is `i` (bucket 0: the value 0; bucket `i`: `[2^(i-1), 2^i)`).
+pub struct Hist {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A point-in-time read of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(63)
+}
+
+/// Representative value for bucket `i` (geometric midpoint of its range).
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        let lo = 1u64 << (i - 1);
+        lo + lo / 2
+    }
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of values recorded so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket-midpoint estimate).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(63)
+    }
+
+    /// Reads count/sum/p50/p95/p99 at once.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms. Deterministic iteration order
+/// (`BTreeMap`) so exports are byte-stable for a given run.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Hist>>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use. Hold the `Arc` and
+    /// `fetch_add` on it directly from hot paths.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn hist(&self, name: &str) -> Arc<Hist> {
+        let mut map = self.hists.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Hist::new());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// The histogram named `name` if it exists (no creation).
+    pub fn hist_if_present(&self, name: &str) -> Option<Arc<Hist>> {
+        self.hists.lock().unwrap().get(name).cloned()
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// All histograms as `(name, snapshot)`, sorted by name.
+    pub fn hists(&self) -> Vec<(String, HistSnapshot)> {
+        self.hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Hist::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 7: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14: [8192, 16384)
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 100 + 10 * 10_000);
+        assert_eq!(s.p50, bucket_mid(7));
+        assert_eq!(s.p99, bucket_mid(14));
+        // Estimates stay within 2x of the true values.
+        assert!(s.p50 >= 64 && s.p50 < 128);
+        assert!(s.p99 >= 8_192 && s.p99 < 16_384);
+    }
+
+    #[test]
+    fn empty_hist_quantile_is_zero() {
+        assert_eq!(Hist::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let r = Registry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.fetch_add(3, Ordering::Relaxed);
+        b.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(r.counters(), vec![("x".to_string(), 7)]);
+    }
+}

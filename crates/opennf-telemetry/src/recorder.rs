@@ -1,0 +1,116 @@
+//! The flight recorder: a bounded ring of recent span/event records.
+//!
+//! The ring keeps the *last* `capacity` records — when a soak run fails
+//! after minutes of traffic, the interesting records are the ones just
+//! before the failure, so old records are evicted, never new ones
+//! rejected. Evictions are counted so an exporter can say how much history
+//! was lost.
+
+use std::collections::VecDeque;
+
+/// What a record marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// An instantaneous event.
+    Event,
+}
+
+impl Kind {
+    /// Chrome trace-event phase letter.
+    pub fn phase(self) -> &'static str {
+        match self {
+            Kind::Begin => "B",
+            Kind::End => "E",
+            Kind::Event => "i",
+        }
+    }
+}
+
+/// One flight-recorder record.
+#[derive(Debug, Clone)]
+pub struct Rec {
+    /// Timestamp, nanoseconds on the owning [`crate::Telemetry`]'s clock.
+    pub t_ns: u64,
+    /// Begin / end / instant.
+    pub kind: Kind,
+    /// Span id (0 for instant events).
+    pub id: u64,
+    /// Enclosing span id on the recording thread (0 = root).
+    pub parent: u64,
+    /// Recording thread's telemetry-local id.
+    pub tid: u64,
+    /// Span or event name.
+    pub name: &'static str,
+    /// Optional formatted attributes (`"flow=7 round=2"`).
+    pub arg: Option<String>,
+}
+
+/// The bounded ring itself.
+pub struct Ring {
+    buf: VecDeque<Rec>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        Ring { buf: VecDeque::with_capacity(cap.min(1024)), cap: cap.max(1), dropped: 0 }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, rec: Rec) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Records currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<Rec> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether any records are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64) -> Rec {
+        Rec { t_ns: t, kind: Kind::Event, id: 0, parent: 0, tid: 0, name: "e", arg: None }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_records() {
+        let mut r = Ring::new(3);
+        for t in 0..5 {
+            r.push(rec(t));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.iter().map(|r| r.t_ns).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(Ring::new(4).is_empty());
+    }
+}

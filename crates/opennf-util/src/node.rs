@@ -7,7 +7,7 @@
 
 /// Identifies a node registered with a runtime (an engine node in the
 /// simulator; the controller, router, or a worker in `opennf-rt`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct NodeId(pub usize);
 
 impl std::fmt::Display for NodeId {

@@ -14,7 +14,7 @@
 //! Exit status: 0 when every case passed, 1 on the first failure (after
 //! printing `REPRO: cargo run --release --example soak -- --seed S --mask M`).
 
-use conformance::{differential, shrink_mask, Spec, M_DEFAULT};
+use conformance::{differential, shrink_mask, DiffReport, Spec, M_DEFAULT};
 
 struct Args {
     seeds: u64,
@@ -55,13 +55,29 @@ fn parse_args() -> Args {
     args
 }
 
-fn run_case(seed: u64, mask: u32) -> Result<(), String> {
+fn run_case(seed: u64, mask: u32) -> Result<(), Box<DiffReport>> {
     let spec = Spec::from_seed(seed, mask);
     let r = differential(&spec);
     if r.ok {
         Ok(())
     } else {
-        Err(r.detail)
+        Err(Box::new(r))
+    }
+}
+
+/// Writes the failing run's flight recorders next to the repro line:
+/// JSONL dumps for both runtimes plus a Chrome/Perfetto trace of the
+/// threaded side. CI uploads these as artifacts when the soak fails.
+fn dump_flight(report: &DiffReport) {
+    for (path, content) in [
+        ("soak-flight.jsonl", &report.rt.flight_jsonl),
+        ("soak-flight-sim.jsonl", &report.sim.flight_jsonl),
+        ("soak-trace.json", &report.rt.flight_chrome),
+    ] {
+        match std::fs::write(path, content) {
+            Ok(()) => println!("flight recorder: wrote {path}"),
+            Err(e) => println!("flight recorder: could not write {path}: {e}"),
+        }
     }
 }
 
@@ -81,8 +97,16 @@ fn main() {
                     println!("[{}/{}] ok through seed {}", i + 1, total, seed);
                 }
             }
-            Err(detail) => {
-                println!("FAIL seed={} mask=0x{:x}: {}", seed, args.mask, detail);
+            Err(report) => {
+                println!("FAIL seed={} mask=0x{:x}: {}", seed, args.mask, report.detail);
+                // Always summarize the *original* failing run's injected
+                // faults — shrinking re-derives narrower specs, so this is
+                // the only place the ledger that actually failed is
+                // reported (previously it was skipped whenever shrinking
+                // succeeded immediately).
+                println!("rt fault ledger:  {}", report.rt.fault_canonical);
+                println!("sim fault record: {}", report.sim.fault_canonical);
+                dump_flight(&report);
                 // Shrink: greedily clear mask bits while the failure holds,
                 // then try the reduced-load variant of the survivor.
                 println!("shrinking...");
