@@ -78,6 +78,22 @@ fn main() {
                 };
                 fig13::run(&conc, &flows).print();
             }
+            // Not a paper artifact: concurrent LF moves under background
+            // southbound drops → retry amplification rows in BENCH json
+            // (opt-in, like faultshim).
+            "fig13_faulty" => {
+                let (k, flows, drops, seeds): (u32, u32, Vec<u16>, u64) = if quick {
+                    (2, 150, vec![60], 1)
+                } else {
+                    (4, 500, vec![20, 60, 120], 3)
+                };
+                let rep = fig13_faulty::run(k, flows, &drops, seeds);
+                rep.print();
+                match rep.write_json() {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("could not write BENCH json: {e}"),
+                }
+            }
             "compress" => {
                 compress::run(500).print();
             }

@@ -1,0 +1,225 @@
+//! Figure 13 under fire: simultaneous loss-free moves with background
+//! southbound message loss. Not a paper artifact — the paper measures
+//! concurrent moves on a quiet control channel; this variant sweeps a
+//! uniform per-mille drop rate across every link and reports how much
+//! the failure-aware lifecycle's retries amplify move latency. The rows
+//! land in a `BENCH_<n>.json` so the repo tracks the robustness tax the
+//! same way it tracks the hot-path numbers.
+
+use opennf_controller::{Command, MoveProps, ScenarioBuilder, ScopeSet};
+use opennf_packet::{Filter, Ipv4Prefix};
+use opennf_sim::{Dur, FaultKind, FaultPlan, Time};
+use std::path::PathBuf;
+
+use crate::dummy::DummyNf;
+
+/// One drop rate's aggregate over every seed and simultaneous move.
+#[derive(Debug, Clone)]
+pub struct FaultyRow {
+    /// Background drop probability, per mille, on every link.
+    pub drop_pm: u16,
+    /// Average duration of a *committed* move, virtual ms.
+    pub avg_ms: f64,
+    /// Average southbound retries per move (committed or not).
+    pub avg_retries: f64,
+    /// `avg_ms` over the drop-free average: the latency amplification
+    /// the retry/timeout machinery charges for riding out the loss.
+    pub amplification: f64,
+    /// Moves that committed across all seeds.
+    pub committed: usize,
+    /// Moves that exhausted retries and aborted.
+    pub aborted: usize,
+}
+
+/// The sweep result.
+pub struct Fig13Faulty {
+    /// One row per drop rate, ascending.
+    pub rows: Vec<FaultyRow>,
+    /// Simultaneous moves per run.
+    pub k: u32,
+    /// Flows per move.
+    pub flows: u32,
+    /// Seeds averaged per drop rate.
+    pub seeds: u64,
+}
+
+/// Runs `k` simultaneous loss-free dummy moves under a uniform
+/// `drop_pm` link-loss rate; returns `(sum_ms, committed, aborted,
+/// sum_retries)`.
+fn faulty_moves(k: u32, flows: u32, drop_pm: u16, seed: u64) -> (f64, usize, usize, u64) {
+    let mut b = ScenarioBuilder::new().seed(seed);
+    for _ in 0..k {
+        b = b
+            .nf("dummy-src", Box::new(DummyNf::with_flows(flows)))
+            .nf("dummy-dst", Box::new(DummyNf::with_flows(0)));
+    }
+    if drop_pm > 0 {
+        b = b.fault_plan(FaultPlan::new(seed).link(
+            None,
+            None,
+            Time(0),
+            Time(u64::MAX),
+            drop_pm,
+            FaultKind::Drop,
+        ));
+    }
+    let mut s = b.build();
+    for i in 0..k {
+        let src = s.instances[(2 * i) as usize];
+        let dst = s.instances[(2 * i + 1) as usize];
+        s.issue_at(
+            Dur::ZERO,
+            Command::Move {
+                src,
+                dst,
+                filter: Filter::from_src(Ipv4Prefix::new("10.0.0.0".parse().unwrap(), 8)).bidi(),
+                scope: ScopeSet::per_flow(),
+                props: MoveProps::lf_pl_p2p(),
+            },
+        );
+    }
+    s.run_to_completion();
+    let reports = s.controller().reports_of("move");
+    assert_eq!(reports.len(), k as usize, "every move must reach a terminal outcome");
+    let mut sum_ms = 0.0;
+    let (mut committed, mut aborted) = (0usize, 0usize);
+    let mut retries = 0u64;
+    for r in &reports {
+        retries += r.retries as u64;
+        if r.outcome.is_aborted() {
+            aborted += 1;
+        } else {
+            committed += 1;
+            sum_ms += r.duration_ms();
+        }
+    }
+    (sum_ms, committed, aborted, retries)
+}
+
+/// Sweeps `drops` (per mille) at fixed concurrency `k`, averaging
+/// `seeds` runs per rate. The drop-free rate is always measured first so
+/// every row's amplification has a same-shape baseline.
+pub fn run(k: u32, flows: u32, drops: &[u16], seeds: u64) -> Fig13Faulty {
+    let mut rates: Vec<u16> = drops.to_vec();
+    if !rates.contains(&0) {
+        rates.insert(0, 0);
+    }
+    rates.sort_unstable();
+    rates.dedup();
+
+    let mut rows = Vec::new();
+    let mut base_ms = 0.0f64;
+    for &pm in &rates {
+        let (mut sum_ms, mut committed, mut aborted, mut retries) = (0.0, 0, 0, 0u64);
+        for s in 0..seeds {
+            let (ms, c, a, r) = faulty_moves(k, flows, pm, 1 + s * 7919 + pm as u64);
+            sum_ms += ms;
+            committed += c;
+            aborted += a;
+            retries += r;
+        }
+        let avg_ms = if committed > 0 { sum_ms / committed as f64 } else { f64::NAN };
+        if pm == 0 {
+            base_ms = avg_ms;
+        }
+        rows.push(FaultyRow {
+            drop_pm: pm,
+            avg_ms,
+            avg_retries: retries as f64 / (committed + aborted) as f64,
+            amplification: avg_ms / base_ms,
+            committed,
+            aborted,
+        });
+    }
+    Fig13Faulty { rows, k, flows, seeds }
+}
+
+impl Fig13Faulty {
+    /// Renders the sweep.
+    pub fn print(&self) {
+        crate::header(&format!(
+            "Figure 13 (faulty) — {} simultaneous LF moves of {} flows vs. drop rate",
+            self.k, self.flows
+        ));
+        println!(
+            "{:>8} {:>12} {:>12} {:>14} {:>10} {:>8}",
+            "drop ‰", "avg ms/move", "retries/move", "amplification", "committed", "aborted"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>8} {:>12.1} {:>12.2} {:>13.2}x {:>10} {:>8}",
+                r.drop_pm, r.avg_ms, r.avg_retries, r.amplification, r.committed, r.aborted
+            );
+        }
+        println!(
+            "\nretry amplification: committed-move latency at each loss rate over the\n\
+             loss-free average; aborts are moves whose retry budget ran dry."
+        );
+    }
+
+    /// Serializes the sweep (same envelope style as the perf report so
+    /// the BENCH files stay greppable as one family).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"opennf-bench-fig13-faulty-v1\",\n");
+        s.push_str(&format!(
+            "  \"k\": {}, \"flows\": {}, \"seeds\": {},\n  \"results\": {{\n",
+            self.k, self.flows, self.seeds
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"fig13_faulty_drop{}pm\": {{\"unit\": \"virtual ms/move\", \"median\": {:.3}, \"retries_per_move\": {:.3}, \"amplification\": {:.3}, \"committed\": {}, \"aborted\": {}}}{}\n",
+                r.drop_pm,
+                r.avg_ms,
+                r.avg_retries,
+                r.amplification,
+                r.committed,
+                r.aborted,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  }\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<n>.json` (first free n, or `$BENCH_OUT`). Returns
+    /// the path written.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let path = match std::env::var_os("BENCH_OUT") {
+            Some(p) => PathBuf::from(p),
+            None => (0..)
+                .map(|n| PathBuf::from(format!("BENCH_{n}.json")))
+                .find(|p| !p.exists())
+                .unwrap(),
+        };
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drops_amplify_latency_and_are_survivable() {
+        let f = run(2, 150, &[120], 2);
+        assert_eq!(f.rows.len(), 2, "baseline row injected");
+        let base = &f.rows[0];
+        let lossy = &f.rows[1];
+        assert_eq!(base.drop_pm, 0);
+        assert_eq!(base.aborted, 0, "drop-free moves never abort");
+        assert!((base.amplification - 1.0).abs() < 1e-9);
+        assert_eq!(base.avg_retries, 0.0, "no loss, no retries");
+        assert_eq!(lossy.drop_pm, 120);
+        assert_eq!(lossy.committed + lossy.aborted, 4, "every move reached a terminal outcome");
+        // Loss costs retries, and retries cost latency.
+        assert!(lossy.avg_retries > 0.0, "12% drop must trigger bulk-transfer retries");
+        if lossy.committed > 0 {
+            assert!(lossy.amplification >= 1.0, "retries cannot make moves faster");
+        }
+        let json = f.to_json();
+        assert!(json.contains("fig13_faulty_drop120pm"));
+        assert!(json.contains("\"amplification\""));
+    }
+}
+

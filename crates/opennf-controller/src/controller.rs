@@ -10,6 +10,7 @@ use opennf_sim::{Ctx, Dur, Node, NodeId, Time};
 use opennf_telemetry::Telemetry;
 
 use crate::config::NetConfig;
+use crate::journal::{JournalPhase, JournalRecord, OpJournal};
 use crate::msg::{Command, Msg, OpId};
 use crate::ops::copy_op::CopyOp;
 use crate::ops::move_op::MoveOp;
@@ -112,6 +113,13 @@ pub struct ControllerNode {
     pub bytes_handled: u64,
     /// The run's telemetry (manual clock driven by virtual time).
     tel: Telemetry,
+    /// The write-ahead op journal. The struct field survives a crash
+    /// window (the engine's crash model is a recovered process), so it
+    /// plays the role of the durable store; in-flight messages and
+    /// timers die with the crash and model the volatile state.
+    journal: OpJournal,
+    /// Mint for southbound fence sequence numbers (see [`Msg::SbFenced`]).
+    fence_seq: u64,
 }
 
 impl ControllerNode {
@@ -135,6 +143,32 @@ impl ControllerNode {
             messages_handled: 0,
             bytes_handled: 0,
             tel: Telemetry::manual(),
+            journal: OpJournal::new(),
+            fence_seq: 0,
+        }
+    }
+
+    /// The write-ahead op journal (read by harnesses post-run).
+    pub fn journal(&self) -> &OpJournal {
+        &self.journal
+    }
+
+    /// The journal serialized as pretty JSON (soak artifact).
+    pub fn journal_json(&self) -> String {
+        self.journal.to_json()
+    }
+
+    /// Appends `op`'s freshly crossed phase boundaries to the journal,
+    /// each with a snapshot of the report as of this dispatch.
+    fn journal_drain(
+        journal: &mut OpJournal,
+        now_ns: u64,
+        op: OpId,
+        jlog: &mut Vec<JournalPhase>,
+        report: &crate::ops::report::OpReport,
+    ) {
+        for phase in jlog.drain(..) {
+            journal.append(JournalRecord { op, phase, t_ns: now_ns, report: report.clone() });
         }
     }
 
@@ -228,9 +262,21 @@ impl ControllerNode {
                 let prio = self.alloc_prio_pair();
                 let mut op = MoveOp::new(id, src, dst, filter, scope, props, prio, ctx.now().as_nanos());
                 let done = {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
+                    let mut o = OpCtx {
+                        ctx,
+                        cfg: &self.cfg,
+                        sw: self.sw,
+                        off,
+                        tel: &self.tel,
+                        epoch: self.journal.epoch,
+                        fence: &mut self.fence_seq,
+                        fenced: false,
+                    };
                     op.start(&mut o)
                 };
+                Self::journal_drain(
+                    &mut self.journal, ctx.now().as_nanos(), id, &mut op.jlog, &op.report,
+                );
                 // Moving traffic re-routes it: record intent in the shadow.
                 self.route_shadow.push((prio.1, filter, dst));
                 if done {
@@ -244,9 +290,21 @@ impl ControllerNode {
                 let id = self.alloc_op();
                 let mut op = CopyOp::new(id, src, dst, filter, scope, true, ctx.now().as_nanos());
                 let done = {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
+                    let mut o = OpCtx {
+                        ctx,
+                        cfg: &self.cfg,
+                        sw: self.sw,
+                        off,
+                        tel: &self.tel,
+                        epoch: self.journal.epoch,
+                        fence: &mut self.fence_seq,
+                        fenced: false,
+                    };
                     op.start(&mut o)
                 };
+                Self::journal_drain(
+                    &mut self.journal, ctx.now().as_nanos(), id, &mut op.jlog, &op.report,
+                );
                 if done {
                     let report = op.report.clone();
                     self.finalize(ctx, report);
@@ -262,9 +320,21 @@ impl ControllerNode {
                 let mut op =
                     ShareOp::new(id, insts, filter, scope, consistency, route, ctx.now().as_nanos());
                 {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
+                    let mut o = OpCtx {
+                        ctx,
+                        cfg: &self.cfg,
+                        sw: self.sw,
+                        off,
+                        tel: &self.tel,
+                        epoch: self.journal.epoch,
+                        fence: &mut self.fence_seq,
+                        fenced: false,
+                    };
                     op.start(&mut o);
                 }
+                Self::journal_drain(
+                    &mut self.journal, ctx.now().as_nanos(), id, &mut op.jlog, &op.report,
+                );
                 self.shares.insert(Self::base(id), op);
             }
             Command::Notify { inst, filter, enable } => {
@@ -317,11 +387,36 @@ impl ControllerNode {
     where
         F: FnOnce(&mut MoveOp, &mut OpCtx<'_, '_>) -> bool,
     {
+        self.with_move_fenced(ctx, base, off, false, f)
+    }
+
+    fn with_move_fenced<F>(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        base: u64,
+        off: Dur,
+        fenced: bool,
+        f: F,
+    ) where
+        F: FnOnce(&mut MoveOp, &mut OpCtx<'_, '_>) -> bool,
+    {
         if let Some(mut op) = self.moves.remove(&base) {
             let done = {
-                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
+                let mut o = OpCtx {
+                    ctx,
+                    cfg: &self.cfg,
+                    sw: self.sw,
+                    off,
+                    tel: &self.tel,
+                    epoch: self.journal.epoch,
+                    fence: &mut self.fence_seq,
+                    fenced,
+                };
                 f(&mut op, &mut o)
             };
+            Self::journal_drain(
+                &mut self.journal, ctx.now().as_nanos(), op.id, &mut op.jlog, &op.report,
+            );
             let newly_done = done && !op.reported;
             if newly_done {
                 op.reported = true;
@@ -346,16 +441,86 @@ impl ControllerNode {
     where
         F: FnOnce(&mut CopyOp, &mut OpCtx<'_, '_>) -> bool,
     {
+        self.with_copy_fenced(ctx, base, off, false, f)
+    }
+
+    fn with_copy_fenced<F>(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        base: u64,
+        off: Dur,
+        fenced: bool,
+        f: F,
+    ) where
+        F: FnOnce(&mut CopyOp, &mut OpCtx<'_, '_>) -> bool,
+    {
         if let Some(mut op) = self.copies.remove(&base) {
             let done = {
-                let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
+                let mut o = OpCtx {
+                    ctx,
+                    cfg: &self.cfg,
+                    sw: self.sw,
+                    off,
+                    tel: &self.tel,
+                    epoch: self.journal.epoch,
+                    fence: &mut self.fence_seq,
+                    fenced,
+                };
                 f(&mut op, &mut o)
             };
+            Self::journal_drain(
+                &mut self.journal, ctx.now().as_nanos(), op.id, &mut op.jlog, &op.report,
+            );
             if done {
                 let report = op.report.clone();
                 self.finalize(ctx, report);
             } else {
                 self.copies.insert(base, op);
+            }
+        }
+    }
+
+    fn with_share<F>(&mut self, ctx: &mut Ctx<'_, Msg>, base: u64, off: Dur, f: F)
+    where
+        F: FnOnce(&mut ShareOp, &mut OpCtx<'_, '_>),
+    {
+        self.with_share_fenced(ctx, base, off, false, f)
+    }
+
+    fn with_share_fenced<F>(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        base: u64,
+        off: Dur,
+        fenced: bool,
+        f: F,
+    ) where
+        F: FnOnce(&mut ShareOp, &mut OpCtx<'_, '_>),
+    {
+        if let Some(mut sh) = self.shares.remove(&base) {
+            {
+                let mut o = OpCtx {
+                    ctx,
+                    cfg: &self.cfg,
+                    sw: self.sw,
+                    off,
+                    tel: &self.tel,
+                    epoch: self.journal.epoch,
+                    fence: &mut self.fence_seq,
+                    fenced,
+                };
+                f(&mut sh, &mut o);
+            }
+            Self::journal_drain(
+                &mut self.journal, ctx.now().as_nanos(), sh.id, &mut sh.jlog, &sh.report,
+            );
+            if sh.torn_down() {
+                // Strict teardown: report once and drop the op so no
+                // further events/packet-ins reach it.
+                let report = sh.report.clone();
+                self.finalize(ctx, report);
+            } else {
+                self.shares.insert(base, sh);
             }
         }
     }
@@ -383,13 +548,7 @@ impl ControllerNode {
             .find(|(_, s)| s.instances().contains(&from) && s.filter().matches_packet(&pkt))
             .map(|(b, _)| *b);
         if let Some(base) = share_base {
-            if let Some(mut op) = self.shares.remove(&base) {
-                {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
-                    op.on_event(&mut o, from, &ev);
-                }
-                self.shares.insert(base, op);
-            }
+            self.with_share(ctx, base, off, |sh, o| sh.on_event(o, from, &ev));
             self.drain_cmds(ctx);
             return;
         }
@@ -424,13 +583,7 @@ impl ControllerNode {
             .find(|(_, s)| s.filter().matches_packet(&pkt))
             .map(|(b, _)| *b);
         if let Some(base) = share_base {
-            if let Some(mut op) = self.shares.remove(&base) {
-                {
-                    let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
-                    op.on_packet_in(&mut o, &pkt);
-                }
-                self.shares.insert(base, op);
-            }
+            self.with_share(ctx, base, off, |sh, o| sh.on_packet_in(o, &pkt));
         }
     }
 }
@@ -443,6 +596,54 @@ impl Node<Msg> for ControllerNode {
             ctx.send_self(period, Msg::Timer { op: OpId(0), tag: TAG_APP_TICK });
         }
         self.drain_cmds(ctx);
+    }
+
+    /// Deterministic recovery: the crash wiped in-flight messages and
+    /// timers (volatile), but the journal field survived (durable). Bump
+    /// the fencing epoch so every pre-crash southbound call still in
+    /// flight is stale, then replay the journal and drive every
+    /// non-terminal op to a defined outcome: resume from the last durable
+    /// phase where the protocol allows it, abort through the PR 1 paths
+    /// otherwise.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.tel.set_time_ns(ctx.now().as_nanos());
+        // The recovered controller CPU comes back idle.
+        self.busy = Time::ZERO;
+        self.journal.epoch += 1;
+        let inflight = self.journal.in_flight();
+        let span = self.tel.begin_at_arg(
+            "recovery.replay",
+            ctx.now().as_nanos(),
+            Some(format!("epoch {} in-flight {}", self.journal.epoch, inflight.len())),
+        );
+        self.tel.add("recovery.restarts", 1);
+        self.tel.add("recovery.records_replayed", self.journal.len() as u64);
+        // The app tick timer died with the crash; re-arm it.
+        if let Some(period) = self.tick {
+            ctx.send_self(period, Msg::Timer { op: OpId(0), tag: TAG_APP_TICK });
+        }
+        for (op, durable) in inflight {
+            let base = Self::base(op);
+            let off = self.service_offset(ctx.now(), 64);
+            if self.moves.contains_key(&base) {
+                self.with_move_fenced(ctx, base, off, true, |m, o| m.recover(o, durable));
+            } else if self.copies.contains_key(&base) {
+                self.with_copy_fenced(ctx, base, off, true, |c, o| c.recover(o, durable));
+            } else if self.shares.contains_key(&base) {
+                self.with_share_fenced(ctx, base, off, true, |sh, o| sh.recover(o, durable));
+            } else {
+                // Journaled as in-flight but the op struct is gone (e.g.
+                // a completed-then-expired move whose terminal record was
+                // lost): nothing left to drive.
+                continue;
+            }
+            if self.journal.last_phase(op) == Some(JournalPhase::Aborted) {
+                self.tel.add("recovery.ops_aborted", 1);
+            } else {
+                self.tel.add("recovery.ops_resumed", 1);
+            }
+        }
+        self.tel.end_at(span, ctx.now().as_nanos());
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
@@ -473,12 +674,8 @@ impl Node<Msg> for ControllerNode {
                     self.with_move(ctx, base, off, |m, o| m.on_sb_ack(o, reply));
                 } else if self.copies.contains_key(&base) {
                     self.with_copy(ctx, base, off, |c, o| c.on_sb_ack(o, reply));
-                } else if let Some(mut sh) = self.shares.remove(&base) {
-                    {
-                        let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
-                        sh.on_sb_ack(&mut o, from, op, reply);
-                    }
-                    self.shares.insert(base, sh);
+                } else if self.shares.contains_key(&base) {
+                    self.with_share(ctx, base, off, |sh, o| sh.on_sb_ack(o, from, op, reply));
                 }
             }
             Msg::Event(ev) => self.route_event(ctx, from, ev, off),
@@ -511,19 +708,8 @@ impl Node<Msg> for ControllerNode {
                         self.with_move(ctx, base, off, |m, o| m.on_timer(o, tag));
                     } else if self.copies.contains_key(&base) {
                         self.with_copy(ctx, base, off, |c, o| c.on_timer(o, tag));
-                    } else if let Some(mut sh) = self.shares.remove(&base) {
-                        {
-                            let mut o = OpCtx { ctx, cfg: &self.cfg, sw: self.sw, off, tel: &self.tel };
-                            sh.on_timer(&mut o, tag);
-                        }
-                        if sh.torn_down() {
-                            // Strict teardown: report once and drop the op
-                            // so no further events/packet-ins reach it.
-                            let report = sh.report.clone();
-                            self.finalize(ctx, report);
-                        } else {
-                            self.shares.insert(base, sh);
-                        }
+                    } else if self.shares.contains_key(&base) {
+                        self.with_share(ctx, base, off, |sh, o| sh.on_timer(o, tag));
                     }
                 }
             }

@@ -1,0 +1,206 @@
+//! The write-ahead op journal: the controller's durable record of every
+//! northbound operation's phase boundaries.
+//!
+//! The controller enforces OpenNF's guarantees, so a controller crash
+//! mid-move would otherwise strand exported state, orphaned event
+//! filters, and half-updated forwarding rules. Each op appends a
+//! [`JournalRecord`] at every phase boundary (armed, export done,
+//! transferred, imported, flushed, committed/aborted), carrying a
+//! snapshot of the op's [`OpReport`] at that instant. On restart the
+//! recovery pass replays the journal: every op whose last record is not
+//! terminal ([`JournalPhase::is_terminal`]) is driven to a deterministic
+//! outcome — resumed from its last durable phase when the remaining work
+//! is idempotent (a loss-free move past its event flush only needs the
+//! route re-installed), or rolled back through the abort path with the
+//! loss accounted in `abort_lost`.
+//!
+//! In the simulator the journal lives on the [`crate::ControllerNode`]
+//! struct, which survives a crash window (the engine's crash model is a
+//! recovered process, not a fresh one): the struct field *is* the
+//! durable store, while the in-flight messages and timers that die with
+//! the crash model the volatile state a real controller would lose.
+
+use serde::{Deserialize, Serialize};
+
+use crate::msg::OpId;
+use crate::ops::report::OpReport;
+
+/// A durable phase boundary. The five non-terminal phases mirror the
+/// five telemetry spans of a move (`move.export` → `move.transfer` →
+/// `move.import` → `move.flush` → `move.fwd_update`); copy and share
+/// journal the subset they pass through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum JournalPhase {
+    /// The op started: filters armed, first export requested.
+    Armed,
+    /// The source finished exporting the current scope.
+    ExportDone,
+    /// The far side confirmed the wire transfer.
+    Transferred,
+    /// Every import was acknowledged.
+    Imported,
+    /// Controller-buffered events were flushed toward the destination.
+    /// Past this point a rollback would reprocess them: recovery must
+    /// fail *forward*.
+    Flushed,
+    /// The op completed with its guarantees intact. Terminal.
+    Committed,
+    /// The op was abandoned; `OpReport::abort_lost` accounts the loss.
+    /// Terminal.
+    Aborted,
+}
+
+impl JournalPhase {
+    /// True for the two phases that end an op's journal stream.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JournalPhase::Committed | JournalPhase::Aborted)
+    }
+}
+
+/// One journal entry: which op crossed which boundary, when, and the
+/// op's report snapshot at that instant (the recovery pass rebuilds its
+/// picture of the op from these snapshots alone).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// The operation.
+    pub op: OpId,
+    /// The boundary crossed.
+    pub phase: JournalPhase,
+    /// Virtual time of the boundary, ns.
+    pub t_ns: u64,
+    /// The op's report as of this boundary.
+    pub report: OpReport,
+}
+
+/// The journal itself: an append-only record list plus the restart
+/// epoch. The epoch increments on every recovery pass and fences the
+/// southbound — commands reissued during recovery carry `(epoch, op,
+/// seq)` so an instance can discard duplicates and stale-epoch replays.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpJournal {
+    /// Every record appended so far, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Restart generation: 0 until the first recovery pass.
+    pub epoch: u64,
+}
+
+impl OpJournal {
+    /// An empty journal at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, rec: JournalRecord) {
+        self.records.push(rec);
+    }
+
+    /// The last phase journaled for `op`, if any.
+    pub fn last_phase(&self, op: OpId) -> Option<JournalPhase> {
+        self.records.iter().rev().find(|r| r.op == op).map(|r| r.phase)
+    }
+
+    /// Ops whose journal stream has started but not reached a terminal
+    /// phase, with their last durable phase, in ascending op-id order
+    /// (the order the recovery pass visits them — part of what makes
+    /// recovery deterministic).
+    pub fn in_flight(&self) -> Vec<(OpId, JournalPhase)> {
+        let mut last: Vec<(OpId, JournalPhase)> = Vec::new();
+        for r in &self.records {
+            match last.iter_mut().find(|(op, _)| *op == r.op) {
+                Some((_, ph)) => *ph = r.phase,
+                None => last.push((r.op, r.phase)),
+            }
+        }
+        last.retain(|(_, ph)| !ph.is_terminal());
+        last.sort_by_key(|(op, _)| *op);
+        last
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serializes the journal (pretty JSON — soak failures dump it next
+    /// to the flight recorders for post-mortem reading).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("journal serialization cannot fail")
+    }
+
+    /// Deserializes a journal dumped by [`OpJournal::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: u64, phase: JournalPhase, t_ns: u64) -> JournalRecord {
+        let mut report = OpReport::new(OpId(op), "move[LF PL]".into(), 0);
+        report.end_ns = t_ns;
+        if phase == JournalPhase::Aborted {
+            report.abort("test", None);
+            report.abort_lost = vec![3, 5];
+        }
+        JournalRecord { op: OpId(op), phase, t_ns, report }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_every_field() {
+        let mut j = OpJournal::new();
+        j.epoch = 2;
+        j.append(rec(1 << 20, JournalPhase::Armed, 10));
+        j.append(rec(1 << 20, JournalPhase::ExportDone, 20));
+        j.append(rec(2 << 20, JournalPhase::Armed, 25));
+        j.append(rec(1 << 20, JournalPhase::Flushed, 30));
+        j.append(rec(2 << 20, JournalPhase::Aborted, 40));
+        let back = OpJournal::from_json(&j.to_json()).expect("round trip");
+        assert_eq!(back.epoch, 2);
+        assert_eq!(back.records.len(), j.records.len());
+        for (a, b) in j.records.iter().zip(&back.records) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.phase, b.phase);
+            assert_eq!(a.t_ns, b.t_ns);
+            assert_eq!(a.report.kind, b.report.kind);
+            assert_eq!(a.report.abort_lost, b.report.abort_lost);
+            assert_eq!(a.report.outcome.is_aborted(), b.report.outcome.is_aborted());
+        }
+    }
+
+    #[test]
+    fn in_flight_skips_terminal_ops_and_orders_by_id() {
+        let mut j = OpJournal::new();
+        j.append(rec(3 << 20, JournalPhase::Armed, 1));
+        j.append(rec(1 << 20, JournalPhase::Armed, 2));
+        j.append(rec(1 << 20, JournalPhase::Flushed, 3));
+        j.append(rec(2 << 20, JournalPhase::Armed, 4));
+        j.append(rec(2 << 20, JournalPhase::Committed, 5));
+        let inflight = j.in_flight();
+        assert_eq!(
+            inflight,
+            vec![
+                (OpId(1 << 20), JournalPhase::Flushed),
+                (OpId(3 << 20), JournalPhase::Armed),
+            ]
+        );
+        assert_eq!(j.last_phase(OpId(2 << 20)), Some(JournalPhase::Committed));
+        assert_eq!(j.last_phase(OpId(9 << 20)), None);
+    }
+
+    #[test]
+    fn phase_ordering_matches_the_lifecycle() {
+        assert!(JournalPhase::Armed < JournalPhase::Flushed);
+        assert!(JournalPhase::Flushed < JournalPhase::Committed);
+        assert!(JournalPhase::Committed.is_terminal());
+        assert!(JournalPhase::Aborted.is_terminal());
+        assert!(!JournalPhase::Flushed.is_terminal());
+    }
+}

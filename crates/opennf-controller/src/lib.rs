@@ -16,6 +16,10 @@
 //! * [`ops`] — the northbound operations: `move` (no-guarantee, loss-free,
 //!   loss-free + order-preserving; with the parallelize and early-release
 //!   optimizations of §5.1.3), `copy`, and `share` (strong/strict);
+//! * [`journal`] — the write-ahead op journal and recovery metadata that
+//!   make the controller itself crash-tolerant: phase-boundary records
+//!   replayed on restart to drive every in-flight op to a deterministic
+//!   outcome;
 //! * [`guarantees`] — runtime *oracles* that check loss-freedom and
 //!   order-preservation from the recorded switch/NF logs, used throughout
 //!   the test suite (the paper proves these properties in its tech report;
@@ -26,6 +30,7 @@
 pub mod config;
 pub mod controller;
 pub mod guarantees;
+pub mod journal;
 pub mod msg;
 pub mod nodes;
 pub mod ops;
@@ -34,6 +39,7 @@ pub mod scenario;
 pub use config::{NetConfig, OpConfig};
 pub use controller::{ControlApp, ControllerNode, NoopApp};
 pub use guarantees::{GuaranteeReport, Oracle};
+pub use journal::{JournalPhase, JournalRecord, OpJournal};
 pub use msg::{Command, ConsistencyLevel, MoveProps, MoveVariant, Msg, OpId, ScopeSet};
 pub use nodes::host::HostNode;
 pub use nodes::nf_node::NfNode;

@@ -413,6 +413,23 @@ pub enum Msg {
         /// The call.
         call: SbCall,
     },
+    /// Controller → NF: a *fenced* southbound call, reissued by the
+    /// controller's post-restart recovery pass. The `(epoch, op, seq)`
+    /// triple is a dedup key: an instance that already applied this
+    /// exact reissue (a duplicated delivery) re-acks without applying,
+    /// and a call from an epoch older than the newest the instance has
+    /// seen is stale — superseded by a later recovery — and is fenced
+    /// out entirely.
+    SbFenced {
+        /// Restart epoch of the issuing controller.
+        epoch: u64,
+        /// Per-epoch sequence number.
+        seq: u64,
+        /// Correlation.
+        op: OpId,
+        /// The call.
+        call: SbCall,
+    },
     /// NF → controller: a southbound reply.
     SbAck {
         /// Correlation.
@@ -456,6 +473,19 @@ pub enum Msg {
 }
 
 impl Msg {
+    /// Chunk payload bytes a southbound call carries beyond its envelope.
+    fn call_payload(call: &SbCall) -> usize {
+        match call {
+            SbCall::PutPerflow { chunks }
+            | SbCall::PutMultiflow { chunks }
+            | SbCall::PutAllflows { chunks } => {
+                chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
+            }
+            SbCall::PutChunk { chunk } => chunk.len() + 48,
+            _ => 0,
+        }
+    }
+
     /// Approximate wire size in bytes, used for the controller's
     /// byte-proportional processing cost (§8.3 found controller threads
     /// "busy reading from sockets most of the time").
@@ -463,17 +493,9 @@ impl Msg {
         match self {
             Msg::Packet(p) | Msg::PacketIn(p) => p.wire_size as usize,
             Msg::PacketOut { packet, .. } => packet.wire_size as usize + 32,
-            Msg::Sb { call, .. } => {
-                64 + match call {
-                    SbCall::PutPerflow { chunks }
-                    | SbCall::PutMultiflow { chunks }
-                    | SbCall::PutAllflows { chunks } => {
-                        chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
-                    }
-                    SbCall::PutChunk { chunk } => chunk.len() + 48,
-                    _ => 0,
-                }
-            }
+            Msg::Sb { call, .. } => 64 + Self::call_payload(call),
+            // The fence header (epoch + seq) rides along: 24 extra bytes.
+            Msg::SbFenced { call, .. } => 88 + Self::call_payload(call),
             Msg::SbAck { reply, .. } => {
                 64 + match reply {
                     SbReply::Chunks { chunks } => {

@@ -110,6 +110,12 @@ pub struct NfNode {
     /// Archive of every log record the NF emitted (drained continuously
     /// so alerts can be forwarded; tests read this instead of the NF).
     pub logs: Vec<opennf_nf::LogRecord>,
+    /// Highest controller fencing epoch seen (see [`Msg::SbFenced`]).
+    max_epoch: u64,
+    /// `(epoch, op, seq)` keys already applied — an exact duplicate
+    /// (fault-layer dup or crash-straddling reissue) is dropped instead of
+    /// applied twice.
+    fence_seen: std::collections::HashSet<(u64, u64, u64)>,
 }
 
 impl NfNode {
@@ -136,6 +142,8 @@ impl NfNode {
             bytes_exported: 0,
             bytes_imported: 0,
             logs: Vec::new(),
+            max_epoch: 0,
+            fence_seen: std::collections::HashSet::new(),
         }
     }
 
@@ -630,6 +638,21 @@ impl Node<Msg> for NfNode {
                 }
             }
             Msg::Sb { op, call } => self.handle_sb(ctx, op, call),
+            Msg::SbFenced { epoch, seq, op, call } => {
+                if epoch < self.max_epoch {
+                    // Stale epoch: a reissue from before the latest
+                    // controller restart. Applying it could collide with
+                    // the newest epoch's own reissue for the same op id
+                    // (e.g. two exports keyed by one op), so fence it out.
+                    ctx.counters().inc("nf.fenced_stale");
+                } else if !self.fence_seen.insert((epoch, op.0, seq)) {
+                    // Exact duplicate of an already-applied reissue.
+                    ctx.counters().inc("nf.fenced_dup");
+                } else {
+                    self.max_epoch = epoch;
+                    self.handle_sb(ctx, op, call);
+                }
+            }
             Msg::P2pChunks { op, xfer, last, chunks } => self.on_p2p_chunks(ctx, op, xfer, last, chunks),
             Msg::Timer { op, tag } if tag == TAG_EXPORT_STEP => self.export_step(ctx, op),
             other => debug_assert!(false, "nf {}: unexpected message {other:?}", self.name),

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use opennf_sim::{Dur, NodeId};
 use opennf_telemetry::SpanId;
 
+use crate::journal::JournalPhase;
 use crate::msg::{OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
 use crate::ops::OpCtx;
@@ -51,6 +52,9 @@ pub struct CopyOp {
     done: bool,
     /// The op's outcome report.
     pub report: OpReport,
+    /// Phase boundaries crossed since the controller last drained this
+    /// list into the write-ahead journal.
+    pub jlog: Vec<JournalPhase>,
     // Telemetry spans: export = first get → source's last reply; import =
     // the rest of the op (puts confirmed at the destination).
     sp_export: Option<SpanId>,
@@ -94,6 +98,7 @@ impl CopyOp {
             backoff: Dur::ZERO,
             done: false,
             report: OpReport::new(id, "copy".into(), now_ns),
+            jlog: Vec::new(),
             sp_export: None,
             sp_import: None,
         }
@@ -106,6 +111,7 @@ impl CopyOp {
         if let Some(s) = self.sp_export.take() {
             o.span_end(s);
             self.sp_import = Some(o.span_begin("copy.import"));
+            self.jlog.push(JournalPhase::ExportDone);
         }
     }
 
@@ -123,7 +129,31 @@ impl CopyOp {
     /// Kicks the operation off. Returns true if already complete (empty
     /// scope).
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.jlog.push(JournalPhase::Armed);
         self.next_stage(o)
+    }
+
+    /// Re-arms the op after a controller restart. Gets are read-only and
+    /// puts idempotent, so a copy needs no rollback: re-issue the current
+    /// stage's export (fenced — the pre-crash original may still land)
+    /// and let the existing watchdog/retry machinery carry it home.
+    pub fn recover(&mut self, o: &mut OpCtx<'_, '_>, durable: JournalPhase) -> bool {
+        if self.done {
+            return false;
+        }
+        o.tel_event("recovery.op", Some(format!("{} copy from {:?}", self.id, durable)));
+        match self.cur {
+            Some(stage) => {
+                self.retries_left = o.cfg.op.sb_retries;
+                self.backoff = o.cfg.op.sb_retry_backoff;
+                self.arm_watchdog(o);
+                o.sb(self.src, self.id, self.stage_call(stage));
+                false
+            }
+            // Armed but no stage begun (empty scope was handled in
+            // start): nothing outstanding.
+            None => self.next_stage(o),
+        }
     }
 
     fn arm_watchdog(&mut self, o: &mut OpCtx<'_, '_>) {
@@ -159,6 +189,7 @@ impl CopyOp {
                 self.done = true;
                 self.close_spans(o);
                 self.report.end_ns = o.now().as_nanos();
+                self.jlog.push(JournalPhase::Committed);
                 true
             }
             Some(stage) => {
@@ -263,6 +294,7 @@ impl CopyOp {
             );
             self.report.end_ns = o.now().as_nanos();
             self.done = true;
+            self.jlog.push(JournalPhase::Aborted);
             true
         }
     }

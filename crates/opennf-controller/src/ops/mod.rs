@@ -33,6 +33,16 @@ pub struct OpCtx<'a, 'b> {
     /// The run's telemetry (manual clock, stamped by the controller node
     /// before each dispatch).
     pub tel: &'a Telemetry,
+    /// The controller's restart epoch (0 until its first recovery pass).
+    pub epoch: u64,
+    /// Mint for fence sequence numbers (shared across all ops so every
+    /// fenced message in an epoch carries a distinct `(epoch, seq)`).
+    pub fence: &'a mut u64,
+    /// Set by the recovery pass: every southbound call issued through
+    /// this context goes out as [`Msg::SbFenced`], so an instance that
+    /// already applied the pre-crash original discards the reissue
+    /// instead of double-applying.
+    pub fenced: bool,
 }
 
 impl OpCtx<'_, '_> {
@@ -57,16 +67,30 @@ impl OpCtx<'_, '_> {
         self.tel.event_at(name, self.now().as_nanos(), arg);
     }
 
+    /// Wraps a southbound call for the wire: plain in normal operation,
+    /// fenced with a fresh `(epoch, seq)` during the recovery pass.
+    fn wrap(&mut self, op: OpId, call: SbCall) -> Msg {
+        if self.fenced {
+            let seq = *self.fence;
+            *self.fence += 1;
+            Msg::SbFenced { epoch: self.epoch, seq, op, call }
+        } else {
+            Msg::Sb { op, call }
+        }
+    }
+
     /// Issues a southbound call.
     pub fn sb(&mut self, inst: NodeId, op: OpId, call: SbCall) {
         let d = self.off + self.cfg.ctrl_to_nf;
-        self.ctx.send(inst, d, Msg::Sb { op, call });
+        let msg = self.wrap(op, call);
+        self.ctx.send(inst, d, msg);
     }
 
     /// Issues a southbound call after an extra delay (retry backoff).
     pub fn sb_after(&mut self, inst: NodeId, op: OpId, call: SbCall, extra: Dur) {
         let d = self.off + self.cfg.ctrl_to_nf + extra;
-        self.ctx.send(inst, d, Msg::Sb { op, call });
+        let msg = self.wrap(op, call);
+        self.ctx.send(inst, d, msg);
     }
 
     /// Sends a control message to the switch.

@@ -12,6 +12,7 @@ use opennf_packet::{Filter, FlowId, Packet};
 use opennf_sim::{Dur, NodeId};
 use opennf_telemetry::SpanId;
 
+use crate::journal::JournalPhase;
 use crate::msg::{Msg, MoveProps, MoveVariant, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
 use crate::ops::OpCtx;
@@ -142,6 +143,9 @@ pub struct MoveOp {
     route_reverted: bool,
     /// The op's outcome report.
     pub report: OpReport,
+    /// Phase boundaries crossed since the controller last drained this
+    /// list into the write-ahead journal.
+    pub jlog: Vec<JournalPhase>,
     /// Set when the report has been collected; the op then lingers only to
     /// forward late events until cleanup.
     pub reported: bool,
@@ -238,6 +242,7 @@ impl MoveOp {
             backoff: Dur::ZERO,
             route_reverted: false,
             report: OpReport::new(id, kind, now_ns),
+            jlog: Vec::new(),
             reported: false,
             sp_export: None,
             sp_transfer: None,
@@ -254,6 +259,7 @@ impl MoveOp {
         if let Some(s) = self.sp_export.take() {
             o.span_end(s);
             self.sp_transfer = Some(o.span_begin("move.transfer"));
+            self.jlog.push(JournalPhase::ExportDone);
         }
     }
 
@@ -264,6 +270,7 @@ impl MoveOp {
             if let Some(s) = self.sp_transfer.take() {
                 o.span_end(s);
                 self.sp_import = Some(o.span_begin("move.import"));
+                self.jlog.push(JournalPhase::Transferred);
             }
         }
     }
@@ -621,11 +628,13 @@ impl MoveOp {
         self.report.abort(reason, blame);
         self.report.end_ns = o.now().as_nanos();
         self.phase = Phase::Done;
+        self.jlog.push(JournalPhase::Aborted);
         true
     }
 
     /// Kicks the operation off. Returns true if already complete.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.jlog.push(JournalPhase::Armed);
         match self.props.variant {
             MoveVariant::NoGuarantee => {
                 // Split/Merge behaviour: silently drop traffic at the
@@ -822,6 +831,7 @@ impl MoveOp {
         if let Some(s) = self.sp_import.take() {
             o.span_end(s);
         }
+        self.jlog.push(JournalPhase::Imported);
         let sp_flush = o.span_begin("move.flush");
         // Release everything still buffered, in arrival order.
         let mut packets: Vec<Packet> = std::mem::take(&mut self.buffered);
@@ -839,6 +849,7 @@ impl MoveOp {
             o.to_switch(Msg::PacketOut { packet: pkt, to: self.dst });
         }
         self.flushed = true;
+        self.jlog.push(JournalPhase::Flushed);
         o.span_end(sp_flush);
         self.sp_fwd = Some(o.span_begin("move.fwd_update"));
 
@@ -867,6 +878,11 @@ impl MoveOp {
     }
 
     fn complete(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        // A duplicated FlowModApplied can land here twice; the journal
+        // records the commit once.
+        if self.phase != Phase::Done {
+            self.jlog.push(JournalPhase::Committed);
+        }
         self.disarm_watchdog();
         self.phase = Phase::Done;
         if let Some(s) = self.sp_fwd.take() {
@@ -906,6 +922,45 @@ impl MoveOp {
             }
         }
         true
+    }
+
+    /// Drives the op to a deterministic outcome after a controller
+    /// restart, from the last phase the journal recorded durably. Past
+    /// the event flush the remaining work is an idempotent forwarding
+    /// update, so NG/LF moves *resume* by re-issuing the route flow-mod;
+    /// an order-preserving move fails forward instead (its ordering
+    /// window — packet-ins, counter polls, timers — died with the
+    /// crash, so `abort_lost` accounts the unconfirmed packet-ins).
+    /// Before the flush the op rolls back through the abort path: the
+    /// route never left the source, so the network ends up as if the
+    /// move had not been attempted. Returns true when the op finished.
+    pub fn recover(&mut self, o: &mut OpCtx<'_, '_>, durable: JournalPhase) -> bool {
+        if self.phase == Phase::Done {
+            return false;
+        }
+        o.tel_event(
+            "recovery.op",
+            Some(format!("{} {} from {:?}", self.id, self.report.kind, durable)),
+        );
+        if durable >= JournalPhase::Flushed {
+            match self.props.variant {
+                MoveVariant::LossFreeOrderPreserving => self.abort_forward(
+                    o,
+                    "controller restart: order-preserving window lost".into(),
+                    None,
+                ),
+                _ => {
+                    // Resume from the durable flush: the only step left
+                    // is the route update, and installing a flow-mod
+                    // twice is idempotent at the switch.
+                    self.enter(o, Phase::RouteUpdate);
+                    self.resend_flow_mod(o);
+                    false
+                }
+            }
+        } else {
+            self.abort_rollback(o, "controller restart before event flush".into(), None)
+        }
     }
 
     /// Southbound ack dispatch. Returns true when the op is complete.

@@ -25,6 +25,7 @@ use opennf_packet::{Filter, FlowId, Ipv4Prefix, Packet};
 use opennf_sim::{Dur, NodeId};
 use opennf_telemetry::SpanId;
 
+use crate::journal::JournalPhase;
 use crate::msg::{ConsistencyLevel, Msg, OpId, SbCall, SbReply, ScopeSet};
 use crate::ops::report::OpReport;
 use crate::ops::OpCtx;
@@ -95,6 +96,9 @@ pub struct ShareOp {
     pub packets_synced: u64,
     /// The op's report (`end_ns` stays at start: shares don't complete).
     pub report: OpReport,
+    /// Phase boundaries crossed since the controller last drained this
+    /// list into the write-ahead journal.
+    pub jlog: Vec<JournalPhase>,
     // Telemetry spans for the two setup phases.
     sp_arm: Option<SpanId>,
     sp_init: Option<SpanId>,
@@ -137,6 +141,7 @@ impl ShareOp {
             torn_down: false,
             packets_synced: 0,
             report: OpReport::new(id, kind.into(), now_ns),
+            jlog: Vec::new(),
             sp_arm: None,
             sp_init: None,
         }
@@ -219,6 +224,7 @@ impl ShareOp {
 
     /// Kicks the operation off.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.jlog.push(JournalPhase::Armed);
         self.sp_arm = Some(o.span_begin("share.arm"));
         let action = self.event_action();
         for inst in self.insts.clone() {
@@ -290,6 +296,7 @@ impl ShareOp {
         }
         self.pending_insts.clear();
         self.disarm_watchdog();
+        self.jlog.push(JournalPhase::Imported);
     }
 
     /// Removes one outstanding-ack entry for `inst`.
@@ -320,6 +327,74 @@ impl ShareOp {
             return Vec::new();
         }
         vec![(self.filter, self.event_action())]
+    }
+
+    /// Re-arms the op after a controller restart. Setup phases re-send
+    /// their (idempotent) calls and restart the watchdog. A running
+    /// share un-wedges every busy group: the inject → sync cycle's
+    /// confirmation may have died with the crash, so the in-flight
+    /// packet's fate is unknowable — account it in `abort_lost` — and
+    /// the queue resumes pumping behind it.
+    pub fn recover(&mut self, o: &mut OpCtx<'_, '_>, durable: JournalPhase) {
+        if self.torn_down {
+            return;
+        }
+        o.tel_event(
+            "recovery.op",
+            Some(format!("{} {} from {:?}", self.id, self.report.kind, durable)),
+        );
+        if self.phase == Phase::Running {
+            let mut stuck: Vec<(FlowId, u64)> = self
+                .groups
+                .iter()
+                .filter_map(|(gid, g)| {
+                    (g.busy).then_some((*gid, g.waiting_uid.unwrap_or_default()))
+                })
+                .collect();
+            stuck.sort_unstable();
+            for (gid, uid) in stuck {
+                if uid != 0 {
+                    self.report.abort_lost.push(uid);
+                }
+                // Not `cycle_done`: the cycle never confirmed, so it
+                // must not count as synced.
+                let group = self.groups.get_mut(&gid).expect("group");
+                group.busy = false;
+                group.waiting_uid = None;
+                group.origin = None;
+                if let Some(s) = group.span.take() {
+                    o.tel.end_at(s, o.ctx.now().as_nanos());
+                }
+                self.pump_group(o, gid);
+            }
+            return;
+        }
+        self.retries_left = o.cfg.op.sb_retries;
+        self.backoff = o.cfg.op.sb_retry_backoff;
+        match self.phase {
+            Phase::Arming => {
+                let action = self.event_action();
+                for inst in self.insts.clone() {
+                    o.sb(inst, self.id, SbCall::EnableEvents { filter: self.filter, action });
+                }
+            }
+            Phase::InitialSync => {
+                for inst in self.insts.clone() {
+                    if self.scope.multi_flow {
+                        o.sb(
+                            inst,
+                            self.id,
+                            SbCall::GetMultiflow { filter: self.filter, stream: false },
+                        );
+                    }
+                    if self.scope.all_flows {
+                        o.sb(inst, self.id, SbCall::GetAllflows);
+                    }
+                }
+            }
+            Phase::Running => {}
+        }
+        self.arm_watchdog(o);
     }
 
     fn pump_group(&mut self, o: &mut OpCtx<'_, '_>, gid: FlowId) {
@@ -550,6 +625,7 @@ impl ShareOp {
                 out.first().copied(),
             );
             self.torn_down = true;
+            self.jlog.push(JournalPhase::Aborted);
             for s in [self.sp_arm.take(), self.sp_init.take()].into_iter().flatten() {
                 o.span_end(s);
             }

@@ -1,0 +1,232 @@
+//! Crash-tolerance of the control plane: the controller is killed at
+//! every phase boundary of an in-flight move and must recover to a
+//! deterministic outcome that matches the crash-free run modulo the
+//! losses its abort path explicitly accounts.
+//!
+//! The crash model is the simulator's: the controller *struct* (and with
+//! it the op journal) survives, in-flight messages and timers die. On
+//! restart the recovery pass replays the journal and either resumes the
+//! op from its last durable phase over the epoch-fenced southbound or
+//! rolls it back through the abort path.
+
+use opennf_controller::{
+    Command, JournalPhase, MoveProps, Scenario, ScenarioBuilder, ScopeSet,
+};
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_sim::{Dur, FaultPlan, NodeId, Time};
+use proptest::prelude::*;
+
+const FLOWS: u32 = 50;
+
+fn schedule(flows: u32, pps: u64, dur: Dur) -> Vec<(u64, Packet)> {
+    let mut out = Vec::new();
+    let gap_ns = 1_000_000_000 / pps;
+    let total = (dur.as_nanos() / gap_ns) as u32;
+    for i in 0..total {
+        let uid = i as u64 + 1;
+        let flow = i % flows;
+        let key = FlowKey::tcp(
+            format!("10.0.{}.{}", flow / 250, flow % 250 + 1).parse().unwrap(),
+            2000 + (flow % 60000) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let flags = if i < flows { TcpFlags::SYN } else { TcpFlags::ACK };
+        let pkt = Packet::builder(uid, key).flags(flags).seq(uid as u32).build();
+        out.push((i as u64 * gap_ns, pkt));
+    }
+    out
+}
+
+/// The Figure 4 two-monitor scenario with a whole-traffic move at 100 ms,
+/// optionally crashing the controller (node 0) under `plan`.
+fn move_scenario(seed: u64, props: MoveProps, plan: Option<FaultPlan>) -> Scenario {
+    let mut b = ScenarioBuilder::new()
+        .seed(seed)
+        .nf("m1", Box::new(AssetMonitor::new()))
+        .nf("m2", Box::new(AssetMonitor::new()))
+        .host(schedule(FLOWS, 2_500, Dur::millis(600)))
+        .route(0, Filter::any(), 0);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    let mut s = b.build();
+    let (src, dst) = (s.instances[0], s.instances[1]);
+    s.issue_at(
+        Dur::millis(100),
+        Command::Move { src, dst, filter: Filter::any(), scope: ScopeSet::per_flow(), props },
+    );
+    s.run_to_completion();
+    s
+}
+
+/// A deterministic fingerprint of everything recovery can influence:
+/// the full journal (phase stream + report snapshots), where the flow
+/// state ended up, and the oracle's totals.
+fn digest(s: &Scenario) -> String {
+    let m1 = s.nf(0).nf_as::<AssetMonitor>().conn_count();
+    let m2 = s.nf(1).nf_as::<AssetMonitor>().conn_count();
+    let o = s.oracle_with_faults().check();
+    format!(
+        "m1={} m2={} processed={} forwarded={} journal={}",
+        m1,
+        m2,
+        o.processed,
+        o.forwarded,
+        s.controller().journal_json()
+    )
+}
+
+/// Crash just after virtual time `t_ns`, restart 20 ms later.
+fn crash_plan(seed: u64, t_ns: u64) -> FaultPlan {
+    FaultPlan::new(seed).crash_restart(
+        NodeId(0),
+        Time(0) + Dur::nanos(t_ns + 1_000),
+        Time(0) + Dur::nanos(t_ns) + Dur::millis(20),
+    )
+}
+
+/// The acceptance test: crash the controller at each of the five durable
+/// phases of a loss-free move. Every crashed run must (a) drive the op to
+/// a terminal journal phase, (b) satisfy exactly-once-or-accounted, and
+/// (c) reproduce the identical digest when re-run with the same seed.
+#[test]
+fn crash_at_every_move_phase_recovers_deterministically() {
+    let clean = move_scenario(7, MoveProps::lf_pl(), None);
+    let clean_m2 = clean.nf(1).nf_as::<AssetMonitor>().conn_count();
+    assert_eq!(clean_m2, FLOWS as usize, "crash-free move lands all flows at dst");
+
+    // Harvest the move's non-terminal boundaries from the crash-free
+    // journal: these are the instants a real controller would have just
+    // fsynced the record and then died.
+    let boundaries: Vec<(JournalPhase, u64)> = clean
+        .controller()
+        .journal()
+        .records
+        .iter()
+        .filter(|r| !r.phase.is_terminal())
+        .map(|r| (r.phase, r.t_ns))
+        .collect();
+    let phases: Vec<JournalPhase> = boundaries.iter().map(|(p, _)| *p).collect();
+    assert_eq!(
+        phases,
+        vec![
+            JournalPhase::Armed,
+            JournalPhase::ExportDone,
+            JournalPhase::Transferred,
+            JournalPhase::Imported,
+            JournalPhase::Flushed,
+        ],
+        "an LF move journals all five durable phases"
+    );
+
+    for (phase, t_ns) in boundaries {
+        let a = move_scenario(7, MoveProps::lf_pl(), Some(crash_plan(7, t_ns)));
+        let b = move_scenario(7, MoveProps::lf_pl(), Some(crash_plan(7, t_ns)));
+        assert_eq!(digest(&a), digest(&b), "recovery after crash at {phase:?} is deterministic");
+
+        let journal = a.controller().journal();
+        assert_eq!(journal.epoch, 1, "restart bumped the fencing epoch");
+        assert!(journal.in_flight().is_empty(), "crash at {phase:?} left an op unresolved");
+
+        let oracle = a.oracle_with_faults().check();
+        assert!(
+            oracle.is_exactly_once_or_accounted(),
+            "crash at {phase:?}: unaccounted loss/duplication: lost={:?} dup={:?}",
+            oracle.lost,
+            oracle.duplicated
+        );
+
+        // Outcome matches the crash-free run modulo abort_lost: either
+        // the op resumed and committed (state at dst, like the clean
+        // run), or it rolled back with the state back at the source.
+        let reports = a.controller().reports_of("move[LF PL]");
+        assert_eq!(reports.len(), 1, "crash at {phase:?}: op must report exactly once");
+        let m1 = a.nf(0).nf_as::<AssetMonitor>().conn_count();
+        let m2 = a.nf(1).nf_as::<AssetMonitor>().conn_count();
+        if reports[0].outcome.is_aborted() {
+            assert_eq!(m2, 0, "crash at {phase:?}: rollback must not leave state at dst");
+            assert!(
+                phase < JournalPhase::Flushed,
+                "crash at {phase:?}: post-flush recovery must fail forward, not roll back"
+            );
+        } else {
+            assert_eq!(m2, clean_m2, "crash at {phase:?}: resumed move matches crash-free run");
+            assert_eq!(m1, 0, "crash at {phase:?}: resumed move deleted src state");
+        }
+    }
+}
+
+/// Post-flush crashes must fail forward (a rollback would replay flushed
+/// events), so the recovered run commits with all state at the dst.
+#[test]
+fn crash_after_flush_fails_forward() {
+    let clean = move_scenario(11, MoveProps::lf_pl(), None);
+    let flush_t = clean
+        .controller()
+        .journal()
+        .records
+        .iter()
+        .find(|r| r.phase == JournalPhase::Flushed)
+        .map(|r| r.t_ns)
+        .expect("LF move journals a Flushed boundary");
+
+    let s = move_scenario(11, MoveProps::lf_pl(), Some(crash_plan(11, flush_t)));
+    let reports = s.controller().reports_of("move[LF PL]");
+    assert_eq!(reports.len(), 1);
+    assert!(!reports[0].outcome.is_aborted(), "post-flush crash rolled back");
+    assert_eq!(s.nf(1).nf_as::<AssetMonitor>().conn_count(), FLOWS as usize);
+    assert!(s.oracle_with_faults().check().is_exactly_once_or_accounted());
+}
+
+/// A fault-free run journals the op but never bumps the epoch and never
+/// sends a fenced southbound message — the journal is pure bookkeeping
+/// until a crash happens.
+#[test]
+fn fault_free_run_journals_without_fencing()
+{
+    let s = move_scenario(3, MoveProps::lf_pl(), None);
+    let journal = s.controller().journal();
+    assert_eq!(journal.epoch, 0, "no restart, no epoch bump");
+    assert!(journal.in_flight().is_empty());
+    assert_eq!(journal.last_phase(journal.records[0].op), Some(JournalPhase::Committed));
+    assert_eq!(s.engine.counters().get("nf.fenced_dup"), 0);
+    assert_eq!(s.engine.counters().get("nf.fenced_stale"), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Property: crash the controller at a random instant inside the move
+    /// window of a randomly seeded run. Recovery must always resolve the
+    /// journal, keep exactly-once-or-accounted, and reproduce the same
+    /// digest on a second run with the same seed.
+    #[test]
+    fn random_crash_in_move_window_recovers(seed in 1u64..4096, off_us in 0u64..40_000) {
+        let t_ns = Dur::millis(100).as_nanos() + off_us * 1_000;
+        let a = move_scenario(seed, MoveProps::lf_pl(), Some(crash_plan(seed, t_ns)));
+        let b = move_scenario(seed, MoveProps::lf_pl(), Some(crash_plan(seed, t_ns)));
+        prop_assert_eq!(digest(&a), digest(&b), "same seed, same crash, different outcome");
+
+        let journal = a.controller().journal();
+        prop_assert!(journal.in_flight().is_empty(), "recovery left an op unresolved");
+        let oracle = a.oracle_with_faults().check();
+        prop_assert!(
+            oracle.is_exactly_once_or_accounted(),
+            "unaccounted packets: lost={:?} dup={:?}", oracle.lost, oracle.duplicated
+        );
+        // Modulo abort_lost the outcome matches one of the two legal
+        // terminal states: committed (state at dst) or aborted (state
+        // back at src, loss accounted in the report).
+        let m2 = a.nf(1).nf_as::<AssetMonitor>().conn_count();
+        let reports = a.controller().reports_of("move[LF PL]");
+        if let Some(r) = reports.first() {
+            if r.outcome.is_aborted() {
+                prop_assert_eq!(m2, 0);
+            } else {
+                prop_assert_eq!(m2, FLOWS as usize);
+            }
+        }
+    }
+}

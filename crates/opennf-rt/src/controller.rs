@@ -60,6 +60,12 @@ pub struct RtController {
     /// Router → worker links (what fault-aware generators send through).
     data_links: Vec<FaultyChannel>,
     reply_timeout: Duration,
+    /// Fencing epoch stamped on [`WireMsg::Fenced`] sends. The threaded
+    /// controller lives for the whole run (no restart), so it stays 0; the
+    /// simulator's controller bumps its epoch per recovery.
+    fence_epoch: u64,
+    /// Mint for fence sequence numbers (unique per send within an epoch).
+    fence_seq: u64,
     /// Packet uids the last aborted move could not replay (its explicit
     /// loss accounting, mirroring the simulator's `abort_lost`).
     last_abort_lost: Vec<u64>,
@@ -187,6 +193,8 @@ impl RtController {
             ctrl_links,
             data_links,
             reply_timeout: REPLY_TIMEOUT,
+            fence_epoch: 0,
+            fence_seq: 0,
             last_abort_lost: Vec::new(),
             inbox: VecDeque::new(),
             tel,
@@ -280,6 +288,22 @@ impl RtController {
         let id = self.next_id;
         self.next_id += 1;
         self.send_to_worker(worker, &WireMsg::Request { id, call })?;
+        Ok(id)
+    }
+
+    /// Like [`RtController::call`], but wrapped in the idempotency fence:
+    /// the worker applies the call at most once even if the channel (or a
+    /// hostile fault plan) duplicates it. Used on reissue paths — calls
+    /// that may race an earlier in-flight copy of themselves.
+    fn call_fenced(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.fence_seq;
+        self.fence_seq += 1;
+        self.send_to_worker(
+            worker,
+            &WireMsg::Fenced { epoch: self.fence_epoch, seq, id, call },
+        )?;
         Ok(id)
     }
 
@@ -460,9 +484,11 @@ impl RtController {
                 if let Some((through_id, imported)) = abort.take() {
                     // Best-effort teardown at the destination: delete the
                     // partial imports and tombstone every round so a chunk
-                    // batch still in flight cannot resurrect them.
-                    if let Ok(id) =
-                        self.call(dst, WireCall::AbortTransfer { flow_ids: imported, through_id })
+                    // batch still in flight cannot resurrect them. Fenced:
+                    // a duplicated abort must not re-delete flows a
+                    // concurrent retry round re-imported.
+                    if let Ok(id) = self
+                        .call_fenced(dst, WireCall::AbortTransfer { flow_ids: imported, through_id })
                     {
                         let _ = self.await_reply(id, &mut events);
                     }
@@ -717,7 +743,17 @@ impl RtController {
     ) -> (usize, Vec<u64>) {
         let id = self.next_id;
         self.next_id += 1;
-        let disable = WireMsg::Request { id, call: WireCall::DisableEvents { filter } };
+        let seq = self.fence_seq;
+        self.fence_seq += 1;
+        // Fenced: settle can run after an abort already issued a disable
+        // for the same filter; the fence keeps a duplicated teardown from
+        // double-applying at the worker.
+        let disable = WireMsg::Fenced {
+            epoch: self.fence_epoch,
+            seq,
+            id,
+            call: WireCall::DisableEvents { filter },
+        };
         if self.workers[src].send(&disable).is_ok() {
             // Collect events until the ack (or the worker dies / times out).
             let deadline = Instant::now() + self.reply_timeout;

@@ -173,6 +173,22 @@ pub enum WireMsg {
         /// The call.
         call: WireCall,
     },
+    /// Controller → NF request under an idempotency fence: the worker
+    /// applies a given `(epoch, id, seq)` at most once and discards calls
+    /// from an epoch older than the newest it has seen. Calls reissued
+    /// after a controller recovery travel in this envelope, so
+    /// channel-level duplication — or a reissue racing its pre-crash
+    /// original — cannot double-apply.
+    Fenced {
+        /// Controller recovery epoch.
+        epoch: u64,
+        /// Fence sequence number (unique per send within an epoch).
+        seq: u64,
+        /// Correlation id.
+        id: u64,
+        /// The call.
+        call: WireCall,
+    },
     /// NF → controller response.
     Response {
         /// Correlation id.
@@ -377,6 +393,22 @@ mod tests {
         assert!(js.contains("get_perflow"));
         match WireMsg::from_json(&js).unwrap() {
             WireMsg::Request { id: 7, call: WireCall::GetPerflow { .. } } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_fenced_request() {
+        let m = WireMsg::Fenced {
+            epoch: 2,
+            seq: 41,
+            id: 7,
+            call: WireCall::DisableEvents { filter: Filter::any() },
+        };
+        let js = m.to_json();
+        assert!(js.contains("\"type\":\"fenced\""));
+        match WireMsg::from_json(&js).unwrap() {
+            WireMsg::Fenced { epoch: 2, seq: 41, id: 7, call: WireCall::DisableEvents { .. } } => {}
             other => panic!("bad roundtrip: {other:?}"),
         }
     }

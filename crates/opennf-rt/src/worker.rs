@@ -183,6 +183,7 @@ struct WorkerCounters {
     frames_encoded: Arc<AtomicU64>,
     frames_decoded: Arc<AtomicU64>,
     p2p_batches: Arc<AtomicU64>,
+    fenced_dropped: Arc<AtomicU64>,
 }
 
 impl WorkerCounters {
@@ -191,6 +192,7 @@ impl WorkerCounters {
             frames_encoded: tel.counter("rt.frames.encoded"),
             frames_decoded: tel.counter("rt.frames.decoded"),
             p2p_batches: tel.counter("rt.p2p.batches"),
+            fenced_dropped: tel.counter("rt.fenced.dropped"),
         }
     }
 }
@@ -308,6 +310,10 @@ fn worker_loop(
     let mut ev_buf = FrameBuf::new();
     let mut p2p = P2pIn::default();
     let counters = WorkerCounters::resolve(&tel);
+    // Idempotency fence: highest controller epoch seen and the
+    // (epoch, id, seq) keys already applied (see [`WireMsg::Fenced`]).
+    let mut fence_epoch = 0u64;
+    let mut fence_seen: HashSet<(u64, u64, u64)> = HashSet::new();
     'recv: while let Ok(raw) = rx.recv() {
         // A payload may frame several messages (batched packets/chunks);
         // process them in frame order.
@@ -325,6 +331,20 @@ fn worker_loop(
             }
         };
         for msg in msgs {
+            // Unwrap the fence envelope first: a stale-epoch or
+            // already-applied call is dropped here, everything else is
+            // handled exactly like the bare request it wraps.
+            let msg = match msg {
+                WireMsg::Fenced { epoch, seq, id, call } => {
+                    if epoch < fence_epoch || !fence_seen.insert((epoch, id, seq)) {
+                        counters.fenced_dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    fence_epoch = epoch;
+                    WireMsg::Request { id, call }
+                }
+                m => m,
+            };
             match msg {
                 WireMsg::Shutdown => break 'recv,
                 WireMsg::Packet { packet } => {
@@ -412,8 +432,9 @@ fn worker_loop(
                         }
                     }
                 }
-                // Workers never receive responses or events.
-                WireMsg::Response { .. } | WireMsg::Event { .. } => {}
+                // Workers never receive responses or events; Fenced was
+                // unwrapped above.
+                WireMsg::Response { .. } | WireMsg::Event { .. } | WireMsg::Fenced { .. } => {}
             }
         }
     }
@@ -518,6 +539,42 @@ mod tests {
         }
         let harness = w.shutdown();
         assert_eq!(harness.drop_count(), 1);
+    }
+
+    #[test]
+    fn fenced_requests_dedup_and_reject_stale_epochs() {
+        let (to_ctrl, from_workers) = unbounded();
+        let w = spawn_worker(0, Box::new(AssetMonitor::new()), to_ctrl);
+        let fenced = WireMsg::Fenced {
+            epoch: 1,
+            seq: 0,
+            id: 4,
+            call: WireCall::GetPerflow { filter: Filter::any() },
+        };
+        w.send(&fenced).unwrap();
+        // Exact duplicate: dropped, no second reply.
+        w.send(&fenced).unwrap();
+        // Stale epoch (older than the 1 just seen): dropped.
+        w.send(&WireMsg::Fenced {
+            epoch: 0,
+            seq: 9,
+            id: 5,
+            call: WireCall::GetPerflow { filter: Filter::any() },
+        })
+        .unwrap();
+        w.send(&WireMsg::Request { id: 6, call: WireCall::GetPerflow { filter: Filter::any() } })
+            .unwrap();
+        // The fenced get answers once, then the plain get — proving both
+        // the duplicate and the stale-epoch call were fenced out between.
+        match WireMsg::from_json(&from_workers.recv().unwrap()).unwrap() {
+            WireMsg::Response { id: 4, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match WireMsg::from_json(&from_workers.recv().unwrap()).unwrap() {
+            WireMsg::Response { id: 6, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        w.shutdown();
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod metrics;
 mod recorder;
 
 pub use metrics::{Hist, HistSnapshot, Registry};
-pub use recorder::{Kind, Rec};
+pub use recorder::{Kind, Rec, Ring as Recorder};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,12 +120,16 @@ impl Drop for SpanGuard {
 
 impl Telemetry {
     fn build(clock: Clock, enabled: bool, capacity: usize) -> Self {
+        Self::build_ring(clock, enabled, Ring::new(capacity))
+    }
+
+    fn build_ring(clock: Clock, enabled: bool, ring: Ring) -> Self {
         Telemetry {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(enabled),
                 clock,
                 next_span: AtomicU64::new(1),
-                ring: Mutex::new(Ring::new(capacity)),
+                ring: Mutex::new(ring),
                 registry: Registry::default(),
             }),
         }
@@ -150,6 +154,19 @@ impl Telemetry {
     /// Wall-clock telemetry with an explicit recorder capacity.
     pub fn wall_with_capacity(capacity: usize) -> Self {
         Self::build(Clock::wall(), true, capacity)
+    }
+
+    /// Wall-clock telemetry whose recorder keeps only one in `n`
+    /// instantaneous events (spans are always kept) — see
+    /// [`Recorder::sampled`]. Long fault soaks use this to stretch the
+    /// ring's history without losing the span skeleton.
+    pub fn wall_sampled(capacity: usize, n: u64) -> Self {
+        Self::build_ring(Clock::wall(), true, Ring::sampled(capacity, n))
+    }
+
+    /// Manually clocked telemetry with a 1-in-`n` event-sampling recorder.
+    pub fn manual_sampled(capacity: usize, n: u64) -> Self {
+        Self::build_ring(Clock::manual(), true, Ring::sampled(capacity, n))
     }
 
     /// Whether recording is on.

@@ -54,16 +54,47 @@ pub struct Ring {
     buf: VecDeque<Rec>,
     cap: usize,
     dropped: u64,
+    /// Keep one in `sample` instantaneous events (1 = keep all). Span
+    /// begin/end records are never sampled away — dropping one side of a
+    /// span would corrupt every exporter's nesting.
+    sample: u64,
+    seen_events: u64,
+    sampled_out: u64,
 }
 
 impl Ring {
     /// A ring holding at most `cap` records.
     pub fn new(cap: usize) -> Self {
-        Ring { buf: VecDeque::with_capacity(cap.min(1024)), cap: cap.max(1), dropped: 0 }
+        Self::sampled(cap, 1)
     }
 
-    /// Appends a record, evicting the oldest when full.
+    /// A ring that retains only one in `n` instantaneous events (span
+    /// begin/end records are always kept). The filter is a deterministic
+    /// modulo counter, not a coin flip: the same record stream samples
+    /// identically on rerun, and retained events keep their relative
+    /// order — sampling thins a sequence, it never shuffles it.
+    pub fn sampled(cap: usize, n: u64) -> Self {
+        Ring {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap: cap.max(1),
+            dropped: 0,
+            sample: n.max(1),
+            seen_events: 0,
+            sampled_out: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full. Instantaneous
+    /// events are subject to the sampling filter.
     pub fn push(&mut self, rec: Rec) {
+        if rec.kind == Kind::Event && self.sample > 1 {
+            let keep = self.seen_events.is_multiple_of(self.sample);
+            self.seen_events += 1;
+            if !keep {
+                self.sampled_out += 1;
+                return;
+            }
+        }
         if self.buf.len() == self.cap {
             self.buf.pop_front();
             self.dropped += 1;
@@ -79,6 +110,11 @@ impl Ring {
     /// Records evicted so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events discarded by the sampling filter (distinct from eviction).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
     }
 
     /// Records currently held.
@@ -98,6 +134,42 @@ mod tests {
 
     fn rec(t: u64) -> Rec {
         Rec { t_ns: t, kind: Kind::Event, id: 0, parent: 0, tid: 0, name: "e", arg: None }
+    }
+
+    #[test]
+    fn sampling_thins_events_but_preserves_their_order_and_every_span() {
+        let mut r = Ring::sampled(1024, 3);
+        // Interleave numbered fault events with spans, as a fault soak
+        // does: the spans must all survive, the events must thin to one
+        // in three without ever reordering.
+        for t in 0..30u64 {
+            r.push(Rec {
+                t_ns: t,
+                kind: Kind::Event,
+                id: 0,
+                parent: 0,
+                tid: 0,
+                name: "fault.drop",
+                arg: Some(t.to_string()),
+            });
+            if t % 10 == 0 {
+                let id = t + 1;
+                r.push(Rec { t_ns: t, kind: Kind::Begin, id, parent: 0, tid: 0, name: "s", arg: None });
+                r.push(Rec { t_ns: t, kind: Kind::End, id, parent: 0, tid: 0, name: "s", arg: None });
+            }
+        }
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.iter().filter(|r| r.kind != Kind::Event).count(),
+            6,
+            "all span begin/end records retained"
+        );
+        let ts: Vec<u64> =
+            snap.iter().filter(|r| r.kind == Kind::Event).map(|r| r.t_ns).collect();
+        assert_eq!(ts, vec![0, 3, 6, 9, 12, 15, 18, 21, 24, 27], "1-in-3, deterministic");
+        assert!(ts.windows(2).all(|w| w[0] < w[1]), "retained events keep their order");
+        assert_eq!(r.sampled_out(), 20);
+        assert_eq!(r.dropped(), 0, "sampling is not eviction");
     }
 
     #[test]

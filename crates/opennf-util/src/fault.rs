@@ -135,6 +135,13 @@ impl FaultPlan {
         self
     }
 
+    /// Crash + restart in one call: `node` is down during `[at, back)`.
+    /// Deliveries (timers included) falling in the window are lost; the
+    /// node comes back with the state it held at the crash.
+    pub fn crash_restart(self, node: NodeId, at: Time, back: Time) -> Self {
+        self.crash(node, at).restart(node, back)
+    }
+
     /// Freezes `node` during `[from, until)`; pending deliveries burst in,
     /// in order, at `until`.
     pub fn stall(mut self, node: NodeId, from: Time, until: Time) -> Self {

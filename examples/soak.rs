@@ -66,13 +66,16 @@ fn run_case(seed: u64, mask: u32) -> Result<(), Box<DiffReport>> {
 }
 
 /// Writes the failing run's flight recorders next to the repro line:
-/// JSONL dumps for both runtimes plus a Chrome/Perfetto trace of the
-/// threaded side. CI uploads these as artifacts when the soak fails.
+/// JSONL dumps for both runtimes, a Chrome/Perfetto trace of the
+/// threaded side, and the simulator controller's op journal (the phase
+/// ledger a recovered run replayed). CI uploads these as artifacts when
+/// the soak fails.
 fn dump_flight(report: &DiffReport) {
     for (path, content) in [
         ("soak-flight.jsonl", &report.rt.flight_jsonl),
         ("soak-flight-sim.jsonl", &report.sim.flight_jsonl),
         ("soak-trace.json", &report.rt.flight_chrome),
+        ("soak-journal.json", &report.sim.journal_json),
     ] {
         match std::fs::write(path, content) {
             Ok(()) => println!("flight recorder: wrote {path}"),
