@@ -33,7 +33,7 @@ use opennf_controller::{
 use opennf_nf::{Chunk, NetworkFunction};
 use opennf_nfs::AssetMonitor;
 use opennf_packet::Filter;
-use opennf_rt::{RtController, WireMsg};
+use opennf_rt::{RtController, ShardedRt, WireMsg};
 use opennf_telemetry::Telemetry;
 use opennf_trace::steady_flows;
 use opennf_util::{Dur, FaultKind, FaultPlan, Md5, NodeId, SimRng, Time};
@@ -74,6 +74,16 @@ pub const M_NO_MOVE: u32 = 1 << 9;
 /// which the retry/abort machinery must absorb.
 pub const M_CTRL_CRASH: u32 = 1 << 10;
 
+/// Mask bit: multi-switch chain topology under a *sharded* controller.
+/// The sim builds a 2–4 switch chain split across two shard controllers
+/// (source instance on the ingress switch, destination on the last), so
+/// the move is a cross-shard two-controller handoff; the threaded runtime
+/// mirrors it with an [`opennf_rt::ShardedRt`] — one controller per shard joined
+/// by an east-west link. Every sim run additionally answers to the
+/// path-consistency oracle: after a committed move, no switch may deliver
+/// a later-ingress packet to the old instance.
+pub const M_MULTI_SW: u32 = 1 << 11;
+
 /// Every fault bit (no load bit).
 pub const M_ALL_FAULTS: u32 =
     M_DROP_DATA | M_DROP_UP | M_DELAY_DATA | M_DUP_DATA | M_REORDER_DATA | M_CRASH_SRC | M_STALL_DST;
@@ -104,6 +114,10 @@ pub struct Spec {
     pub move_at: Dur,
     /// The fault plan both runtimes consume.
     pub plan: FaultPlan,
+    /// Switch-chain length: 1 (the classic Figure 4 topology, single
+    /// controller) unless [`M_MULTI_SW`] is set, then 2–4 switches under
+    /// two shard controllers.
+    pub switches: usize,
 }
 
 impl Spec {
@@ -178,7 +192,13 @@ impl Spec {
             let back_at = crash_at + Dur::millis(20 + rng.below(40));
             plan = plan.crash_restart(NodeId(0), Time(0) + crash_at, Time(0) + back_at);
         }
-        Spec { seed, mask, flows, pps, duration, move_at, plan }
+        // The M_MULTI_SW rng block sits after every other block so every
+        // pre-existing (seed, mask) derivation stays byte-identical.
+        let mut switches = 1usize;
+        if mask & M_MULTI_SW != 0 {
+            switches = 2 + rng.below(3) as usize; // 2..=4
+        }
+        Spec { seed, mask, flows, pps, duration, move_at, plan, switches }
     }
 
     /// True when no fault component is enabled: state digests and
@@ -248,11 +268,19 @@ pub fn run_sim(spec: &Spec) -> SideReport {
     let mut b = ScenarioBuilder::new()
         .config(NetConfig::default())
         .seed(spec.seed)
-        .telemetry(tel.clone())
-        .nf("src", Box::new(AssetMonitor::new()))
-        .nf("dst", Box::new(AssetMonitor::new()))
-        .host(trace)
-        .route(0, Filter::any(), 0);
+        .telemetry(tel.clone());
+    b = if spec.switches > 1 {
+        // Multi-switch chain under two shard controllers: source on the
+        // ingress switch, destination on the last — the move crosses the
+        // shard boundary.
+        b.switches(spec.switches)
+            .shards(2)
+            .nf_at("src", Box::new(AssetMonitor::new()), 0)
+            .nf_at("dst", Box::new(AssetMonitor::new()), spec.switches - 1)
+    } else {
+        b.nf("src", Box::new(AssetMonitor::new())).nf("dst", Box::new(AssetMonitor::new()))
+    };
+    let mut b = b.host(trace).route(0, Filter::any(), 0);
     if !spec.is_fault_free() {
         b = b.fault_plan(spec.plan.clone());
     }
@@ -274,11 +302,25 @@ pub fn run_sim(spec: &Spec) -> SideReport {
     s.run_to_completion();
 
     let check = s.oracle_with_faults().check();
-    let ok = check.is_exactly_once_or_accounted();
+    // Every sim run also answers to the path-consistency oracle: after a
+    // committed move, no switch may deliver a later-ingress packet to the
+    // old instance (trivially satisfied when no move commits).
+    let path_viol = s.path_violations();
+    let ok = check.is_exactly_once_or_accounted() && path_viol.is_empty();
     let detail = if ok {
         String::new()
     } else {
-        format!("sim oracle: unaccounted lost={:?} dup={:?}", check.lost, check.duplicated)
+        let mut parts = Vec::new();
+        if !check.is_exactly_once_or_accounted() {
+            parts.push(format!(
+                "sim oracle: unaccounted lost={:?} dup={:?}",
+                check.lost, check.duplicated
+            ));
+        }
+        if !path_viol.is_empty() {
+            parts.push(format!("sim path oracle: stale deliveries {path_viol:?}"));
+        }
+        parts.join("; ")
     };
     let processed: usize = (0..2).map(|i| s.nf(i).records.len()).sum();
     let move_completed = s
@@ -299,7 +341,11 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         move_spans: tel.span_sequence("move."),
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
-        journal_json: s.controller().journal_json(),
+        // Every shard's journal (a single controller is one shard).
+        journal_json: (0..s.ctrls.len())
+            .map(|k| s.controller_of(k).journal_json())
+            .collect::<Vec<_>>()
+            .join("\n"),
     }
 }
 
@@ -337,6 +383,9 @@ fn sim_fault_canonical(s: &Scenario) -> String {
 /// worker links; virtual plan time maps 1:1 onto nanoseconds since the
 /// controller armed the shim.
 pub fn run_rt(spec: &Spec) -> SideReport {
+    if spec.switches > 1 {
+        return run_rt_sharded(spec);
+    }
     let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
     let uids: Vec<u64> = trace.iter().map(|(_, p)| p.uid).collect();
 
@@ -425,6 +474,115 @@ pub fn run_rt(spec: &Spec) -> SideReport {
     } else {
         bad.truncate(16);
         format!("rt oracle: unaccounted (uid, times-processed)={bad:?}")
+    };
+
+    let mut chunks = Vec::new();
+    let mut harnesses = harnesses;
+    for h in harnesses.iter_mut() {
+        chunks.extend(h.nf_mut().get_perflow(&Filter::any()));
+    }
+    SideReport {
+        ok,
+        detail,
+        processed,
+        fault_canonical: format!("{:?}", ledger.canonical()),
+        digest: digest_chunks(chunks),
+        move_completed,
+        move_spans: tel.span_sequence("move."),
+        flight_jsonl: tel.export_jsonl(),
+        flight_chrome: tel.export_chrome(),
+        journal_json: String::new(),
+    }
+}
+
+/// [`run_rt`] for a multi-switch spec: a [`ShardedRt`] with one worker
+/// per shard (source in shard 0, destination in shard 1), so the move is
+/// a cross-shard handoff over the east-west link — the runtime mirror of
+/// the sim's two-controller topology.
+///
+/// Fault caveat: the plan is armed on shard 0 only (its node ids name
+/// shard-0 local workers), so destination-side faults like a stall on
+/// `DST_NODE` do not apply here. That is acceptable for the differential:
+/// under faults only each side's own oracle and rerun-determinism are
+/// compared; fault-free specs — where digests and span sequences must
+/// agree — are unaffected.
+fn run_rt_sharded(spec: &Spec) -> SideReport {
+    let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
+    let uids: Vec<u64> = trace.iter().map(|(_, p)| p.uid).collect();
+
+    let tel = Telemetry::wall();
+    let shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>> = vec![
+        vec![Box::new(AssetMonitor::new())],
+        vec![Box::new(AssetMonitor::new())],
+    ];
+    let (ctrl, faults) =
+        ShardedRt::new_with_faults_and_telemetry(shard_nfs, spec.plan.clone(), tel.clone());
+    let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
+
+    let router = ctrl.router.clone();
+    let links = [ctrl.data_tx(0), ctrl.data_tx(1)];
+    let gen_faults = faults.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let gen_done = done.clone();
+    let gen = std::thread::spawn(move || {
+        for (t, mut pkt) in trace {
+            while gen_faults.now() < Time(t) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            pkt.ingress_ns = t;
+            if let Some(w) = router.route(&pkt) {
+                let _ = links[w].send(&WireMsg::Packet { packet: pkt });
+            }
+        }
+        gen_done.store(true, Ordering::SeqCst);
+    });
+
+    let (move_completed, mut excused) = if spec.mask & M_NO_MOVE != 0 {
+        (false, Vec::new())
+    } else {
+        while faults.now() < Time(0) + spec.move_at {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let move_result = ctrl.move_flows_cross(0, 1, Filter::any(), spec.mask & M_P2P != 0);
+        (move_result.is_ok(), ctrl.abort_lost().to_vec())
+    };
+
+    while !done.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(120));
+    gen.join().expect("generator");
+
+    let harnesses = ctrl.shutdown();
+    faults.join_pump();
+
+    let ledger = faults.ledger();
+    excused.extend(ledger.lost_sorted());
+    excused.extend(ledger.duplicated_sorted());
+    excused.sort_unstable();
+    excused.dedup();
+
+    let mut counts = std::collections::HashMap::new();
+    let mut processed = 0usize;
+    for h in &harnesses {
+        for &uid in h.processed_log() {
+            *counts.entry(uid).or_insert(0usize) += 1;
+            processed += 1;
+        }
+    }
+    let mut bad = Vec::new();
+    for &uid in &uids {
+        let n = counts.get(&uid).copied().unwrap_or(0);
+        if n != 1 && excused.binary_search(&uid).is_err() {
+            bad.push((uid, n));
+        }
+    }
+    let ok = bad.is_empty();
+    let detail = if ok {
+        String::new()
+    } else {
+        bad.truncate(16);
+        format!("rt oracle (sharded): unaccounted (uid, times-processed)={bad:?}")
     };
 
     let mut chunks = Vec::new();
@@ -583,6 +741,58 @@ mod tests {
         assert_eq!(report.rt.move_spans, canonical, "rt phase order");
         assert!(!report.sim.flight_jsonl.is_empty());
         assert!(!report.rt.flight_jsonl.is_empty());
+    }
+
+    #[test]
+    fn multi_sw_bit_gates_topology_and_keeps_other_specs_stable() {
+        let s = Spec::from_seed(3, M_MULTI_SW | M_FULL_LOAD);
+        assert!((2..=4).contains(&s.switches), "2–4 switch chain: {}", s.switches);
+        assert!(s.is_fault_free(), "bare M_MULTI_SW adds no fault component");
+        // The M_MULTI_SW rng block sits after every other block, so
+        // derivations without the bit draw nothing extra and stay
+        // byte-identical — and always describe the single-switch topology.
+        let a = Spec::from_seed(3, M_DEFAULT);
+        assert_eq!(a.switches, 1);
+        let b = Spec::from_seed(3, M_DEFAULT);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn fault_free_multi_switch_differential_agrees() {
+        let canonical =
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+        let spec = Spec::from_seed(11, M_FULL_LOAD | M_MULTI_SW);
+        assert!(spec.is_fault_free());
+        assert!(spec.switches > 1);
+        let report = differential(&spec);
+        assert!(report.ok, "multi-switch differential failed: {}", report.detail);
+        assert!(report.sim.move_completed, "sim cross-shard move committed");
+        assert!(report.rt.move_completed, "rt cross-shard handoff committed");
+        assert_eq!(report.sim.move_spans, canonical, "sim phase order");
+        assert_eq!(report.rt.move_spans, canonical, "rt phase order");
+        // Both shard journals are captured, newline-joined.
+        assert!(report.sim.journal_json.contains('\n'), "two shard journals");
+    }
+
+    #[test]
+    fn fault_free_multi_switch_p2p_differential_agrees() {
+        let spec = Spec::from_seed(13, M_FULL_LOAD | M_MULTI_SW | M_P2P);
+        assert!(spec.is_fault_free());
+        let report = differential(&spec);
+        assert!(report.ok, "multi-switch P2P differential failed: {}", report.detail);
+        assert!(report.sim.move_completed && report.rt.move_completed);
+    }
+
+    #[test]
+    fn multi_switch_ctrl_crash_sim_is_accounted_and_rerun_identical() {
+        // The soak lane's mask: a sharded multi-switch topology with the
+        // owning shard's controller crashing mid-move.
+        let spec = Spec::from_seed(5, M_FULL_LOAD | M_MULTI_SW | M_CTRL_CRASH);
+        let a = run_sim(&spec);
+        let b = run_sim(&spec);
+        assert!(a.ok, "sim oracle under sharded controller crash: {}", a.detail);
+        assert_eq!(a.digest, b.digest, "sharded recovery must be deterministic");
+        assert_eq!(a.journal_json, b.journal_json, "journals must be rerun-identical");
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub struct NetConfig {
     pub sw_to_ctrl: Dur,
     /// Controller ↔ NF southbound channel (one way).
     pub ctrl_to_nf: Dur,
+    /// Controller shard ↔ controller shard east-west channel (one way) —
+    /// the inter-shard handoff/relay link of a sharded control plane.
+    pub ctrl_to_ctrl: Dur,
     /// Time for a flow-mod to take effect after the switch receives it
     /// (hardware TCAM update; tens of ms on the ProCurve era switches).
     pub flow_mod_delay: Dur,
@@ -94,6 +97,7 @@ impl Default for NetConfig {
             sw_to_nf: Dur::micros(100),
             sw_to_ctrl: Dur::micros(250),
             ctrl_to_nf: Dur::micros(250),
+            ctrl_to_ctrl: Dur::micros(200),
             flow_mod_delay: Dur::millis(40),
             packet_out_service: Dur::micros(150),
             ctrl_per_msg: Dur::micros(40),

@@ -2,7 +2,7 @@
 //! and NF messages to them, models the controller's serial CPU (the
 //! Figure 13 bottleneck), and hosts a control application.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use opennf_nf::{LogRecord, NfEvent};
 use opennf_packet::{Filter, Packet};
@@ -120,6 +120,35 @@ pub struct ControllerNode {
     journal: OpJournal,
     /// Mint for southbound fence sequence numbers (see [`Msg::SbFenced`]).
     fence_seq: u64,
+    // --- Sharding (multi-switch topologies). A sharded control plane
+    // runs one ControllerNode per shard; each owns a set of switches and
+    // NF instances. Op ids are strided by shard so `(epoch, op, seq)`
+    // fence keys stay globally unique — the "(shard, epoch)" fence.
+    /// This controller's shard index (0 when unsharded).
+    shard_id: usize,
+    /// Every shard controller's node id, indexed by shard. Empty when
+    /// unsharded (the classic single-controller topology).
+    peers: Vec<NodeId>,
+    /// Every switch in the topology, chain order (ingress first).
+    /// Forwarding updates fan out to all of them.
+    switches: Vec<NodeId>,
+    /// NF instance → owning shard (used to detect cross-shard ops).
+    inst_shard: HashMap<NodeId, usize>,
+    /// Ops owned by *other* shards whose filters this shard must watch:
+    /// matching events/packet-ins relay east-west to the owner.
+    watches: Vec<(OpId, Filter)>,
+    /// Bases of locally owned ops that other shards are watching; their
+    /// completion sends an `EwRelease`.
+    cross_shard: HashSet<u64>,
+    /// Committed route flips `(filter, old source instance, commit ns)` —
+    /// the path-consistency oracle's reference: a packet *originating*
+    /// after the commit must not be forwarded to the old source by any
+    /// switch. Only completed (never aborted) moves are recorded, since
+    /// an abort-forward flips the route without awaiting switch acks.
+    pub route_flips: Vec<(Filter, NodeId, u64)>,
+    /// Telemetry span tag (`shard=N`), set only when sharded so
+    /// single-controller traces stay byte-identical.
+    shard_arg: Option<String>,
 }
 
 impl ControllerNode {
@@ -145,6 +174,50 @@ impl ControllerNode {
             tel: Telemetry::manual(),
             journal: OpJournal::new(),
             fence_seq: 0,
+            shard_id: 0,
+            peers: Vec::new(),
+            switches: vec![sw],
+            inst_shard: HashMap::new(),
+            watches: Vec::new(),
+            cross_shard: HashSet::new(),
+            route_flips: Vec::new(),
+            shard_arg: None,
+        }
+    }
+
+    /// Turns this controller into shard `shard_id` of a sharded control
+    /// plane: `peers[s]` is shard `s`'s controller node, `switches` is
+    /// the whole topology's switch chain (ingress first), and
+    /// `inst_shard` maps every NF instance to its owning shard. Op ids
+    /// become strided by shard so every fence key is globally unique.
+    pub fn configure_shard(
+        &mut self,
+        shard_id: usize,
+        peers: Vec<NodeId>,
+        switches: Vec<NodeId>,
+        inst_shard: HashMap<NodeId, usize>,
+    ) {
+        assert!(shard_id < peers.len(), "shard_id out of range");
+        self.shard_id = shard_id;
+        self.next_op = 1 + shard_id as u64;
+        self.shard_arg =
+            if peers.len() > 1 { Some(format!("shard={shard_id}")) } else { None };
+        self.peers = peers;
+        self.switches = switches;
+        self.inst_shard = inst_shard;
+    }
+
+    fn shard_count(&self) -> usize {
+        self.peers.len().max(1)
+    }
+
+    /// Which shard owns the op with base id `base`. Base 0 (fire-and-
+    /// forget route commands) is always local.
+    fn owner_shard(&self, base: u64) -> usize {
+        if base == 0 || self.peers.len() <= 1 {
+            self.shard_id
+        } else {
+            ((base - 1) % self.peers.len() as u64) as usize
         }
     }
 
@@ -211,7 +284,7 @@ impl ControllerNode {
 
     fn alloc_op(&mut self) -> OpId {
         let id = OpId(self.next_op * OP_STRIDE);
-        self.next_op += 1;
+        self.next_op += self.shard_count() as u64;
         id
     }
 
@@ -255,11 +328,72 @@ impl ControllerNode {
         }
     }
 
+    /// An op touching an instance owned by another shard is a two-shard
+    /// handoff: tell every peer to watch the op's filter (so events and
+    /// packet-ins arriving at *their* controllers relay here) and to
+    /// journal an `Armed` mirror (so their recovery knows a foreign op
+    /// was in flight). The watch lands `ctrl_to_ctrl` (200 µs) after the
+    /// op starts — strictly before the first southbound ack or NF event
+    /// (≥ `ctrl_to_nf` = 250 µs) can reach a peer. Returns true when the
+    /// op genuinely spans shards.
+    ///
+    /// Every op announces when the control plane is sharded — even one
+    /// whose instances all live locally: its forwarding updates still fan
+    /// out to switches owned by other shards, and a packet-in punted at
+    /// the ingress switch must find its way back via the peer's watch.
+    fn announce_cross_shard(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op: OpId,
+        filter: Filter,
+        insts: &[NodeId],
+        off: Dur,
+    ) -> bool {
+        if self.peers.len() <= 1 {
+            return false;
+        }
+        let cross = insts.iter().any(|i| {
+            self.inst_shard.get(i).copied().unwrap_or(self.shard_id) != self.shard_id
+        });
+        let d = off + self.cfg.ctrl_to_ctrl;
+        for (sid, peer) in self.peers.iter().enumerate() {
+            if sid != self.shard_id {
+                ctx.send(*peer, d, Msg::EwWatch { op, filter });
+            }
+        }
+        self.cross_shard.insert(Self::base(op));
+        if cross {
+            self.tel.add("shard.cross_ops", 1);
+        }
+        cross
+    }
+
+    /// Completion of a locally owned cross-shard op: release every
+    /// peer's watch and journal mirror.
+    fn release_cross_shard(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op: OpId,
+        committed: bool,
+        off: Dur,
+    ) {
+        if !self.cross_shard.remove(&Self::base(op)) {
+            return;
+        }
+        let d = off + self.cfg.ctrl_to_ctrl;
+        for (sid, peer) in self.peers.iter().enumerate() {
+            if sid != self.shard_id {
+                ctx.send(*peer, d, Msg::EwRelease { op, committed });
+            }
+        }
+    }
+
     fn handle_command(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: Command, off: Dur) {
         match cmd {
             Command::Move { src, dst, filter, scope, props } => {
                 let id = self.alloc_op();
                 let prio = self.alloc_prio_pair();
+                self.announce_cross_shard(ctx, id, filter, &[src, dst], off);
                 let mut op = MoveOp::new(id, src, dst, filter, scope, props, prio, ctx.now().as_nanos());
                 let done = {
                     let mut o = OpCtx {
@@ -268,6 +402,8 @@ impl ControllerNode {
                         sw: self.sw,
                         off,
                         tel: &self.tel,
+                        switches: &self.switches,
+                        shard_arg: self.shard_arg.as_deref(),
                         epoch: self.journal.epoch,
                         fence: &mut self.fence_seq,
                         fenced: false,
@@ -288,6 +424,7 @@ impl ControllerNode {
             }
             Command::Copy { src, dst, filter, scope } => {
                 let id = self.alloc_op();
+                self.announce_cross_shard(ctx, id, filter, &[src, dst], off);
                 let mut op = CopyOp::new(id, src, dst, filter, scope, true, ctx.now().as_nanos());
                 let done = {
                     let mut o = OpCtx {
@@ -296,6 +433,8 @@ impl ControllerNode {
                         sw: self.sw,
                         off,
                         tel: &self.tel,
+                        switches: &self.switches,
+                        shard_arg: self.shard_arg.as_deref(),
                         epoch: self.journal.epoch,
                         fence: &mut self.fence_seq,
                         fenced: false,
@@ -326,6 +465,8 @@ impl ControllerNode {
                         sw: self.sw,
                         off,
                         tel: &self.tel,
+                        switches: &self.switches,
+                        shard_arg: self.shard_arg.as_deref(),
                         epoch: self.journal.epoch,
                         fence: &mut self.fence_seq,
                         fenced: false,
@@ -363,18 +504,24 @@ impl ControllerNode {
             }
             Command::Route { filter, priority, inst } => {
                 self.route_shadow.push((priority, filter, inst));
-                ctx.send(
-                    self.sw,
-                    off + self.cfg.sw_to_ctrl,
-                    Msg::FlowMod {
-                        op: OpId(0),
-                        tag: 99,
-                        priority,
-                        filter,
-                        to_nodes: vec![inst],
-                        to_controller: false,
-                    },
-                );
+                // Every switch on the path gets the same rule and
+                // resolves it through its own ports (local attach or
+                // trunk toward the owner).
+                let switches = self.switches.clone();
+                for sw in switches {
+                    ctx.send(
+                        sw,
+                        off + self.cfg.sw_to_ctrl,
+                        Msg::FlowMod {
+                            op: OpId(0),
+                            tag: 99,
+                            priority,
+                            filter,
+                            to_nodes: vec![inst],
+                            to_controller: false,
+                        },
+                    );
+                }
             }
         }
     }
@@ -408,6 +555,8 @@ impl ControllerNode {
                     sw: self.sw,
                     off,
                     tel: &self.tel,
+                    switches: &self.switches,
+                    shard_arg: self.shard_arg.as_deref(),
                     epoch: self.journal.epoch,
                     fence: &mut self.fence_seq,
                     fenced,
@@ -422,14 +571,22 @@ impl ControllerNode {
                 op.reported = true;
                 let id = op.id;
                 let report = op.report.clone();
+                let aborted = matches!(report.outcome, OpOutcome::Aborted { .. });
                 if op.route_reverted() {
                     // Aborted before the route changed: the move's shadow
                     // entry never took effect, so forget it.
                     let key = op.shadow_key();
                     self.route_shadow.retain(|e| *e != key);
+                } else if !aborted {
+                    // Completion strictly follows every switch's flow-mod
+                    // ack, so from here on a fresh packet must not reach
+                    // the old source — the path-consistency oracle's
+                    // reference point.
+                    self.route_flips.push((*op.filter(), op.src(), report.end_ns));
                 }
                 self.moves.insert(base, op);
                 ctx.send_self(MOVE_LINGER, Msg::Timer { op: id, tag: TAG_MOVE_EXPIRE });
+                self.release_cross_shard(ctx, id, !aborted, off);
                 self.finalize(ctx, report);
             } else {
                 self.moves.insert(base, op);
@@ -462,6 +619,8 @@ impl ControllerNode {
                     sw: self.sw,
                     off,
                     tel: &self.tel,
+                    switches: &self.switches,
+                    shard_arg: self.shard_arg.as_deref(),
                     epoch: self.journal.epoch,
                     fence: &mut self.fence_seq,
                     fenced,
@@ -472,7 +631,10 @@ impl ControllerNode {
                 &mut self.journal, ctx.now().as_nanos(), op.id, &mut op.jlog, &op.report,
             );
             if done {
+                let id = op.id;
                 let report = op.report.clone();
+                let committed = !matches!(report.outcome, OpOutcome::Aborted { .. });
+                self.release_cross_shard(ctx, id, committed, off);
                 self.finalize(ctx, report);
             } else {
                 self.copies.insert(base, op);
@@ -505,6 +667,8 @@ impl ControllerNode {
                     sw: self.sw,
                     off,
                     tel: &self.tel,
+                    switches: &self.switches,
+                    shard_arg: self.shard_arg.as_deref(),
                     epoch: self.journal.epoch,
                     fence: &mut self.fence_seq,
                     fenced,
@@ -552,6 +716,14 @@ impl ControllerNode {
             self.drain_cmds(ctx);
             return;
         }
+        // Then cross-shard watches: the event belongs to an op owned by
+        // another shard — relay it east-west to the owner.
+        if let Some(peer) = self.watch_peer(&pkt) {
+            self.tel.add("shard.relayed", 1);
+            let d = off + self.cfg.ctrl_to_ctrl;
+            ctx.send(peer, d, Msg::EwForward { from, inner: Box::new(Msg::Event(ev)) });
+            return;
+        }
         // Then notify subscriptions.
         if let NfEvent::Received(pkt) = &ev {
             let matched = self
@@ -584,6 +756,24 @@ impl ControllerNode {
             .map(|(b, _)| *b);
         if let Some(base) = share_base {
             self.with_share(ctx, base, off, |sh, o| sh.on_packet_in(o, &pkt));
+            return;
+        }
+        if let Some(peer) = self.watch_peer(&pkt) {
+            self.tel.add("shard.relayed", 1);
+            let d = off + self.cfg.ctrl_to_ctrl;
+            ctx.send(peer, d, Msg::EwForward { from: self.sw, inner: Box::new(Msg::PacketIn(pkt)) });
+        }
+    }
+
+    /// The peer controller owning a watched op whose filter matches
+    /// `pkt`, if the packet belongs to a foreign op.
+    fn watch_peer(&self, pkt: &Packet) -> Option<NodeId> {
+        let (op, _) = self.watches.iter().find(|(_, f)| f.matches_packet(pkt))?;
+        let owner = self.owner_shard(Self::base(*op));
+        if owner == self.shard_id {
+            None
+        } else {
+            Some(self.peers[owner])
         }
     }
 }
@@ -663,6 +853,27 @@ impl Node<Msg> for ControllerNode {
             _ => wire,
         };
         let off = self.service_offset(ctx.now(), effective);
+        // East-west relay: acks and switch confirmations carry their op's
+        // id, and op ids are strided by shard — one owned by another
+        // shard arrived here because the sending NF/switch hangs off this
+        // shard. Forward it to the owner over the east-west link.
+        if self.peers.len() > 1 {
+            let owner = match &msg {
+                Msg::SbAck { op, .. }
+                | Msg::FlowModApplied { op, .. }
+                | Msg::CounterReply { op, .. } => Some(self.owner_shard(Self::base(*op))),
+                _ => None,
+            };
+            if let Some(owner) = owner {
+                if owner != self.shard_id {
+                    self.tel.add("shard.relayed", 1);
+                    let peer = self.peers[owner];
+                    let d = off + self.cfg.ctrl_to_ctrl;
+                    ctx.send(peer, d, Msg::EwForward { from, inner: Box::new(msg) });
+                    return;
+                }
+            }
+        }
         match msg {
             Msg::Command(cmd) => {
                 self.handle_command(ctx, cmd, off);
@@ -683,7 +894,9 @@ impl Node<Msg> for ControllerNode {
             Msg::FlowModApplied { op, tag, rule } => {
                 let base = Self::base(op);
                 if self.moves.contains_key(&base) {
-                    self.with_move(ctx, base, off, |m, o| m.on_flow_mod_applied(o, tag, rule));
+                    self.with_move(ctx, base, off, |m, o| {
+                        m.on_flow_mod_applied(o, from, tag, rule)
+                    });
                 }
                 // Route-command and share flow-mods need no follow-up.
             }
@@ -737,6 +950,39 @@ impl Node<Msg> for ControllerNode {
                     Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
                 self.app.on_alert(&mut api, from, &record);
                 self.drain_cmds(ctx);
+            }
+            Msg::EwWatch { op, filter } => {
+                // A peer shard started an op spanning one of our
+                // instances: journal an `Armed` mirror (recovery knows a
+                // foreign op was in flight here) and start relaying
+                // matching events/packet-ins to the owner.
+                let now_ns = ctx.now().as_nanos();
+                let report = OpReport::new(op, "ew-watch".into(), now_ns);
+                self.journal.append(JournalRecord {
+                    op,
+                    phase: JournalPhase::Armed,
+                    t_ns: now_ns,
+                    report,
+                });
+                self.watches.push((op, filter));
+            }
+            Msg::EwRelease { op, committed } => {
+                // The foreign op finished: close the journal mirror and
+                // stop relaying.
+                let now_ns = ctx.now().as_nanos();
+                let phase =
+                    if committed { JournalPhase::Committed } else { JournalPhase::Aborted };
+                let report = OpReport::new(op, "ew-watch".into(), now_ns);
+                self.journal.append(JournalRecord { op, phase, t_ns: now_ns, report });
+                self.watches.retain(|(o, _)| *o != op);
+            }
+            Msg::EwForward { from: origin, inner } => {
+                // Relayed on behalf of the original sender by a peer
+                // shard; dispatch as if it had arrived directly. No
+                // relay loop is possible: the inner message's op is owned
+                // here (by-op relays) or matches a local op (by-watch
+                // relays, which only reference other shards' ops).
+                self.on_message(ctx, origin, *inner);
             }
             other => debug_assert!(false, "controller: unexpected message {other:?}"),
         }

@@ -26,7 +26,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use opennf_packet::ConnKey;
+use opennf_packet::{ConnKey, Filter, Packet};
+use opennf_sim::NodeId;
 
 /// Outcome of checking one run.
 #[derive(Debug, Clone, Default)]
@@ -206,6 +207,70 @@ impl Oracle {
     }
 }
 
+/// One packet a switch delivered to an NF instance that no longer owned
+/// its flow — a stale forwarding rule survived a committed move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathViolation {
+    /// The switch that made the stale delivery.
+    pub switch: NodeId,
+    /// The packet's uid.
+    pub uid: u64,
+    /// When the packet entered the network.
+    pub ingress_ns: u64,
+    /// When the switch forwarded it.
+    pub forwarded_ns: u64,
+    /// The stale target (the move's old source instance).
+    pub stale_dst: NodeId,
+    /// When the move that re-owned the flow committed.
+    pub commit_ns: u64,
+}
+
+/// One final-hop delivery from a switch's forwarding log:
+/// `(virtual time forwarded, packet, locally attached NF delivered to)`.
+pub type NfDelivery = (u64, Packet, NodeId);
+
+/// The multi-switch path-consistency oracle: after a move *commits*
+/// (which strictly follows every path switch acking the new rule), no
+/// switch may deliver a packet that **originated after the commit** to
+/// the move's old source. Packets already in flight at commit time are
+/// exempt — hence the comparison against the packet's ingress time, not
+/// its forwarding time, which needs no slack constant.
+///
+/// Inputs: each switch's final-hop delivery log (`(t_ns, packet, nf)` for
+/// every packet handed to a locally attached NF) and every controller
+/// shard's committed route flips (`(filter, old_src, commit_ns)`). A flow
+/// moved several times is judged against the *latest* flip committed
+/// before the packet originated, so a move back to the original instance
+/// is not a violation.
+pub fn path_consistency_violations(
+    switch_logs: &[(NodeId, Vec<NfDelivery>)],
+    route_flips: &[(Filter, NodeId, u64)],
+) -> Vec<PathViolation> {
+    let mut out = Vec::new();
+    for (sw, log) in switch_logs {
+        for (t_ns, pkt, to) in log {
+            let latest = route_flips
+                .iter()
+                .filter(|(f, _, commit)| *commit < pkt.ingress_ns && f.matches_packet(pkt))
+                .max_by_key(|(_, _, commit)| *commit);
+            if let Some((_, stale_src, commit_ns)) = latest {
+                if to == stale_src {
+                    out.push(PathViolation {
+                        switch: *sw,
+                        uid: pkt.uid,
+                        ingress_ns: pkt.ingress_ns,
+                        forwarded_ns: *t_ns,
+                        stale_dst: *to,
+                        commit_ns: *commit_ns,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.forwarded_ns, v.uid));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +405,56 @@ mod tests {
         let r = o.check();
         assert!(r.is_order_preserving());
         assert_eq!(r.processed, 3);
+    }
+
+    fn pkt(uid: u64, ingress_ns: u64) -> Packet {
+        let key = FlowKey::tcp(
+            "10.0.0.1".parse().unwrap(),
+            1000,
+            "1.1.1.1".parse().unwrap(),
+            80,
+        );
+        Packet::builder(uid, key).ingress_ns(ingress_ns).build()
+    }
+
+    #[test]
+    fn path_oracle_flags_stale_delivery_after_commit() {
+        let src = NodeId(2);
+        let dst = NodeId(3);
+        let flips = vec![(Filter::any(), src, 1_000u64)];
+        let logs = vec![(
+            NodeId(1),
+            vec![
+                (900u64, pkt(1, 500), src),  // originated pre-commit: exempt
+                (1_500u64, pkt(2, 800), src), // in flight at commit: exempt
+                (2_000u64, pkt(3, 1_500), dst), // new owner: fine
+                (2_100u64, pkt(4, 1_600), src), // stale rule: violation
+            ],
+        )];
+        let v = path_consistency_violations(&logs, &flips);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].uid, 4);
+        assert_eq!(v[0].stale_dst, src);
+        assert_eq!(v[0].switch, NodeId(1));
+    }
+
+    #[test]
+    fn path_oracle_judges_against_latest_flip() {
+        // A→B at t=1000, back B→A at t=2000: a post-2000 packet may go
+        // to A again, but not to B.
+        let a = NodeId(2);
+        let b = NodeId(3);
+        let flips = vec![(Filter::any(), a, 1_000u64), (Filter::any(), b, 2_000u64)];
+        let logs = vec![(
+            NodeId(1),
+            vec![
+                (2_500u64, pkt(1, 2_100), a), // back home: fine
+                (2_600u64, pkt(2, 2_200), b), // stale rule: violation
+            ],
+        )];
+        let v = path_consistency_violations(&logs, &flips);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].uid, 2);
+        assert_eq!(v[0].stale_dst, b);
     }
 }

@@ -117,6 +117,27 @@ impl OpJournal {
         last
     }
 
+    /// Truncates the committed prefix: every record belonging to an op
+    /// whose stream has reached a terminal phase is dropped, so a
+    /// long-lived controller's recovery replay stays O(in-flight) instead
+    /// of O(history). Records of in-flight ops are kept in full — recovery
+    /// rebuilds its picture of an op from *all* its snapshots, so partial
+    /// truncation within an op would be unsound. Compaction is explicit
+    /// (an operator/maintenance action), never automatic: post-mortem
+    /// dumps of un-compacted journals keep the full phase ledger.
+    /// Returns the number of records dropped.
+    pub fn compact(&mut self) -> usize {
+        let terminal: std::collections::HashSet<OpId> = self
+            .records
+            .iter()
+            .filter(|r| r.phase.is_terminal())
+            .map(|r| r.op)
+            .collect();
+        let before = self.records.len();
+        self.records.retain(|r| !terminal.contains(&r.op));
+        before - self.records.len()
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -193,6 +214,52 @@ mod tests {
         );
         assert_eq!(j.last_phase(OpId(2 << 20)), Some(JournalPhase::Committed));
         assert_eq!(j.last_phase(OpId(9 << 20)), None);
+    }
+
+    #[test]
+    fn compaction_empties_a_fully_committed_history() {
+        // A long-lived controller: 1000 ops, each armed and committed.
+        let mut j = OpJournal::new();
+        for i in 1..=1000u64 {
+            j.append(rec(i << 20, JournalPhase::Armed, i));
+            j.append(rec(i << 20, JournalPhase::Committed, i + 1));
+        }
+        assert_eq!(j.len(), 2000);
+        let dropped = j.compact();
+        assert_eq!(dropped, 2000);
+        assert!(j.is_empty(), "a committed history compacts to empty");
+        assert!(j.in_flight().is_empty());
+    }
+
+    #[test]
+    fn compaction_keeps_every_record_of_a_mid_flight_op() {
+        let mut j = OpJournal::new();
+        j.epoch = 1;
+        j.append(rec(1 << 20, JournalPhase::Armed, 1));
+        j.append(rec(1 << 20, JournalPhase::Committed, 2));
+        // The mid-flight op's records interleave with committed ones.
+        j.append(rec(2 << 20, JournalPhase::Armed, 3));
+        j.append(rec(3 << 20, JournalPhase::Armed, 4));
+        j.append(rec(2 << 20, JournalPhase::ExportDone, 5));
+        j.append(rec(3 << 20, JournalPhase::Aborted, 6));
+        j.append(rec(2 << 20, JournalPhase::Transferred, 7));
+        let dropped = j.compact();
+        assert_eq!(dropped, 4, "committed + aborted streams dropped");
+        let phases: Vec<(OpId, JournalPhase)> =
+            j.records.iter().map(|r| (r.op, r.phase)).collect();
+        assert_eq!(
+            phases,
+            vec![
+                (OpId(2 << 20), JournalPhase::Armed),
+                (OpId(2 << 20), JournalPhase::ExportDone),
+                (OpId(2 << 20), JournalPhase::Transferred),
+            ],
+            "the in-flight op survives compaction intact, in order"
+        );
+        assert_eq!(j.in_flight(), vec![(OpId(2 << 20), JournalPhase::Transferred)]);
+        assert_eq!(j.epoch, 1, "compaction never touches the fencing epoch");
+        // Compaction is idempotent.
+        assert_eq!(j.compact(), 0);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod scenario;
 
 pub use config::{NetConfig, OpConfig};
 pub use controller::{ControlApp, ControllerNode, NoopApp};
-pub use guarantees::{GuaranteeReport, Oracle};
+pub use guarantees::{path_consistency_violations, GuaranteeReport, Oracle, PathViolation};
 pub use journal::{JournalPhase, JournalRecord, OpJournal};
 pub use msg::{Command, ConsistencyLevel, MoveProps, MoveVariant, Msg, OpId, ScopeSet};
 pub use nodes::host::HostNode;

@@ -463,6 +463,40 @@ pub enum Msg {
     /// hold stale southbound state (event filters installed before it went
     /// down). The controller answers with [`SbCall::SyncEvents`].
     NfRestarted,
+    /// Controller shard → controller shard (east-west): the sender owns a
+    /// cross-shard operation `op` covering `filter` and asks the receiver
+    /// to mirror it — journal the op as armed in its own journal and relay
+    /// any matching event or packet-in from its switches/instances back to
+    /// the owner. Sent to every peer shard when a cross-shard op starts.
+    EwWatch {
+        /// The owning shard's operation.
+        op: OpId,
+        /// Which packets the op covers (relay key for uncorrelated
+        /// messages such as events and packet-ins).
+        filter: Filter,
+    },
+    /// Controller shard → controller shard (east-west): a message one
+    /// shard received from `from` (an ack, event, packet-in, counter
+    /// reply…) that belongs to an operation another shard owns — op ids
+    /// are disjoint across shards, so ownership is decided from the id
+    /// alone. The receiver dispatches `inner` exactly as if it had arrived
+    /// directly from `from`.
+    EwForward {
+        /// The node the relaying shard received `inner` from.
+        from: NodeId,
+        /// The relayed message.
+        inner: Box<Msg>,
+    },
+    /// Controller shard → controller shard (east-west): the cross-shard
+    /// operation reached a terminal phase at its owner. The receiver
+    /// journals the terminal record in its mirror stream and drops the
+    /// watch.
+    EwRelease {
+        /// The released operation.
+        op: OpId,
+        /// True if it committed, false if it aborted.
+        committed: bool,
+    },
     /// Node-internal timer (never crosses nodes).
     Timer {
         /// Correlation.
@@ -515,6 +549,8 @@ impl Msg {
             Msg::P2pChunks { chunks, .. } => {
                 96 + chunks.iter().map(Chunk::len).sum::<usize>() + 48 * chunks.len()
             }
+            // East-west relay: the inner message plus a small envelope.
+            Msg::EwForward { inner, .. } => 16 + inner.wire_size(),
             _ => 64,
         }
     }
@@ -527,6 +563,9 @@ impl Msg {
             Msg::Packet(p) | Msg::PacketIn(p) => Some(p.uid),
             Msg::PacketOut { packet, .. } => Some(packet.uid),
             Msg::Event(NfEvent::Received(p)) | Msg::Event(NfEvent::Processed(p)) => Some(p.uid),
+            // A relayed message that carried a packet still carries it: an
+            // east-west drop of the relay loses the same uid.
+            Msg::EwForward { inner, .. } => inner.packet_uid(),
             _ => None,
         }
     }

@@ -1,7 +1,16 @@
 //! The SDN switch node: wraps the pure [`opennf_net::FlowTable`] with
 //! flow-mod latency, packet-out service, and the controller channel.
+//!
+//! Multi-switch topologies: a switch reaches nodes attached to *other*
+//! switches through its `via` next-hop map — `resolve` falls back from
+//! the local port map to the next-hop port, so the controller can fan the
+//! *same* `FlowMod { to_nodes: [dst] }` to every switch on a flow's path
+//! and each switch materializes its own local port for it. Ports leading
+//! to neighbor switches are trunks; a forward out a non-trunk port is the
+//! packet's final hop to a locally attached NF, which the switch logs in
+//! `nf_forward_log` for the path-consistency oracle.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use opennf_net::{Action, FlowTable, PortRef, TraceRecorder};
 use opennf_sim::{Ctx, Node, NodeId, Time};
@@ -19,6 +28,11 @@ pub struct SwitchNode {
     ports: BTreeMap<u16, NodeId>,
     /// attached node → port number (reverse map).
     rports: BTreeMap<NodeId, u16>,
+    /// Remote node → local port toward it (next hop). Consulted when a
+    /// rule names a node that is not locally attached.
+    via: BTreeMap<NodeId, u16>,
+    /// Ports whose far end is another switch (inter-switch links).
+    trunks: BTreeSet<u16>,
     ctrl: NodeId,
     cfg: NetConfig,
     /// Packet-out control-plane queue occupancy.
@@ -31,6 +45,12 @@ pub struct SwitchNode {
     pub dropped_at_switch: u64,
     /// Total packet-outs serviced.
     pub packet_outs: u64,
+    /// `(t_ns, uid, packet-lite, nf)` for every *final-hop* forward — a
+    /// data packet sent out a non-trunk port to a locally attached NF.
+    /// The path-consistency oracle replays this against committed moves:
+    /// after a move's route update committed, no switch may still hand
+    /// matching packets to the source instance.
+    pub nf_forward_log: Vec<(u64, opennf_packet::Packet, NodeId)>,
     /// Optional packet-trace recorder (the smoltcp-style `--pcap` view of
     /// everything the switch forwards). Disabled by default.
     pub trace: TraceRecorder,
@@ -44,12 +64,15 @@ impl SwitchNode {
             table: FlowTable::new(),
             ports,
             rports,
+            via: BTreeMap::new(),
+            trunks: BTreeSet::new(),
             ctrl,
             cfg,
             pktout_busy_until: Time::ZERO,
             forward_log: Vec::new(),
             dropped_at_switch: 0,
             packet_outs: 0,
+            nf_forward_log: Vec::new(),
             trace: TraceRecorder::disabled(),
         }
     }
@@ -59,19 +82,45 @@ impl SwitchNode {
         &self.table
     }
 
+    /// Marks `port` as a trunk to a neighbor switch (the port must already
+    /// be in the port map, attached to that switch).
+    pub fn mark_trunk(&mut self, port: u16) {
+        debug_assert!(self.ports.contains_key(&port), "trunk port must be attached");
+        self.trunks.insert(port);
+    }
+
+    /// Declares that `node` (attached to another switch) is reached out
+    /// `port` from here.
+    pub fn add_via(&mut self, node: NodeId, port: u16) {
+        debug_assert!(self.trunks.contains(&port), "via must point at a trunk");
+        self.via.insert(node, port);
+    }
+
+    /// The local port toward `node`: its own port when locally attached,
+    /// else the next hop from the `via` map.
+    fn resolve(&self, node: NodeId) -> u16 {
+        match self.rports.get(&node).or_else(|| self.via.get(&node)) {
+            Some(p) => *p,
+            None => panic!("switch has no port or next hop toward {node:?}"),
+        }
+    }
+
     /// Installs a rule immediately (initial topology setup).
     pub fn preinstall(&mut self, priority: u16, filter: opennf_packet::Filter, to: &[NodeId]) {
         let action =
-            Action::Forward(to.iter().map(|n| PortRef::Port(self.rports[n])).collect());
+            Action::Forward(to.iter().map(|n| PortRef::Port(self.resolve(*n))).collect());
         self.table.install(priority, filter, action);
     }
 
-    fn forward(&self, ctx: &mut Ctx<'_, Msg>, pkt: &opennf_packet::Packet, action: &Action) {
-        if let Action::Forward(ports) = action {
+    fn forward(&mut self, ctx: &mut Ctx<'_, Msg>, pkt: &opennf_packet::Packet, action: &Action) {
+        if let Action::Forward(ports) = action.clone() {
             for p in ports.iter() {
                 match p {
                     PortRef::Port(n) => {
                         let node = self.ports[n];
+                        if !self.trunks.contains(n) {
+                            self.nf_forward_log.push((ctx.now().as_nanos(), pkt.clone(), node));
+                        }
                         ctx.send(node, self.cfg.sw_to_nf, Msg::Packet(pkt.clone()));
                     }
                     PortRef::Controller => {
@@ -121,7 +170,7 @@ impl Node<Msg> for SwitchNode {
                 } else {
                     let tag = tag & !PENDING_BIT;
                     let mut ports: Vec<PortRef> =
-                        to_nodes.iter().map(|n| PortRef::Port(self.rports[n])).collect();
+                        to_nodes.iter().map(|n| PortRef::Port(self.resolve(*n))).collect();
                     if to_controller {
                         ports.push(PortRef::Controller);
                     }

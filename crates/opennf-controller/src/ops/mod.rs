@@ -26,8 +26,17 @@ pub struct OpCtx<'a, 'b> {
     pub ctx: &'a mut Ctx<'b, Msg>,
     /// Cost/latency constants.
     pub cfg: &'a NetConfig,
-    /// The switch.
+    /// The switch (the controller's primary switch; also where packet-outs
+    /// and counter queries go).
     pub sw: NodeId,
+    /// Every switch in the topology, in chain order starting at the
+    /// ingress switch — forwarding updates fan out to all of them so each
+    /// switch on a flow's path resolves the rule through its own ports.
+    /// Length 1 (just `sw`) in the classic single-switch topology.
+    pub switches: &'a [NodeId],
+    /// Shard tag for telemetry spans (`Some("shard=N")` only when the
+    /// control plane is sharded, keeping single-shard traces unchanged).
+    pub shard_arg: Option<&'a str>,
     /// Controller service offset for this message.
     pub off: Dur,
     /// The run's telemetry (manual clock, stamped by the controller node
@@ -51,9 +60,13 @@ impl OpCtx<'_, '_> {
         self.ctx.now()
     }
 
-    /// Opens a telemetry span stamped with the current virtual time.
+    /// Opens a telemetry span stamped with the current virtual time (and
+    /// tagged with the issuing shard when the control plane is sharded).
     pub fn span_begin(&self, name: &'static str) -> SpanId {
-        self.tel.begin_at(name, self.now().as_nanos())
+        match self.shard_arg {
+            Some(tag) => self.tel.begin_at_arg(name, self.now().as_nanos(), Some(tag.to_string())),
+            None => self.tel.begin_at(name, self.now().as_nanos()),
+        }
     }
 
     /// Closes a telemetry span at the current virtual time.
@@ -97,6 +110,13 @@ impl OpCtx<'_, '_> {
     pub fn to_switch(&mut self, msg: Msg) {
         let d = self.off + self.cfg.sw_to_ctrl;
         self.ctx.send(self.sw, d, msg);
+    }
+
+    /// Sends a control message to a specific switch (multi-switch
+    /// forwarding updates fan the same flow-mod to every path switch).
+    pub fn to_switch_at(&mut self, sw: NodeId, msg: Msg) {
+        let d = self.off + self.cfg.sw_to_ctrl;
+        self.ctx.send(sw, d, msg);
     }
 
     /// Arms a timer back to the controller.

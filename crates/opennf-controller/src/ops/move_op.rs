@@ -102,6 +102,13 @@ pub struct MoveOp {
     sealed: bool,
     /// ER: stage to repeat under the global lock.
     seal_stage: Option<Stage>,
+    /// Outstanding flow-mod confirmations for the last forwarding update.
+    /// Multi-switch topologies fan the same flow-mod to every switch on
+    /// the path; the op advances only once all of them have applied it,
+    /// so no switch can still forward by a stale rule after the op moves
+    /// on. Flow-mod phases are strictly sequential, so one counter
+    /// suffices.
+    fm_pending: usize,
     // Order-preserving bookkeeping.
     low_rule: Option<RuleId>,
     pkt_ins: u64,
@@ -223,6 +230,7 @@ impl MoveOp {
             flushed: false,
             sealed: false,
             seal_stage: None,
+            fm_pending: 0,
             low_rule: None,
             pkt_ins: 0,
             last_pktin: None,
@@ -396,6 +404,44 @@ impl MoveOp {
         }
     }
 
+    /// The ingress switch — the first switch on every flow's path, and
+    /// therefore the only one that punts packet-ins and whose low-rule
+    /// counters decide the order-preserving drain check.
+    fn ingress(o: &OpCtx<'_, '_>) -> NodeId {
+        o.switches.first().copied().unwrap_or(o.sw)
+    }
+
+    /// Fans a forwarding update to every switch on the flow's path. Each
+    /// switch resolves the same `to_nodes` through its own ports (local
+    /// attach or trunk toward the owner), so one logical rule covers the
+    /// whole path; `to_controller` punts only at the ingress switch so a
+    /// packet produces exactly one packet-in. Any wait on confirmation is
+    /// gated on *all* switches acking (`fm_pending`).
+    fn send_flow_mod(
+        &mut self,
+        o: &mut OpCtx<'_, '_>,
+        tag: u32,
+        priority: u16,
+        to_nodes: Vec<NodeId>,
+        to_controller: bool,
+    ) {
+        let switches: Vec<NodeId> = o.switches.to_vec();
+        self.fm_pending = switches.len();
+        for (i, sw) in switches.into_iter().enumerate() {
+            o.to_switch_at(
+                sw,
+                Msg::FlowMod {
+                    op: self.id,
+                    tag,
+                    priority,
+                    filter: self.filter,
+                    to_nodes: to_nodes.clone(),
+                    to_controller: to_controller && i == 0,
+                },
+            );
+        }
+    }
+
     /// Re-sends the flow-mod a switch-wait phase is blocked on.
     fn resend_flow_mod(&mut self, o: &mut OpCtx<'_, '_>) {
         let (tag, priority, to_nodes, to_controller) = match self.phase {
@@ -403,14 +449,7 @@ impl MoveOp {
             Phase::OpPhase1 => (FM_OP_LOW, self.prio.0, vec![self.src], true),
             _ => (FM_OP_HIGH, self.prio.1, vec![self.dst], false),
         };
-        o.to_switch(Msg::FlowMod {
-            op: self.id,
-            tag,
-            priority,
-            filter: self.filter,
-            to_nodes,
-            to_controller,
-        });
+        self.send_flow_mod(o, tag, priority, to_nodes, to_controller);
     }
 
     /// The phase watchdog fired: retry if the phase is retryable and the
@@ -576,14 +615,7 @@ impl MoveOp {
         reason: String,
         blame: Option<NodeId>,
     ) -> bool {
-        o.to_switch(Msg::FlowMod {
-            op: self.id,
-            tag: FM_ROUTE,
-            priority: self.prio.1,
-            filter: self.filter,
-            to_nodes: vec![self.dst],
-            to_controller: false,
-        });
+        self.send_flow_mod(o, FM_ROUTE, self.prio.1, vec![self.dst], false);
         if !matches!(self.phase, Phase::RouteUpdate) {
             // The OP machinery may have enabled buffering at dst; clearing
             // it releases anything held there.
@@ -855,14 +887,7 @@ impl MoveOp {
 
         match self.props.variant {
             MoveVariant::NoGuarantee | MoveVariant::LossFree => {
-                o.to_switch(Msg::FlowMod {
-                    op: self.id,
-                    tag: FM_ROUTE,
-                    priority: self.prio.1,
-                    filter: self.filter,
-                    to_nodes: vec![self.dst],
-                    to_controller: false,
-                });
+                self.send_flow_mod(o, FM_ROUTE, self.prio.1, vec![self.dst], false);
                 self.enter(o, Phase::RouteUpdate);
             }
             MoveVariant::LossFreeOrderPreserving => {
@@ -1069,14 +1094,7 @@ impl MoveOp {
             }
             (Phase::OpEnableDstBuffer, SbReply::Done) => {
                 // Fig. 6 l.23: low-priority rule to {src, ctrl}.
-                o.to_switch(Msg::FlowMod {
-                    op: self.id,
-                    tag: FM_OP_LOW,
-                    priority: self.prio.0,
-                    filter: self.filter,
-                    to_nodes: vec![self.src],
-                    to_controller: true,
-                });
+                self.send_flow_mod(o, FM_OP_LOW, self.prio.0, vec![self.src], true);
                 self.enter(o, Phase::OpPhase1);
                 false
             }
@@ -1173,25 +1191,34 @@ impl MoveOp {
         self.pktin_uids.insert(pkt.uid);
         if self.phase == Phase::OpAwaitFirstPkt {
             // Fig. 6 l.24-25: first packet seen — install the high rule.
-            o.to_switch(Msg::FlowMod {
-                op: self.id,
-                tag: FM_OP_HIGH,
-                priority: self.prio.1,
-                filter: self.filter,
-                to_nodes: vec![self.dst],
-                to_controller: false,
-            });
+            self.send_flow_mod(o, FM_OP_HIGH, self.prio.1, vec![self.dst], false);
             self.enter(o, Phase::OpPhase2);
         }
         false
     }
 
-    /// A flow-mod for this op took effect.
-    pub fn on_flow_mod_applied(&mut self, o: &mut OpCtx<'_, '_>, tag: u32, rule: RuleId) -> bool {
+    /// A flow-mod for this op took effect at switch `from`. The op
+    /// advances only once every switch the update fanned to has confirmed
+    /// it; rule ids differ per switch, so the low rule polled for the
+    /// drain check is the ingress switch's (the one whose counter counts
+    /// the punted packet-ins).
+    pub fn on_flow_mod_applied(
+        &mut self,
+        o: &mut OpCtx<'_, '_>,
+        from: NodeId,
+        tag: u32,
+        rule: RuleId,
+    ) -> bool {
+        if tag == FM_OP_LOW && from == Self::ingress(o) {
+            self.low_rule = Some(rule);
+        }
+        self.fm_pending = self.fm_pending.saturating_sub(1);
+        if self.fm_pending > 0 {
+            return false;
+        }
         match tag {
             FM_ROUTE => self.complete(o),
             FM_OP_LOW => {
-                self.low_rule = Some(rule);
                 self.phase = Phase::OpAwaitFirstPkt;
                 // The first-packet timer is this phase's own watchdog.
                 self.disarm_watchdog();
@@ -1201,7 +1228,8 @@ impl MoveOp {
             FM_OP_HIGH => {
                 self.enter(o, Phase::OpDrain);
                 if let Some(rule) = self.low_rule {
-                    o.to_switch(Msg::CounterQuery { op: self.id, rule });
+                    let ingress = Self::ingress(o);
+                    o.to_switch_at(ingress, Msg::CounterQuery { op: self.id, rule });
                 }
                 false
             }
@@ -1239,20 +1267,14 @@ impl MoveOp {
             TAG_FIRST_PKT_TIMEOUT if self.phase == Phase::OpAwaitFirstPkt => {
                 // No traffic arrived for the moved flows; install the high
                 // rule and skip the ordering waits.
-                o.to_switch(Msg::FlowMod {
-                    op: self.id,
-                    tag: FM_OP_HIGH,
-                    priority: self.prio.1,
-                    filter: self.filter,
-                    to_nodes: vec![self.dst],
-                    to_controller: false,
-                });
+                self.send_flow_mod(o, FM_OP_HIGH, self.prio.1, vec![self.dst], false);
                 self.phase = Phase::OpPhase2;
                 false
             }
             TAG_COUNTER_POLL if self.phase == Phase::OpDrain => {
                 if let Some(rule) = self.low_rule {
-                    o.to_switch(Msg::CounterQuery { op: self.id, rule });
+                    let ingress = Self::ingress(o);
+                    o.to_switch_at(ingress, Msg::CounterQuery { op: self.id, rule });
                 }
                 false
             }

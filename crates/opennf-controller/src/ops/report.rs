@@ -67,6 +67,12 @@ pub struct OpReport {
     /// The instance blamed for an abort (unresponsive or crashed), if the
     /// failure localized to one.
     pub failed_inst: Option<NodeId>,
+    /// Strict-share teardowns: every instance whose setup ack never
+    /// arrived, i.e. the instances left out of sync with the share group.
+    /// Populated unconditionally on teardown — a share that spanned zero
+    /// queued packets still names the instances it left behind.
+    #[serde(default)]
+    pub out_of_sync: Vec<NodeId>,
 }
 
 impl OpReport {
@@ -87,6 +93,7 @@ impl OpReport {
             abort_lost: Vec::new(),
             p2p_inflight: Vec::new(),
             failed_inst: None,
+            out_of_sync: Vec::new(),
         }
     }
 

@@ -624,6 +624,11 @@ impl ShareOp {
                 ),
                 out.first().copied(),
             );
+            // The structured list rides on the report unconditionally: a
+            // teardown that caught zero queued packets still names the
+            // instances it left behind (previously only the reason string
+            // carried them, so harnesses reading the report saw nothing).
+            self.report.out_of_sync = out;
             self.torn_down = true;
             self.jlog.push(JournalPhase::Aborted);
             for s in [self.sp_arm.take(), self.sp_init.take()].into_iter().flatten() {

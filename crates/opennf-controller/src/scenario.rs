@@ -2,8 +2,20 @@
 //! traffic sources → one SDN switch → a set of NF instances, with the
 //! controller attached to the switch — plus the metric helpers every
 //! experiment shares.
+//!
+//! Multi-switch topologies generalize Figure 4 to a linear chain of
+//! switches (`switches(n)`): hosts attach to the ingress switch, each NF
+//! attaches to the switch chosen by `nf_at`, and inter-switch links are
+//! trunk ports. The control plane can be sharded (`shards(k)`): each
+//! shard's controller owns a contiguous run of switches and their NFs,
+//! and cross-shard operations execute as a two-shard handoff over
+//! east-west messages (see [`ControllerNode::configure_shard`]).
+//!
+//! Node id layout is backward compatible: ctrl₀=0, sw₀=1, instances
+//! 2..2+n, hosts 2+n..2+n+h — then extra switches, then extra shard
+//! controllers. Existing single-switch ids never shift.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use opennf_nf::NetworkFunction;
 use opennf_packet::{Filter, Packet};
@@ -13,7 +25,7 @@ use opennf_util::Summary;
 
 use crate::config::NetConfig;
 use crate::controller::{ControlApp, ControllerNode, NoopApp};
-use crate::guarantees::Oracle;
+use crate::guarantees::{path_consistency_violations, NfDelivery, Oracle, PathViolation};
 use crate::msg::{Command, Msg};
 use crate::nodes::host::HostNode;
 use crate::nodes::nf_node::NfNode;
@@ -25,11 +37,17 @@ pub struct ScenarioBuilder {
     seed: u64,
     app: Box<dyn ControlApp>,
     nfs: Vec<(&'static str, Box<dyn NetworkFunction>)>,
+    /// Per-NF switch index (parallel to `nfs`).
+    placements: Vec<usize>,
     schedules: Vec<Vec<(u64, Packet)>>,
     routes: Vec<(u16, Filter, usize)>,
     record_traffic: bool,
     fault_plan: Option<FaultPlan>,
     telemetry: Option<Telemetry>,
+    /// Number of switches in the chain (1 = the classic Figure 4).
+    switches: usize,
+    /// Number of controller shards (1 = single controller).
+    shards: usize,
 }
 
 impl Default for ScenarioBuilder {
@@ -46,11 +64,14 @@ impl ScenarioBuilder {
             seed: 1,
             app: Box::new(NoopApp),
             nfs: Vec::new(),
+            placements: Vec::new(),
             schedules: Vec::new(),
             routes: Vec::new(),
             record_traffic: false,
             fault_plan: None,
             telemetry: None,
+            switches: 1,
+            shards: 1,
         }
     }
 
@@ -72,10 +93,38 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Adds an NF instance; returns `self` (instances are indexed in
-    /// insertion order).
-    pub fn nf(mut self, name: &'static str, nf: Box<dyn NetworkFunction>) -> Self {
+    /// Adds an NF instance attached to the ingress switch; returns `self`
+    /// (instances are indexed in insertion order).
+    pub fn nf(self, name: &'static str, nf: Box<dyn NetworkFunction>) -> Self {
+        self.nf_at(name, nf, 0)
+    }
+
+    /// Adds an NF instance attached to switch `sw_idx` of the chain.
+    pub fn nf_at(
+        mut self,
+        name: &'static str,
+        nf: Box<dyn NetworkFunction>,
+        sw_idx: usize,
+    ) -> Self {
         self.nfs.push((name, nf));
+        self.placements.push(sw_idx);
+        self
+    }
+
+    /// Grows the topology to a linear chain of `n` switches (hosts on the
+    /// first; place NFs with [`ScenarioBuilder::nf_at`]).
+    pub fn switches(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one switch");
+        self.switches = n;
+        self
+    }
+
+    /// Shards the control plane into `k` controllers. Each shard owns a
+    /// contiguous run of the switch chain (switch `i` belongs to shard
+    /// `i·k/n`) and the NFs attached to those switches.
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(k >= 1, "at least one shard");
+        self.shards = k;
         self
     }
 
@@ -116,59 +165,158 @@ impl ScenarioBuilder {
 
     /// Builds the engine and nodes.
     pub fn build(self) -> Scenario {
-        // Fixed id layout: ctrl=0, sw=1, instances, then hosts.
-        let ctrl_id = NodeId(0);
-        let sw_id = NodeId(1);
+        let n_sw = self.switches;
+        let n_shards = self.shards.min(n_sw);
         let n = self.nfs.len();
+        let h = self.schedules.len();
+        for p in &self.placements {
+            assert!(*p < n_sw, "NF placed on switch {p} but only {n_sw} exist");
+        }
+
+        // Fixed id layout (backward compatible): ctrl₀=0, sw₀=1,
+        // instances, hosts — then extra switches, then extra shard
+        // controllers. All ids are precomputed because controllers,
+        // switches, and NFs need each other's ids at construction.
+        let sw_ids: Vec<NodeId> = (0..n_sw)
+            .map(|s| if s == 0 { NodeId(1) } else { NodeId(2 + n + h + (s - 1)) })
+            .collect();
+        let ctrl_ids: Vec<NodeId> = (0..n_shards)
+            .map(|k| if k == 0 { NodeId(0) } else { NodeId(2 + n + h + (n_sw - 1) + (k - 1)) })
+            .collect();
         let inst_ids: Vec<NodeId> = (0..n).map(|i| NodeId(2 + i)).collect();
-        let host_ids: Vec<NodeId> = (0..self.schedules.len()).map(|i| NodeId(2 + n + i)).collect();
+        let host_ids: Vec<NodeId> = (0..h).map(|i| NodeId(2 + n + i)).collect();
+
+        // Ownership: switch s → shard s·k/n (contiguous runs); an NF
+        // belongs to its switch's shard.
+        let shard_of_switch = |s: usize| s * n_shards / n_sw;
+        let inst_shard: HashMap<NodeId, usize> = inst_ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, shard_of_switch(self.placements[i])))
+            .collect();
+        // Each shard's controller attaches to the first switch it owns.
+        let primary_switch: Vec<NodeId> = (0..n_shards)
+            .map(|k| {
+                let s = (0..n_sw).find(|s| shard_of_switch(*s) == k).expect("shard owns a switch");
+                sw_ids[s]
+            })
+            .collect();
 
         let mut engine: Engine<Msg> = Engine::new(self.seed);
         if let Some(plan) = self.fault_plan {
             engine.set_fault_plan(plan);
         }
-        let mut ctrl = ControllerNode::new(self.cfg, sw_id, self.app);
-        if let Some(tel) = self.telemetry {
-            ctrl.set_telemetry(tel);
-        }
-        assert_eq!(engine.add_node(Box::new(ctrl)), ctrl_id);
 
-        let mut ports = BTreeMap::new();
-        for (i, id) in inst_ids.iter().enumerate() {
-            ports.insert(i as u16 + 1, *id);
-        }
-        let mut sw = SwitchNode::new(self.cfg, ctrl_id, ports);
-        if self.record_traffic {
-            sw.trace = opennf_net::TraceRecorder::enabled();
-        }
-        for (prio, filter, idx) in &self.routes {
-            sw.preinstall(*prio, *filter, &[inst_ids[*idx]]);
-        }
-        assert_eq!(engine.add_node(Box::new(sw)), sw_id);
+        // A sharded control plane must share one telemetry handle so
+        // spans from every shard merge into one trace.
+        let shared_tel = if self.telemetry.is_some() || n_shards > 1 {
+            Some(self.telemetry.clone().unwrap_or_else(Telemetry::manual))
+        } else {
+            None
+        };
 
-        for (name, nf) in self.nfs {
-            let node = NfNode::new(name, nf, self.cfg, ctrl_id);
-            engine.add_node(Box::new(node));
+        let mut ctrl = ControllerNode::new(self.cfg, primary_switch[0], self.app);
+        if let Some(tel) = &shared_tel {
+            ctrl.set_telemetry(tel.clone());
+        }
+        assert_eq!(engine.add_node(Box::new(ctrl)), ctrl_ids[0]);
+
+        let make_switch = |s: usize| {
+            let shard = shard_of_switch(s);
+            let mut ports = BTreeMap::new();
+            let mut next_port = 1u16;
+            for (i, id) in inst_ids.iter().enumerate() {
+                if self.placements[i] == s {
+                    ports.insert(next_port, *id);
+                    next_port += 1;
+                }
+            }
+            let trunk_left = (s > 0).then(|| {
+                let p = next_port;
+                ports.insert(p, sw_ids[s - 1]);
+                next_port += 1;
+                p
+            });
+            let trunk_right = (s + 1 < n_sw).then(|| {
+                let p = next_port;
+                ports.insert(p, sw_ids[s + 1]);
+                p
+            });
+            let mut sw = SwitchNode::new(self.cfg, ctrl_ids[shard], ports);
+            if let Some(p) = trunk_left {
+                sw.mark_trunk(p);
+            }
+            if let Some(p) = trunk_right {
+                sw.mark_trunk(p);
+            }
+            for (i, id) in inst_ids.iter().enumerate() {
+                if self.placements[i] != s {
+                    let port = if self.placements[i] < s {
+                        trunk_left.expect("NF to the left needs a left trunk")
+                    } else {
+                        trunk_right.expect("NF to the right needs a right trunk")
+                    };
+                    sw.add_via(*id, port);
+                }
+            }
+            if self.record_traffic && s == 0 {
+                sw.trace = opennf_net::TraceRecorder::enabled();
+            }
+            // Every switch on the path carries every route and resolves
+            // it through its own ports.
+            for (prio, filter, idx) in &self.routes {
+                sw.preinstall(*prio, *filter, &[inst_ids[*idx]]);
+            }
+            sw
+        };
+
+        assert_eq!(engine.add_node(Box::new(make_switch(0))), sw_ids[0]);
+        for (i, (name, nf)) in self.nfs.into_iter().enumerate() {
+            let shard = shard_of_switch(self.placements[i]);
+            let node = NfNode::new(name, nf, self.cfg, ctrl_ids[shard]);
+            assert_eq!(engine.add_node(Box::new(node)), inst_ids[i]);
         }
         for schedule in self.schedules {
-            engine.add_node(Box::new(HostNode::new(sw_id, self.cfg, schedule)));
+            engine.add_node(Box::new(HostNode::new(sw_ids[0], self.cfg, schedule)));
+        }
+        for (s, id) in sw_ids.iter().enumerate().skip(1) {
+            assert_eq!(engine.add_node(Box::new(make_switch(s))), *id);
+        }
+        for k in 1..n_shards {
+            let mut c = ControllerNode::new(self.cfg, primary_switch[k], Box::new(NoopApp));
+            if let Some(tel) = &shared_tel {
+                c.set_telemetry(tel.clone());
+            }
+            assert_eq!(engine.add_node(Box::new(c)), ctrl_ids[k]);
         }
 
-        // Mirror preinstalled routes into the controller's shadow table
-        // (apps and strict shares consult it).
+        // Configure sharding and mirror preinstalled routes into every
+        // controller's shadow table (apps and strict shares consult it).
         let shadow: Vec<(u16, Filter, NodeId)> = self
             .routes
             .iter()
             .map(|(p, f, idx)| (*p, *f, inst_ids[*idx]))
             .collect();
-        {
-            let c: &mut ControllerNode = engine.node_mut(ctrl_id);
-            for (p, f, inst) in shadow {
-                c.seed_route(p, f, inst);
+        for (k, cid) in ctrl_ids.iter().enumerate() {
+            let c: &mut ControllerNode = engine.node_mut(*cid);
+            if n_sw > 1 || n_shards > 1 {
+                c.configure_shard(k, ctrl_ids.clone(), sw_ids.clone(), inst_shard.clone());
+            }
+            for (p, f, inst) in &shadow {
+                c.seed_route(*p, *f, *inst);
             }
         }
 
-        Scenario { engine, cfg: self.cfg, ctrl: ctrl_id, sw: sw_id, instances: inst_ids, hosts: host_ids }
+        Scenario {
+            engine,
+            cfg: self.cfg,
+            ctrl: ctrl_ids[0],
+            sw: sw_ids[0],
+            instances: inst_ids,
+            hosts: host_ids,
+            switch_ids: sw_ids,
+            ctrls: ctrl_ids,
+        }
     }
 }
 
@@ -186,12 +334,21 @@ pub struct Scenario {
     pub instances: Vec<NodeId>,
     /// Host ids, in insertion order.
     pub hosts: Vec<NodeId>,
+    /// Every switch in chain order (`switch_ids[0] == sw`).
+    pub switch_ids: Vec<NodeId>,
+    /// Every shard controller in shard order (`ctrls[0] == ctrl`).
+    pub ctrls: Vec<NodeId>,
 }
 
 impl Scenario {
     /// Issues a northbound command at `at` (relative to now).
     pub fn issue_at(&mut self, at: Dur, cmd: Command) {
         self.engine.inject(self.ctrl, at, Msg::Command(cmd));
+    }
+
+    /// Issues a northbound command to a specific shard's controller.
+    pub fn issue_at_shard(&mut self, shard: usize, at: Dur, cmd: Command) {
+        self.engine.inject(self.ctrls[shard], at, Msg::Command(cmd));
     }
 
     /// Runs until `deadline` (absolute virtual time).
@@ -217,6 +374,37 @@ impl Scenario {
     /// The switch.
     pub fn switch(&self) -> &SwitchNode {
         self.engine.node(self.sw)
+    }
+
+    /// Switch `i` of the chain.
+    pub fn switch_at(&self, i: usize) -> &SwitchNode {
+        self.engine.node(self.switch_ids[i])
+    }
+
+    /// Shard `k`'s controller.
+    pub fn controller_of(&self, shard: usize) -> &ControllerNode {
+        self.engine.node(self.ctrls[shard])
+    }
+
+    /// Checks the path-consistency oracle over every switch's final-hop
+    /// forwarding log against every shard's committed route flips: after
+    /// a move commits, no packet that entered the network later may still
+    /// be delivered to the old instance.
+    pub fn path_violations(&self) -> Vec<PathViolation> {
+        let logs: Vec<(NodeId, Vec<NfDelivery>)> = self
+            .switch_ids
+            .iter()
+            .map(|id| {
+                let sw: &SwitchNode = self.engine.node(*id);
+                (*id, sw.nf_forward_log.clone())
+            })
+            .collect();
+        let mut flips = Vec::new();
+        for cid in &self.ctrls {
+            let c: &ControllerNode = self.engine.node(*cid);
+            flips.extend(c.route_flips.iter().cloned());
+        }
+        path_consistency_violations(&logs, &flips)
     }
 
     /// Instance `idx` as an [`NfNode`].
@@ -266,8 +454,11 @@ impl Scenario {
                 }
             }
         }
-        for report in &self.controller().reports {
-            uids.extend(report.abort_lost.iter().copied());
+        for cid in &self.ctrls {
+            let c: &ControllerNode = self.engine.node(*cid);
+            for report in &c.reports {
+                uids.extend(report.abort_lost.iter().copied());
+            }
         }
         uids.sort_unstable();
         uids.dedup();

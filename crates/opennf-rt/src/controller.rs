@@ -284,7 +284,7 @@ impl RtController {
         Self::expect_done(self.await_reply(id, &mut events)?)
     }
 
-    fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
+    pub(crate) fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
         self.send_to_worker(worker, &WireMsg::Request { id, call })?;
@@ -310,7 +310,11 @@ impl RtController {
     /// Waits for the response to `id`, buffering any events that arrive in
     /// the meantime into `events`. An [`WireEvent::NfFailed`] report from
     /// any worker aborts the wait — that reply is never coming.
-    fn await_reply(&mut self, id: u64, events: &mut Vec<WireEvent>) -> Result<WireReply, RtError> {
+    pub(crate) fn await_reply(
+        &mut self,
+        id: u64,
+        events: &mut Vec<WireEvent>,
+    ) -> Result<WireReply, RtError> {
         loop {
             match self.recv_msg(self.reply_timeout) {
                 Recv::Timeout => return Err(RtError::Timeout { id }),
@@ -330,7 +334,7 @@ impl RtController {
     }
 
     /// Checks a reply that should be a plain completion.
-    fn expect_done(reply: WireReply) -> Result<(), RtError> {
+    pub(crate) fn expect_done(reply: WireReply) -> Result<(), RtError> {
         match reply {
             WireReply::Done => Ok(()),
             WireReply::Error { message } => Err(RtError::Wire(message)),
@@ -741,6 +745,17 @@ impl RtController {
         filter: Filter,
         mut events: Vec<WireEvent>,
     ) -> (usize, Vec<u64>) {
+        events.extend(self.settle_collect(src, filter));
+        self.replay_events_to(replay_to, events)
+    }
+
+    /// The teardown half of [`RtController::settle`]: disables the move's
+    /// event filter at `src` and collects the events the teardown flushes
+    /// out, without replaying them anywhere. A sharded control plane uses
+    /// this to harvest the stragglers locally and ship them east-west to
+    /// the shard that owns the destination.
+    pub(crate) fn settle_collect(&mut self, src: usize, filter: Filter) -> Vec<WireEvent> {
+        let mut events = Vec::new();
         let id = self.next_id;
         self.next_id += 1;
         let seq = self.fence_seq;
@@ -771,10 +786,20 @@ impl RtController {
                 }
             }
         }
-        // Replay over the management channel too (the abort path must
-        // converge even while the fault plan is hostile), coalesced into
-        // frames; a frame the dead worker never takes loses every packet
-        // inside it, and each uid is accounted.
+        events
+    }
+
+    /// The replay half of [`RtController::settle`]: ships every buffered
+    /// event packet to local worker `replay_to` over the management
+    /// channel (the abort path must converge even while the fault plan is
+    /// hostile), coalesced into frames; a frame the dead worker never
+    /// takes loses every packet inside it, and each uid is accounted.
+    /// Returns `(replayed, lost_uids)`.
+    pub(crate) fn replay_events_to(
+        &mut self,
+        replay_to: usize,
+        events: Vec<WireEvent>,
+    ) -> (usize, Vec<u64>) {
         let mut replayed = 0usize;
         let mut lost = Vec::new();
         let mut buf = FrameBuf::new();
@@ -806,6 +831,36 @@ impl RtController {
         lost.sort_unstable();
         lost.dedup();
         (replayed, lost)
+    }
+
+    /// Collects every event that arrives within `window`, without issuing
+    /// any call. Used by the sharded control plane to drain stragglers
+    /// (late buffered packets, processed-acks) after a cross-shard
+    /// forwarding flip, before shipping them east-west.
+    pub(crate) fn drain_events(
+        &mut self,
+        window: Duration,
+    ) -> Result<Vec<WireEvent>, RtError> {
+        let mut events = Vec::new();
+        let deadline = Instant::now() + window;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.recv_msg(left.min(Duration::from_millis(20))) {
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                    return Err(RtError::NfFailed { worker, reason });
+                }
+                Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                    events.push(ev);
+                }
+                Recv::Msg(_) | Recv::Bad(_) | Recv::Timeout => {}
+                Recv::Disconnected => break,
+            }
+        }
+        Ok(events)
     }
 
     /// Shuts all workers down and returns their harnesses in index order.

@@ -29,6 +29,7 @@ pub mod controller;
 pub mod error;
 pub mod faults;
 pub mod router;
+pub mod shards;
 #[cfg(test)]
 pub(crate) mod testutil;
 pub mod wire;
@@ -38,5 +39,6 @@ pub use controller::{MoveStats, RtController};
 pub use error::RtError;
 pub use faults::{worker_node, FaultLedger, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 pub use router::Router;
+pub use shards::{EwMsg, ShardedRt};
 pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
 pub use worker::{spawn_worker, spawn_worker_faulty, PeerMesh, WorkerHandle};

@@ -1,0 +1,597 @@
+//! A sharded threaded control plane: one [`RtController`] per shard, a
+//! shared global rule table, and an east-west message channel between
+//! shards — the runtime mirror of the simulator's sharded controller.
+//!
+//! Each shard owns a contiguous run of workers and runs the ordinary
+//! single-controller protocol against them. A move whose source and
+//! destination live in the *same* shard delegates to that shard's
+//! [`RtController`] unchanged. A move that *crosses* shards executes as a
+//! two-shard handoff: the owning shard (the source's) drives the §5.1
+//! phase sequence, and everything destined for the peer shard — imported
+//! chunks, buffered-event replays, the commit/abort release — travels as
+//! serialized [`EwMsg`] frames over the east-west link, never by touching
+//! the peer's workers directly. That boundary is the point: a shard only
+//! ever talks southbound to its own workers.
+//!
+//! Cross-shard transfers relay through the controllers (get → del → put,
+//! the paper's §5.1 ordering): the P2P mesh is a per-shard resource, so a
+//! direct NF → NF stream across the shard boundary would bypass the
+//! ownership model the sharding exists to enforce.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use opennf_nf::{Chunk, EventedNf, NetworkFunction};
+use opennf_packet::{Filter, Packet};
+use opennf_telemetry::Telemetry;
+use opennf_util::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::{MoveStats, RtController};
+use crate::error::RtError;
+use crate::faults::{FaultyChannel, RtFaults};
+use crate::router::Router;
+use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
+
+/// Replayed packets are coalesced into east-west frames of at most this
+/// many packets, mirroring the southbound replay batching.
+const EW_BATCH: usize = 64;
+
+/// How long the owning shard polls its own workers for straggler events
+/// after the global route flips.
+const STRAGGLER_WINDOW: Duration = Duration::from_millis(200);
+
+/// The east-west vocabulary between shard controllers. Every message is
+/// serialized to JSON on the sending shard and parsed on the receiving
+/// one — same cost profile as the southbound wire. The three messages
+/// mirror the simulator's `EwWatch`/`EwForward`/`EwRelease` handoff.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "ew", rename_all = "snake_case")]
+pub enum EwMsg {
+    /// Imported state for a cross-shard move: the receiving shard applies
+    /// `putPerflow(chunks)` at its local `worker`.
+    PutChunks {
+        /// Cross-shard operation id (for journaling/diagnostics).
+        op: u64,
+        /// Local worker index *within the receiving shard*.
+        worker: usize,
+        /// The state being handed over.
+        chunks: Vec<Chunk>,
+    },
+    /// Buffered packets harvested on the owning shard, to be replayed at
+    /// the receiving shard's local `worker` marked do-not-buffer /
+    /// do-not-drop.
+    Replay {
+        /// Cross-shard operation id.
+        op: u64,
+        /// Local worker index within the receiving shard.
+        worker: usize,
+        /// The packets, in buffer order.
+        packets: Vec<Packet>,
+    },
+    /// Terminal release for a cross-shard op: the peer learns the outcome
+    /// and drops any armed watch state.
+    Release {
+        /// Cross-shard operation id.
+        op: u64,
+        /// `true` for commit, `false` for abort.
+        committed: bool,
+    },
+}
+
+/// The sharded control plane: one [`RtController`] per shard plus the
+/// global router and the east-west links.
+///
+/// Worker indices on this type are *global* (shard-major: shard 0's
+/// workers first, then shard 1's, …); the internal map translates to
+/// `(shard, local)` pairs.
+pub struct ShardedRt {
+    shards: Vec<RtController>,
+    /// Global worker index → (shard, local worker index).
+    map: Vec<(usize, usize)>,
+    /// The global rule table generators route through. Rules installed
+    /// here carry *global* worker indices.
+    pub router: Arc<Router>,
+    ew_tx: Vec<Sender<String>>,
+    ew_rx: Vec<Receiver<String>>,
+    tel: Telemetry,
+    next_op: u64,
+    last_abort_lost: Vec<u64>,
+}
+
+impl ShardedRt {
+    /// Spawns one [`RtController`] per entry of `shard_nfs` (each inner
+    /// vector is one shard's workers) and installs a global default route
+    /// to global worker 0. Wall-clock telemetry.
+    pub fn new(shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>) -> Self {
+        Self::new_with_telemetry(shard_nfs, Telemetry::wall())
+    }
+
+    /// Like [`ShardedRt::new`] with a caller-supplied telemetry handle,
+    /// shared by every shard (keep a clone to read spans/metrics).
+    pub fn new_with_telemetry(
+        shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
+        tel: Telemetry,
+    ) -> Self {
+        Self::build(shard_nfs, None, tel).0
+    }
+
+    /// Like [`ShardedRt::new_with_telemetry`], with shard 0's channels
+    /// running through a [`FaultyChannel`] armed with `plan`. Faults are
+    /// armed on shard 0 *only*: the plan's node ids name shard-0 local
+    /// workers, and mapping them across shard boundaries would silently
+    /// re-target them. Returns the shared [`RtFaults`] ledger.
+    pub fn new_with_faults_and_telemetry(
+        shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
+        plan: FaultPlan,
+        tel: Telemetry,
+    ) -> (Self, Arc<RtFaults>) {
+        let (me, faults) = Self::build(shard_nfs, Some(plan), tel);
+        (me, faults.expect("fault plan was supplied"))
+    }
+
+    fn build(
+        shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
+        plan: Option<FaultPlan>,
+        tel: Telemetry,
+    ) -> (Self, Option<Arc<RtFaults>>) {
+        assert!(!shard_nfs.is_empty(), "at least one shard");
+        let mut map = Vec::new();
+        for (k, nfs) in shard_nfs.iter().enumerate() {
+            for l in 0..nfs.len() {
+                map.push((k, l));
+            }
+        }
+        let mut shards = Vec::with_capacity(shard_nfs.len());
+        let mut faults_out = None;
+        for (k, nfs) in shard_nfs.into_iter().enumerate() {
+            if k == 0 {
+                if let Some(plan) = plan.clone() {
+                    let (ctrl, faults) =
+                        RtController::new_with_faults_and_telemetry(nfs, plan, tel.clone());
+                    shards.push(ctrl);
+                    faults_out = Some(faults);
+                    continue;
+                }
+            }
+            shards.push(RtController::new_with_telemetry(nfs, tel.clone()));
+        }
+        let router = Arc::new(Router::new());
+        router.install(0, Filter::any(), 0);
+        let mut ew_tx = Vec::new();
+        let mut ew_rx = Vec::new();
+        for _ in 0..shards.len() {
+            let (tx, rx) = unbounded::<String>();
+            ew_tx.push(tx);
+            ew_rx.push(rx);
+        }
+        let me = Self {
+            shards,
+            map,
+            router,
+            ew_tx,
+            ew_rx,
+            tel,
+            next_op: 1,
+            last_abort_lost: Vec::new(),
+        };
+        (me, faults_out)
+    }
+
+    /// Applies a southbound reply timeout to every shard.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.shards =
+            self.shards.into_iter().map(|s| s.with_reply_timeout(timeout)).collect();
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of workers across all shards.
+    pub fn worker_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The shared telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Packet uids the last move could not replay (dead-worker frames),
+    /// mirroring [`RtController::abort_lost`].
+    pub fn abort_lost(&self) -> &[u64] {
+        &self.last_abort_lost
+    }
+
+    /// Data-plane sender toward *global* worker `g` (fault-shimmed on
+    /// shard 0 when a plan is armed).
+    pub fn data_tx(&self, g: usize) -> FaultyChannel {
+        let (k, l) = self.map[g];
+        self.shards[k].data_tx(l)
+    }
+
+    /// Routes `pkt` through the global rule table and delivers it to the
+    /// matching worker, if any.
+    pub fn inject(&self, pkt: Packet) -> Result<(), RtError> {
+        if let Some(g) = self.router.route(&pkt) {
+            let (k, l) = self.map[g];
+            self.shards[k]
+                .data_tx(l)
+                .send(&WireMsg::Packet { packet: pkt })
+                .map_err(|_| RtError::WorkerGone { worker: g })?;
+        }
+        Ok(())
+    }
+
+    /// Drains global worker `g`'s data queue (see
+    /// [`RtController::quiesce`]).
+    pub fn quiesce(&mut self, g: usize) -> Result<(), RtError> {
+        let (k, l) = self.map[g];
+        self.shards[k].quiesce(l)
+    }
+
+    /// Shuts every shard down, shard-major — harness order matches the
+    /// global worker order.
+    pub fn shutdown(self) -> Vec<EventedNf> {
+        self.shards.into_iter().flat_map(RtController::shutdown).collect()
+    }
+
+    /// Moves all flows matching `filter` from global worker `src` to
+    /// global worker `dst`, loss-free.
+    ///
+    /// * Same shard: delegates to that shard's
+    ///   [`RtController::move_flows_p2p`] (when `p2p`) or
+    ///   [`RtController::move_flows_lossfree`], then mirrors the committed
+    ///   route into the global table.
+    /// * Cross shard: the source's shard drives the five-phase handoff;
+    ///   chunks and replays reach the destination's shard as [`EwMsg`]
+    ///   frames. `p2p` is accepted but the transfer still relays through
+    ///   the controllers — the shard boundary owns connectivity.
+    pub fn move_flows_cross(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+        p2p: bool,
+    ) -> Result<MoveStats, RtError> {
+        let (sa, a_l) = self.map[src];
+        let (sb, b_l) = self.map[dst];
+        self.last_abort_lost.clear();
+        if sa == sb {
+            let r = if p2p {
+                self.shards[sa].move_flows_p2p(a_l, b_l, filter)
+            } else {
+                self.shards[sa].move_flows_lossfree(a_l, b_l, filter)
+            };
+            self.last_abort_lost = self.shards[sa].abort_lost().to_vec();
+            if r.is_ok() {
+                self.router.install(10, filter, dst);
+            }
+            return r;
+        }
+
+        let op = self.next_op;
+        self.next_op += 1;
+        self.tel.event("ew.handoff", Some(format!("op={op} {src}->{dst}")));
+
+        let mut events: Vec<WireEvent> = Vec::new();
+        let mut flipped = false;
+        // Chunks deleted at the source but not yet confirmed at the
+        // destination: an abort in that window puts them back so the
+        // handoff is loss-free even when it fails.
+        let mut in_hand: Option<Vec<Chunk>> = None;
+        match self.try_cross(op, sa, a_l, sb, b_l, dst, filter, &mut events, &mut flipped, &mut in_hand)
+        {
+            Ok(mut stats) => {
+                // Settle: tear the event filter down at the source, ship
+                // the tail east-west, release the peer.
+                let tail = self.shards[sa].settle_collect(a_l, filter);
+                events.extend(tail);
+                let (extra, lost) = self.ew_replay(op, sb, b_l, std::mem::take(&mut events))?;
+                stats.events_replayed += extra;
+                self.last_abort_lost = lost;
+                self.ew_send(sb, &EwMsg::Release { op, committed: true });
+                self.drain_ew(sb)?;
+                Ok(stats)
+            }
+            Err(e) => {
+                self.tel.event("move.abort", Some(e.to_string()));
+                // Restore: the source deleted but the destination never
+                // confirmed — put the chunks back where the route still
+                // points.
+                if let Some(chunks) = in_hand.take() {
+                    if let Ok(id) =
+                        self.shards[sa].call(a_l, WireCall::PutPerflow { chunks })
+                    {
+                        let _ = self.shards[sa].await_reply(id, &mut events);
+                    }
+                }
+                let tail = self.shards[sa].settle_collect(a_l, filter);
+                events.extend(tail);
+                let lost = if flipped {
+                    let (_, lost) = self.ew_replay(op, sb, b_l, std::mem::take(&mut events))?;
+                    lost
+                } else {
+                    let (_, lost) =
+                        self.shards[sa].replay_events_to(a_l, std::mem::take(&mut events));
+                    lost
+                };
+                self.last_abort_lost = lost;
+                self.ew_send(sb, &EwMsg::Release { op, committed: false });
+                self.drain_ew(sb)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// The happy path of a cross-shard move: the same five phases (and
+    /// span names) as [`RtController::move_flows_lossfree`], with the
+    /// import/flush legs crossing the east-west link.
+    #[allow(clippy::too_many_arguments)]
+    fn try_cross(
+        &mut self,
+        op: u64,
+        sa: usize,
+        a_l: usize,
+        sb: usize,
+        b_l: usize,
+        dst_global: usize,
+        filter: Filter,
+        events: &mut Vec<WireEvent>,
+        flipped: &mut bool,
+        in_hand: &mut Option<Vec<Chunk>>,
+    ) -> Result<MoveStats, RtError> {
+        let start = std::time::Instant::now();
+
+        let sp = self.tel.begin("move.export");
+        let id = self.shards[sa]
+            .call(a_l, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
+        RtController::expect_done(self.shards[sa].await_reply(id, events)?)?;
+        let id = self.shards[sa].call(a_l, WireCall::GetPerflow { filter })?;
+        let chunks = match self.shards[sa].await_reply(id, events)? {
+            WireReply::Chunks { chunks } => chunks,
+            WireReply::Error { message } => return Err(RtError::Wire(message)),
+            other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
+        };
+        let bytes: usize = chunks.iter().map(|c| c.len()).sum();
+        let n_chunks = chunks.len();
+        let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
+        self.tel.end(sp);
+
+        // §5.1 ordering: delete at the source *before* the state becomes
+        // live at the destination — no window where both sides process.
+        let sp = self.tel.begin("move.transfer");
+        let id = self.shards[sa].call(a_l, WireCall::DelPerflow { flow_ids })?;
+        RtController::expect_done(self.shards[sa].await_reply(id, events)?)?;
+        *in_hand = Some(chunks.clone());
+        self.tel.end(sp);
+
+        let sp = self.tel.begin("move.import");
+        self.ew_send(sb, &EwMsg::PutChunks { op, worker: b_l, chunks });
+        self.drain_ew(sb)?;
+        *in_hand = None;
+        self.tel.end(sp);
+
+        let sp = self.tel.begin("move.flush");
+        let (mut replayed, mut lost) = self.ew_replay(op, sb, b_l, std::mem::take(events))?;
+        self.tel.end(sp);
+
+        let sp = self.tel.begin("move.fwd_update");
+        self.router.install(10, filter, dst_global);
+        *flipped = true;
+        // Stragglers: packets already queued toward the source when the
+        // route flipped still raise events there. Ship each batch east-west
+        // *as it surfaces* — waiting out the whole window first would queue
+        // the replays behind the live tail at the destination, processing
+        // old-ingress packets last.
+        let deadline = std::time::Instant::now() + STRAGGLER_WINDOW;
+        while std::time::Instant::now() < deadline {
+            let tail = self.shards[sa].drain_events(Duration::from_millis(20))?;
+            if tail.is_empty() {
+                continue;
+            }
+            let (r, l) = self.ew_replay(op, sb, b_l, tail)?;
+            replayed += r;
+            lost.extend(l);
+        }
+        self.tel.end(sp);
+
+        if !lost.is_empty() {
+            lost.sort_unstable();
+            lost.dedup();
+            self.last_abort_lost = lost;
+        }
+        Ok(MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() })
+    }
+
+    /// Serializes `msg` onto shard `k`'s east-west mailbox.
+    fn ew_send(&self, k: usize, msg: &EwMsg) {
+        let frame = serde_json::to_string(msg).expect("EwMsg serializes");
+        self.tel.counter("rt.ew.frames").fetch_add(1, Ordering::Relaxed);
+        self.tel.counter("rt.ew.bytes").fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let _ = self.ew_tx[k].send(frame);
+    }
+
+    /// Processes every east-west frame queued at shard `k`, acting as that
+    /// shard's controller: imports land as `putPerflow` at the named local
+    /// worker, replays go out marked do-not-buffer/do-not-drop, releases
+    /// are journaled to telemetry. Returns `(replayed, lost_uids)`.
+    fn drain_ew(&mut self, k: usize) -> Result<(usize, Vec<u64>), RtError> {
+        let mut replayed = 0usize;
+        let mut lost = Vec::new();
+        while let Ok(frame) = self.ew_rx[k].try_recv() {
+            let msg: EwMsg =
+                serde_json::from_str(&frame).map_err(|e| RtError::Wire(e.to_string()))?;
+            match msg {
+                EwMsg::PutChunks { worker, chunks, .. } => {
+                    let sh = &mut self.shards[k];
+                    let id = sh.call(worker, WireCall::PutPerflow { chunks })?;
+                    let mut evs = Vec::new();
+                    RtController::expect_done(sh.await_reply(id, &mut evs)?)?;
+                    let (r, l) = sh.replay_events_to(worker, evs);
+                    replayed += r;
+                    lost.extend(l);
+                }
+                EwMsg::Replay { worker, packets, .. } => {
+                    let evs: Vec<WireEvent> = packets
+                        .into_iter()
+                        .map(|packet| WireEvent::PacketReceived { packet })
+                        .collect();
+                    let (r, l) = self.shards[k].replay_events_to(worker, evs);
+                    replayed += r;
+                    lost.extend(l);
+                }
+                EwMsg::Release { op, committed } => {
+                    self.tel.event("ew.release", Some(format!("op={op} committed={committed}")));
+                }
+            }
+        }
+        Ok((replayed, lost))
+    }
+
+    /// Ships the packet events in `events` east-west to shard `k` as
+    /// [`EwMsg::Replay`] frames of at most [`EW_BATCH`] packets, then
+    /// drains the peer so they are applied. Returns `(replayed,
+    /// lost_uids)`.
+    fn ew_replay(
+        &mut self,
+        op: u64,
+        k: usize,
+        worker: usize,
+        events: Vec<WireEvent>,
+    ) -> Result<(usize, Vec<u64>), RtError> {
+        let mut batch: Vec<Packet> = Vec::new();
+        for ev in events {
+            if let WireEvent::PacketReceived { packet } = ev {
+                batch.push(packet);
+                if batch.len() >= EW_BATCH {
+                    self.ew_send(k, &EwMsg::Replay { op, worker, packets: std::mem::take(&mut batch) });
+                }
+            }
+        }
+        if !batch.is_empty() {
+            self.ew_send(k, &EwMsg::Replay { op, worker, packets: batch });
+        }
+        self.drain_ew(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_nfs::AssetMonitor;
+    use opennf_packet::{FlowKey, TcpFlags};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn pkt(uid: u64, flow: u16) -> Packet {
+        Packet::builder(
+            uid,
+            FlowKey::tcp("10.0.0.1".parse().unwrap(), 2000 + flow, "1.1.1.1".parse().unwrap(), 80),
+        )
+        .flags(if uid <= 40 { TcpFlags::SYN } else { TcpFlags::ACK })
+        .build()
+    }
+
+    fn two_shards() -> ShardedRt {
+        ShardedRt::new(vec![
+            vec![Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>],
+            vec![Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>],
+        ])
+    }
+
+    #[test]
+    fn cross_shard_move_under_live_traffic_is_loss_free() {
+        let mut ctrl = two_shards();
+        let router = ctrl.router.clone();
+        let txs = [ctrl.data_tx(0), ctrl.data_tx(1)];
+        let sent = Arc::new(AtomicU64::new(0));
+        let sent_gen = sent.clone();
+        let gen = std::thread::spawn(move || {
+            for uid in 1..=2_000u64 {
+                let p = pkt(uid, (uid % 40) as u16);
+                if let Some(w) = router.route(&p) {
+                    let _ = txs[w].send(&WireMsg::Packet { packet: p });
+                }
+                sent_gen.store(uid, Ordering::Release);
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        while sent.load(Ordering::Acquire) < 200 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = ctrl.move_flows_cross(0, 1, Filter::any(), false).expect("handoff succeeds");
+        assert_eq!(stats.chunks, 40, "all 40 flows handed over");
+        assert!(stats.bytes > 0);
+        assert!(
+            ctrl.telemetry().counter("rt.ew.frames").load(Ordering::Relaxed) > 0,
+            "state crossed the east-west link"
+        );
+
+        gen.join().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(ctrl.abort_lost().is_empty(), "no replay frames lost");
+        let harnesses = ctrl.shutdown();
+        let (h0, h1) = (&harnesses[0], &harnesses[1]);
+        let mut all: Vec<u64> =
+            h0.processed_log().iter().chain(h1.processed_log()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            h0.processed_log().len() + h1.processed_log().len(),
+            "no packet processed twice"
+        );
+        assert_eq!(all.len(), 2_000, "every packet processed exactly once");
+        let any: &dyn std::any::Any = h0.nf();
+        assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 0, "source deleted");
+        let any: &dyn std::any::Any = h1.nf();
+        assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 40);
+    }
+
+    #[test]
+    fn cross_shard_move_emits_canonical_span_sequence() {
+        let tel = Telemetry::wall();
+        let mut ctrl = ShardedRt::new_with_telemetry(
+            vec![
+                vec![Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>],
+                vec![Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>],
+            ],
+            tel.clone(),
+        );
+        for uid in 1..=20u64 {
+            ctrl.inject(pkt(uid, (uid % 4) as u16)).unwrap();
+        }
+        ctrl.quiesce(0).unwrap();
+        ctrl.move_flows_cross(0, 1, Filter::any(), true).expect("handoff succeeds");
+        assert_eq!(
+            tel.span_sequence("move."),
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"],
+            "the cross-shard handoff tiles the same five phases"
+        );
+        ctrl.shutdown();
+    }
+
+    #[test]
+    fn same_shard_move_delegates_and_mirrors_global_route() {
+        let mut ctrl = ShardedRt::new(vec![vec![
+            Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>,
+            Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>,
+        ]]);
+        for uid in 1..=20u64 {
+            ctrl.inject(pkt(uid, (uid % 4) as u16)).unwrap();
+        }
+        ctrl.quiesce(0).unwrap();
+        let stats = ctrl.move_flows_cross(0, 1, Filter::any(), true).expect("p2p move succeeds");
+        assert_eq!(stats.chunks, 4);
+        // The committed route is visible in the *global* table.
+        assert_eq!(ctrl.router.route(&pkt(99, 1)), Some(1));
+        let harnesses = ctrl.shutdown();
+        let any: &dyn std::any::Any = harnesses[1].nf();
+        assert_eq!(any.downcast_ref::<AssetMonitor>().unwrap().conn_count(), 4);
+    }
+}

@@ -82,6 +82,20 @@ fn dump_flight(report: &DiffReport) {
             Err(e) => println!("flight recorder: could not write {path}: {e}"),
         }
     }
+    // Sharded (multi-switch) specs capture one journal per shard,
+    // newline-joined; split them out so a cross-shard handoff failure
+    // shows each controller's phase ledger side by side.
+    let journals: Vec<&str> =
+        report.sim.journal_json.lines().filter(|l| !l.is_empty()).collect();
+    if journals.len() > 1 {
+        for (k, j) in journals.iter().enumerate() {
+            let path = format!("soak-journal-shard{k}.json");
+            match std::fs::write(&path, j) {
+                Ok(()) => println!("flight recorder: wrote {path}"),
+                Err(e) => println!("flight recorder: could not write {path}: {e}"),
+            }
+        }
+    }
 }
 
 fn main() {

@@ -198,11 +198,54 @@ fn strict_share_tears_down_on_retry_exhaustion_and_names_out_of_sync_instances()
     let reason = format!("{:?}", reports[0].outcome);
     assert!(reason.contains("out-of-sync"), "report names stragglers: {reason}");
     assert_eq!(reports[0].failed_inst, Some(s.instances[1]));
+    assert_eq!(reports[0].out_of_sync, vec![s.instances[1]], "structured straggler list");
 
     // Teardown disabled the reachable instance's redirect filter too.
     assert!(
         !s.nf(0).harness().has_event_filters(),
         "reachable instance still has the share's event filter armed"
+    );
+}
+
+/// Regression: the out-of-sync list must ride on the report *as data*
+/// even when the teardown caught zero queued packets. A share torn down
+/// before any traffic arrived used to surface the stragglers only inside
+/// the abort-reason string, so harnesses reading `OpReport` saw an empty
+/// account.
+#[test]
+fn strict_share_teardown_reports_out_of_sync_even_with_zero_queued_packets() {
+    let mut cfg = NetConfig::default();
+    cfg.op.phase_timeout = Dur::millis(20);
+    cfg.op.sb_retries = 1;
+    cfg.op.sb_retry_backoff = Dur::millis(5);
+    cfg.op.strict_share = true;
+    let plan = FaultPlan::new(7).sever(NodeId(0), NodeId(3), Time(0), Time(200_000_000));
+    // No traffic at all: the teardown fires with every group queue empty.
+    let mut s = two_monitor_scenario(cfg, 1, 1_000, Dur::ZERO, 11, Some(plan));
+    let insts = s.instances.clone();
+    s.issue_at(
+        Dur::millis(10),
+        Command::Share {
+            insts,
+            filter: Filter::any(),
+            scope: ScopeSet::multi_flow(),
+            consistency: ConsistencyLevel::Strong,
+        },
+    );
+    s.run_to_completion();
+
+    let reports = s.controller().reports_of("share");
+    assert_eq!(reports.len(), 1, "teardown produces exactly one report");
+    assert!(reports[0].outcome.is_aborted());
+    assert!(
+        reports[0].abort_lost.is_empty(),
+        "no packets were queued, so none can be lost: {:?}",
+        reports[0].abort_lost
+    );
+    assert_eq!(
+        reports[0].out_of_sync,
+        vec![s.instances[1]],
+        "the structured out-of-sync list survives a zero-packet teardown"
     );
 }
 
