@@ -10,9 +10,10 @@
 
 use opennf_controller::msg::MoveProps;
 use opennf_net::{Action, FlowTable, PortRef};
+use opennf_nf::NetworkFunction;
 use opennf_nfs::AssetMonitor;
-use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
-use opennf_rt::{wire, RtController, WireEvent, WireMsg};
+use opennf_packet::{Filter, FlowKey, Ipv4Prefix, Packet, TcpFlags};
+use opennf_rt::{wire, OpSpec, RtController, WireEvent, WireMsg};
 use opennf_telemetry::Telemetry;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
@@ -212,6 +213,78 @@ fn rt_bulk_move(quick: bool, p2p: bool, tel: &Telemetry) -> Row {
     }
 }
 
+/// One batch of `k` disjoint moves on an 8-worker runtime, measured
+/// end-to-end. Op `j` owns the `10.j.0.0/16` source subnet (500 preloaded
+/// flows) and moves worker `j` → worker `4+j`, so scopes and endpoints
+/// are pairwise disjoint. `engine` admits the whole batch into one
+/// dispatch-loop run ([`RtController::run_moves`]); otherwise the same
+/// ops run one at a time — the serial baseline the concurrent op engine
+/// is measured against.
+fn rt_parallel_moves_sample(k: usize, flows: u32, engine: bool) -> f64 {
+    let nfs: Vec<Box<dyn NetworkFunction>> =
+        (0..8).map(|_| Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>).collect();
+    let mut ctrl = RtController::new(nfs);
+    for j in 0..k {
+        let tx = ctrl.worker_tx(j);
+        for f in 0..flows {
+            let fk = FlowKey::tcp(
+                Ipv4Addr::new(10, j as u8, (f >> 8) as u8, f as u8),
+                1024 + (f % 20_000) as u16,
+                Ipv4Addr::new(93, 184, 216, 34),
+                80,
+            );
+            let p = Packet::builder(((j as u64) << 32) | (f as u64 + 1), fk)
+                .flags(TcpFlags::SYN)
+                .build();
+            tx.send(WireMsg::Packet { packet: p }.to_json()).expect("worker alive");
+        }
+    }
+    for j in 0..k {
+        ctrl.quiesce(j).expect("worker alive");
+    }
+    let spec = |j: usize| OpSpec {
+        src: j,
+        dst: 4 + j,
+        filter: Filter::from_src(Ipv4Prefix::new(Ipv4Addr::new(10, j as u8, 0, 0), 16)),
+    };
+    let t0 = Instant::now();
+    if engine {
+        for r in ctrl.run_moves((0..k).map(spec).collect()) {
+            assert_eq!(r.expect("move succeeds").chunks, flows as usize);
+        }
+    } else {
+        for j in 0..k {
+            let r = ctrl.run_moves(vec![spec(j)]).pop().expect("one result");
+            assert_eq!(r.expect("move succeeds").chunks, flows as usize);
+        }
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    ctrl.shutdown();
+    ms
+}
+
+/// Aggregate k-move throughput, serial vs engine — the concurrency
+/// dividend of the op engine. Flow count stays fixed (500/op) so the
+/// `rt_parallel_moves_k<k>_{serial,engine}` keys are comparable across
+/// quick and full runs; `--quick` only trims repetitions.
+fn rt_parallel_moves(k: usize, engine: bool, quick: bool) -> Row {
+    let flows = 500u32;
+    let runs = if quick { 2 } else { 3 };
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        samples.push(rt_parallel_moves_sample(k, flows, engine));
+    }
+    let (median, p95) = quantiles(&mut samples);
+    Row {
+        key: format!("rt_parallel_moves_k{k}_{}", if engine { "engine" } else { "serial" }),
+        unit: "ms/batch",
+        median,
+        p95,
+        throughput: k as f64 * 1e3 / median,
+        item: "move",
+    }
+}
+
 /// Simulated loss-free parallel move of 500 flows under live traffic
 /// (fig10's LF PL cell): virtual move latency end to end.
 fn sim_move_500() -> Row {
@@ -259,13 +332,17 @@ fn collect_phases(tel: &Telemetry) -> Vec<PhaseRow> {
 /// Runs every hot-path benchmark.
 pub fn run(quick: bool) -> PerfReport {
     let tel = Telemetry::wall();
-    let rows = vec![
+    let mut rows = vec![
         flowtable_lookup_1k(quick),
         sb_encode_256(quick),
         rt_bulk_move(quick, true, &tel),
         rt_bulk_move(quick, false, &tel),
         sim_move_500(),
     ];
+    for k in 1..=4usize {
+        rows.push(rt_parallel_moves(k, false, quick));
+        rows.push(rt_parallel_moves(k, true, quick));
+    }
     PerfReport { rows, phases: collect_phases(&tel), quick }
 }
 
@@ -277,9 +354,31 @@ pub fn run(quick: bool) -> PerfReport {
 /// through unkeyed.
 pub fn perfguard(baseline_path: &str) -> Result<(), String> {
     let tel = Telemetry::wall();
-    let rows = vec![rt_bulk_move(false, true, &tel), rt_bulk_move(false, false, &tel)];
+    let rows = vec![
+        rt_bulk_move(false, true, &tel),
+        rt_bulk_move(false, false, &tel),
+        rt_parallel_moves(4, false, false),
+        rt_parallel_moves(4, true, false),
+    ];
     let rep = PerfReport { rows, phases: collect_phases(&tel), quick: false };
     rep.print();
+    // The concurrency dividend is gated within-run (machine-independent):
+    // a k=4 engine batch must finish with at least twice the aggregate
+    // throughput of the same four moves issued serially.
+    let serial = rep.rows.iter().find(|r| r.key == "rt_parallel_moves_k4_serial").unwrap();
+    let engine = rep.rows.iter().find(|r| r.key == "rt_parallel_moves_k4_engine").unwrap();
+    if engine.throughput < 2.0 * serial.throughput {
+        return Err(format!(
+            "parallel-move dividend below 2x: engine {:.1} moves/s vs serial {:.1} moves/s",
+            engine.throughput, serial.throughput
+        ));
+    }
+    println!(
+        "parallel-move dividend: {:.1}x (engine {:.1} vs serial {:.1} moves/s)",
+        engine.throughput / serial.throughput,
+        engine.throughput,
+        serial.throughput
+    );
     compare(&rep, baseline_path, 10.0)
 }
 

@@ -116,8 +116,16 @@ pub struct Spec {
     pub plan: FaultPlan,
     /// Switch-chain length: 1 (the classic Figure 4 topology, single
     /// controller) unless [`M_MULTI_SW`] is set, then 2–4 switches under
-    /// two shard controllers.
+    /// a sharded control plane.
     pub switches: usize,
+    /// Shard-controller count: 1 on single-switch specs, 2–3 under
+    /// [`M_MULTI_SW`] (never more than the chain has switches, so every
+    /// shard owns at least one).
+    pub shards: usize,
+    /// Which shard the threaded runtime arms the fault plan on (the plan's
+    /// node ids name that shard's *local* workers). Always 0 on
+    /// single-switch specs; any shard under [`M_MULTI_SW`].
+    pub fault_shard: usize,
 }
 
 impl Spec {
@@ -198,7 +206,17 @@ impl Spec {
         if mask & M_MULTI_SW != 0 {
             switches = 2 + rng.below(3) as usize; // 2..=4
         }
-        Spec { seed, mask, flows, pps, duration, move_at, plan, switches }
+        // Trailing draws (same append-only discipline): shard counts
+        // beyond two on longer chains, and which shard the threaded
+        // runtime arms the fault plan on — non-zero shards included, so
+        // destination-side controllers also soak under faults.
+        let mut shards = 1usize;
+        let mut fault_shard = 0usize;
+        if mask & M_MULTI_SW != 0 {
+            shards = 2 + rng.below((switches as u64 - 1).min(2)) as usize; // 2..=3, ≤ switches
+            fault_shard = rng.below(shards as u64) as usize;
+        }
+        Spec { seed, mask, flows, pps, duration, move_at, plan, switches, shards, fault_shard }
     }
 
     /// True when no fault component is enabled: state digests and
@@ -236,16 +254,33 @@ pub struct SideReport {
     /// fault-free specs with a move both runtimes must emit the identical
     /// sequence (export → transfer → import → flush → fwd_update).
     pub move_spans: Vec<String>,
+    /// The same spans relaxed to *per-op* order: one group per parent
+    /// span, each group begin-ordered, groups by first appearance. With
+    /// the rt side's concurrent op engine the global interleaving of
+    /// phase spans is timing-dependent, but each op's phases must still
+    /// begin in protocol order under that op's root span — this is what
+    /// the differential compares.
+    pub move_span_groups: Vec<Vec<String>>,
     /// Flight-recorder dump (JSONL, metrics summary included) — what the
     /// soak writes next to the repro line when a spec fails.
     pub flight_jsonl: String,
     /// The same recorder as a Chrome trace-event JSON document (open in
     /// `chrome://tracing` or Perfetto).
     pub flight_chrome: String,
-    /// The controller's op journal as JSON (empty on the threaded runtime,
-    /// which keeps no journal). Written next to the flight-recorder dump
-    /// when a crash-recovery spec fails or is archived.
+    /// The controller's op journal as JSON — every shard's, newline-joined.
+    /// Both runtimes keep one (the rt op engine journals through the same
+    /// [`opennf_rt::JournalPhase`] ledger); only the sim's is rerun-
+    /// identical (the rt journal stamps wall-clock times). Written next to
+    /// the flight-recorder dump when a crash-recovery spec fails or is
+    /// archived.
     pub journal_json: String,
+}
+
+/// [`Telemetry::span_sequences_by_parent`] with the parent ids dropped:
+/// the cross-runtime comparable surface is each op's phase order, not the
+/// runtime-specific span numbering.
+fn span_groups(tel: &Telemetry) -> Vec<Vec<String>> {
+    tel.span_sequences_by_parent("move.").into_iter().map(|(_, names)| names).collect()
 }
 
 fn digest_chunks(mut chunks: Vec<Chunk>) -> String {
@@ -270,11 +305,11 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         .seed(spec.seed)
         .telemetry(tel.clone());
     b = if spec.switches > 1 {
-        // Multi-switch chain under two shard controllers: source on the
-        // ingress switch, destination on the last — the move crosses the
-        // shard boundary.
+        // Multi-switch chain under `spec.shards` shard controllers:
+        // source on the ingress switch, destination on the last — the
+        // move crosses the shard boundary.
         b.switches(spec.switches)
-            .shards(2)
+            .shards(spec.shards)
             .nf_at("src", Box::new(AssetMonitor::new()), 0)
             .nf_at("dst", Box::new(AssetMonitor::new()), spec.switches - 1)
     } else {
@@ -339,6 +374,7 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         digest,
         move_completed,
         move_spans: tel.span_sequence("move."),
+        move_span_groups: span_groups(&tel),
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
         // Every shard's journal (a single controller is one shard).
@@ -443,6 +479,7 @@ pub fn run_rt(spec: &Spec) -> SideReport {
     std::thread::sleep(Duration::from_millis(120));
     gen.join().expect("generator");
 
+    let journal_json = ctrl.journal_json();
     let harnesses = ctrl.shutdown();
     faults.join_pump();
 
@@ -489,34 +526,45 @@ pub fn run_rt(spec: &Spec) -> SideReport {
         digest: digest_chunks(chunks),
         move_completed,
         move_spans: tel.span_sequence("move."),
+        move_span_groups: span_groups(&tel),
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
-        journal_json: String::new(),
+        journal_json,
     }
 }
 
-/// [`run_rt`] for a multi-switch spec: a [`ShardedRt`] with one worker
-/// per shard (source in shard 0, destination in shard 1), so the move is
-/// a cross-shard handoff over the east-west link — the runtime mirror of
-/// the sim's two-controller topology.
+/// [`run_rt`] for a multi-switch spec: a [`ShardedRt`] with `spec.shards`
+/// controllers — source NF in shard 0, destination in the last shard,
+/// intermediate shards (chains longer than the shard count) own only
+/// trunk switches and so carry no workers — making the move a cross-shard
+/// handoff over the east-west link, the runtime mirror of the sim's
+/// sharded topology.
 ///
-/// Fault caveat: the plan is armed on shard 0 only (its node ids name
-/// shard-0 local workers), so destination-side faults like a stall on
-/// `DST_NODE` do not apply here. That is acceptable for the differential:
-/// under faults only each side's own oracle and rerun-determinism are
-/// compared; fault-free specs — where digests and span sequences must
-/// agree — are unaffected.
+/// Fault caveat: the plan is armed on `spec.fault_shard` only (its node
+/// ids name that shard's *local* workers), so on specs that draw a
+/// worker-less middle shard the plan is inert. That is acceptable for the
+/// differential: under faults only each side's own oracle and
+/// rerun-determinism are compared; fault-free specs — where digests and
+/// span sequences must agree — are unaffected.
 fn run_rt_sharded(spec: &Spec) -> SideReport {
     let trace = steady_flows(spec.flows, spec.pps, spec.duration, spec.seed);
     let uids: Vec<u64> = trace.iter().map(|(_, p)| p.uid).collect();
 
     let tel = Telemetry::wall();
-    let shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>> = vec![
-        vec![Box::new(AssetMonitor::new())],
-        vec![Box::new(AssetMonitor::new())],
-    ];
-    let (ctrl, faults) =
-        ShardedRt::new_with_faults_and_telemetry(shard_nfs, spec.plan.clone(), tel.clone());
+    // Source in shard 0, destination in the last shard, worker-less
+    // shards in between — the shard layout the sim derives when the
+    // chain is longer than the shard count.
+    let n_shards = spec.shards.max(2);
+    let mut shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>> =
+        (0..n_shards).map(|_| Vec::new()).collect();
+    shard_nfs[0].push(Box::new(AssetMonitor::new()));
+    shard_nfs[n_shards - 1].push(Box::new(AssetMonitor::new()));
+    let (ctrl, faults) = ShardedRt::new_with_faults_on(
+        shard_nfs,
+        spec.plan.clone(),
+        spec.fault_shard.min(n_shards - 1),
+        tel.clone(),
+    );
     let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
 
     let router = ctrl.router.clone();
@@ -553,6 +601,7 @@ fn run_rt_sharded(spec: &Spec) -> SideReport {
     std::thread::sleep(Duration::from_millis(120));
     gen.join().expect("generator");
 
+    let journal_json = ctrl.journal_json();
     let harnesses = ctrl.shutdown();
     faults.join_pump();
 
@@ -598,9 +647,10 @@ fn run_rt_sharded(spec: &Spec) -> SideReport {
         digest: digest_chunks(chunks),
         move_completed,
         move_spans: tel.span_sequence("move."),
+        move_span_groups: span_groups(&tel),
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
-        journal_json: String::new(),
+        journal_json,
     }
 }
 
@@ -638,10 +688,13 @@ pub fn differential(spec: &Spec) -> DiffReport {
         }
         // Both runtimes tile a fault-free move with the same ordered
         // phase spans — a protocol-shape check on top of the state check.
-        if spec.mask & M_NO_MOVE == 0 && sim.move_spans != rt.move_spans {
+        // Compared per op (grouped by parent span) rather than as one
+        // flat sequence: the rt op engine may interleave phases of
+        // concurrent ops globally, but each op's own order is invariant.
+        if spec.mask & M_NO_MOVE == 0 && sim.move_span_groups != rt.move_span_groups {
             problems.push(format!(
-                "move span sequence mismatch: sim={:?} rt={:?}",
-                sim.move_spans, rt.move_spans
+                "move span sequence mismatch (per op): sim={:?} rt={:?}",
+                sim.move_span_groups, rt.move_span_groups
             ));
         }
     }
@@ -755,6 +808,73 @@ mod tests {
         assert_eq!(a.switches, 1);
         let b = Spec::from_seed(3, M_DEFAULT);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn multi_sw_draws_shard_counts_and_fault_shards() {
+        // The trailing draws must produce shard counts beyond two and
+        // fault plans targeting non-zero shards somewhere in a seed
+        // window — and never an invalid combination.
+        let (mut saw_three, mut saw_nonzero_fault) = (false, false);
+        for seed in 0..64u64 {
+            let s = Spec::from_seed(seed, M_DEFAULT | M_MULTI_SW);
+            assert!((2..=3).contains(&s.shards), "shard range: {}", s.shards);
+            assert!(s.shards <= s.switches, "every shard owns a switch");
+            assert!(s.fault_shard < s.shards, "fault shard exists");
+            saw_three |= s.shards == 3;
+            saw_nonzero_fault |= s.fault_shard > 0;
+            // Single-switch specs never shard and always fault shard 0.
+            let t = Spec::from_seed(seed, M_DEFAULT);
+            assert_eq!((t.shards, t.fault_shard), (1, 0));
+        }
+        assert!(saw_three, "some spec draws a third shard");
+        assert!(saw_nonzero_fault, "some spec arms faults on a non-zero shard");
+    }
+
+    #[test]
+    fn fault_free_three_shard_differential_agrees() {
+        // Deterministically pick the first seed that draws three shards.
+        let seed = (0..256u64)
+            .find(|s| Spec::from_seed(*s, M_FULL_LOAD | M_MULTI_SW).shards == 3)
+            .expect("a three-shard seed exists");
+        let spec = Spec::from_seed(seed, M_FULL_LOAD | M_MULTI_SW);
+        assert!(spec.is_fault_free());
+        let report = differential(&spec);
+        assert!(report.ok, "three-shard differential failed: {}", report.detail);
+        assert!(report.sim.move_completed && report.rt.move_completed);
+        // Both sides journal the handoff through the owning shard.
+        assert!(report.sim.journal_json.contains("Committed"));
+        assert!(report.rt.journal_json.contains("Committed"));
+    }
+
+    #[test]
+    fn rt_fault_plan_arms_on_a_non_zero_shard() {
+        // First seed whose multi-switch spec faults a non-zero shard: the
+        // threaded runtime must still satisfy its own oracle with the
+        // plan armed away from the source's shard.
+        let seed = (0..256u64)
+            .find(|s| Spec::from_seed(*s, M_DEFAULT | M_MULTI_SW).fault_shard > 0)
+            .expect("a non-zero fault-shard seed exists");
+        let spec = Spec::from_seed(seed, M_DEFAULT | M_MULTI_SW);
+        let rt = run_rt(&spec);
+        assert!(rt.ok, "rt oracle with faults on shard {}: {}", spec.fault_shard, rt.detail);
+    }
+
+    #[test]
+    fn rt_journal_records_the_move_and_groups_spans_per_op() {
+        let spec = Spec::from_seed(11, M_FULL_LOAD);
+        assert!(spec.is_fault_free());
+        let rt = run_rt(&spec);
+        assert!(rt.ok, "rt oracle: {}", rt.detail);
+        // The op engine journals the move through the same ledger the
+        // sim controller keeps…
+        for phase in ["Armed", "Transferred", "Committed"] {
+            assert!(rt.journal_json.contains(phase), "journal records {phase}");
+        }
+        // …and its five phase spans sit under one per-op root span.
+        let canonical =
+            ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+        assert_eq!(rt.move_span_groups, vec![canonical.map(String::from).to_vec()]);
     }
 
     #[test]

@@ -75,8 +75,8 @@ impl serde::Serialize for Chunk {
         serde::Value::Object(vec![
             ("flow_id".into(), self.flow_id.to_value()),
             ("scope".into(), self.scope.to_value()),
-            ("kind".into(), serde::Value::Str(self.kind.clone())),
-            ("data".into(), serde::Value::Str(data)),
+            ("kind".into(), serde::Value::Str(self.kind.clone().into())),
+            ("data".into(), serde::Value::Str(data.into())),
         ])
     }
 }

@@ -8,12 +8,13 @@
 //! [`WireEvent::NfFailed`] report) or [`RtError::WorkerGone`], and the
 //! caller — like the simulator's failover app — decides how to recover.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use opennf_controller::{JournalPhase, JournalRecord, OpId, OpJournal, OpReport};
 use opennf_nf::{EventedNf, NetworkFunction};
 use opennf_packet::{Filter, FlowId};
 use opennf_telemetry::Telemetry;
@@ -47,9 +48,46 @@ pub struct MoveStats {
     pub duration: std::time::Duration,
 }
 
+/// What recovery needs to finish or roll back an op, beyond the journal's
+/// report snapshots: the op's scope, its transfer progress, and the
+/// buffered-packet events the controller has collected but not yet
+/// replayed. Like the journal, this lives on the controller struct — the
+/// crash model is a recovered process (the sim's model too), so struct
+/// fields are the durable store while in-flight messages and timers die.
+/// Spooling events here as they arrive is what keeps a crash from
+/// silently losing a packet that was dropped at the source on the
+/// controller's own instruction.
+#[derive(Debug, Clone)]
+pub(crate) struct OpResidue {
+    pub(crate) src: usize,
+    pub(crate) dst: usize,
+    pub(crate) filter: Filter,
+    /// Flows shipped toward (or confirmed at) the destination so far.
+    pub(crate) put_flows: Vec<FlowId>,
+    /// Buffered-packet events collected but not yet replayed.
+    pub(crate) events: Vec<WireEvent>,
+    /// P2P ops: the latest transfer round's correlation id — rollback
+    /// aborts the transfer at the destination (tombstoning in-flight
+    /// chunk batches) instead of plain-deleting.
+    pub(crate) p2p_through: Option<u64>,
+}
+
+impl OpResidue {
+    pub(crate) fn new(src: usize, dst: usize, filter: Filter) -> Self {
+        OpResidue {
+            src,
+            dst,
+            filter,
+            put_flows: Vec::new(),
+            events: Vec::new(),
+            p2p_through: None,
+        }
+    }
+}
+
 /// The controller: owns the workers and the router.
 pub struct RtController {
-    workers: Vec<WorkerHandle>,
+    pub(crate) workers: Vec<WorkerHandle>,
     /// The shared rule table generators route through.
     pub router: Arc<Router>,
     from_workers: Receiver<String>,
@@ -59,7 +97,7 @@ pub struct RtController {
     ctrl_links: Vec<FaultyChannel>,
     /// Router → worker links (what fault-aware generators send through).
     data_links: Vec<FaultyChannel>,
-    reply_timeout: Duration,
+    pub(crate) reply_timeout: Duration,
     /// Fencing epoch stamped on [`WireMsg::Fenced`] sends. The threaded
     /// controller lives for the whole run (no restart), so it stays 0; the
     /// simulator's controller bumps its epoch per recovery.
@@ -68,20 +106,33 @@ pub struct RtController {
     fence_seq: u64,
     /// Packet uids the last aborted move could not replay (its explicit
     /// loss accounting, mirroring the simulator's `abort_lost`).
-    last_abort_lost: Vec<u64>,
+    pub(crate) last_abort_lost: Vec<u64>,
     /// Messages decoded from a coalesced frame but not yet consumed: a
     /// frame's messages drain in order before the channel is polled again.
     inbox: VecDeque<WireMsg>,
     /// The run's telemetry (wall clock). Workers share it; its counters
     /// below are resolved once so the hot paths never touch the registry.
-    tel: Telemetry,
+    pub(crate) tel: Telemetry,
     c_frames_decoded: Arc<AtomicU64>,
     c_frames_encoded: Arc<AtomicU64>,
-    c_events_pumped: Arc<AtomicU64>,
+    pub(crate) c_events_pumped: Arc<AtomicU64>,
+    /// Write-ahead op journal: the same [`JournalPhase`] ledger the sim
+    /// controller keeps, appended at every op phase boundary so a
+    /// multi-op rt controller recovers exactly like the sim one.
+    journal: OpJournal,
+    /// Mint for op ids.
+    next_op: u64,
+    /// Per-op recovery residue, keyed by raw op id.
+    pub(crate) residue: HashMap<u64, OpResidue>,
+    /// Test hook: "crash" the controller immediately after the next
+    /// journal append of this phase (fires once).
+    crash_after: Option<JournalPhase>,
+    /// Set when the crash hook fired; cleared by [`RtController::recover`].
+    crashed: bool,
 }
 
 /// What one controller-side receive produced.
-enum Recv {
+pub(crate) enum Recv {
     /// The next message (possibly popped out of a coalesced frame).
     Msg(WireMsg),
     /// An undecodable channel payload (the wire-error text).
@@ -201,6 +252,11 @@ impl RtController {
             c_frames_decoded,
             c_frames_encoded,
             c_events_pumped,
+            journal: OpJournal::new(),
+            next_op: 1,
+            residue: HashMap::new(),
+            crash_after: None,
+            crashed: false,
         }
     }
 
@@ -211,7 +267,7 @@ impl RtController {
 
     /// Pops the next controller-bound wire message, decoding coalesced
     /// frames as they arrive.
-    fn recv_msg(&mut self, timeout: Duration) -> Recv {
+    pub(crate) fn recv_msg(&mut self, timeout: Duration) -> Recv {
         loop {
             if let Some(m) = self.inbox.pop_front() {
                 return Recv::Msg(m);
@@ -287,7 +343,26 @@ impl RtController {
     pub(crate) fn call(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.send_to_worker(worker, &WireMsg::Request { id, call })?;
+        self.send_to_worker(worker, &WireMsg::Request { id, call, span: None })?;
+        Ok(id)
+    }
+
+    /// Like [`RtController::call`], but stamps the request with the raw id
+    /// of the controller span issuing it, so the worker's frame-decode
+    /// span links back across the thread boundary. Shimmed links are never
+    /// stamped: span ids are allocated racily across threads, and a fault
+    /// verdict keyed on rerun-varying bytes would break ledger
+    /// determinism.
+    pub(crate) fn call_linked(
+        &mut self,
+        worker: usize,
+        call: WireCall,
+        span_raw: u64,
+    ) -> Result<u64, RtError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let span = (span_raw != 0 && !self.ctrl_links[worker].is_shimmed()).then_some(span_raw);
+        self.send_to_worker(worker, &WireMsg::Request { id, call, span })?;
         Ok(id)
     }
 
@@ -295,15 +370,33 @@ impl RtController {
     /// the worker applies the call at most once even if the channel (or a
     /// hostile fault plan) duplicates it. Used on reissue paths — calls
     /// that may race an earlier in-flight copy of themselves.
-    fn call_fenced(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
+    pub(crate) fn call_fenced(&mut self, worker: usize, call: WireCall) -> Result<u64, RtError> {
         let id = self.next_id;
         self.next_id += 1;
         let seq = self.fence_seq;
         self.fence_seq += 1;
         self.send_to_worker(
             worker,
-            &WireMsg::Fenced { epoch: self.fence_epoch, seq, id, call },
+            &WireMsg::Fenced { epoch: self.fence_epoch, seq, id, call, span: None },
         )?;
+        Ok(id)
+    }
+
+    /// Sends a fenced call over worker `worker`'s *management channel*
+    /// (the raw, unshimmed channel — standing in for the reliable control
+    /// connection), returning the correlation id to await. Settle paths
+    /// and recovery use this: teardown must not be droppable.
+    pub(crate) fn send_fenced_mgmt(
+        &mut self,
+        worker: usize,
+        call: WireCall,
+    ) -> Result<u64, RtError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.fence_seq;
+        self.fence_seq += 1;
+        self.workers[worker]
+            .send(&WireMsg::Fenced { epoch: self.fence_epoch, seq, id, call, span: None })?;
         Ok(id)
     }
 
@@ -402,47 +495,234 @@ impl RtController {
         Ok(shipped)
     }
 
+    /// Replays one buffered event packet to `dst` over the (possibly
+    /// shimmed) controller link.
+    pub(crate) fn replay_one(&self, dst: usize, ev: WireEvent) -> Result<usize, RtError> {
+        Self::replay(&self.ctrl_links, dst, ev)
+    }
+
+    /// Replays a run of buffered events to `dst` over the controller
+    /// links, coalesced where determinism allows (see
+    /// [`RtController::replay_batch`]).
+    pub(crate) fn replay_now(
+        &mut self,
+        dst: usize,
+        events: impl Iterator<Item = WireEvent>,
+    ) -> Result<usize, RtError> {
+        Self::replay_batch(&self.ctrl_links, dst, events, &self.c_frames_encoded)
+    }
+
+    // ---- op journal & recovery ----
+
+    /// Mints the next op id.
+    pub(crate) fn mint_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    /// Appends one phase boundary for `op` to the rt op journal, then runs
+    /// the crash hook: returns `true` when the controller "crashed" right
+    /// after this append. The caller must stop driving the op — its
+    /// in-flight messages and timers die, while the journal and residue
+    /// (struct fields, the durable store under the recovered-process crash
+    /// model) survive for [`RtController::recover`].
+    pub(crate) fn jlog(&mut self, op: OpId, phase: JournalPhase, report: &OpReport) -> bool {
+        self.journal.append(JournalRecord {
+            op,
+            phase,
+            t_ns: self.tel.now_ns(),
+            report: report.clone(),
+        });
+        if self.crash_after == Some(phase) && !self.crashed {
+            self.crash_after = None;
+            self.crashed = true;
+            self.tel.event("ctrl.crash", Some(format!("after={phase:?}")));
+        }
+        self.crashed
+    }
+
+    /// The rt op journal (the same ledger shape the sim controller keeps).
+    pub fn journal(&self) -> &OpJournal {
+        &self.journal
+    }
+
+    /// The journal serialized the way soak dumps expect.
+    pub fn journal_json(&self) -> String {
+        self.journal.to_json()
+    }
+
+    /// Test hook: "crash" the controller immediately after the next
+    /// journal append of `phase` (fires once). Every op in flight at that
+    /// instant fails with [`RtError::CtrlCrashed`] and stays journaled
+    /// non-terminal until [`RtController::recover`] runs.
+    pub fn crash_after(&mut self, phase: JournalPhase) {
+        self.crash_after = Some(phase);
+    }
+
+    /// Whether the crash hook has fired and recovery has not yet run.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Recovery pass, mirroring the sim controller's restart path: bumps
+    /// the fencing epoch, then drives every journal-in-flight op to a
+    /// terminal phase in ascending op-id order. Ops at or past
+    /// [`JournalPhase::Transferred`] (every flow confirmed at the
+    /// destination) fail *forward*: the source copy is deleted under the
+    /// fence, buffered events replay to the destination, and the route
+    /// flips, ending in `Committed`. Earlier ops roll back: partial
+    /// imports are purged at the destination (P2P rounds are tombstoned),
+    /// buffered events replay to the source, and any replay failure is
+    /// accounted in `abort_lost`, ending in `Aborted`. Queued messages in
+    /// the worker → controller channel are *not* discarded — the channel
+    /// models a network that lost nothing in the crash; stale responses
+    /// are ignored by correlation id and straggler events are re-homed.
+    /// Returns each recovered op with its terminal phase.
+    pub fn recover(&mut self) -> Vec<(OpId, JournalPhase)> {
+        self.crashed = false;
+        self.crash_after = None;
+        self.last_abort_lost.clear();
+        self.fence_epoch += 1;
+        self.journal.epoch = self.fence_epoch;
+        let sp = self.tel.begin("recovery.rt");
+        let mut outcomes = Vec::new();
+        // Stragglers harvested while settling one op can belong to another
+        // in-flight op's source; bucket by worker and hand them over.
+        let mut stray: HashMap<usize, Vec<WireEvent>> = HashMap::new();
+        for (op, phase) in self.journal.in_flight() {
+            let Some(mut res) = self.residue.remove(&op.0) else { continue };
+            let mut report = self
+                .journal
+                .records
+                .iter()
+                .rev()
+                .find(|r| r.op == op)
+                .map(|r| r.report.clone())
+                .unwrap_or_else(|| OpReport::new(op, "move".into(), self.tel.now_ns()));
+            if let Some(evs) = stray.remove(&res.src) {
+                res.events.extend(evs);
+            }
+            let forward = phase >= JournalPhase::Transferred;
+            let mut sink: Vec<(usize, WireEvent)> = Vec::new();
+            if forward {
+                // The source may still hold its copy (crash before the
+                // delete acked): a fenced re-delete is harmless when the
+                // original already ran.
+                if !res.put_flows.is_empty() {
+                    if let Ok(id) = self.call_fenced(
+                        res.src,
+                        WireCall::DelPerflow { flow_ids: res.put_flows.clone() },
+                    ) {
+                        self.await_done_tagged(id, &mut sink);
+                    }
+                }
+            } else if let Some(through_id) = res.p2p_through {
+                // P2P rollback: purge partial imports and tombstone the
+                // round so chunk batches still in flight cannot resurrect
+                // the deleted state.
+                if let Ok(id) = self.call_fenced(
+                    res.dst,
+                    WireCall::AbortTransfer { flow_ids: res.put_flows.clone(), through_id },
+                ) {
+                    self.await_done_tagged(id, &mut sink);
+                }
+            } else if !res.put_flows.is_empty() {
+                if let Ok(id) = self.call_fenced(
+                    res.dst,
+                    WireCall::DelPerflow { flow_ids: res.put_flows.clone() },
+                ) {
+                    self.await_done_tagged(id, &mut sink);
+                }
+            }
+            sink.extend(self.settle_collect_tagged(res.src, res.filter));
+            for (w, ev) in sink {
+                if w == res.src {
+                    res.events.push(ev);
+                } else {
+                    stray.entry(w).or_default().push(ev);
+                }
+            }
+            let replay_to = if forward { res.dst } else { res.src };
+            let (replayed, lost) =
+                self.replay_events_to(replay_to, std::mem::take(&mut res.events));
+            report.events_released += replayed;
+            self.last_abort_lost.extend(lost.iter().copied());
+            let terminal = if forward {
+                self.router.install(10, res.filter, res.dst);
+                report.end_ns = self.tel.now_ns();
+                JournalPhase::Committed
+            } else {
+                report.abort(format!("controller crash at {phase:?}: rolled back"), None);
+                report.abort_lost.extend(lost);
+                report.end_ns = self.tel.now_ns();
+                JournalPhase::Aborted
+            };
+            self.jlog(op, terminal, &report);
+            outcomes.push((op, terminal));
+        }
+        // Stragglers whose source had no in-flight op: route each packet
+        // wherever the table now points.
+        for evs in stray.into_values() {
+            for ev in evs {
+                if let WireEvent::PacketReceived { ref packet } = ev {
+                    if let Some(w) = self.router.route(packet) {
+                        let _ = self.replay_one(w, ev);
+                    }
+                }
+            }
+        }
+        self.tel.end(sp);
+        outcomes
+    }
+
+    /// Waits for the reply to `id`, collecting events with their raising
+    /// worker. Best-effort: timeouts, dead workers, and NF failures end
+    /// the wait — recovery carries on with what it has.
+    fn await_done_tagged(&mut self, id: u64, sink: &mut Vec<(usize, WireEvent)>) {
+        let deadline = Instant::now() + self.reply_timeout;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            match self.recv_msg(left) {
+                Recv::Msg(WireMsg::Response { id: rid, .. }) if rid == id => return,
+                Recv::Msg(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => return,
+                Recv::Msg(WireMsg::Event { worker, ev }) => {
+                    self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                    sink.push((worker, ev));
+                }
+                Recv::Msg(_) | Recv::Bad(_) => {}
+                Recv::Timeout | Recv::Disconnected => return,
+            }
+        }
+    }
+
     /// Executes a loss-free move of per-flow state matching `filter` from
     /// worker `src` to worker `dst` (§5.1.1), while traffic keeps flowing:
     ///
     /// 1. `enableEvents(filter, drop)` at src;
-    /// 2. `getPerflow` / `delPerflow` at src, `putPerflow` at dst;
+    /// 2. streamed `getPerflow` at src pipelined into `putPerflow` batches
+    ///    at dst, then `delPerflow` at src;
     /// 3. replay buffered event packets to dst (marked do-not-buffer);
     /// 4. flip the router to dst.
     ///
-    /// On failure the error names the faulty worker; the router still
-    /// points wherever it pointed before the failing step, so the caller
-    /// can re-route (failover) or retry.
+    /// This is the one-op form of [`RtController::run_moves`]: the same
+    /// pipelined state machine drives it, so a single move and a k-move
+    /// batch take exactly the same journaled path. On failure the error
+    /// names the faulty worker; the router still points wherever it
+    /// pointed before the failing step, so the caller can re-route
+    /// (failover) or retry.
     pub fn move_flows_lossfree(
         &mut self,
         src: usize,
         dst: usize,
         filter: Filter,
     ) -> Result<MoveStats, RtError> {
-        self.last_abort_lost.clear();
-        let mut events: Vec<WireEvent> = Vec::new();
-        let mut flipped = false;
-        match self.try_move(src, dst, filter, &mut events, &mut flipped) {
-            Ok(mut stats) => {
-                // Converge: tear the event filter down over the management
-                // channel and replay whatever the teardown flushes out, so
-                // no straggler is ever silently dropped at the source.
-                let (extra, lost) = self.settle(src, dst, filter, events);
-                stats.events_replayed += extra;
-                self.last_abort_lost = lost;
-                Ok(stats)
-            }
-            Err(e) => {
-                // Abort: restore a quiescent source (no stale filter) and
-                // replay buffered events back to wherever the route points;
-                // anything unreplayable is recorded in `abort_lost`.
-                self.tel.event("move.abort", Some(e.to_string()));
-                let replay_to = if flipped { dst } else { src };
-                let (_, lost) = self.settle(src, replay_to, filter, events);
-                self.last_abort_lost = lost;
-                Err(e)
-            }
-        }
+        self.run_moves(vec![crate::engine::OpSpec { src, dst, filter }])
+            .pop()
+            .expect("one spec in, one result out")
     }
 
     /// Uids the last move explicitly gave up on (abort accounting).
@@ -473,15 +753,41 @@ impl RtController {
         filter: Filter,
     ) -> Result<MoveStats, RtError> {
         self.last_abort_lost.clear();
+        let op = self.mint_op();
+        let mut report = OpReport::new(op, "move[LF p2p]".into(), self.tel.now_ns());
+        self.residue.insert(op.0, OpResidue::new(src, dst, filter));
         let mut events: Vec<WireEvent> = Vec::new();
         let mut flipped = false;
         let mut abort: Option<(u64, Vec<FlowId>)> = None;
-        match self.try_move_p2p(src, dst, filter, &mut events, &mut flipped, &mut abort) {
+        match self.try_move_p2p(
+            op,
+            &mut report,
+            src,
+            dst,
+            filter,
+            &mut events,
+            &mut flipped,
+            &mut abort,
+        ) {
             Ok(mut stats) => {
                 let (extra, lost) = self.settle(src, dst, filter, events);
                 stats.events_replayed += extra;
                 self.last_abort_lost = lost;
+                report.events_released = stats.events_replayed;
+                report.end_ns = self.tel.now_ns();
+                self.jlog(op, JournalPhase::Committed, &report);
+                self.residue.remove(&op.0);
                 Ok(stats)
+            }
+            Err(RtError::CtrlCrashed) => {
+                // The "process" died mid-op: no settle, no abort teardown —
+                // only the struct fields survive. Spool the events collected
+                // so far into the residue so recovery can still replay every
+                // packet the source dropped on our instruction.
+                if let Some(res) = self.residue.get_mut(&op.0) {
+                    res.events.append(&mut events);
+                }
+                Err(RtError::CtrlCrashed)
             }
             Err(e) => {
                 self.tel.event("move.abort", Some(e.to_string()));
@@ -499,6 +805,11 @@ impl RtController {
                 }
                 let replay_to = if flipped { dst } else { src };
                 let (_, lost) = self.settle(src, replay_to, filter, events);
+                report.abort(e.to_string(), None);
+                report.abort_lost = lost.clone();
+                report.end_ns = self.tel.now_ns();
+                self.jlog(op, JournalPhase::Aborted, &report);
+                self.residue.remove(&op.0);
                 self.last_abort_lost = lost;
                 Err(e)
             }
@@ -509,12 +820,17 @@ impl RtController {
     /// `TransferExported` and the destination's `TransferDone`, both
     /// correlated to `id`. A timeout leaves the corresponding side `None`:
     /// that is a round outcome the caller reconciles, not an operation
-    /// error.
+    /// error. Mid-round [`WireReply::TransferProgress`] receipts (one per
+    /// non-final chunk batch the destination imported) accumulate into
+    /// `confirmed` as they land — so even a round whose final summary is
+    /// lost leaves behind batch-granular knowledge of what arrived, and
+    /// the retry re-requests only the genuinely unconfirmed flows.
     #[allow(clippy::type_complexity)]
     fn await_transfer(
         &mut self,
         id: u64,
         events: &mut Vec<WireEvent>,
+        confirmed: &mut HashSet<FlowId>,
     ) -> Result<(Option<(Vec<FlowId>, u64)>, Option<Vec<FlowId>>), RtError> {
         let mut exported: Option<(Vec<FlowId>, u64)> = None;
         let mut done: Option<Vec<FlowId>> = None;
@@ -532,7 +848,13 @@ impl RtController {
                     WireReply::TransferExported { flow_ids, bytes } => {
                         exported = Some((flow_ids, bytes));
                     }
-                    WireReply::TransferDone { imported } => done = Some(imported),
+                    WireReply::TransferDone { imported } => {
+                        confirmed.extend(imported.iter().copied());
+                        done = Some(imported);
+                    }
+                    WireReply::TransferProgress { flow_ids, .. } => {
+                        confirmed.extend(flow_ids);
+                    }
                     WireReply::Error { message } => return Err(RtError::Wire(message)),
                     _ => {}
                 },
@@ -552,6 +874,8 @@ impl RtController {
     #[allow(clippy::too_many_arguments)]
     fn try_move_p2p(
         &mut self,
+        op: OpId,
+        report: &mut OpReport,
         src: usize,
         dst: usize,
         filter: Filter,
@@ -569,20 +893,35 @@ impl RtController {
         let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
         Self::expect_done(self.await_reply(id, events)?)?;
         self.tel.end(sp);
+        if self.jlog(op, JournalPhase::Armed, report) {
+            return Err(RtError::CtrlCrashed);
+        }
 
         let sp_transfer = self.tel.begin("move.transfer");
         let mut all_exported: Vec<FlowId> = Vec::new();
         let mut exported_set: HashSet<FlowId> = HashSet::new();
-        let mut imported: Vec<FlowId> = Vec::new();
+        // Flows confirmed at the destination: cumulative `TransferDone`
+        // summaries plus batch-granular `TransferProgress` receipts. The
+        // receipts are what make a half-confirmed round cheap — when the
+        // final summary itself is lost, the retry re-requests only the
+        // flows no batch ever confirmed.
+        let mut confirmed: HashSet<FlowId> = HashSet::new();
         let mut bytes = 0usize;
         // Empty = the whole filter; retries narrow to the unconfirmed gap.
         let mut only: Vec<FlowId> = Vec::new();
         let mut complete = false;
-        for _ in 0..ATTEMPTS {
+        for round in 0..ATTEMPTS {
+            if round > 0 {
+                self.tel.counter("rt.p2p.retry_rounds").fetch_add(1, Ordering::Relaxed);
+                self.tel
+                    .counter("rt.p2p.refetch_flows")
+                    .fetch_add(only.len() as u64, Ordering::Relaxed);
+                report.retries += 1;
+            }
             let id =
                 self.call(src, WireCall::TransferPerflow { filter, peer: dst, only: only.clone() })?;
-            *abort = Some((id, imported.clone()));
-            let (round_exported, round_done) = self.await_transfer(id, events)?;
+            *abort = Some((id, confirmed.iter().copied().collect()));
+            let (round_exported, round_done) = self.await_transfer(id, events, &mut confirmed)?;
             let both_acked = round_exported.is_some() && round_done.is_some();
             if let Some((flow_ids, round_bytes)) = round_exported {
                 bytes += round_bytes as usize;
@@ -592,15 +931,21 @@ impl RtController {
                     }
                 }
             }
-            if let Some(cumulative) = round_done {
-                imported = cumulative; // dst reports cumulatively across rounds
+            // Exported-order projection of the confirmed set: what the
+            // destination is known to hold (recovery's rollback/fail-forward
+            // scope, and the abort path's delete list).
+            let put_flows: Vec<FlowId> =
+                all_exported.iter().filter(|f| confirmed.contains(f)).copied().collect();
+            if let Some(res) = self.residue.get_mut(&op.0) {
+                res.put_flows = put_flows.clone();
+                res.p2p_through = Some(id);
             }
-            *abort = Some((id, imported.clone()));
-            let have: HashSet<FlowId> = imported.iter().copied().collect();
-            only = all_exported.iter().filter(|f| !have.contains(f)).copied().collect();
+            *abort = Some((id, put_flows));
+            only = all_exported.iter().filter(|f| !confirmed.contains(f)).copied().collect();
             // Complete only when this round's *both* summaries landed and
             // every exported flow is confirmed — a missing summary retries
-            // even with an empty gap, because the gap is then unknown.
+            // even with an empty gap, because the export list is then
+            // possibly incomplete.
             if both_acked && only.is_empty() {
                 complete = true;
                 break;
@@ -611,26 +956,42 @@ impl RtController {
             );
         }
         if !complete {
+            report.p2p_inflight = only.clone();
             return Err(RtError::Wire(format!(
                 "P2P transfer incomplete after {ATTEMPTS} attempts ({} flows unconfirmed)",
                 only.len()
             )));
         }
         self.tel.end(sp_transfer);
+        report.chunks = all_exported.len();
+        report.bytes = bytes as u64;
+        // `||` short-circuits: a crash right after ExportDone leaves
+        // Transferred unjournaled, exactly the boundary being modeled.
+        if self.jlog(op, JournalPhase::ExportDone, report)
+            || self.jlog(op, JournalPhase::Transferred, report)
+        {
+            return Err(RtError::CtrlCrashed);
+        }
         // Copy-then-delete: the source lets go only now that every flow is
         // confirmed at the destination.
         let sp = self.tel.begin("move.import");
-        if !imported.is_empty() {
-            let id = self.call(src, WireCall::DelPerflow { flow_ids: imported.clone() })?;
+        if !all_exported.is_empty() {
+            let id = self.call(src, WireCall::DelPerflow { flow_ids: all_exported.clone() })?;
             Self::expect_done(self.await_reply(id, events)?)?;
         }
         self.tel.end(sp);
         *abort = None;
+        if self.jlog(op, JournalPhase::Imported, report) {
+            return Err(RtError::CtrlCrashed);
+        }
 
         let sp = self.tel.begin("move.flush");
         let mut replayed =
             Self::replay_batch(&self.ctrl_links, dst, events.drain(..), &self.c_frames_encoded)?;
         self.tel.end(sp);
+        if self.jlog(op, JournalPhase::Flushed, report) {
+            return Err(RtError::CtrlCrashed);
+        }
         let sp = self.tel.begin("move.fwd_update");
         self.router.install(10, filter, dst);
         *flipped = true;
@@ -656,77 +1017,6 @@ impl RtController {
             events_replayed: replayed,
             duration: start.elapsed(),
         })
-    }
-
-    fn try_move(
-        &mut self,
-        src: usize,
-        dst: usize,
-        filter: Filter,
-        events: &mut Vec<WireEvent>,
-        flipped: &mut bool,
-    ) -> Result<MoveStats, RtError> {
-        let start = Instant::now();
-
-        // Per-phase spans tile the move with the same names (and begin
-        // order) the simulator's MoveOp emits: export → transfer → import
-        // → flush → fwd_update. An error mid-phase leaves that span open —
-        // the flight recorder then shows exactly where the move died.
-        let sp = self.tel.begin("move.export");
-        let id = self.call(src, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
-        Self::expect_done(self.await_reply(id, events)?)?;
-
-        let id = self.call(src, WireCall::GetPerflow { filter })?;
-        let chunks = match self.await_reply(id, events)? {
-            WireReply::Chunks { chunks } => chunks,
-            WireReply::Error { message } => return Err(RtError::Wire(message)),
-            other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
-        };
-        let bytes: usize = chunks.iter().map(|c| c.len()).sum();
-        let n_chunks = chunks.len();
-        let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
-        self.tel.end(sp);
-
-        let sp = self.tel.begin("move.transfer");
-        let id = self.call(src, WireCall::DelPerflow { flow_ids })?;
-        Self::expect_done(self.await_reply(id, events)?)?;
-        self.tel.end(sp);
-
-        let sp = self.tel.begin("move.import");
-        let id = self.call(dst, WireCall::PutPerflow { chunks })?;
-        Self::expect_done(self.await_reply(id, events)?)?;
-        self.tel.end(sp);
-
-        // Replay everything buffered so far, then flip the route. Events
-        // still in flight after the flip drain in the background loop
-        // below (the real controller keeps its event thread running; here
-        // we poll the channel briefly after flipping).
-        let sp = self.tel.begin("move.flush");
-        let mut replayed =
-            Self::replay_batch(&self.ctrl_links, dst, events.drain(..), &self.c_frames_encoded)?;
-        self.tel.end(sp);
-        let sp = self.tel.begin("move.fwd_update");
-        self.router.install(10, filter, dst);
-        *flipped = true;
-        // Drain stragglers: packets that were already queued toward src
-        // when the route flipped still raise events.
-        let deadline = Instant::now() + Duration::from_millis(200);
-        while Instant::now() < deadline {
-            match self.recv_msg(Duration::from_millis(20)) {
-                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
-                    return Err(RtError::NfFailed { worker, reason });
-                }
-                Recv::Msg(WireMsg::Event { ev, .. }) => {
-                    replayed += Self::replay(&self.ctrl_links, dst, ev)?;
-                }
-                Recv::Msg(_) | Recv::Bad(_) => {}
-                Recv::Timeout => break,
-                Recv::Disconnected => return Err(RtError::ChannelClosed),
-            }
-        }
-        self.tel.end(sp);
-
-        Ok(MoveStats { chunks: n_chunks, bytes, events_replayed: replayed, duration: start.elapsed() })
     }
 
     /// Tears the move's event filter down at `src` over the *management
@@ -755,21 +1045,23 @@ impl RtController {
     /// this to harvest the stragglers locally and ship them east-west to
     /// the shard that owns the destination.
     pub(crate) fn settle_collect(&mut self, src: usize, filter: Filter) -> Vec<WireEvent> {
+        self.settle_collect_tagged(src, filter).into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// [`RtController::settle_collect`] keeping each event's raising
+    /// worker. Multi-op paths need the tag: recovery tears several ops
+    /// down in sequence, and a straggler harvested during one op's
+    /// teardown may belong to another in-flight op's source.
+    pub(crate) fn settle_collect_tagged(
+        &mut self,
+        src: usize,
+        filter: Filter,
+    ) -> Vec<(usize, WireEvent)> {
         let mut events = Vec::new();
-        let id = self.next_id;
-        self.next_id += 1;
-        let seq = self.fence_seq;
-        self.fence_seq += 1;
         // Fenced: settle can run after an abort already issued a disable
         // for the same filter; the fence keeps a duplicated teardown from
         // double-applying at the worker.
-        let disable = WireMsg::Fenced {
-            epoch: self.fence_epoch,
-            seq,
-            id,
-            call: WireCall::DisableEvents { filter },
-        };
-        if self.workers[src].send(&disable).is_ok() {
+        if let Ok(id) = self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
             // Collect events until the ack (or the worker dies / times out).
             let deadline = Instant::now() + self.reply_timeout;
             loop {
@@ -777,9 +1069,9 @@ impl RtController {
                 match self.recv_msg(left) {
                     Recv::Msg(WireMsg::Response { id: rid, .. }) if rid == id => break,
                     Recv::Msg(WireMsg::Event { ev: WireEvent::NfFailed { .. }, .. }) => break,
-                    Recv::Msg(WireMsg::Event { ev, .. }) => {
+                    Recv::Msg(WireMsg::Event { worker, ev }) => {
                         self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
-                        events.push(ev);
+                        events.push((worker, ev));
                     }
                     Recv::Msg(_) | Recv::Bad(_) => {}
                     Recv::Timeout | Recv::Disconnected => break,

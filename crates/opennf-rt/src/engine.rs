@@ -1,0 +1,743 @@
+//! The concurrent northbound op engine: k simultaneous moves on disjoint
+//! scopes progress in parallel on one dispatch thread.
+//!
+//! The synchronous controller drove one move at a time, blocking on every
+//! southbound reply. Here each move is a per-op state machine
+//! ([`OpTask`]) and a single event-dispatch loop routes replies and
+//! events to whichever op issued them: while one op waits for a put ack
+//! its neighbours keep streaming, so aggregate throughput scales with the
+//! number of disjoint src/dst pairs. Ops that share an instance serialize
+//! at admission — per-NF state must never see two concurrent scope
+//! operations.
+//!
+//! Within one move the state transfer is *pipelined*: the source streams
+//! its export as bounded [`WireReply::ChunkBatch`] frames
+//! ([`WireCall::GetPerflowChunked`]), and the engine forwards each batch
+//! to the destination as a `putPerflow` while later batches are still
+//! being serialized at the source. A small per-op window
+//! ([`PUT_WINDOW`]) of outstanding puts gives double buffering without
+//! unbounded queueing; batches beyond the window wait in a backlog.
+//!
+//! Every phase transition is journaled through the same
+//! [`JournalPhase`] ledger the simulator's controller keeps, so a
+//! controller crash between any two transitions recovers through
+//! [`RtController::recover`] exactly like the sim one: fail-forward once
+//! every chunk is confirmed at the destination, roll back before that,
+//! always with explicit loss accounting.
+//!
+//! Telemetry under interleaving: each op opens a root `move` span with
+//! *no* stack parent and parents its five canonical phase spans
+//! (`move.export` … `move.fwd_update`) under that root explicitly —
+//! thread-local stack attribution would staple one op's phases under
+//! another's root the moment two ops interleave. Oracles group with
+//! [`opennf_telemetry::Telemetry::span_sequences_by_parent`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use opennf_controller::{JournalPhase, OpId, OpReport};
+use opennf_nf::Chunk;
+use opennf_packet::{Filter, FlowId};
+use opennf_telemetry::SpanId;
+
+use crate::controller::{MoveStats, OpResidue, Recv, RtController};
+use crate::error::RtError;
+use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
+
+/// Chunks per streamed export batch (one `ChunkBatch` frame, one put).
+pub(crate) const STREAM_BATCH: usize = 64;
+
+/// Outstanding `putPerflow` requests per op: 2 = double buffering (one
+/// batch importing at the destination while the next is in flight).
+const PUT_WINDOW: usize = 2;
+
+/// Dispatch-loop poll granularity: how long one `recv` blocks before the
+/// loop re-checks per-op deadlines.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Hard ceiling on the post-flip straggler drain.
+const FWD_DRAIN: Duration = Duration::from_millis(200);
+
+/// Early exit: no straggler for this long means the flip has settled
+/// (keeps single-move latency at the synchronous controller's level).
+const FWD_IDLE: Duration = Duration::from_millis(20);
+
+/// One requested move: state matching `filter` leaves worker `src` for
+/// worker `dst`.
+#[derive(Debug, Clone, Copy)]
+pub struct OpSpec {
+    /// Source worker index.
+    pub src: usize,
+    /// Destination worker index.
+    pub dst: usize,
+    /// Which flows move.
+    pub filter: Filter,
+}
+
+/// Where one op's state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    /// Waiting for admission: an endpoint is busy with an earlier op.
+    Pending,
+    /// `enableEvents(drop)` in flight at the source.
+    WaitEnable,
+    /// Chunk batches streaming out of the source, puts pipelined into
+    /// the destination (stays here until the last batch *and* every put
+    /// ack have landed).
+    Streaming,
+    /// All state confirmed at the destination; `delPerflow` in flight at
+    /// the source (copy-then-delete release).
+    Deleting,
+    /// Route flipped; draining straggler events raised by packets that
+    /// were already queued toward the source.
+    FwdWait,
+    /// Fenced `disableEvents` in flight; collecting the teardown flush.
+    Settling,
+    /// Abort: fenced delete of already-shipped flows in flight at the
+    /// destination (FIFO behind any in-flight puts, so it covers them).
+    AbortPurge,
+    /// Abort: fenced `disableEvents` in flight at the source.
+    AbortSettling,
+    /// Terminal (result recorded).
+    Done,
+}
+
+/// One in-flight move: everything the dispatch loop needs to route a
+/// reply or event back to the right op and advance it.
+struct OpTask {
+    spec: OpSpec,
+    op: OpId,
+    report: OpReport,
+    st: St,
+    /// Per-op root span; the five phase spans parent under it explicitly.
+    root: Option<SpanId>,
+    /// The currently open phase span.
+    phase: Option<SpanId>,
+    start: Instant,
+    /// Watchdog for the outstanding request(s); reset on every ack/batch.
+    deadline: Instant,
+    /// Correlation id awaited in WaitEnable/Deleting/Settling/Abort*.
+    wait_id: u64,
+    /// The streamed export's correlation id (all its batches share it).
+    get_id: u64,
+    /// Next expected batch seq — a gap means the channel lost a batch.
+    next_seq: u64,
+    /// The `last` batch has arrived.
+    export_done: bool,
+    /// Outstanding put correlation ids (≤ [`PUT_WINDOW`]).
+    put_ids: HashSet<u64>,
+    /// Batches received but not yet put (window full).
+    backlog: VecDeque<Vec<Chunk>>,
+    /// Every flow id exported so far (the delete list).
+    flow_ids: Vec<FlowId>,
+    chunks: usize,
+    bytes: usize,
+    replayed: usize,
+    flipped: bool,
+    fwd_deadline: Instant,
+    last_event: Instant,
+    duration: Duration,
+    err: Option<RtError>,
+}
+
+impl OpTask {
+    /// Ops in these states own their source's event stream.
+    fn active(&self) -> bool {
+        !matches!(self.st, St::Pending | St::Done)
+    }
+}
+
+impl RtController {
+    /// Runs `specs` concurrently, one [`OpTask`] per spec, and returns
+    /// each op's outcome in spec order. Ops whose `{src, dst}` sets are
+    /// disjoint progress in parallel; ops sharing an instance serialize
+    /// in submission order. Each op journals its phase boundaries, so a
+    /// crash mid-batch leaves a recoverable ledger
+    /// ([`RtController::recover`]).
+    pub fn run_moves(&mut self, specs: Vec<OpSpec>) -> Vec<Result<MoveStats, RtError>> {
+        self.last_abort_lost.clear();
+        let now = Instant::now();
+        let mut tasks: Vec<OpTask> = specs
+            .into_iter()
+            .map(|spec| {
+                let op = self.mint_op();
+                OpTask {
+                    spec,
+                    op,
+                    report: OpReport::new(op, "move[LF PL]".into(), self.tel.now_ns()),
+                    st: St::Pending,
+                    root: None,
+                    phase: None,
+                    start: now,
+                    deadline: now,
+                    wait_id: 0,
+                    get_id: 0,
+                    next_seq: 0,
+                    export_done: false,
+                    put_ids: HashSet::new(),
+                    backlog: VecDeque::new(),
+                    flow_ids: Vec::new(),
+                    chunks: 0,
+                    bytes: 0,
+                    replayed: 0,
+                    flipped: false,
+                    fwd_deadline: now,
+                    last_event: now,
+                    duration: Duration::ZERO,
+                    err: None,
+                }
+            })
+            .collect();
+        let mut busy: HashSet<usize> = HashSet::new();
+        let mut by_req: HashMap<u64, usize> = HashMap::new();
+
+        loop {
+            if self.is_crashed() {
+                // The "process" died at a journal append: in-flight work
+                // dies where it stands — no teardown, no further sends
+                // (checked before admission, so no new op starts either).
+                // Journal + residue (the struct fields) survive for
+                // recover(); events already live in the residue.
+                for t in tasks.iter_mut() {
+                    if t.st != St::Done {
+                        t.err = Some(RtError::CtrlCrashed);
+                        t.st = St::Done;
+                    }
+                }
+                break;
+            }
+            // Admission: earlier specs win contended endpoints.
+            for ti in 0..tasks.len() {
+                if tasks[ti].st == St::Pending
+                    && !busy.contains(&tasks[ti].spec.src)
+                    && !busy.contains(&tasks[ti].spec.dst)
+                {
+                    busy.insert(tasks[ti].spec.src);
+                    busy.insert(tasks[ti].spec.dst);
+                    if let Err(e) = self.start_op(&mut tasks[ti], ti, &mut by_req) {
+                        self.fail_op(&mut tasks[ti], ti, e, &mut by_req, &mut busy);
+                    }
+                }
+            }
+            if tasks.iter().all(|t| t.st == St::Done) {
+                break;
+            }
+            match self.recv_msg(POLL) {
+                Recv::Msg(WireMsg::Response { id, reply }) => {
+                    // Unmapped ids are stale (a failed op's still-streaming
+                    // batches, a pre-crash echo): ignored by correlation.
+                    if let Some(&ti) = by_req.get(&id) {
+                        self.on_reply(&mut tasks, ti, id, reply, &mut by_req, &mut busy);
+                    }
+                }
+                Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
+                    // The NF is gone: every admitted op touching it dies.
+                    // Pending ops fail naturally at admission (their first
+                    // send returns WorkerGone).
+                    for ti in 0..tasks.len() {
+                        let hit = tasks[ti].active()
+                            && (tasks[ti].spec.src == worker || tasks[ti].spec.dst == worker);
+                        if hit {
+                            self.fail_op(
+                                &mut tasks[ti],
+                                ti,
+                                RtError::NfFailed { worker, reason: reason.clone() },
+                                &mut by_req,
+                                &mut busy,
+                            );
+                        }
+                    }
+                }
+                Recv::Msg(WireMsg::Event { worker, ev }) => {
+                    self.c_events_pumped.fetch_add(1, Ordering::Relaxed);
+                    self.route_event(&mut tasks, worker, ev);
+                }
+                Recv::Msg(_) | Recv::Bad(_) | Recv::Timeout => {}
+                Recv::Disconnected => {
+                    // Every worker is gone: nothing left to send teardown
+                    // to — finalize all survivors as aborted.
+                    for ti in 0..tasks.len() {
+                        if tasks[ti].st != St::Done {
+                            tasks[ti].err.get_or_insert(RtError::ChannelClosed);
+                            self.finalize_abort(&mut tasks[ti], &mut busy);
+                        }
+                    }
+                }
+            }
+            self.tick(&mut tasks, &mut by_req, &mut busy);
+        }
+
+        tasks
+            .into_iter()
+            .map(|t| match t.err {
+                Some(e) => Err(e),
+                None => Ok(MoveStats {
+                    chunks: t.chunks,
+                    bytes: t.bytes,
+                    events_replayed: t.replayed,
+                    duration: t.duration,
+                }),
+            })
+            .collect()
+    }
+
+    /// Admits one op: opens its root span, arms the drop filter at the
+    /// source, journals nothing yet (Armed lands on the enable ack).
+    fn start_op(
+        &mut self,
+        t: &mut OpTask,
+        ti: usize,
+        by_req: &mut HashMap<u64, usize>,
+    ) -> Result<(), RtError> {
+        t.start = Instant::now();
+        t.report.start_ns = self.tel.now_ns();
+        self.residue.insert(t.op.0, OpResidue::new(t.spec.src, t.spec.dst, t.spec.filter));
+        let root = self.tel.begin_linked_arg(
+            0,
+            "move",
+            Some(format!("op={} src={} dst={}", t.op.0, t.spec.src, t.spec.dst)),
+        );
+        t.root = Some(root);
+        let sp = self.tel.begin_under(root, "move.export");
+        t.phase = Some(sp);
+        let id = self.call_linked(
+            t.spec.src,
+            WireCall::EnableEvents { filter: t.spec.filter, action: WireAction::Drop },
+            sp.raw(),
+        )?;
+        t.wait_id = id;
+        by_req.insert(id, ti);
+        t.deadline = Instant::now() + self.reply_timeout;
+        t.st = St::WaitEnable;
+        Ok(())
+    }
+
+    /// Advances op `ti` on a correlated reply.
+    fn on_reply(
+        &mut self,
+        tasks: &mut [OpTask],
+        ti: usize,
+        id: u64,
+        reply: WireReply,
+        by_req: &mut HashMap<u64, usize>,
+        busy: &mut HashSet<usize>,
+    ) {
+        if self.is_crashed() {
+            return;
+        }
+        if let WireReply::Error { message } = reply {
+            self.fail_op(&mut tasks[ti], ti, RtError::Wire(message), by_req, busy);
+            return;
+        }
+        let t = &mut tasks[ti];
+        match t.st {
+            St::WaitEnable if id == t.wait_id => {
+                by_req.remove(&id);
+                if self.jlog(t.op, JournalPhase::Armed, &t.report) {
+                    return;
+                }
+                // Stream the export: batches flow back under one id while
+                // the puts below pipeline them into the destination.
+                let export = t.phase.expect("export span open");
+                match self.call_linked(
+                    t.spec.src,
+                    WireCall::GetPerflowChunked {
+                        filter: t.spec.filter,
+                        batch: STREAM_BATCH,
+                    },
+                    export.raw(),
+                ) {
+                    Ok(gid) => {
+                        t.get_id = gid;
+                        by_req.insert(gid, ti);
+                        t.deadline = Instant::now() + self.reply_timeout;
+                        t.st = St::Streaming;
+                    }
+                    Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
+                }
+            }
+            St::Streaming if id == t.get_id => {
+                let WireReply::ChunkBatch { seq, last, chunks } = reply else {
+                    let e = RtError::Wire(format!("unexpected stream reply for {id}"));
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    return;
+                };
+                // The channel is FIFO, so a seq gap means a batch was
+                // dropped on the wire: the export is no longer known to be
+                // complete — abort rather than move a silent subset.
+                if seq != t.next_seq {
+                    let e = RtError::Wire(format!(
+                        "chunk batch gap at src {}: got seq {seq}, expected {}",
+                        t.spec.src, t.next_seq
+                    ));
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    return;
+                }
+                t.next_seq += 1;
+                t.deadline = Instant::now() + self.reply_timeout;
+                t.chunks += chunks.len();
+                t.bytes += chunks.iter().map(|c| c.len()).sum::<usize>();
+                t.flow_ids.extend(chunks.iter().map(|c| c.flow_id));
+                if let Some(res) = self.residue.get_mut(&t.op.0) {
+                    res.put_flows.extend(chunks.iter().map(|c| c.flow_id));
+                }
+                if !chunks.is_empty() {
+                    t.backlog.push_back(chunks);
+                }
+                if last {
+                    by_req.remove(&id);
+                    t.export_done = true;
+                    if let Some(sp) = t.phase.take() {
+                        self.tel.end(sp);
+                    }
+                    let root = t.root.expect("root span open");
+                    t.phase = Some(self.tel.begin_under(root, "move.transfer"));
+                    if self.jlog(t.op, JournalPhase::ExportDone, &t.report) {
+                        return;
+                    }
+                }
+                if let Err(e) = self.pump_puts(&mut tasks[ti], ti, by_req) {
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    return;
+                }
+                self.maybe_finish_transfer(tasks, ti, by_req, busy);
+            }
+            St::Streaming if t.put_ids.contains(&id) => {
+                t.put_ids.remove(&id);
+                by_req.remove(&id);
+                t.deadline = Instant::now() + self.reply_timeout;
+                if let Err(e) = self.pump_puts(&mut tasks[ti], ti, by_req) {
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    return;
+                }
+                self.maybe_finish_transfer(tasks, ti, by_req, busy);
+            }
+            St::Deleting if id == t.wait_id => {
+                by_req.remove(&id);
+                if let Some(sp) = t.phase.take() {
+                    self.tel.end(sp);
+                }
+                if self.jlog(t.op, JournalPhase::Imported, &t.report) {
+                    return;
+                }
+                // Flush: replay everything buffered so far to the
+                // destination, then flip the route.
+                let root = t.root.expect("root span open");
+                let sp = self.tel.begin_under(root, "move.flush");
+                let events = self
+                    .residue
+                    .get_mut(&t.op.0)
+                    .map(|r| std::mem::take(&mut r.events))
+                    .unwrap_or_default();
+                match self.replay_now(t.spec.dst, events.into_iter()) {
+                    Ok(n) => t.replayed += n,
+                    Err(e) => {
+                        self.tel.end(sp);
+                        self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                        return;
+                    }
+                }
+                self.tel.end(sp);
+                if self.jlog(t.op, JournalPhase::Flushed, &t.report) {
+                    return;
+                }
+                t.phase = Some(self.tel.begin_under(root, "move.fwd_update"));
+                self.router.install(10, t.spec.filter, t.spec.dst);
+                t.flipped = true;
+                let now = Instant::now();
+                t.fwd_deadline = now + FWD_DRAIN;
+                t.last_event = now;
+                t.st = St::FwdWait;
+            }
+            St::Settling if id == t.wait_id => {
+                by_req.remove(&id);
+                self.finalize_commit(&mut tasks[ti], busy);
+            }
+            St::AbortPurge if id == t.wait_id => {
+                by_req.remove(&id);
+                self.abort_settle(&mut tasks[ti], ti, by_req, busy);
+            }
+            St::AbortSettling if id == t.wait_id => {
+                by_req.remove(&id);
+                self.finalize_abort(&mut tasks[ti], busy);
+            }
+            _ => {}
+        }
+    }
+
+    /// Issues queued put batches up to the backpressure window.
+    fn pump_puts(
+        &mut self,
+        t: &mut OpTask,
+        ti: usize,
+        by_req: &mut HashMap<u64, usize>,
+    ) -> Result<(), RtError> {
+        while t.put_ids.len() < PUT_WINDOW {
+            let Some(chunks) = t.backlog.pop_front() else { break };
+            let id = self.call(t.spec.dst, WireCall::PutPerflow { chunks })?;
+            t.put_ids.insert(id);
+            by_req.insert(id, ti);
+            t.deadline = Instant::now() + self.reply_timeout;
+        }
+        Ok(())
+    }
+
+    /// Once the last batch and every put ack are in, the transfer phase is
+    /// over: journal `Transferred` and release the source
+    /// (copy-then-delete — the source keeps its copy until this point, so
+    /// any earlier abort rolls back without loss).
+    fn maybe_finish_transfer(
+        &mut self,
+        tasks: &mut [OpTask],
+        ti: usize,
+        by_req: &mut HashMap<u64, usize>,
+        busy: &mut HashSet<usize>,
+    ) {
+        let t = &mut tasks[ti];
+        if !(t.export_done && t.put_ids.is_empty() && t.backlog.is_empty()) {
+            return;
+        }
+        if let Some(sp) = t.phase.take() {
+            self.tel.end(sp);
+        }
+        t.report.chunks = t.chunks;
+        t.report.bytes = t.bytes as u64;
+        if self.jlog(t.op, JournalPhase::Transferred, &t.report) {
+            return;
+        }
+        let root = t.root.expect("root span open");
+        t.phase = Some(self.tel.begin_under(root, "move.import"));
+        // An empty delete still round-trips: it doubles as the barrier
+        // proving the source processed everything up to here.
+        match self.call(t.spec.src, WireCall::DelPerflow { flow_ids: t.flow_ids.clone() }) {
+            Ok(id) => {
+                t.wait_id = id;
+                by_req.insert(id, ti);
+                t.deadline = Instant::now() + self.reply_timeout;
+                t.st = St::Deleting;
+            }
+            Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
+        }
+    }
+
+    /// Hands an event to the op that owns the raising worker, or routes
+    /// it onward when no op does (a straggler from an op that already
+    /// finished).
+    fn route_event(&mut self, tasks: &mut [OpTask], worker: usize, ev: WireEvent) {
+        if self.is_crashed() {
+            return;
+        }
+        let now = Instant::now();
+        if let Some(t) = tasks.iter_mut().find(|t| t.active() && t.spec.src == worker) {
+            t.last_event = now;
+            if t.st == St::FwdWait {
+                // Past the flush: stragglers replay straight to the
+                // destination instead of queueing for another flush.
+                let uid = match &ev {
+                    WireEvent::PacketReceived { packet } => Some(packet.uid),
+                    _ => None,
+                };
+                match self.replay_one(t.spec.dst, ev) {
+                    Ok(n) => t.replayed += n,
+                    Err(_) => {
+                        // The destination died under us: the packet is
+                        // gone, and the loss is accounted, not silent.
+                        if let Some(uid) = uid {
+                            self.last_abort_lost.push(uid);
+                            t.report.abort_lost.push(uid);
+                        }
+                    }
+                }
+            } else {
+                t.report.events_buffered += 1;
+                if let Some(res) = self.residue.get_mut(&t.op.0) {
+                    res.events.push(ev);
+                }
+            }
+            return;
+        }
+        // No owner: deliver wherever the rule table points now.
+        if let WireEvent::PacketReceived { ref packet } = ev {
+            if let Some(w) = self.router.route(packet) {
+                let _ = self.replay_one(w, ev);
+            }
+        }
+    }
+
+    /// Time-driven transitions: straggler-drain windows closing and reply
+    /// watchdogs firing.
+    fn tick(
+        &mut self,
+        tasks: &mut [OpTask],
+        by_req: &mut HashMap<u64, usize>,
+        busy: &mut HashSet<usize>,
+    ) {
+        if self.is_crashed() {
+            return;
+        }
+        let now = Instant::now();
+        for ti in 0..tasks.len() {
+            match tasks[ti].st {
+                St::FwdWait => {
+                    let t = &mut tasks[ti];
+                    if now >= t.fwd_deadline || now >= t.last_event + FWD_IDLE {
+                        if let Some(sp) = t.phase.take() {
+                            self.tel.end(sp);
+                        }
+                        // Converge: tear the event filter down over the
+                        // management channel; whatever the teardown
+                        // flushes out replays at the ack.
+                        let (src, filter) = (t.spec.src, t.spec.filter);
+                        match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
+                            Ok(id) => {
+                                let t = &mut tasks[ti];
+                                t.wait_id = id;
+                                by_req.insert(id, ti);
+                                t.deadline = now + self.reply_timeout;
+                                t.st = St::Settling;
+                            }
+                            // The source is gone, so its filter (and any
+                            // still-buffered events) died with it; the
+                            // destination already holds the state.
+                            Err(_) => self.finalize_commit(&mut tasks[ti], busy),
+                        }
+                    }
+                }
+                St::WaitEnable | St::Streaming | St::Deleting if now >= tasks[ti].deadline => {
+                    let id = tasks[ti].wait_id;
+                    self.fail_op(&mut tasks[ti], ti, RtError::Timeout { id }, by_req, busy);
+                }
+                // Best-effort teardown: a worker that won't ack its purge
+                // or disable doesn't pin the op forever.
+                St::Settling if now >= tasks[ti].deadline => {
+                    by_req.remove(&tasks[ti].wait_id);
+                    self.finalize_commit(&mut tasks[ti], busy);
+                }
+                St::AbortPurge if now >= tasks[ti].deadline => {
+                    by_req.remove(&tasks[ti].wait_id);
+                    self.abort_settle(&mut tasks[ti], ti, by_req, busy);
+                }
+                St::AbortSettling if now >= tasks[ti].deadline => {
+                    by_req.remove(&tasks[ti].wait_id);
+                    self.finalize_abort(&mut tasks[ti], busy);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Completes an op: replays the teardown flush to the destination,
+    /// journals `Committed`, releases the endpoints.
+    fn finalize_commit(&mut self, t: &mut OpTask, busy: &mut HashSet<usize>) {
+        let events = self
+            .residue
+            .remove(&t.op.0)
+            .map(|r| r.events)
+            .unwrap_or_default();
+        let (replayed, lost) = self.replay_events_to(t.spec.dst, events);
+        t.replayed += replayed;
+        t.report.abort_lost.extend(lost.iter().copied());
+        self.last_abort_lost.extend(lost);
+        t.report.events_released = t.replayed;
+        t.report.end_ns = self.tel.now_ns();
+        self.jlog(t.op, JournalPhase::Committed, &t.report);
+        if let Some(root) = t.root.take() {
+            self.tel.end(root);
+        }
+        t.duration = t.start.elapsed();
+        t.st = St::Done;
+        busy.remove(&t.spec.src);
+        busy.remove(&t.spec.dst);
+    }
+
+    /// Starts tearing a failed op down. Pre-release failures first purge
+    /// the partial import at the destination — sent on the same link as
+    /// the puts, so FIFO ordering makes the delete cover every put still
+    /// in flight ahead of it.
+    fn fail_op(
+        &mut self,
+        t: &mut OpTask,
+        ti: usize,
+        e: RtError,
+        by_req: &mut HashMap<u64, usize>,
+        busy: &mut HashSet<usize>,
+    ) {
+        self.tel.event("move.abort", Some(format!("op={} {e}", t.op.0)));
+        if let Some(sp) = t.phase.take() {
+            self.tel.end(sp);
+        }
+        by_req.remove(&t.wait_id);
+        by_req.remove(&t.get_id);
+        for id in t.put_ids.drain() {
+            by_req.remove(&id);
+        }
+        t.backlog.clear();
+        t.err = Some(e);
+        let shipped = self
+            .residue
+            .get(&t.op.0)
+            .map(|r| r.put_flows.clone())
+            .unwrap_or_default();
+        if !t.flipped && !shipped.is_empty() {
+            if let Ok(id) = self.call_fenced(t.spec.dst, WireCall::DelPerflow { flow_ids: shipped })
+            {
+                t.wait_id = id;
+                by_req.insert(id, ti);
+                t.deadline = Instant::now() + self.reply_timeout;
+                t.st = St::AbortPurge;
+                return;
+            }
+        }
+        self.abort_settle(t, ti, by_req, busy);
+    }
+
+    /// Abort teardown, step 2: restore a quiescent source (no stale
+    /// filter) and collect whatever the teardown flushes out.
+    fn abort_settle(
+        &mut self,
+        t: &mut OpTask,
+        ti: usize,
+        by_req: &mut HashMap<u64, usize>,
+        busy: &mut HashSet<usize>,
+    ) {
+        let (src, filter) = (t.spec.src, t.spec.filter);
+        match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
+            Ok(id) => {
+                t.wait_id = id;
+                by_req.insert(id, ti);
+                t.deadline = Instant::now() + self.reply_timeout;
+                t.st = St::AbortSettling;
+            }
+            Err(_) => self.finalize_abort(t, busy),
+        }
+    }
+
+    /// Abort teardown, step 3: replay buffered events back to wherever
+    /// the route points, account every packet that could not be
+    /// delivered, journal `Aborted`, release the endpoints.
+    fn finalize_abort(&mut self, t: &mut OpTask, busy: &mut HashSet<usize>) {
+        let events = self
+            .residue
+            .remove(&t.op.0)
+            .map(|r| r.events)
+            .unwrap_or_default();
+        let replay_to = if t.flipped { t.spec.dst } else { t.spec.src };
+        let (replayed, lost) = self.replay_events_to(replay_to, events);
+        t.replayed += replayed;
+        let reason = t.err.as_ref().map(|e| e.to_string()).unwrap_or_else(|| "aborted".into());
+        t.report.abort(reason, None);
+        t.report.abort_lost.extend(lost.iter().copied());
+        self.last_abort_lost.extend(lost);
+        t.report.events_released = t.replayed;
+        t.report.end_ns = self.tel.now_ns();
+        self.jlog(t.op, JournalPhase::Aborted, &t.report);
+        if let Some(root) = t.root.take() {
+            self.tel.end(root);
+        }
+        t.duration = t.start.elapsed();
+        t.st = St::Done;
+        busy.remove(&t.spec.src);
+        busy.remove(&t.spec.dst);
+    }
+}

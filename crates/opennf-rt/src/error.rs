@@ -33,6 +33,11 @@ pub enum RtError {
         /// The panic payload (or failure description).
         reason: String,
     },
+    /// The controller crashed between two op-journal phase transitions
+    /// (test hook: [`crate::RtController::crash_after`]). Every in-flight
+    /// op fails with this; [`crate::RtController::recover`] then drives
+    /// each one to a terminal phase from its journal.
+    CtrlCrashed,
 }
 
 impl fmt::Display for RtError {
@@ -45,6 +50,7 @@ impl fmt::Display for RtError {
             RtError::NfFailed { worker, reason } => {
                 write!(f, "NF at worker {worker} failed: {reason}")
             }
+            RtError::CtrlCrashed => write!(f, "controller crashed mid-operation"),
         }
     }
 }

@@ -26,6 +26,7 @@
 //! the simulator.
 
 pub mod controller;
+pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod router;
@@ -36,9 +37,14 @@ pub mod wire;
 pub mod worker;
 
 pub use controller::{MoveStats, RtController};
+pub use engine::OpSpec;
 pub use error::RtError;
 pub use faults::{worker_node, FaultLedger, FaultyChannel, RtFaults, CTRL_NODE, ROUTER_NODE};
 pub use router::Router;
 pub use shards::{EwMsg, ShardedRt};
 pub use wire::{WireCall, WireEvent, WireMsg, WireReply};
 pub use worker::{spawn_worker, spawn_worker_faulty, PeerMesh, WorkerHandle};
+
+// The rt controller journals through the same ledger types the simulator's
+// controller uses; re-exported so harnesses need only one import path.
+pub use opennf_controller::{JournalPhase, JournalRecord, OpJournal, OpReport};

@@ -13,18 +13,25 @@
 //! the peer's workers directly. That boundary is the point: a shard only
 //! ever talks southbound to its own workers.
 //!
-//! Cross-shard transfers relay through the controllers (get → del → put,
-//! the paper's §5.1 ordering): the P2P mesh is a per-shard resource, so a
-//! direct NF → NF stream across the shard boundary would bypass the
-//! ownership model the sharding exists to enforce.
+//! Cross-shard transfers relay through the controllers: the P2P mesh is
+//! a per-shard resource, so a direct NF → NF stream across the shard
+//! boundary would bypass the ownership model the sharding exists to
+//! enforce. The relay rides the same machinery as the in-shard op engine
+//! (`opennf-rt::engine`): the source streams bounded `ChunkBatch` frames
+//! that are forwarded east-west while later batches are still exporting,
+//! the source's copy is deleted only after the peer confirms the import
+//! (safe because `enableEvents(drop)` already quiesced the source), and
+//! every phase boundary is journaled through the owning shard's
+//! [`opennf_controller::JournalPhase`] ledger.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use opennf_controller::{JournalPhase, OpId, OpReport};
 use opennf_nf::{Chunk, EventedNf, NetworkFunction};
-use opennf_packet::{Filter, Packet};
+use opennf_packet::{Filter, FlowId, Packet};
 use opennf_telemetry::Telemetry;
 use opennf_util::FaultPlan;
 use serde::{Deserialize, Serialize};
@@ -71,6 +78,17 @@ pub enum EwMsg {
         /// The packets, in buffer order.
         packets: Vec<Packet>,
     },
+    /// Abort purge for a cross-shard op: the receiving shard deletes the
+    /// listed flows at its local `worker` — partial imports from a failed
+    /// handoff must not survive as shadow state.
+    DelFlows {
+        /// Cross-shard operation id.
+        op: u64,
+        /// Local worker index within the receiving shard.
+        worker: usize,
+        /// Flows to purge.
+        flow_ids: Vec<FlowId>,
+    },
     /// Terminal release for a cross-shard op: the peer learns the outcome
     /// and drops any armed watch state.
     Release {
@@ -97,7 +115,6 @@ pub struct ShardedRt {
     ew_tx: Vec<Sender<String>>,
     ew_rx: Vec<Receiver<String>>,
     tel: Telemetry,
-    next_op: u64,
     last_abort_lost: Vec<u64>,
 }
 
@@ -119,22 +136,34 @@ impl ShardedRt {
     }
 
     /// Like [`ShardedRt::new_with_telemetry`], with shard 0's channels
-    /// running through a [`FaultyChannel`] armed with `plan`. Faults are
-    /// armed on shard 0 *only*: the plan's node ids name shard-0 local
-    /// workers, and mapping them across shard boundaries would silently
-    /// re-target them. Returns the shared [`RtFaults`] ledger.
+    /// running through a [`FaultyChannel`] armed with `plan`. See
+    /// [`ShardedRt::new_with_faults_on`] for targeting another shard.
     pub fn new_with_faults_and_telemetry(
         shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
         plan: FaultPlan,
         tel: Telemetry,
     ) -> (Self, Arc<RtFaults>) {
-        let (me, faults) = Self::build(shard_nfs, Some(plan), tel);
+        Self::new_with_faults_on(shard_nfs, plan, 0, tel)
+    }
+
+    /// Arms `plan` on shard `fault_shard`'s channels (only). Faults stay
+    /// confined to one shard: the plan's node ids name that shard's
+    /// *local* workers, and mapping them across shard boundaries would
+    /// silently re-target them. Returns the shared [`RtFaults`] ledger.
+    pub fn new_with_faults_on(
+        shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
+        plan: FaultPlan,
+        fault_shard: usize,
+        tel: Telemetry,
+    ) -> (Self, Arc<RtFaults>) {
+        assert!(fault_shard < shard_nfs.len(), "fault shard exists");
+        let (me, faults) = Self::build(shard_nfs, Some((plan, fault_shard)), tel);
         (me, faults.expect("fault plan was supplied"))
     }
 
     fn build(
         shard_nfs: Vec<Vec<Box<dyn NetworkFunction>>>,
-        plan: Option<FaultPlan>,
+        plan: Option<(FaultPlan, usize)>,
         tel: Telemetry,
     ) -> (Self, Option<Arc<RtFaults>>) {
         assert!(!shard_nfs.is_empty(), "at least one shard");
@@ -147,10 +176,13 @@ impl ShardedRt {
         let mut shards = Vec::with_capacity(shard_nfs.len());
         let mut faults_out = None;
         for (k, nfs) in shard_nfs.into_iter().enumerate() {
-            if k == 0 {
-                if let Some(plan) = plan.clone() {
-                    let (ctrl, faults) =
-                        RtController::new_with_faults_and_telemetry(nfs, plan, tel.clone());
+            if let Some((plan, fault_shard)) = &plan {
+                if k == *fault_shard {
+                    let (ctrl, faults) = RtController::new_with_faults_and_telemetry(
+                        nfs,
+                        plan.clone(),
+                        tel.clone(),
+                    );
                     shards.push(ctrl);
                     faults_out = Some(faults);
                     continue;
@@ -174,7 +206,6 @@ impl ShardedRt {
             ew_tx,
             ew_rx,
             tel,
-            next_op: 1,
             last_abort_lost: Vec::new(),
         };
         (me, faults_out)
@@ -235,6 +266,71 @@ impl ShardedRt {
         self.shards[k].quiesce(l)
     }
 
+    /// Shard `k`'s controller (fault hooks, crash/recovery test knobs).
+    pub fn shard_mut(&mut self, k: usize) -> &mut RtController {
+        &mut self.shards[k]
+    }
+
+    /// Shard `k`'s op journal: each shard keeps the same
+    /// [`opennf_controller::JournalPhase`] ledger a single controller
+    /// does, so a sharded soak can audit every shard's op history.
+    pub fn journal(&self, k: usize) -> &opennf_controller::OpJournal {
+        self.shards[k].journal()
+    }
+
+    /// Every shard's journal as JSON, newline-joined — the same capture
+    /// shape the sim's sharded control plane exposes.
+    pub fn journal_json(&self) -> String {
+        self.shards.iter().map(|s| s.journal_json()).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Runs a batch of *same-shard* moves through each owning shard's
+    /// concurrent op engine ([`RtController::run_moves`]): specs are
+    /// `(src, dst, filter)` in global worker indices, results come back
+    /// in spec order, and committed routes are mirrored into the global
+    /// table. Specs whose endpoints straddle a shard boundary fail with
+    /// a wire error — cross-shard moves keep the two-shard handoff path
+    /// ([`ShardedRt::move_flows_cross`]).
+    pub fn run_moves(
+        &mut self,
+        specs: Vec<(usize, usize, Filter)>,
+    ) -> Vec<Result<MoveStats, RtError>> {
+        self.last_abort_lost.clear();
+        let mut results: Vec<Option<Result<MoveStats, RtError>>> =
+            specs.iter().map(|_| None).collect();
+        // Group by owning shard, preserving submission order within each.
+        let mut per_shard: Vec<Vec<(usize, crate::engine::OpSpec)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (i, &(src, dst, filter)) in specs.iter().enumerate() {
+            let (sa, a_l) = self.map[src];
+            let (sb, b_l) = self.map[dst];
+            if sa != sb {
+                results[i] = Some(Err(RtError::Wire(format!(
+                    "run_moves is same-shard only: {src} is on shard {sa}, {dst} on {sb}"
+                ))));
+                continue;
+            }
+            per_shard[sa].push((i, crate::engine::OpSpec { src: a_l, dst: b_l, filter }));
+        }
+        for (k, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (idxs, shard_specs): (Vec<usize>, Vec<crate::engine::OpSpec>) =
+                batch.into_iter().unzip();
+            let outcomes = self.shards[k].run_moves(shard_specs);
+            self.last_abort_lost.extend(self.shards[k].abort_lost().iter().copied());
+            for (i, r) in idxs.into_iter().zip(outcomes) {
+                if r.is_ok() {
+                    let (_, dst, filter) = specs[i];
+                    self.router.install(10, filter, dst);
+                }
+                results[i] = Some(r);
+            }
+        }
+        results.into_iter().map(|r| r.expect("every spec resolved")).collect()
+    }
+
     /// Shuts every shard down, shard-major — harness order matches the
     /// global worker order.
     pub fn shutdown(self) -> Vec<EventedNf> {
@@ -275,67 +371,87 @@ impl ShardedRt {
             return r;
         }
 
-        let op = self.next_op;
-        self.next_op += 1;
-        self.tel.event("ew.handoff", Some(format!("op={op} {src}->{dst}")));
+        // The op id comes from the owning shard's mint so the handoff's
+        // journal records share one id space with that shard's in-shard
+        // ops; it also tags the east-west frames.
+        let op = self.shards[sa].mint_op();
+        self.tel.event("ew.handoff", Some(format!("op={} {src}->{dst}", op.0)));
+        let mut report = OpReport::new(op, "move[LF ew]".into(), self.tel.now_ns());
 
         let mut events: Vec<WireEvent> = Vec::new();
         let mut flipped = false;
-        // Chunks deleted at the source but not yet confirmed at the
-        // destination: an abort in that window puts them back so the
-        // handoff is loss-free even when it fails.
-        let mut in_hand: Option<Vec<Chunk>> = None;
-        match self.try_cross(op, sa, a_l, sb, b_l, dst, filter, &mut events, &mut flipped, &mut in_hand)
-        {
+        // Flows already forwarded east-west, and whether the source's copy
+        // was deleted: an abort in between purges the peer's partial
+        // import so the state never exists in two places.
+        let mut shipped: Vec<FlowId> = Vec::new();
+        let mut deleted = false;
+        let r = self.try_cross(
+            op, &mut report, sa, a_l, sb, b_l, dst, filter, &mut events, &mut flipped,
+            &mut shipped, &mut deleted,
+        );
+        match r {
             Ok(mut stats) => {
                 // Settle: tear the event filter down at the source, ship
                 // the tail east-west, release the peer.
                 let tail = self.shards[sa].settle_collect(a_l, filter);
                 events.extend(tail);
-                let (extra, lost) = self.ew_replay(op, sb, b_l, std::mem::take(&mut events))?;
+                let (extra, lost) = self.ew_replay(op.0, sb, b_l, std::mem::take(&mut events))?;
                 stats.events_replayed += extra;
                 self.last_abort_lost = lost;
-                self.ew_send(sb, &EwMsg::Release { op, committed: true });
+                self.ew_send(sb, &EwMsg::Release { op: op.0, committed: true });
                 self.drain_ew(sb)?;
+                report.events_released = stats.events_replayed;
+                report.end_ns = self.tel.now_ns();
+                self.shards[sa].jlog(op, JournalPhase::Committed, &report);
                 Ok(stats)
             }
+            // A journal crash hook fired mid-handoff: stop driving — no
+            // more sends — and leave the op non-terminal for recovery.
+            Err(RtError::CtrlCrashed) => Err(RtError::CtrlCrashed),
             Err(e) => {
                 self.tel.event("move.abort", Some(e.to_string()));
-                // Restore: the source deleted but the destination never
-                // confirmed — put the chunks back where the route still
-                // points.
-                if let Some(chunks) = in_hand.take() {
-                    if let Ok(id) =
-                        self.shards[sa].call(a_l, WireCall::PutPerflow { chunks })
-                    {
-                        let _ = self.shards[sa].await_reply(id, &mut events);
-                    }
+                // Purge: batches the peer already imported are deleted
+                // there — the route still points at the source, which
+                // kept its copy until the peer confirmed.
+                if !shipped.is_empty() && !deleted {
+                    self.ew_send(
+                        sb,
+                        &EwMsg::DelFlows { op: op.0, worker: b_l, flow_ids: shipped },
+                    );
+                    let _ = self.drain_ew(sb);
                 }
                 let tail = self.shards[sa].settle_collect(a_l, filter);
                 events.extend(tail);
                 let lost = if flipped {
-                    let (_, lost) = self.ew_replay(op, sb, b_l, std::mem::take(&mut events))?;
+                    let (_, lost) = self.ew_replay(op.0, sb, b_l, std::mem::take(&mut events))?;
                     lost
                 } else {
                     let (_, lost) =
                         self.shards[sa].replay_events_to(a_l, std::mem::take(&mut events));
                     lost
                 };
-                self.last_abort_lost = lost;
-                self.ew_send(sb, &EwMsg::Release { op, committed: false });
+                self.last_abort_lost = lost.clone();
+                self.ew_send(sb, &EwMsg::Release { op: op.0, committed: false });
                 self.drain_ew(sb)?;
+                report.abort(e.to_string(), None);
+                report.abort_lost.extend(lost);
+                report.end_ns = self.tel.now_ns();
+                self.shards[sa].jlog(op, JournalPhase::Aborted, &report);
                 Err(e)
             }
         }
     }
 
     /// The happy path of a cross-shard move: the same five phases (and
-    /// span names) as [`RtController::move_flows_lossfree`], with the
-    /// import/flush legs crossing the east-west link.
+    /// span names) as the in-shard op engine, with the transfer leg
+    /// crossing the east-west link. Journal phases are appended through
+    /// the owning shard's ledger at each boundary; a fired crash hook
+    /// stops the handoff with [`RtError::CtrlCrashed`].
     #[allow(clippy::too_many_arguments)]
     fn try_cross(
         &mut self,
-        op: u64,
+        op: OpId,
+        report: &mut OpReport,
         sa: usize,
         a_l: usize,
         sb: usize,
@@ -344,42 +460,85 @@ impl ShardedRt {
         filter: Filter,
         events: &mut Vec<WireEvent>,
         flipped: &mut bool,
-        in_hand: &mut Option<Vec<Chunk>>,
+        shipped: &mut Vec<FlowId>,
+        deleted: &mut bool,
     ) -> Result<MoveStats, RtError> {
         let start = std::time::Instant::now();
 
+        // Export: quiesce the source, then stream bounded chunk batches —
+        // each one forwarded east-west as it lands, while later batches
+        // are still exporting (the engine's pipelining, stretched across
+        // the shard boundary).
         let sp = self.tel.begin("move.export");
         let id = self.shards[sa]
             .call(a_l, WireCall::EnableEvents { filter, action: WireAction::Drop })?;
         RtController::expect_done(self.shards[sa].await_reply(id, events)?)?;
-        let id = self.shards[sa].call(a_l, WireCall::GetPerflow { filter })?;
-        let chunks = match self.shards[sa].await_reply(id, events)? {
-            WireReply::Chunks { chunks } => chunks,
-            WireReply::Error { message } => return Err(RtError::Wire(message)),
-            other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
-        };
-        let bytes: usize = chunks.iter().map(|c| c.len()).sum();
-        let n_chunks = chunks.len();
-        let flow_ids: Vec<_> = chunks.iter().map(|c| c.flow_id).collect();
+        if self.shards[sa].jlog(op, JournalPhase::Armed, report) {
+            return Err(RtError::CtrlCrashed);
+        }
+        let id = self.shards[sa]
+            .call(a_l, WireCall::GetPerflowChunked { filter, batch: crate::engine::STREAM_BATCH })?;
+        let mut n_chunks = 0usize;
+        let mut bytes = 0usize;
+        let mut next_seq = 0u64;
+        loop {
+            match self.shards[sa].await_reply(id, events)? {
+                WireReply::ChunkBatch { seq, last, chunks } => {
+                    // A sequence gap means a dropped batch: abort rather
+                    // than hand over a silently partial export.
+                    if seq != next_seq {
+                        return Err(RtError::Wire(format!(
+                            "chunk batch gap: got seq {seq}, expected {next_seq}"
+                        )));
+                    }
+                    next_seq += 1;
+                    n_chunks += chunks.len();
+                    bytes += chunks.iter().map(|c| c.len()).sum::<usize>();
+                    shipped.extend(chunks.iter().map(|c| c.flow_id));
+                    if !chunks.is_empty() {
+                        self.ew_send(sb, &EwMsg::PutChunks { op: op.0, worker: b_l, chunks });
+                    }
+                    if last {
+                        break;
+                    }
+                }
+                WireReply::Error { message } => return Err(RtError::Wire(message)),
+                other => return Err(RtError::Wire(format!("unexpected reply: {other:?}"))),
+            }
+        }
         self.tel.end(sp);
+        report.chunks = n_chunks;
+        report.bytes = bytes as u64;
+        if self.shards[sa].jlog(op, JournalPhase::ExportDone, report) {
+            return Err(RtError::CtrlCrashed);
+        }
 
-        // §5.1 ordering: delete at the source *before* the state becomes
-        // live at the destination — no window where both sides process.
+        // Transfer: the peer shard applies the queued frames southbound.
         let sp = self.tel.begin("move.transfer");
-        let id = self.shards[sa].call(a_l, WireCall::DelPerflow { flow_ids })?;
-        RtController::expect_done(self.shards[sa].await_reply(id, events)?)?;
-        *in_hand = Some(chunks.clone());
-        self.tel.end(sp);
-
-        let sp = self.tel.begin("move.import");
-        self.ew_send(sb, &EwMsg::PutChunks { op, worker: b_l, chunks });
         self.drain_ew(sb)?;
-        *in_hand = None;
         self.tel.end(sp);
+        if self.shards[sa].jlog(op, JournalPhase::Transferred, report) {
+            return Err(RtError::CtrlCrashed);
+        }
+
+        // Import boundary: only now — with the peer's copy confirmed —
+        // delete at the source. No double-processing window: the source
+        // has been buffer-and-dropping since enableEvents.
+        let sp = self.tel.begin("move.import");
+        let id = self.shards[sa].call(a_l, WireCall::DelPerflow { flow_ids: shipped.clone() })?;
+        RtController::expect_done(self.shards[sa].await_reply(id, events)?)?;
+        *deleted = true;
+        self.tel.end(sp);
+        if self.shards[sa].jlog(op, JournalPhase::Imported, report) {
+            return Err(RtError::CtrlCrashed);
+        }
 
         let sp = self.tel.begin("move.flush");
-        let (mut replayed, mut lost) = self.ew_replay(op, sb, b_l, std::mem::take(events))?;
+        let (mut replayed, mut lost) = self.ew_replay(op.0, sb, b_l, std::mem::take(events))?;
         self.tel.end(sp);
+        if self.shards[sa].jlog(op, JournalPhase::Flushed, report) {
+            return Err(RtError::CtrlCrashed);
+        }
 
         let sp = self.tel.begin("move.fwd_update");
         self.router.install(10, filter, dst_global);
@@ -395,7 +554,7 @@ impl ShardedRt {
             if tail.is_empty() {
                 continue;
             }
-            let (r, l) = self.ew_replay(op, sb, b_l, tail)?;
+            let (r, l) = self.ew_replay(op.0, sb, b_l, tail)?;
             replayed += r;
             lost.extend(l);
         }
@@ -431,6 +590,15 @@ impl ShardedRt {
                 EwMsg::PutChunks { worker, chunks, .. } => {
                     let sh = &mut self.shards[k];
                     let id = sh.call(worker, WireCall::PutPerflow { chunks })?;
+                    let mut evs = Vec::new();
+                    RtController::expect_done(sh.await_reply(id, &mut evs)?)?;
+                    let (r, l) = sh.replay_events_to(worker, evs);
+                    replayed += r;
+                    lost.extend(l);
+                }
+                EwMsg::DelFlows { worker, flow_ids, .. } => {
+                    let sh = &mut self.shards[k];
+                    let id = sh.call(worker, WireCall::DelPerflow { flow_ids })?;
                     let mut evs = Vec::new();
                     RtController::expect_done(sh.await_reply(id, &mut evs)?)?;
                     let (r, l) = sh.replay_events_to(worker, evs);

@@ -49,6 +49,19 @@ pub enum WireCall {
         /// Flow ids.
         flow_ids: Vec<FlowId>,
     },
+    /// Streamed export: like [`WireCall::GetPerflow`], but the worker
+    /// answers with a run of [`WireReply::ChunkBatch`] responses of at
+    /// most `batch` chunks each, all correlated to the request id, the
+    /// final one flagged `last` (sent even when empty, so the stream
+    /// always terminates). The concurrent op engine pipelines these:
+    /// early batches are already being imported at the destination while
+    /// later ones are still being serialized at the source.
+    GetPerflowChunked {
+        /// Selector.
+        filter: Filter,
+        /// Max chunks per batch reply.
+        batch: usize,
+    },
     /// Export multi-flow state.
     GetMultiflow {
         /// Selector.
@@ -133,6 +146,26 @@ pub enum WireReply {
         /// Every flow imported so far (across retries).
         imported: Vec<FlowId>,
     },
+    /// One batch of a streamed export ([`WireCall::GetPerflowChunked`]).
+    ChunkBatch {
+        /// Batch sequence number within the stream.
+        seq: u64,
+        /// True on the stream's final batch.
+        last: bool,
+        /// The chunk payload.
+        chunks: Vec<Chunk>,
+    },
+    /// P2P destination progress: the flows one *non-final* chunk batch
+    /// imported, acked as it lands. The controller accumulates these so
+    /// a retry after a dropped [`WireReply::TransferDone`] re-requests
+    /// only the flows no batch ever confirmed — batch-granular partial
+    /// recovery instead of refetching the whole scope.
+    TransferProgress {
+        /// Sequence number of the confirmed chunk batch.
+        seq: u64,
+        /// Flows that batch imported.
+        flow_ids: Vec<FlowId>,
+    },
 }
 
 /// Events on the wire.
@@ -172,6 +205,11 @@ pub enum WireMsg {
         id: u64,
         /// The call.
         call: WireCall,
+        /// Span link: raw id of the controller telemetry span that sent
+        /// this request, if telemetry is on — the worker's frame-decode
+        /// span adopts it as parent, tying both sides of the southbound
+        /// exchange into one trace tree.
+        span: Option<u64>,
     },
     /// Controller → NF request under an idempotency fence: the worker
     /// applies a given `(epoch, id, seq)` at most once and discards calls
@@ -188,6 +226,8 @@ pub enum WireMsg {
         id: u64,
         /// The call.
         call: WireCall,
+        /// Span link (see [`WireMsg::Request::span`]).
+        span: Option<u64>,
     },
     /// NF → controller response.
     Response {
@@ -387,13 +427,22 @@ mod tests {
         let m = WireMsg::Request {
             id: 7,
             call: WireCall::GetPerflow { filter: Filter::any() },
+            span: Some(12),
         };
         let js = m.to_json();
         assert!(js.contains("\"type\":\"request\""));
         assert!(js.contains("get_perflow"));
         match WireMsg::from_json(&js).unwrap() {
-            WireMsg::Request { id: 7, call: WireCall::GetPerflow { .. } } => {}
+            WireMsg::Request { id: 7, call: WireCall::GetPerflow { .. }, span: Some(12) } => {}
             other => panic!("bad roundtrip: {other:?}"),
+        }
+        // A pre-span-link request (no `span` member) still parses: the
+        // field is an Option, and missing means None.
+        let legacy = js.replace(",\"span\":12", "");
+        assert!(!legacy.contains("span"), "span member stripped: {legacy}");
+        match WireMsg::from_json(&legacy).unwrap() {
+            WireMsg::Request { id: 7, span: None, .. } => {}
+            other => panic!("bad legacy parse: {other:?}"),
         }
     }
 
@@ -404,11 +453,40 @@ mod tests {
             seq: 41,
             id: 7,
             call: WireCall::DisableEvents { filter: Filter::any() },
+            span: None,
         };
         let js = m.to_json();
         assert!(js.contains("\"type\":\"fenced\""));
         match WireMsg::from_json(&js).unwrap() {
-            WireMsg::Fenced { epoch: 2, seq: 41, id: 7, call: WireCall::DisableEvents { .. } } => {}
+            WireMsg::Fenced {
+                epoch: 2, seq: 41, id: 7, call: WireCall::DisableEvents { .. }, ..
+            } => {}
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_chunk_batch_and_progress() {
+        let m = WireMsg::Response {
+            id: 3,
+            reply: WireReply::ChunkBatch { seq: 2, last: true, chunks: Vec::new() },
+        };
+        match WireMsg::from_json(&m.to_json()).unwrap() {
+            WireMsg::Response {
+                id: 3,
+                reply: WireReply::ChunkBatch { seq: 2, last: true, chunks },
+            } => assert!(chunks.is_empty()),
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        let m = WireMsg::Response {
+            id: 4,
+            reply: WireReply::TransferProgress { seq: 1, flow_ids: vec![FlowId::host("9.9.9.9".parse().unwrap())] },
+        };
+        match WireMsg::from_json(&m.to_json()).unwrap() {
+            WireMsg::Response {
+                id: 4,
+                reply: WireReply::TransferProgress { seq: 1, flow_ids },
+            } => assert_eq!(flow_ids, vec![FlowId::host("9.9.9.9".parse().unwrap())]),
             other => panic!("bad roundtrip: {other:?}"),
         }
     }

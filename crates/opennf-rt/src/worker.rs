@@ -13,7 +13,7 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use opennf_nf::{EventedNf, NetworkFunction, NfEvent};
+use opennf_nf::{Chunk, EventedNf, NetworkFunction, NfEvent};
 use opennf_packet::{Filter, FlowId};
 use opennf_telemetry::Telemetry;
 
@@ -330,18 +330,33 @@ fn worker_loop(
                 continue;
             }
         };
+        // Span link: if the frame carries a request stamped with the
+        // sending controller span's id, open a decode span under that
+        // parent — the cross-boundary tie the trace viewer follows from a
+        // controller phase into the worker that served it. Packet frames
+        // carry no link, so the hot path never pays for this.
+        let frame_span = msgs
+            .iter()
+            .find_map(|m| match m {
+                WireMsg::Request { span, .. } | WireMsg::Fenced { span, .. } => *span,
+                _ => None,
+            })
+            .filter(|_| tel.enabled())
+            .map(|link| {
+                tel.begin_linked_arg(link, "rt.frame.decode", Some(format!("link={link}")))
+            });
         for msg in msgs {
             // Unwrap the fence envelope first: a stale-epoch or
             // already-applied call is dropped here, everything else is
             // handled exactly like the bare request it wraps.
             let msg = match msg {
-                WireMsg::Fenced { epoch, seq, id, call } => {
+                WireMsg::Fenced { epoch, seq, id, call, span } => {
                     if epoch < fence_epoch || !fence_seen.insert((epoch, id, seq)) {
                         counters.fenced_dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     fence_epoch = epoch;
-                    WireMsg::Request { id, call }
+                    WireMsg::Request { id, call, span }
                 }
                 m => m,
             };
@@ -364,7 +379,27 @@ fn worker_loop(
                         }
                     }
                 }
-                WireMsg::Request { id, call: WireCall::TransferPerflow { filter, peer, only } } => {
+                WireMsg::Request {
+                    id,
+                    call: WireCall::GetPerflowChunked { filter, batch },
+                    ..
+                } => {
+                    match catch_unwind(AssertUnwindSafe(|| harness.nf_mut().get_perflow(&filter)))
+                    {
+                        Ok(chunks) => {
+                            stream_chunks(index, &to_ctrl, id, chunks, batch);
+                        }
+                        Err(payload) => {
+                            let reason = panic_reason(payload);
+                            let _ = to_ctrl
+                                .send(&WireMsg::Event { worker: index, ev: WireEvent::NfFailed { reason } });
+                            break 'recv;
+                        }
+                    }
+                }
+                WireMsg::Request {
+                    id, call: WireCall::TransferPerflow { filter, peer, only }, ..
+                } => {
                     let reply = match catch_unwind(AssertUnwindSafe(|| {
                         do_transfer(&mut harness, &peers, id, &filter, peer, &only, &counters.p2p_batches)
                     })) {
@@ -378,7 +413,9 @@ fn worker_loop(
                     };
                     let _ = to_ctrl.send(&WireMsg::Response { id, reply });
                 }
-                WireMsg::Request { id, call: WireCall::AbortTransfer { flow_ids, through_id } } => {
+                WireMsg::Request {
+                    id, call: WireCall::AbortTransfer { flow_ids, through_id }, ..
+                } => {
                     p2p.aborted_through = p2p.aborted_through.max(through_id);
                     harness.nf_mut().del_perflow(&flow_ids);
                     for f in &flow_ids {
@@ -388,7 +425,7 @@ fn worker_loop(
                     p2p.imported.retain(|f| !gone.contains(f));
                     let _ = to_ctrl.send(&WireMsg::Response { id, reply: WireReply::Done });
                 }
-                WireMsg::Request { id, call } => {
+                WireMsg::Request { id, call, .. } => {
                     match catch_unwind(AssertUnwindSafe(|| handle_call(&mut harness, call))) {
                         Ok(reply) => {
                             let _ = to_ctrl.send(&WireMsg::Response { id, reply });
@@ -401,7 +438,7 @@ fn worker_loop(
                         }
                     }
                 }
-                WireMsg::P2pChunks { id, seq: _, last, chunks } => {
+                WireMsg::P2pChunks { id, seq, last, chunks } => {
                     if id <= p2p.aborted_through {
                         // Straggler from an aborted round: the state it
                         // carries was already rolled back at the source.
@@ -410,9 +447,9 @@ fn worker_loop(
                     let ids: Vec<FlowId> = chunks.iter().map(|c| c.flow_id).collect();
                     match harness.nf_mut().put_perflow(chunks) {
                         Ok(()) => {
-                            for f in ids {
-                                if p2p.seen.insert(f) {
-                                    p2p.imported.push(f);
+                            for f in &ids {
+                                if p2p.seen.insert(*f) {
+                                    p2p.imported.push(*f);
                                 }
                             }
                             if last {
@@ -421,6 +458,15 @@ fn worker_loop(
                                     reply: WireReply::TransferDone {
                                         imported: p2p.imported.clone(),
                                     },
+                                });
+                            } else {
+                                // Batch-granular progress ack: even if the
+                                // round's final TransferDone is lost, the
+                                // controller knows these flows landed and a
+                                // retry re-requests only the rest.
+                                let _ = to_ctrl.send(&WireMsg::Response {
+                                    id,
+                                    reply: WireReply::TransferProgress { seq, flow_ids: ids },
                                 });
                             }
                         }
@@ -437,8 +483,40 @@ fn worker_loop(
                 WireMsg::Response { .. } | WireMsg::Event { .. } | WireMsg::Fenced { .. } => {}
             }
         }
+        if let Some(sp) = frame_span {
+            tel.end(sp);
+        }
     }
     harness
+}
+
+/// Streams an export as [`WireReply::ChunkBatch`] responses of at most
+/// `batch` chunks, all under one correlation id; the final batch carries
+/// `last` and goes out even when empty, so the stream always terminates.
+fn stream_chunks(
+    _index: usize,
+    to_ctrl: &FaultyChannel,
+    id: u64,
+    chunks: Vec<Chunk>,
+    batch: usize,
+) {
+    let batch = batch.max(1);
+    let mut seq = 0u64;
+    let mut remaining = chunks;
+    loop {
+        let rest =
+            if remaining.len() > batch { remaining.split_off(batch) } else { Vec::new() };
+        let last = rest.is_empty();
+        let _ = to_ctrl.send(&WireMsg::Response {
+            id,
+            reply: WireReply::ChunkBatch { seq, last, chunks: remaining },
+        });
+        seq += 1;
+        if last {
+            break;
+        }
+        remaining = rest;
+    }
 }
 
 fn handle_call(harness: &mut EventedNf, call: WireCall) -> WireReply {
@@ -474,10 +552,12 @@ fn handle_call(harness: &mut EventedNf, call: WireCall) -> WireReply {
             harness.disable_events(&filter);
             WireReply::Done
         }
-        // Intercepted in `worker_loop` (they need the peer links and the
-        // per-transfer bookkeeping).
-        WireCall::TransferPerflow { .. } | WireCall::AbortTransfer { .. } => {
-            WireReply::Error { message: "transfer calls are handled by the worker loop".into() }
+        // Intercepted in `worker_loop` (they need the peer links, the
+        // per-transfer bookkeeping, or the streaming reply channel).
+        WireCall::TransferPerflow { .. }
+        | WireCall::AbortTransfer { .. }
+        | WireCall::GetPerflowChunked { .. } => {
+            WireReply::Error { message: "streaming calls are handled by the worker loop".into() }
         }
     }
 }
@@ -503,8 +583,12 @@ mod tests {
         let (to_ctrl, from_workers) = unbounded();
         let w = spawn_worker(0, Box::new(AssetMonitor::new()), to_ctrl);
         w.send(&WireMsg::Packet { packet: pkt(1) }).unwrap();
-        w.send(&WireMsg::Request { id: 5, call: WireCall::GetPerflow { filter: Filter::any() } })
-            .unwrap();
+        w.send(&WireMsg::Request {
+            id: 5,
+            call: WireCall::GetPerflow { filter: Filter::any() },
+            span: None,
+        })
+        .unwrap();
         let resp = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
         match resp {
             WireMsg::Response { id: 5, reply: WireReply::Chunks { chunks } } => {
@@ -526,6 +610,7 @@ mod tests {
                 filter: Filter::any(),
                 action: crate::wire::WireAction::Drop,
             },
+            span: None,
         })
         .unwrap();
         let _ack = from_workers.recv().unwrap();
@@ -550,6 +635,7 @@ mod tests {
             seq: 0,
             id: 4,
             call: WireCall::GetPerflow { filter: Filter::any() },
+            span: None,
         };
         w.send(&fenced).unwrap();
         // Exact duplicate: dropped, no second reply.
@@ -560,10 +646,15 @@ mod tests {
             seq: 9,
             id: 5,
             call: WireCall::GetPerflow { filter: Filter::any() },
+            span: None,
         })
         .unwrap();
-        w.send(&WireMsg::Request { id: 6, call: WireCall::GetPerflow { filter: Filter::any() } })
-            .unwrap();
+        w.send(&WireMsg::Request {
+            id: 6,
+            call: WireCall::GetPerflow { filter: Filter::any() },
+            span: None,
+        })
+        .unwrap();
         // The fenced get answers once, then the plain get — proving both
         // the duplicate and the stale-epoch call were fenced out between.
         match WireMsg::from_json(&from_workers.recv().unwrap()).unwrap() {

@@ -1,0 +1,168 @@
+//! Crash-tolerance of the threaded controller: the op engine is killed
+//! right after each journal append of an in-flight move, and
+//! [`RtController::recover`] must drive the op to the correct terminal
+//! phase — forward to `Committed` once every flow is confirmed at the
+//! destination (`Transferred` and later), rollback to `Aborted` before
+//! that — leaving the flow state whole at exactly one endpoint and the
+//! controller healthy enough to run the next move.
+//!
+//! This mirrors `opennf-controller/tests/recovery.rs` (the simulator's
+//! restart path) under the rt crash model: the struct — and with it the
+//! journal and residue — survives, in-flight requests and timers die.
+
+use std::net::Ipv4Addr;
+
+use opennf_controller::JournalPhase;
+use opennf_nf::NetworkFunction;
+use opennf_nfs::AssetMonitor;
+use opennf_packet::{Filter, FlowKey, Packet, TcpFlags};
+use opennf_rt::{OpSpec, RtController, RtError};
+
+const FLOWS: u32 = 30;
+
+fn pkt(uid: u64, flow: u32) -> Packet {
+    let key = FlowKey::tcp(
+        Ipv4Addr::new(10, 0, (flow >> 8) as u8, flow as u8),
+        2000 + (flow % 60_000) as u16,
+        Ipv4Addr::new(93, 184, 216, 34),
+        80,
+    );
+    Packet::builder(uid, key).flags(TcpFlags::SYN).build()
+}
+
+fn loaded_controller() -> RtController {
+    let mut ctrl = RtController::new(vec![
+        Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>,
+        Box::new(AssetMonitor::new()),
+    ]);
+    for f in 0..FLOWS {
+        ctrl.inject(pkt(f as u64 + 1, f)).expect("worker alive");
+    }
+    ctrl.quiesce(0).expect("worker alive");
+    ctrl
+}
+
+fn conn_counts(ctrl: RtController) -> (usize, usize) {
+    let harnesses = ctrl.shutdown();
+    let count = |i: usize| {
+        let any: &dyn std::any::Any = harnesses[i].nf();
+        any.downcast_ref::<AssetMonitor>().unwrap().conn_count()
+    };
+    (count(0), count(1))
+}
+
+/// Crash the engine right after each of the five non-terminal journal
+/// appends. Every run must surface `CtrlCrashed`, recover to the phase's
+/// mandated terminal (fail forward at `Transferred`+, roll back before),
+/// and leave all 30 flows intact at exactly the endpoint that terminal
+/// implies — then complete a fresh move, proving the controller is not
+/// poisoned.
+#[test]
+fn crash_at_every_phase_recovers_to_the_mandated_terminal() {
+    let phases = [
+        (JournalPhase::Armed, false),
+        (JournalPhase::ExportDone, false),
+        (JournalPhase::Transferred, true),
+        (JournalPhase::Imported, true),
+        (JournalPhase::Flushed, true),
+    ];
+    for (phase, forward) in phases {
+        let mut ctrl = loaded_controller();
+        ctrl.crash_after(phase);
+        let res = ctrl.run_moves(vec![OpSpec { src: 0, dst: 1, filter: Filter::any() }]);
+        assert!(
+            matches!(res[0], Err(RtError::CtrlCrashed)),
+            "{phase:?}: crashed op must fail with CtrlCrashed, got {:?}",
+            res[0]
+        );
+        assert!(ctrl.is_crashed(), "{phase:?}: crash hook fired");
+
+        let outcomes = ctrl.recover();
+        let expected = if forward { JournalPhase::Committed } else { JournalPhase::Aborted };
+        assert_eq!(outcomes.len(), 1, "{phase:?}: one op recovered");
+        assert_eq!(outcomes[0].1, expected, "{phase:?}: terminal phase");
+        let last = ctrl.journal().records.last().expect("journal non-empty");
+        assert_eq!(last.phase, expected, "{phase:?}: journal ends terminal");
+        assert!(!ctrl.is_crashed(), "{phase:?}: recovery clears the crash flag");
+
+        // The controller survives recovery: the follow-up move (from
+        // wherever recovery left the state) completes normally.
+        let (src, dst) = if forward { (1, 0) } else { (0, 1) };
+        let stats = ctrl
+            .run_moves(vec![OpSpec { src, dst, filter: Filter::any() }])
+            .remove(0)
+            .unwrap_or_else(|e| panic!("{phase:?}: post-recovery move failed: {e}"));
+        assert_eq!(stats.chunks, FLOWS as usize, "{phase:?}: post-recovery move is whole");
+
+        // The follow-up move put everything at `dst`; nothing was lost or
+        // duplicated by the crash + recovery + re-move sequence.
+        let (m0, m1) = conn_counts(ctrl);
+        let (at_dst, at_src) = if dst == 1 { (m1, m0) } else { (m0, m1) };
+        assert_eq!(at_dst, FLOWS as usize, "{phase:?}: all flows at final dst");
+        assert_eq!(at_src, 0, "{phase:?}: final src fully released");
+    }
+}
+
+/// A crash with two ops in flight: recovery settles *both* — each to the
+/// terminal its own journal prefix mandates — in op-id order.
+#[test]
+fn crash_with_two_inflight_ops_recovers_both() {
+    let mut ctrl = RtController::new(
+        (0..4).map(|_| Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>).collect(),
+    );
+    // Two disjoint flow populations, one per source worker.
+    for f in 0..FLOWS {
+        let tx0 = ctrl.worker_tx(0);
+        tx0.send(opennf_rt::WireMsg::Packet { packet: pkt(f as u64 + 1, f) }.to_json())
+            .expect("worker alive");
+        let tx1 = ctrl.worker_tx(1);
+        tx1.send(
+            opennf_rt::WireMsg::Packet { packet: pkt(1_000 + f as u64, 256 + f) }.to_json(),
+        )
+        .expect("worker alive");
+    }
+    ctrl.quiesce(0).expect("worker alive");
+    ctrl.quiesce(1).expect("worker alive");
+
+    // The first Armed append kills the engine: both admitted ops die
+    // mid-flight (the second may not even have journaled yet).
+    ctrl.crash_after(JournalPhase::Armed);
+    let specs = vec![
+        OpSpec {
+            src: 0,
+            dst: 2,
+            filter: Filter::from_src(opennf_packet::Ipv4Prefix::new(
+                Ipv4Addr::new(10, 0, 0, 0),
+                24,
+            )),
+        },
+        OpSpec {
+            src: 1,
+            dst: 3,
+            filter: Filter::from_src(opennf_packet::Ipv4Prefix::new(
+                Ipv4Addr::new(10, 0, 1, 0),
+                24,
+            )),
+        },
+    ];
+    let res = ctrl.run_moves(specs);
+    assert!(res.iter().all(|r| matches!(r, Err(RtError::CtrlCrashed))));
+
+    let outcomes = ctrl.recover();
+    assert!(!outcomes.is_empty(), "at least the journaled op recovers");
+    assert!(
+        outcomes.iter().all(|(_, t)| t.is_terminal()),
+        "every recovered op reaches a terminal phase: {outcomes:?}"
+    );
+    // Whatever mix of commit/rollback recovery chose, no flow state may
+    // be lost or duplicated across the four instances.
+    let harnesses = ctrl.shutdown();
+    let total: usize = harnesses
+        .iter()
+        .map(|h| {
+            let any: &dyn std::any::Any = h.nf();
+            any.downcast_ref::<AssetMonitor>().unwrap().conn_count()
+        })
+        .sum();
+    assert_eq!(total, 2 * FLOWS as usize, "flow state conserved across recovery");
+}

@@ -11,8 +11,8 @@ use serde_json::Value;
 use crate::metrics::{HistSnapshot, Registry};
 use crate::recorder::{Kind, Rec};
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+fn obj(fields: Vec<(&'static str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
 fn rec_value(r: &Rec) -> Value {
@@ -26,16 +26,16 @@ fn rec_value(r: &Rec) -> Value {
                     Kind::End => "end",
                     Kind::Event => "event",
                 }
-                .to_string(),
+                .into(),
             ),
         ),
-        ("name", Value::Str(r.name.to_string())),
+        ("name", Value::Str(r.name.to_string().into())),
         ("id", Value::UInt(r.id)),
         ("parent", Value::UInt(r.parent)),
         ("tid", Value::UInt(r.tid)),
     ];
     if let Some(arg) = &r.arg {
-        fields.push(("arg", Value::Str(arg.clone())));
+        fields.push(("arg", Value::Str(arg.clone().into())));
     }
     obj(fields)
 }
@@ -63,19 +63,19 @@ pub fn jsonl(records: &[Rec], registry: &Registry, dropped: u64) -> String {
         (
             "counters",
             Value::Object(
-                registry.counters().into_iter().map(|(k, v)| (k, Value::UInt(v))).collect(),
+                registry.counters().into_iter().map(|(k, v)| (k.into(), Value::UInt(v))).collect(),
             ),
         ),
         (
             "gauges",
             Value::Object(
-                registry.gauges().into_iter().map(|(k, v)| (k, Value::UInt(v))).collect(),
+                registry.gauges().into_iter().map(|(k, v)| (k.into(), Value::UInt(v))).collect(),
             ),
         ),
         (
             "hists",
             Value::Object(
-                registry.hists().into_iter().map(|(k, s)| (k, hist_value(&s))).collect(),
+                registry.hists().into_iter().map(|(k, s)| (k.into(), hist_value(&s))).collect(),
             ),
         ),
     ]);
@@ -93,24 +93,24 @@ pub fn chrome_trace(records: &[Rec]) -> String {
         .iter()
         .map(|r| {
             let mut fields = vec![
-                ("name", Value::Str(r.name.to_string())),
-                ("ph", Value::Str(r.kind.phase().to_string())),
+                ("name", Value::Str(r.name.to_string().into())),
+                ("ph", Value::Str(r.kind.phase().to_string().into())),
                 ("ts", Value::Float(r.t_ns as f64 / 1_000.0)),
                 ("pid", Value::UInt(1)),
                 ("tid", Value::UInt(r.tid)),
             ];
             if r.kind == Kind::Event {
-                fields.push(("s", Value::Str("t".to_string())));
+                fields.push(("s", Value::Str("t".into())));
             }
             if let Some(arg) = &r.arg {
-                fields.push(("args", obj(vec![("arg", Value::Str(arg.clone()))])));
+                fields.push(("args", obj(vec![("arg", Value::Str(arg.clone().into()))])));
             }
             obj(fields)
         })
         .collect();
     obj(vec![
         ("traceEvents", Value::Array(events)),
-        ("displayTimeUnit", Value::Str("ms".to_string())),
+        ("displayTimeUnit", Value::Str("ms".into())),
     ])
     .encode_json()
 }

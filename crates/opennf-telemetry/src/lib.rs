@@ -98,6 +98,13 @@ impl SpanId {
     pub fn is_live(&self) -> bool {
         self.id != 0
     }
+
+    /// The raw record id, for carrying a span reference across a process
+    /// or wire boundary (0 for a dead span). Pair with
+    /// [`Telemetry::begin_linked_arg`] on the far side.
+    pub fn raw(&self) -> u64 {
+        self.id
+    }
 }
 
 /// RAII span for wall-clock runtimes: ends the span when dropped and
@@ -244,6 +251,54 @@ impl Telemetry {
         self.begin_at(name, self.now_ns())
     }
 
+    /// Opens a span now under an *explicit* parent, bypassing the
+    /// thread-local stack. A concurrent op engine interleaving k
+    /// operations on one dispatch thread cannot use stack attribution —
+    /// whichever op last touched the stack would adopt every other op's
+    /// phases — so each op holds its root `SpanId` and parents its phase
+    /// spans here.
+    pub fn begin_under(&self, parent: SpanId, name: &'static str) -> SpanId {
+        self.begin_under_arg(parent, name, None)
+    }
+
+    /// [`Telemetry::begin_under`] with formatted attributes.
+    pub fn begin_under_arg(
+        &self,
+        parent: SpanId,
+        name: &'static str,
+        arg: Option<String>,
+    ) -> SpanId {
+        self.begin_linked_arg(parent.id, name, arg)
+    }
+
+    /// Opens a span now whose parent is a *raw* span id — the span-link
+    /// form for crossing a thread or wire boundary where only the id
+    /// traveled (e.g. a worker's frame-decode span linking back to the
+    /// controller span whose request is inside the frame). A `parent_id`
+    /// of 0 means "no parent", matching [`SpanId::raw`] of a dead span.
+    pub fn begin_linked_arg(
+        &self,
+        parent_id: u64,
+        name: &'static str,
+        arg: Option<String>,
+    ) -> SpanId {
+        if !self.enabled() {
+            return SpanId::none();
+        }
+        let t_ns = self.now_ns();
+        let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
+        self.push(Rec {
+            t_ns,
+            kind: Kind::Begin,
+            id,
+            parent: parent_id,
+            tid: thread_tid(),
+            name,
+            arg,
+        });
+        SpanId { id, t0: t_ns, name }
+    }
+
     /// Closes a span at now.
     pub fn end(&self, span: SpanId) {
         self.end_at(span, self.now_ns());
@@ -352,6 +407,25 @@ impl Telemetry {
             .collect()
     }
 
+    /// [`Telemetry::span_sequence`] relaxed to per-parent order: matching
+    /// spans grouped by their parent span id, each group in begin order,
+    /// groups ordered by first appearance. With k interleaved ops the
+    /// *global* begin order of phase spans is timing-dependent, but each
+    /// op's phases must still begin in protocol order under that op's
+    /// root span — this is what the k-parallel oracle checks.
+    pub fn span_sequences_by_parent(&self, prefix: &str) -> Vec<(u64, Vec<String>)> {
+        let mut groups: Vec<(u64, Vec<String>)> = Vec::new();
+        for r in self.records() {
+            if r.kind == Kind::Begin && r.name.starts_with(prefix) {
+                match groups.iter_mut().find(|(p, _)| *p == r.parent) {
+                    Some((_, names)) => names.push(r.name.to_string()),
+                    None => groups.push((r.parent, vec![r.name.to_string()])),
+                }
+            }
+        }
+        groups
+    }
+
     /// JSONL dump: every record plus a final metrics-summary line.
     pub fn export_jsonl(&self) -> String {
         let (records, dropped) = {
@@ -448,6 +522,51 @@ mod tests {
         assert_eq!(recs[1].arg.as_deref(), Some("flow=7"));
         assert_eq!(recs[3].name, "inner");
         assert_eq!(recs[4].name, "outer");
+    }
+
+    #[test]
+    fn begin_under_parents_explicitly_and_ignores_the_stack() {
+        let tel = Telemetry::wall();
+        // Two "ops" interleave on one thread; each parents its phases
+        // under its own root, and the stack (empty here) plays no part.
+        let root_a = tel.begin("op.move");
+        let root_b = tel.begin("op.move");
+        let a1 = tel.begin_under(root_a, "move.export");
+        let b1 = tel.begin_under_arg(root_b, "move.export", Some("op=b".into()));
+        let a2 = tel.begin_under(root_a, "move.transfer");
+        tel.end(a1);
+        tel.end(b1);
+        tel.end(a2);
+        let groups = tel.span_sequences_by_parent("move.");
+        assert_eq!(
+            groups,
+            vec![
+                (root_a.raw(), vec!["move.export".to_string(), "move.transfer".to_string()]),
+                (root_b.raw(), vec!["move.export".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn linked_spans_carry_a_raw_parent_across_threads() {
+        let tel = Telemetry::wall();
+        let ctrl_span = tel.begin("move.export");
+        let raw = ctrl_span.raw();
+        assert!(raw != 0);
+        let tel2 = tel.clone();
+        std::thread::spawn(move || {
+            let sp = tel2.begin_linked_arg(raw, "rt.frame.decode", Some(format!("link={raw}")));
+            tel2.end(sp);
+        })
+        .join()
+        .unwrap();
+        tel.end(ctrl_span);
+        let recs = tel.records();
+        let decode = recs
+            .iter()
+            .find(|r| r.kind == Kind::Begin && r.name == "rt.frame.decode")
+            .expect("decode span recorded");
+        assert_eq!(decode.parent, raw, "decode span links to the sending span");
     }
 
     #[test]

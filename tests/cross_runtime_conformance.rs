@@ -105,3 +105,71 @@ fn default_soak_mask_first_seeds_pass() {
         assert!(r.ok, "seed {seed}: {} (repro: {})", r.detail, spec.repro());
     }
 }
+
+/// Telemetry span links cross the controller → worker runtime boundary:
+/// a southbound request frame carries the id of the controller phase span
+/// that sent it, and the worker's `rt.frame.decode` span opens *under*
+/// that id — on a different thread. The trace viewer can therefore walk
+/// from a controller `move.export` span into the worker that served it.
+#[test]
+fn worker_decode_spans_link_to_the_controller_phase_span() {
+    use opennf_telemetry::{Kind, Telemetry};
+
+    let tel = Telemetry::wall();
+    let mut ctrl = opennf_rt::RtController::new_with_telemetry(
+        vec![
+            Box::new(opennf_nfs::AssetMonitor::new()) as Box<dyn opennf_nf::NetworkFunction>,
+            Box::new(opennf_nfs::AssetMonitor::new()),
+        ],
+        tel.clone(),
+    );
+    for uid in 1..=20u64 {
+        let key = opennf_packet::FlowKey::tcp(
+            format!("10.0.0.{}", uid % 8 + 1).parse().unwrap(),
+            2000 + (uid % 8) as u16,
+            "93.184.216.34".parse().unwrap(),
+            80,
+        );
+        let pkt = opennf_packet::Packet::builder(uid, key)
+            .flags(opennf_packet::TcpFlags::SYN)
+            .build();
+        ctrl.inject(pkt).expect("worker alive");
+    }
+    ctrl.quiesce(0).expect("worker alive");
+    ctrl.run_moves(vec![opennf_rt::OpSpec {
+        src: 0,
+        dst: 1,
+        filter: opennf_packet::Filter::any(),
+    }])
+    .remove(0)
+    .expect("move succeeds");
+    ctrl.shutdown();
+
+    let recs = tel.records();
+    let phase_begins: Vec<_> = recs
+        .iter()
+        .filter(|r| r.kind == Kind::Begin && r.name.starts_with("move."))
+        .collect();
+    let decode_begins: Vec<_> = recs
+        .iter()
+        .filter(|r| r.kind == Kind::Begin && r.name == "rt.frame.decode")
+        .collect();
+    assert!(!decode_begins.is_empty(), "linked requests open worker decode spans");
+    // Every decode span hangs off a real controller phase span, recorded
+    // by a different thread — the link is cross-runtime, not a local
+    // parent that happens to share an id.
+    for d in &decode_begins {
+        let parent = phase_begins
+            .iter()
+            .find(|p| p.id == d.parent)
+            .unwrap_or_else(|| panic!("decode span parent {} is a controller phase span", d.parent));
+        assert_ne!(parent.tid, d.tid, "link crosses the thread boundary");
+    }
+    // The export phase specifically is linked: its request frames
+    // (EnableEvents, GetPerflowChunked) carry the span id southbound.
+    let export = phase_begins.iter().find(|p| p.name == "move.export").expect("export span");
+    assert!(
+        decode_begins.iter().any(|d| d.parent == export.id),
+        "at least one worker decode span links to move.export"
+    );
+}

@@ -54,10 +54,10 @@ pub trait Deserialize<'de>: Sized {
 /// Looks up a named field in an object body; a missing field deserializes
 /// from `Null` (so `Option` fields tolerate omission).
 pub fn field<T: for<'de> Deserialize<'de>>(
-    obj: &[(String, Value)],
+    obj: &[(std::borrow::Cow<'static, str>, Value)],
     name: &str,
 ) -> Result<T, Error> {
-    match obj.iter().find(|(k, _)| k == name) {
+    match obj.iter().find(|(k, _)| k.as_ref() == name) {
         Some((_, v)) => T::from_value(v),
         None => T::from_value(&Value::Null)
             .map_err(|e| Error::msg(format!("missing field `{name}`: {e}"))),
@@ -133,7 +133,7 @@ impl<'de> Deserialize<'de> for bool {
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
-        Value::Str(self.clone())
+        Value::Str(self.clone().into())
     }
 }
 impl<'de> Deserialize<'de> for String {
@@ -143,12 +143,12 @@ impl<'de> Deserialize<'de> for String {
 }
 impl Serialize for str {
     fn to_value(&self) -> Value {
-        Value::Str(self.to_string())
+        Value::Str(self.to_string().into())
     }
 }
 impl Serialize for char {
     fn to_value(&self) -> Value {
-        Value::Str(self.to_string())
+        Value::Str(self.to_string().into())
     }
 }
 impl<'de> Deserialize<'de> for char {
@@ -183,7 +183,7 @@ where
 
 impl Serialize for std::net::Ipv4Addr {
     fn to_value(&self) -> Value {
-        Value::Str(self.to_string())
+        Value::Str(self.to_string().into())
     }
 }
 impl<'de> Deserialize<'de> for std::net::Ipv4Addr {

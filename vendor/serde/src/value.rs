@@ -1,7 +1,16 @@
 //! The JSON-shaped value tree and its text encoding.
 
+use std::borrow::Cow;
+
 /// A JSON-style dynamic value. Objects keep insertion order (a `Vec` of
 /// pairs), which makes encoded output deterministic for a given input.
+///
+/// Strings (both object keys and string values) are `Cow<'static, str>`:
+/// serializers pass field names as borrowed `&'static str` (no
+/// allocation), and the parser borrows well-known wire words from a
+/// static intern table ([`intern`]) — bulk state transfer decodes tens of
+/// thousands of short keys, and allocating each one dominated the decode
+/// profile before values went copy-on-write.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// JSON `null`.
@@ -15,11 +24,69 @@ pub enum Value {
     /// Floating-point number.
     Float(f64),
     /// String.
-    Str(String),
+    Str(Cow<'static, str>),
     /// Array.
     Array(Vec<Value>),
     /// Object: ordered key/value pairs.
-    Object(Vec<(String, Value)>),
+    Object(Vec<(Cow<'static, str>, Value)>),
+}
+
+/// Returns the static copy of a well-known wire word, if `s` is one.
+///
+/// The table covers the field names and tag values the southbound wire
+/// format and NF state chunks use on their hot paths; anything else
+/// falls back to an owned allocation. Purely an in-memory optimization —
+/// encoded bytes are identical either way.
+fn intern(s: &str) -> Option<&'static str> {
+    Some(match s.as_bytes() {
+        b"type" => "type",
+        b"id" => "id",
+        b"call" => "call",
+        b"reply" => "reply",
+        b"seq" => "seq",
+        b"last" => "last",
+        b"chunks" => "chunks",
+        b"flow_id" => "flow_id",
+        b"flow_ids" => "flow_ids",
+        b"scope" => "scope",
+        b"kind" => "kind",
+        b"data" => "data",
+        b"nw_src" => "nw_src",
+        b"nw_dst" => "nw_dst",
+        b"tp_src" => "tp_src",
+        b"tp_dst" => "tp_dst",
+        b"nw_proto" => "nw_proto",
+        b"worker" => "worker",
+        b"ev" => "ev",
+        b"packet" => "packet",
+        b"filter" => "filter",
+        b"span" => "span",
+        b"epoch" => "epoch",
+        b"uid" => "uid",
+        b"bytes" => "bytes",
+        b"imported" => "imported",
+        b"message" => "message",
+        b"batch" => "batch",
+        b"peer" => "peer",
+        b"only" => "only",
+        b"through_id" => "through_id",
+        b"action" => "action",
+        b"events" => "events",
+        b"flags" => "flags",
+        b"payload_len" => "payload_len",
+        b"per-flow" => "per-flow",
+        b"multi-flow" => "multi-flow",
+        b"all-flows" => "all-flows",
+        b"request" => "request",
+        b"response" => "response",
+        b"event" => "event",
+        b"tcp" => "tcp",
+        b"udp" => "udp",
+        b"done" => "done",
+        b"drop" => "drop",
+        b"buffer" => "buffer",
+        _ => return None,
+    })
 }
 
 impl Value {
@@ -80,7 +147,7 @@ impl Value {
     }
 
     /// Object accessor.
-    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+    pub fn as_object(&self) -> Option<&[(Cow<'static, str>, Value)]> {
         match self {
             Value::Object(o) => Some(o),
             _ => None,
@@ -89,7 +156,7 @@ impl Value {
 
     /// Looks up a key in an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?.iter().find(|(k, _)| k.as_ref() == key).map(|(_, v)| v)
     }
 
     /// Encodes this value as compact JSON text.
@@ -166,19 +233,34 @@ impl Value {
 
 fn write_json_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    // Bulk-copy runs of clean characters; only the rare escapes go through
+    // the per-character path. Strings dominate chunk payload codec, so the
+    // writer must not walk them a char at a time.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b >= 0x20 && b != b'"' && b != b'\\' {
+            i += 1;
+            continue;
         }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            _ => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", b as u32);
+            }
+        }
+        i += 1;
+        start = i;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -259,14 +341,48 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("invalid number at byte {start}"))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<Cow<'static, str>, String> {
         self.expect(b'"')?;
+        // Fast path: scan to the closing quote; if no escape intervenes,
+        // the run is either borrowed from the intern table (well-known
+        // wire words — the overwhelmingly common case for object keys) or
+        // one bulk copy.
+        let start = self.i;
+        while let Some(&b) = self.b.get(self.i) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.b[start..self.i])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    self.i += 1;
+                    return Ok(match intern(s) {
+                        Some(st) => Cow::Borrowed(st),
+                        None => Cow::Owned(s.to_string()),
+                    });
+                }
+                b'\\' => break,
+                _ => self.i += 1,
+            }
+        }
+        // Slow path (escape seen): restart with an accumulating buffer,
+        // still bulk-copying the clean runs between escapes.
+        self.i = start;
         let mut out = String::new();
         loop {
+            let run = self.i;
+            while let Some(&b) = self.b.get(self.i) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.i += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.b[run..self.i])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?,
+            );
             let c = self.peek().ok_or("unterminated string")?;
             self.i += 1;
             match c {
-                b'"' => return Ok(out),
+                b'"' => return Ok(Cow::Owned(out)),
                 b'\\' => {
                     let e = self.peek().ok_or("unterminated escape")?;
                     self.i += 1;
@@ -295,22 +411,8 @@ impl<'a> Parser<'a> {
                         _ => return Err(format!("bad escape at byte {}", self.i - 1)),
                     }
                 }
-                c if c < 0x80 => out.push(c as char),
-                _ => {
-                    // Multi-byte UTF-8: re-decode from the byte slice.
-                    let s = &self.b[self.i - 1..];
-                    let ch = std::str::from_utf8(&s[..s.len().min(4)])
-                        .ok()
-                        .and_then(|t| t.chars().next())
-                        .or_else(|| {
-                            (1..=4.min(s.len()))
-                                .find_map(|n| std::str::from_utf8(&s[..n]).ok())
-                                .and_then(|t| t.chars().next())
-                        })
-                        .ok_or("invalid utf-8 in string")?;
-                    out.push(ch);
-                    self.i += ch.len_utf8() - 1;
-                }
+                // The run scan above stops only at '"' or '\\'.
+                _ => unreachable!("string run scan stops only at quote or escape"),
             }
         }
     }

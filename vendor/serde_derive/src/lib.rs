@@ -321,7 +321,7 @@ fn gen_serialize(c: &Container) -> String {
                 .iter()
                 .map(|f| {
                     format!(
-                        "(::std::string::String::from(\"{f}\"), \
+                        "(::std::borrow::Cow::Borrowed(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
                     )
                 })
@@ -354,7 +354,7 @@ fn gen_serialize(c: &Container) -> String {
 fn gen_ser_variant(name: &str, v: &Variant, tag: Option<&str>, style: Option<&str>) -> String {
     let vn = &v.name;
     let wire = rename(vn, style);
-    let key = |s: &str| format!("::std::string::String::from(\"{s}\")");
+    let key = |s: &str| format!("::std::borrow::Cow::Borrowed(\"{s}\")");
     match (&v.fields, tag) {
         (VariantFields::Unit, None) => {
             format!("{name}::{vn} => ::serde::Value::Str({}),", key(&wire))
@@ -554,7 +554,7 @@ fn gen_de_enum(name: &str, variants: &[Variant], tag: Option<&str>, style: Optio
                  ::serde::Error::msg(\"{name}: expected string or object\"))?;\n\
                  let (__k, __inner) = __o.first().ok_or_else(|| \
                  ::serde::Error::msg(\"{name}: empty object\"))?;\n\
-                 match __k.as_str() {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 match __k.as_ref() {{ {} _ => ::std::result::Result::Err(::serde::Error::msg(\
                  format!(\"{name}: unknown variant `{{__k}}`\"))) }}",
                 unit_arms.join(" "),
                 keyed_arms.join(" ")
