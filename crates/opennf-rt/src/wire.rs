@@ -284,20 +284,21 @@ impl WireMsg {
 /// A reusable frame assembler: messages accumulated since the last
 /// [`finish`](FrameBuf::finish) are coalesced into one channel payload.
 ///
-/// A frame holding a single message is byte-identical to
-/// [`WireMsg::to_json`], so anything that only ever ships one message per
-/// send (and every existing digest/conformance check) is unaffected. A
-/// frame holding several messages is a JSON array of wire objects — or,
-/// with the `compact-wire` feature, a length-prefixed netstring run
-/// (`#<len>:<json><len>:<json>…`) that skips the closing-bracket scan on
-/// decode. [`decode_frame`] understands all three forms unconditionally.
+/// Frames are length-prefixed netstring runs by default
+/// (`#<len>:<json><len>:<json>…`), which skip the closing-bracket scan on
+/// decode. The `json-wire` feature restores the original framing: a
+/// single message byte-identical to [`WireMsg::to_json`], several
+/// messages as a JSON array of wire objects. [`decode_frame`] understands
+/// all three forms unconditionally, so mixed-feature peers interoperate
+/// and old captures still parse. State digests are independent of the
+/// framing either way (they hash NF chunks, not wire bytes).
 ///
 /// The internal buffer keeps its capacity across frames, so steady-state
 /// encoding does no per-message allocation.
 #[derive(Default)]
 pub struct FrameBuf {
     scratch: String,
-    #[cfg(feature = "compact-wire")]
+    #[cfg(not(feature = "json-wire"))]
     tmp: String,
     count: usize,
 }
@@ -310,7 +311,7 @@ impl FrameBuf {
 
     /// Appends one message to the frame under assembly.
     pub fn push(&mut self, msg: &WireMsg) {
-        #[cfg(feature = "compact-wire")]
+        #[cfg(not(feature = "json-wire"))]
         {
             use std::fmt::Write;
             self.tmp.clear();
@@ -321,7 +322,7 @@ impl FrameBuf {
             let _ = write!(self.scratch, "{}:", self.tmp.len());
             self.scratch.push_str(&self.tmp);
         }
-        #[cfg(not(feature = "compact-wire"))]
+        #[cfg(feature = "json-wire")]
         {
             self.scratch.push(if self.count == 0 { '[' } else { ',' });
             msg.write_json(&mut self.scratch);
@@ -346,9 +347,9 @@ impl FrameBuf {
             0 => None,
             // Single message: strip the array framing so the payload is
             // exactly the bare wire form (digest-stable).
-            1 if !cfg!(feature = "compact-wire") => Some(self.scratch[1..].to_string()),
+            1 if cfg!(feature = "json-wire") => Some(self.scratch[1..].to_string()),
             _ => {
-                if !cfg!(feature = "compact-wire") {
+                if cfg!(feature = "json-wire") {
                     self.scratch.push(']');
                 }
                 Some(self.scratch.clone())
@@ -535,7 +536,7 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(feature = "compact-wire", ignore = "compact frames are not bare JSON")]
+    #[cfg_attr(not(feature = "json-wire"), ignore = "compact frames are not bare JSON")]
     fn single_message_frame_is_byte_identical_to_to_json() {
         let msgs = sample_msgs(1);
         let mut buf = FrameBuf::new();

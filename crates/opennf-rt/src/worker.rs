@@ -615,7 +615,9 @@ mod tests {
         .unwrap();
         let _ack = from_workers.recv().unwrap();
         w.send(&WireMsg::Packet { packet: pkt(9) }).unwrap();
-        let ev = WireMsg::from_json(&from_workers.recv().unwrap()).unwrap();
+        // The event pump frames its sends, so decode with the
+        // framing-aware path rather than the bare single-message parser.
+        let ev = crate::wire::decode_frame(&from_workers.recv().unwrap()).unwrap().remove(0);
         match ev {
             WireMsg::Event { worker: 3, ev: WireEvent::PacketReceived { packet } } => {
                 assert_eq!(packet.uid, 9)

@@ -280,16 +280,21 @@ impl RtBackend {
         self.w.as_ref().unwrap().send(&WireMsg::Request { id, call, span: None }).unwrap();
         loop {
             let raw = self.rx.recv_timeout(Duration::from_secs(5)).expect("worker reply");
-            match WireMsg::from_json(&raw).unwrap() {
-                WireMsg::Event { ev: WireEvent::PacketReceived { packet }, .. } => {
-                    self.events.push(packet.uid);
+            // The worker frames its sends (netstring by default, JSON
+            // array under `json-wire`); one payload may carry several
+            // messages.
+            for msg in opennf::rt::wire::decode_frame(&raw).unwrap() {
+                match msg {
+                    WireMsg::Event { ev: WireEvent::PacketReceived { packet }, .. } => {
+                        self.events.push(packet.uid);
+                    }
+                    WireMsg::Event { ev: WireEvent::NfFailed { reason }, .. } => {
+                        panic!("worker died: {reason}");
+                    }
+                    WireMsg::Event { .. } => {}
+                    WireMsg::Response { id: rid, reply } if rid == id => return reply,
+                    other => panic!("unexpected wire message: {other:?}"),
                 }
-                WireMsg::Event { ev: WireEvent::NfFailed { reason }, .. } => {
-                    panic!("worker died: {reason}");
-                }
-                WireMsg::Event { .. } => {}
-                WireMsg::Response { id: rid, reply } if rid == id => return reply,
-                other => panic!("unexpected wire message: {other:?}"),
             }
         }
     }
