@@ -33,7 +33,10 @@ fn main() {
         wanted
     };
 
-    for exp in wanted {
+    let mut i = 0;
+    while i < wanted.len() {
+        let exp = wanted[i];
+        i += 1;
         match exp {
             "fig10" => {
                 let runs = if quick { 2 } else { 5 };
@@ -129,6 +132,32 @@ fn main() {
                 let ks: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8] };
                 ablations::run_submoves(&ks).print();
                 ablations::run_p2p().print();
+            }
+            // Offline critical-path analysis of a flight-recorder dump
+            // (not a paper artifact; run explicitly, never part of "all").
+            // With a path operand it analyzes that dump; without one it
+            // records a fresh fig13-style run into fig13-flight.jsonl
+            // first.
+            "profile" => {
+                let path = match wanted.get(i) {
+                    Some(p) => {
+                        i += 1;
+                        p.to_string()
+                    }
+                    None => {
+                        let (k, flows) = if quick { (2, 250) } else { (4, 1_000) };
+                        let path = "fig13-flight.jsonl".to_string();
+                        if let Err(e) = profile::record_fig13_flight(k, flows, &path) {
+                            eprintln!("{e}");
+                            std::process::exit(1);
+                        }
+                        path
+                    }
+                };
+                if let Err(e) = profile::analyze_file(&path) {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
             }
             other => eprintln!("unknown experiment '{other}' (see DESIGN.md for the index)"),
         }

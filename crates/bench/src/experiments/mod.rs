@@ -14,5 +14,6 @@ pub mod fig13_faulty;
 pub mod nfperf;
 pub mod perf;
 pub mod priorplanes;
+pub mod profile;
 pub mod table1;
 pub mod table2;

@@ -274,6 +274,10 @@ pub struct SideReport {
     /// the flight-recorder dump when a crash-recovery spec fails or is
     /// archived.
     pub journal_json: String,
+    /// One-line verdict of the happens-before oracle (`opennf-prof`): the
+    /// causal-graph invariants checked over this side's flight recorder
+    /// and journal. An unexcused violation also clears `ok`.
+    pub hb_summary: String,
 }
 
 /// [`Telemetry::span_sequences_by_parent`] with the parent ids dropped:
@@ -281,6 +285,47 @@ pub struct SideReport {
 /// runtime-specific span numbering.
 fn span_groups(tel: &Telemetry) -> Vec<Vec<String>> {
     tel.span_sequences_by_parent("move.").into_iter().map(|(_, names)| names).collect()
+}
+
+/// What this spec's fault plan can excuse in the happens-before oracle
+/// (public so the soak's post-failure analyzer applies the same ledger).
+pub fn spec_excuses(spec: &Spec) -> opennf_prof::Excuses {
+    if spec.is_fault_free() {
+        return opennf_prof::Excuses::none();
+    }
+    let crashy = !spec.plan.crashes.is_empty() || !spec.plan.restarts.is_empty();
+    let mut kinds = Vec::new();
+    if !spec.plan.links.is_empty() {
+        kinds.push("link".to_string());
+    }
+    if !spec.plan.stalls.is_empty() {
+        kinds.push("stall".to_string());
+    }
+    if crashy {
+        kinds.push("crash".to_string());
+    }
+    opennf_prof::Excuses::faulty(crashy, kinds)
+}
+
+/// Runs the happens-before oracle over one side's flight recorder and
+/// journal, then folds an unexcused violation into the side verdict.
+fn apply_hb_oracle(
+    spec: &Spec,
+    tel: &Telemetry,
+    journal_json: &str,
+    ok: &mut bool,
+    detail: &mut String,
+) -> String {
+    let trace = opennf_prof::Trace::from_telemetry(tel);
+    let report = opennf_prof::check(&trace, Some(journal_json), &spec_excuses(spec));
+    if !report.ok() {
+        *ok = false;
+        if !detail.is_empty() {
+            detail.push_str("; ");
+        }
+        detail.push_str(&report.detail());
+    }
+    report.summary()
 }
 
 fn digest_chunks(mut chunks: Vec<Chunk>) -> String {
@@ -366,6 +411,14 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         .unwrap_or(false);
     let fault_canonical = sim_fault_canonical(&s);
     let digest = sim_digest(&mut s);
+    // Every shard's journal (a single controller is one shard).
+    let journal_json = (0..s.ctrls.len())
+        .map(|k| s.controller_of(k).journal_json())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut ok = ok;
+    let mut detail = detail;
+    let hb_summary = apply_hb_oracle(spec, &tel, &journal_json, &mut ok, &mut detail);
     SideReport {
         ok,
         detail,
@@ -377,11 +430,8 @@ pub fn run_sim(spec: &Spec) -> SideReport {
         move_span_groups: span_groups(&tel),
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
-        // Every shard's journal (a single controller is one shard).
-        journal_json: (0..s.ctrls.len())
-            .map(|k| s.controller_of(k).journal_json())
-            .collect::<Vec<_>>()
-            .join("\n"),
+        journal_json,
+        hb_summary,
     }
 }
 
@@ -518,6 +568,9 @@ pub fn run_rt(spec: &Spec) -> SideReport {
     for h in harnesses.iter_mut() {
         chunks.extend(h.nf_mut().get_perflow(&Filter::any()));
     }
+    let mut ok = ok;
+    let mut detail = detail;
+    let hb_summary = apply_hb_oracle(spec, &tel, &journal_json, &mut ok, &mut detail);
     SideReport {
         ok,
         detail,
@@ -530,6 +583,7 @@ pub fn run_rt(spec: &Spec) -> SideReport {
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
         journal_json,
+        hb_summary,
     }
 }
 
@@ -639,6 +693,9 @@ fn run_rt_sharded(spec: &Spec) -> SideReport {
     for h in harnesses.iter_mut() {
         chunks.extend(h.nf_mut().get_perflow(&Filter::any()));
     }
+    let mut ok = ok;
+    let mut detail = detail;
+    let hb_summary = apply_hb_oracle(spec, &tel, &journal_json, &mut ok, &mut detail);
     SideReport {
         ok,
         detail,
@@ -651,6 +708,7 @@ fn run_rt_sharded(spec: &Spec) -> SideReport {
         flight_jsonl: tel.export_jsonl(),
         flight_chrome: tel.export_chrome(),
         journal_json,
+        hb_summary,
     }
 }
 

@@ -116,6 +116,10 @@ pub struct NfNode {
     /// (fault-layer dup or crash-straddling reissue) is dropped instead of
     /// applied twice.
     fence_seen: std::collections::HashSet<(u64, u64, u64)>,
+    /// Run telemetry (disabled no-op by default; the scenario builder
+    /// attaches the real recorder so fence drops land in the trace for
+    /// the happens-before oracle).
+    tel: opennf_telemetry::Telemetry,
 }
 
 impl NfNode {
@@ -144,7 +148,14 @@ impl NfNode {
             logs: Vec::new(),
             max_epoch: 0,
             fence_seen: std::collections::HashSet::new(),
+            tel: opennf_telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attaches the run's telemetry handle (the builder calls this; the
+    /// default handle is a disabled no-op).
+    pub fn set_telemetry(&mut self, tel: opennf_telemetry::Telemetry) {
+        self.tel = tel;
     }
 
     /// The wrapped harness (drop counts, processed logs).
@@ -648,6 +659,15 @@ impl Node<Msg> for NfNode {
                 } else if !self.fence_seen.insert((epoch, op.0, seq)) {
                     // Exact duplicate of an already-applied reissue.
                     ctx.counters().inc("nf.fenced_dup");
+                    // Point event for the happens-before oracle: unlike
+                    // the threaded runtime's wire envelope, the sim fence
+                    // carries the op id, so the oracle can pin the drop
+                    // to its op directly.
+                    self.tel.event_at(
+                        "fence.dup",
+                        ctx.now().as_nanos(),
+                        Some(format!("op={} epoch={epoch} seq={seq}", op.0)),
+                    );
                 } else {
                     self.max_epoch = epoch;
                     self.handle_sb(ctx, op, call);

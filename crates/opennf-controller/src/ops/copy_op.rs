@@ -59,6 +59,9 @@ pub struct CopyOp {
     // the rest of the op (puts confirmed at the destination).
     sp_export: Option<SpanId>,
     sp_import: Option<SpanId>,
+    /// Per-op root span (named exactly `copy`, `op=<id>` arg); the phase
+    /// spans above are its children.
+    sp_root: Option<SpanId>,
 }
 
 impl CopyOp {
@@ -101,6 +104,7 @@ impl CopyOp {
             jlog: Vec::new(),
             sp_export: None,
             sp_import: None,
+            sp_root: None,
         }
     }
 
@@ -110,13 +114,16 @@ impl CopyOp {
         self.export_done = true;
         if let Some(s) = self.sp_export.take() {
             o.span_end(s);
-            self.sp_import = Some(o.span_begin("copy.import"));
+            self.sp_import = Some(o.span_begin_under(self.sp_root, "copy.import"));
             self.jlog.push(JournalPhase::ExportDone);
         }
     }
 
     fn close_spans(&mut self, o: &mut OpCtx<'_, '_>) {
-        for s in [self.sp_export.take(), self.sp_import.take()].into_iter().flatten() {
+        for s in [self.sp_export.take(), self.sp_import.take(), self.sp_root.take()]
+            .into_iter()
+            .flatten()
+        {
             o.span_end(s);
         }
     }
@@ -129,6 +136,7 @@ impl CopyOp {
     /// Kicks the operation off. Returns true if already complete (empty
     /// scope).
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.sp_root = Some(o.op_root("copy", self.id));
         self.jlog.push(JournalPhase::Armed);
         self.next_stage(o)
     }
@@ -196,7 +204,7 @@ impl CopyOp {
                 self.cur = Some(stage);
                 self.export_done = false;
                 if self.sp_export.is_none() && self.sp_import.is_none() {
-                    self.sp_export = Some(o.span_begin("copy.export"));
+                    self.sp_export = Some(o.span_begin_under(self.sp_root, "copy.export"));
                 }
                 self.retries_left = o.cfg.op.sb_retries;
                 self.backoff = o.cfg.op.sb_retry_backoff;

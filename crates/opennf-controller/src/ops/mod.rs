@@ -69,6 +69,34 @@ impl OpCtx<'_, '_> {
         }
     }
 
+    /// Opens a per-op *root* span (named exactly `move`/`copy`/`share`,
+    /// parentless, tagged `op=<id>`). Ops parent their phase spans under
+    /// this root so the trace analyzer can group interleaved ops by
+    /// parentage instead of guessing from thread stacks.
+    pub fn op_root(&self, kind: &'static str, op: OpId) -> SpanId {
+        let mut arg = format!("op={}", op.0);
+        if let Some(tag) = self.shard_arg {
+            arg.push(' ');
+            arg.push_str(tag);
+        }
+        self.tel.begin_linked_at_arg(0, kind, self.now().as_nanos(), Some(arg))
+    }
+
+    /// Opens a phase span under the op's root (falling back to plain
+    /// stack attribution when the op never opened a root — e.g. an op
+    /// resumed from the journal by a pre-root controller build).
+    pub fn span_begin_under(&self, root: Option<SpanId>, name: &'static str) -> SpanId {
+        match root {
+            Some(r) => self.tel.begin_under_at_arg(
+                r,
+                name,
+                self.now().as_nanos(),
+                self.shard_arg.map(str::to_string),
+            ),
+            None => self.span_begin(name),
+        }
+    }
+
     /// Closes a telemetry span at the current virtual time.
     pub fn span_end(&self, span: SpanId) {
         self.tel.end_at(span, self.now().as_nanos());

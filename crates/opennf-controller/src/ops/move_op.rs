@@ -164,6 +164,10 @@ pub struct MoveOp {
     sp_transfer: Option<SpanId>,
     sp_import: Option<SpanId>,
     sp_fwd: Option<SpanId>,
+    /// Per-op root span (named exactly `move`, `op=<id>` arg); the phase
+    /// spans above are its children so the trace analyzer can group
+    /// interleaved ops by parentage.
+    sp_root: Option<SpanId>,
 }
 
 impl MoveOp {
@@ -256,6 +260,7 @@ impl MoveOp {
             sp_transfer: None,
             sp_import: None,
             sp_fwd: None,
+            sp_root: None,
         }
     }
 
@@ -266,7 +271,7 @@ impl MoveOp {
         self.export_done = true;
         if let Some(s) = self.sp_export.take() {
             o.span_end(s);
-            self.sp_transfer = Some(o.span_begin("move.transfer"));
+            self.sp_transfer = Some(o.span_begin_under(self.sp_root, "move.transfer"));
             self.jlog.push(JournalPhase::ExportDone);
         }
     }
@@ -277,7 +282,7 @@ impl MoveOp {
         if self.export_done {
             if let Some(s) = self.sp_transfer.take() {
                 o.span_end(s);
-                self.sp_import = Some(o.span_begin("move.import"));
+                self.sp_import = Some(o.span_begin_under(self.sp_root, "move.import"));
                 self.jlog.push(JournalPhase::Transferred);
             }
         }
@@ -290,6 +295,7 @@ impl MoveOp {
             self.sp_transfer.take(),
             self.sp_import.take(),
             self.sp_fwd.take(),
+            self.sp_root.take(),
         ]
         .into_iter()
         .flatten()
@@ -666,6 +672,7 @@ impl MoveOp {
 
     /// Kicks the operation off. Returns true if already complete.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) -> bool {
+        self.sp_root = Some(o.op_root("move", self.id));
         self.jlog.push(JournalPhase::Armed);
         match self.props.variant {
             MoveVariant::NoGuarantee => {
@@ -719,7 +726,7 @@ impl MoveOp {
                     && self.sp_import.is_none()
                     && !self.flushed
                 {
-                    self.sp_export = Some(o.span_begin("move.export"));
+                    self.sp_export = Some(o.span_begin_under(self.sp_root, "move.export"));
                 }
                 self.enter(o, Phase::Transferring);
                 if self.seal_stage.is_none() {
@@ -858,13 +865,13 @@ impl MoveOp {
         // the tiling stays intact).
         if let Some(s) = self.sp_transfer.take() {
             o.span_end(s);
-            self.sp_import = Some(o.span_begin("move.import"));
+            self.sp_import = Some(o.span_begin_under(self.sp_root, "move.import"));
         }
         if let Some(s) = self.sp_import.take() {
             o.span_end(s);
         }
         self.jlog.push(JournalPhase::Imported);
-        let sp_flush = o.span_begin("move.flush");
+        let sp_flush = o.span_begin_under(self.sp_root, "move.flush");
         // Release everything still buffered, in arrival order.
         let mut packets: Vec<Packet> = std::mem::take(&mut self.buffered);
         // ER: any flows never released (e.g. flows that appeared after the
@@ -883,7 +890,7 @@ impl MoveOp {
         self.flushed = true;
         self.jlog.push(JournalPhase::Flushed);
         o.span_end(sp_flush);
-        self.sp_fwd = Some(o.span_begin("move.fwd_update"));
+        self.sp_fwd = Some(o.span_begin_under(self.sp_root, "move.fwd_update"));
 
         match self.props.variant {
             MoveVariant::NoGuarantee | MoveVariant::LossFree => {
@@ -911,6 +918,9 @@ impl MoveOp {
         self.disarm_watchdog();
         self.phase = Phase::Done;
         if let Some(s) = self.sp_fwd.take() {
+            o.span_end(s);
+        }
+        if let Some(s) = self.sp_root.take() {
             o.span_end(s);
         }
         self.report.end_ns = o.now().as_nanos();

@@ -102,6 +102,9 @@ pub struct ShareOp {
     // Telemetry spans for the two setup phases.
     sp_arm: Option<SpanId>,
     sp_init: Option<SpanId>,
+    /// Per-op root span (named exactly `share`, `op=<id>` arg). Stays open
+    /// for the op's whole life — shares run until teardown.
+    sp_root: Option<SpanId>,
 }
 
 impl ShareOp {
@@ -144,6 +147,7 @@ impl ShareOp {
             jlog: Vec::new(),
             sp_arm: None,
             sp_init: None,
+            sp_root: None,
         }
     }
 
@@ -224,8 +228,9 @@ impl ShareOp {
 
     /// Kicks the operation off.
     pub fn start(&mut self, o: &mut OpCtx<'_, '_>) {
+        self.sp_root = Some(o.op_root("share", self.id));
         self.jlog.push(JournalPhase::Armed);
-        self.sp_arm = Some(o.span_begin("share.arm"));
+        self.sp_arm = Some(o.span_begin_under(self.sp_root, "share.arm"));
         let action = self.event_action();
         for inst in self.insts.clone() {
             self.acks_outstanding += 1;
@@ -253,7 +258,7 @@ impl ShareOp {
         if let Some(s) = self.sp_arm.take() {
             o.span_end(s);
         }
-        self.sp_init = Some(o.span_begin("share.init_sync"));
+        self.sp_init = Some(o.span_begin_under(self.sp_root, "share.init_sync"));
         for inst in self.insts.clone() {
             if self.scope.multi_flow {
                 self.init_gets_outstanding += 1;
@@ -410,7 +415,7 @@ impl ShareOp {
         group.busy = true;
         group.origin = Some(origin);
         group.waiting_uid = Some(pkt.uid);
-        group.span = Some(o.tel.begin_at("share.sync_cycle", o.ctx.now().as_nanos()));
+        group.span = Some(o.span_begin_under(self.sp_root, "share.sync_cycle"));
         // Inject at the originating instance, marked so it is processed
         // despite the drop-action event filter.
         pkt.do_not_drop = true;
@@ -631,7 +636,10 @@ impl ShareOp {
             self.report.out_of_sync = out;
             self.torn_down = true;
             self.jlog.push(JournalPhase::Aborted);
-            for s in [self.sp_arm.take(), self.sp_init.take()].into_iter().flatten() {
+            for s in [self.sp_arm.take(), self.sp_init.take(), self.sp_root.take()]
+                .into_iter()
+                .flatten()
+            {
                 o.span_end(s);
             }
             o.tel_event("share.teardown", None);

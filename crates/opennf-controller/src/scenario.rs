@@ -273,7 +273,10 @@ impl ScenarioBuilder {
         assert_eq!(engine.add_node(Box::new(make_switch(0))), sw_ids[0]);
         for (i, (name, nf)) in self.nfs.into_iter().enumerate() {
             let shard = shard_of_switch(self.placements[i]);
-            let node = NfNode::new(name, nf, self.cfg, ctrl_ids[shard]);
+            let mut node = NfNode::new(name, nf, self.cfg, ctrl_ids[shard]);
+            if let Some(tel) = &shared_tel {
+                node.set_telemetry(tel.clone());
+            }
             assert_eq!(engine.add_node(Box::new(node)), inst_ids[i]);
         }
         for schedule in self.schedules {

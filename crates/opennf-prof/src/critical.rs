@@ -1,0 +1,403 @@
+//! Critical-path profiling: where did an op's wall time go?
+//!
+//! The phases of one op are strictly chained (each closes before the next
+//! opens), so an op's critical path is its queue wait — time between
+//! submission to the concurrent engine and admission, reported by the
+//! `engine.op_admitted` event — followed by the per-phase service times.
+//! Retry amplification is attributed by counting the `fault.*` and
+//! `move.p2p_round` events that land inside the op's window.
+
+use std::collections::BTreeMap;
+
+use opennf_telemetry::HistSnapshot;
+
+use crate::tree::{group_ops, SpanForest};
+use crate::{arg_u64, Trace};
+
+/// One op's decomposition.
+#[derive(Debug, Clone)]
+pub struct OpProfile {
+    /// `move` / `copy` / `share`.
+    pub kind: &'static str,
+    /// Op id when known.
+    pub op: Option<u64>,
+    /// Wall window (first begin → last end) in ns.
+    pub total_ns: u64,
+    /// Admission-queue wait (0 when the op never went through the engine
+    /// queue, e.g. sim ops or the synchronous rt paths).
+    pub queue_wait_ns: u64,
+    /// Phase name → service ns, in begin order (open phases excluded).
+    pub phases: Vec<(String, u64)>,
+    /// The phase with the largest service time.
+    pub critical_phase: Option<String>,
+    /// `fault.*` events inside the op's window.
+    pub faults_overlapping: u64,
+    /// `move.p2p_round` events inside the window (retry rounds beyond the
+    /// first are amplification).
+    pub p2p_rounds: u64,
+    /// An abort event for this op was recorded.
+    pub aborted: bool,
+}
+
+/// Aggregate over all ops for one phase name.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseAgg {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Total service ns.
+    pub total_ns: u64,
+    /// Largest single span.
+    pub max_ns: u64,
+}
+
+/// Engine admission-queue statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueueStats {
+    /// Last `engine.queue_depth` gauge value.
+    pub depth_last: Option<u64>,
+    /// Max depth observed across `engine.op_admitted` events' `depth=`.
+    pub depth_max: u64,
+    /// `engine.op_submitted` events seen.
+    pub submitted: u64,
+    /// `engine.op_admitted` events seen.
+    pub admitted: u64,
+    /// Per-NF admission-wait histograms (`engine.admission_wait.w<N>`).
+    pub waits: Vec<(String, HistSnapshot)>,
+}
+
+/// Per-thread utilization: how busy each recording thread was.
+#[derive(Debug, Clone)]
+pub struct TidUtil {
+    /// Recording thread.
+    pub tid: u64,
+    /// Sum of top-level span durations on this thread (a span is top-level
+    /// for utilization when its parent is absent or lives on another
+    /// thread).
+    pub busy_ns: u64,
+    /// Spans recorded on this thread.
+    pub spans: u64,
+    /// First-begin → last-end window on this thread.
+    pub window_ns: u64,
+}
+
+/// The full profile of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-op decomposition, in start order.
+    pub ops: Vec<OpProfile>,
+    /// Per-phase aggregates (canonical phases plus any other closed span
+    /// names), keyed by name.
+    pub phase_agg: BTreeMap<String, PhaseAgg>,
+    /// Engine queue statistics.
+    pub queue: QueueStats,
+    /// Per-thread utilization, by tid.
+    pub tids: Vec<TidUtil>,
+    /// Spans reconstructed.
+    pub span_count: usize,
+    /// Records the ring evicted before the dump.
+    pub dropped: u64,
+}
+
+/// Computes the critical-path profile of a trace.
+pub fn profile(trace: &Trace) -> Profile {
+    let f = SpanForest::build(&trace.records);
+    let ops = group_ops(&f);
+
+    // Queue events indexed by op id.
+    let mut wait_by_op: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut queue = QueueStats { depth_last: trace.gauge("engine.queue_depth"), ..Default::default() };
+    for ev in &f.events {
+        match ev.name.as_str() {
+            "engine.op_submitted" => queue.submitted += 1,
+            "engine.op_admitted" => {
+                queue.admitted += 1;
+                let arg = ev.arg.as_deref();
+                if let (Some(op), Some(wait)) = (arg_u64(arg, "op"), arg_u64(arg, "wait_ns")) {
+                    wait_by_op.insert(op, wait);
+                }
+                if let Some(d) = arg_u64(arg, "depth") {
+                    queue.depth_max = queue.depth_max.max(d);
+                }
+            }
+            _ => {}
+        }
+    }
+    queue.waits = trace
+        .summary
+        .hists
+        .iter()
+        .filter(|(k, _)| k.starts_with("engine.admission_wait."))
+        .cloned()
+        .collect();
+
+    let mut out = Vec::new();
+    for o in &ops {
+        let phases: Vec<(String, u64)> = o
+            .phases
+            .iter()
+            .filter_map(|&ix| {
+                let s = &f.spans[ix];
+                s.dur_ns().map(|d| (s.name.clone(), d))
+            })
+            .collect();
+        let critical_phase =
+            phases.iter().max_by_key(|(_, d)| *d).map(|(n, _)| n.clone());
+        let in_window = |t: u64| t >= o.t0 && t <= o.t1;
+        let mut faults = 0u64;
+        let mut rounds = 0u64;
+        let mut aborted = false;
+        for ev in &f.events {
+            let matches_op = match (o.op, arg_u64(ev.arg.as_deref(), "op")) {
+                (Some(a), Some(b)) => a == b,
+                _ => in_window(ev.t_ns),
+            };
+            if ev.name.starts_with("fault.") && in_window(ev.t_ns) {
+                faults += 1;
+            }
+            if ev.name == "move.p2p_round" && matches_op {
+                rounds += 1;
+            }
+            if (ev.name == "move.abort" || ev.name == "copy.abort" || ev.name == "share.teardown")
+                && matches_op
+            {
+                aborted = true;
+            }
+        }
+        out.push(OpProfile {
+            kind: o.kind,
+            op: o.op,
+            total_ns: o.t1.saturating_sub(o.t0),
+            queue_wait_ns: o.op.and_then(|id| wait_by_op.get(&id).copied()).unwrap_or(0),
+            phases,
+            critical_phase,
+            faults_overlapping: faults,
+            p2p_rounds: rounds,
+            aborted,
+        });
+    }
+
+    // Per-phase aggregates over every closed span (not only op phases, so
+    // rt plumbing like `rt.frame.decode` shows up too).
+    let mut phase_agg: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    for s in &f.spans {
+        if let Some(d) = s.dur_ns() {
+            let a = phase_agg.entry(s.name.clone()).or_default();
+            a.count += 1;
+            a.total_ns += d;
+            a.max_ns = a.max_ns.max(d);
+        }
+    }
+
+    // Per-thread utilization.
+    let mut tid_map: BTreeMap<u64, TidUtil> = BTreeMap::new();
+    let mut windows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for s in &f.spans {
+        let u = tid_map
+            .entry(s.tid)
+            .or_insert(TidUtil { tid: s.tid, busy_ns: 0, spans: 0, window_ns: 0 });
+        u.spans += 1;
+        let top_level = s.parent == 0 || f.by_id(s.parent).is_none_or(|p| p.tid != s.tid);
+        if top_level {
+            u.busy_ns += s.dur_ns().unwrap_or(0);
+        }
+        let w = windows.entry(s.tid).or_insert((s.t0, s.t0));
+        w.0 = w.0.min(s.t0);
+        w.1 = w.1.max(s.t1.unwrap_or(s.t0));
+    }
+    for (tid, u) in tid_map.iter_mut() {
+        if let Some((a, b)) = windows.get(tid) {
+            u.window_ns = b.saturating_sub(*a);
+        }
+    }
+
+    Profile {
+        ops: out,
+        phase_agg,
+        queue,
+        tids: tid_map.into_values().collect(),
+        span_count: f.spans.len(),
+        dropped: trace.summary.dropped_records,
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the profile as the text report `bench -- profile` prints and
+/// the soak harness writes to `soak-profile.txt`.
+pub fn render(p: &Profile) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "== critical-path profile ==");
+    let _ = writeln!(
+        s,
+        "spans={} ops={} dropped_records={}",
+        p.span_count,
+        p.ops.len(),
+        p.dropped
+    );
+
+    let _ = writeln!(s, "\n-- per-phase service time --");
+    let _ = writeln!(s, "{:<28} {:>8} {:>12} {:>12} {:>12}", "phase", "count", "total", "mean", "max");
+    for (name, a) in &p.phase_agg {
+        let mean = a.total_ns.checked_div(a.count).unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "{:<28} {:>8} {:>12} {:>12} {:>12}",
+            name,
+            a.count,
+            fmt_ns(a.total_ns),
+            fmt_ns(mean),
+            fmt_ns(a.max_ns)
+        );
+    }
+
+    let _ = writeln!(s, "\n-- per-op critical path (queue wait vs service) --");
+    for o in &p.ops {
+        let id = o.op.map(|i| i.to_string()).unwrap_or_else(|| "?".into());
+        let service: u64 = o.phases.iter().map(|(_, d)| d).sum();
+        let phases = o
+            .phases
+            .iter()
+            .map(|(n, d)| {
+                let short = n.split('.').nth(1).unwrap_or(n);
+                format!("{short} {}", fmt_ns(*d))
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        let _ = writeln!(
+            s,
+            "{} op={id}: queue {} | {} || total {} (service {})",
+            o.kind,
+            fmt_ns(o.queue_wait_ns),
+            if phases.is_empty() { "(no closed phases)".to_string() } else { phases },
+            fmt_ns(o.total_ns),
+            fmt_ns(service),
+        );
+        let mut notes = Vec::new();
+        if let Some(cp) = &o.critical_phase {
+            if service > 0 {
+                let d = o.phases.iter().find(|(n, _)| n == cp).map(|(_, d)| *d).unwrap_or(0);
+                notes.push(format!("critical: {} ({}%)", cp, d * 100 / service.max(1)));
+            }
+        }
+        if o.queue_wait_ns > 0 && service > 0 {
+            notes.push(format!(
+                "queue/service = {:.2}",
+                o.queue_wait_ns as f64 / service as f64
+            ));
+        }
+        if o.faults_overlapping > 0 {
+            notes.push(format!("faults={}", o.faults_overlapping));
+        }
+        if o.p2p_rounds > 1 {
+            notes.push(format!("p2p_rounds={}", o.p2p_rounds));
+        }
+        if o.aborted {
+            notes.push("ABORTED".into());
+        }
+        if !notes.is_empty() {
+            let _ = writeln!(s, "    {}", notes.join("  "));
+        }
+    }
+
+    let _ = writeln!(s, "\n-- engine admission queue --");
+    let _ = writeln!(
+        s,
+        "submitted={} admitted={} depth_max={} depth_last={}",
+        p.queue.submitted,
+        p.queue.admitted,
+        p.queue.depth_max,
+        p.queue.depth_last.map(|d| d.to_string()).unwrap_or_else(|| "-".into()),
+    );
+    for (name, h) in &p.queue.waits {
+        let _ = writeln!(
+            s,
+            "{name}: count={} p50={} p95={} p99={}",
+            h.count,
+            fmt_ns(h.p50),
+            fmt_ns(h.p95),
+            fmt_ns(h.p99)
+        );
+    }
+
+    let _ = writeln!(s, "\n-- per-thread utilization --");
+    for u in &p.tids {
+        let pct = if u.window_ns > 0 {
+            (u.busy_ns as f64 / u.window_ns as f64 * 100.0).min(100.0)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "tid {:>3}: busy {} / window {} ({pct:.1}%) spans={}",
+            u.tid,
+            fmt_ns(u.busy_ns),
+            fmt_ns(u.window_ns),
+            u.spans
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_telemetry::Telemetry;
+
+    fn engine_like_trace() -> Trace {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        tel.event("engine.op_submitted", Some("op=1 src=0 dst=1".into()));
+        tel.set_time_ns(100);
+        tel.event("engine.op_admitted", Some("op=1 wait_ns=100 depth=1".into()));
+        tel.observe("engine.admission_wait.w0", 100);
+        let root = tel.begin_linked_arg(0, "move", Some("op=1 src=0 dst=1".into()));
+        let e = tel.begin_under(root, "move.export");
+        tel.set_time_ns(1_100);
+        tel.end(e);
+        let x = tel.begin_under(root, "move.transfer");
+        tel.set_time_ns(4_100);
+        tel.end(x);
+        let i = tel.begin_under(root, "move.import");
+        tel.set_time_ns(4_600);
+        tel.end(i);
+        tel.end(root);
+        Trace::from_telemetry(&tel)
+    }
+
+    #[test]
+    fn profile_decomposes_queue_wait_and_phases() {
+        let p = profile(&engine_like_trace());
+        assert_eq!(p.ops.len(), 1);
+        let o = &p.ops[0];
+        assert_eq!(o.op, Some(1));
+        assert_eq!(o.queue_wait_ns, 100);
+        assert_eq!(o.phases.len(), 3);
+        assert_eq!(o.phases[0], ("move.export".to_string(), 1_000));
+        assert_eq!(o.critical_phase.as_deref(), Some("move.transfer"));
+        assert_eq!(p.queue.submitted, 1);
+        assert_eq!(p.queue.admitted, 1);
+        assert_eq!(p.queue.depth_max, 1);
+        assert_eq!(p.queue.waits.len(), 1);
+    }
+
+    #[test]
+    fn render_prints_the_table() {
+        let text = render(&profile(&engine_like_trace()));
+        assert!(text.contains("per-phase service time"));
+        assert!(text.contains("move.transfer"));
+        assert!(text.contains("queue 100ns"));
+        assert!(text.contains("critical: move.transfer"));
+        assert!(text.contains("engine.admission_wait.w0"));
+    }
+}

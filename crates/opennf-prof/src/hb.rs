@@ -1,0 +1,524 @@
+//! The happens-before oracle: machine-checks the causal order the flight
+//! recorder captured against the protocol's invariants.
+//!
+//! The causal graph is program order (per-thread record order on one
+//! clock) ∪ span parentage ∪ cross-runtime frame links ∪ east-west
+//! handoff events ∪ the op journal (which shares the run's telemetry
+//! clock in both runtimes). The invariants asserted:
+//!
+//! * **`phase-order`** — an op's canonical phases begin in protocol order
+//!   and each begins no earlier than the previous phase's end (export
+//!   closes before the import phase opens — the source release — and
+//!   flush closes before the forwarding update begins).
+//! * **`span-link-order`** — no span begins before its parent: parentage
+//!   and frame links are causal edges, so a child stamped earlier than
+//!   its parent means the clock or the link is lying.
+//! * **`journal-order`** — per op, journaled phases are monotone in both
+//!   phase rank and timestamp, and nothing follows a terminal record.
+//! * **`journal-span-order`** — a journaled boundary cannot precede the
+//!   begin of the span whose completion it records.
+//! * **`ew-handoff-order`** — an east-west release for an op is preceded
+//!   by that op's handoff.
+//! * **`fenced-dup-after-commit`** — a fenced-duplicate drop attributed
+//!   to an op is not observed after that op committed (the fence exists
+//!   to absorb *pre*-commit reissues).
+//!
+//! Fault-free runs must be violation-free. Faulty runs may only show
+//! violations excused by the armed fault ledger ([`Excuses`]): a crashy
+//! plan, an aborted op, or a fault that demonstrably fired inside the run.
+
+use std::collections::BTreeMap;
+
+use opennf_controller::journal::{JournalPhase, OpJournal};
+
+use crate::tree::{canonical_phases, group_ops, SpanForest};
+use crate::{arg_u64, Trace};
+
+/// One violated invariant.
+#[derive(Debug, Clone)]
+pub struct HbViolation {
+    /// Which rule (see module docs).
+    pub rule: &'static str,
+    /// The op involved, when attributable.
+    pub op: Option<u64>,
+    /// Timestamp of the offending edge.
+    pub t_ns: u64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for HbViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "[{}] op={} @{}ns: {}", self.rule, op, self.t_ns, self.detail),
+            None => write!(f, "[{}] @{}ns: {}", self.rule, self.t_ns, self.detail),
+        }
+    }
+}
+
+/// What the run's fault ledger can excuse.
+#[derive(Debug, Clone, Default)]
+pub struct Excuses {
+    /// The spec armed no faults: nothing is excused.
+    pub fault_free: bool,
+    /// The plan includes controller crashes or NF restarts — recovery
+    /// legitimately replays journal phases and reissues fenced calls.
+    pub crashy: bool,
+    /// Names of the armed fault components (for the excuse message).
+    pub fault_kinds: Vec<String>,
+}
+
+impl Excuses {
+    /// A fault-free run: every violation stands.
+    pub fn none() -> Excuses {
+        Excuses { fault_free: true, crashy: false, fault_kinds: Vec::new() }
+    }
+
+    /// A faulty run with the given armed components.
+    pub fn faulty(crashy: bool, fault_kinds: Vec<String>) -> Excuses {
+        Excuses { fault_free: false, crashy, fault_kinds }
+    }
+}
+
+/// The oracle's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct HbReport {
+    /// Ops the checker saw (spans and/or journal).
+    pub checked_ops: usize,
+    /// Violations the fault ledger does not excuse. Any entry here is a
+    /// protocol bug (or an analyzer bug — either way, fail the run).
+    pub unexcused: Vec<HbViolation>,
+    /// Violations excused by the ledger, with the excuse.
+    pub excused: Vec<(HbViolation, String)>,
+}
+
+impl HbReport {
+    /// True when no unexcused violation was found.
+    pub fn ok(&self) -> bool {
+        self.unexcused.is_empty()
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "hb: {} ops checked, {} unexcused, {} excused",
+            self.checked_ops,
+            self.unexcused.len(),
+            self.excused.len()
+        )
+    }
+
+    /// Multi-line report of every violation.
+    pub fn detail(&self) -> String {
+        let mut s = self.summary();
+        for v in &self.unexcused {
+            s.push_str(&format!("\n  UNEXCUSED {v}"));
+        }
+        for (v, why) in &self.excused {
+            s.push_str(&format!("\n  excused ({why}) {v}"));
+        }
+        s
+    }
+}
+
+/// Parses a journal dump: one `OpJournal` JSON document per non-empty
+/// line (the sharded runtimes newline-join per-shard journals).
+pub fn parse_journals(journal_json: &str) -> Vec<OpJournal> {
+    journal_json
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| OpJournal::from_json(l).ok())
+        .collect()
+}
+
+/// Runs every invariant over one trace (+ optional journal dump) and
+/// applies the excuse ledger.
+pub fn check(trace: &Trace, journal_json: Option<&str>, ex: &Excuses) -> HbReport {
+    let f = SpanForest::build(&trace.records);
+    let ops = group_ops(&f);
+    let journals = journal_json.map(parse_journals).unwrap_or_default();
+    let mut raw: Vec<HbViolation> = Vec::new();
+
+    // -- phase-order ------------------------------------------------------
+    for o in &ops {
+        let canon = canonical_phases(o.kind);
+        let mut last: Option<(usize, &str, u64, Option<u64>)> = None;
+        for &ix in &o.phases {
+            let s = &f.spans[ix];
+            let Some(ci) = canon.iter().position(|n| *n == s.name) else { continue };
+            if let Some((pci, pname, _pt0, pt1)) = last {
+                if ci <= pci {
+                    raw.push(HbViolation {
+                        rule: "phase-order",
+                        op: o.op,
+                        t_ns: s.t0,
+                        detail: format!("{} began after {} (canonical order {:?})", s.name, pname, canon),
+                    });
+                } else if let Some(pt1) = pt1 {
+                    if s.t0 < pt1 {
+                        raw.push(HbViolation {
+                            rule: "phase-order",
+                            op: o.op,
+                            t_ns: s.t0,
+                            detail: format!(
+                                "{} began at {} before {} ended at {}",
+                                s.name, s.t0, pname, pt1
+                            ),
+                        });
+                    }
+                }
+            }
+            last = Some((ci, &s.name, s.t0, s.t1));
+        }
+    }
+
+    // -- span-link-order --------------------------------------------------
+    for s in &f.spans {
+        if s.parent == 0 {
+            continue;
+        }
+        if let Some(p) = f.by_id(s.parent) {
+            if s.t0 < p.t0 {
+                raw.push(HbViolation {
+                    rule: "span-link-order",
+                    op: None,
+                    t_ns: s.t0,
+                    detail: format!(
+                        "span {} (id {}) began at {} before its parent {} began at {}",
+                        s.name, s.id, s.t0, p.name, p.t0
+                    ),
+                });
+            }
+        }
+    }
+
+    // -- journal-order + commit index ------------------------------------
+    let mut committed_at: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut aborted_ops: Vec<u64> = Vec::new();
+    let mut journal_ops = 0usize;
+    for j in &journals {
+        let mut per_op: BTreeMap<u64, Vec<(JournalPhase, u64)>> = BTreeMap::new();
+        for r in &j.records {
+            per_op.entry(r.op.0).or_default().push((r.phase, r.t_ns));
+        }
+        journal_ops += per_op.len();
+        for (op, recs) in per_op {
+            for w in recs.windows(2) {
+                let (pa, ta) = w[0];
+                let (pb, tb) = w[1];
+                if pb < pa {
+                    raw.push(HbViolation {
+                        rule: "journal-order",
+                        op: Some(op),
+                        t_ns: tb,
+                        detail: format!("journal went backwards: {pa:?} then {pb:?}"),
+                    });
+                }
+                if tb < ta {
+                    raw.push(HbViolation {
+                        rule: "journal-order",
+                        op: Some(op),
+                        t_ns: tb,
+                        detail: format!("journal timestamps regressed: {ta} then {tb} ({pa:?}→{pb:?})"),
+                    });
+                }
+                if pa.is_terminal() {
+                    raw.push(HbViolation {
+                        rule: "journal-order",
+                        op: Some(op),
+                        t_ns: tb,
+                        detail: format!("{pb:?} journaled after terminal {pa:?}"),
+                    });
+                }
+            }
+            for (p, t) in &recs {
+                match p {
+                    JournalPhase::Committed => {
+                        committed_at.insert(op, *t);
+                    }
+                    JournalPhase::Aborted => aborted_ops.push(op),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // -- journal-span-order -----------------------------------------------
+    // A journaled boundary records the *completion* of a phase, so it
+    // cannot be stamped before that phase's span began.
+    let phase_to_span = |kind: &str, p: JournalPhase| -> Option<&'static str> {
+        let canon = canonical_phases(kind);
+        let ix = match p {
+            JournalPhase::ExportDone => 0,
+            JournalPhase::Transferred => 1,
+            JournalPhase::Imported => 2,
+            JournalPhase::Flushed => 3,
+            JournalPhase::Committed => 4,
+            _ => return None,
+        };
+        canon.get(ix).copied()
+    };
+    for j in &journals {
+        for r in &j.records {
+            let Some(o) = ops.iter().find(|o| o.op == Some(r.op.0)) else { continue };
+            let Some(span_name) = phase_to_span(o.kind, r.phase) else { continue };
+            let Some(&pix) = o.phases.iter().find(|&&ix| f.spans[ix].name == span_name) else {
+                continue;
+            };
+            let s = &f.spans[pix];
+            if r.t_ns < s.t0 {
+                raw.push(HbViolation {
+                    rule: "journal-span-order",
+                    op: Some(r.op.0),
+                    t_ns: r.t_ns,
+                    detail: format!(
+                        "{:?} journaled at {} before span {} began at {}",
+                        r.phase, r.t_ns, span_name, s.t0
+                    ),
+                });
+            }
+        }
+    }
+
+    // -- ew-handoff-order --------------------------------------------------
+    let mut handoffs: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in &f.events {
+        if ev.name == "ew.handoff" {
+            if let Some(op) = arg_u64(ev.arg.as_deref(), "op") {
+                let e = handoffs.entry(op).or_insert(ev.t_ns);
+                *e = (*e).min(ev.t_ns);
+            }
+        }
+    }
+    for ev in &f.events {
+        if ev.name == "ew.release" {
+            if let Some(op) = arg_u64(ev.arg.as_deref(), "op") {
+                match handoffs.get(&op) {
+                    None => raw.push(HbViolation {
+                        rule: "ew-handoff-order",
+                        op: Some(op),
+                        t_ns: ev.t_ns,
+                        detail: "east-west release without a prior handoff".into(),
+                    }),
+                    Some(&th) if ev.t_ns < th => raw.push(HbViolation {
+                        rule: "ew-handoff-order",
+                        op: Some(op),
+                        t_ns: ev.t_ns,
+                        detail: format!("release at {} before handoff at {th}", ev.t_ns),
+                    }),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // -- fenced-dup-after-commit ------------------------------------------
+    for ev in &f.events {
+        if ev.name != "fence.dup" {
+            continue;
+        }
+        match arg_u64(ev.arg.as_deref(), "op") {
+            Some(op) => {
+                if let Some(&tc) = committed_at.get(&op) {
+                    if ev.t_ns > tc {
+                        raw.push(HbViolation {
+                            rule: "fenced-dup-after-commit",
+                            op: Some(op),
+                            t_ns: ev.t_ns,
+                            detail: format!(
+                                "fenced duplicate dropped at {} after commit at {tc}",
+                                ev.t_ns
+                            ),
+                        });
+                    }
+                }
+            }
+            // The rt wire fence envelope carries no op id; a fenced drop
+            // can only exist fault-free if something reissued — flag it
+            // there, leave attribution to the faulty-run excuses.
+            None => {
+                if ex.fault_free {
+                    raw.push(HbViolation {
+                        rule: "fenced-dup-after-commit",
+                        op: None,
+                        t_ns: ev.t_ns,
+                        detail: "fenced duplicate dropped in a fault-free run".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    // -- apply the excuse ledger ------------------------------------------
+    let fault_fired = f.events.iter().any(|e| {
+        e.name.starts_with("fault.") || e.name == "ctrl.crash" || e.name == "fence.dup"
+    });
+    let mut report = HbReport {
+        checked_ops: ops.len().max(journal_ops),
+        ..Default::default()
+    };
+    for v in raw {
+        if ex.fault_free {
+            report.unexcused.push(v);
+        } else if ex.crashy {
+            report.excused.push((v, "crash/restart armed in the fault plan".into()));
+        } else if v.op.is_some_and(|op| aborted_ops.contains(&op)) {
+            report.excused.push((v, "op aborted under faults".into()));
+        } else if fault_fired {
+            report
+                .excused
+                .push((v, format!("faults fired ({})", ex.fault_kinds.join(","))));
+        } else {
+            report.unexcused.push(v);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_telemetry::Telemetry;
+
+    fn clean_move_trace() -> Trace {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        let root = tel.begin_linked_arg(0, "move", Some("op=1 src=0 dst=1".into()));
+        let names = ["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"];
+        let mut t = 10;
+        for n in names {
+            tel.set_time_ns(t);
+            let s = tel.begin_under(root, n);
+            t += 10;
+            tel.set_time_ns(t);
+            tel.end(s);
+        }
+        tel.end(root);
+        Trace::from_telemetry(&tel)
+    }
+
+    #[test]
+    fn clean_move_is_violation_free() {
+        let r = check(&clean_move_trace(), None, &Excuses::none());
+        assert!(r.ok(), "{}", r.detail());
+        assert_eq!(r.checked_ops, 1);
+    }
+
+    #[test]
+    fn out_of_order_phases_are_flagged() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        let root = tel.begin_linked_arg(0, "move", Some("op=7".into()));
+        tel.set_time_ns(10);
+        let imp = tel.begin_under(root, "move.import");
+        tel.set_time_ns(20);
+        tel.end(imp);
+        // Export begins after import: protocol order violated.
+        let exp = tel.begin_under(root, "move.export");
+        tel.set_time_ns(30);
+        tel.end(exp);
+        tel.end(root);
+        let r = check(&Trace::from_telemetry(&tel), None, &Excuses::none());
+        assert!(!r.ok());
+        assert_eq!(r.unexcused[0].rule, "phase-order");
+        assert_eq!(r.unexcused[0].op, Some(7));
+    }
+
+    #[test]
+    fn overlapping_adjacent_phases_are_flagged() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        let root = tel.begin_linked_arg(0, "move", Some("op=2".into()));
+        tel.set_time_ns(10);
+        let exp = tel.begin_under(root, "move.export");
+        tel.set_time_ns(15);
+        // Flush begins while export is still open — need an *end* for
+        // export later than flush's begin to trip the overlap rule.
+        let fl = tel.begin_under(root, "move.flush");
+        tel.set_time_ns(30);
+        tel.end(exp);
+        tel.end(fl);
+        tel.end(root);
+        // Rebuild: export end (30) > flush begin (15) and flush's begin
+        // comes after export's begin → overlap violation.
+        let r = check(&Trace::from_telemetry(&tel), None, &Excuses::none());
+        assert!(!r.ok(), "{}", r.detail());
+        assert!(r.unexcused.iter().any(|v| v.rule == "phase-order"));
+    }
+
+    #[test]
+    fn faulty_crashy_runs_excuse_violations() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        let root = tel.begin_linked_arg(0, "move", Some("op=7".into()));
+        tel.set_time_ns(10);
+        let imp = tel.begin_under(root, "move.import");
+        tel.set_time_ns(20);
+        tel.end(imp);
+        let exp = tel.begin_under(root, "move.export");
+        tel.end(exp);
+        tel.end(root);
+        let r = check(
+            &Trace::from_telemetry(&tel),
+            None,
+            &Excuses::faulty(true, vec!["ctrl_crash".into()]),
+        );
+        assert!(r.ok());
+        assert_eq!(r.excused.len(), 1);
+    }
+
+    #[test]
+    fn journal_regression_and_post_terminal_appends_are_flagged() {
+        use opennf_controller::journal::{JournalRecord, OpJournal};
+        use opennf_controller::msg::OpId;
+        use opennf_controller::ops::report::OpReport;
+        let mut j = OpJournal::new();
+        let rep = OpReport::new(OpId(3), "move".into(), 0);
+        j.append(JournalRecord { op: OpId(3), phase: JournalPhase::Committed, t_ns: 50, report: rep.clone() });
+        j.append(JournalRecord { op: OpId(3), phase: JournalPhase::ExportDone, t_ns: 40, report: rep });
+        let r = check(&Trace::default(), Some(&j.to_json()), &Excuses::none());
+        assert!(!r.ok());
+        let rules: Vec<&str> = r.unexcused.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"journal-order"));
+    }
+
+    #[test]
+    fn fenced_dup_after_commit_is_flagged_and_abort_excuses() {
+        use opennf_controller::journal::{JournalRecord, OpJournal};
+        use opennf_controller::msg::OpId;
+        use opennf_controller::ops::report::OpReport;
+        let tel = Telemetry::manual();
+        tel.set_time_ns(100);
+        tel.event("fence.dup", Some("op=5 epoch=1 seq=2".into()));
+        let trace = Trace::from_telemetry(&tel);
+        let mut j = OpJournal::new();
+        let rep = OpReport::new(OpId(5), "move".into(), 0);
+        j.append(JournalRecord { op: OpId(5), phase: JournalPhase::Committed, t_ns: 50, report: rep.clone() });
+        let r = check(&trace, Some(&j.to_json()), &Excuses::none());
+        assert!(r.unexcused.iter().any(|v| v.rule == "fenced-dup-after-commit"));
+
+        // Same evidence, but the op also aborted under a (non-crashy)
+        // faulty plan: the ledger excuses it.
+        j.append(JournalRecord { op: OpId(5), phase: JournalPhase::Aborted, t_ns: 120, report: rep });
+        let r2 = check(&trace, Some(&j.to_json()), &Excuses::faulty(false, vec!["dup".into()]));
+        assert!(r2.ok(), "{}", r2.detail());
+        assert!(!r2.excused.is_empty());
+    }
+
+    #[test]
+    fn ew_release_requires_prior_handoff() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(10);
+        tel.event("ew.release", Some("op=4 committed=true".into()));
+        let r = check(&Trace::from_telemetry(&tel), None, &Excuses::none());
+        assert!(r.unexcused.iter().any(|v| v.rule == "ew-handoff-order"));
+
+        let tel2 = Telemetry::manual();
+        tel2.set_time_ns(5);
+        tel2.event("ew.handoff", Some("op=4 0->1".into()));
+        tel2.set_time_ns(10);
+        tel2.event("ew.release", Some("op=4 committed=true".into()));
+        let r2 = check(&Trace::from_telemetry(&tel2), None, &Excuses::none());
+        assert!(r2.ok(), "{}", r2.detail());
+    }
+}

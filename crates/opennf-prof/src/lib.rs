@@ -1,0 +1,148 @@
+//! Causal trace analysis over the OpenNF flight recorder.
+//!
+//! The paper's guarantees (loss-free, order-preserving — §4) are
+//! *ordering* properties, and the flight recorder already captures the
+//! order: span begin/end records with explicit parent links, cross-runtime
+//! frame links, east-west handoff events, and the op journal's phase
+//! boundaries — all on one shared clock per run. This crate turns those
+//! records into answers instead of Perfetto screenshots:
+//!
+//! * [`Trace`] — one run's records plus its metrics summary, built either
+//!   from a live [`Telemetry`] handle or re-imported from a JSONL dump
+//!   ([`Trace::from_jsonl`], the inverse of `export_jsonl`).
+//! * [`tree::SpanForest`] / [`tree::group_ops`] — per-op span trees
+//!   reconstructed from span ids and parent links, with a segmentation
+//!   fallback for legacy parentless phase chains (the rt P2P and
+//!   cross-shard paths).
+//! * [`critical::profile`] — the critical-path profile: per-phase service
+//!   time vs. admission-queue wait, retry/fault amplification, per-thread
+//!   utilization. Rendered as text by [`critical::render`].
+//! * [`hb::check`] — the happens-before oracle: asserts the protocol's
+//!   causal invariants (phase chaining, journal/span consistency,
+//!   handoff-before-release, no fenced-dup after commit) over the causal
+//!   graph of program order ∪ span parentage ∪ frame links ∪ handoff
+//!   events. Fault-free runs must be violation-free; faulty runs may only
+//!   show violations excused by the armed fault ledger ([`hb::Excuses`]).
+//!
+//! The conformance driver runs the oracle on every sim and rt run; the
+//! soak harness renders a full profile (`soak-profile.txt`) whenever a
+//! case fails.
+
+pub mod critical;
+pub mod hb;
+pub mod tree;
+
+use opennf_telemetry::{HistSnapshot, JsonlSummary, OwnedRec, Telemetry};
+
+pub use critical::{profile, render, Profile};
+pub use hb::{check, Excuses, HbReport, HbViolation};
+pub use tree::{group_ops, OpTrace, SpanForest};
+
+/// One run's flight-recorder contents: the record stream (oldest first)
+/// plus the metrics summary, source-agnostic (live handle or JSONL dump).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Records, oldest first. The ring is bounded, so the head of a busy
+    /// run may be evicted — every analysis here tolerates missing begins,
+    /// missing ends, and missing parents.
+    pub records: Vec<OwnedRec>,
+    /// Counters/gauges/histograms at dump time.
+    pub summary: JsonlSummary,
+}
+
+impl Trace {
+    /// Snapshots a live telemetry handle.
+    pub fn from_telemetry(tel: &Telemetry) -> Trace {
+        let reg = tel.registry();
+        Trace {
+            records: tel.records().iter().map(OwnedRec::from).collect(),
+            summary: JsonlSummary {
+                dropped_records: tel.dropped_records(),
+                counters: reg.counters(),
+                gauges: reg.gauges(),
+                hists: reg.hists(),
+            },
+        }
+    }
+
+    /// Re-imports a JSONL dump produced by `Telemetry::export_jsonl`.
+    pub fn from_jsonl(text: &str) -> Result<Trace, String> {
+        let (records, summary) = opennf_telemetry::parse_jsonl(text)?;
+        Ok(Trace { records, summary: summary.unwrap_or_default() })
+    }
+
+    /// A counter's value at dump time (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.summary.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// A gauge's last value at dump time.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.summary.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// A histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.summary.hists.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Extracts `key=value` from a space-separated attribute string (the
+/// `arg` convention every span and event in this codebase uses:
+/// `"op=3 src=0 dst=1"`).
+pub fn arg_field<'a>(arg: Option<&'a str>, key: &str) -> Option<&'a str> {
+    let arg = arg?;
+    arg.split_whitespace().find_map(|tok| {
+        let rest = tok.strip_prefix(key)?;
+        rest.strip_prefix('=')
+    })
+}
+
+/// [`arg_field`] parsed as `u64`.
+pub fn arg_u64(arg: Option<&str>, key: &str) -> Option<u64> {
+    arg_field(arg, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_field_extracts_tokens() {
+        let a = Some("op=3 src=0 dst=12");
+        assert_eq!(arg_field(a, "op"), Some("3"));
+        assert_eq!(arg_field(a, "dst"), Some("12"));
+        assert_eq!(arg_field(a, "s"), None, "prefix of `src` must not match");
+        assert_eq!(arg_u64(a, "op"), Some(3));
+        assert_eq!(arg_u64(None, "op"), None);
+    }
+
+    #[test]
+    fn trace_from_telemetry_captures_records_and_metrics() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(10);
+        let s = tel.begin("move.export");
+        tel.set_time_ns(30);
+        tel.end(s);
+        tel.gauge_set("engine.queue_depth", 4);
+        let t = Trace::from_telemetry(&tel);
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.gauge("engine.queue_depth"), Some(4));
+        assert!(t.hist("move.export").is_some(), "span end feeds the hist");
+    }
+
+    #[test]
+    fn trace_round_trips_through_jsonl() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(5);
+        let s = tel.begin_linked_arg(0, "move", Some("op=1 src=0 dst=1".into()));
+        let p = tel.begin_under(s, "move.export");
+        tel.set_time_ns(9);
+        tel.end(p);
+        tel.end(s);
+        let direct = Trace::from_telemetry(&tel);
+        let imported = Trace::from_jsonl(&tel.export_jsonl()).unwrap();
+        assert_eq!(direct.records, imported.records);
+        assert_eq!(direct.summary, imported.summary);
+    }
+}

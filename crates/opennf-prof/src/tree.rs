@@ -1,0 +1,306 @@
+//! Span-tree reconstruction and per-op grouping.
+//!
+//! Primary attribution: both runtimes open a per-op *root* span named
+//! exactly `move`/`copy`/`share` carrying `op=<id>` in its attributes,
+//! and parent every phase span under it explicitly (stack attribution is
+//! unusable when several ops interleave on one dispatch thread). Fallback
+//! attribution for legacy chains without a root (the rt P2P path and the
+//! cross-shard sharded path open phases on the thread stack): group
+//! parentless canonical phase spans by thread and cut a new segment
+//! whenever the canonical phase index fails to advance.
+
+use std::collections::HashMap;
+
+use opennf_telemetry::{Kind, OwnedRec};
+
+use crate::arg_u64;
+
+/// Canonical phase-span names per op kind, in protocol order.
+pub fn canonical_phases(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "move" => &["move.export", "move.transfer", "move.import", "move.flush", "move.fwd_update"],
+        "copy" => &["copy.export", "copy.import"],
+        "share" => &["share.arm", "share.init_sync"],
+        _ => &[],
+    }
+}
+
+/// The three northbound op kinds (also the root-span names).
+pub const OP_KINDS: [&str; 3] = ["move", "copy", "share"];
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Span id (unique within a run).
+    pub id: u64,
+    /// Parent span id as recorded (0 = none; may reference an evicted span).
+    pub parent: u64,
+    /// Recording thread.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Formatted attributes from the begin record.
+    pub arg: Option<String>,
+    /// Begin timestamp.
+    pub t0: u64,
+    /// End timestamp; `None` when the span never closed (or the end record
+    /// was evicted).
+    pub t1: Option<u64>,
+    /// Children, as indexes into [`SpanForest::spans`], in begin order.
+    pub children: Vec<usize>,
+}
+
+impl Span {
+    /// Service time, when the span closed.
+    pub fn dur_ns(&self) -> Option<u64> {
+        self.t1.map(|t1| t1.saturating_sub(self.t0))
+    }
+}
+
+/// Every span of a trace plus the instant events, with parent links
+/// resolved where both sides survived the ring.
+#[derive(Debug, Default)]
+pub struct SpanForest {
+    /// All spans in begin order.
+    pub spans: Vec<Span>,
+    /// Indexes of spans whose parent is absent from the trace (id 0 or
+    /// evicted): the tree roots.
+    pub roots: Vec<usize>,
+    /// Instant events in record order.
+    pub events: Vec<OwnedRec>,
+    index: HashMap<u64, usize>,
+}
+
+impl SpanForest {
+    /// Builds the forest. Tolerant of ring eviction: an `end` without a
+    /// surviving `begin` is dropped, a parent id pointing at an evicted
+    /// span makes the child a root.
+    pub fn build(records: &[OwnedRec]) -> SpanForest {
+        let mut f = SpanForest::default();
+        for r in records {
+            match r.kind {
+                Kind::Begin => {
+                    let ix = f.spans.len();
+                    f.spans.push(Span {
+                        id: r.id,
+                        parent: r.parent,
+                        tid: r.tid,
+                        name: r.name.clone(),
+                        arg: r.arg.clone(),
+                        t0: r.t_ns,
+                        t1: None,
+                        children: Vec::new(),
+                    });
+                    f.index.insert(r.id, ix);
+                }
+                Kind::End => {
+                    if let Some(&ix) = f.index.get(&r.id) {
+                        if f.spans[ix].t1.is_none() {
+                            f.spans[ix].t1 = Some(r.t_ns);
+                        }
+                    }
+                }
+                Kind::Event => f.events.push(r.clone()),
+            }
+        }
+        for ix in 0..f.spans.len() {
+            let parent = f.spans[ix].parent;
+            match (parent != 0).then(|| f.index.get(&parent).copied()).flatten() {
+                Some(pix) if pix != ix => f.spans[pix].children.push(ix),
+                _ => f.roots.push(ix),
+            }
+        }
+        f
+    }
+
+    /// The span with record id `id`.
+    pub fn by_id(&self, id: u64) -> Option<&Span> {
+        self.index.get(&id).map(|&ix| &self.spans[ix])
+    }
+}
+
+/// One op's spans: the root (when the run recorded one) and its canonical
+/// phase spans in begin order.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// `move` / `copy` / `share`.
+    pub kind: &'static str,
+    /// Op id, when the root span carried `op=<id>`.
+    pub op: Option<u64>,
+    /// Root span index into [`SpanForest::spans`].
+    pub root: Option<usize>,
+    /// Canonical phase span indexes, in begin order.
+    pub phases: Vec<usize>,
+    /// Earliest begin across root + phases.
+    pub t0: u64,
+    /// Latest end across root + phases (falls back to the latest begin for
+    /// never-closed spans).
+    pub t1: u64,
+}
+
+fn op_window(f: &SpanForest, root: Option<usize>, phases: &[usize]) -> (u64, u64) {
+    let mut t0 = u64::MAX;
+    let mut t1 = 0u64;
+    for &ix in root.iter().chain(phases.iter()) {
+        let s = &f.spans[ix];
+        t0 = t0.min(s.t0);
+        t1 = t1.max(s.t1.unwrap_or(s.t0));
+    }
+    if t0 == u64::MAX {
+        (0, 0)
+    } else {
+        (t0, t1)
+    }
+}
+
+fn kind_of(name: &str) -> Option<&'static str> {
+    OP_KINDS.iter().find(|k| **k == name).copied()
+}
+
+/// Groups a forest's spans into per-op traces (see module docs for the
+/// two attribution strategies).
+pub fn group_ops(f: &SpanForest) -> Vec<OpTrace> {
+    let mut out = Vec::new();
+    let mut claimed = vec![false; f.spans.len()];
+
+    // Primary: explicit per-op root spans.
+    for (ix, s) in f.spans.iter().enumerate() {
+        let Some(kind) = kind_of(&s.name) else { continue };
+        let canon = canonical_phases(kind);
+        let mut phases: Vec<usize> = s.spans_of(f, canon);
+        phases.sort_by_key(|&c| f.spans[c].t0);
+        claimed[ix] = true;
+        for &c in &phases {
+            claimed[c] = true;
+        }
+        let (t0, t1) = op_window(f, Some(ix), &phases);
+        out.push(OpTrace {
+            kind,
+            op: arg_u64(s.arg.as_deref(), "op"),
+            root: Some(ix),
+            phases,
+            t0,
+            t1,
+        });
+    }
+
+    // Fallback: parentless canonical chains, segmented per thread by
+    // canonical-index progress.
+    for kind in OP_KINDS {
+        let canon = canonical_phases(kind);
+        let mut per_tid: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (ix, s) in f.spans.iter().enumerate() {
+            if claimed[ix] {
+                continue;
+            }
+            if canon.contains(&s.name.as_str()) {
+                per_tid.entry(s.tid).or_default().push(ix);
+            }
+        }
+        let mut tids: Vec<u64> = per_tid.keys().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let spans = &per_tid[&tid];
+            let mut seg: Vec<usize> = Vec::new();
+            let mut last_ci: Option<usize> = None;
+            for &ix in spans {
+                let ci = canon.iter().position(|n| *n == f.spans[ix].name).unwrap_or(0);
+                if last_ci.is_some_and(|prev| ci <= prev) {
+                    let (t0, t1) = op_window(f, None, &seg);
+                    out.push(OpTrace { kind, op: None, root: None, phases: seg, t0, t1 });
+                    seg = Vec::new();
+                }
+                seg.push(ix);
+                last_ci = Some(ci);
+            }
+            if !seg.is_empty() {
+                let (t0, t1) = op_window(f, None, &seg);
+                out.push(OpTrace { kind, op: None, root: None, phases: seg, t0, t1 });
+            }
+        }
+    }
+
+    out.sort_by_key(|o| (o.t0, o.op));
+    out
+}
+
+impl Span {
+    /// Children of this span (by index into `f.spans`) whose names appear
+    /// in `names`.
+    fn spans_of(&self, f: &SpanForest, names: &[&str]) -> Vec<usize> {
+        self.children
+            .iter()
+            .copied()
+            .filter(|&c| names.contains(&f.spans[c].name.as_str()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opennf_telemetry::Telemetry;
+
+    use crate::Trace;
+
+    #[test]
+    fn rooted_ops_group_by_parentage_even_interleaved() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(1);
+        let r1 = tel.begin_linked_arg(0, "move", Some("op=1 src=0 dst=1".into()));
+        let r2 = tel.begin_linked_arg(0, "move", Some("op=2 src=2 dst=3".into()));
+        let a = tel.begin_under(r1, "move.export");
+        let b = tel.begin_under(r2, "move.export");
+        tel.set_time_ns(5);
+        tel.end(b);
+        let b2 = tel.begin_under(r2, "move.transfer");
+        tel.set_time_ns(9);
+        tel.end(a);
+        tel.end(b2);
+        tel.end(r2);
+        tel.end(r1);
+        let t = Trace::from_telemetry(&tel);
+        let f = SpanForest::build(&t.records);
+        let ops = group_ops(&f);
+        assert_eq!(ops.len(), 2);
+        let op1 = ops.iter().find(|o| o.op == Some(1)).unwrap();
+        let op2 = ops.iter().find(|o| o.op == Some(2)).unwrap();
+        assert_eq!(op1.phases.len(), 1);
+        assert_eq!(op2.phases.len(), 2);
+        assert_eq!(f.spans[op2.phases[1]].name, "move.transfer");
+    }
+
+    #[test]
+    fn parentless_chains_segment_on_phase_regression() {
+        let tel = Telemetry::manual();
+        // Two sequential parentless moves on one thread (the rt P2P shape).
+        for base in [10u64, 100] {
+            tel.set_time_ns(base);
+            let e = tel.begin("move.export");
+            tel.set_time_ns(base + 2);
+            tel.end(e);
+            let i = tel.begin("move.import");
+            tel.set_time_ns(base + 4);
+            tel.end(i);
+        }
+        let t = Trace::from_telemetry(&tel);
+        let ops = group_ops(&SpanForest::build(&t.records));
+        assert_eq!(ops.len(), 2, "phase index regression cuts a new op");
+        assert!(ops.iter().all(|o| o.phases.len() == 2 && o.root.is_none()));
+    }
+
+    #[test]
+    fn forest_tolerates_evicted_begins_and_missing_ends() {
+        use opennf_telemetry::Kind;
+        let recs = vec![
+            // End without a begin (begin evicted from the ring).
+            OwnedRec { t_ns: 5, kind: Kind::End, id: 99, parent: 0, tid: 0, name: "move.export".into(), arg: None },
+            // Begin whose parent id was evicted.
+            OwnedRec { t_ns: 6, kind: Kind::Begin, id: 7, parent: 42, tid: 0, name: "move.import".into(), arg: None },
+        ];
+        let f = SpanForest::build(&recs);
+        assert_eq!(f.spans.len(), 1);
+        assert_eq!(f.roots, vec![0]);
+        assert_eq!(f.spans[0].t1, None);
+    }
+}

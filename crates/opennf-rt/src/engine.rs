@@ -114,6 +114,9 @@ struct OpTask {
     root: Option<SpanId>,
     /// The currently open phase span.
     phase: Option<SpanId>,
+    /// When the spec entered the engine's admission queue (queue wait =
+    /// admission time − this).
+    submitted: Instant,
     start: Instant,
     /// Watchdog for the outstanding request(s); reset on every ack/batch.
     deadline: Instant,
@@ -162,6 +165,10 @@ impl RtController {
             .into_iter()
             .map(|spec| {
                 let op = self.mint_op();
+                self.tel.event(
+                    "engine.op_submitted",
+                    Some(format!("op={} src={} dst={}", op.0, spec.src, spec.dst)),
+                );
                 OpTask {
                     spec,
                     op,
@@ -169,6 +176,7 @@ impl RtController {
                     st: St::Pending,
                     root: None,
                     phase: None,
+                    submitted: now,
                     start: now,
                     deadline: now,
                     wait_id: 0,
@@ -191,6 +199,7 @@ impl RtController {
             .collect();
         let mut busy: HashSet<usize> = HashSet::new();
         let mut by_req: HashMap<u64, usize> = HashMap::new();
+        let mut last_depth = u64::MAX;
 
         loop {
             if self.is_crashed() {
@@ -202,7 +211,7 @@ impl RtController {
                 for t in tasks.iter_mut() {
                     if t.st != St::Done {
                         t.err = Some(RtError::CtrlCrashed);
-                        t.st = St::Done;
+                        self.set_st(t, St::Done);
                     }
                 }
                 break;
@@ -215,10 +224,32 @@ impl RtController {
                 {
                     busy.insert(tasks[ti].spec.src);
                     busy.insert(tasks[ti].spec.dst);
+                    if self.tel.enabled() {
+                        let wait = tasks[ti].submitted.elapsed().as_nanos() as u64;
+                        let depth =
+                            tasks.iter().filter(|t| t.st == St::Pending).count() as u64 - 1;
+                        self.tel
+                            .observe(&format!("engine.admission_wait.w{}", tasks[ti].spec.src), wait);
+                        self.tel.event(
+                            "engine.op_admitted",
+                            Some(format!(
+                                "op={} wait_ns={wait} depth={depth}",
+                                tasks[ti].op.0
+                            )),
+                        );
+                    }
                     if let Err(e) = self.start_op(&mut tasks[ti], ti, &mut by_req) {
                         self.fail_op(&mut tasks[ti], ti, e, &mut by_req, &mut busy);
                     }
                 }
+            }
+            // Queue-depth gauge: ops still waiting for a free endpoint
+            // after this admission sweep (set only on change — the loop
+            // spins once per message).
+            let depth = tasks.iter().filter(|t| t.st == St::Pending).count() as u64;
+            if depth != last_depth {
+                self.tel.gauge_set("engine.queue_depth", depth);
+                last_depth = depth;
             }
             if tasks.iter().all(|t| t.st == St::Done) {
                 break;
@@ -235,12 +266,12 @@ impl RtController {
                     // The NF is gone: every admitted op touching it dies.
                     // Pending ops fail naturally at admission (their first
                     // send returns WorkerGone).
-                    for ti in 0..tasks.len() {
-                        let hit = tasks[ti].active()
-                            && (tasks[ti].spec.src == worker || tasks[ti].spec.dst == worker);
+                    for (ti, t) in tasks.iter_mut().enumerate() {
+                        let hit =
+                            t.active() && (t.spec.src == worker || t.spec.dst == worker);
                         if hit {
                             self.fail_op(
-                                &mut tasks[ti],
+                                t,
                                 ti,
                                 RtError::NfFailed { worker, reason: reason.clone() },
                                 &mut by_req,
@@ -257,10 +288,10 @@ impl RtController {
                 Recv::Disconnected => {
                     // Every worker is gone: nothing left to send teardown
                     // to — finalize all survivors as aborted.
-                    for ti in 0..tasks.len() {
-                        if tasks[ti].st != St::Done {
-                            tasks[ti].err.get_or_insert(RtError::ChannelClosed);
-                            self.finalize_abort(&mut tasks[ti], &mut busy);
+                    for t in tasks.iter_mut() {
+                        if t.st != St::Done {
+                            t.err.get_or_insert(RtError::ChannelClosed);
+                            self.finalize_abort(t, &mut busy);
                         }
                     }
                 }
@@ -280,6 +311,19 @@ impl RtController {
                 }),
             })
             .collect()
+    }
+
+    /// Applies a state transition, recording it as a point event
+    /// (`engine.op_state`, with the op id) so the trace analyzer can
+    /// replay each op's lifecycle with timestamps.
+    fn set_st(&self, t: &mut OpTask, st: St) {
+        if self.tel.enabled() && t.st != st {
+            self.tel.event(
+                "engine.op_state",
+                Some(format!("op={} from={:?} to={:?}", t.op.0, t.st, st)),
+            );
+        }
+        t.st = st;
     }
 
     /// Admits one op: opens its root span, arms the drop filter at the
@@ -309,7 +353,7 @@ impl RtController {
         t.wait_id = id;
         by_req.insert(id, ti);
         t.deadline = Instant::now() + self.reply_timeout;
-        t.st = St::WaitEnable;
+        self.set_st(t, St::WaitEnable);
         Ok(())
     }
 
@@ -352,7 +396,7 @@ impl RtController {
                         t.get_id = gid;
                         by_req.insert(gid, ti);
                         t.deadline = Instant::now() + self.reply_timeout;
-                        t.st = St::Streaming;
+                        self.set_st(t, St::Streaming);
                     }
                     Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
                 }
@@ -448,7 +492,7 @@ impl RtController {
                 let now = Instant::now();
                 t.fwd_deadline = now + FWD_DRAIN;
                 t.last_event = now;
-                t.st = St::FwdWait;
+                self.set_st(t, St::FwdWait);
             }
             St::Settling if id == t.wait_id => {
                 by_req.remove(&id);
@@ -515,7 +559,7 @@ impl RtController {
                 t.wait_id = id;
                 by_req.insert(id, ti);
                 t.deadline = Instant::now() + self.reply_timeout;
-                t.st = St::Deleting;
+                self.set_st(t, St::Deleting);
             }
             Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
         }
@@ -577,50 +621,46 @@ impl RtController {
             return;
         }
         let now = Instant::now();
-        for ti in 0..tasks.len() {
-            match tasks[ti].st {
-                St::FwdWait => {
-                    let t = &mut tasks[ti];
-                    if now >= t.fwd_deadline || now >= t.last_event + FWD_IDLE {
-                        if let Some(sp) = t.phase.take() {
-                            self.tel.end(sp);
+        for (ti, t) in tasks.iter_mut().enumerate() {
+            match t.st {
+                St::FwdWait if now >= t.fwd_deadline || now >= t.last_event + FWD_IDLE => {
+                    if let Some(sp) = t.phase.take() {
+                        self.tel.end(sp);
+                    }
+                    // Converge: tear the event filter down over the
+                    // management channel; whatever the teardown
+                    // flushes out replays at the ack.
+                    let (src, filter) = (t.spec.src, t.spec.filter);
+                    match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
+                        Ok(id) => {
+                            t.wait_id = id;
+                            by_req.insert(id, ti);
+                            t.deadline = now + self.reply_timeout;
+                            self.set_st(t, St::Settling);
                         }
-                        // Converge: tear the event filter down over the
-                        // management channel; whatever the teardown
-                        // flushes out replays at the ack.
-                        let (src, filter) = (t.spec.src, t.spec.filter);
-                        match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
-                            Ok(id) => {
-                                let t = &mut tasks[ti];
-                                t.wait_id = id;
-                                by_req.insert(id, ti);
-                                t.deadline = now + self.reply_timeout;
-                                t.st = St::Settling;
-                            }
-                            // The source is gone, so its filter (and any
-                            // still-buffered events) died with it; the
-                            // destination already holds the state.
-                            Err(_) => self.finalize_commit(&mut tasks[ti], busy),
-                        }
+                        // The source is gone, so its filter (and any
+                        // still-buffered events) died with it; the
+                        // destination already holds the state.
+                        Err(_) => self.finalize_commit(t, busy),
                     }
                 }
-                St::WaitEnable | St::Streaming | St::Deleting if now >= tasks[ti].deadline => {
-                    let id = tasks[ti].wait_id;
-                    self.fail_op(&mut tasks[ti], ti, RtError::Timeout { id }, by_req, busy);
+                St::WaitEnable | St::Streaming | St::Deleting if now >= t.deadline => {
+                    let id = t.wait_id;
+                    self.fail_op(t, ti, RtError::Timeout { id }, by_req, busy);
                 }
                 // Best-effort teardown: a worker that won't ack its purge
                 // or disable doesn't pin the op forever.
-                St::Settling if now >= tasks[ti].deadline => {
-                    by_req.remove(&tasks[ti].wait_id);
-                    self.finalize_commit(&mut tasks[ti], busy);
+                St::Settling if now >= t.deadline => {
+                    by_req.remove(&t.wait_id);
+                    self.finalize_commit(t, busy);
                 }
-                St::AbortPurge if now >= tasks[ti].deadline => {
-                    by_req.remove(&tasks[ti].wait_id);
-                    self.abort_settle(&mut tasks[ti], ti, by_req, busy);
+                St::AbortPurge if now >= t.deadline => {
+                    by_req.remove(&t.wait_id);
+                    self.abort_settle(t, ti, by_req, busy);
                 }
-                St::AbortSettling if now >= tasks[ti].deadline => {
-                    by_req.remove(&tasks[ti].wait_id);
-                    self.finalize_abort(&mut tasks[ti], busy);
+                St::AbortSettling if now >= t.deadline => {
+                    by_req.remove(&t.wait_id);
+                    self.finalize_abort(t, busy);
                 }
                 _ => {}
             }
@@ -646,7 +686,7 @@ impl RtController {
             self.tel.end(root);
         }
         t.duration = t.start.elapsed();
-        t.st = St::Done;
+        self.set_st(t, St::Done);
         busy.remove(&t.spec.src);
         busy.remove(&t.spec.dst);
     }
@@ -685,7 +725,7 @@ impl RtController {
                 t.wait_id = id;
                 by_req.insert(id, ti);
                 t.deadline = Instant::now() + self.reply_timeout;
-                t.st = St::AbortPurge;
+                self.set_st(t, St::AbortPurge);
                 return;
             }
         }
@@ -707,7 +747,7 @@ impl RtController {
                 t.wait_id = id;
                 by_req.insert(id, ti);
                 t.deadline = Instant::now() + self.reply_timeout;
-                t.st = St::AbortSettling;
+                self.set_st(t, St::AbortSettling);
             }
             Err(_) => self.finalize_abort(t, busy),
         }
@@ -736,7 +776,7 @@ impl RtController {
             self.tel.end(root);
         }
         t.duration = t.start.elapsed();
-        t.st = St::Done;
+        self.set_st(t, St::Done);
         busy.remove(&t.spec.src);
         busy.remove(&t.spec.dst);
     }

@@ -353,6 +353,13 @@ fn worker_loop(
                 WireMsg::Fenced { epoch, seq, id, call, span } => {
                     if epoch < fence_epoch || !fence_seen.insert((epoch, id, seq)) {
                         counters.fenced_dropped.fetch_add(1, Ordering::Relaxed);
+                        // Point event for the happens-before oracle: the
+                        // wire fence envelope carries no op id, so the
+                        // analyzer attributes by time window.
+                        tel.event(
+                            "fence.dup",
+                            Some(format!("worker={index} epoch={epoch} id={id} seq={seq}")),
+                        );
                         continue;
                     }
                     fence_epoch = epoch;

@@ -84,6 +84,136 @@ pub fn jsonl(records: &[Rec], registry: &Registry, dropped: u64) -> String {
     out
 }
 
+/// A flight-recorder record with an owned name, as re-imported from a
+/// JSONL dump. Field-for-field identical to [`Rec`] except that the name
+/// is a `String` (the `&'static str` interning is lost across the file
+/// boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedRec {
+    /// Timestamp (ns on the exporting run's clock).
+    pub t_ns: u64,
+    /// Begin / end / instant.
+    pub kind: Kind,
+    /// Span id (0 for events).
+    pub id: u64,
+    /// Parent span id (0 = no parent).
+    pub parent: u64,
+    /// Recording thread.
+    pub tid: u64,
+    /// Span or event name.
+    pub name: String,
+    /// Formatted attributes.
+    pub arg: Option<String>,
+}
+
+impl From<&Rec> for OwnedRec {
+    fn from(r: &Rec) -> Self {
+        OwnedRec {
+            t_ns: r.t_ns,
+            kind: r.kind,
+            id: r.id,
+            parent: r.parent,
+            tid: r.tid,
+            name: r.name.to_string(),
+            arg: r.arg.clone(),
+        }
+    }
+}
+
+/// The metrics summary line a JSONL dump ends with.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// Records the ring evicted before the dump.
+    pub dropped_records: u64,
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → last value.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram name → snapshot.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+fn parse_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn parse_name_u64_map(v: Option<&Value>) -> Vec<(String, u64)> {
+    v.and_then(Value::as_object)
+        .map(|o| {
+            o.iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.to_string(), n)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Re-imports a [`jsonl`] dump: the inverse of the exporter, so a dump can
+/// be analyzed offline with the same tooling that reads a live recorder.
+/// Returns the record stream (oldest first) and, when present, the final
+/// summary line. Blank lines are skipped; a malformed line is an error.
+pub fn parse_jsonl(text: &str) -> Result<(Vec<OwnedRec>, Option<JsonlSummary>), String> {
+    let mut records = Vec::new();
+    let mut summary = None;
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse_json(line).map_err(|e| format!("line {}: {e:?}", ln + 1))?;
+        if v.get("kind").is_some() {
+            let kind = match v.get("kind").and_then(Value::as_str) {
+                Some("begin") => Kind::Begin,
+                Some("end") => Kind::End,
+                Some("event") => Kind::Event,
+                other => return Err(format!("line {}: bad kind {other:?}", ln + 1)),
+            };
+            records.push(OwnedRec {
+                t_ns: parse_u64(&v, "t_ns").map_err(|e| format!("line {}: {e}", ln + 1))?,
+                kind,
+                id: parse_u64(&v, "id").map_err(|e| format!("line {}: {e}", ln + 1))?,
+                parent: parse_u64(&v, "parent").map_err(|e| format!("line {}: {e}", ln + 1))?,
+                tid: parse_u64(&v, "tid").map_err(|e| format!("line {}: {e}", ln + 1))?,
+                name: v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {}: missing `name`", ln + 1))?
+                    .to_string(),
+                arg: v.get("arg").and_then(Value::as_str).map(str::to_string),
+            });
+        } else if v.get("counters").is_some() {
+            let hists = v
+                .get("hists")
+                .and_then(Value::as_object)
+                .map(|o| {
+                    o.iter()
+                        .filter_map(|(k, h)| {
+                            Some((
+                                k.to_string(),
+                                HistSnapshot {
+                                    count: h.get("count").and_then(Value::as_u64)?,
+                                    sum: h.get("sum").and_then(Value::as_u64)?,
+                                    p50: h.get("p50").and_then(Value::as_u64)?,
+                                    p95: h.get("p95").and_then(Value::as_u64)?,
+                                    p99: h.get("p99").and_then(Value::as_u64)?,
+                                },
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            summary = Some(JsonlSummary {
+                dropped_records: v.get("dropped_records").and_then(Value::as_u64).unwrap_or(0),
+                counters: parse_name_u64_map(v.get("counters")),
+                gauges: parse_name_u64_map(v.get("gauges")),
+                hists,
+            });
+        } else {
+            return Err(format!("line {}: neither record nor summary", ln + 1));
+        }
+    }
+    Ok((records, summary))
+}
+
 /// Chrome trace-event JSON (`{"traceEvents": […]}`): load the file via
 /// `chrome://tracing` or <https://ui.perfetto.dev>. Timestamps are
 /// microseconds (the format's unit); span begin/end map to `"B"`/`"E"`
@@ -152,6 +282,66 @@ mod tests {
             summary.get("counters").and_then(|c| c.get("c")).and_then(Value::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn jsonl_round_trips_records_and_summary() {
+        let reg = Registry::default();
+        reg.counter("rt.fenced.dropped").fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        reg.gauge("engine.queue_depth").store(2, std::sync::atomic::Ordering::Relaxed);
+        reg.hist("move.export").record(1_500);
+        let text = jsonl(&recs(), &reg, 7);
+        let (back, summary) = parse_jsonl(&text).expect("re-import parses");
+        let want: Vec<OwnedRec> = recs().iter().map(OwnedRec::from).collect();
+        assert_eq!(back, want, "record stream survives the round trip unchanged");
+        let summary = summary.expect("summary line present");
+        assert_eq!(summary.dropped_records, 7);
+        assert_eq!(summary.counters, vec![("rt.fenced.dropped".to_string(), 3)]);
+        assert_eq!(summary.gauges, vec![("engine.queue_depth".to_string(), 2)]);
+        assert_eq!(summary.hists.len(), 1);
+        assert_eq!(summary.hists[0].0, "move.export");
+        assert_eq!(summary.hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_escaped_and_non_ascii_fault_payloads() {
+        // Fault events carry free-form reason strings: quotes, backslashes,
+        // newlines, control chars, and non-ASCII text all must survive the
+        // JSON escape/unescape cycle byte-for-byte.
+        let nasty = vec![
+            Rec {
+                t_ns: 10,
+                kind: Kind::Event,
+                id: 0,
+                parent: 0,
+                tid: 1,
+                name: "fault.crash_loss",
+                arg: Some("reason=\"broken \\ pipe\"\nline2\ttab\u{1}".into()),
+            },
+            Rec {
+                t_ns: 20,
+                kind: Kind::Event,
+                id: 0,
+                parent: 0,
+                tid: 1,
+                name: "fault.drop",
+                arg: Some("ствол упал — 故障注入 — ω≠0 🚨".into()),
+            },
+        ];
+        let text = jsonl(&nasty, &Registry::default(), 0);
+        let (back, _) = parse_jsonl(&text).expect("escaped payloads re-import");
+        let want: Vec<OwnedRec> = nasty.iter().map(OwnedRec::from).collect();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_garbage_lines() {
+        assert!(parse_jsonl("{\"kind\":\"wat\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"neither\":1}").is_err());
+        // Blank lines are tolerated (trailing newline in dumps).
+        let (recs, summary) = parse_jsonl("\n\n").unwrap();
+        assert!(recs.is_empty() && summary.is_none());
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod export;
 mod metrics;
 mod recorder;
 
+pub use export::{parse_jsonl, JsonlSummary, OwnedRec};
 pub use metrics::{Hist, HistSnapshot, Registry};
 pub use recorder::{Kind, Rec, Ring as Recorder};
 
@@ -271,6 +272,19 @@ impl Telemetry {
         self.begin_linked_arg(parent.id, name, arg)
     }
 
+    /// [`Telemetry::begin_under_arg`] at an explicit timestamp — the
+    /// simulator's form (its clock is virtual time stamped by the caller),
+    /// used by op state machines parenting phase spans under a per-op root.
+    pub fn begin_under_at_arg(
+        &self,
+        parent: SpanId,
+        name: &'static str,
+        t_ns: u64,
+        arg: Option<String>,
+    ) -> SpanId {
+        self.begin_linked_at_arg(parent.id, name, t_ns, arg)
+    }
+
     /// Opens a span now whose parent is a *raw* span id — the span-link
     /// form for crossing a thread or wire boundary where only the id
     /// traveled (e.g. a worker's frame-decode span linking back to the
@@ -286,6 +300,20 @@ impl Telemetry {
             return SpanId::none();
         }
         let t_ns = self.now_ns();
+        self.begin_linked_at_arg(parent_id, name, t_ns, arg)
+    }
+
+    /// [`Telemetry::begin_linked_arg`] at an explicit timestamp.
+    pub fn begin_linked_at_arg(
+        &self,
+        parent_id: u64,
+        name: &'static str,
+        t_ns: u64,
+        arg: Option<String>,
+    ) -> SpanId {
+        if !self.enabled() {
+            return SpanId::none();
+        }
         let id = self.inner.next_span.fetch_add(1, Ordering::Relaxed);
         self.push(Rec {
             t_ns,

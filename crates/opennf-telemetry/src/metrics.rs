@@ -22,7 +22,7 @@ pub struct Hist {
 }
 
 /// A point-in-time read of one histogram.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistSnapshot {
     /// Values recorded.
     pub count: u64,
@@ -221,6 +221,51 @@ mod tests {
     #[test]
     fn empty_hist_quantile_is_zero() {
         assert_eq!(Hist::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn empty_hist_snapshot_does_not_panic() {
+        let s = Hist::new().snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.p95, s.p99), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_its_bucket() {
+        let h = Hist::new();
+        h.record(100); // bucket 7: [64, 128)
+        for q in [0.0, 0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), bucket_mid(7), "q={q}");
+        }
+        let s = h.snapshot();
+        assert!(s.p99 > 0, "a single nonzero sample must not report p99=0");
+        assert_eq!(s.p50, s.p99);
+    }
+
+    #[test]
+    fn top_bucket_saturation_does_not_panic_or_report_zero() {
+        let h = Hist::new();
+        // Everything lands in the last bucket (and sum wraps are fine:
+        // fetch_add is wrapping, quantiles never read `sum`).
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.p50, bucket_mid(63));
+        assert_eq!(s.p99, bucket_mid(63));
+        assert!(s.p99 > 0);
+        // The estimate for the open-ended top bucket stays finite.
+        assert_eq!(bucket_mid(63), (1u64 << 62) + (1u64 << 61));
+    }
+
+    #[test]
+    fn quantile_q_one_and_beyond_clamp_to_last_sample() {
+        let h = Hist::new();
+        h.record(5);
+        assert_eq!(h.quantile(1.0), h.quantile(0.99));
+        // An out-of-range q must still terminate in a bucket, not panic.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

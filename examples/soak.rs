@@ -14,7 +14,8 @@
 //! Exit status: 0 when every case passed, 1 on the first failure (after
 //! printing `REPRO: cargo run --release --example soak -- --seed S --mask M`).
 
-use conformance::{differential, shrink_mask, DiffReport, Spec, M_DEFAULT};
+use conformance::{differential, shrink_mask, spec_excuses, DiffReport, Spec, M_DEFAULT};
+use opennf_prof::{check, profile, render, Trace};
 
 struct Args {
     seeds: u64,
@@ -98,6 +99,34 @@ fn dump_flight(report: &DiffReport) {
     }
 }
 
+/// Runs the causal trace analyzer over the failing run's flight
+/// recorders and writes `soak-profile.txt`: the critical-path profile
+/// and the happens-before verdict for both runtimes, with the spec's
+/// own fault plan as the excuse ledger. CI uploads it alongside the
+/// flight dumps.
+fn dump_profile(spec: &Spec, report: &DiffReport) {
+    let excuses = spec_excuses(spec);
+    let mut out = String::new();
+    for (side, flight, journal) in [
+        ("rt", &report.rt.flight_jsonl, &report.rt.journal_json),
+        ("sim", &report.sim.flight_jsonl, &report.sim.journal_json),
+    ] {
+        out.push_str(&format!("==== {side} ====\n"));
+        match Trace::from_jsonl(flight) {
+            Ok(trace) => {
+                out.push_str(&render(&profile(&trace)));
+                out.push_str(&check(&trace, Some(journal), &excuses).detail());
+                out.push('\n');
+            }
+            Err(e) => out.push_str(&format!("(unparseable flight dump: {e})\n")),
+        }
+    }
+    match std::fs::write("soak-profile.txt", &out) {
+        Ok(()) => println!("flight recorder: wrote soak-profile.txt"),
+        Err(e) => println!("flight recorder: could not write soak-profile.txt: {e}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let seeds: Vec<u64> = match args.single {
@@ -124,6 +153,7 @@ fn main() {
                 println!("rt fault ledger:  {}", report.rt.fault_canonical);
                 println!("sim fault record: {}", report.sim.fault_canonical);
                 dump_flight(&report);
+                dump_profile(&Spec::from_seed(seed, args.mask), &report);
                 // Shrink: greedily clear mask bits while the failure holds,
                 // then try the reduced-load variant of the survivor.
                 println!("shrinking...");
