@@ -14,6 +14,7 @@ use bench::experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let prof_diff = args.iter().any(|a| a == "--diff");
     let bench_baseline: Option<String> = args
         .iter()
         .find_map(|a| a.strip_prefix("--bench-baseline=").map(str::to_string));
@@ -137,8 +138,21 @@ fn main() {
             // (not a paper artifact; run explicitly, never part of "all").
             // With a path operand it analyzes that dump; without one it
             // records a fresh fig13-style run into fig13-flight.jsonl
-            // first.
+            // first. `--diff before.jsonl after.jsonl` instead prints
+            // per-phase critical-path deltas between two dumps.
             "profile" => {
+                if prof_diff {
+                    let (Some(before), Some(after)) = (wanted.get(i), wanted.get(i + 1)) else {
+                        eprintln!("profile --diff needs two operands: before.jsonl after.jsonl");
+                        std::process::exit(1);
+                    };
+                    if let Err(e) = profile::diff_files(before, after) {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                    i += 2;
+                    continue;
+                }
                 let path = match wanted.get(i) {
                     Some(p) => {
                         i += 1;

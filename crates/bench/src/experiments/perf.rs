@@ -13,7 +13,7 @@ use opennf_net::{Action, FlowTable, PortRef};
 use opennf_nf::NetworkFunction;
 use opennf_nfs::AssetMonitor;
 use opennf_packet::{Filter, FlowKey, Ipv4Prefix, Packet, TcpFlags};
-use opennf_rt::{wire, OpSpec, RtController, WireEvent, WireMsg};
+use opennf_rt::{wire, OpSpec, RtController, SchedPolicy, WireEvent, WireMsg};
 use opennf_telemetry::Telemetry;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
@@ -220,10 +220,11 @@ fn rt_bulk_move(quick: bool, p2p: bool, tel: &Telemetry) -> Row {
 /// dispatch-loop run ([`RtController::run_moves`]); otherwise the same
 /// ops run one at a time — the serial baseline the concurrent op engine
 /// is measured against.
-fn rt_parallel_moves_sample(k: usize, flows: u32, engine: bool) -> f64 {
+fn rt_parallel_moves_sample(k: usize, flows: u32, engine: bool, policy: SchedPolicy) -> f64 {
     let nfs: Vec<Box<dyn NetworkFunction>> =
         (0..8).map(|_| Box::new(AssetMonitor::new()) as Box<dyn NetworkFunction>).collect();
     let mut ctrl = RtController::new(nfs);
+    ctrl.set_sched_policy(policy);
     for j in 0..k {
         let tx = ctrl.worker_tx(j);
         for f in 0..flows {
@@ -242,10 +243,8 @@ fn rt_parallel_moves_sample(k: usize, flows: u32, engine: bool) -> f64 {
     for j in 0..k {
         ctrl.quiesce(j).expect("worker alive");
     }
-    let spec = |j: usize| OpSpec {
-        src: j,
-        dst: 4 + j,
-        filter: Filter::from_src(Ipv4Prefix::new(Ipv4Addr::new(10, j as u8, 0, 0), 16)),
+    let spec = |j: usize| {
+        OpSpec::mv(j, 4 + j, Filter::from_src(Ipv4Prefix::new(Ipv4Addr::new(10, j as u8, 0, 0), 16)))
     };
     let t0 = Instant::now();
     if engine {
@@ -268,15 +267,28 @@ fn rt_parallel_moves_sample(k: usize, flows: u32, engine: bool) -> f64 {
 /// `rt_parallel_moves_k<k>_{serial,engine}` keys are comparable across
 /// quick and full runs; `--quick` only trims repetitions.
 fn rt_parallel_moves(k: usize, engine: bool, quick: bool) -> Row {
+    rt_parallel_moves_with(k, engine, quick, SchedPolicy::Fifo)
+}
+
+/// Same batch, admitted through a non-default scheduler policy. The key
+/// grows a `_<policy>` suffix so the default-policy keys keep their
+/// baseline history.
+fn rt_parallel_moves_with(k: usize, engine: bool, quick: bool, policy: SchedPolicy) -> Row {
     let flows = 500u32;
     let runs = if quick { 2 } else { 3 };
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
-        samples.push(rt_parallel_moves_sample(k, flows, engine));
+        samples.push(rt_parallel_moves_sample(k, flows, engine, policy));
     }
     let (median, p95) = quantiles(&mut samples);
+    let mode = if engine { "engine" } else { "serial" };
+    let suffix = match policy {
+        SchedPolicy::Fifo => "",
+        SchedPolicy::WeightedFair => "_wfair",
+        SchedPolicy::Deadline => "_deadline",
+    };
     Row {
-        key: format!("rt_parallel_moves_k{k}_{}", if engine { "engine" } else { "serial" }),
+        key: format!("rt_parallel_moves_k{k}_{mode}{suffix}"),
         unit: "ms/batch",
         median,
         p95,
@@ -359,6 +371,7 @@ pub fn perfguard(baseline_path: &str) -> Result<(), String> {
         rt_bulk_move(false, false, &tel),
         rt_parallel_moves(4, false, false),
         rt_parallel_moves(4, true, false),
+        rt_parallel_moves_with(4, true, false, SchedPolicy::WeightedFair),
     ];
     let rep = PerfReport { rows, phases: collect_phases(&tel), quick: false };
     rep.print();
@@ -377,6 +390,21 @@ pub fn perfguard(baseline_path: &str) -> Result<(), String> {
         "parallel-move dividend: {:.1}x (engine {:.1} vs serial {:.1} moves/s)",
         engine.throughput / serial.throughput,
         engine.throughput,
+        serial.throughput
+    );
+    // The scheduler must not tax a disjoint batch: the same four moves
+    // admitted through WeightedFair keep the dividend too.
+    let wfair = rep.rows.iter().find(|r| r.key == "rt_parallel_moves_k4_engine_wfair").unwrap();
+    if wfair.throughput < 2.0 * serial.throughput {
+        return Err(format!(
+            "parallel-move dividend under weighted-fair below 2x: {:.1} moves/s vs serial {:.1} moves/s",
+            wfair.throughput, serial.throughput
+        ));
+    }
+    println!(
+        "parallel-move dividend (weighted-fair): {:.1}x ({:.1} vs serial {:.1} moves/s)",
+        wfair.throughput / serial.throughput,
+        wfair.throughput,
         serial.throughput
     );
     compare(&rep, baseline_path, 10.0)

@@ -6,6 +6,9 @@
 //! # no operand: record a fresh fig13-style run (concurrent loss-free
 //! # moves, telemetry attached), write fig13-flight.jsonl, analyze that.
 //! cargo run --release -p bench --bin experiments -- profile
+//! # diff two dumps: per-phase critical-path deltas and queue-wait /
+//! # admission-wait movement (e.g. before/after a scheduler change).
+//! cargo run --release -p bench --bin experiments -- profile --diff before.jsonl after.jsonl
 //! ```
 //!
 //! The analysis is `opennf-prof`'s [`profile`]: per-phase service time,
@@ -18,7 +21,7 @@
 
 use opennf_controller::{Command, MoveProps, ScenarioBuilder, ScopeSet};
 use opennf_packet::{Filter, Ipv4Prefix};
-use opennf_prof::{check, profile, render, Excuses, Trace};
+use opennf_prof::{check, profile, render, render_diff, Excuses, Trace};
 use opennf_sim::Dur;
 use opennf_telemetry::Telemetry;
 
@@ -33,6 +36,20 @@ pub fn analyze_file(path: &str) -> Result<(), String> {
     // excusing any, and let the reader judge.
     let hb = check(&trace, None, &Excuses::none());
     println!("{}", hb.detail());
+    Ok(())
+}
+
+/// Diffs two JSONL flight-recorder dumps: per-phase critical-path
+/// deltas, queue-wait movement, and admission-wait histogram shifts —
+/// the before/after view of a scheduler (or any engine) change.
+pub fn diff_files(before: &str, after: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Ok(profile(&Trace::from_jsonl(&text)?))
+    };
+    let b = load(before)?;
+    let a = load(after)?;
+    print!("{}", render_diff(&b, &a));
     Ok(())
 }
 
@@ -91,6 +108,20 @@ mod tests {
         // with nothing excused.
         let hb = check(&trace, None, &Excuses::none());
         assert!(hb.ok(), "{}", hb.detail());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_of_two_flight_dumps_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("opennf-prof-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let before = dir.join("before.jsonl");
+        let after = dir.join("after.jsonl");
+        record_fig13_flight(1, 50, before.to_str().unwrap()).unwrap();
+        record_fig13_flight(2, 50, after.to_str().unwrap()).unwrap();
+        diff_files(before.to_str().unwrap(), after.to_str().unwrap()).unwrap();
+        // Missing files surface as errors, not panics.
+        assert!(diff_files("no-such-before.jsonl", after.to_str().unwrap()).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -84,6 +84,15 @@ pub const M_CTRL_CRASH: u32 = 1 << 10;
 /// a later-ingress packet to the old instance.
 pub const M_MULTI_SW: u32 = 1 << 11;
 
+/// Mask bit: draw an op-admission policy (FIFO, weighted-fair, or
+/// deadline from `opennf-sched`) and run *both* runtimes under it. The
+/// conformance trace issues one move per spec, so any policy admits it
+/// identically — digests, spans, and oracle verdicts must not budge
+/// regardless of which policy the seed draws. This is the subsystem's
+/// no-op-equivalence soak: a policy bug that reorders, delays, or drops
+/// a solitary op shows up as a differential failure.
+pub const M_SCHED: u32 = 1 << 12;
+
 /// Every fault bit (no load bit).
 pub const M_ALL_FAULTS: u32 =
     M_DROP_DATA | M_DROP_UP | M_DELAY_DATA | M_DUP_DATA | M_REORDER_DATA | M_CRASH_SRC | M_STALL_DST;
@@ -126,6 +135,10 @@ pub struct Spec {
     /// node ids name that shard's *local* workers). Always 0 on
     /// single-switch specs; any shard under [`M_MULTI_SW`].
     pub fault_shard: usize,
+    /// Op-admission policy both runtimes run under. FIFO (the dispatch
+    /// behaviour every earlier spec had) unless [`M_SCHED`] draws
+    /// another.
+    pub sched_policy: opennf_rt::SchedPolicy,
 }
 
 impl Spec {
@@ -216,7 +229,26 @@ impl Spec {
             shards = 2 + rng.below((switches as u64 - 1).min(2)) as usize; // 2..=3, ≤ switches
             fault_shard = rng.below(shards as u64) as usize;
         }
-        Spec { seed, mask, flows, pps, duration, move_at, plan, switches, shards, fault_shard }
+        // Trailing M_SCHED draw (append-only, after every other block):
+        // which admission policy both runtimes run under.
+        let mut sched_policy = opennf_rt::SchedPolicy::Fifo;
+        if mask & M_SCHED != 0 {
+            let all = opennf_rt::SchedPolicy::all();
+            sched_policy = all[rng.below(all.len() as u64) as usize];
+        }
+        Spec {
+            seed,
+            mask,
+            flows,
+            pps,
+            duration,
+            move_at,
+            plan,
+            switches,
+            shards,
+            fault_shard,
+            sched_policy,
+        }
     }
 
     /// True when no fault component is enabled: state digests and
@@ -348,7 +380,8 @@ pub fn run_sim(spec: &Spec) -> SideReport {
     let mut b = ScenarioBuilder::new()
         .config(NetConfig::default())
         .seed(spec.seed)
-        .telemetry(tel.clone());
+        .telemetry(tel.clone())
+        .sched_policy(spec.sched_policy);
     b = if spec.switches > 1 {
         // Multi-switch chain under `spec.shards` shard controllers:
         // source on the ingress switch, destination on the last — the
@@ -481,6 +514,7 @@ pub fn run_rt(spec: &Spec) -> SideReport {
     let (ctrl, faults) =
         RtController::new_with_faults_and_telemetry(nfs, spec.plan.clone(), tel.clone());
     let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
+    ctrl.set_sched_policy(spec.sched_policy);
 
     // Generator thread: replay the trace against the shared router,
     // stamping each packet's ingress with its *scheduled* time — exactly
@@ -620,6 +654,7 @@ fn run_rt_sharded(spec: &Spec) -> SideReport {
         tel.clone(),
     );
     let mut ctrl = ctrl.with_reply_timeout(Duration::from_millis(400));
+    ctrl.set_sched_policy(spec.sched_policy);
 
     let router = ctrl.router.clone();
     let links = [ctrl.data_tx(0), ctrl.data_tx(1)];
@@ -887,6 +922,63 @@ mod tests {
         }
         assert!(saw_three, "some spec draws a third shard");
         assert!(saw_nonzero_fault, "some spec arms faults on a non-zero shard");
+    }
+
+    #[test]
+    fn sched_bit_gates_policy_and_keeps_other_specs_stable() {
+        // The M_SCHED draw is append-only: derivations without the bit
+        // draw nothing extra, stay byte-identical, and always run FIFO.
+        let a = Spec::from_seed(7, M_DEFAULT);
+        assert_eq!(a.sched_policy, opennf_rt::SchedPolicy::Fifo);
+        let b = Spec::from_seed(7, M_DEFAULT);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Somewhere in a seed window the bit draws every policy.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            seen.insert(Spec::from_seed(seed, M_DEFAULT | M_SCHED).sched_policy.name());
+        }
+        assert_eq!(seen.len(), 3, "all three policies drawn: {seen:?}");
+    }
+
+    #[test]
+    fn sched_policy_is_digest_neutral_on_single_op_specs() {
+        // A conformance spec issues one op, so every admission policy
+        // admits it identically: the sim digest under a drawn non-FIFO
+        // policy must equal the digest of the same seed without M_SCHED.
+        let seed = (0..64u64)
+            .find(|s| {
+                Spec::from_seed(*s, M_FULL_LOAD | M_SCHED).sched_policy
+                    != opennf_rt::SchedPolicy::Fifo
+            })
+            .expect("a non-FIFO seed exists");
+        let with = Spec::from_seed(seed, M_FULL_LOAD | M_SCHED);
+        let without = Spec::from_seed(seed, M_FULL_LOAD);
+        assert!(with.is_fault_free());
+        let a = run_sim(&with);
+        let b = run_sim(&without);
+        assert!(a.ok, "sim oracle under {}: {}", with.sched_policy.name(), a.detail);
+        assert_eq!(a.digest, b.digest, "policy {} changed the digest", with.sched_policy.name());
+        assert_eq!(a.move_spans, b.move_spans, "policy changed phase order");
+    }
+
+    #[test]
+    fn fault_free_differential_agrees_under_drawn_policy() {
+        let seed = (0..64u64)
+            .find(|s| {
+                Spec::from_seed(*s, M_FULL_LOAD | M_SCHED).sched_policy
+                    != opennf_rt::SchedPolicy::Fifo
+            })
+            .expect("a non-FIFO seed exists");
+        let spec = Spec::from_seed(seed, M_FULL_LOAD | M_SCHED);
+        assert!(spec.is_fault_free());
+        let report = differential(&spec);
+        assert!(
+            report.ok,
+            "differential under {} failed: {}",
+            spec.sched_policy.name(),
+            report.detail
+        );
+        assert!(report.sim.move_completed && report.rt.move_completed);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::{HashMap, HashSet};
 
 use opennf_nf::{LogRecord, NfEvent};
 use opennf_packet::{Filter, Packet};
+use opennf_sched::{OpClass, OpScheduler, PendingOp, SchedPolicy};
 use opennf_sim::{Ctx, Dur, Node, NodeId, Time};
 use opennf_telemetry::Telemetry;
 
@@ -149,6 +150,32 @@ pub struct ControllerNode {
     /// Telemetry span tag (`shard=N`), set only when sharded so
     /// single-controller traces stay byte-identical.
     shard_arg: Option<String>,
+    // --- Op scheduling (mirror of the rt engine's admission). Under the
+    // default FIFO policy every northbound op command dispatches the
+    // instant it arrives — byte-identical to the pre-scheduler
+    // controller. A non-FIFO policy queues op commands and lets the
+    // shared `opennf-sched` policy object pick admission order, holding
+    // each admitted op's instances until it finalizes.
+    /// The admission policy object (same crate the rt engine delegates to).
+    sched: OpScheduler,
+    /// Op commands awaiting admission (non-FIFO policies only).
+    op_queue: Vec<QueuedCmd>,
+    /// Instances held by admitted-but-unfinished scheduled ops.
+    held: HashSet<NodeId>,
+    /// Admitted op base id → the instances it holds.
+    held_by_op: HashMap<u64, Vec<NodeId>>,
+    /// Mint for scheduler queue sequence numbers.
+    next_sched_seq: u64,
+}
+
+/// One northbound op command parked in the scheduler queue.
+struct QueuedCmd {
+    cmd: Command,
+    /// Service offset the command arrived with (reused at dispatch).
+    off: Dur,
+    /// Virtual-time enqueue instant (what the deadline policy compares).
+    armed_ns: u64,
+    seq: u64,
 }
 
 impl ControllerNode {
@@ -182,7 +209,26 @@ impl ControllerNode {
             cross_shard: HashSet::new(),
             route_flips: Vec::new(),
             shard_arg: None,
+            sched: OpScheduler::new(SchedPolicy::Fifo),
+            op_queue: Vec::new(),
+            held: HashSet::new(),
+            held_by_op: HashMap::new(),
+            next_sched_seq: 0,
         }
+    }
+
+    /// Selects the op-admission policy. The default FIFO policy
+    /// dispatches op commands the instant they arrive (byte-identical to
+    /// the pre-scheduler controller); any other policy routes them
+    /// through the [`opennf_sched`] admission queue, mirroring the rt
+    /// engine.
+    pub fn set_sched_policy(&mut self, policy: SchedPolicy) {
+        self.sched = OpScheduler::new(policy);
+    }
+
+    /// The active op-admission policy.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched.policy()
     }
 
     /// Turns this controller into shard `shard_id` of a sharded control
@@ -308,6 +354,7 @@ impl ControllerNode {
     }
 
     fn finalize(&mut self, ctx: &mut Ctx<'_, Msg>, report: OpReport) {
+        let base = Self::base(report.op);
         let mut api = Api { now: ctx.now(), cmds: &mut self.pending_cmds, tick: &mut self.tick };
         if let (OpOutcome::Aborted { reason }, Some(inst)) =
             (&report.outcome, report.failed_inst)
@@ -318,6 +365,93 @@ impl ControllerNode {
         self.app.on_op_complete(&mut api, &report);
         self.reports.push(report);
         self.drain_cmds(ctx);
+        // A finished scheduled op releases its instances and may unblock
+        // queued ops waiting on them.
+        if let Some(eps) = self.held_by_op.remove(&base) {
+            for e in eps {
+                self.held.remove(&e);
+            }
+            self.pump_sched(ctx);
+        }
+    }
+
+    /// Instances an op command touches (used for admission conflicts).
+    fn cmd_endpoints(cmd: &Command) -> Vec<NodeId> {
+        match cmd {
+            Command::Move { src, dst, .. } | Command::Copy { src, dst, .. } => {
+                vec![*src, *dst]
+            }
+            Command::Share { insts, .. } => insts.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn cmd_class(cmd: &Command) -> OpClass {
+        match cmd {
+            Command::Copy { .. } => OpClass::Copy,
+            Command::Share { .. } => OpClass::Share,
+            _ => OpClass::Move,
+        }
+    }
+
+    /// Admits queued op commands in policy order until the policy yields
+    /// `None` (queue empty or every candidate conflicts with a running
+    /// op's instances). The pick loop mirrors the rt engine's admission:
+    /// the policy object sees the same `PendingOp` descriptions and the
+    /// feasibility closure is instance-disjointness against held ops.
+    fn pump_sched(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            if self.op_queue.is_empty() {
+                return;
+            }
+            let pending: Vec<PendingOp> = self
+                .op_queue
+                .iter()
+                .map(|q| {
+                    let eps = Self::cmd_endpoints(&q.cmd);
+                    PendingOp {
+                        op: q.seq,
+                        src: eps.first().map(|n| n.0).unwrap_or(0),
+                        dst: eps.last().map(|n| n.0).unwrap_or(0),
+                        class: Self::cmd_class(&q.cmd),
+                        armed_ns: q.armed_ns,
+                        seq: q.seq,
+                    }
+                })
+                .collect();
+            let feas: HashMap<u64, bool> = self
+                .op_queue
+                .iter()
+                .map(|q| {
+                    let free = Self::cmd_endpoints(&q.cmd)
+                        .iter()
+                        .all(|e| !self.held.contains(e));
+                    (q.seq, free)
+                })
+                .collect();
+            let picked =
+                self.sched.pick(&pending, &mut |p| feas.get(&p.seq).copied().unwrap_or(false));
+            let Some(i) = picked else { return };
+            let q = self.op_queue.remove(i);
+            let eps = Self::cmd_endpoints(&q.cmd);
+            for e in &eps {
+                self.held.insert(*e);
+            }
+            // dispatch_command allocates exactly this base id next.
+            self.held_by_op.insert(self.next_op, eps);
+            self.sched.on_admitted(&pending[i]);
+            self.tel.event(
+                "sched.decision",
+                Some(format!(
+                    "policy={} class={} seq={} waited_ns={}",
+                    self.sched.policy().name(),
+                    pending[i].class.name(),
+                    q.seq,
+                    ctx.now().as_nanos().saturating_sub(q.armed_ns),
+                )),
+            );
+            self.dispatch_command(ctx, q.cmd, q.off);
+        }
     }
 
     fn drain_cmds(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -358,6 +492,12 @@ impl ControllerNode {
         let d = off + self.cfg.ctrl_to_ctrl;
         for (sid, peer) in self.peers.iter().enumerate() {
             if sid != self.shard_id {
+                // Shard-tagged so the happens-before oracle pairs this
+                // announce with the peer's `ew.release` per shard pair.
+                self.tel.event(
+                    "ew.handoff",
+                    Some(format!("op={} shard={} peer={sid}", op.0, self.shard_id)),
+                );
                 ctx.send(*peer, d, Msg::EwWatch { op, filter });
             }
         }
@@ -389,6 +529,25 @@ impl ControllerNode {
     }
 
     fn handle_command(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: Command, off: Dur) {
+        // Non-FIFO policies park op commands in the admission queue; the
+        // FIFO default dispatches immediately, keeping digests
+        // byte-identical to the pre-scheduler controller.
+        if self.sched.policy() != SchedPolicy::Fifo
+            && matches!(
+                cmd,
+                Command::Move { .. } | Command::Copy { .. } | Command::Share { .. }
+            )
+        {
+            let seq = self.next_sched_seq;
+            self.next_sched_seq += 1;
+            self.op_queue.push(QueuedCmd { cmd, off, armed_ns: ctx.now().as_nanos(), seq });
+            self.pump_sched(ctx);
+            return;
+        }
+        self.dispatch_command(ctx, cmd, off)
+    }
+
+    fn dispatch_command(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: Command, off: Dur) {
         match cmd {
             Command::Move { src, dst, filter, scope, props } => {
                 let id = self.alloc_op();
@@ -969,6 +1128,10 @@ impl Node<Msg> for ControllerNode {
             Msg::EwRelease { op, committed } => {
                 // The foreign op finished: close the journal mirror and
                 // stop relaying.
+                self.tel.event(
+                    "ew.release",
+                    Some(format!("op={} committed={committed} shard={}", op.0, self.shard_id)),
+                );
                 let now_ns = ctx.now().as_nanos();
                 let phase =
                     if committed { JournalPhase::Committed } else { JournalPhase::Aborted };

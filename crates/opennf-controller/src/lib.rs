@@ -46,3 +46,6 @@ pub use nodes::nf_node::NfNode;
 pub use nodes::switch::SwitchNode;
 pub use ops::report::{OpOutcome, OpReport};
 pub use scenario::{Scenario, ScenarioBuilder};
+// Re-exported so scenario harnesses can pick an admission policy
+// without depending on opennf-sched directly.
+pub use opennf_sched::{SchedConfig, SchedPolicy};

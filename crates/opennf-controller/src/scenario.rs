@@ -48,6 +48,8 @@ pub struct ScenarioBuilder {
     switches: usize,
     /// Number of controller shards (1 = single controller).
     shards: usize,
+    /// Op-admission policy applied to every controller (None = FIFO).
+    sched_policy: Option<opennf_sched::SchedPolicy>,
 }
 
 impl Default for ScenarioBuilder {
@@ -72,7 +74,16 @@ impl ScenarioBuilder {
             telemetry: None,
             switches: 1,
             shards: 1,
+            sched_policy: None,
         }
+    }
+
+    /// Routes northbound op commands through an [`opennf_sched`]
+    /// admission policy on every controller (the default FIFO dispatches
+    /// immediately, byte-identical to the pre-scheduler controller).
+    pub fn sched_policy(mut self, policy: opennf_sched::SchedPolicy) -> Self {
+        self.sched_policy = Some(policy);
+        self
     }
 
     /// Overrides the network/cost configuration.
@@ -304,6 +315,9 @@ impl ScenarioBuilder {
             let c: &mut ControllerNode = engine.node_mut(*cid);
             if n_sw > 1 || n_shards > 1 {
                 c.configure_shard(k, ctrl_ids.clone(), sw_ids.clone(), inst_shard.clone());
+            }
+            if let Some(p) = self.sched_policy {
+                c.set_sched_policy(p);
             }
             for (p, f, inst) in &shadow {
                 c.seed_route(*p, *f, *inst);

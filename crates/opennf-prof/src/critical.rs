@@ -349,6 +349,86 @@ pub fn render(p: &Profile) -> String {
     s
 }
 
+fn fmt_signed_ns(d: i64) -> String {
+    if d < 0 {
+        format!("-{}", fmt_ns(d.unsigned_abs()))
+    } else {
+        format!("+{}", fmt_ns(d as u64))
+    }
+}
+
+/// Renders a before/after comparison of two profiles: per-phase
+/// service-time deltas (count, mean, total) plus the queue-wait shift —
+/// what `bench -- profile --diff before.jsonl after.jsonl` prints to
+/// show e.g. the scheduler's effect on queue wait.
+pub fn render_diff(before: &Profile, after: &Profile) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "== critical-path diff (before → after) ==");
+    let _ = writeln!(
+        s,
+        "ops {} → {}, spans {} → {}",
+        before.ops.len(),
+        after.ops.len(),
+        before.span_count,
+        after.span_count
+    );
+
+    let _ = writeln!(s, "\n-- per-phase service time --");
+    let _ = writeln!(
+        s,
+        "{:<28} {:>11} {:>22} {:>12} {:>12}",
+        "phase", "count", "mean", "Δmean", "Δtotal"
+    );
+    let names: std::collections::BTreeSet<&String> =
+        before.phase_agg.keys().chain(after.phase_agg.keys()).collect();
+    let zero = PhaseAgg::default();
+    for name in names {
+        let b = before.phase_agg.get(name).unwrap_or(&zero);
+        let a = after.phase_agg.get(name).unwrap_or(&zero);
+        let mean = |x: &PhaseAgg| x.total_ns.checked_div(x.count).unwrap_or(0);
+        let (mb, ma) = (mean(b), mean(a));
+        let _ = writeln!(
+            s,
+            "{:<28} {:>11} {:>22} {:>12} {:>12}",
+            name,
+            format!("{}→{}", b.count, a.count),
+            format!("{}→{}", fmt_ns(mb), fmt_ns(ma)),
+            fmt_signed_ns(ma as i64 - mb as i64),
+            fmt_signed_ns(a.total_ns as i64 - b.total_ns as i64),
+        );
+    }
+
+    // Queue wait: the per-op mean (what admission policy changes move),
+    // then each side's histogram percentiles for the distribution shape.
+    let qmean = |p: &Profile| -> u64 {
+        let waited: Vec<u64> = p.ops.iter().map(|o| o.queue_wait_ns).collect();
+        if waited.is_empty() { 0 } else { waited.iter().sum::<u64>() / waited.len() as u64 }
+    };
+    let (qb, qa) = (qmean(before), qmean(after));
+    let _ = writeln!(s, "\n-- queue wait --");
+    let _ = writeln!(
+        s,
+        "per-op mean {} → {} ({})",
+        fmt_ns(qb),
+        fmt_ns(qa),
+        fmt_signed_ns(qa as i64 - qb as i64)
+    );
+    fn hists(p: &Profile) -> BTreeMap<&String, &HistSnapshot> {
+        p.queue.waits.iter().map(|(k, v)| (k, v)).collect()
+    }
+    let (hb, ha) = (hists(before), hists(after));
+    let keys: std::collections::BTreeSet<&&String> = hb.keys().chain(ha.keys()).collect();
+    for k in keys {
+        let fmt_side = |h: Option<&&HistSnapshot>| match h {
+            Some(h) => format!("count={} p50={} p95={}", h.count, fmt_ns(h.p50), fmt_ns(h.p95)),
+            None => "(absent)".into(),
+        };
+        let _ = writeln!(s, "{k}: {} → {}", fmt_side(hb.get(*k)), fmt_side(ha.get(*k)));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,5 +479,37 @@ mod tests {
         assert!(text.contains("queue 100ns"));
         assert!(text.contains("critical: move.transfer"));
         assert!(text.contains("engine.admission_wait.w0"));
+    }
+
+    #[test]
+    fn render_diff_reports_phase_and_queue_deltas() {
+        // After-trace: same shape, transfer 1µs slower, queue wait down.
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        tel.event("engine.op_submitted", Some("op=1 src=0 dst=1".into()));
+        tel.set_time_ns(40);
+        tel.event("engine.op_admitted", Some("op=1 wait_ns=40 depth=1".into()));
+        tel.observe("engine.admission_wait.w0", 40);
+        let root = tel.begin_linked_arg(0, "move", Some("op=1 src=0 dst=1".into()));
+        let e = tel.begin_under(root, "move.export");
+        tel.set_time_ns(1_040);
+        tel.end(e);
+        let x = tel.begin_under(root, "move.transfer");
+        tel.set_time_ns(5_040);
+        tel.end(x);
+        tel.end(root);
+        let after = profile(&Trace::from_telemetry(&tel));
+        let before = profile(&engine_like_trace());
+
+        let text = render_diff(&before, &after);
+        assert!(text.contains("critical-path diff"), "{text}");
+        // transfer mean: 3µs → 4µs = +1µs.
+        assert!(text.contains("move.transfer"), "{text}");
+        assert!(text.contains("+1.0us"), "{text}");
+        // Queue wait mean: 100ns → 40ns = −60ns.
+        assert!(text.contains("100ns → 40ns (-60ns)"), "{text}");
+        // A phase only one side has still shows up (count 1→0).
+        assert!(text.contains("move.import"), "{text}");
+        assert!(text.contains("1→0"), "{text}");
     }
 }

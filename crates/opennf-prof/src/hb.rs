@@ -18,7 +18,14 @@
 //! * **`journal-span-order`** — a journaled boundary cannot precede the
 //!   begin of the span whose completion it records.
 //! * **`ew-handoff-order`** — an east-west release for an op is preceded
-//!   by that op's handoff.
+//!   by that op's handoff. Shard-tagged events (`shard=`/`peer=` args)
+//!   pair *per shard*: a release observed at shard *k* needs a handoff
+//!   announced to peer *k*; untagged events (older traces) fall back to
+//!   per-op pairing.
+//! * **`ew-transport-bound`** — a paired handoff→release window (the
+//!   op's entire east-west exchange, transport included) must close
+//!   within [`EW_HANDOFF_BOUND_NS`]; a wider window means the cross-shard
+//!   path stalled. The measured maximum is reported either way.
 //! * **`fenced-dup-after-commit`** — a fenced-duplicate drop attributed
 //!   to an op is not observed after that op committed (the fence exists
 //!   to absorb *pre*-commit reissues).
@@ -80,6 +87,11 @@ impl Excuses {
     }
 }
 
+/// Widest tolerated handoff→release window (5 s in either clock): both
+/// runtimes complete a cross-shard op orders of magnitude faster, so a
+/// wider window means the east-west path stalled, not that it was slow.
+pub const EW_HANDOFF_BOUND_NS: u64 = 5_000_000_000;
+
 /// The oracle's verdict.
 #[derive(Debug, Clone, Default)]
 pub struct HbReport {
@@ -90,6 +102,10 @@ pub struct HbReport {
     pub unexcused: Vec<HbViolation>,
     /// Violations excused by the ledger, with the excuse.
     pub excused: Vec<(HbViolation, String)>,
+    /// Paired handoff→release windows: `(op, release shard if tagged,
+    /// window ns)`. The window spans the op's whole east-west exchange,
+    /// so it upper-bounds cross-shard transport latency.
+    pub ew_windows: Vec<(u64, Option<u64>, u64)>,
 }
 
 impl HbReport {
@@ -100,12 +116,21 @@ impl HbReport {
 
     /// One-line summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "hb: {} ops checked, {} unexcused, {} excused",
             self.checked_ops,
             self.unexcused.len(),
             self.excused.len()
-        )
+        );
+        if let Some(w) = self.ew_window_max_ns() {
+            s.push_str(&format!(", ew max window {w}ns"));
+        }
+        s
+    }
+
+    /// Widest paired handoff→release window, when any pair was seen.
+    pub fn ew_window_max_ns(&self) -> Option<u64> {
+        self.ew_windows.iter().map(|(_, _, w)| *w).max()
     }
 
     /// Multi-line report of every violation.
@@ -280,25 +305,45 @@ pub fn check(trace: &Trace, journal_json: Option<&str>, ex: &Excuses) -> HbRepor
         }
     }
 
-    // -- ew-handoff-order --------------------------------------------------
-    let mut handoffs: BTreeMap<u64, u64> = BTreeMap::new();
+    // -- ew-handoff-order + ew-transport-bound -----------------------------
+    // Earliest handoff per (op, announced peer shard): a shard-tagged
+    // release pairs against the handoff announced *to its shard*; the
+    // untagged entry (older traces, and the per-op fallback) keys None.
+    let mut handoffs: BTreeMap<(u64, Option<u64>), u64> = BTreeMap::new();
+    let mut any_handoff: BTreeMap<u64, u64> = BTreeMap::new();
     for ev in &f.events {
         if ev.name == "ew.handoff" {
             if let Some(op) = arg_u64(ev.arg.as_deref(), "op") {
-                let e = handoffs.entry(op).or_insert(ev.t_ns);
+                let peer = arg_u64(ev.arg.as_deref(), "peer");
+                let e = handoffs.entry((op, peer)).or_insert(ev.t_ns);
                 *e = (*e).min(ev.t_ns);
+                let a = any_handoff.entry(op).or_insert(ev.t_ns);
+                *a = (*a).min(ev.t_ns);
             }
         }
     }
+    let mut ew_windows: Vec<(u64, Option<u64>, u64)> = Vec::new();
     for ev in &f.events {
         if ev.name == "ew.release" {
             if let Some(op) = arg_u64(ev.arg.as_deref(), "op") {
-                match handoffs.get(&op) {
+                let shard = arg_u64(ev.arg.as_deref(), "shard");
+                // Per-shard pairing when the release is tagged; the
+                // untagged per-op minimum otherwise.
+                let paired = match shard {
+                    Some(s) => handoffs.get(&(op, Some(s))),
+                    None => any_handoff.get(&op),
+                };
+                match paired {
                     None => raw.push(HbViolation {
                         rule: "ew-handoff-order",
                         op: Some(op),
                         t_ns: ev.t_ns,
-                        detail: "east-west release without a prior handoff".into(),
+                        detail: match shard {
+                            Some(s) => format!(
+                                "east-west release at shard {s} without a handoff announced to it"
+                            ),
+                            None => "east-west release without a prior handoff".into(),
+                        },
                     }),
                     Some(&th) if ev.t_ns < th => raw.push(HbViolation {
                         rule: "ew-handoff-order",
@@ -306,7 +351,20 @@ pub fn check(trace: &Trace, journal_json: Option<&str>, ex: &Excuses) -> HbRepor
                         t_ns: ev.t_ns,
                         detail: format!("release at {} before handoff at {th}", ev.t_ns),
                     }),
-                    _ => {}
+                    Some(&th) => {
+                        let w = ev.t_ns - th;
+                        ew_windows.push((op, shard, w));
+                        if w > EW_HANDOFF_BOUND_NS {
+                            raw.push(HbViolation {
+                                rule: "ew-transport-bound",
+                                op: Some(op),
+                                t_ns: ev.t_ns,
+                                detail: format!(
+                                    "handoff→release window {w}ns exceeds {EW_HANDOFF_BOUND_NS}ns"
+                                ),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -355,6 +413,7 @@ pub fn check(trace: &Trace, journal_json: Option<&str>, ex: &Excuses) -> HbRepor
     });
     let mut report = HbReport {
         checked_ops: ops.len().max(journal_ops),
+        ew_windows,
         ..Default::default()
     };
     for v in raw {
@@ -520,5 +579,40 @@ mod tests {
         tel2.event("ew.release", Some("op=4 committed=true".into()));
         let r2 = check(&Trace::from_telemetry(&tel2), None, &Excuses::none());
         assert!(r2.ok(), "{}", r2.detail());
+    }
+
+    #[test]
+    fn shard_tagged_ew_events_pair_per_shard() {
+        // Handoff announced to peer 1, release observed at shard 1: pairs,
+        // and the window is measured.
+        let tel = Telemetry::manual();
+        tel.set_time_ns(5);
+        tel.event("ew.handoff", Some("op=4 0->1 shard=0 peer=1".into()));
+        tel.set_time_ns(30);
+        tel.event("ew.release", Some("op=4 committed=true shard=1".into()));
+        let r = check(&Trace::from_telemetry(&tel), None, &Excuses::none());
+        assert!(r.ok(), "{}", r.detail());
+        assert_eq!(r.ew_windows, vec![(4, Some(1), 25)]);
+        assert_eq!(r.ew_window_max_ns(), Some(25));
+
+        // A release at a shard nothing was announced to does not pair.
+        let tel2 = Telemetry::manual();
+        tel2.set_time_ns(5);
+        tel2.event("ew.handoff", Some("op=4 shard=0 peer=1".into()));
+        tel2.set_time_ns(30);
+        tel2.event("ew.release", Some("op=4 committed=true shard=2".into()));
+        let r2 = check(&Trace::from_telemetry(&tel2), None, &Excuses::none());
+        assert!(r2.unexcused.iter().any(|v| v.rule == "ew-handoff-order"), "{}", r2.detail());
+    }
+
+    #[test]
+    fn ew_window_wider_than_bound_is_flagged() {
+        let tel = Telemetry::manual();
+        tel.set_time_ns(0);
+        tel.event("ew.handoff", Some("op=9 shard=0 peer=1".into()));
+        tel.set_time_ns(EW_HANDOFF_BOUND_NS + 1);
+        tel.event("ew.release", Some("op=9 committed=true shard=1".into()));
+        let r = check(&Trace::from_telemetry(&tel), None, &Excuses::none());
+        assert!(r.unexcused.iter().any(|v| v.rule == "ew-transport-bound"), "{}", r.detail());
     }
 }

@@ -34,7 +34,7 @@ pub mod tree;
 
 use opennf_telemetry::{HistSnapshot, JsonlSummary, OwnedRec, Telemetry};
 
-pub use critical::{profile, render, Profile};
+pub use critical::{profile, render, render_diff, Profile};
 pub use hb::{check, Excuses, HbReport, HbViolation};
 pub use tree::{group_ops, OpTrace, SpanForest};
 

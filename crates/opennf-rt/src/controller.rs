@@ -62,6 +62,10 @@ pub(crate) struct OpResidue {
     pub(crate) src: usize,
     pub(crate) dst: usize,
     pub(crate) filter: Filter,
+    /// What kind of op left this residue — recovery's teardown differs:
+    /// only a move deletes the source copy on fail-forward, and a copy
+    /// has no event filter to settle.
+    pub(crate) kind: opennf_sched::OpClass,
     /// Flows shipped toward (or confirmed at) the destination so far.
     pub(crate) put_flows: Vec<FlowId>,
     /// Buffered-packet events collected but not yet replayed.
@@ -73,11 +77,12 @@ pub(crate) struct OpResidue {
 }
 
 impl OpResidue {
-    pub(crate) fn new(src: usize, dst: usize, filter: Filter) -> Self {
+    pub(crate) fn new(src: usize, dst: usize, filter: Filter, kind: opennf_sched::OpClass) -> Self {
         OpResidue {
             src,
             dst,
             filter,
+            kind,
             put_flows: Vec::new(),
             events: Vec::new(),
             p2p_through: None,
@@ -129,6 +134,10 @@ pub struct RtController {
     crash_after: Option<JournalPhase>,
     /// Set when the crash hook fired; cleared by [`RtController::recover`].
     crashed: bool,
+    /// The op scheduler: admission policy plus per-source export
+    /// bandwidth accounting. FIFO with a bottomless bucket by default —
+    /// byte-identical to the engine before the scheduler existed.
+    pub(crate) sched: opennf_sched::OpScheduler,
 }
 
 /// What one controller-side receive produced.
@@ -257,7 +266,29 @@ impl RtController {
             residue: HashMap::new(),
             crash_after: None,
             crashed: false,
+            sched: opennf_sched::OpScheduler::new(opennf_sched::SchedPolicy::Fifo),
         }
+    }
+
+    /// Swaps the op-scheduling policy (fresh policy state, default
+    /// config). Takes effect for the next [`RtController::run_ops`] call.
+    pub fn set_sched_policy(&mut self, policy: opennf_sched::SchedPolicy) {
+        self.sched = opennf_sched::OpScheduler::new(policy);
+    }
+
+    /// Swaps the op-scheduling policy with explicit tunables (DRR
+    /// quantum/costs, aging, token bucket, put window).
+    pub fn set_sched_config(
+        &mut self,
+        policy: opennf_sched::SchedPolicy,
+        cfg: opennf_sched::SchedConfig,
+    ) {
+        self.sched = opennf_sched::OpScheduler::with_config(policy, cfg);
+    }
+
+    /// The active op-scheduling policy.
+    pub fn sched_policy(&self) -> opennf_sched::SchedPolicy {
+        self.sched.policy()
     }
 
     /// The run's telemetry handle.
@@ -599,7 +630,7 @@ impl RtController {
                 .rev()
                 .find(|r| r.op == op)
                 .map(|r| r.report.clone())
-                .unwrap_or_else(|| OpReport::new(op, "move".into(), self.tel.now_ns()));
+                .unwrap_or_else(|| OpReport::new(op, res.kind.name().into(), self.tel.now_ns()));
             if let Some(evs) = stray.remove(&res.src) {
                 res.events.extend(evs);
             }
@@ -608,8 +639,10 @@ impl RtController {
             if forward {
                 // The source may still hold its copy (crash before the
                 // delete acked): a fenced re-delete is harmless when the
-                // original already ran.
-                if !res.put_flows.is_empty() {
+                // original already ran. Only a move releases the source —
+                // copies and shares are non-destructive, so fail-forward
+                // leaves the source untouched.
+                if res.kind == opennf_sched::OpClass::Move && !res.put_flows.is_empty() {
                     if let Ok(id) = self.call_fenced(
                         res.src,
                         WireCall::DelPerflow { flow_ids: res.put_flows.clone() },
@@ -635,7 +668,11 @@ impl RtController {
                     self.await_done_tagged(id, &mut sink);
                 }
             }
-            sink.extend(self.settle_collect_tagged(res.src, res.filter));
+            // A copy never armed an event filter, so there is nothing to
+            // settle at its source; moves and shares tear theirs down.
+            if res.kind != opennf_sched::OpClass::Copy {
+                sink.extend(self.settle_collect_tagged(res.src, res.filter));
+            }
             for (w, ev) in sink {
                 if w == res.src {
                     res.events.push(ev);
@@ -643,13 +680,23 @@ impl RtController {
                     stray.entry(w).or_default().push(ev);
                 }
             }
-            let replay_to = if forward { res.dst } else { res.src };
+            // Buffered events follow the state for a move; a share's
+            // buffered updates always belong back at the source (the
+            // replica only gets the initial sync).
+            let replay_to = if forward && res.kind == opennf_sched::OpClass::Move {
+                res.dst
+            } else {
+                res.src
+            };
             let (replayed, lost) =
                 self.replay_events_to(replay_to, std::mem::take(&mut res.events));
             report.events_released += replayed;
             self.last_abort_lost.extend(lost.iter().copied());
             let terminal = if forward {
-                self.router.install(10, res.filter, res.dst);
+                // Only a completed move redirects traffic.
+                if res.kind == opennf_sched::OpClass::Move {
+                    self.router.install(10, res.filter, res.dst);
+                }
                 report.end_ns = self.tel.now_ns();
                 JournalPhase::Committed
             } else {
@@ -720,7 +767,39 @@ impl RtController {
         dst: usize,
         filter: Filter,
     ) -> Result<MoveStats, RtError> {
-        self.run_moves(vec![crate::engine::OpSpec { src, dst, filter }])
+        self.run_ops(vec![crate::engine::OpSpec::mv(src, dst, filter)])
+            .pop()
+            .expect("one spec in, one result out")
+    }
+
+    /// Clones per-flow state matching `filter` from worker `src` to
+    /// worker `dst` without disturbing the source (§5.2): no event
+    /// arming, no delete, no route change — the source keeps processing
+    /// and keeps its state throughout. One-op form of
+    /// [`RtController::run_ops`] with a copy spec.
+    pub fn copy_flows(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+    ) -> Result<MoveStats, RtError> {
+        self.run_ops(vec![crate::engine::OpSpec::copy(src, dst, filter)])
+            .pop()
+            .expect("one spec in, one result out")
+    }
+
+    /// Seeds a replica of per-flow state matching `filter` at worker
+    /// `dst` (§5.2 share): events are armed at `src` for the duration of
+    /// the initial sync and replayed back to `src` afterwards, so no
+    /// update raised mid-sync is lost. One-op form of
+    /// [`RtController::run_ops`] with a share spec.
+    pub fn share_flows(
+        &mut self,
+        src: usize,
+        dst: usize,
+        filter: Filter,
+    ) -> Result<MoveStats, RtError> {
+        self.run_ops(vec![crate::engine::OpSpec::share(src, dst, filter)])
             .pop()
             .expect("one spec in, one result out")
     }
@@ -755,7 +834,8 @@ impl RtController {
         self.last_abort_lost.clear();
         let op = self.mint_op();
         let mut report = OpReport::new(op, "move[LF p2p]".into(), self.tel.now_ns());
-        self.residue.insert(op.0, OpResidue::new(src, dst, filter));
+        self.residue
+            .insert(op.0, OpResidue::new(src, dst, filter, opennf_sched::OpClass::Move));
         let mut events: Vec<WireEvent> = Vec::new();
         let mut flipped = false;
         let mut abort: Option<(u64, Vec<FlowId>)> = None;

@@ -1,33 +1,56 @@
-//! The concurrent northbound op engine: k simultaneous moves on disjoint
+//! The concurrent northbound op engine: k simultaneous ops on disjoint
 //! scopes progress in parallel on one dispatch thread.
 //!
 //! The synchronous controller drove one move at a time, blocking on every
-//! southbound reply. Here each move is a per-op state machine
-//! ([`OpTask`]) and a single event-dispatch loop routes replies and
-//! events to whichever op issued them: while one op waits for a put ack
-//! its neighbours keep streaming, so aggregate throughput scales with the
-//! number of disjoint src/dst pairs. Ops that share an instance serialize
-//! at admission — per-NF state must never see two concurrent scope
-//! operations.
+//! southbound reply. Here each op is a per-op state machine ([`OpTask`])
+//! and a single event-dispatch loop routes replies and events to
+//! whichever op issued them: while one op waits for a put ack its
+//! neighbours keep streaming, so aggregate throughput scales with the
+//! number of disjoint src/dst pairs.
 //!
-//! Within one move the state transfer is *pipelined*: the source streams
+//! Three op kinds are first-class ([`opennf_sched::OpClass`]):
+//!
+//! * **move** — the loss-free move (§5.1.1): exclusive on both endpoints,
+//!   destructive at the source (copy-then-delete), events armed and
+//!   replayed to the destination, route flipped at the end.
+//! * **copy** — non-destructive state clone: shared-read at the source
+//!   (several copies may stream from one NF concurrently, bounded by the
+//!   scheduler's stream cap), exclusive at the destination, no event
+//!   arming, no delete, no route change.
+//! * **share** — state replication setup: shared-read at the source,
+//!   events armed for the initial sync and replayed back *to the source*
+//!   once the replica is seeded, so no update raised during the sync is
+//!   lost.
+//!
+//! Admission is owned by the pluggable scheduler ([`opennf_sched`]):
+//! every dispatch iteration the pending set is described to the active
+//! policy (FIFO by default — byte-identical to the engine's original
+//! hard-coded sweep), which picks the next op whose endpoint locks admit
+//! it. The scheduler also accounts observed export bytes per source into
+//! a token bucket, and the engine consults the resulting backpressure
+//! signal ([`opennf_sched::OpScheduler::put_window`]) instead of a
+//! hard-coded put window: a source whose bucket runs dry degrades to
+//! stop-and-wait puts and strictly serialized streams until it refills.
+//!
+//! Within one op the state transfer is *pipelined*: the source streams
 //! its export as bounded [`WireReply::ChunkBatch`] frames
 //! ([`WireCall::GetPerflowChunked`]), and the engine forwards each batch
 //! to the destination as a `putPerflow` while later batches are still
-//! being serialized at the source. A small per-op window
-//! ([`PUT_WINDOW`]) of outstanding puts gives double buffering without
-//! unbounded queueing; batches beyond the window wait in a backlog.
+//! being serialized at the source. The per-op window of outstanding puts
+//! gives double buffering without unbounded queueing; batches beyond the
+//! window wait in a backlog.
 //!
 //! Every phase transition is journaled through the same
 //! [`JournalPhase`] ledger the simulator's controller keeps, so a
 //! controller crash between any two transitions recovers through
 //! [`RtController::recover`] exactly like the sim one: fail-forward once
 //! every chunk is confirmed at the destination, roll back before that,
-//! always with explicit loss accounting.
+//! always with explicit loss accounting — for all three op kinds.
 //!
-//! Telemetry under interleaving: each op opens a root `move` span with
-//! *no* stack parent and parents its five canonical phase spans
-//! (`move.export` … `move.fwd_update`) under that root explicitly —
+//! Telemetry under interleaving: each op opens a root span named for its
+//! kind with *no* stack parent and parents its canonical phase spans
+//! (`move.export` … `move.fwd_update`, `copy.export`/`copy.import`,
+//! `share.arm`/`share.init_sync`) under that root explicitly —
 //! thread-local stack attribution would staple one op's phases under
 //! another's root the moment two ops interleave. Oracles group with
 //! [`opennf_telemetry::Telemetry::span_sequences_by_parent`].
@@ -39,6 +62,7 @@ use std::time::{Duration, Instant};
 use opennf_controller::{JournalPhase, OpId, OpReport};
 use opennf_nf::Chunk;
 use opennf_packet::{Filter, FlowId};
+use opennf_sched::{OpClass, PendingOp};
 use opennf_telemetry::SpanId;
 
 use crate::controller::{MoveStats, OpResidue, Recv, RtController};
@@ -47,10 +71,6 @@ use crate::wire::{WireAction, WireCall, WireEvent, WireMsg, WireReply};
 
 /// Chunks per streamed export batch (one `ChunkBatch` frame, one put).
 pub(crate) const STREAM_BATCH: usize = 64;
-
-/// Outstanding `putPerflow` requests per op: 2 = double buffering (one
-/// batch importing at the destination while the next is in flight).
-const PUT_WINDOW: usize = 2;
 
 /// Dispatch-loop poll granularity: how long one `recv` blocks before the
 /// loop re-checks per-op deadlines.
@@ -63,34 +83,118 @@ const FWD_DRAIN: Duration = Duration::from_millis(200);
 /// (keeps single-move latency at the synchronous controller's level).
 const FWD_IDLE: Duration = Duration::from_millis(20);
 
-/// One requested move: state matching `filter` leaves worker `src` for
-/// worker `dst`.
+/// One requested op: state matching `filter` is moved, copied, or shared
+/// from worker `src` to worker `dst`.
 #[derive(Debug, Clone, Copy)]
 pub struct OpSpec {
     /// Source worker index.
     pub src: usize,
     /// Destination worker index.
     pub dst: usize,
-    /// Which flows move.
+    /// Which flows the op covers.
     pub filter: Filter,
+    /// What kind of op this is (admission locking and the state machine
+    /// both key off it).
+    pub kind: OpClass,
+}
+
+impl OpSpec {
+    /// A loss-free move of `filter` from `src` to `dst`.
+    pub fn mv(src: usize, dst: usize, filter: Filter) -> Self {
+        OpSpec { src, dst, filter, kind: OpClass::Move }
+    }
+
+    /// A non-destructive copy of `filter` from `src` to `dst`.
+    pub fn copy(src: usize, dst: usize, filter: Filter) -> Self {
+        OpSpec { src, dst, filter, kind: OpClass::Copy }
+    }
+
+    /// A share (replication setup) of `filter` from `src` to `dst`.
+    pub fn share(src: usize, dst: usize, filter: Filter) -> Self {
+        OpSpec { src, dst, filter, kind: OpClass::Share }
+    }
+}
+
+/// Endpoint occupancy under the reader/writer admission rule: a move
+/// writes both endpoints; a copy or share reads its source (several may
+/// stream from one NF at once, up to the scheduler's per-source stream
+/// cap) and writes its destination.
+#[derive(Default)]
+struct Locks {
+    writers: HashSet<usize>,
+    readers: HashMap<usize, usize>,
+}
+
+impl Locks {
+    fn readers_at(&self, w: usize) -> usize {
+        self.readers.get(&w).copied().unwrap_or(0)
+    }
+
+    /// Whether `p` can start now, given at most `stream_cap` concurrent
+    /// readers on its source.
+    fn admits(&self, p: &PendingOp, stream_cap: usize) -> bool {
+        let dst_free = !self.writers.contains(&p.dst) && self.readers_at(p.dst) == 0;
+        match p.class {
+            OpClass::Move => {
+                !self.writers.contains(&p.src) && self.readers_at(p.src) == 0 && dst_free
+            }
+            OpClass::Copy | OpClass::Share => {
+                !self.writers.contains(&p.src)
+                    && self.readers_at(p.src) < stream_cap.max(1)
+                    && dst_free
+            }
+        }
+    }
+
+    fn acquire(&mut self, s: &OpSpec) {
+        match s.kind {
+            OpClass::Move => {
+                self.writers.insert(s.src);
+                self.writers.insert(s.dst);
+            }
+            OpClass::Copy | OpClass::Share => {
+                *self.readers.entry(s.src).or_insert(0) += 1;
+                self.writers.insert(s.dst);
+            }
+        }
+    }
+
+    fn release(&mut self, s: &OpSpec) {
+        match s.kind {
+            OpClass::Move => {
+                self.writers.remove(&s.src);
+                self.writers.remove(&s.dst);
+            }
+            OpClass::Copy | OpClass::Share => {
+                if let Some(n) = self.readers.get_mut(&s.src) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        self.readers.remove(&s.src);
+                    }
+                }
+                self.writers.remove(&s.dst);
+            }
+        }
+    }
 }
 
 /// Where one op's state machine stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum St {
-    /// Waiting for admission: an endpoint is busy with an earlier op.
+    /// Waiting for admission: the scheduler has not picked it yet (an
+    /// endpoint is busy, or the policy favours another op).
     Pending,
-    /// `enableEvents(drop)` in flight at the source.
+    /// `enableEvents(drop)` in flight at the source (move/share only).
     WaitEnable,
     /// Chunk batches streaming out of the source, puts pipelined into
     /// the destination (stays here until the last batch *and* every put
     /// ack have landed).
     Streaming,
     /// All state confirmed at the destination; `delPerflow` in flight at
-    /// the source (copy-then-delete release).
+    /// the source (move's copy-then-delete release).
     Deleting,
     /// Route flipped; draining straggler events raised by packets that
-    /// were already queued toward the source.
+    /// were already queued toward the source (move only).
     FwdWait,
     /// Fenced `disableEvents` in flight; collecting the teardown flush.
     Settling,
@@ -103,20 +207,26 @@ enum St {
     Done,
 }
 
-/// One in-flight move: everything the dispatch loop needs to route a
+/// One in-flight op: everything the dispatch loop needs to route a
 /// reply or event back to the right op and advance it.
 struct OpTask {
     spec: OpSpec,
     op: OpId,
     report: OpReport,
     st: St,
-    /// Per-op root span; the five phase spans parent under it explicitly.
+    /// Per-op root span; the canonical phase spans parent under it
+    /// explicitly.
     root: Option<SpanId>,
     /// The currently open phase span.
     phase: Option<SpanId>,
     /// When the spec entered the engine's admission queue (queue wait =
     /// admission time − this).
     submitted: Instant,
+    /// The same instant on the telemetry clock (what the scheduler's
+    /// deadline policy compares).
+    submitted_ns: u64,
+    /// Submission index: the total order admission ties break on.
+    seq: u64,
     start: Instant,
     /// Watchdog for the outstanding request(s); reset on every ack/batch.
     deadline: Instant,
@@ -128,7 +238,7 @@ struct OpTask {
     next_seq: u64,
     /// The `last` batch has arrived.
     export_done: bool,
-    /// Outstanding put correlation ids (≤ [`PUT_WINDOW`]).
+    /// Outstanding put correlation ids (≤ the scheduler's put window).
     put_ids: HashSet<u64>,
     /// Batches received but not yet put (window full).
     backlog: VecDeque<Vec<Chunk>>,
@@ -145,38 +255,72 @@ struct OpTask {
 }
 
 impl OpTask {
-    /// Ops in these states own their source's event stream.
+    /// Ops in these states own their source's event stream. Copies never
+    /// arm events, so they never own one (see `route_event`).
     fn active(&self) -> bool {
         !matches!(self.st, St::Pending | St::Done)
+    }
+
+    /// This task as the scheduler sees it.
+    fn pending(&self) -> PendingOp {
+        PendingOp {
+            op: self.op.0,
+            src: self.spec.src,
+            dst: self.spec.dst,
+            class: self.spec.kind,
+            armed_ns: self.submitted_ns,
+            seq: self.seq,
+        }
     }
 }
 
 impl RtController {
     /// Runs `specs` concurrently, one [`OpTask`] per spec, and returns
-    /// each op's outcome in spec order. Ops whose `{src, dst}` sets are
-    /// disjoint progress in parallel; ops sharing an instance serialize
-    /// in submission order. Each op journals its phase boundaries, so a
+    /// each op's outcome in spec order. Which pending op starts when an
+    /// endpoint frees up is the active scheduling policy's call
+    /// ([`RtController::set_sched_policy`]); under the default FIFO
+    /// policy ops admit in submission order, exactly as before the
+    /// scheduler existed. Each op journals its phase boundaries, so a
     /// crash mid-batch leaves a recoverable ledger
-    /// ([`RtController::recover`]).
-    pub fn run_moves(&mut self, specs: Vec<OpSpec>) -> Vec<Result<MoveStats, RtError>> {
+    /// ([`RtController::recover`]) for moves, copies, and shares alike.
+    pub fn run_ops(&mut self, specs: Vec<OpSpec>) -> Vec<Result<MoveStats, RtError>> {
         self.last_abort_lost.clear();
         let now = Instant::now();
+        let now_ns = self.tel.now_ns();
         let mut tasks: Vec<OpTask> = specs
             .into_iter()
-            .map(|spec| {
+            .enumerate()
+            .map(|(i, spec)| {
                 let op = self.mint_op();
                 self.tel.event(
                     "engine.op_submitted",
-                    Some(format!("op={} src={} dst={}", op.0, spec.src, spec.dst)),
+                    Some(format!(
+                        "op={} kind={} src={} dst={}",
+                        op.0,
+                        spec.kind.name(),
+                        spec.src,
+                        spec.dst
+                    )),
                 );
+                // The queue-depth gauge moves on submission too, not just
+                // inside the admission sweep, so a burst of submits is
+                // visible even before anything is admitted.
+                self.tel.gauge_set("engine.queue_depth", i as u64 + 1);
+                let kind_str = match spec.kind {
+                    OpClass::Move => "move[LF PL]",
+                    OpClass::Copy => "copy",
+                    OpClass::Share => "share",
+                };
                 OpTask {
                     spec,
                     op,
-                    report: OpReport::new(op, "move[LF PL]".into(), self.tel.now_ns()),
+                    report: OpReport::new(op, kind_str.into(), self.tel.now_ns()),
                     st: St::Pending,
                     root: None,
                     phase: None,
                     submitted: now,
+                    submitted_ns: now_ns,
+                    seq: i as u64,
                     start: now,
                     deadline: now,
                     wait_id: 0,
@@ -197,7 +341,7 @@ impl RtController {
                 }
             })
             .collect();
-        let mut busy: HashSet<usize> = HashSet::new();
+        let mut locks = Locks::default();
         let mut by_req: HashMap<u64, usize> = HashMap::new();
         let mut last_depth = u64::MAX;
 
@@ -216,31 +360,60 @@ impl RtController {
                 }
                 break;
             }
-            // Admission: earlier specs win contended endpoints.
-            for ti in 0..tasks.len() {
-                if tasks[ti].st == St::Pending
-                    && !busy.contains(&tasks[ti].spec.src)
-                    && !busy.contains(&tasks[ti].spec.dst)
-                {
-                    busy.insert(tasks[ti].spec.src);
-                    busy.insert(tasks[ti].spec.dst);
-                    if self.tel.enabled() {
-                        let wait = tasks[ti].submitted.elapsed().as_nanos() as u64;
-                        let depth =
-                            tasks.iter().filter(|t| t.st == St::Pending).count() as u64 - 1;
-                        self.tel
-                            .observe(&format!("engine.admission_wait.w{}", tasks[ti].spec.src), wait);
-                        self.tel.event(
-                            "engine.op_admitted",
-                            Some(format!(
-                                "op={} wait_ns={wait} depth={depth}",
-                                tasks[ti].op.0
-                            )),
-                        );
+            // Admission: the scheduler picks from the pending set until
+            // nothing feasible remains. The feasibility predicate is the
+            // engine's lock state plus the per-source stream cap the
+            // bandwidth accountant allows right now.
+            loop {
+                let now_ns = self.tel.now_ns();
+                let mut idxs: Vec<usize> = Vec::new();
+                let mut pending: Vec<PendingOp> = Vec::new();
+                for (ti, t) in tasks.iter().enumerate() {
+                    if t.st == St::Pending {
+                        idxs.push(ti);
+                        pending.push(t.pending());
                     }
-                    if let Err(e) = self.start_op(&mut tasks[ti], ti, &mut by_req) {
-                        self.fail_op(&mut tasks[ti], ti, e, &mut by_req, &mut busy);
-                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                let mut caps: HashMap<usize, usize> = HashMap::new();
+                for p in &pending {
+                    caps.entry(p.src).or_insert_with(|| self.sched.stream_cap(p.src, now_ns));
+                }
+                let picked = {
+                    let locks = &locks;
+                    let caps = &caps;
+                    self.sched.pick(&pending, &mut |p| {
+                        locks.admits(p, caps.get(&p.src).copied().unwrap_or(1))
+                    })
+                };
+                let Some(pi) = picked else { break };
+                let ti = idxs[pi];
+                let p = pending[pi];
+                locks.acquire(&tasks[ti].spec);
+                self.sched.on_admitted(&p);
+                if self.tel.enabled() {
+                    let wait = tasks[ti].submitted.elapsed().as_nanos() as u64;
+                    let depth = pending.len() as u64 - 1;
+                    self.tel.observe(&format!("engine.admission_wait.w{}", p.src), wait);
+                    self.tel.event(
+                        "engine.op_admitted",
+                        Some(format!("op={} wait_ns={wait} depth={depth}", p.op)),
+                    );
+                    self.tel.event(
+                        "sched.decision",
+                        Some(format!(
+                            "op={} policy={} class={} src={}",
+                            p.op,
+                            self.sched.policy().name(),
+                            p.class.name(),
+                            p.src
+                        )),
+                    );
+                }
+                if let Err(e) = self.start_op(&mut tasks[ti], ti, &mut by_req) {
+                    self.fail_op(&mut tasks[ti], ti, e, &mut by_req, &mut locks);
                 }
             }
             // Queue-depth gauge: ops still waiting for a free endpoint
@@ -259,7 +432,7 @@ impl RtController {
                     // Unmapped ids are stale (a failed op's still-streaming
                     // batches, a pre-crash echo): ignored by correlation.
                     if let Some(&ti) = by_req.get(&id) {
-                        self.on_reply(&mut tasks, ti, id, reply, &mut by_req, &mut busy);
+                        self.on_reply(&mut tasks, ti, id, reply, &mut by_req, &mut locks);
                     }
                 }
                 Recv::Msg(WireMsg::Event { worker, ev: WireEvent::NfFailed { reason } }) => {
@@ -275,7 +448,7 @@ impl RtController {
                                 ti,
                                 RtError::NfFailed { worker, reason: reason.clone() },
                                 &mut by_req,
-                                &mut busy,
+                                &mut locks,
                             );
                         }
                     }
@@ -291,12 +464,12 @@ impl RtController {
                     for t in tasks.iter_mut() {
                         if t.st != St::Done {
                             t.err.get_or_insert(RtError::ChannelClosed);
-                            self.finalize_abort(t, &mut busy);
+                            self.finalize_abort(t, &mut locks);
                         }
                     }
                 }
             }
-            self.tick(&mut tasks, &mut by_req, &mut busy);
+            self.tick(&mut tasks, &mut by_req, &mut locks);
         }
 
         tasks
@@ -313,6 +486,12 @@ impl RtController {
             .collect()
     }
 
+    /// [`RtController::run_ops`] restricted by name to moves — kept for
+    /// callers from before the engine grew copy and share admission.
+    pub fn run_moves(&mut self, specs: Vec<OpSpec>) -> Vec<Result<MoveStats, RtError>> {
+        self.run_ops(specs)
+    }
+
     /// Applies a state transition, recording it as a point event
     /// (`engine.op_state`, with the op id) so the trace analyzer can
     /// replay each op's lifecycle with timestamps.
@@ -326,8 +505,10 @@ impl RtController {
         t.st = st;
     }
 
-    /// Admits one op: opens its root span, arms the drop filter at the
-    /// source, journals nothing yet (Armed lands on the enable ack).
+    /// Admits one op: opens its root span and takes the kind's first
+    /// step. Moves and shares arm the drop filter at the source (Armed
+    /// lands on the enable ack); copies never arm events, so they journal
+    /// Armed immediately and go straight to streaming.
     fn start_op(
         &mut self,
         t: &mut OpTask,
@@ -336,24 +517,48 @@ impl RtController {
     ) -> Result<(), RtError> {
         t.start = Instant::now();
         t.report.start_ns = self.tel.now_ns();
-        self.residue.insert(t.op.0, OpResidue::new(t.spec.src, t.spec.dst, t.spec.filter));
+        self.residue.insert(
+            t.op.0,
+            OpResidue::new(t.spec.src, t.spec.dst, t.spec.filter, t.spec.kind),
+        );
         let root = self.tel.begin_linked_arg(
             0,
-            "move",
+            t.spec.kind.name(),
             Some(format!("op={} src={} dst={}", t.op.0, t.spec.src, t.spec.dst)),
         );
         t.root = Some(root);
-        let sp = self.tel.begin_under(root, "move.export");
-        t.phase = Some(sp);
-        let id = self.call_linked(
-            t.spec.src,
-            WireCall::EnableEvents { filter: t.spec.filter, action: WireAction::Drop },
-            sp.raw(),
-        )?;
-        t.wait_id = id;
-        by_req.insert(id, ti);
-        t.deadline = Instant::now() + self.reply_timeout;
-        self.set_st(t, St::WaitEnable);
+        match t.spec.kind {
+            OpClass::Move | OpClass::Share => {
+                let phase = if t.spec.kind == OpClass::Move { "move.export" } else { "share.arm" };
+                let sp = self.tel.begin_under(root, phase);
+                t.phase = Some(sp);
+                let id = self.call_linked(
+                    t.spec.src,
+                    WireCall::EnableEvents { filter: t.spec.filter, action: WireAction::Drop },
+                    sp.raw(),
+                )?;
+                t.wait_id = id;
+                by_req.insert(id, ti);
+                t.deadline = Instant::now() + self.reply_timeout;
+                self.set_st(t, St::WaitEnable);
+            }
+            OpClass::Copy => {
+                if self.jlog(t.op, JournalPhase::Armed, &t.report) {
+                    return Ok(());
+                }
+                let sp = self.tel.begin_under(root, "copy.export");
+                t.phase = Some(sp);
+                let id = self.call_linked(
+                    t.spec.src,
+                    WireCall::GetPerflowChunked { filter: t.spec.filter, batch: STREAM_BATCH },
+                    sp.raw(),
+                )?;
+                t.get_id = id;
+                by_req.insert(id, ti);
+                t.deadline = Instant::now() + self.reply_timeout;
+                self.set_st(t, St::Streaming);
+            }
+        }
         Ok(())
     }
 
@@ -365,13 +570,13 @@ impl RtController {
         id: u64,
         reply: WireReply,
         by_req: &mut HashMap<u64, usize>,
-        busy: &mut HashSet<usize>,
+        locks: &mut Locks,
     ) {
         if self.is_crashed() {
             return;
         }
         if let WireReply::Error { message } = reply {
-            self.fail_op(&mut tasks[ti], ti, RtError::Wire(message), by_req, busy);
+            self.fail_op(&mut tasks[ti], ti, RtError::Wire(message), by_req, locks);
             return;
         }
         let t = &mut tasks[ti];
@@ -381,16 +586,25 @@ impl RtController {
                 if self.jlog(t.op, JournalPhase::Armed, &t.report) {
                     return;
                 }
+                if t.spec.kind == OpClass::Share {
+                    // The arm round-trip is its own canonical phase for a
+                    // share; the initial sync streams under the next one.
+                    if let Some(sp) = t.phase.take() {
+                        self.tel.end(sp);
+                    }
+                    let root = t.root.expect("root span open");
+                    t.phase = Some(self.tel.begin_under(root, "share.init_sync"));
+                }
                 // Stream the export: batches flow back under one id while
                 // the puts below pipeline them into the destination.
-                let export = t.phase.expect("export span open");
+                let stream = t.phase.expect("stream span open");
                 match self.call_linked(
                     t.spec.src,
                     WireCall::GetPerflowChunked {
                         filter: t.spec.filter,
                         batch: STREAM_BATCH,
                     },
-                    export.raw(),
+                    stream.raw(),
                 ) {
                     Ok(gid) => {
                         t.get_id = gid;
@@ -398,13 +612,13 @@ impl RtController {
                         t.deadline = Instant::now() + self.reply_timeout;
                         self.set_st(t, St::Streaming);
                     }
-                    Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
+                    Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, locks),
                 }
             }
             St::Streaming if id == t.get_id => {
                 let WireReply::ChunkBatch { seq, last, chunks } = reply else {
                     let e = RtError::Wire(format!("unexpected stream reply for {id}"));
-                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, locks);
                     return;
                 };
                 // The channel is FIFO, so a seq gap means a batch was
@@ -415,13 +629,23 @@ impl RtController {
                         "chunk batch gap at src {}: got seq {seq}, expected {}",
                         t.spec.src, t.next_seq
                     ));
-                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, locks);
                     return;
                 }
                 t.next_seq += 1;
                 t.deadline = Instant::now() + self.reply_timeout;
+                let batch_bytes = chunks.iter().map(|c| c.len()).sum::<usize>();
                 t.chunks += chunks.len();
-                t.bytes += chunks.iter().map(|c| c.len()).sum::<usize>();
+                t.bytes += batch_bytes;
+                // Feed the bandwidth accountant: this is what eventually
+                // dries the source's bucket and tightens its put window
+                // and stream cap.
+                let now_ns = self.tel.now_ns();
+                self.sched.on_bytes(t.spec.src, batch_bytes as u64, now_ns);
+                if self.tel.enabled() {
+                    let toks = self.sched.tokens(t.spec.src, now_ns);
+                    self.tel.gauge_set(&format!("sched.tokens.w{}", t.spec.src), toks);
+                }
                 t.flow_ids.extend(chunks.iter().map(|c| c.flow_id));
                 if let Some(res) = self.residue.get_mut(&t.op.0) {
                     res.put_flows.extend(chunks.iter().map(|c| c.flow_id));
@@ -432,30 +656,44 @@ impl RtController {
                 if last {
                     by_req.remove(&id);
                     t.export_done = true;
-                    if let Some(sp) = t.phase.take() {
-                        self.tel.end(sp);
+                    match t.spec.kind {
+                        OpClass::Move => {
+                            if let Some(sp) = t.phase.take() {
+                                self.tel.end(sp);
+                            }
+                            let root = t.root.expect("root span open");
+                            t.phase = Some(self.tel.begin_under(root, "move.transfer"));
+                        }
+                        OpClass::Copy => {
+                            if let Some(sp) = t.phase.take() {
+                                self.tel.end(sp);
+                            }
+                            let root = t.root.expect("root span open");
+                            t.phase = Some(self.tel.begin_under(root, "copy.import"));
+                        }
+                        // share.init_sync spans the whole stream + put
+                        // pipeline; it stays open until the sync settles.
+                        OpClass::Share => {}
                     }
-                    let root = t.root.expect("root span open");
-                    t.phase = Some(self.tel.begin_under(root, "move.transfer"));
                     if self.jlog(t.op, JournalPhase::ExportDone, &t.report) {
                         return;
                     }
                 }
                 if let Err(e) = self.pump_puts(&mut tasks[ti], ti, by_req) {
-                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, locks);
                     return;
                 }
-                self.maybe_finish_transfer(tasks, ti, by_req, busy);
+                self.maybe_finish_transfer(tasks, ti, by_req, locks);
             }
             St::Streaming if t.put_ids.contains(&id) => {
                 t.put_ids.remove(&id);
                 by_req.remove(&id);
                 t.deadline = Instant::now() + self.reply_timeout;
                 if let Err(e) = self.pump_puts(&mut tasks[ti], ti, by_req) {
-                    self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                    self.fail_op(&mut tasks[ti], ti, e, by_req, locks);
                     return;
                 }
-                self.maybe_finish_transfer(tasks, ti, by_req, busy);
+                self.maybe_finish_transfer(tasks, ti, by_req, locks);
             }
             St::Deleting if id == t.wait_id => {
                 by_req.remove(&id);
@@ -478,7 +716,7 @@ impl RtController {
                     Ok(n) => t.replayed += n,
                     Err(e) => {
                         self.tel.end(sp);
-                        self.fail_op(&mut tasks[ti], ti, e, by_req, busy);
+                        self.fail_op(&mut tasks[ti], ti, e, by_req, locks);
                         return;
                     }
                 }
@@ -496,28 +734,30 @@ impl RtController {
             }
             St::Settling if id == t.wait_id => {
                 by_req.remove(&id);
-                self.finalize_commit(&mut tasks[ti], busy);
+                self.finalize_commit(&mut tasks[ti], locks);
             }
             St::AbortPurge if id == t.wait_id => {
                 by_req.remove(&id);
-                self.abort_settle(&mut tasks[ti], ti, by_req, busy);
+                self.abort_settle(&mut tasks[ti], ti, by_req, locks);
             }
             St::AbortSettling if id == t.wait_id => {
                 by_req.remove(&id);
-                self.finalize_abort(&mut tasks[ti], busy);
+                self.finalize_abort(&mut tasks[ti], locks);
             }
             _ => {}
         }
     }
 
-    /// Issues queued put batches up to the backpressure window.
+    /// Issues queued put batches up to the backpressure window the
+    /// scheduler currently allows for this op's source.
     fn pump_puts(
         &mut self,
         t: &mut OpTask,
         ti: usize,
         by_req: &mut HashMap<u64, usize>,
     ) -> Result<(), RtError> {
-        while t.put_ids.len() < PUT_WINDOW {
+        let window = self.sched.put_window(t.spec.src, self.tel.now_ns());
+        while t.put_ids.len() < window {
             let Some(chunks) = t.backlog.pop_front() else { break };
             let id = self.call(t.spec.dst, WireCall::PutPerflow { chunks })?;
             t.put_ids.insert(id);
@@ -528,15 +768,17 @@ impl RtController {
     }
 
     /// Once the last batch and every put ack are in, the transfer phase is
-    /// over: journal `Transferred` and release the source
-    /// (copy-then-delete — the source keeps its copy until this point, so
-    /// any earlier abort rolls back without loss).
+    /// over: journal `Transferred` and take the kind's release step. A
+    /// move deletes at the source (copy-then-delete — the source keeps
+    /// its copy until this point, so any earlier abort rolls back without
+    /// loss); a copy is simply done; a share tears its sync filter down
+    /// and replays the buffered updates back to the source.
     fn maybe_finish_transfer(
         &mut self,
         tasks: &mut [OpTask],
         ti: usize,
         by_req: &mut HashMap<u64, usize>,
-        busy: &mut HashSet<usize>,
+        locks: &mut Locks,
     ) {
         let t = &mut tasks[ti];
         if !(t.export_done && t.put_ids.is_empty() && t.backlog.is_empty()) {
@@ -550,30 +792,61 @@ impl RtController {
         if self.jlog(t.op, JournalPhase::Transferred, &t.report) {
             return;
         }
-        let root = t.root.expect("root span open");
-        t.phase = Some(self.tel.begin_under(root, "move.import"));
-        // An empty delete still round-trips: it doubles as the barrier
-        // proving the source processed everything up to here.
-        match self.call(t.spec.src, WireCall::DelPerflow { flow_ids: t.flow_ids.clone() }) {
-            Ok(id) => {
-                t.wait_id = id;
-                by_req.insert(id, ti);
-                t.deadline = Instant::now() + self.reply_timeout;
-                self.set_st(t, St::Deleting);
+        match t.spec.kind {
+            OpClass::Move => {
+                let root = t.root.expect("root span open");
+                t.phase = Some(self.tel.begin_under(root, "move.import"));
+                // An empty delete still round-trips: it doubles as the
+                // barrier proving the source processed everything up to
+                // here.
+                match self.call(t.spec.src, WireCall::DelPerflow { flow_ids: t.flow_ids.clone() })
+                {
+                    Ok(id) => {
+                        t.wait_id = id;
+                        by_req.insert(id, ti);
+                        t.deadline = Instant::now() + self.reply_timeout;
+                        self.set_st(t, St::Deleting);
+                    }
+                    Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, locks),
+                }
             }
-            Err(e) => self.fail_op(&mut tasks[ti], ti, e, by_req, busy),
+            OpClass::Copy => {
+                // Non-destructive and never armed: the clone is complete
+                // the moment every put acked.
+                self.finalize_commit(&mut tasks[ti], locks);
+            }
+            OpClass::Share => {
+                // The replica is seeded; tear the sync filter down. The
+                // updates it buffered replay to the *source* at the ack,
+                // so nothing raised during the sync is lost.
+                let (src, filter) = (t.spec.src, t.spec.filter);
+                match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
+                    Ok(id) => {
+                        t.wait_id = id;
+                        by_req.insert(id, ti);
+                        t.deadline = Instant::now() + self.reply_timeout;
+                        self.set_st(t, St::Settling);
+                    }
+                    Err(_) => self.finalize_commit(&mut tasks[ti], locks),
+                }
+            }
         }
     }
 
     /// Hands an event to the op that owns the raising worker, or routes
     /// it onward when no op does (a straggler from an op that already
-    /// finished).
+    /// finished). Copies never arm events, so they never own a stream —
+    /// an event raised at a copy's source belongs to no one and routes
+    /// on.
     fn route_event(&mut self, tasks: &mut [OpTask], worker: usize, ev: WireEvent) {
         if self.is_crashed() {
             return;
         }
         let now = Instant::now();
-        if let Some(t) = tasks.iter_mut().find(|t| t.active() && t.spec.src == worker) {
+        if let Some(t) = tasks
+            .iter_mut()
+            .find(|t| t.active() && t.spec.src == worker && t.spec.kind != OpClass::Copy)
+        {
             t.last_event = now;
             if t.st == St::FwdWait {
                 // Past the flush: stragglers replay straight to the
@@ -615,7 +888,7 @@ impl RtController {
         &mut self,
         tasks: &mut [OpTask],
         by_req: &mut HashMap<u64, usize>,
-        busy: &mut HashSet<usize>,
+        locks: &mut Locks,
     ) {
         if self.is_crashed() {
             return;
@@ -641,41 +914,46 @@ impl RtController {
                         // The source is gone, so its filter (and any
                         // still-buffered events) died with it; the
                         // destination already holds the state.
-                        Err(_) => self.finalize_commit(t, busy),
+                        Err(_) => self.finalize_commit(t, locks),
                     }
                 }
                 St::WaitEnable | St::Streaming | St::Deleting if now >= t.deadline => {
                     let id = t.wait_id;
-                    self.fail_op(t, ti, RtError::Timeout { id }, by_req, busy);
+                    self.fail_op(t, ti, RtError::Timeout { id }, by_req, locks);
                 }
                 // Best-effort teardown: a worker that won't ack its purge
                 // or disable doesn't pin the op forever.
                 St::Settling if now >= t.deadline => {
                     by_req.remove(&t.wait_id);
-                    self.finalize_commit(t, busy);
+                    self.finalize_commit(t, locks);
                 }
                 St::AbortPurge if now >= t.deadline => {
                     by_req.remove(&t.wait_id);
-                    self.abort_settle(t, ti, by_req, busy);
+                    self.abort_settle(t, ti, by_req, locks);
                 }
                 St::AbortSettling if now >= t.deadline => {
                     by_req.remove(&t.wait_id);
-                    self.finalize_abort(t, busy);
+                    self.finalize_abort(t, locks);
                 }
                 _ => {}
             }
         }
     }
 
-    /// Completes an op: replays the teardown flush to the destination,
+    /// Completes an op: replays the teardown flush (to the destination
+    /// for a move, back to the source for a share — a copy has none),
     /// journals `Committed`, releases the endpoints.
-    fn finalize_commit(&mut self, t: &mut OpTask, busy: &mut HashSet<usize>) {
+    fn finalize_commit(&mut self, t: &mut OpTask, locks: &mut Locks) {
         let events = self
             .residue
             .remove(&t.op.0)
             .map(|r| r.events)
             .unwrap_or_default();
-        let (replayed, lost) = self.replay_events_to(t.spec.dst, events);
+        let replay_to = match t.spec.kind {
+            OpClass::Move => t.spec.dst,
+            OpClass::Copy | OpClass::Share => t.spec.src,
+        };
+        let (replayed, lost) = self.replay_events_to(replay_to, events);
         t.replayed += replayed;
         t.report.abort_lost.extend(lost.iter().copied());
         self.last_abort_lost.extend(lost);
@@ -687,8 +965,9 @@ impl RtController {
         }
         t.duration = t.start.elapsed();
         self.set_st(t, St::Done);
-        busy.remove(&t.spec.src);
-        busy.remove(&t.spec.dst);
+        locks.release(&t.spec);
+        let done = t.pending();
+        self.sched.on_completed(&done);
     }
 
     /// Starts tearing a failed op down. Pre-release failures first purge
@@ -701,9 +980,14 @@ impl RtController {
         ti: usize,
         e: RtError,
         by_req: &mut HashMap<u64, usize>,
-        busy: &mut HashSet<usize>,
+        locks: &mut Locks,
     ) {
-        self.tel.event("move.abort", Some(format!("op={} {e}", t.op.0)));
+        let abort_ev = match t.spec.kind {
+            OpClass::Move => "move.abort",
+            OpClass::Copy => "copy.abort",
+            OpClass::Share => "share.abort",
+        };
+        self.tel.event(abort_ev, Some(format!("op={} {e}", t.op.0)));
         if let Some(sp) = t.phase.take() {
             self.tel.end(sp);
         }
@@ -729,18 +1013,23 @@ impl RtController {
                 return;
             }
         }
-        self.abort_settle(t, ti, by_req, busy);
+        self.abort_settle(t, ti, by_req, locks);
     }
 
     /// Abort teardown, step 2: restore a quiescent source (no stale
-    /// filter) and collect whatever the teardown flushes out.
+    /// filter) and collect whatever the teardown flushes out. A copy
+    /// never armed a filter, so it skips straight to the finalize.
     fn abort_settle(
         &mut self,
         t: &mut OpTask,
         ti: usize,
         by_req: &mut HashMap<u64, usize>,
-        busy: &mut HashSet<usize>,
+        locks: &mut Locks,
     ) {
+        if t.spec.kind == OpClass::Copy {
+            self.finalize_abort(t, locks);
+            return;
+        }
         let (src, filter) = (t.spec.src, t.spec.filter);
         match self.send_fenced_mgmt(src, WireCall::DisableEvents { filter }) {
             Ok(id) => {
@@ -749,14 +1038,14 @@ impl RtController {
                 t.deadline = Instant::now() + self.reply_timeout;
                 self.set_st(t, St::AbortSettling);
             }
-            Err(_) => self.finalize_abort(t, busy),
+            Err(_) => self.finalize_abort(t, locks),
         }
     }
 
     /// Abort teardown, step 3: replay buffered events back to wherever
     /// the route points, account every packet that could not be
     /// delivered, journal `Aborted`, release the endpoints.
-    fn finalize_abort(&mut self, t: &mut OpTask, busy: &mut HashSet<usize>) {
+    fn finalize_abort(&mut self, t: &mut OpTask, locks: &mut Locks) {
         let events = self
             .residue
             .remove(&t.op.0)
@@ -777,7 +1066,8 @@ impl RtController {
         }
         t.duration = t.start.elapsed();
         self.set_st(t, St::Done);
-        busy.remove(&t.spec.src);
-        busy.remove(&t.spec.dst);
+        locks.release(&t.spec);
+        let done = t.pending();
+        self.sched.on_completed(&done);
     }
 }

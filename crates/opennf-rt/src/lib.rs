@@ -48,3 +48,7 @@ pub use worker::{spawn_worker, spawn_worker_faulty, PeerMesh, WorkerHandle};
 // The rt controller journals through the same ledger types the simulator's
 // controller uses; re-exported so harnesses need only one import path.
 pub use opennf_controller::{JournalPhase, JournalRecord, OpJournal, OpReport};
+
+// The scheduling subsystem the engine's admission delegates to;
+// re-exported so harnesses can pick a policy without a direct dep.
+pub use opennf_sched::{OpClass, SchedConfig, SchedPolicy};

@@ -218,6 +218,14 @@ impl ShardedRt {
         self
     }
 
+    /// Applies an op-scheduling policy to every shard's engine
+    /// ([`RtController::set_sched_policy`]).
+    pub fn set_sched_policy(&mut self, policy: opennf_sched::SchedPolicy) {
+        for s in &mut self.shards {
+            s.set_sched_policy(policy);
+        }
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -310,7 +318,7 @@ impl ShardedRt {
                 ))));
                 continue;
             }
-            per_shard[sa].push((i, crate::engine::OpSpec { src: a_l, dst: b_l, filter }));
+            per_shard[sa].push((i, crate::engine::OpSpec::mv(a_l, b_l, filter)));
         }
         for (k, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
@@ -375,7 +383,12 @@ impl ShardedRt {
         // journal records share one id space with that shard's in-shard
         // ops; it also tags the east-west frames.
         let op = self.shards[sa].mint_op();
-        self.tel.event("ew.handoff", Some(format!("op={} {src}->{dst}", op.0)));
+        // Shard-tagged so the happens-before oracle can pair this with the
+        // peer's `ew.release` per shard pair and bound transport latency.
+        self.tel.event(
+            "ew.handoff",
+            Some(format!("op={} {src}->{dst} shard={sa} peer={sb}", op.0)),
+        );
         let mut report = OpReport::new(op, "move[LF ew]".into(), self.tel.now_ns());
 
         let mut events: Vec<WireEvent> = Vec::new();
@@ -615,7 +628,10 @@ impl ShardedRt {
                     lost.extend(l);
                 }
                 EwMsg::Release { op, committed } => {
-                    self.tel.event("ew.release", Some(format!("op={op} committed={committed}")));
+                    self.tel.event(
+                        "ew.release",
+                        Some(format!("op={op} committed={committed} shard={k}")),
+                    );
                 }
             }
         }

@@ -69,7 +69,7 @@ fn crash_at_every_phase_recovers_to_the_mandated_terminal() {
     for (phase, forward) in phases {
         let mut ctrl = loaded_controller();
         ctrl.crash_after(phase);
-        let res = ctrl.run_moves(vec![OpSpec { src: 0, dst: 1, filter: Filter::any() }]);
+        let res = ctrl.run_moves(vec![OpSpec::mv(0, 1, Filter::any())]);
         assert!(
             matches!(res[0], Err(RtError::CtrlCrashed)),
             "{phase:?}: crashed op must fail with CtrlCrashed, got {:?}",
@@ -89,7 +89,7 @@ fn crash_at_every_phase_recovers_to_the_mandated_terminal() {
         // wherever recovery left the state) completes normally.
         let (src, dst) = if forward { (1, 0) } else { (0, 1) };
         let stats = ctrl
-            .run_moves(vec![OpSpec { src, dst, filter: Filter::any() }])
+            .run_moves(vec![OpSpec::mv(src, dst, Filter::any())])
             .remove(0)
             .unwrap_or_else(|e| panic!("{phase:?}: post-recovery move failed: {e}"));
         assert_eq!(stats.chunks, FLOWS as usize, "{phase:?}: post-recovery move is whole");
@@ -100,6 +100,95 @@ fn crash_at_every_phase_recovers_to_the_mandated_terminal() {
         let (at_dst, at_src) = if dst == 1 { (m1, m0) } else { (m0, m1) };
         assert_eq!(at_dst, FLOWS as usize, "{phase:?}: all flows at final dst");
         assert_eq!(at_src, 0, "{phase:?}: final src fully released");
+    }
+}
+
+/// A copy journals three boundaries — `Armed`, `ExportDone`,
+/// `Transferred` (nothing is deleted and no route flips, so there is no
+/// import or flush) — and the engine must crash-recover at each exactly
+/// like a move: roll back before `Transferred` (purging the partial
+/// clone), fail forward at it. Either way the copy is non-destructive:
+/// the source keeps all 30 flows.
+#[test]
+fn copy_crash_at_each_boundary_recovers_nondestructively() {
+    let phases = [
+        (JournalPhase::Armed, false),
+        (JournalPhase::ExportDone, false),
+        (JournalPhase::Transferred, true),
+    ];
+    for (phase, forward) in phases {
+        let mut ctrl = loaded_controller();
+        ctrl.crash_after(phase);
+        let res = ctrl.run_ops(vec![OpSpec::copy(0, 1, Filter::any())]);
+        assert!(
+            matches!(res[0], Err(RtError::CtrlCrashed)),
+            "{phase:?}: crashed copy must fail with CtrlCrashed, got {:?}",
+            res[0]
+        );
+
+        let outcomes = ctrl.recover();
+        let expected = if forward { JournalPhase::Committed } else { JournalPhase::Aborted };
+        assert_eq!(outcomes.len(), 1, "{phase:?}: one op recovered");
+        assert_eq!(outcomes[0].1, expected, "{phase:?}: terminal phase");
+        assert!(!ctrl.is_crashed(), "{phase:?}: recovery clears the crash flag");
+
+        // The controller survives: a fresh full copy completes.
+        let stats = ctrl
+            .copy_flows(0, 1, Filter::any())
+            .unwrap_or_else(|e| panic!("{phase:?}: post-recovery copy failed: {e}"));
+        assert_eq!(stats.chunks, FLOWS as usize, "{phase:?}: post-recovery copy is whole");
+
+        // Non-destructive at every boundary: the source never lost a
+        // flow, and the destination holds the (re-)copied clone.
+        let (m0, m1) = conn_counts(ctrl);
+        assert_eq!(m0, FLOWS as usize, "{phase:?}: source kept every flow");
+        assert_eq!(m1, FLOWS as usize, "{phase:?}: destination holds the clone");
+    }
+}
+
+/// A share's journal boundaries match a move's transfer leg (`Armed` on
+/// the enable ack, `ExportDone`, `Transferred` when the initial sync
+/// lands). Recovery must tear the sync filter down, purge a partial
+/// replica on rollback, keep it on fail-forward — and never touch the
+/// source's state.
+#[test]
+fn share_crash_at_each_boundary_recovers_nondestructively() {
+    let phases = [
+        (JournalPhase::Armed, false),
+        (JournalPhase::ExportDone, false),
+        (JournalPhase::Transferred, true),
+    ];
+    for (phase, forward) in phases {
+        let mut ctrl = loaded_controller();
+        ctrl.crash_after(phase);
+        let res = ctrl.run_ops(vec![OpSpec::share(0, 1, Filter::any())]);
+        assert!(
+            matches!(res[0], Err(RtError::CtrlCrashed)),
+            "{phase:?}: crashed share must fail with CtrlCrashed, got {:?}",
+            res[0]
+        );
+
+        let outcomes = ctrl.recover();
+        let expected = if forward { JournalPhase::Committed } else { JournalPhase::Aborted };
+        assert_eq!(outcomes.len(), 1, "{phase:?}: one op recovered");
+        assert_eq!(outcomes[0].1, expected, "{phase:?}: terminal phase");
+        let last = ctrl.journal().records.last().expect("journal non-empty");
+        assert_eq!(last.phase, expected, "{phase:?}: journal ends terminal");
+
+        // The event filter is torn down either way: a follow-up move
+        // (which arms its own filter at the same source) runs clean.
+        let stats = ctrl
+            .run_moves(vec![OpSpec::mv(0, 1, Filter::any())])
+            .remove(0)
+            .unwrap_or_else(|e| panic!("{phase:?}: post-recovery move failed: {e}"));
+        assert_eq!(stats.chunks, FLOWS as usize, "{phase:?}: post-recovery move is whole");
+
+        // The move put everything at worker 1; a committed share's
+        // replica held the same flows, so state is exactly-once per
+        // endpoint view either way.
+        let (m0, m1) = conn_counts(ctrl);
+        assert_eq!(m0, 0, "{phase:?}: source released by the follow-up move");
+        assert_eq!(m1, FLOWS as usize, "{phase:?}: destination holds every flow");
     }
 }
 
@@ -128,22 +217,16 @@ fn crash_with_two_inflight_ops_recovers_both() {
     // mid-flight (the second may not even have journaled yet).
     ctrl.crash_after(JournalPhase::Armed);
     let specs = vec![
-        OpSpec {
-            src: 0,
-            dst: 2,
-            filter: Filter::from_src(opennf_packet::Ipv4Prefix::new(
-                Ipv4Addr::new(10, 0, 0, 0),
-                24,
-            )),
-        },
-        OpSpec {
-            src: 1,
-            dst: 3,
-            filter: Filter::from_src(opennf_packet::Ipv4Prefix::new(
-                Ipv4Addr::new(10, 0, 1, 0),
-                24,
-            )),
-        },
+        OpSpec::mv(
+            0,
+            2,
+            Filter::from_src(opennf_packet::Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 24)),
+        ),
+        OpSpec::mv(
+            1,
+            3,
+            Filter::from_src(opennf_packet::Ipv4Prefix::new(Ipv4Addr::new(10, 0, 1, 0), 24)),
+        ),
     ];
     let res = ctrl.run_moves(specs);
     assert!(res.iter().all(|r| matches!(r, Err(RtError::CtrlCrashed))));

@@ -1,0 +1,692 @@
+//! The op-scheduling subsystem: admission policies, per-NF export-
+//! bandwidth accounting, and backpressure for the concurrent op engine.
+//!
+//! The engine (`opennf-rt::engine`) and the simulator's controller both
+//! face the same question when several northbound operations contend on
+//! one NF: *which pending op gets the instance next?* This crate owns
+//! that decision, runtime-agnostically — no clocks, no channels, no
+//! threads. Callers describe the pending set as [`PendingOp`]s, supply a
+//! feasibility predicate (the runtime's own lock/occupancy rules), and
+//! pass timestamps in explicitly, so the same policy object behaves
+//! identically under the simulator's virtual clock and the threaded
+//! runtime's wall clock.
+//!
+//! Three deterministic policies ship ([`SchedPolicy`]):
+//!
+//! - [`Fifo`] — submission order, first feasible wins. This is exactly
+//!   the admission rule the engine hard-coded before this crate existed,
+//!   and stays the default so every existing digest is byte-stable.
+//! - [`WeightedFair`] — deficit round-robin over per-source queues with
+//!   configurable per-class costs, so one bulk move cannot monopolize a
+//!   source NF's export bandwidth against cheaper copies/shares.
+//! - [`Deadline`] — earliest-armed-first with starvation aging: every
+//!   time a feasible op is passed over, its effective deadline moves
+//!   earlier, bounding how long any op can be starved.
+//!
+//! On top of admission, [`OpScheduler`] keeps a per-source token bucket
+//! ([`Bandwidth`]) fed by observed `ChunkBatch` bytes. Two signals fall
+//! out of it: how many concurrent streaming ops one source may serve
+//! ([`OpScheduler::stream_cap`]) and how many outstanding puts each op
+//! may pipeline ([`OpScheduler::put_window`]) — the backpressure signal
+//! the engine consults instead of its old hard-coded window of 2. The
+//! default bucket is effectively bottomless, so default behavior is
+//! bit-identical to the pre-scheduler engine.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which kind of northbound operation a pending entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Loss-free move: destructive at the source, exclusive on both ends.
+    Move,
+    /// Non-destructive copy: shared-read at the source.
+    Copy,
+    /// State share / replication: shared-read at the source.
+    Share,
+}
+
+impl OpClass {
+    /// Lower-case protocol name (`move` / `copy` / `share`) — also the
+    /// canonical telemetry span-root name for this op kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Move => "move",
+            OpClass::Copy => "copy",
+            OpClass::Share => "share",
+        }
+    }
+}
+
+/// One op awaiting admission, as the runtime describes it to a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingOp {
+    /// The runtime's op id (opaque to the scheduler).
+    pub op: u64,
+    /// Source NF index (the contended export endpoint).
+    pub src: usize,
+    /// Destination NF index.
+    pub dst: usize,
+    /// Operation kind (weights/costs key off it).
+    pub class: OpClass,
+    /// When the op entered the queue (virtual or wall ns — the policy
+    /// only compares values from the same clock).
+    pub armed_ns: u64,
+    /// Submission sequence number: the total order ties break on.
+    pub seq: u64,
+}
+
+/// An admission policy: given the pending set and the runtime's
+/// feasibility rule, choose which op (by index into `pending`) is
+/// admitted next, or `None` when nothing feasible should start.
+///
+/// `pick` is called repeatedly within one admission sweep — once per
+/// admitted op — so policies return a single index and keep their own
+/// round-robin state across calls. Implementations must be
+/// deterministic: same call sequence, same picks.
+pub trait Scheduler: Send {
+    /// Policy name (telemetry / display).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next op to admit. `feasible` encodes the runtime's
+    /// current lock state (endpoint occupancy, stream caps); the policy
+    /// must only return an index for which it holds.
+    fn pick(
+        &mut self,
+        pending: &[PendingOp],
+        feasible: &mut dyn FnMut(&PendingOp) -> bool,
+    ) -> Option<usize>;
+
+    /// Hook: `op` was admitted (left the pending set).
+    fn on_admitted(&mut self, _op: &PendingOp) {}
+
+    /// Hook: `op` finished (its endpoints were released).
+    fn on_completed(&mut self, _op: &PendingOp) {}
+}
+
+/// The policy selector — mirrored verbatim by the sim controller and the
+/// threaded runtime so conformance can diff both under every policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SchedPolicy {
+    /// Submission order, first feasible (the pre-scheduler behavior).
+    #[default]
+    Fifo,
+    /// Deficit round-robin over per-source queues with class weights.
+    WeightedFair,
+    /// Earliest-armed-first with starvation aging.
+    Deadline,
+}
+
+impl SchedPolicy {
+    /// All policies, in stable order (seeded draws index into this).
+    pub fn all() -> [SchedPolicy; 3] {
+        [SchedPolicy::Fifo, SchedPolicy::WeightedFair, SchedPolicy::Deadline]
+    }
+
+    /// Stable lower-case name (CLI flags, telemetry args).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::WeightedFair => "weighted-fair",
+            SchedPolicy::Deadline => "deadline",
+        }
+    }
+
+    /// Parses a CLI-style name (`fifo` / `weighted-fair` / `wfair` /
+    /// `deadline`).
+    pub fn parse(s: &str) -> Option<SchedPolicy> {
+        match s {
+            "fifo" => Some(SchedPolicy::Fifo),
+            "weighted-fair" | "wfair" | "weightedfair" => Some(SchedPolicy::WeightedFair),
+            "deadline" => Some(SchedPolicy::Deadline),
+            _ => None,
+        }
+    }
+
+    /// Builds the policy object.
+    pub fn build(self, cfg: &SchedConfig) -> Box<dyn Scheduler> {
+        match self {
+            SchedPolicy::Fifo => Box::new(Fifo),
+            SchedPolicy::WeightedFair => Box::new(WeightedFair::new(cfg)),
+            SchedPolicy::Deadline => Box::new(Deadline::new(cfg)),
+        }
+    }
+}
+
+/// Tunables shared by the policies and the bandwidth accountant.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// DRR: deficit added per queue visit.
+    pub quantum: u64,
+    /// DRR: cost of admitting a move (heaviest — exclusive both ends).
+    pub move_cost: u64,
+    /// DRR: cost of admitting a copy.
+    pub copy_cost: u64,
+    /// DRR: cost of admitting a share.
+    pub share_cost: u64,
+    /// Deadline: how much earlier an op's effective deadline moves each
+    /// time it is feasible but passed over.
+    pub aging_ns: u64,
+    /// Token bucket capacity per source (bytes).
+    pub bucket_bytes: u64,
+    /// Token refill rate per source (bytes per second).
+    pub refill_bytes_per_sec: u64,
+    /// How many concurrent streaming ops one source serves while its
+    /// bucket has tokens.
+    pub max_streams_per_src: usize,
+    /// Outstanding puts per op while the source's bucket has tokens
+    /// (the engine's classic double-buffering window).
+    pub put_window: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            // Quantum = the cheapest class cost: one visit earns one
+            // cheap admission, so equally loaded sources interleave
+            // per-op instead of bursting a whole quantum's worth.
+            quantum: 32,
+            move_cost: 64,
+            copy_cost: 32,
+            share_cost: 32,
+            aging_ns: 1_000_000, // 1 ms per skip
+            // Effectively bottomless by default: observed ChunkBatch
+            // sizes are a few KB, so the default accounting never
+            // throttles and pre-scheduler behavior is preserved exactly.
+            bucket_bytes: u64::MAX / 2,
+            refill_bytes_per_sec: u64::MAX / 2,
+            max_streams_per_src: 4,
+            put_window: 2,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// The DRR cost of admitting an op of `class`.
+    pub fn cost(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Move => self.move_cost,
+            OpClass::Copy => self.copy_cost,
+            OpClass::Share => self.share_cost,
+        }
+        .max(1)
+    }
+}
+
+// ---------------------------------------------------------------- Fifo
+
+/// Submission order, first feasible. Byte-identical to the engine's
+/// pre-scheduler admission sweep.
+pub struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingOp],
+        feasible: &mut dyn FnMut(&PendingOp) -> bool,
+    ) -> Option<usize> {
+        pending.iter().position(feasible)
+    }
+}
+
+// -------------------------------------------------------- WeightedFair
+
+/// Deficit round-robin over per-source queues.
+///
+/// A rotation of sources persists across `pick` calls (new sources join
+/// at the back in first-appearance order). Each visit to the source at
+/// the front adds [`SchedConfig::quantum`] to its deficit; if the
+/// deficit now covers the head op's class cost, that op is served and
+/// the cost deducted. The visit then ends — the source rotates to the
+/// back either way, so with `quantum` equal to the cheapest class cost,
+/// equally loaded sources interleave admission per-op instead of one
+/// source draining first. Within one source, ops admit in submission
+/// order — DRR arbitrates *between* sources, which is exactly the
+/// export-bandwidth fairness the paper's fig. 13 scenario needs at
+/// scale.
+///
+/// Starvation freedom: a source with a feasible head accumulates
+/// `quantum` per full rotation, so it is served after at most
+/// `ceil(max_cost / quantum)` rotations — the bound the proptest below
+/// drives ([`WeightedFair::max_passes`]).
+pub struct WeightedFair {
+    cfg: SchedConfig,
+    /// Per-source deficit counters. Entries for sources with no pending
+    /// work are dropped (an idle queue restarts from zero, per DRR).
+    deficits: BTreeMap<usize, u64>,
+    /// Round-robin cursor: front is the next source to visit. Persists
+    /// across picks so one source cannot be re-credited every sweep.
+    rotation: VecDeque<usize>,
+}
+
+impl WeightedFair {
+    /// New DRR state under `cfg`.
+    pub fn new(cfg: &SchedConfig) -> Self {
+        WeightedFair { cfg: *cfg, deficits: BTreeMap::new(), rotation: VecDeque::new() }
+    }
+
+    /// Upper bound on full rotations before a feasible head is served.
+    pub fn max_passes(cfg: &SchedConfig) -> u64 {
+        let max_cost = cfg.move_cost.max(cfg.copy_cost).max(cfg.share_cost).max(1);
+        max_cost.div_ceil(cfg.quantum.max(1)) + 1
+    }
+}
+
+impl Scheduler for WeightedFair {
+    fn name(&self) -> &'static str {
+        "weighted-fair"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingOp],
+        feasible: &mut dyn FnMut(&PendingOp) -> bool,
+    ) -> Option<usize> {
+        // Membership refresh: drop departed sources (their deficit resets
+        // to zero per DRR — an idle queue earns nothing), append new ones
+        // in first-appearance order.
+        let mut srcs: Vec<usize> = Vec::new();
+        for p in pending {
+            if !srcs.contains(&p.src) {
+                srcs.push(p.src);
+            }
+        }
+        self.rotation.retain(|s| srcs.contains(s));
+        for &s in &srcs {
+            if !self.rotation.contains(&s) {
+                self.rotation.push_back(s);
+            }
+        }
+        self.deficits.retain(|s, _| srcs.contains(s));
+        // Head-of-queue feasibility per source, computed once: the
+        // predicate reflects lock state that `pick` itself cannot
+        // change mid-call. Infeasible sources are skipped without
+        // credit so they cannot stockpile deficit while blocked.
+        let heads: BTreeMap<usize, (usize, u64)> = srcs
+            .iter()
+            .filter_map(|&s| {
+                pending
+                    .iter()
+                    .position(|p| p.src == s && feasible(p))
+                    .map(|i| (s, (i, self.cfg.cost(pending[i].class))))
+            })
+            .collect();
+        if heads.is_empty() {
+            return None;
+        }
+        let max_visits = self.rotation.len() * Self::max_passes(&self.cfg) as usize;
+        for _ in 0..max_visits {
+            let s = *self.rotation.front().expect("rotation non-empty while heads exist");
+            let served = heads.get(&s).copied().and_then(|(i, cost)| {
+                let d = self.deficits.entry(s).or_insert(0);
+                *d += self.cfg.quantum.max(1);
+                if *d >= cost {
+                    *d -= cost;
+                    Some(i)
+                } else {
+                    None
+                }
+            });
+            self.rotation.rotate_left(1);
+            if served.is_some() {
+                return served;
+            }
+        }
+        // Unreachable: max_passes rotations credit any feasible head
+        // past the largest cost. Serve the first head rather than stall.
+        heads.values().next().map(|&(i, _)| i)
+    }
+}
+
+// ------------------------------------------------------------ Deadline
+
+/// Earliest-armed-first with starvation aging: each time a feasible op
+/// is passed over, its effective deadline moves `aging_ns` earlier, so
+/// even an op that keeps losing ties is eventually first.
+pub struct Deadline {
+    cfg: SchedConfig,
+    /// Times each op was feasible but not picked, keyed by op id.
+    skips: BTreeMap<u64, u64>,
+}
+
+impl Deadline {
+    /// New aging state under `cfg`.
+    pub fn new(cfg: &SchedConfig) -> Self {
+        Deadline { cfg: *cfg, skips: BTreeMap::new() }
+    }
+}
+
+impl Scheduler for Deadline {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn pick(
+        &mut self,
+        pending: &[PendingOp],
+        feasible: &mut dyn FnMut(&PendingOp) -> bool,
+    ) -> Option<usize> {
+        self.skips.retain(|op, _| pending.iter().any(|p| p.op == *op));
+        let feasible_idx: Vec<usize> =
+            (0..pending.len()).filter(|&i| feasible(&pending[i])).collect();
+        let best = feasible_idx.iter().copied().min_by_key(|&i| {
+            let p = &pending[i];
+            let aged = self.skips.get(&p.op).copied().unwrap_or(0) * self.cfg.aging_ns;
+            (p.armed_ns.saturating_sub(aged), p.seq)
+        })?;
+        for i in feasible_idx {
+            if i != best {
+                *self.skips.entry(pending[i].op).or_insert(0) += 1;
+            }
+        }
+        self.skips.remove(&pending[best].op);
+        Some(best)
+    }
+}
+
+// ----------------------------------------------------------- Bandwidth
+
+/// One source's token bucket: capacity `bucket_bytes`, refilled at
+/// `refill_bytes_per_sec`, drained by observed export bytes.
+#[derive(Debug, Clone, Copy)]
+struct TokenBucket {
+    tokens: u64,
+    last_refill_ns: u64,
+}
+
+/// Per-source export-bandwidth accounting. Purely arithmetic on
+/// caller-supplied timestamps — no clock of its own.
+#[derive(Debug, Default)]
+pub struct Bandwidth {
+    buckets: BTreeMap<usize, TokenBucket>,
+}
+
+impl Bandwidth {
+    fn bucket(&mut self, src: usize, cfg: &SchedConfig, now_ns: u64) -> &mut TokenBucket {
+        let b = self
+            .buckets
+            .entry(src)
+            .or_insert(TokenBucket { tokens: cfg.bucket_bytes, last_refill_ns: now_ns });
+        // Refill for the elapsed interval (monotone clocks only; a
+        // stale `now` refills nothing).
+        let dt = now_ns.saturating_sub(b.last_refill_ns);
+        if dt > 0 {
+            let refill = (cfg.refill_bytes_per_sec as u128 * dt as u128 / 1_000_000_000) as u64;
+            b.tokens = b.tokens.saturating_add(refill).min(cfg.bucket_bytes);
+            b.last_refill_ns = now_ns;
+        }
+        b
+    }
+
+    /// Charges `bytes` of observed export traffic to `src`'s bucket.
+    pub fn consume(&mut self, src: usize, bytes: u64, cfg: &SchedConfig, now_ns: u64) {
+        let b = self.bucket(src, cfg, now_ns);
+        b.tokens = b.tokens.saturating_sub(bytes);
+    }
+
+    /// Tokens remaining in `src`'s bucket at `now_ns`.
+    pub fn tokens(&mut self, src: usize, cfg: &SchedConfig, now_ns: u64) -> u64 {
+        self.bucket(src, cfg, now_ns).tokens
+    }
+}
+
+// ---------------------------------------------------------- OpScheduler
+
+/// The facade the runtimes hold: one policy object plus the bandwidth
+/// accountant, under one config.
+pub struct OpScheduler {
+    policy: SchedPolicy,
+    inner: Box<dyn Scheduler>,
+    cfg: SchedConfig,
+    bw: Bandwidth,
+}
+
+impl OpScheduler {
+    /// A scheduler running `policy` under the default config.
+    pub fn new(policy: SchedPolicy) -> Self {
+        Self::with_config(policy, SchedConfig::default())
+    }
+
+    /// A scheduler running `policy` under `cfg`.
+    pub fn with_config(policy: SchedPolicy, cfg: SchedConfig) -> Self {
+        OpScheduler { policy, inner: policy.build(&cfg), cfg, bw: Bandwidth::default() }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Delegates to the policy's [`Scheduler::pick`].
+    pub fn pick(
+        &mut self,
+        pending: &[PendingOp],
+        feasible: &mut dyn FnMut(&PendingOp) -> bool,
+    ) -> Option<usize> {
+        self.inner.pick(pending, feasible)
+    }
+
+    /// Notifies the policy an op was admitted.
+    pub fn on_admitted(&mut self, op: &PendingOp) {
+        self.inner.on_admitted(op);
+    }
+
+    /// Notifies the policy an op completed.
+    pub fn on_completed(&mut self, op: &PendingOp) {
+        self.inner.on_completed(op);
+    }
+
+    /// Accounts `bytes` of observed export traffic (a `ChunkBatch`)
+    /// against `src`'s token bucket.
+    pub fn on_bytes(&mut self, src: usize, bytes: u64, now_ns: u64) {
+        self.bw.consume(src, bytes, &self.cfg, now_ns);
+    }
+
+    /// `src`'s remaining export tokens (the `sched.tokens` gauge).
+    pub fn tokens(&mut self, src: usize, now_ns: u64) -> u64 {
+        self.bw.tokens(src, &self.cfg, now_ns)
+    }
+
+    /// How many concurrent streaming ops `src` may serve right now: the
+    /// configured cap while tokens remain, one (strict serialization)
+    /// once the bucket runs dry.
+    pub fn stream_cap(&mut self, src: usize, now_ns: u64) -> usize {
+        if self.bw.tokens(src, &self.cfg, now_ns) == 0 {
+            1
+        } else {
+            self.cfg.max_streams_per_src.max(1)
+        }
+    }
+
+    /// The backpressure signal the engine's put pipeline consults: the
+    /// configured double-buffering window while `src` has tokens, a
+    /// stop-and-wait window of one once the bucket runs dry.
+    pub fn put_window(&mut self, src: usize, now_ns: u64) -> usize {
+        if self.bw.tokens(src, &self.cfg, now_ns) == 0 {
+            1
+        } else {
+            self.cfg.put_window.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op(op: u64, src: usize, class: OpClass, seq: u64) -> PendingOp {
+        PendingOp { op, src, dst: 100 + src, class, armed_ns: seq * 10, seq }
+    }
+
+    #[test]
+    fn fifo_picks_first_feasible_in_submission_order() {
+        let mut s = Fifo;
+        let pending = vec![
+            op(1, 0, OpClass::Move, 0),
+            op(2, 1, OpClass::Copy, 1),
+            op(3, 2, OpClass::Share, 2),
+        ];
+        assert_eq!(s.pick(&pending, &mut |_| true), Some(0));
+        assert_eq!(s.pick(&pending, &mut |p| p.op != 1), Some(1));
+        assert_eq!(s.pick(&pending, &mut |_| false), None);
+    }
+
+    #[test]
+    fn weighted_fair_round_robins_across_sources() {
+        let cfg = SchedConfig::default();
+        let mut s = WeightedFair::new(&cfg);
+        // Two ops on src 0, two on src 1 — DRR must alternate sources
+        // instead of draining src 0 first the way FIFO would.
+        let mut pending = vec![
+            op(1, 0, OpClass::Copy, 0),
+            op(2, 0, OpClass::Copy, 1),
+            op(3, 1, OpClass::Copy, 2),
+            op(4, 1, OpClass::Copy, 3),
+        ];
+        let mut order = Vec::new();
+        while !pending.is_empty() {
+            let i = s.pick(&pending, &mut |_| true).expect("feasible work remains");
+            order.push(pending.remove(i).op);
+        }
+        assert_eq!(order, vec![1, 3, 2, 4], "sources alternate, FIFO within a source");
+    }
+
+    #[test]
+    fn weighted_fair_returns_none_when_nothing_is_feasible() {
+        let cfg = SchedConfig::default();
+        let mut s = WeightedFair::new(&cfg);
+        let pending = vec![op(1, 0, OpClass::Move, 0)];
+        assert_eq!(s.pick(&pending, &mut |_| false), None);
+    }
+
+    #[test]
+    fn deadline_ages_skipped_ops_to_the_front() {
+        let cfg = SchedConfig { aging_ns: 1_000, ..SchedConfig::default() };
+        let mut s = Deadline::new(&cfg);
+        // Op 2 armed later, so it loses every tie — but after enough
+        // skips its aged deadline undercuts op 1's.
+        let young = PendingOp { op: 2, src: 1, dst: 3, class: OpClass::Copy, armed_ns: 5_000, seq: 1 };
+        let old = PendingOp { op: 1, src: 0, dst: 2, class: OpClass::Move, armed_ns: 1_000, seq: 0 };
+        let pending = vec![old, young];
+        // Only op 2 is feasible at first (op 1's endpoints busy): it is
+        // picked without needing to age.
+        assert_eq!(s.pick(&pending, &mut |p| p.op == 2), Some(1));
+        // Both feasible: the earlier-armed op wins, and the loser ages.
+        // (After 4 skips the aged deadlines tie at 1 000 and the lower
+        // seq still wins; the 5th skip pushes op 2 strictly ahead.)
+        for _ in 0..5 {
+            assert_eq!(s.pick(&pending, &mut |_| true), Some(0));
+        }
+        // 5 skips × 1 µs aging: 5 000 − 5 000 = 0 < 1 000 → op 2 first.
+        assert_eq!(s.pick(&pending, &mut |_| true), Some(1));
+    }
+
+    #[test]
+    fn token_bucket_throttles_and_refills() {
+        let cfg = SchedConfig {
+            bucket_bytes: 1_000,
+            refill_bytes_per_sec: 1_000_000_000, // 1 byte per ns
+            ..SchedConfig::default()
+        };
+        let mut s = OpScheduler::with_config(SchedPolicy::Fifo, cfg);
+        assert_eq!(s.put_window(0, 0), 2);
+        assert_eq!(s.stream_cap(0, 0), 4);
+        s.on_bytes(0, 1_000, 0);
+        assert_eq!(s.tokens(0, 0), 0);
+        assert_eq!(s.put_window(0, 0), 1, "dry bucket → stop-and-wait");
+        assert_eq!(s.stream_cap(0, 0), 1, "dry bucket → serialize streams");
+        // 500 ns later the bucket has refilled 500 bytes.
+        assert_eq!(s.tokens(0, 500), 500);
+        assert_eq!(s.put_window(0, 500), 2);
+    }
+
+    #[test]
+    fn default_config_never_throttles() {
+        let mut s = OpScheduler::new(SchedPolicy::Fifo);
+        s.on_bytes(0, 50_000_000, 1);
+        assert_eq!(s.put_window(0, 2), 2, "default bucket is bottomless");
+        assert_eq!(s.stream_cap(0, 2), 4);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in SchedPolicy::all() {
+            assert_eq!(SchedPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SchedPolicy::parse("wfair"), Some(SchedPolicy::WeightedFair));
+        assert_eq!(SchedPolicy::parse("nope"), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Starvation freedom under WeightedFair: with k ops contending
+        /// (any mix of sources and classes, all feasible), every op is
+        /// admitted, per-source order is FIFO, and no op waits more than
+        /// W full rounds — W = (its queue position + 1) × sources ×
+        /// max_passes picks.
+        #[test]
+        fn weighted_fair_admission_wait_is_bounded(
+            srcs in proptest::collection::vec(0usize..4, 1..16),
+            classes in proptest::collection::vec(0u8..3, 16),
+        ) {
+            let cfg = SchedConfig::default();
+            let mut s = WeightedFair::new(&cfg);
+            let mut pending: Vec<PendingOp> = srcs
+                .iter()
+                .enumerate()
+                .map(|(i, &src)| {
+                    let class = match classes[i % classes.len()] {
+                        0 => OpClass::Move,
+                        1 => OpClass::Copy,
+                        _ => OpClass::Share,
+                    };
+                    op(i as u64 + 1, src, class, i as u64)
+                })
+                .collect();
+            let n = pending.len();
+            let n_srcs = {
+                let mut u = srcs.clone();
+                u.sort_unstable();
+                u.dedup();
+                u.len()
+            };
+            // Queue position of each op within its source.
+            let pos_in_src: Vec<usize> = (0..n)
+                .map(|i| srcs[..i].iter().filter(|&&s| s == srcs[i]).count())
+                .collect();
+            let passes = WeightedFair::max_passes(&cfg) as usize;
+            let mut admitted_at: Vec<Option<usize>> = vec![None; n];
+            let mut last_per_src: BTreeMap<usize, u64> = BTreeMap::new();
+            for round in 0..n {
+                let i = s.pick(&pending, &mut |_| true).expect("work remains");
+                let p = pending.remove(i);
+                let idx = (p.op - 1) as usize;
+                admitted_at[idx] = Some(round);
+                // FIFO within a source.
+                if let Some(&prev) = last_per_src.get(&p.src) {
+                    prop_assert!(p.seq > prev, "per-source admission is FIFO");
+                }
+                last_per_src.insert(p.src, p.seq);
+            }
+            for (idx, at) in admitted_at.iter().enumerate() {
+                let at = at.expect("every op admitted — no starvation");
+                let bound = (pos_in_src[idx] + 1) * n_srcs * passes;
+                prop_assert!(
+                    at < bound,
+                    "op {idx} admitted at pick {at}, bound {bound} (pos {} of src {})",
+                    pos_in_src[idx], srcs[idx]
+                );
+            }
+        }
+    }
+}

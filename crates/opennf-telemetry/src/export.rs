@@ -47,6 +47,8 @@ fn hist_value(s: &HistSnapshot) -> Value {
         ("p50", Value::UInt(s.p50)),
         ("p95", Value::UInt(s.p95)),
         ("p99", Value::UInt(s.p99)),
+        ("min", Value::UInt(s.min)),
+        ("max", Value::UInt(s.max)),
     ])
 }
 
@@ -195,6 +197,10 @@ pub fn parse_jsonl(text: &str) -> Result<(Vec<OwnedRec>, Option<JsonlSummary>), 
                                     p50: h.get("p50").and_then(Value::as_u64)?,
                                     p95: h.get("p95").and_then(Value::as_u64)?,
                                     p99: h.get("p99").and_then(Value::as_u64)?,
+                                    // Dumps from before min/max existed
+                                    // re-import as 0 extremes.
+                                    min: h.get("min").and_then(Value::as_u64).unwrap_or(0),
+                                    max: h.get("max").and_then(Value::as_u64).unwrap_or(0),
                                 },
                             ))
                         })

@@ -19,6 +19,8 @@ pub struct Hist {
     buckets: [AtomicU64; 64],
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 /// A point-in-time read of one histogram.
@@ -34,6 +36,10 @@ pub struct HistSnapshot {
     pub p95: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// Smallest value recorded (exact, not bucketed; 0 when empty).
+    pub min: u64,
+    /// Largest value recorded (exact, not bucketed; 0 when empty).
+    pub max: u64,
 }
 
 fn bucket_of(v: u64) -> usize {
@@ -56,6 +62,8 @@ impl Hist {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -64,6 +72,19 @@ impl Hist {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Smallest value recorded (exact; 0 when nothing was recorded).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 { 0 } else { m }
+    }
+
+    /// Largest value recorded (exact; 0 when nothing was recorded).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Values recorded so far.
@@ -101,6 +122,8 @@ impl Hist {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            min: self.min(),
+            max: self.max(),
         }
     }
 }
@@ -227,6 +250,18 @@ mod tests {
     fn empty_hist_snapshot_does_not_panic() {
         let s = Hist::new().snapshot();
         assert_eq!((s.count, s.sum, s.p50, s.p95, s.p99), (0, 0, 0, 0, 0));
+        assert_eq!((s.min, s.max), (0, 0), "empty hist reports 0 extremes");
+    }
+
+    #[test]
+    fn min_max_track_exact_extremes() {
+        let h = Hist::new();
+        h.record(100);
+        h.record(7);
+        h.record(5_000);
+        let s = h.snapshot();
+        assert_eq!(s.min, 7, "min is exact, not a bucket midpoint");
+        assert_eq!(s.max, 5_000, "max is exact, not a bucket midpoint");
     }
 
     #[test]
